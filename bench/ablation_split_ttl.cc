@@ -1,0 +1,60 @@
+// Ablation: the split-TTL parameter.
+//
+// The paper evaluates split TTLs 16 and 32 and explicitly leaves "a more
+// careful exploration of other potential values of this parameter to future
+// work" (§3.2.1, footnote 1).  This bench performs that exploration: full
+// scans across split TTLs 8..32, reporting interfaces, probes, scan time,
+// and the backward/forward balance, with preprobing disabled so the default
+// split applies to every destination.
+//
+// Expected shape: small splits under-use backward redundancy elimination
+// and push work into (silent-tail-limited) forward probing; large splits
+// waste backward probes on unresponsive tails.  The sweet spot sits near
+// the distance distribution's lower quartile — the paper's 16.
+
+#include "bench/common.h"
+
+namespace flashroute {
+namespace {
+
+void run() {
+  auto world = bench::make_world();
+  bench::print_banner("Ablation: split-TTL sweep (paper's future work, "
+                      "footnote 1)",
+                      world);
+
+  std::printf("%10s %12s %14s %12s %16s\n", "split TTL", "interfaces",
+              "probes", "time", "convergence stops");
+  std::uint64_t best_probes = ~0ull;
+  int best_split = 0;
+  for (int split = 8; split <= 32; split += 4) {
+    auto config = bench::tracer_base(world);
+    config.split_ttl = static_cast<std::uint8_t>(split);
+    config.preprobe = core::PreprobeMode::kNone;
+    config.collect_routes = false;
+    const auto result = bench::run_tracer(world, config);
+    std::printf("%10d %12s %14s %12s %16s\n", split,
+                util::format_count(
+                    static_cast<std::uint64_t>(result.interfaces.size()))
+                    .c_str(),
+                util::format_count(result.probes_sent).c_str(),
+                util::format_duration(result.scan_time).c_str(),
+                util::format_count(result.convergence_stops).c_str());
+    if (result.probes_sent < best_probes) {
+      best_probes = result.probes_sent;
+      best_split = split;
+    }
+  }
+  std::printf(
+      "\ncheapest split TTL in this world: %d (the paper's default of 16 "
+      "balances probe cost against interface yield)\n",
+      best_split);
+}
+
+}  // namespace
+}  // namespace flashroute
+
+int main() {
+  flashroute::run();
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Shared plumbing for the reproduction benchmarks.
+//
+// Every bench binary regenerates one table or figure of the paper against
+// the simulated Internet and prints the paper's reported values next to the
+// measured ones.  Absolute numbers differ — the default universe is 2^14
+// /24 blocks (one /8, 1/256 of IPv4) and the probing rate is scaled accordingly
+// (see sim::scaled_probe_rate) — but the *shape* (orderings, ratios,
+// crossovers) is the reproduction target, as recorded in EXPERIMENTS.md.
+//
+// Environment overrides:
+//   FR_PREFIX_BITS  universe size exponent (default 16 = one /8)
+//   FR_SEED         topology seed (default 1)
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/scamper.h"
+#include "baselines/yarrp.h"
+#include "core/targets.h"
+#include "core/tracer.h"
+#include "sim/network.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+#include "util/stats.h"
+
+namespace flashroute::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+/// The simulated world shared by one bench run.
+struct World {
+  sim::SimParams params;
+  std::unique_ptr<sim::Topology> topology;
+  std::vector<std::uint32_t> hitlist;
+
+  double pps(double full_scale) const {
+    return sim::scaled_probe_rate(full_scale, params.prefix_bits);
+  }
+};
+
+inline World make_world(int default_bits = 16) {
+  World world;
+  world.params.prefix_bits = env_int("FR_PREFIX_BITS", default_bits);
+  world.params.seed = static_cast<std::uint64_t>(env_int("FR_SEED", 1));
+  world.topology = std::make_unique<sim::Topology>(world.params);
+  world.hitlist = world.topology->generate_hitlist();
+  return world;
+}
+
+inline core::TracerConfig tracer_base(const World& world) {
+  core::TracerConfig config;
+  config.first_prefix = world.params.first_prefix;
+  config.prefix_bits = world.params.prefix_bits;
+  config.vantage = net::Ipv4Address(world.params.vantage_address);
+  config.probes_per_second = world.pps(100'000.0);
+  return config;
+}
+
+inline baselines::YarrpConfig yarrp_base(const World& world) {
+  baselines::YarrpConfig config;
+  config.first_prefix = world.params.first_prefix;
+  config.prefix_bits = world.params.prefix_bits;
+  config.vantage = net::Ipv4Address(world.params.vantage_address);
+  config.probes_per_second = world.pps(100'000.0);
+  return config;
+}
+
+inline baselines::ScamperConfig scamper_base(const World& world) {
+  baselines::ScamperConfig config;
+  config.first_prefix = world.params.first_prefix;
+  config.prefix_bits = world.params.prefix_bits;
+  config.vantage = net::Ipv4Address(world.params.vantage_address);
+  config.probes_per_second = world.pps(10'000.0);
+  return config;
+}
+
+/// Runs a FlashRoute configuration against a fresh network state (so rate
+/// limiters and counters never leak between scans of one bench).
+inline core::ScanResult run_tracer(const World& world,
+                                   const core::TracerConfig& config) {
+  sim::SimNetwork network(*world.topology);
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  core::Tracer tracer(config, runtime);
+  return tracer.run();
+}
+
+inline core::ScanResult run_yarrp(const World& world,
+                                  const baselines::YarrpConfig& config) {
+  sim::SimNetwork network(*world.topology);
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  baselines::Yarrp yarrp(config, runtime);
+  return yarrp.run();
+}
+
+inline core::ScanResult run_scamper(const World& world,
+                                    const baselines::ScamperConfig& config) {
+  sim::SimNetwork network(*world.topology);
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  baselines::Scamper scamper(config, runtime);
+  return scamper.run();
+}
+
+inline void print_banner(const char* experiment, const World& world) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf(
+      "universe: %u /24 blocks (scale 1/%u of IPv4), seed %llu, "
+      "probing rate scaled accordingly\n\n",
+      world.params.num_prefixes(),
+      (1u << 24) / world.params.num_prefixes(),
+      static_cast<unsigned long long>(world.params.seed));
+}
+
+/// One row in a Tables-1/2/3-shaped report.
+inline void print_scan_row(const char* name, const core::ScanResult& result) {
+  std::printf("%-28s %10s %14s %12s\n", name,
+              util::format_count(
+                  static_cast<std::uint64_t>(result.interfaces.size()))
+                  .c_str(),
+              util::format_count(result.probes_sent).c_str(),
+              util::format_duration(result.scan_time).c_str());
+}
+
+inline void print_scan_header() {
+  std::printf("%-28s %10s %14s %12s\n", "Configuration", "Interfaces",
+              "Probes", "Scan time");
+  std::printf("%-28s %10s %14s %12s\n", "----", "----", "----", "----");
+}
+
+}  // namespace flashroute::bench

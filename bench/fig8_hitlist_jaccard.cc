@@ -1,0 +1,72 @@
+// Fig 8 — Jaccard index of the interface sets at a given hop-distance from
+// the destinations, hitlist scan vs random scan (§5.1).
+//
+// Two exhaustive scans (every TTL 1..32 for every prefix) of the same
+// universe, one using the hitlist representative of each /24, one using a
+// random representative.  The paper's shape: the sets agree well along the
+// route but diverge sharply at the one or two hops adjacent to the
+// destinations — the stub interior that hitlist (gateway-appliance) targets
+// never expose.
+
+#include "analysis/route_compare.h"
+#include "bench/common.h"
+
+namespace flashroute {
+namespace {
+
+core::ScanResult exhaustive_scan(const bench::World& world,
+                                 const std::vector<std::uint32_t>* targets) {
+  auto config = bench::tracer_base(world);
+  config.preprobe = core::PreprobeMode::kNone;
+  config.split_ttl = 32;
+  config.forward_probing = false;
+  config.redundancy_removal = false;
+  config.target_override = targets;
+  return bench::run_tracer(world, config);
+}
+
+void run() {
+  auto world = bench::make_world();
+  bench::print_banner("Fig 8: hitlist vs random scans, per-hop Jaccard",
+                      world);
+
+  const auto random_scan = exhaustive_scan(world, nullptr);
+  const auto hitlist_scan = exhaustive_scan(world, &world.hitlist);
+
+  std::printf("interfaces discovered: random scan %s, hitlist scan %s "
+              "(paper: 829,338 vs 759,961 — hitlist finds %.1f%% fewer "
+              "here, 8.4%% fewer in the paper)\n\n",
+              util::format_count(
+                  static_cast<std::uint64_t>(random_scan.interfaces.size()))
+                  .c_str(),
+              util::format_count(
+                  static_cast<std::uint64_t>(hitlist_scan.interfaces.size()))
+                  .c_str(),
+              100.0 * (1.0 - static_cast<double>(
+                                 hitlist_scan.interfaces.size()) /
+                                 static_cast<double>(
+                                     random_scan.interfaces.size())));
+
+  const auto jaccard = analysis::jaccard_by_distance_from_destination(
+      hitlist_scan, random_scan, /*max_distance=*/12);
+  std::printf("%24s %10s\n", "hops from destination", "Jaccard");
+  for (const auto& [distance, index] : jaccard) {
+    std::printf("%24d %10.3f\n", distance, index);
+  }
+
+  if (jaccard.contains(1) && jaccard.contains(6)) {
+    std::printf(
+        "\nshape check: Jaccard at 1 hop from destination = %.2f vs %.2f "
+        "at 6 hops (paper: the divergence concentrates on the last two "
+        "hops)\n",
+        jaccard.at(1), jaccard.at(6));
+  }
+}
+
+}  // namespace
+}  // namespace flashroute
+
+int main() {
+  flashroute::run();
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Reproduction robustness: the headline ratios across topology seeds.
+//
+// The paper's evaluation is one Internet; our simulator can generate many.
+// This bench re-runs the Table 3 core comparison over several seeds and
+// reports the spread of the headline ratios, demonstrating that the
+// reproduction's conclusions are properties of the algorithms, not of one
+// lucky topology.
+
+#include <algorithm>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace flashroute {
+namespace {
+
+struct Ratios {
+  double yarrp_time_ratio;       // Yarrp-32 time / FlashRoute-16 time
+  double yarrp_probe_ratio;      // Yarrp-32 probes / FlashRoute-16 probes
+  double fr16_deficit;           // 1 - FR16 interfaces / exhaustive-UDP
+  double yarrp16_yield;          // Yarrp-16 interfaces / Yarrp-32 interfaces
+};
+
+void print_spread(const char* name, std::vector<double> values,
+                  const char* paper) {
+  std::sort(values.begin(), values.end());
+  double sum = 0;
+  for (const double v : values) sum += v;
+  std::printf("%-34s mean %.2f   min %.2f   max %.2f   (paper: %s)\n", name,
+              sum / static_cast<double>(values.size()), values.front(),
+              values.back(), paper);
+}
+
+void run() {
+  const int bits = bench::env_int("FR_PREFIX_BITS", 15);
+  std::printf("=== Robustness: headline ratios across topology seeds ===\n");
+  std::printf("universe: %u /24 blocks per seed\n\n", 1u << bits);
+
+  std::vector<Ratios> all;
+  for (const std::uint64_t seed : {1, 2, 3, 5, 8}) {
+    sim::SimParams params;
+    params.prefix_bits = bits;
+    params.seed = seed;
+    bench::World world;
+    world.params = params;
+    world.topology = std::make_unique<sim::Topology>(params);
+    world.hitlist = world.topology->generate_hitlist();
+
+    auto fr = bench::tracer_base(world);
+    fr.preprobe = core::PreprobeMode::kHitlist;
+    fr.hitlist = &world.hitlist;
+    fr.collect_routes = false;
+    const auto fr16 = bench::run_tracer(world, fr);
+
+    auto yarrp16 = bench::yarrp_base(world);
+    yarrp16.collect_routes = false;
+    yarrp16.exhaustive_ttl = 16;
+    yarrp16.fill_mode = true;
+    const auto y16 = bench::run_yarrp(world, yarrp16);
+
+    auto yarrp32 = bench::yarrp_base(world);
+    yarrp32.collect_routes = false;
+    const auto y32 = bench::run_yarrp(world, yarrp32);
+
+    auto udp = bench::tracer_base(world);
+    udp.preprobe = core::PreprobeMode::kNone;
+    udp.split_ttl = 32;
+    udp.forward_probing = false;
+    udp.redundancy_removal = false;
+    udp.collect_routes = false;
+    const auto exhaustive = bench::run_tracer(world, udp);
+
+    Ratios ratios;
+    ratios.yarrp_time_ratio = static_cast<double>(y32.scan_time) /
+                              static_cast<double>(fr16.scan_time);
+    ratios.yarrp_probe_ratio = static_cast<double>(y32.probes_sent) /
+                               static_cast<double>(fr16.probes_sent);
+    ratios.fr16_deficit =
+        1.0 - static_cast<double>(fr16.interfaces.size()) /
+                  static_cast<double>(exhaustive.interfaces.size());
+    ratios.yarrp16_yield = static_cast<double>(y16.interfaces.size()) /
+                           static_cast<double>(y32.interfaces.size());
+    all.push_back(ratios);
+    std::printf("seed %llu: Yarrp/FR16 time %.2fx, probes %.2fx, FR16 "
+                "deficit %.1f%%, Yarrp-16 yield %.0f%%\n",
+                static_cast<unsigned long long>(seed),
+                ratios.yarrp_time_ratio, ratios.yarrp_probe_ratio,
+                100 * ratios.fr16_deficit, 100 * ratios.yarrp16_yield);
+  }
+
+  std::printf("\n");
+  std::vector<double> v;
+  for (const auto& r : all) v.push_back(r.yarrp_time_ratio);
+  print_spread("Yarrp-32 / FlashRoute-16 time", v, "3.49x");
+  v.clear();
+  for (const auto& r : all) v.push_back(r.yarrp_probe_ratio);
+  print_spread("Yarrp-32 / FlashRoute-16 probes", v, "3.64x");
+  v.clear();
+  for (const auto& r : all) v.push_back(r.fr16_deficit);
+  print_spread("FlashRoute-16 interface deficit", v, "0.02");
+  v.clear();
+  for (const auto& r : all) v.push_back(r.yarrp16_yield);
+  print_spread("Yarrp-16 / Yarrp-32 interfaces", v, "0.49");
+}
+
+}  // namespace
+}  // namespace flashroute
+
+int main() {
+  flashroute::run();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// §5.1 — The Census-hitlist bias, quantified.
+//
+// The same two exhaustive scans as Fig 8, analysed four ways:
+//  1. interface totals (hitlist scan discovers significantly fewer);
+//  2. per-prefix route lengths (routes to hitlist targets tend shorter) —
+//     both over all prefixes and restricted to prefixes where *both*
+//     targets responded (the paper's control for nonexistent destinations);
+//  3. cross-appearance: hitlist addresses show up as intermediate hops on
+//     routes to random targets far more often than the reverse — evidence
+//     that the hitlist prefers gateway appliances on the block periphery;
+//  4. loop prevalence on routes to unresponsive random targets (~1.7%).
+
+#include "analysis/route_compare.h"
+#include "bench/common.h"
+#include "core/targets.h"
+
+namespace flashroute {
+namespace {
+
+core::ScanResult exhaustive_scan(const bench::World& world,
+                                 const std::vector<std::uint32_t>* targets) {
+  auto config = bench::tracer_base(world);
+  config.preprobe = core::PreprobeMode::kNone;
+  config.split_ttl = 32;
+  config.forward_probing = false;
+  config.redundancy_removal = false;
+  config.target_override = targets;
+  return bench::run_tracer(world, config);
+}
+
+void run() {
+  auto world = bench::make_world();
+  bench::print_banner("Sec 5.1: Census-hitlist bias", world);
+
+  const auto random_scan = exhaustive_scan(world, nullptr);
+  const auto hitlist_scan = exhaustive_scan(world, &world.hitlist);
+
+  // 1. Interface totals.
+  std::printf("interfaces: random %s, hitlist %s — deficit %s "
+              "(paper: 829,338 vs 759,961, deficit 69,377)\n\n",
+              util::format_count(
+                  static_cast<std::uint64_t>(random_scan.interfaces.size()))
+                  .c_str(),
+              util::format_count(
+                  static_cast<std::uint64_t>(hitlist_scan.interfaces.size()))
+                  .c_str(),
+              util::format_count(static_cast<std::int64_t>(
+                                     random_scan.interfaces.size()) -
+                                 static_cast<std::int64_t>(
+                                     hitlist_scan.interfaces.size()))
+                  .c_str());
+
+  // 2. Route lengths.
+  const auto all = analysis::compare_route_lengths(random_scan, hitlist_scan,
+                                                   /*require_both_reached=*/
+                                                   false);
+  std::printf("route lengths (all comparable prefixes): random longer %s, "
+              "hitlist longer %s (paper: 1,515,626 vs 1,349,814)\n",
+              util::format_count(all.a_longer).c_str(),
+              util::format_count(all.b_longer).c_str());
+  const auto both = analysis::compare_route_lengths(random_scan, hitlist_scan,
+                                                    /*require_both_reached=*/
+                                                    true);
+  std::printf("route lengths (both targets responsive): %s prefixes; random "
+              "longer %s, hitlist longer %s (paper: 294,123; 64,279 vs "
+              "34,057 — the bias survives the control)\n\n",
+              util::format_count(both.comparable).c_str(),
+              util::format_count(both.a_longer).c_str(),
+              util::format_count(both.b_longer).c_str());
+
+  // 3. Cross-appearance.
+  std::vector<std::uint32_t> random_targets(world.params.num_prefixes());
+  for (std::uint32_t i = 0; i < world.params.num_prefixes(); ++i) {
+    random_targets[i] =
+        core::random_target(42, world.params.first_prefix + i);
+  }
+  const auto cross = analysis::cross_appearance(
+      random_scan, random_targets, hitlist_scan, world.hitlist);
+  std::printf("hitlist addresses en route to random targets: %s; random "
+              "addresses en route to hitlist targets: %s (paper: 27,203 vs "
+              "6,421)\n",
+              util::format_count(cross.b_targets_on_a_routes).c_str(),
+              util::format_count(cross.a_targets_on_b_routes).c_str());
+  std::printf("responsive targets: random %s, hitlist %s (paper: 540,060 vs "
+              "1,273,230)\n\n",
+              util::format_count(cross.a_targets_responsive).c_str(),
+              util::format_count(cross.b_targets_responsive).c_str());
+
+  // 4. Loops on routes to unresponsive random targets.
+  const auto loops = analysis::count_loops(random_scan);
+  std::printf("routes to unresponsive random targets: %s, containing a "
+              "loop: %s (%.2f%%; paper: 1.7%%)\n",
+              util::format_count(loops.unresponsive_routes).c_str(),
+              util::format_count(loops.looped_routes).c_str(),
+              loops.unresponsive_routes
+                  ? 100.0 * static_cast<double>(loops.looped_routes) /
+                        static_cast<double>(loops.unresponsive_routes)
+                  : 0.0);
+}
+
+}  // namespace
+}  // namespace flashroute
+
+int main() {
+  flashroute::run();
+  return 0;
+}

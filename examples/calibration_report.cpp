@@ -1,0 +1,169 @@
+// Calibration report: per-configuration scan summaries over one world.
+//
+// This is the tuning loop used to calibrate the simulator's parameters
+// toward the paper's observed ratios (DESIGN.md Sec 5): it prints the
+// responsive-target rate, hitlist coverage, distance quantiles, and a scan
+// summary for every major tool configuration.  Re-run it after changing
+// anything in sim/params.h.
+//
+// Build & run:  ./build/examples/calibration_report [prefix_bits]
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/scamper.h"
+#include "baselines/yarrp.h"
+#include "core/targets.h"
+#include "core/tracer.h"
+#include "sim/network.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+#include "util/stats.h"
+
+using namespace flashroute;
+
+namespace {
+
+void print(const char* name, const core::ScanResult& r) {
+  std::printf("%-28s interfaces=%8zu probes=%10llu time=%s reached=%llu conv=%llu meas=%llu pred=%llu mism=%llu\n",
+              name, r.interfaces.size(),
+              static_cast<unsigned long long>(r.probes_sent),
+              util::format_duration(r.scan_time).c_str(),
+              static_cast<unsigned long long>(r.destinations_reached),
+              static_cast<unsigned long long>(r.convergence_stops),
+              static_cast<unsigned long long>(r.distances_measured),
+              static_cast<unsigned long long>(r.distances_predicted),
+              static_cast<unsigned long long>(r.mismatches));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::SimParams params;
+  params.prefix_bits = (argc > 1) ? std::stoi(argv[1]) : 14;
+  sim::Topology topology(params);
+  const auto hitlist = topology.generate_hitlist();
+  std::printf("universe=%u stubs=%u dark=%u pool_ifaces=%llu\n",
+              params.num_prefixes(), topology.num_stubs(),
+              topology.num_dark_blocks(),
+              static_cast<unsigned long long>(
+                  topology.allocated_pool_interfaces()));
+
+  // Distance distribution of responsive targets.
+  util::Histogram dist;
+  std::uint64_t responsive = 0, hitlist_present = 0;
+  for (std::uint32_t i = 0; i < params.num_prefixes(); ++i) {
+    const std::uint32_t prefix = params.first_prefix + i;
+    const auto target = core::random_target(42, prefix);
+    if (auto d = topology.trigger_ttl(net::Ipv4Address(target), 1, 0)) {
+      dist.add(*d);
+    }
+    if (topology.host_responds(net::Ipv4Address(target), net::kProtoUdp)) {
+      ++responsive;
+    }
+    if (hitlist[i] != 0) ++hitlist_present;
+  }
+  std::printf("responsive random targets: %.2f%%  hitlist entries: %.2f%%\n",
+              100.0 * responsive / params.num_prefixes(),
+              100.0 * hitlist_present / params.num_prefixes());
+  std::printf("trigger ttl quantiles: p10=%lld p50=%lld p90=%lld p99=%lld\n",
+              dist.total() ? dist.quantile(0.10) : -1,
+              dist.total() ? dist.quantile(0.50) : -1,
+              dist.total() ? dist.quantile(0.90) : -1,
+              dist.total() ? dist.quantile(0.99) : -1);
+
+  const double scale = static_cast<double>(params.num_prefixes()) / (1 << 24);
+  const double pps = 100'000.0 * scale;
+  core::TracerConfig base;
+  base.first_prefix = params.first_prefix;
+  base.prefix_bits = params.prefix_bits;
+  base.vantage = net::Ipv4Address(params.vantage_address);
+  base.probes_per_second = pps;
+
+  auto run_tracer = [&](const char* name, core::TracerConfig config) {
+    sim::SimNetwork network(topology);
+    sim::SimScanRuntime runtime(network, pps);
+    print(name, core::Tracer(config, runtime).run());
+  };
+
+  {
+    auto c = base;
+    c.preprobe = core::PreprobeMode::kHitlist;
+    c.hitlist = &hitlist;
+    run_tracer("FlashRoute-16 hitlist", c);
+  }
+  {
+    auto c = base;
+    c.preprobe = core::PreprobeMode::kRandom;
+    run_tracer("FlashRoute-16 random", c);
+  }
+  {
+    auto c = base;
+    c.preprobe = core::PreprobeMode::kNone;
+    run_tracer("FlashRoute-16 nopre", c);
+  }
+  {
+    auto c = base;
+    c.split_ttl = 32;
+    c.preprobe = core::PreprobeMode::kHitlist;
+    c.hitlist = &hitlist;
+    run_tracer("FlashRoute-32 hitlist", c);
+  }
+  {
+    auto c = base;
+    c.split_ttl = 32;
+    c.preprobe = core::PreprobeMode::kRandom;
+    run_tracer("FlashRoute-32 random(fold)", c);
+  }
+  {
+    auto c = base;
+    c.split_ttl = 32;
+    c.preprobe = core::PreprobeMode::kNone;
+    run_tracer("FlashRoute-32 nopre", c);
+  }
+  {
+    auto c = base;
+    c.preprobe = core::PreprobeMode::kNone;
+    c.redundancy_removal = false;
+    run_tracer("FR-16 nopre no-redund", c);
+  }
+  {
+    auto c = base;
+    c.split_ttl = 32;
+    c.preprobe = core::PreprobeMode::kNone;
+    c.forward_probing = false;
+    c.redundancy_removal = false;
+    run_tracer("Yarrp-32-UDP (sim)", c);
+  }
+
+  {
+    baselines::YarrpConfig yc;
+    yc.first_prefix = params.first_prefix;
+    yc.prefix_bits = params.prefix_bits;
+    yc.vantage = net::Ipv4Address(params.vantage_address);
+    sim::SimNetwork network(topology);
+    sim::SimScanRuntime runtime(network, pps);
+    print("Yarrp-32 tcp", baselines::Yarrp(yc, runtime).run());
+  }
+  {
+    baselines::YarrpConfig yc;
+    yc.first_prefix = params.first_prefix;
+    yc.prefix_bits = params.prefix_bits;
+    yc.vantage = net::Ipv4Address(params.vantage_address);
+    yc.exhaustive_ttl = 16;
+    yc.fill_mode = true;
+    sim::SimNetwork network(topology);
+    sim::SimScanRuntime runtime(network, pps);
+    print("Yarrp-16 tcp fill", baselines::Yarrp(yc, runtime).run());
+  }
+  {
+    baselines::ScamperConfig sc;
+    sc.first_prefix = params.first_prefix;
+    sc.prefix_bits = params.prefix_bits;
+    sc.vantage = net::Ipv4Address(params.vantage_address);
+    sim::SimNetwork network(topology);
+    sim::SimScanRuntime runtime(network, 10'000.0 * scale);
+    print("Scamper-16", baselines::Scamper(sc, runtime).run());
+  }
+  return 0;
+}

@@ -1,0 +1,374 @@
+// flashroute_cli — a command-line front end mirroring the real tool.
+//
+// Drives the FlashRoute engine with the paper's knobs exposed as flags and
+// writes discovered routes to stdout (or a file).  Two backends:
+//
+//   --backend=sim   (default) scan a deterministic simulated Internet in
+//                   virtual time — reproducible, runs anywhere;
+//   --backend=raw   scan the real network through raw sockets (Linux,
+//                   requires CAP_NET_RAW; real time).  Use responsibly and
+//                   with permission from your network operators — see the
+//                   paper's ethics appendix.
+//
+// Examples:
+//   flashroute_cli --prefix-bits=12 --split-ttl=16 --gap-limit=5
+//   flashroute_cli --preprobe=hitlist --extra-scans=3 --routes=routes.txt
+//   sudo flashroute_cli --backend=raw --pps=1000 --prefix-bits=4
+//        --first-prefix=198.18.0.0   (continuation of the line above)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/exclusion.h"
+#include "core/tracer.h"
+#include "io/pcap.h"
+#include "io/scan_archive.h"
+#include "net/raw/raw_socket_transport.h"
+#include "sim/network.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+using namespace flashroute;
+
+namespace {
+
+struct CliOptions {
+  std::string backend = "sim";
+  int prefix_bits = 12;
+  std::string first_prefix = "1.0.0.0";
+  double pps = 0;  // 0 = auto (100 Kpps scaled for sim, 1 Kpps raw)
+  int split_ttl = 16;
+  int gap_limit = 5;
+  int max_ttl = 32;
+  std::string preprobe = "random";  // none | random | hitlist
+  int proximity_span = 5;
+  int extra_scans = 0;
+  bool redundancy = true;
+  bool forward = true;
+  std::uint64_t seed = 1;
+  std::string routes_file;
+  std::string routes_format = "text";  // text | csv
+  std::string archive_file;            // binary scan archive output
+  std::string inspect_file;            // read an archive instead of scanning
+  std::string exclusion_file;
+  std::string targets_file;
+  std::string pcap_file;  // capture all probes and responses
+  bool help = false;
+};
+
+void print_usage() {
+  std::puts(
+      "flashroute_cli — massive-scale traceroute (FlashRoute reproduction)\n"
+      "\n"
+      "  --backend=sim|raw        simulated Internet (default) or raw sockets\n"
+      "  --prefix-bits=N          scan 2^N /24 blocks (default 12)\n"
+      "  --first-prefix=A.B.C.0   first /24 of the range (default 1.0.0.0)\n"
+      "  --pps=R                  probing rate (default: auto)\n"
+      "  --split-ttl=N            default split point (default 16)\n"
+      "  --gap-limit=N            forward-probing gap limit (default 5)\n"
+      "  --max-ttl=N              maximum explored TTL (default 32)\n"
+      "  --preprobe=MODE          none | random | hitlist (default random)\n"
+      "  --proximity-span=N       distance-prediction span (default 5)\n"
+      "  --extra-scans=N          discovery-optimized extra scans (default 0)\n"
+      "  --no-redundancy-removal  probe backward exhaustively\n"
+      "  --no-forward             disable forward probing\n"
+      "  --seed=N                 topology/permutation seed (default 1)\n"
+      "  --routes=FILE            write discovered routes to FILE\n"
+      "  --routes-format=F        text (default) or csv\n"
+      "  --archive=FILE           write a binary scan archive to FILE\n"
+      "  --inspect=FILE           summarize a previously saved archive\n"
+      "  --exclude=FILE           CIDR opt-out list (one entry per line)\n"
+      "  --targets=FILE           target list, one address per /24 (Sec 3.4)\n"
+      "  --pcap=FILE              capture all probes/responses (pcap, raw IP)\n"
+      "  --help                   this text");
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&](const char* name) -> std::optional<std::string> {
+      const std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (auto v = value_of("--backend")) {
+      options.backend = *v;
+    } else if (auto v = value_of("--prefix-bits")) {
+      options.prefix_bits = std::stoi(*v);
+    } else if (auto v = value_of("--first-prefix")) {
+      options.first_prefix = *v;
+    } else if (auto v = value_of("--pps")) {
+      options.pps = std::stod(*v);
+    } else if (auto v = value_of("--split-ttl")) {
+      options.split_ttl = std::stoi(*v);
+    } else if (auto v = value_of("--gap-limit")) {
+      options.gap_limit = std::stoi(*v);
+    } else if (auto v = value_of("--max-ttl")) {
+      options.max_ttl = std::stoi(*v);
+    } else if (auto v = value_of("--preprobe")) {
+      options.preprobe = *v;
+    } else if (auto v = value_of("--proximity-span")) {
+      options.proximity_span = std::stoi(*v);
+    } else if (auto v = value_of("--extra-scans")) {
+      options.extra_scans = std::stoi(*v);
+    } else if (arg == "--no-redundancy-removal") {
+      options.redundancy = false;
+    } else if (arg == "--no-forward") {
+      options.forward = false;
+    } else if (auto v = value_of("--seed")) {
+      options.seed = std::stoull(*v);
+    } else if (auto v = value_of("--routes")) {
+      options.routes_file = *v;
+    } else if (auto v = value_of("--routes-format")) {
+      options.routes_format = *v;
+    } else if (auto v = value_of("--archive")) {
+      options.archive_file = *v;
+    } else if (auto v = value_of("--inspect")) {
+      options.inspect_file = *v;
+    } else if (auto v = value_of("--exclude")) {
+      options.exclusion_file = *v;
+    } else if (auto v = value_of("--targets")) {
+      options.targets_file = *v;
+    } else if (auto v = value_of("--pcap")) {
+      options.pcap_file = *v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse_args(argc, argv);
+  if (!options) {
+    print_usage();
+    return 2;
+  }
+  if (options->help) {
+    print_usage();
+    return 0;
+  }
+
+  if (!options->inspect_file.empty()) {
+    std::ifstream in(options->inspect_file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", options->inspect_file.c_str());
+      return 1;
+    }
+    const auto loaded = io::read_archive(in);
+    if (!loaded) {
+      std::fprintf(stderr, "%s: not a FlashRoute scan archive\n",
+                   options->inspect_file.c_str());
+      return 1;
+    }
+    const auto& r = loaded->result;
+    std::printf("archive %s: universe 2^%d /24s from %s, seed %llu\n",
+                options->inspect_file.c_str(), loaded->header.prefix_bits,
+                net::Ipv4Address(loaded->header.first_prefix << 8)
+                    .to_string()
+                    .c_str(),
+                static_cast<unsigned long long>(loaded->header.seed));
+    std::printf("  interfaces %zu, probes %s, scan time %s, reached %s, "
+                "mismatches %s\n",
+                r.interfaces.size(),
+                util::format_count(r.probes_sent).c_str(),
+                util::format_duration(r.scan_time).c_str(),
+                util::format_count(r.destinations_reached).c_str(),
+                util::format_count(r.mismatches).c_str());
+    std::size_t hops = 0;
+    for (const auto& route : r.routes) hops += route.size();
+    std::printf("  recorded hops %s across %zu prefixes\n",
+                util::format_count(static_cast<std::uint64_t>(hops)).c_str(),
+                r.routes.size());
+    return 0;
+  }
+
+  const auto first = net::Ipv4Address::parse(options->first_prefix);
+  if (!first) {
+    std::fprintf(stderr, "bad --first-prefix: %s\n",
+                 options->first_prefix.c_str());
+    return 2;
+  }
+
+  core::TracerConfig config;
+  config.first_prefix = net::prefix24_index(*first);
+  config.prefix_bits = options->prefix_bits;
+  config.split_ttl = static_cast<std::uint8_t>(options->split_ttl);
+  config.gap_limit = static_cast<std::uint8_t>(options->gap_limit);
+  config.max_ttl = static_cast<std::uint8_t>(options->max_ttl);
+  config.proximity_span = static_cast<std::uint8_t>(options->proximity_span);
+  config.extra_scans = options->extra_scans;
+  config.redundancy_removal = options->redundancy;
+  config.forward_probing = options->forward;
+  config.seed = options->seed;
+  if (options->preprobe == "none") {
+    config.preprobe = core::PreprobeMode::kNone;
+  } else if (options->preprobe == "random") {
+    config.preprobe = core::PreprobeMode::kRandom;
+  } else if (options->preprobe == "hitlist") {
+    config.preprobe = core::PreprobeMode::kHitlist;
+  } else {
+    std::fprintf(stderr, "bad --preprobe: %s\n", options->preprobe.c_str());
+    return 2;
+  }
+
+  std::unique_ptr<core::ScanRuntime> runtime;
+  std::unique_ptr<sim::Topology> topology;
+  std::unique_ptr<sim::SimNetwork> network;
+  std::vector<std::uint32_t> hitlist;
+
+  if (options->backend == "sim") {
+    sim::SimParams params;
+    params.prefix_bits = options->prefix_bits;
+    params.first_prefix = config.first_prefix;
+    params.seed = options->seed;
+    topology = std::make_unique<sim::Topology>(params);
+    network = std::make_unique<sim::SimNetwork>(*topology);
+    const double pps =
+        options->pps > 0
+            ? options->pps
+            : sim::scaled_probe_rate(100'000.0, options->prefix_bits);
+    config.probes_per_second = pps;
+    config.vantage = net::Ipv4Address(params.vantage_address);
+    runtime = std::make_unique<sim::SimScanRuntime>(*network, pps);
+    if (config.preprobe == core::PreprobeMode::kHitlist) {
+      hitlist = topology->generate_hitlist();
+      config.hitlist = &hitlist;
+    }
+  } else if (options->backend == "raw") {
+    if (options->first_prefix == "1.0.0.0") {
+      // Good-citizenship default: the user did not pick a range, so target
+      // the RFC 2544 benchmarking block instead of allocated address space.
+      std::fprintf(stderr,
+                   "raw backend: no --first-prefix given; defaulting to the "
+                   "benchmarking range 198.18.0.0\n");
+      config.first_prefix = net::prefix24_index(
+          net::Ipv4Address::from_octets(198, 18, 0, 0));
+    }
+    const double pps = options->pps > 0 ? options->pps : 1'000.0;
+    config.probes_per_second = pps;
+    if (config.preprobe == core::PreprobeMode::kHitlist) {
+      std::fprintf(stderr,
+                   "raw backend has no hitlist source; use --preprobe=random\n");
+      return 2;
+    }
+    try {
+      runtime = std::make_unique<net::RawSocketRuntime>(pps);
+    } catch (const net::TransportError& error) {
+      std::fprintf(stderr, "raw backend unavailable: %s\n", error.what());
+      return 1;
+    }
+  } else {
+    std::fprintf(stderr, "bad --backend: %s\n", options->backend.c_str());
+    return 2;
+  }
+
+  core::ExclusionList exclusions;
+  if (!options->exclusion_file.empty()) {
+    std::ifstream in(options->exclusion_file);
+    if (!in || !exclusions.load(in)) {
+      std::fprintf(stderr, "bad exclusion list: %s\n",
+                   options->exclusion_file.c_str());
+      return 2;
+    }
+    config.exclusions = &exclusions;
+    std::printf("loaded %zu exclusion ranges\n", exclusions.size());
+  }
+
+  std::vector<std::uint32_t> file_targets;
+  if (!options->targets_file.empty()) {
+    std::ifstream in(options->targets_file);
+    std::size_t skipped = 0;
+    auto loaded = in ? core::load_target_list(in, config.first_prefix,
+                                              config.num_prefixes(), &skipped)
+                     : std::nullopt;
+    if (!loaded) {
+      std::fprintf(stderr, "bad target list: %s\n",
+                   options->targets_file.c_str());
+      return 2;
+    }
+    file_targets = std::move(*loaded);
+    config.target_override = &file_targets;
+    if (skipped > 0) {
+      std::fprintf(stderr, "warning: %zu targets outside the scanned range\n",
+                   skipped);
+    }
+  }
+
+  std::ofstream pcap_out;
+  std::unique_ptr<io::CapturingRuntime> capturing;
+  core::ScanRuntime* active_runtime = runtime.get();
+  if (!options->pcap_file.empty()) {
+    pcap_out.open(options->pcap_file, std::ios::binary);
+    if (!pcap_out) {
+      std::fprintf(stderr, "cannot write %s\n", options->pcap_file.c_str());
+      return 1;
+    }
+    capturing = std::make_unique<io::CapturingRuntime>(*runtime, pcap_out);
+    active_runtime = capturing.get();
+  }
+
+  core::Tracer tracer(config, *active_runtime);
+  const core::ScanResult result = tracer.run();
+  if (capturing) {
+    std::printf("capture written to %s\n", options->pcap_file.c_str());
+  }
+
+  std::printf("scan complete: %zu interfaces, %s probes, %s%s\n",
+              result.interfaces.size(),
+              util::format_count(result.probes_sent).c_str(),
+              util::format_duration(result.scan_time).c_str(),
+              options->backend == "sim" ? " (virtual time)" : "");
+  std::printf("targets reached: %s; mismatched (rewritten) responses: %s\n",
+              util::format_count(result.destinations_reached).c_str(),
+              util::format_count(result.mismatches).c_str());
+
+  const io::TargetResolver resolver = [&tracer](std::uint32_t offset) {
+    return tracer.target_of(offset);
+  };
+  if (!options->routes_file.empty()) {
+    std::ofstream out(options->routes_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options->routes_file.c_str());
+      return 1;
+    }
+    if (options->routes_format == "csv") {
+      io::write_routes_csv(result, resolver, config.first_prefix, out);
+    } else if (options->routes_format == "text") {
+      io::write_routes_text(result, resolver, config.first_prefix, out);
+    } else {
+      std::fprintf(stderr, "bad --routes-format: %s\n",
+                   options->routes_format.c_str());
+      return 2;
+    }
+    std::printf("routes written to %s (%s)\n", options->routes_file.c_str(),
+                options->routes_format.c_str());
+  }
+  if (!options->archive_file.empty()) {
+    std::ofstream out(options->archive_file, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n",
+                   options->archive_file.c_str());
+      return 1;
+    }
+    io::write_archive(result,
+                      {config.first_prefix, config.prefix_bits,
+                       options->seed},
+                      out);
+    std::printf("archive written to %s\n", options->archive_file.c_str());
+  }
+  return 0;
+}

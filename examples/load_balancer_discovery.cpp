@@ -1,0 +1,73 @@
+// Load-balancer discovery: the discovery-optimized mode of §5.2.
+//
+// Per-flow load balancers route different flows over different parallel
+// branches; a normal Paris-style scan sees exactly one branch per target.
+// FlashRoute's discovery-optimized mode re-scans backward with shifted
+// source ports (new flow labels) from random starting TTLs, and the shared
+// stop set keeps those extra scans cheap.
+//
+// This example runs a plain FlashRoute-32 scan and then adds extra scans one
+// at a time, showing the marginal interface yield of each — the practical
+// knob an operator would tune.
+//
+// Build & run:  ./build/examples/load_balancer_discovery
+
+#include <cstdio>
+
+#include "core/tracer.h"
+#include "sim/network.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+#include "util/stats.h"
+
+using namespace flashroute;
+
+int main() {
+  sim::SimParams params;
+  params.prefix_bits = 13;
+  params.seed = 99;
+  // Make load-balanced sections common so the effect is visible at this
+  // small scale.
+  params.diamond_fraction = 0.2;
+  params.stub_multihome_prob = 0.4;
+  sim::Topology topology(params);
+  const auto hitlist = topology.generate_hitlist();
+
+  const double pps = sim::scaled_probe_rate(100'000.0, params.prefix_bits);
+
+  core::TracerConfig config;
+  config.first_prefix = params.first_prefix;
+  config.prefix_bits = params.prefix_bits;
+  config.vantage = net::Ipv4Address(params.vantage_address);
+  config.probes_per_second = pps;
+  config.split_ttl = 32;  // §5.2: split 32 maximizes the shared stop set
+  config.preprobe = core::PreprobeMode::kHitlist;
+  config.hitlist = &hitlist;
+
+  std::printf("%12s %12s %14s %12s %16s\n", "extra scans", "interfaces",
+              "probes", "time", "marginal ifaces");
+  std::size_t previous = 0;
+  for (int extra = 0; extra <= 5; ++extra) {
+    sim::SimNetwork network(topology);
+    sim::SimScanRuntime runtime(network, pps);
+    config.extra_scans = extra;
+    core::Tracer tracer(config, runtime);
+    const auto result = tracer.run();
+    std::printf("%12d %12zu %14s %12s %16s\n", extra,
+                result.interfaces.size(),
+                util::format_count(result.probes_sent).c_str(),
+                util::format_duration(result.scan_time).c_str(),
+                extra == 0
+                    ? "-"
+                    : util::format_count(
+                          static_cast<std::int64_t>(result.interfaces.size()) -
+                          static_cast<std::int64_t>(previous))
+                          .c_str());
+    previous = result.interfaces.size();
+  }
+  std::printf(
+      "\nEach extra scan probes every destination backward from a random\n"
+      "TTL with a shifted source port; marginal yield decays as the\n"
+      "parallel branches get exhausted (cf. paper Sec 5.2).\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Snapshot churn: the paper's motivating use case in action (§1).
+//
+// "Shortening the time for topology measurements is especially critical
+// because the shorter the time to complete the measurement the closer to a
+// snapshot the results will be and the easier it is to understand the
+// dynamics of Internet routing changes at fine time granularity."
+//
+// This example takes repeated FlashRoute-16 snapshots of the same simulated
+// universe — whose routing genuinely drifts over time epochs — and reports
+// the churn between consecutive snapshots: interfaces appearing/vanishing
+// and routes changing.  Because each snapshot takes ~30 virtual minutes,
+// the measured churn closely tracks the world's actual dynamics; a tool
+// that needed hours per scan would smear these changes together.
+//
+// Build & run:  ./build/examples/snapshot_churn [num_snapshots]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "analysis/churn.h"
+#include "core/tracer.h"
+#include "sim/network.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+#include "util/stats.h"
+
+using namespace flashroute;
+
+int main(int argc, char** argv) {
+  const int snapshots = argc > 1 ? std::atoi(argv[1]) : 4;
+
+  sim::SimParams params;
+  params.prefix_bits = 12;
+  params.seed = 5;
+  params.route_dynamics_prob = 0.08;  // a lively corner of the Internet
+  const sim::Topology topology(params);
+  const auto hitlist = topology.generate_hitlist();
+
+  const double pps = sim::scaled_probe_rate(100'000.0, params.prefix_bits);
+  core::TracerConfig config;
+  config.first_prefix = params.first_prefix;
+  config.prefix_bits = params.prefix_bits;
+  config.vantage = net::Ipv4Address(params.vantage_address);
+  config.probes_per_second = pps;
+  config.preprobe = core::PreprobeMode::kHitlist;
+  config.hitlist = &hitlist;
+
+  // One network (so rate limiters persist realistically) and one clock that
+  // keeps advancing across snapshots: each scan observes a later epoch.
+  sim::SimNetwork network(topology);
+  sim::SimScanRuntime runtime(network, pps);
+
+  std::vector<core::ScanResult> results;
+  for (int i = 0; i < snapshots; ++i) {
+    core::Tracer tracer(config, runtime);
+    results.push_back(tracer.run());
+    std::printf("snapshot %d at virtual t=%s: %zu interfaces, %s probes\n",
+                i, util::format_duration(runtime.now()).c_str(),
+                results.back().interfaces.size(),
+                util::format_count(results.back().probes_sent).c_str());
+  }
+
+  std::printf("\n%12s %10s %10s %12s %14s\n", "pair", "appeared", "vanished",
+              "routes +/-", "len changed");
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const auto churn =
+        analysis::compare_snapshots(results[i - 1], results[i]);
+    std::printf("%6zu -> %2zu %10s %10s %11.1f%% %14s\n", i - 1, i,
+                util::format_count(churn.interfaces_appeared).c_str(),
+                util::format_count(churn.interfaces_vanished).c_str(),
+                100.0 * churn.route_change_rate(),
+                util::format_count(churn.routes_changed_length).c_str());
+  }
+  std::printf(
+      "\nEach pair of consecutive ~30-minute snapshots differs by the "
+      "world's genuine routing drift (epoch-level spine changes) plus "
+      "measurement noise (rate-limited responses); a slower tool would "
+      "conflate several drift epochs into every scan.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Topology snapshot: the paper's motivating workload (§1) — take the
+// fastest-possible snapshot of all routes from one vantage point, then
+// summarize what the snapshot contains.
+//
+// Runs FlashRoute-16 (the snapshot-optimized configuration per §4.2.2) over
+// a /8-sized simulated universe, then reports:
+//   * interface counts by hop distance (the shape of the route tree);
+//   * route-length distribution of responsive targets;
+//   * how much of the scan each probing phase consumed.
+//
+// Build & run:  ./build/examples/topology_snapshot [prefix_bits]
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <unordered_set>
+
+#include "core/tracer.h"
+#include "sim/network.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+#include "util/stats.h"
+
+using namespace flashroute;
+
+int main(int argc, char** argv) {
+  sim::SimParams params;
+  params.prefix_bits = argc > 1 ? std::atoi(argv[1]) : 14;
+  params.seed = 7;
+  sim::Topology topology(params);
+  sim::SimNetwork network(topology);
+  const auto hitlist = topology.generate_hitlist();
+
+  const double pps = sim::scaled_probe_rate(100'000.0, params.prefix_bits);
+  sim::SimScanRuntime runtime(network, pps);
+
+  core::TracerConfig config;
+  config.first_prefix = params.first_prefix;
+  config.prefix_bits = params.prefix_bits;
+  config.vantage = net::Ipv4Address(params.vantage_address);
+  config.probes_per_second = pps;
+  config.preprobe = core::PreprobeMode::kHitlist;
+  config.hitlist = &hitlist;
+
+  core::Tracer tracer(config, runtime);
+  const core::ScanResult result = tracer.run();
+
+  std::printf("snapshot of %u /24 blocks: %zu interfaces, %s probes, %s\n\n",
+              config.num_prefixes(), result.interfaces.size(),
+              util::format_count(result.probes_sent).c_str(),
+              util::format_duration(result.scan_time).c_str());
+
+  // Interfaces by hop distance: the tree is narrow near the vantage and
+  // fans out toward the stubs.
+  std::map<int, std::unordered_set<std::uint32_t>> by_ttl;
+  for (const auto& route : result.routes) {
+    for (const core::RouteHop& hop : route) {
+      if (hop.flags & core::RouteHop::kFromDestination) continue;
+      by_ttl[hop.ttl].insert(hop.ip);
+    }
+  }
+  std::printf("%6s %12s\n", "TTL", "interfaces");
+  for (const auto& [ttl, interfaces] : by_ttl) {
+    if (ttl > 28) break;
+    std::printf("%6d %12zu\n", ttl, interfaces.size());
+  }
+
+  // Route lengths of reached targets.
+  util::Histogram lengths;
+  for (const auto distance : result.destination_distance) {
+    if (distance != 0) lengths.add(distance);
+  }
+  if (lengths.total() > 0) {
+    std::printf("\nresponsive-target distance quantiles: p10=%lld p50=%lld "
+                "p90=%lld p99=%lld (n=%s)\n",
+                static_cast<long long>(lengths.quantile(0.10)),
+                static_cast<long long>(lengths.quantile(0.50)),
+                static_cast<long long>(lengths.quantile(0.90)),
+                static_cast<long long>(lengths.quantile(0.99)),
+                util::format_count(lengths.total()).c_str());
+  }
+
+  std::printf("\nphase accounting: preprobing %s of %s total (%s probes)\n",
+              util::format_duration(result.preprobe_time).c_str(),
+              util::format_duration(result.scan_time).c_str(),
+              util::format_count(result.preprobe_probes).c_str());
+  std::printf("backward probing stopped at a convergence point %s times\n",
+              util::format_count(result.convergence_stops).c_str());
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# One-command reproduction: configure, build, run the full test suite, and
+# regenerate every table and figure of the paper into bench_output.txt.
+#
+# Environment knobs (see bench/common.h):
+#   FR_PREFIX_BITS  simulated universe size exponent (default 16 = one /8)
+#   FR_SEED         topology seed (default 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "Done.  Compare bench_output.txt against EXPERIMENTS.md."

@@ -1,0 +1,58 @@
+#include "analysis/churn.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/route_compare.h"
+
+namespace flashroute::analysis {
+
+namespace {
+
+/// Canonical (ttl, ip) set for one route, ignoring phase flags and
+/// duplicate responses.
+std::set<std::pair<std::uint8_t, std::uint32_t>> canonical_route(
+    const std::vector<core::RouteHop>& hops) {
+  std::set<std::pair<std::uint8_t, std::uint32_t>> result;
+  for (const core::RouteHop& hop : hops) {
+    if (hop.flags & core::RouteHop::kFromDestination) continue;
+    result.emplace(hop.ttl, hop.ip);
+  }
+  return result;
+}
+
+}  // namespace
+
+ChurnReport compare_snapshots(const core::ScanResult& before,
+                              const core::ScanResult& after) {
+  ChurnReport report;
+  report.interfaces_before = before.interfaces.size();
+  report.interfaces_after = after.interfaces.size();
+  for (const auto ip : after.interfaces) {
+    if (!before.interfaces.contains(ip)) ++report.interfaces_appeared;
+  }
+  for (const auto ip : before.interfaces) {
+    if (!after.interfaces.contains(ip)) ++report.interfaces_vanished;
+  }
+
+  const auto lengths_before = route_lengths(before);
+  const auto lengths_after = route_lengths(after);
+  const std::size_t n = std::min(before.routes.size(), after.routes.size());
+  for (std::size_t prefix = 0; prefix < n; ++prefix) {
+    if (before.routes[prefix].empty() || after.routes[prefix].empty()) {
+      continue;
+    }
+    ++report.routes_compared;
+    if (canonical_route(before.routes[prefix]) !=
+        canonical_route(after.routes[prefix])) {
+      ++report.routes_changed_hops;
+    }
+    if (prefix < lengths_before.size() && prefix < lengths_after.size() &&
+        lengths_before[prefix] != lengths_after[prefix]) {
+      ++report.routes_changed_length;
+    }
+  }
+  return report;
+}
+
+}  // namespace flashroute::analysis

@@ -1,0 +1,50 @@
+// Snapshot churn: comparing consecutive topology snapshots.
+//
+// The paper's motivation (§1): "the shorter the time to complete the
+// measurement the closer to a snapshot the results will be and the easier
+// it is to understand the dynamics of Internet routing changes at fine time
+// granularity."  Given two scans of the same universe, this module
+// quantifies exactly that dynamics signal: which interfaces appeared and
+// vanished, and which destinations' routes changed hops or length.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/result.h"
+
+namespace flashroute::analysis {
+
+struct ChurnReport {
+  // Interface-level churn.
+  std::uint64_t interfaces_before = 0;
+  std::uint64_t interfaces_after = 0;
+  std::uint64_t interfaces_appeared = 0;
+  std::uint64_t interfaces_vanished = 0;
+
+  // Route-level churn, over prefixes with hops in both snapshots.
+  std::uint64_t routes_compared = 0;
+  std::uint64_t routes_changed_hops = 0;    ///< some (ttl, hop) differs
+  std::uint64_t routes_changed_length = 0;  ///< route extent differs
+
+  double interface_churn_rate() const noexcept {
+    const auto total = interfaces_before + interfaces_appeared;
+    return total == 0 ? 0.0
+                      : static_cast<double>(interfaces_appeared +
+                                            interfaces_vanished) /
+                            static_cast<double>(total);
+  }
+  double route_change_rate() const noexcept {
+    return routes_compared == 0
+               ? 0.0
+               : static_cast<double>(routes_changed_hops) /
+                     static_cast<double>(routes_compared);
+  }
+};
+
+/// Compares two snapshots of the same universe (`before` was taken first;
+/// both must have routes collected).
+ChurnReport compare_snapshots(const core::ScanResult& before,
+                              const core::ScanResult& after);
+
+}  // namespace flashroute::analysis

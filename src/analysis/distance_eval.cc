@@ -1,0 +1,48 @@
+#include "analysis/distance_eval.h"
+
+namespace flashroute::analysis {
+
+util::Histogram distance_difference(
+    const std::vector<std::uint8_t>& value,
+    const std::vector<std::uint8_t>& reference) {
+  util::Histogram histogram;
+  const std::size_t n = std::min(value.size(), reference.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (value[i] == 0 || reference[i] == 0) continue;
+    histogram.add(static_cast<std::int64_t>(reference[i]) -
+                  static_cast<std::int64_t>(value[i]));
+  }
+  return histogram;
+}
+
+PredictionEvaluation evaluate_prediction(
+    const std::vector<std::uint8_t>& measured,
+    const std::vector<std::uint8_t>& reference, int span) {
+  PredictionEvaluation eval;
+  const std::size_t n = std::min(measured.size(), reference.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (measured[i] == 0) continue;
+    ++eval.measured_blocks;
+    // Nearest measured neighbour other than the block itself.
+    std::uint8_t predicted = 0;
+    for (int delta = 1; delta <= span && predicted == 0; ++delta) {
+      if (i >= static_cast<std::size_t>(delta) &&
+          measured[i - static_cast<std::size_t>(delta)] != 0) {
+        predicted = measured[i - static_cast<std::size_t>(delta)];
+        break;
+      }
+      if (i + static_cast<std::size_t>(delta) < n &&
+          measured[i + static_cast<std::size_t>(delta)] != 0) {
+        predicted = measured[i + static_cast<std::size_t>(delta)];
+      }
+    }
+    if (predicted == 0) continue;
+    ++eval.predictable_blocks;
+    if (reference[i] == 0) continue;
+    eval.difference.add(static_cast<std::int64_t>(reference[i]) -
+                        static_cast<std::int64_t>(predicted));
+  }
+  return eval;
+}
+
+}  // namespace flashroute::analysis

@@ -1,0 +1,37 @@
+// Hop-distance accuracy evaluation (Figs 3 and 4).
+//
+// Fig 3 compares FlashRoute's one-probe distance measurement against the
+// "triggering TTL" a traditional upward TTL sweep observes for the same
+// destinations.  Fig 4 evaluates proximity-span prediction: each block with
+// a measured distance is re-predicted from its nearest measured neighbour
+// (excluding itself) and compared with the traceroute distance.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace flashroute::analysis {
+
+/// Histogram of (reference - value) over indices where both are nonzero.
+/// Fig 3: value = one-probe measured distance, reference = triggering TTL.
+util::Histogram distance_difference(const std::vector<std::uint8_t>& value,
+                                    const std::vector<std::uint8_t>& reference);
+
+/// Fig 4: for every index with a measured distance and at least one other
+/// measured block within `span`, predict it from the nearest such neighbour
+/// and compare with `reference` (the triggering TTL).  Also reports what
+/// fraction of measured blocks had a neighbour to predict from.
+struct PredictionEvaluation {
+  util::Histogram difference;       // reference - predicted
+  std::uint64_t measured_blocks = 0;
+  std::uint64_t predictable_blocks = 0;  // had a measured neighbour in span
+};
+
+PredictionEvaluation evaluate_prediction(
+    const std::vector<std::uint8_t>& measured,
+    const std::vector<std::uint8_t>& reference, int span);
+
+}  // namespace flashroute::analysis

@@ -1,0 +1,68 @@
+#include "analysis/overprobing.h"
+
+#include <unordered_set>
+
+#include "util/clock.h"
+
+namespace flashroute::analysis {
+
+TopologyMap::TopologyMap(const core::ScanResult& reference,
+                         std::uint32_t num_prefixes, std::uint8_t max_ttl)
+    : map_(std::size_t{num_prefixes} * max_ttl, 0),
+      num_prefixes_(num_prefixes),
+      max_ttl_(max_ttl) {
+  const std::uint32_t limit = std::min<std::uint32_t>(
+      num_prefixes, static_cast<std::uint32_t>(reference.routes.size()));
+  for (std::uint32_t prefix = 0; prefix < limit; ++prefix) {
+    for (const core::RouteHop& hop : reference.routes[prefix]) {
+      if (hop.ttl == 0 || hop.ttl > max_ttl) continue;
+      map_[std::size_t{prefix} * max_ttl + (hop.ttl - 1)] = hop.ip;
+    }
+  }
+}
+
+std::uint32_t TopologyMap::interface_at(std::uint32_t prefix_offset,
+                                        std::uint8_t ttl) const noexcept {
+  if (prefix_offset >= num_prefixes_ || ttl == 0 || ttl > max_ttl_) return 0;
+  return map_[std::size_t{prefix_offset} * max_ttl_ + (ttl - 1)];
+}
+
+OverprobingReport analyze_overprobing(
+    const std::vector<core::ProbeLogEntry>& probe_log,
+    const TopologyMap& topology, std::uint32_t first_prefix,
+    std::uint64_t limit_per_window, util::Nanos window) {
+  OverprobingReport report;
+  const std::uint64_t limit = limit_per_window;
+
+  // Per interface: count of probes in its current time window.
+  struct WindowState {
+    std::int64_t index = -1;
+    std::uint64_t count = 0;
+  };
+  std::unordered_map<std::uint32_t, WindowState> windows;
+  std::unordered_set<std::uint32_t> overprobed;
+
+  for (const core::ProbeLogEntry& probe : probe_log) {
+    const std::uint32_t prefix = probe.destination >> 8;
+    if (prefix < first_prefix) continue;
+    const std::uint32_t interface_ip =
+        topology.interface_at(prefix - first_prefix, probe.ttl);
+    if (interface_ip == 0) continue;
+    ++report.mapped_probes;
+
+    WindowState& state = windows[interface_ip];
+    const std::int64_t index = probe.time / window;
+    if (state.index != index) {
+      state.index = index;
+      state.count = 0;
+    }
+    if (++state.count > limit) {
+      ++report.dropped_probes;
+      overprobed.insert(interface_ip);
+    }
+  }
+  report.overprobed_interfaces = overprobed.size();
+  return report;
+}
+
+}  // namespace flashroute::analysis

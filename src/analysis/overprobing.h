@@ -1,0 +1,61 @@
+// Scan intrusiveness analysis (§4.2.2, Table 4).
+//
+// The paper cannot observe router rate-limiting directly, so it replays the
+// *real timing* of each tool's probes onto the topology discovered by a slow
+// (10 Kpps) Scamper scan: a probe to (destination, TTL) is assumed to expire
+// at the interface Scamper discovered there; an interface receiving more
+// probes than the ICMP rate limit (500/s) within any one-second window of
+// the scan is "overprobed", and the excess probes are "dropped".  This
+// module reproduces that replay over our engines' probe logs.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/result.h"
+#include "util/clock.h"
+
+namespace flashroute::analysis {
+
+/// Map from (prefix offset, TTL) to the interface Scamper discovered there.
+class TopologyMap {
+ public:
+  /// Builds the map from a Scamper scan's recorded routes (time-exceeded
+  /// hops only; destination responses are the hosts themselves and are
+  /// included at their derived distance).
+  TopologyMap(const core::ScanResult& reference, std::uint32_t num_prefixes,
+              std::uint8_t max_ttl);
+
+  /// Interface expected to see a probe expire, or 0 when unknown.
+  std::uint32_t interface_at(std::uint32_t prefix_offset,
+                             std::uint8_t ttl) const noexcept;
+
+  std::uint8_t max_ttl() const noexcept { return max_ttl_; }
+
+ private:
+  std::vector<std::uint32_t> map_;  // [prefix * max_ttl + (ttl-1)]
+  std::uint32_t num_prefixes_;
+  std::uint8_t max_ttl_;
+};
+
+struct OverprobingReport {
+  std::uint64_t overprobed_interfaces = 0;
+  std::uint64_t dropped_probes = 0;
+  std::uint64_t mapped_probes = 0;  // probes that landed on a known interface
+};
+
+/// Replays a time-ordered probe log against the reference topology: an
+/// interface receiving more than `limit_per_window` probes within any
+/// window of `window` nanoseconds is overprobed, and the excess probes are
+/// dropped.  The paper uses 500 probes per one-second window at full scale;
+/// down-scaled simulations keep the 500-probe limit and stretch the window
+/// by the inverse scale factor, preserving the probes-per-interface-per-
+/// (scaled)-second comparison.
+OverprobingReport analyze_overprobing(
+    const std::vector<core::ProbeLogEntry>& probe_log,
+    const TopologyMap& topology, std::uint32_t first_prefix,
+    std::uint64_t limit_per_window, util::Nanos window);
+
+}  // namespace flashroute::analysis

@@ -1,0 +1,174 @@
+#include "analysis/route_compare.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/stats.h"
+
+namespace flashroute::analysis {
+
+namespace {
+
+/// Collects, for one scan, the set of interfaces seen at each hop distance
+/// from their destination (1 = immediately before the destination).
+std::vector<std::unordered_set<std::uint32_t>> interfaces_by_back_distance(
+    const core::ScanResult& scan, int max_distance,
+    const core::ScanResult* must_also_reach) {
+  std::vector<std::unordered_set<std::uint32_t>> sets(
+      static_cast<std::size_t>(max_distance) + 1);
+  const std::size_t n = scan.routes.size();
+  for (std::size_t prefix = 0; prefix < n; ++prefix) {
+    const std::uint8_t dest_distance = prefix < scan.destination_distance.size()
+                                           ? scan.destination_distance[prefix]
+                                           : 0;
+    if (dest_distance == 0) continue;
+    if (must_also_reach != nullptr &&
+        (prefix >= must_also_reach->destination_distance.size() ||
+         must_also_reach->destination_distance[prefix] == 0)) {
+      continue;
+    }
+    for (const core::RouteHop& hop : scan.routes[prefix]) {
+      if (hop.flags & core::RouteHop::kFromDestination) continue;
+      if (hop.ttl == 0 || hop.ttl >= dest_distance) continue;
+      const int back = dest_distance - hop.ttl;
+      if (back >= 1 && back <= max_distance) {
+        sets[static_cast<std::size_t>(back)].insert(hop.ip);
+      }
+    }
+  }
+  return sets;
+}
+
+}  // namespace
+
+std::map<int, double> jaccard_by_distance_from_destination(
+    const core::ScanResult& scan_a, const core::ScanResult& scan_b,
+    int max_distance, bool require_both_responsive) {
+  const auto sets_a = interfaces_by_back_distance(
+      scan_a, max_distance, require_both_responsive ? &scan_b : nullptr);
+  const auto sets_b = interfaces_by_back_distance(
+      scan_b, max_distance, require_both_responsive ? &scan_a : nullptr);
+  std::map<int, double> result;
+  for (int distance = 1; distance <= max_distance; ++distance) {
+    const auto& a = sets_a[static_cast<std::size_t>(distance)];
+    const auto& b = sets_b[static_cast<std::size_t>(distance)];
+    if (a.empty() && b.empty()) continue;
+    result[distance] = util::jaccard(a, b);
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> route_lengths(const core::ScanResult& scan) {
+  const std::size_t n = scan.routes.size();
+  std::vector<std::uint8_t> lengths(n, 0);
+  for (std::size_t prefix = 0; prefix < n; ++prefix) {
+    if (prefix < scan.destination_distance.size() &&
+        scan.destination_distance[prefix] != 0) {
+      lengths[prefix] = scan.destination_distance[prefix];
+      continue;
+    }
+    std::uint8_t deepest = 0;
+    for (const core::RouteHop& hop : scan.routes[prefix]) {
+      if (hop.flags & core::RouteHop::kFromDestination) continue;
+      deepest = std::max(deepest, hop.ttl);
+    }
+    lengths[prefix] = deepest;
+  }
+  return lengths;
+}
+
+RouteLengthComparison compare_route_lengths(const core::ScanResult& scan_a,
+                                            const core::ScanResult& scan_b,
+                                            bool require_both_reached) {
+  RouteLengthComparison cmp;
+  const auto lengths_a = route_lengths(scan_a);
+  const auto lengths_b = route_lengths(scan_b);
+  const std::size_t n = std::min(lengths_a.size(), lengths_b.size());
+  for (std::size_t prefix = 0; prefix < n; ++prefix) {
+    if (require_both_reached) {
+      const bool a_reached = prefix < scan_a.destination_distance.size() &&
+                             scan_a.destination_distance[prefix] != 0;
+      const bool b_reached = prefix < scan_b.destination_distance.size() &&
+                             scan_b.destination_distance[prefix] != 0;
+      if (!a_reached || !b_reached) continue;
+    }
+    if (lengths_a[prefix] == 0 || lengths_b[prefix] == 0) continue;
+    ++cmp.comparable;
+    if (lengths_a[prefix] > lengths_b[prefix]) {
+      ++cmp.a_longer;
+    } else if (lengths_b[prefix] > lengths_a[prefix]) {
+      ++cmp.b_longer;
+    } else {
+      ++cmp.equal;
+    }
+  }
+  return cmp;
+}
+
+CrossAppearance cross_appearance(const core::ScanResult& scan_a,
+                                 const std::vector<std::uint32_t>& targets_a,
+                                 const core::ScanResult& scan_b,
+                                 const std::vector<std::uint32_t>& targets_b) {
+  CrossAppearance cross;
+  const std::size_t n = std::min(
+      {scan_a.routes.size(), scan_b.routes.size(), targets_a.size(),
+       targets_b.size()});
+
+  const auto target_on_route = [](const core::ScanResult& scan,
+                                  std::size_t prefix, std::uint32_t target) {
+    for (const core::RouteHop& hop : scan.routes[prefix]) {
+      if (hop.flags & core::RouteHop::kFromDestination) continue;
+      if (hop.ip == target) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t prefix = 0; prefix < n; ++prefix) {
+    if (targets_b[prefix] != 0 &&
+        target_on_route(scan_a, prefix, targets_b[prefix])) {
+      ++cross.b_targets_on_a_routes;
+    }
+    if (targets_a[prefix] != 0 &&
+        target_on_route(scan_b, prefix, targets_a[prefix])) {
+      ++cross.a_targets_on_b_routes;
+    }
+    if (prefix < scan_a.destination_distance.size() &&
+        scan_a.destination_distance[prefix] != 0) {
+      ++cross.a_targets_responsive;
+    }
+    if (prefix < scan_b.destination_distance.size() &&
+        scan_b.destination_distance[prefix] != 0) {
+      ++cross.b_targets_responsive;
+    }
+  }
+  return cross;
+}
+
+LoopReport count_loops(const core::ScanResult& scan) {
+  LoopReport report;
+  const std::size_t n = scan.routes.size();
+  for (std::size_t prefix = 0; prefix < n; ++prefix) {
+    const bool reached = prefix < scan.destination_distance.size() &&
+                         scan.destination_distance[prefix] != 0;
+    if (reached || scan.routes[prefix].empty()) continue;
+    ++report.unresponsive_routes;
+    // A loop: the same interface answering at two different TTLs.
+    std::unordered_set<std::uint64_t> seen_pairs;
+    std::unordered_set<std::uint32_t> interfaces;
+    bool looped = false;
+    for (const core::RouteHop& hop : scan.routes[prefix]) {
+      if (hop.flags & core::RouteHop::kFromDestination) continue;
+      const std::uint64_t pair =
+          (std::uint64_t{hop.ip} << 8) | hop.ttl;
+      if (!seen_pairs.insert(pair).second) continue;  // duplicate response
+      if (!interfaces.insert(hop.ip).second) {
+        looped = true;
+        break;
+      }
+    }
+    if (looped) ++report.looped_routes;
+  }
+  return report;
+}
+
+}  // namespace flashroute::analysis

@@ -1,0 +1,80 @@
+// Route-set comparisons: the hitlist-bias study of §5.1 and Fig 8.
+//
+// Two scans of the same universe — one probing hitlist representatives, one
+// probing random representatives — are compared by
+//  * the Jaccard similarity of the interface sets found at each hop distance
+//    *from the destination* (Fig 8: the divergence concentrates on the last
+//    two hops, the stub interior the hitlist never enters);
+//  * per-prefix route-length comparison (§5.1: routes to hitlist targets
+//    tend to be shorter);
+//  * cross-appearance: how often one scan's target shows up as an
+//    intermediate hop on the other scan's route to the same prefix (§5.1:
+//    hitlist addresses sit on the periphery, en route to interior hosts);
+//  * loop prevalence on routes to unresponsive targets (§5.1: ~1.7%).
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/result.h"
+
+namespace flashroute::analysis {
+
+/// Fig 8: Jaccard index of the interface sets per hop-distance-from-
+/// destination (1 = the hop right before the destination).  Only
+/// destinations whose distance is known (responsive) contribute; with
+/// `require_both_responsive` (the default) a prefix contributes only when
+/// its target answered in *both* scans, so the comparison is over the same
+/// route population (important at reduced simulation scale, where the two
+/// scans' responsive populations cover the core unevenly).
+std::map<int, double> jaccard_by_distance_from_destination(
+    const core::ScanResult& scan_a, const core::ScanResult& scan_b,
+    int max_distance = 12, bool require_both_responsive = true);
+
+struct RouteLengthComparison {
+  std::uint64_t a_longer = 0;   // prefixes where scan A's route is longer
+  std::uint64_t b_longer = 0;
+  std::uint64_t equal = 0;
+  std::uint64_t comparable = 0; // prefixes with a route length in both scans
+};
+
+/// §5.1 route-length bias.  Route length = distance to the destination when
+/// it answered, else the deepest responding hop.  When `require_both_reached`
+/// is set, only prefixes whose destination answered in BOTH scans count —
+/// the paper's control for the "nonexistent destination" confound.
+RouteLengthComparison compare_route_lengths(const core::ScanResult& scan_a,
+                                            const core::ScanResult& scan_b,
+                                            bool require_both_reached);
+
+struct CrossAppearance {
+  /// Prefixes where scan B's target appears as an intermediate hop (not the
+  /// destination response) on scan A's route for the same prefix.
+  std::uint64_t b_targets_on_a_routes = 0;
+  std::uint64_t a_targets_on_b_routes = 0;
+  std::uint64_t a_targets_responsive = 0;  // targets that answered in scan A
+  std::uint64_t b_targets_responsive = 0;
+};
+
+/// §5.1 periphery evidence: how often each scan's targets appear en route
+/// in the other scan.  Targets are supplied per prefix offset (0 = none).
+CrossAppearance cross_appearance(const core::ScanResult& scan_a,
+                                 const std::vector<std::uint32_t>& targets_a,
+                                 const core::ScanResult& scan_b,
+                                 const std::vector<std::uint32_t>& targets_b);
+
+struct LoopReport {
+  std::uint64_t unresponsive_routes = 0;  // destination never answered
+  std::uint64_t looped_routes = 0;        // ...with a repeated interface
+};
+
+/// §5.1 loop prevalence: routes to unresponsive targets that visit the same
+/// interface at two different TTLs.
+LoopReport count_loops(const core::ScanResult& scan);
+
+/// Route length per prefix (0 = no hops at all): destination distance when
+/// reached, else the deepest time-exceeded hop.
+std::vector<std::uint8_t> route_lengths(const core::ScanResult& scan);
+
+}  // namespace flashroute::analysis

@@ -1,0 +1,52 @@
+#include "analysis/route_holes.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "analysis/route_compare.h"
+
+namespace flashroute::analysis {
+
+RouteHoleReport count_route_holes(const core::ScanResult& scan,
+                                  std::uint32_t first_prefix) {
+  RouteHoleReport report;
+  const auto extents = route_lengths(scan);
+  const std::size_t n = scan.routes.size();
+
+  // answered[prefix] = bitmask of TTLs (1..40) with a recorded response.
+  std::vector<std::uint64_t> answered(n, 0);
+  for (std::size_t prefix = 0; prefix < n; ++prefix) {
+    for (const core::RouteHop& hop : scan.routes[prefix]) {
+      if (hop.ttl >= 1 && hop.ttl <= 40) {
+        answered[prefix] |= std::uint64_t{1} << hop.ttl;
+      }
+    }
+  }
+
+  std::vector<std::uint64_t> probed(n, 0);
+  for (const core::ProbeLogEntry& probe : scan.probe_log) {
+    const std::uint32_t prefix_index = probe.destination >> 8;
+    if (prefix_index < first_prefix) continue;
+    const std::uint32_t offset = prefix_index - first_prefix;
+    if (offset >= n) continue;
+    if (probe.ttl >= 1 && probe.ttl <= 40) {
+      probed[offset] |= std::uint64_t{1} << probe.ttl;
+    }
+  }
+
+  for (std::size_t prefix = 0; prefix < n; ++prefix) {
+    const int extent = extents[prefix];
+    if (extent == 0) continue;
+    ++report.routes_considered;
+    for (int ttl = 1; ttl < extent; ++ttl) {
+      if ((probed[prefix] & (std::uint64_t{1} << ttl)) == 0) continue;
+      ++report.probed_positions;
+      if ((answered[prefix] & (std::uint64_t{1} << ttl)) == 0) {
+        ++report.holes;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace flashroute::analysis

@@ -1,0 +1,47 @@
+// Route completeness: the "holes" of §4.2.2.
+//
+// "While both configurations find the same total number of interfaces, the
+// routes discovered by FlashRoute-32 will have fewer holes" — a hole is a
+// TTL the tool probed on a route without ever receiving a response, e.g.
+// because the router's ICMP budget was exhausted by overprobing.  This
+// module counts, per destination, the probed-but-unanswered TTLs up to the
+// route's known extent, separating persistent silence (the interface never
+// answers anyone) from losses specific to this scan when a reference scan
+// is available.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.h"
+
+namespace flashroute::analysis {
+
+struct RouteHoleReport {
+  std::uint64_t routes_considered = 0;  ///< destinations with a known extent
+  std::uint64_t probed_positions = 0;   ///< probed TTLs within the extent
+  std::uint64_t holes = 0;              ///< ...that never got a response
+
+  double holes_per_route() const noexcept {
+    return routes_considered == 0
+               ? 0.0
+               : static_cast<double>(holes) /
+                     static_cast<double>(routes_considered);
+  }
+  double hole_fraction() const noexcept {
+    return probed_positions == 0
+               ? 0.0
+               : static_cast<double>(holes) /
+                     static_cast<double>(probed_positions);
+  }
+};
+
+/// Counts holes from a scan that recorded both routes and its probe log.
+/// A route's extent is the destination distance when reached, else the
+/// deepest responding hop; probes beyond the extent (silent-tail
+/// exploration) are not holes.
+RouteHoleReport count_route_holes(const core::ScanResult& scan,
+                                  std::uint32_t first_prefix);
+
+}  // namespace flashroute::analysis

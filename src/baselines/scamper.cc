@@ -1,0 +1,272 @@
+#include "baselines/scamper.h"
+
+#include <algorithm>
+#include <array>
+
+#include "core/targets.h"
+#include "net/icmp.h"
+#include "util/permutation.h"
+
+namespace flashroute::baselines {
+
+namespace {
+constexpr util::Nanos kIdleStep = 10 * util::kMillisecond;
+}
+
+Scamper::Scamper(const ScamperConfig& config, core::ScanRuntime& runtime)
+    : config_(config), runtime_(runtime), codec_(config.vantage) {
+  sink_ = [this](std::span<const std::byte> packet, util::Nanos arrival) {
+    on_packet(packet, arrival);
+  };
+}
+
+std::uint32_t Scamper::target_of(std::uint32_t prefix_offset) const noexcept {
+  if (config_.target_override != nullptr &&
+      prefix_offset < config_.target_override->size() &&
+      (*config_.target_override)[prefix_offset] != 0) {
+    return (*config_.target_override)[prefix_offset];
+  }
+  return core::random_target(config_.target_seed,
+                             config_.first_prefix + prefix_offset);
+}
+
+void Scamper::admit_next() {
+  const std::uint32_t n = config_.num_prefixes();
+  while (active_.size() < config_.window && admit_cursor_ < n) {
+    const auto index =
+        static_cast<std::uint32_t>((*permutation_)(admit_cursor_++));
+    const std::uint32_t destination = target_of(index);
+    if (net::is_probe_excluded(net::Ipv4Address(destination))) continue;
+    TraceState state;
+    state.destination = destination;
+    state.phase = Phase::kForward;
+    state.ttl = config_.first_ttl;
+    state.forward_horizon = static_cast<std::uint8_t>(
+        std::min<int>(config_.first_ttl - 1 + config_.gap_limit, 255));
+    active_.emplace(index, state);
+    ready_.push_back(index);
+  }
+}
+
+void Scamper::send_probe(std::uint32_t index, TraceState& state) {
+  std::array<std::byte, core::ProbeCodec::kMaxProbeSize> buffer;
+  const std::size_t size =
+      codec_.encode_udp(net::Ipv4Address(state.destination), state.ttl,
+                        /*preprobe=*/false, runtime_.now(), buffer);
+  if (size == 0) return;
+  runtime_.send(std::span<const std::byte>(buffer.data(), size));
+  ++result_.probes_sent;
+  if (config_.collect_probe_log) {
+    result_.probe_log.push_back(
+        {runtime_.now(), state.destination, state.ttl});
+  }
+  state.awaiting = true;
+  ++state.probe_token;
+  timeouts_.push(
+      {runtime_.now() + config_.probe_timeout, index, state.probe_token});
+}
+
+void Scamper::finish(std::uint32_t index) {
+  active_.erase(index);
+  admit_next();
+}
+
+void Scamper::step(std::uint32_t index) {
+  const auto it = active_.find(index);
+  if (it == active_.end()) return;
+  TraceState& state = it->second;
+  if (state.awaiting) return;  // a probe is already outstanding
+
+  if (state.phase == Phase::kForward &&
+      (state.ttl > state.forward_horizon || state.ttl > config_.max_ttl)) {
+    state.phase = Phase::kBackward;
+    state.ttl = static_cast<std::uint8_t>(config_.first_ttl - 1);
+    state.known_streak = 0;
+  }
+  if (state.phase == Phase::kBackward && state.ttl == 0) {
+    state.phase = Phase::kDone;
+  }
+  if (state.phase == Phase::kDone) {
+    finish(index);
+    return;
+  }
+  send_probe(index, state);
+}
+
+void Scamper::advance_forward(TraceState& state, bool responded,
+                              bool reached) {
+  if (reached) {
+    state.phase = Phase::kBackward;
+    state.ttl = static_cast<std::uint8_t>(config_.first_ttl - 1);
+    state.known_streak = 0;
+    return;
+  }
+  if (responded) {
+    state.forward_horizon = static_cast<std::uint8_t>(std::max<int>(
+        state.forward_horizon,
+        std::min<int>(state.ttl + config_.gap_limit, 255)));
+  }
+  ++state.ttl;  // bounds re-checked in step()
+}
+
+void Scamper::advance_backward(TraceState& state, bool responded,
+                               bool known) {
+  if (responded) {
+    if (known) {
+      ++state.known_streak;
+    } else {
+      state.known_streak = 0;
+    }
+    const std::uint8_t t = state.ttl;
+    bool stop = false;
+    if (t == 1) {
+      stop = true;
+    } else if (t >= config_.redundancy_pause_high) {
+      stop = state.known_streak >= 2;  // one hop later than FlashRoute
+    } else if (t <= config_.redundancy_pause_low) {
+      stop = known;  // full Doubletree termination resumes (Fig 7 plunge)
+    }
+    // Between the two thresholds redundancy elimination is suspended —
+    // the flat 14..6 section of Fig 7's blue curve.
+    if (stop) {
+      state.phase = Phase::kDone;
+      if (known && t > 1) ++result_.convergence_stops;
+      return;
+    }
+  } else {
+    state.known_streak = 0;
+  }
+  --state.ttl;  // ttl==0 handled in step()
+}
+
+core::ScanResult Scamper::run() {
+  const std::uint32_t n = config_.num_prefixes();
+  result_ = core::ScanResult{};
+  if (config_.collect_routes) result_.routes.assign(n, {});
+  result_.destination_distance.assign(n, 0);
+  result_.trigger_ttl.assign(n, 0);
+
+  const util::RandomPermutation permutation(n, config_.seed);
+  permutation_ = &permutation;
+  admit_cursor_ = 0;
+
+  const util::Nanos start = runtime_.now();
+  admit_next();
+
+  while (!active_.empty()) {
+    runtime_.drain(sink_);
+
+    // Expire outstanding probes whose response never came.
+    while (!timeouts_.empty() &&
+           timeouts_.top().deadline <= runtime_.now()) {
+      const Timeout timeout = timeouts_.top();
+      timeouts_.pop();
+      const auto it = active_.find(timeout.index);
+      if (it == active_.end() || !it->second.awaiting ||
+          it->second.probe_token != timeout.token) {
+        continue;  // stale: the probe was already answered
+      }
+      TraceState& state = it->second;
+      state.awaiting = false;
+      if (state.phase == Phase::kForward) {
+        advance_forward(state, /*responded=*/false, /*reached=*/false);
+      } else {
+        advance_backward(state, /*responded=*/false, /*known=*/false);
+      }
+      ready_.push_back(timeout.index);
+    }
+
+    if (ready_.empty()) {
+      // Everything in flight: idle towards the earliest timeout, in small
+      // steps so arriving responses resume probing promptly.
+      util::Nanos wake = runtime_.now() + kIdleStep;
+      if (!timeouts_.empty()) {
+        wake = std::min(wake, timeouts_.top().deadline);
+      }
+      runtime_.idle_until(wake, sink_);
+      continue;
+    }
+
+    while (!ready_.empty()) {
+      const std::uint32_t index = ready_.front();
+      ready_.pop_front();
+      step(index);
+    }
+  }
+
+  runtime_.idle_until(runtime_.now() + util::kSecond, sink_);
+  result_.scan_time = runtime_.now() - start;
+  permutation_ = nullptr;
+  return result_;
+}
+
+void Scamper::on_packet(std::span<const std::byte> packet,
+                        util::Nanos /*arrival*/) {
+  const auto parsed = net::parse_response(packet);
+  if (!parsed || !parsed->is_icmp) return;
+  const auto probe = codec_.decode(*parsed);
+  if (!probe) return;
+  if (!probe->source_port_matches) {
+    ++result_.mismatches;
+    return;
+  }
+  const std::uint32_t prefix = probe->destination.value() >> 8;
+  if (prefix < config_.first_prefix ||
+      prefix - config_.first_prefix >= config_.num_prefixes()) {
+    return;
+  }
+  const std::uint32_t index = prefix - config_.first_prefix;
+  ++result_.responses;
+
+  const bool reached = parsed->is_destination_unreachable();
+  const bool was_known =
+      result_.interfaces.contains(parsed->responder.value());
+
+  // Record the hop regardless of whether the trace still awaits it.
+  if (parsed->is_time_exceeded()) {
+    result_.interfaces.insert(parsed->responder.value());
+    if (config_.collect_routes) {
+      result_.routes[index].push_back(
+          {parsed->responder.value(), probe->initial_ttl, 0});
+    }
+  } else if (reached) {
+    const int distance =
+        std::max(1, static_cast<int>(probe->initial_ttl) -
+                        static_cast<int>(probe->residual_ttl) + 1);
+    const auto clamped =
+        static_cast<std::uint8_t>(std::min(distance, 255));
+    if (config_.collect_routes) {
+      result_.routes[index].push_back({parsed->responder.value(), clamped,
+                                       core::RouteHop::kFromDestination});
+    }
+    if (result_.destination_distance[index] == 0 ||
+        clamped < result_.destination_distance[index]) {
+      if (result_.destination_distance[index] == 0) {
+        ++result_.destinations_reached;
+      }
+      result_.destination_distance[index] = clamped;
+    }
+    if (result_.trigger_ttl[index] == 0 ||
+        probe->initial_ttl < result_.trigger_ttl[index]) {
+      result_.trigger_ttl[index] = probe->initial_ttl;
+    }
+  } else {
+    return;
+  }
+
+  const auto it = active_.find(index);
+  if (it == active_.end()) return;
+  TraceState& state = it->second;
+  if (!state.awaiting || probe->initial_ttl != state.ttl) return;
+
+  state.awaiting = false;
+  ++state.probe_token;  // cancels the pending timeout
+  if (state.phase == Phase::kForward) {
+    advance_forward(state, /*responded=*/true, reached);
+  } else {
+    advance_backward(state, /*responded=*/true, was_known);
+  }
+  ready_.push_back(index);
+}
+
+}  // namespace flashroute::baselines

@@ -1,0 +1,61 @@
+// Destination Control Block — the per-destination probing state of §3.4.
+//
+// The layout mirrors the paper's Listing 1: the destination address, the
+// next backward/forward hop TTLs and the forward-probing horizon, plus the
+// intrusive circular doubly-linked-list indices that overlay the DCB array
+// (Fig 5).  Each DCB carries its own lock; the paper uses a std::mutex and
+// notes that "replacing general per-DCB mutexes with primitive atomic
+// operations (such as a spinlock over the test-and-set instruction)" would
+// shrink the footprint — we default to exactly that 1-byte spinlock and keep
+// the mutex variant selectable to reproduce the paper's ~900 MB figure
+// (see bench/sec34_memory_footprint).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace flashroute::core {
+
+/// 1-byte test-and-set spinlock (the paper's suggested optimization).
+/// Meets BasicLockable, so std::lock_guard works.
+class SpinLock {
+ public:
+  void lock() noexcept {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // Contention is "highly unlikely" (§3.4): only when the sender visits
+      // a destination at the instant one of its responses arrives.
+    }
+  }
+  void unlock() noexcept { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+template <typename Lock>
+struct BasicDcb {
+  // Flag bits.
+  static constexpr std::uint8_t kDestReached = 0x01;  // got host unreachable
+  static constexpr std::uint8_t kRemoved = 0x02;      // unlinked from ring
+
+  std::uint32_t destination = 0;  ///< the probed address within this /24
+
+  /* Probing progress information (Listing 1). */
+  std::uint8_t next_backward_hop = 0;  ///< 0 = backward probing complete
+  std::uint8_t next_forward_hop = 0;
+  std::uint8_t forward_horizon = 0;    ///< max_TTL_responded + GapLimit
+  std::uint8_t flags = 0;
+
+  /* Doubly linked list pointers (indices into the DCB array). */
+  std::uint32_t next_index = 0;
+  std::uint32_t previous_index = 0;
+
+  Lock lock;
+};
+
+using Dcb = BasicDcb<SpinLock>;
+using MutexDcb = BasicDcb<std::mutex>;
+
+}  // namespace flashroute::core

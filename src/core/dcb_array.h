@@ -1,0 +1,107 @@
+// The control-state structure of §3.4 / Fig 5: a flat array of DCBs indexed
+// by /24 prefix, with a circular doubly linked list overlaid in random
+// permutation order.
+//
+// The array gives the receiving thread O(1) access to the DCB of any arrived
+// response (index = destination /24 prefix - first prefix of the scanned
+// range); the overlaid ring lets the sending thread cycle through the
+// not-yet-finished destinations in shuffled order and unlink completed ones
+// in O(1).  "Prefixes excluded from the scan still occupy their slots."
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dcb.h"
+#include "util/permutation.h"
+
+namespace flashroute::core {
+
+template <typename Lock>
+class BasicDcbArray {
+ public:
+  using DcbType = BasicDcb<Lock>;
+  static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  explicit BasicDcbArray(std::uint32_t size) : dcbs_(size) {}
+
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(dcbs_.size());
+  }
+  DcbType& operator[](std::uint32_t index) noexcept { return dcbs_[index]; }
+  const DcbType& operator[](std::uint32_t index) const noexcept {
+    return dcbs_[index];
+  }
+
+  /// (Re)threads the ring through every index `include` admits, in the order
+  /// of `permutation` (which must cover [0, size())).  Returns the ring size.
+  /// Excluded slots are marked kRemoved but keep occupying their array slot.
+  template <typename Include>
+  std::uint32_t build_ring(const util::RandomPermutation& permutation,
+                           Include&& include) {
+    head_ = kNone;
+    ring_size_ = 0;
+    std::uint32_t tail = 0;  // only read once head_ is set (then valid)
+    for (std::uint64_t rank = 0; rank < permutation.size(); ++rank) {
+      const auto index = static_cast<std::uint32_t>(permutation(rank));
+      DcbType& dcb = dcbs_[index];
+      if (!include(index)) {
+        dcb.flags |= DcbType::kRemoved;
+        continue;
+      }
+      dcb.flags &= static_cast<std::uint8_t>(~DcbType::kRemoved);
+      if (head_ == kNone) {
+        head_ = tail = index;
+        dcb.next_index = dcb.previous_index = index;
+      } else {
+        dcb.previous_index = tail;
+        dcb.next_index = head_;
+        dcbs_[tail].next_index = index;
+        dcbs_[head_].previous_index = index;
+        tail = index;
+      }
+      ++ring_size_;
+    }
+    return ring_size_;
+  }
+
+  std::uint32_t head() const noexcept { return head_; }
+  std::uint32_t ring_size() const noexcept { return ring_size_; }
+  std::uint32_t next(std::uint32_t index) const noexcept {
+    return dcbs_[index].next_index;
+  }
+  bool in_ring(std::uint32_t index) const noexcept {
+    return (dcbs_[index].flags & DcbType::kRemoved) == 0 && ring_size_ > 0;
+  }
+
+  /// Unlinks a completed destination from future rounds (sender-side only).
+  void remove(std::uint32_t index) noexcept {
+    DcbType& dcb = dcbs_[index];
+    if (dcb.flags & DcbType::kRemoved) return;
+    dcb.flags |= DcbType::kRemoved;
+    if (ring_size_ == 1) {
+      head_ = kNone;
+    } else {
+      dcbs_[dcb.previous_index].next_index = dcb.next_index;
+      dcbs_[dcb.next_index].previous_index = dcb.previous_index;
+      if (head_ == index) head_ = dcb.next_index;
+    }
+    --ring_size_;
+  }
+
+  /// Bytes of control state — the §3.4 memory-footprint accounting.
+  std::size_t memory_bytes() const noexcept {
+    return dcbs_.size() * sizeof(DcbType);
+  }
+
+ private:
+  std::vector<DcbType> dcbs_;
+  std::uint32_t head_ = kNone;
+  std::uint32_t ring_size_ = 0;
+};
+
+using DcbArray = BasicDcbArray<SpinLock>;
+using MutexDcbArray = BasicDcbArray<std::mutex>;
+
+}  // namespace flashroute::core

@@ -1,0 +1,153 @@
+#include "core/exclusion.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace flashroute::core {
+
+namespace {
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t' ||
+                           text.front() == '\r')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t' ||
+                           text.back() == '\r')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
+void ExclusionList::add(net::Ipv4Address base, int prefix_length) {
+  prefix_length = std::clamp(prefix_length, 0, 32);
+  const std::uint32_t mask =
+      prefix_length == 0 ? 0u : ~std::uint32_t{0} << (32 - prefix_length);
+  const std::uint32_t first = base.value() & mask;
+  const std::uint32_t last = first | ~mask;
+  ranges_.push_back({first, last});
+  dirty_ = true;
+}
+
+bool ExclusionList::add_entry(std::string_view entry) {
+  entry = trim(entry);
+  int prefix_length = 32;
+  const auto slash = entry.find('/');
+  if (slash != std::string_view::npos) {
+    const std::string_view length_text = entry.substr(slash + 1);
+    const auto [end, ec] =
+        std::from_chars(length_text.data(),
+                        length_text.data() + length_text.size(),
+                        prefix_length);
+    if (ec != std::errc{} || end != length_text.data() + length_text.size() ||
+        prefix_length < 0 || prefix_length > 32) {
+      return false;
+    }
+    entry = entry.substr(0, slash);
+  }
+  const auto address = net::Ipv4Address::parse(entry);
+  if (!address) return false;
+  add(*address, prefix_length);
+  return true;
+}
+
+std::optional<std::size_t> ExclusionList::load(std::istream& input) {
+  std::vector<Range> staged;
+  staged.swap(ranges_);  // all-or-nothing: stage current state aside
+  std::size_t added = 0;
+  std::string line;
+  while (std::getline(input, line)) {
+    std::string_view view = line;
+    const auto comment = view.find('#');
+    if (comment != std::string_view::npos) view = view.substr(0, comment);
+    view = trim(view);
+    if (view.empty()) continue;
+    if (!add_entry(view)) {
+      ranges_ = std::move(staged);  // restore: reject the whole file
+      return std::nullopt;
+    }
+    ++added;
+  }
+  ranges_.insert(ranges_.end(), staged.begin(), staged.end());
+  dirty_ = true;
+  return added;
+}
+
+void ExclusionList::normalize() const {
+  if (!dirty_) return;
+  std::sort(ranges_.begin(), ranges_.end());
+  std::vector<Range> merged;
+  for (const Range& range : ranges_) {
+    if (!merged.empty() && range.first <= merged.back().last + 1 &&
+        merged.back().last != ~std::uint32_t{0}) {
+      merged.back().last = std::max(merged.back().last, range.last);
+    } else if (!merged.empty() && range.first <= merged.back().last) {
+      // covers the wrap-guard case where back().last is the max address
+    } else {
+      merged.push_back(range);
+    }
+  }
+  ranges_ = std::move(merged);
+  dirty_ = false;
+}
+
+bool ExclusionList::contains(net::Ipv4Address address) const {
+  normalize();
+  const std::uint32_t value = address.value();
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), Range{value, value},
+      [](const Range& a, const Range& b) { return a.first < b.first; });
+  if (it == ranges_.begin()) return false;
+  --it;
+  return value >= it->first && value <= it->last;
+}
+
+bool ExclusionList::excludes_prefix24(std::uint32_t prefix_index) const {
+  normalize();
+  const std::uint32_t first = prefix_index << 8;
+  const std::uint32_t last = first | 0xFF;
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), Range{last, last},
+      [](const Range& a, const Range& b) { return a.first < b.first; });
+  if (it == ranges_.begin()) return false;
+  --it;
+  return it->last >= first;
+}
+
+std::optional<std::vector<std::uint32_t>> load_target_list(
+    std::istream& input, std::uint32_t first_prefix,
+    std::uint32_t num_prefixes, std::size_t* skipped) {
+  std::vector<std::uint32_t> targets(num_prefixes, 0);
+  std::size_t out_of_range = 0;
+  std::string line;
+  while (std::getline(input, line)) {
+    std::string_view view = line;
+    const auto comment = view.find('#');
+    if (comment != std::string_view::npos) view = view.substr(0, comment);
+    while (!view.empty() && (view.front() == ' ' || view.front() == '\t' ||
+                             view.front() == '\r')) {
+      view.remove_prefix(1);
+    }
+    while (!view.empty() && (view.back() == ' ' || view.back() == '\t' ||
+                             view.back() == '\r')) {
+      view.remove_suffix(1);
+    }
+    if (view.empty()) continue;
+    const auto address = net::Ipv4Address::parse(view);
+    if (!address) return std::nullopt;
+    const std::uint32_t prefix = net::prefix24_index(*address);
+    if (prefix < first_prefix || prefix - first_prefix >= num_prefixes) {
+      ++out_of_range;
+      continue;
+    }
+    // §3.4: one address per /24 block — first entry wins.
+    auto& slot = targets[prefix - first_prefix];
+    if (slot == 0) slot = address->value();
+  }
+  if (skipped != nullptr) *skipped = out_of_range;
+  return targets;
+}
+
+}  // namespace flashroute::core

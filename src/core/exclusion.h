@@ -1,0 +1,82 @@
+// Exclusion lists and target lists.
+//
+// Ethics appendix: "We promptly added the involved addresses to our
+// exclusion list thus removing them from all future experiments" — a real
+// deployment must honour opt-outs, so the engine accepts a CIDR exclusion
+// list checked before any probe is addressed to a prefix.
+//
+// §3.4: "FlashRoute also has an option to load IP addresses from an
+// exterior file instead but would still only use one address per /24
+// block" — the target-list loader implements exactly that: later entries
+// for an already-covered /24 are ignored.
+//
+// File format for both: one entry per line; `#` starts a comment; blank
+// lines ignored.  Exclusion entries are `a.b.c.d` or `a.b.c.d/len`;
+// target entries are plain addresses.
+
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace flashroute::core {
+
+/// A set of CIDR ranges with O(log n) membership checks.
+class ExclusionList {
+ public:
+  /// Adds one CIDR range (prefix length 0..32).
+  void add(net::Ipv4Address base, int prefix_length);
+
+  /// Parses one `a.b.c.d[/len]` entry; returns false on malformed input.
+  bool add_entry(std::string_view entry);
+
+  /// Loads entries from a stream; returns the number of ranges added, or
+  /// nullopt if any line was malformed (nothing is partially applied).
+  std::optional<std::size_t> load(std::istream& input);
+
+  /// True when `address` falls inside any excluded range.  (Lazily merges
+  /// the ranges on first query after a mutation.)
+  bool contains(net::Ipv4Address address) const;
+
+  /// True when any address of the /24 block is excluded — the granularity
+  /// at which the scanner skips targets (an excluded host excludes its
+  /// whole block, the conservative reading of an opt-out).
+  bool excludes_prefix24(std::uint32_t prefix_index) const;
+
+  std::size_t size() const noexcept { return ranges_.size(); }
+  bool empty() const noexcept { return ranges_.empty(); }
+
+ private:
+  struct Range {
+    std::uint32_t first;
+    std::uint32_t last;
+
+    bool operator<(const Range& other) const noexcept {
+      return first < other.first;
+    }
+  };
+
+  /// Merged, sorted, non-overlapping after normalize().
+  void normalize() const;
+
+  mutable std::vector<Range> ranges_;
+  mutable bool dirty_ = false;
+};
+
+/// Loads a target list: one address per line, at most one target per /24
+/// (§3.4).  Returns a per-prefix-offset vector sized `num_prefixes` with 0
+/// where the file provided no target, suitable for
+/// TracerConfig::target_override; out-of-universe entries are counted in
+/// `skipped` (if provided) and otherwise ignored.  Returns nullopt if any
+/// line is malformed.
+std::optional<std::vector<std::uint32_t>> load_target_list(
+    std::istream& input, std::uint32_t first_prefix,
+    std::uint32_t num_prefixes, std::size_t* skipped = nullptr);
+
+}  // namespace flashroute::core

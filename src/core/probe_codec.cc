@@ -1,0 +1,118 @@
+#include "core/probe_codec.h"
+
+#include "net/checksum.h"
+#include "net/packet.h"
+
+namespace flashroute::core {
+
+namespace {
+
+// IPID bit layout: [ttl-1 : 5][preprobe : 1][timestamp low bits : 10].
+constexpr std::uint16_t pack_ipid(std::uint8_t ttl, bool preprobe,
+                                  std::uint16_t ts_ms) noexcept {
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>((ttl - 1) & 0x1F) << 11) |
+      (static_cast<std::uint16_t>(preprobe ? 1 : 0) << 10) |
+      (ts_ms & 0x03FF));
+}
+
+}  // namespace
+
+std::size_t ProbeCodec::encode_udp(net::Ipv4Address destination,
+                                   std::uint8_t ttl, bool preprobe,
+                                   util::Nanos send_time,
+                                   std::span<std::byte> buffer) const noexcept {
+  const std::uint16_t ts = timestamp_ms16(send_time);
+  // The 6 high timestamp bits ride in the payload length (§3.1) — unlike
+  // Yarrp's UDP mode, which tries to fit the whole elapsed time there and
+  // overruns the maximum packet size (§4.2.1 footnote).
+  const std::size_t payload = (ts >> 10) & 0x3F;
+  const std::size_t total =
+      net::Ipv4Header::kSize + net::UdpHeader::kSize + payload;
+  if (buffer.size() < total) return 0;
+
+  net::ByteWriter writer(buffer.first(total));
+  net::Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(total);
+  ip.id = pack_ipid(ttl, preprobe, ts);
+  ip.ttl = ttl;
+  ip.protocol = net::kProtoUdp;
+  ip.src = source_;
+  ip.dst = destination;
+  if (!ip.serialize(writer)) return 0;
+
+  net::UdpHeader udp;
+  udp.src_port = static_cast<std::uint16_t>(
+      net::address_checksum(destination) + port_offset_);
+  udp.dst_port = net::kTracerouteDstPort;
+  udp.length = static_cast<std::uint16_t>(net::UdpHeader::kSize + payload);
+  if (!udp.serialize(writer)) return 0;
+  writer.put_zeros(payload);
+  return writer.ok() ? total : 0;
+}
+
+std::size_t ProbeCodec::encode_tcp(net::Ipv4Address destination,
+                                   std::uint8_t ttl, util::Nanos send_time,
+                                   std::span<std::byte> buffer) const noexcept {
+  if (buffer.size() < kTcpProbeSize) return 0;
+  net::ByteWriter writer(buffer.first(kTcpProbeSize));
+
+  net::Ipv4Header ip;
+  ip.total_length = kTcpProbeSize;
+  ip.id = pack_ipid(ttl, false, timestamp_ms16(send_time));
+  ip.ttl = ttl;
+  ip.protocol = net::kProtoTcp;
+  ip.src = source_;
+  ip.dst = destination;
+  if (!ip.serialize(writer)) return 0;
+
+  net::TcpHeader tcp;
+  tcp.src_port = static_cast<std::uint16_t>(
+      net::address_checksum(destination) + port_offset_);
+  tcp.dst_port = 80;
+  // Yarrp encodes the elapsed time into the sequence number of its TCP-ACK
+  // probes; millisecond granularity is plenty for RTT purposes.
+  tcp.seq = static_cast<std::uint32_t>(send_time / util::kMillisecond);
+  tcp.ack = 0;
+  tcp.flags = net::TcpHeader::kFlagAck;
+  tcp.window = 65535;
+  if (!tcp.serialize(writer)) return 0;
+  return kTcpProbeSize;
+}
+
+std::optional<DecodedProbe> ProbeCodec::decode(
+    const net::ParsedResponse& response) const noexcept {
+  if (!response.is_icmp) return std::nullopt;
+
+  DecodedProbe probe;
+  probe.destination = response.inner.dst;
+  probe.residual_ttl = response.inner.ttl;
+  probe.initial_ttl =
+      static_cast<std::uint8_t>(((response.inner.id >> 11) & 0x1F) + 1);
+  probe.preprobe = ((response.inner.id >> 10) & 1) != 0;
+
+  const std::uint16_t ts_low = response.inner.id & 0x03FF;
+  std::uint16_t ts_high = 0;
+  if (response.inner.protocol == net::kProtoUdp) {
+    if (response.inner_udp_length < net::UdpHeader::kSize) return std::nullopt;
+    ts_high = static_cast<std::uint16_t>(
+        (response.inner_udp_length - net::UdpHeader::kSize) & 0x3F);
+  }
+  probe.timestamp_ms = static_cast<std::uint16_t>((ts_high << 10) | ts_low);
+
+  const std::uint16_t expected = static_cast<std::uint16_t>(
+      net::address_checksum(response.inner.dst) + port_offset_);
+  probe.source_port_matches = response.inner_src_port == expected;
+  return probe;
+}
+
+util::Nanos ProbeCodec::rtt(const DecodedProbe& probe,
+                            util::Nanos arrival) noexcept {
+  const std::uint16_t arrival_ms =
+      static_cast<std::uint16_t>((arrival / util::kMillisecond) & 0xFFFF);
+  const std::uint16_t delta =
+      static_cast<std::uint16_t>(arrival_ms - probe.timestamp_ms);
+  return static_cast<util::Nanos>(delta) * util::kMillisecond;
+}
+
+}  // namespace flashroute::core

@@ -1,0 +1,94 @@
+// FlashRoute's stateless probe encoding (§3.1).
+//
+// Everything needed to interpret a response is carried inside the probe
+// itself and echoed back in the ICMP quote:
+//
+//   IPID (16 bits):  [ 5 bits initial TTL-1 | 1 bit preprobe | 10 bits
+//                      timestamp-ms (low) ]
+//   UDP length:      8 (header) + payload, where payload carries the 6 high
+//                    bits of the timestamp → 16-bit millisecond timestamp,
+//                    wrapping in 65.536 s — "less than the official maximum
+//                    segment lifetime but more than enough to derive the
+//                    round-trip time" (§3.1)
+//   UDP src port:    Internet checksum of the destination address, so a
+//                    response whose quoted source port mismatches its quoted
+//                    destination reveals in-flight address rewriting (§5.3)
+//   UDP dst port:    33434 (+ a per-scan offset in discovery-optimized mode,
+//                    which changes the flow label per extra scan, §5.2)
+//
+// The Yarrp baseline's Paris-TCP-ACK probes are also crafted here: they keep
+// the checksum-as-source-port flow discipline and carry the elapsed time in
+// the TCP sequence number, as Yarrp does.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/headers.h"
+#include "net/icmp.h"
+#include "net/ipv4.h"
+#include "util/clock.h"
+
+namespace flashroute::core {
+
+/// Decoded view of the probe a response quotes.
+struct DecodedProbe {
+  net::Ipv4Address destination;  // quoted destination (post any rewriting)
+  std::uint8_t initial_ttl = 0;
+  bool preprobe = false;
+  std::uint16_t timestamp_ms = 0;  // 16-bit wrapping milliseconds
+  std::uint8_t residual_ttl = 0;   // TTL the probe had at the responder
+  bool source_port_matches = false;  // checksum(dst) == quoted src port?
+};
+
+class ProbeCodec {
+ public:
+  /// `source` is the vantage address placed in every probe;
+  /// `port_offset` shifts the source port in discovery-optimized extra scans
+  /// (P' = P + i, §5.2) so per-flow load balancers pick different branches.
+  explicit ProbeCodec(net::Ipv4Address source,
+                      std::uint16_t port_offset = 0) noexcept
+      : source_(source), port_offset_(port_offset) {}
+
+  /// Crafts a FlashRoute UDP probe into `buffer`; returns the packet size.
+  /// `buffer` must hold at least kMaxProbeSize bytes.
+  std::size_t encode_udp(net::Ipv4Address destination, std::uint8_t ttl,
+                         bool preprobe, util::Nanos send_time,
+                         std::span<std::byte> buffer) const noexcept;
+
+  /// Crafts a Yarrp-style Paris-TCP-ACK probe.
+  std::size_t encode_tcp(net::Ipv4Address destination, std::uint8_t ttl,
+                         util::Nanos send_time,
+                         std::span<std::byte> buffer) const noexcept;
+
+  /// Decodes the quoted probe of an ICMP response.  Returns nullopt when
+  /// the quote is not one of our probes (wrong destination port family).
+  std::optional<DecodedProbe> decode(const net::ParsedResponse& response)
+      const noexcept;
+
+  /// Round-trip time implied by a decoded probe and its arrival instant,
+  /// correcting for the 16-bit timestamp wraparound.
+  static util::Nanos rtt(const DecodedProbe& probe,
+                         util::Nanos arrival) noexcept;
+
+  std::uint16_t port_offset() const noexcept { return port_offset_; }
+
+  /// Probe sizes: IP + UDP + up to 63 timestamp-encoding payload bytes.
+  static constexpr std::size_t kMaxProbeSize =
+      net::Ipv4Header::kSize + net::UdpHeader::kSize + 63;
+  static constexpr std::size_t kTcpProbeSize =
+      net::Ipv4Header::kSize + net::TcpHeader::kSize;
+
+ private:
+  static std::uint16_t timestamp_ms16(util::Nanos t) noexcept {
+    return static_cast<std::uint16_t>((t / util::kMillisecond) & 0xFFFF);
+  }
+
+  net::Ipv4Address source_;
+  std::uint16_t port_offset_;
+};
+
+}  // namespace flashroute::core

@@ -1,0 +1,70 @@
+// The execution environment a probing engine runs against.
+//
+// The paper's tools interleave two activities: a sending loop that paces
+// probes at a configured rate, and a receiving path that processes responses
+// as they arrive (decoupled threads in the real tool, §3.2).  `ScanRuntime`
+// abstracts both so the same engine code runs
+//
+//  * deterministically in virtual time against the Internet simulator
+//    (sim::SimScanRuntime — `send` advances the virtual clock by one probe
+//    slot and delivers any responses that became due), and
+//  * in real time against a raw socket (net::RawSocketTransport plus a
+//    receiver thread), or against nothing at all (NullRuntime, used to
+//    measure the maximum sustainable probing rate for Table 5).
+//
+// Engines never block on individual responses: they pour probes through
+// `send` and handle whatever `drain`/`idle_until` delivers, which is exactly
+// the high-parallelism structure of Yarrp and FlashRoute.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "util/clock.h"
+
+namespace flashroute::core {
+
+class ScanRuntime {
+ public:
+  /// Called for every received response packet with its arrival time.
+  using Sink =
+      std::function<void(std::span<const std::byte>, util::Nanos arrival)>;
+
+  virtual ~ScanRuntime() = default;
+
+  virtual util::Nanos now() const noexcept = 0;
+
+  /// Paces one probe slot (1/pps) and puts the packet on the wire.
+  virtual void send(std::span<const std::byte> packet) = 0;
+
+  /// Delivers all responses available by now() to `sink`.
+  virtual void drain(const Sink& sink) = 0;
+
+  /// Advances to time `t` (the paper's >= 1 s round barrier), delivering
+  /// responses that arrive in the meantime.  No-op when t <= now().
+  virtual void idle_until(util::Nanos t, const Sink& sink) = 0;
+
+  std::uint64_t packets_sent() const noexcept { return packets_sent_; }
+
+ protected:
+  std::uint64_t packets_sent_ = 0;
+};
+
+/// Swallows every probe and never delivers a response.  now() is the real
+/// monotonic clock, so a sending loop driven at full speed against this
+/// runtime measures the engine's raw packet-generation rate — the quantity
+/// Table 5 reports as "non-throttled scan speed".
+class NullRuntime final : public ScanRuntime {
+ public:
+  util::Nanos now() const noexcept override { return clock_.now(); }
+  void send(std::span<const std::byte>) override { ++packets_sent_; }
+  void drain(const Sink&) override {}
+  void idle_until(util::Nanos, const Sink&) override {}
+
+ private:
+  util::MonotonicClock clock_;
+};
+
+}  // namespace flashroute::core

@@ -1,0 +1,26 @@
+// Target selection: one representative address per /24 block.
+//
+// Both the paper's tools and ours trace a single address per /24 (§5.4).
+// The default is a random host octet; keeping the function shared (and
+// keyed by an explicit target seed) lets comparative experiments probe the
+// *same* targets with every tool, which is what makes Table 3 an
+// apples-to-apples comparison.
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace flashroute::core {
+
+/// Deterministic random representative of `prefix` (a /24 index):
+/// host octet in [1, 254].
+inline std::uint32_t random_target(std::uint64_t target_seed,
+                                   std::uint32_t prefix) noexcept {
+  const auto octet = static_cast<std::uint8_t>(
+      1 + util::stable_bounded(target_seed, prefix, 254));
+  return (prefix << 8) | octet;
+}
+
+}  // namespace flashroute::core

@@ -1,0 +1,450 @@
+#include "core/tracer.h"
+
+#include <algorithm>
+#include <array>
+#include <mutex>
+
+#include "core/targets.h"
+#include "net/icmp.h"
+#include "util/logging.h"
+
+namespace flashroute::core {
+
+
+Tracer::Tracer(const TracerConfig& config, ScanRuntime& runtime)
+    : config_(config),
+      runtime_(runtime),
+      codec_(config.vantage),
+      active_codec_(&codec_),
+      dcbs_(config.num_prefixes()),
+      target_seed_(config.target_seed) {
+  sink_ = [this](std::span<const std::byte> packet, util::Nanos arrival) {
+    on_packet(packet, arrival);
+  };
+}
+
+bool Tracer::fold_mode() const noexcept {
+  return config_.preprobe == PreprobeMode::kRandom &&
+         config_.split_ttl == 32 && config_.fold_preprobe;
+}
+
+bool Tracer::include_in_scan(std::uint32_t index) const {
+  const net::Ipv4Address target(dcbs_[index].destination);
+  if (net::is_probe_excluded(target)) return false;
+  if (config_.exclusions != nullptr &&
+      config_.exclusions->excludes_prefix24(net::prefix24_index(target))) {
+    return false;  // operator opt-out: skip the whole /24
+  }
+  return true;
+}
+
+std::uint32_t Tracer::target_of(std::uint32_t prefix_offset) const noexcept {
+  if (config_.target_override != nullptr &&
+      prefix_offset < config_.target_override->size() &&
+      (*config_.target_override)[prefix_offset] != 0) {
+    return (*config_.target_override)[prefix_offset];
+  }
+  return random_target(target_seed_, config_.first_prefix + prefix_offset);
+}
+
+ScanResult Tracer::run() {
+  const std::uint32_t n = config_.num_prefixes();
+  result_ = ScanResult{};
+  if (config_.collect_routes) result_.routes.assign(n, {});
+  result_.destination_distance.assign(n, 0);
+  result_.trigger_ttl.assign(n, 0);
+  result_.measured_distance.assign(n, 0);
+  result_.predicted_distance.assign(n, 0);
+
+  // Initialize DCBs and thread the ring in random permutation order;
+  // private/multicast/reserved targets keep their slots but stay out (§3.4).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    dcbs_[i].destination = target_of(i);
+  }
+  const util::RandomPermutation permutation(n, config_.seed);
+  dcbs_.build_ring(permutation, [this](std::uint32_t index) {
+    return include_in_scan(index);
+  });
+
+  const util::Nanos start = runtime_.now();
+
+  if (config_.preprobe != PreprobeMode::kNone && !fold_mode()) {
+    preprobe_phase();
+    predict_distances();
+  }
+  if (config_.preprobe_only) {
+    result_.scan_time = runtime_.now() - start;
+    return result_;
+  }
+  initialize_dcbs();
+
+  // In fold mode the preprobe *is* round one: the first round's TTL-32
+  // backward probes carry the preprobe bit, so their responses both build
+  // topology and measure distances (§3.3.5).
+  main_rounds(codec_, fold_mode(), 0);
+
+  if (config_.extra_scans > 0) run_extra_scans();
+
+  result_.scan_time = runtime_.now() - start;
+  return result_;
+}
+
+void Tracer::send_probe(const ProbeCodec& codec, std::uint32_t destination,
+                        std::uint8_t ttl, bool preprobe_flag) {
+  std::array<std::byte, ProbeCodec::kMaxProbeSize> buffer;
+  const std::size_t size =
+      codec.encode_udp(net::Ipv4Address(destination), ttl, preprobe_flag,
+                       runtime_.now(), buffer);
+  if (size == 0) return;
+  runtime_.send(std::span<const std::byte>(buffer.data(), size));
+  ++result_.probes_sent;
+  if (config_.collect_probe_log) {
+    result_.probe_log.push_back(
+        {runtime_.now(), destination, ttl, preprobe_flag && !fold_mode()});
+  }
+}
+
+void Tracer::preprobe_phase() {
+  const util::Nanos phase_start = runtime_.now();
+  const std::uint32_t n = config_.num_prefixes();
+  std::uint32_t index = dcbs_.head();
+  const std::uint32_t count = dcbs_.ring_size();
+  for (std::uint32_t i = 0; i < count; ++i, index = dcbs_.next(index)) {
+    std::uint32_t target = dcbs_[index].destination;
+    if (config_.preprobe == PreprobeMode::kHitlist &&
+        config_.hitlist != nullptr && index < config_.hitlist->size() &&
+        (*config_.hitlist)[index] != 0) {
+      target = (*config_.hitlist)[index];
+    }
+    send_probe(codec_, target, config_.max_ttl, /*preprobe_flag=*/true);
+    ++result_.preprobe_probes;
+    runtime_.drain(sink_);
+  }
+  // Allow in-flight preprobe responses to land before splitting routes.
+  runtime_.idle_until(runtime_.now() + config_.min_round_duration, sink_);
+  result_.preprobe_time = runtime_.now() - phase_start;
+  (void)n;
+}
+
+void Tracer::predict_distances() {
+  const std::uint32_t n = config_.num_prefixes();
+  const int span = config_.proximity_span;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (result_.measured_distance[i] != 0) continue;
+    // Nearest measured block within the proximity span predicts this one
+    // (§3.3.3); ties prefer the preceding block.
+    for (int delta = 1; delta <= span; ++delta) {
+      const std::int64_t left = static_cast<std::int64_t>(i) - delta;
+      if (left >= 0 && result_.measured_distance[left] != 0) {
+        result_.predicted_distance[i] = result_.measured_distance[left];
+        break;
+      }
+      const std::uint64_t right = static_cast<std::uint64_t>(i) + delta;
+      if (right < n && result_.measured_distance[right] != 0) {
+        result_.predicted_distance[i] = result_.measured_distance[right];
+        break;
+      }
+    }
+    if (result_.predicted_distance[i] != 0) ++result_.distances_predicted;
+  }
+}
+
+void Tracer::initialize_dcbs() {
+  std::uint32_t index = dcbs_.head();
+  const std::uint32_t count = dcbs_.ring_size();
+  for (std::uint32_t i = 0; i < count; ++i, index = dcbs_.next(index)) {
+    Dcb& dcb = dcbs_[index];
+    int split = config_.split_ttl;
+    if (result_.measured_distance[index] != 0) {
+      split = result_.measured_distance[index];
+    } else if (result_.predicted_distance[index] != 0) {
+      split = result_.predicted_distance[index];
+    }
+    split = std::clamp(split, 1, static_cast<int>(config_.max_ttl));
+    dcb.next_backward_hop = static_cast<std::uint8_t>(split);
+    dcb.next_forward_hop = static_cast<std::uint8_t>(
+        std::min(split + 1, static_cast<int>(config_.max_ttl) + 1));
+    dcb.forward_horizon = static_cast<std::uint8_t>(
+        std::min(split + config_.gap_limit, 255));
+    dcb.flags &= Dcb::kRemoved;  // clear everything but ring membership
+  }
+}
+
+void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
+                         std::uint8_t hop_flags) {
+  active_codec_ = &codec;
+  current_hop_flags_ = hop_flags;
+  bool first_round = true;
+
+  while (dcbs_.ring_size() > 0) {
+    const util::Nanos round_start = runtime_.now();
+    std::uint32_t current = dcbs_.head();
+    const std::uint32_t count = dcbs_.ring_size();
+
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint32_t next = dcbs_.next(current);
+      Dcb& dcb = dcbs_[current];
+
+      std::uint8_t backward_ttl = 0;
+      std::uint8_t forward_ttl = 0;
+      bool done = false;
+      {
+        const std::lock_guard guard(dcb.lock);
+        const bool forward_active =
+            config_.forward_probing && (dcb.flags & Dcb::kDestReached) == 0 &&
+            dcb.next_forward_hop <= dcb.forward_horizon &&
+            dcb.next_forward_hop <= config_.max_ttl;
+        if (dcb.next_backward_hop == 0 && !forward_active) {
+          done = true;
+        } else {
+          if (dcb.next_backward_hop > 0) {
+            backward_ttl = dcb.next_backward_hop--;
+          }
+          if (forward_active) {
+            forward_ttl = dcb.next_forward_hop++;
+          }
+        }
+      }
+      if (done) {
+        dcbs_.remove(current);
+        current = next;
+        continue;
+      }
+      if (backward_ttl != 0) {
+        send_probe(codec, dcb.destination, backward_ttl,
+                   flag_first_round && first_round);
+      }
+      if (forward_ttl != 0) {
+        send_probe(codec, dcb.destination, forward_ttl, false);
+      }
+      runtime_.drain(sink_);
+      current = next;
+    }
+
+    const util::Nanos barrier = round_start + config_.min_round_duration;
+    if (runtime_.now() < barrier) {
+      runtime_.idle_until(barrier, sink_);
+    } else {
+      runtime_.drain(sink_);
+    }
+    if (flag_first_round && first_round) {
+      // §3.3.5 + §3.3.3: the folded first round measured distances for the
+      // responsive targets; predict the neighbours' distances now and jump
+      // their backward probing to the predicted split.
+      predict_distances();
+      apply_fold_predictions();
+    }
+    first_round = false;
+  }
+
+  // Collect straggler responses still in flight.
+  runtime_.idle_until(runtime_.now() + config_.min_round_duration, sink_);
+}
+
+void Tracer::apply_fold_predictions() {
+  std::uint32_t index = dcbs_.head();
+  const std::uint32_t count = dcbs_.ring_size();
+  for (std::uint32_t i = 0; i < count; ++i, index = dcbs_.next(index)) {
+    if (result_.measured_distance[index] != 0) continue;
+    const std::uint8_t predicted = result_.predicted_distance[index];
+    if (predicted == 0) continue;
+    Dcb& dcb = dcbs_[index];
+    const std::lock_guard guard(dcb.lock);
+    if (predicted < dcb.next_backward_hop) dcb.next_backward_hop = predicted;
+  }
+}
+
+void Tracer::run_extra_scans() {
+  const util::RandomPermutation permutation(config_.num_prefixes(),
+                                            config_.seed);
+  for (int pass = 1; pass <= config_.extra_scans; ++pass) {
+    // A shifted source port gives every probe of this pass a new flow label,
+    // steering per-flow load balancers onto alternative branches (§5.2).
+    const ProbeCodec extra_codec(config_.vantage,
+                                 static_cast<std::uint16_t>(pass));
+    const std::uint64_t pass_seed =
+        util::hash_combine(config_.seed, 0x65787472, pass);
+
+    if (config_.extra_scan_vary_targets) {
+      // §5.4 option 2: a fresh representative per /24 for this pass.
+      const std::uint64_t pass_target_seed =
+          util::hash_combine(config_.target_seed, 0x76617279, pass);
+      for (std::uint32_t i = 0; i < config_.num_prefixes(); ++i) {
+        dcbs_[i].destination =
+            random_target(pass_target_seed, config_.first_prefix + i);
+      }
+    }
+    dcbs_.build_ring(permutation, [this](std::uint32_t index) {
+      return include_in_scan(index);
+    });
+    std::uint32_t index = dcbs_.head();
+    const std::uint32_t count = dcbs_.ring_size();
+    for (std::uint32_t i = 0; i < count; ++i, index = dcbs_.next(index)) {
+      Dcb& dcb = dcbs_[index];
+      // Backward-only from a random split; the shared stop set terminates
+      // re-exploration of already-known route sections.  With the §5.4
+      // heuristic the split stays within (route length + 5), keeping the
+      // walks on the route where the load-balanced sections are.
+      int start_range = config_.max_ttl;
+      if (config_.extra_scan_length_heuristic) {
+        int route_length = result_.destination_distance[index];
+        if (route_length == 0 && config_.collect_routes) {
+          for (const RouteHop& hop : result_.routes[index]) {
+            if ((hop.flags & RouteHop::kFromDestination) == 0) {
+              route_length = std::max<int>(route_length, hop.ttl);
+            }
+          }
+        }
+        if (route_length != 0) {
+          start_range = std::min<int>(config_.max_ttl, route_length + 5);
+        }
+      }
+      dcb.next_backward_hop = static_cast<std::uint8_t>(
+          1 + util::stable_bounded(pass_seed, dcb.destination,
+                                   static_cast<std::uint64_t>(start_range)));
+      dcb.next_forward_hop = config_.max_ttl + 1;
+      dcb.forward_horizon = 0;
+      dcb.flags &= Dcb::kRemoved;
+    }
+    main_rounds(extra_codec, false, RouteHop::kExtraScan);
+  }
+}
+
+void Tracer::on_packet(std::span<const std::byte> packet,
+                       util::Nanos /*arrival*/) {
+  const auto parsed = net::parse_response(packet);
+  if (!parsed || !parsed->is_icmp) return;
+  const auto probe = active_codec_->decode(*parsed);
+  if (!probe) return;
+  if (!probe->source_port_matches) {
+    // The quoted destination no longer matches the checksum carried in the
+    // source port: the address was modified in flight (§5.3).  Drop it.
+    ++result_.mismatches;
+    return;
+  }
+  const std::uint32_t prefix = probe->destination.value() >> 8;
+  if (prefix < config_.first_prefix ||
+      prefix - config_.first_prefix >= config_.num_prefixes()) {
+    return;
+  }
+  const std::uint32_t index = prefix - config_.first_prefix;
+  ++result_.responses;
+
+  if (probe->preprobe && !fold_mode()) {
+    handle_preprobe_response(index, *parsed, *probe);
+  } else {
+    handle_main_response(index, *parsed, *probe);
+  }
+}
+
+void Tracer::record_hop(std::uint32_t index, std::uint32_t ip,
+                        std::uint8_t ttl, std::uint8_t flags) {
+  // Only en-route router interfaces count as "discovered interfaces" (and
+  // populate the Doubletree stop set); destination responses are tracked
+  // separately as reached targets.
+  if ((flags & RouteHop::kFromDestination) == 0) {
+    result_.interfaces.insert(ip);
+  }
+  if (config_.collect_routes) {
+    result_.routes[index].push_back({ip, ttl, flags});
+  }
+}
+
+void Tracer::handle_preprobe_response(std::uint32_t index,
+                                      const net::ParsedResponse& parsed,
+                                      const DecodedProbe& probe) {
+  if (parsed.is_time_exceeded()) {
+    // A route longer than the preprobe TTL: still useful topology.
+    record_hop(index, parsed.responder.value(), probe.initial_ttl,
+               RouteHop::kPreprobe);
+    return;
+  }
+  if (!parsed.is_destination_unreachable()) return;
+  const int distance =
+      std::max(1, static_cast<int>(probe.initial_ttl) -
+                      static_cast<int>(probe.residual_ttl) + 1);
+  record_hop(index, parsed.responder.value(), static_cast<std::uint8_t>(
+                 std::min(distance, 255)),
+             RouteHop::kPreprobe | RouteHop::kFromDestination);
+  if (result_.measured_distance[index] == 0) {
+    result_.measured_distance[index] =
+        static_cast<std::uint8_t>(std::min(distance, 255));
+    ++result_.distances_measured;
+  }
+}
+
+void Tracer::handle_main_response(std::uint32_t index,
+                                  const net::ParsedResponse& parsed,
+                                  const DecodedProbe& probe) {
+  Dcb& dcb = dcbs_[index];
+
+  if (parsed.is_time_exceeded()) {
+    const std::uint8_t hop_ttl = probe.initial_ttl;
+    const bool was_known = result_.interfaces.contains(parsed.responder.value());
+    record_hop(index, parsed.responder.value(), hop_ttl,
+               current_hop_flags_ |
+                   (probe.preprobe ? RouteHop::kPreprobe : std::uint8_t{0}));
+
+    const std::lock_guard guard(dcb.lock);
+    // Horizon: farthest responding hop + GapLimit (§3.4).
+    const int horizon =
+        std::min(static_cast<int>(hop_ttl) + config_.gap_limit, 255);
+    if (horizon > dcb.forward_horizon) {
+      dcb.forward_horizon = static_cast<std::uint8_t>(horizon);
+    }
+    // Backward termination: the response came from the backward segment and
+    // hit either TTL 1 or a previously discovered hop (§3.2).
+    if (dcb.next_backward_hop > 0 &&
+        hop_ttl <= dcb.next_backward_hop + 1) {
+      if (hop_ttl == 1) {
+        dcb.next_backward_hop = 0;
+      } else if (config_.redundancy_removal && was_known) {
+        dcb.next_backward_hop = 0;
+        ++result_.convergence_stops;
+      }
+    }
+    return;
+  }
+
+  if (!parsed.is_destination_unreachable()) return;
+  if (parsed.icmp_code != net::kIcmpCodePortUnreachable &&
+      parsed.icmp_code != net::kIcmpCodeHostUnreachable &&
+      parsed.icmp_code != net::kIcmpCodeProtoUnreachable) {
+    return;
+  }
+
+  const int distance =
+      std::max(1, static_cast<int>(probe.initial_ttl) -
+                      static_cast<int>(probe.residual_ttl) + 1);
+  const auto clamped = static_cast<std::uint8_t>(std::min(distance, 255));
+  record_hop(index, parsed.responder.value(), clamped,
+             current_hop_flags_ | RouteHop::kFromDestination |
+                 (probe.preprobe ? RouteHop::kPreprobe : std::uint8_t{0}));
+  if (result_.destination_distance[index] == 0 ||
+      clamped < result_.destination_distance[index]) {
+    result_.destination_distance[index] = clamped;
+  }
+  if (result_.trigger_ttl[index] == 0 ||
+      probe.initial_ttl < result_.trigger_ttl[index]) {
+    result_.trigger_ttl[index] = probe.initial_ttl;
+  }
+
+  const std::lock_guard guard(dcb.lock);
+  if ((dcb.flags & Dcb::kDestReached) == 0) {
+    dcb.flags |= Dcb::kDestReached;  // stops forward probing (§3.2)
+    ++result_.destinations_reached;
+  }
+  if (probe.preprobe && fold_mode()) {
+    // §3.3.5: the folded first round measured the distance — jump backward
+    // probing straight below the destination.
+    if (result_.measured_distance[index] == 0) {
+      result_.measured_distance[index] = clamped;
+      ++result_.distances_measured;
+    }
+    const auto below = static_cast<std::uint8_t>(distance > 1 ? distance - 1
+                                                              : 0);
+    if (below < dcb.next_backward_hop) dcb.next_backward_hop = below;
+  }
+}
+
+}  // namespace flashroute::core

@@ -1,0 +1,168 @@
+// The FlashRoute probing engine (§3).
+//
+// A scan proceeds in three optional phases:
+//
+//  1. *Preprobing* (§3.3): one TTL-32 probe per /24 measures the hop
+//     distance of responsive targets from the residual TTL quoted in their
+//     port-unreachable replies; proximity-span prediction extends coverage
+//     to neighbouring blocks.  When the main split TTL is 32 and preprobing
+//     targets the same addresses as the main scan, the preprobe doubles as
+//     the first probing round (§3.3.5) and costs no extra probes.
+//
+//  2. *Main probing* (§3.2): rounds over the DCB ring, each issuing up to
+//     two probes per destination — one backward (towards the vantage, ending
+//     at TTL 1 or at a previously discovered interface: Doubletree-style
+//     redundancy elimination) and one forward (towards the target, ending at
+//     the target or after GapLimit consecutive silent hops).  Rounds last at
+//     least one second so responses can steer the next round.
+//
+//  3. *Discovery-optimized extra scans* (§5.2): backward-only passes from
+//     random split TTLs with shifted source ports, steering per-flow load
+//     balancers onto alternative branches while the shared stop set keeps
+//     re-exploration cheap.
+//
+// The engine is transport-agnostic: pass a sim::SimScanRuntime for
+// deterministic virtual-time scans or a real-time runtime for live probing.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/dcb_array.h"
+#include "core/exclusion.h"
+#include "core/probe_codec.h"
+#include "core/result.h"
+#include "core/runtime.h"
+#include "net/ipv4.h"
+
+namespace flashroute::core {
+
+enum class PreprobeMode {
+  kNone,     ///< use the configured split TTL for every destination
+  kRandom,   ///< preprobe the same (random) targets the main scan uses
+  kHitlist,  ///< preprobe hitlist addresses, scan random targets (§4.1.3)
+};
+
+struct TracerConfig {
+  // Scanned universe: 2^prefix_bits /24 blocks starting at first_prefix.
+  std::uint32_t first_prefix = 0x010000;
+  int prefix_bits = 16;
+
+  net::Ipv4Address vantage{0xCB00710A};  // 203.0.113.10
+  double probes_per_second = 100'000.0;
+
+  std::uint8_t split_ttl = 16;
+  std::uint8_t max_ttl = 32;
+  std::uint8_t gap_limit = 5;
+
+  /// Minimum duration of one probing round (§3.2: "each round lasts at
+  /// least one second", so responses can steer the next round).  Tests and
+  /// real-time demos may shorten it.
+  util::Nanos min_round_duration = util::kSecond;
+
+  bool forward_probing = true;
+  /// Stop backward probing at previously discovered interfaces (§3.2).
+  /// Off (together with forward_probing=false, split_ttl=32,
+  /// preprobe=kNone) turns the engine into the paper's Yarrp-32-UDP
+  /// simulation: one probe to every hop 1..32 for every destination.
+  bool redundancy_removal = true;
+
+  PreprobeMode preprobe = PreprobeMode::kHitlist;
+  std::uint8_t proximity_span = 5;
+  /// §3.3.5: fold the preprobe into round one when split_ttl == 32 and the
+  /// preprobe targets coincide with the main targets (kRandom mode only).
+  bool fold_preprobe = true;
+
+  /// Discovery-optimized mode (§5.2): number of backward-only extra scans
+  /// with shifted source ports after the main scan.
+  int extra_scans = 0;
+
+  /// §5.4's proposed refinement of the discovery-optimized mode: pick each
+  /// extra scan's random starting TTL from [1, measured route length + 5]
+  /// instead of [1, 32], so the walks land on the route (where the
+  /// load-balanced sections are) instead of in the silent tail.
+  bool extra_scan_length_heuristic = true;
+
+  /// §5.4's other open question: have the extra scans vary the *destination
+  /// address* within each /24 (instead of, or in addition to, the source
+  /// port), hunting for per-address internal paths rather than per-flow
+  /// load-balanced branches.  bench/sec54_future_work compares the options.
+  bool extra_scan_vary_targets = false;
+
+  /// Stop after the preprobing phase (and prediction); used by the distance-
+  /// accuracy experiments of §3.3, which evaluate preprobing in isolation.
+  bool preprobe_only = false;
+
+  std::uint64_t seed = 7;
+  /// Seed of the per-/24 random representative; shared across tools so
+  /// comparisons probe identical targets.
+  std::uint64_t target_seed = 42;
+
+  bool collect_routes = true;
+  bool collect_probe_log = false;
+
+  /// Hitlist addresses per prefix offset (0 = no entry); required when
+  /// preprobe == kHitlist.  Prefixes without entries fall back to the main
+  /// target for preprobing.
+  const std::vector<std::uint32_t>* hitlist = nullptr;
+
+  /// Overrides the per-prefix probing target (0 entries fall back to the
+  /// random target); used by the §5.1 hitlist-bias experiments.
+  const std::vector<std::uint32_t>* target_override = nullptr;
+
+  /// Operator-maintained opt-out list (ethics appendix): any /24 touching
+  /// an excluded range is removed from the scan alongside the built-in
+  /// private/multicast/reserved exclusions.
+  const ExclusionList* exclusions = nullptr;
+
+  std::uint32_t num_prefixes() const noexcept {
+    return std::uint32_t{1} << prefix_bits;
+  }
+};
+
+class Tracer {
+ public:
+  Tracer(const TracerConfig& config, ScanRuntime& runtime);
+
+  /// Runs the configured scan to completion and returns the results.
+  ScanResult run();
+
+  /// The target address the engine probes for a /24 (random host octet
+  /// unless overridden) — exposed for analyses that need it.
+  std::uint32_t target_of(std::uint32_t prefix_offset) const noexcept;
+
+ private:
+  void preprobe_phase();
+  void predict_distances();
+  void apply_fold_predictions();
+  void initialize_dcbs();
+  void main_rounds(const ProbeCodec& codec, bool flag_first_round,
+                   std::uint8_t hop_flags);
+  void run_extra_scans();
+  void send_probe(const ProbeCodec& codec, std::uint32_t destination,
+                  std::uint8_t ttl, bool preprobe_flag);
+  void on_packet(std::span<const std::byte> packet, util::Nanos arrival);
+  void handle_preprobe_response(std::uint32_t index,
+                                const net::ParsedResponse& parsed,
+                                const DecodedProbe& probe);
+  void handle_main_response(std::uint32_t index,
+                            const net::ParsedResponse& parsed,
+                            const DecodedProbe& probe);
+  void record_hop(std::uint32_t index, std::uint32_t ip, std::uint8_t ttl,
+                  std::uint8_t flags);
+  bool fold_mode() const noexcept;
+  bool include_in_scan(std::uint32_t index) const;
+
+  TracerConfig config_;
+  ScanRuntime& runtime_;
+  ProbeCodec codec_;
+  const ProbeCodec* active_codec_;
+  DcbArray dcbs_;
+  ScanResult result_;
+  ScanRuntime::Sink sink_;
+  std::uint8_t current_hop_flags_ = 0;
+  std::uint64_t target_seed_;
+};
+
+}  // namespace flashroute::core

@@ -1,0 +1,125 @@
+#include "io/pcap.h"
+
+#include <cstring>
+
+namespace flashroute::io {
+
+namespace {
+
+constexpr std::uint32_t kMagicNanos = 0xA1B23C4D;
+constexpr std::uint32_t kMagicMicros = 0xA1B2C3D4;
+constexpr std::uint32_t kLinktypeRaw = 101;  // packets start at the IP header
+constexpr std::uint32_t kSnapLen = 65535;
+
+void put_u16(std::ostream& out, std::uint16_t v) {
+  // Pcap headers use the writer's native byte order; we fix little-endian
+  // so captures are portable, and the reader handles both.
+  out.put(static_cast<char>(v & 0xFF));
+  out.put(static_cast<char>(v >> 8));
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.put(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Little/big-endian aware field reader driven by the capture's magic.
+class FieldReader {
+ public:
+  FieldReader(std::istream& in, bool swap) : in_(in), swap_(swap) {}
+
+  std::optional<std::uint32_t> u32() {
+    unsigned char bytes[4];
+    in_.read(reinterpret_cast<char*>(bytes), 4);
+    if (!in_) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(bytes[i]) << (8 * (swap_ ? 3 - i : i));
+    }
+    return v;
+  }
+
+ private:
+  std::istream& in_;
+  bool swap_;
+};
+
+}  // namespace
+
+void write_pcap_header(std::ostream& out) {
+  put_u32(out, kMagicNanos);
+  put_u16(out, 2);  // version 2.4
+  put_u16(out, 4);
+  put_u32(out, 0);  // thiszone
+  put_u32(out, 0);  // sigfigs
+  put_u32(out, kSnapLen);
+  put_u32(out, kLinktypeRaw);
+}
+
+void write_pcap_packet(std::ostream& out, util::Nanos time,
+                       std::span<const std::byte> packet) {
+  const auto seconds = static_cast<std::uint32_t>(time / util::kSecond);
+  const auto nanos = static_cast<std::uint32_t>(time % util::kSecond);
+  put_u32(out, seconds);
+  put_u32(out, nanos);
+  const auto length = static_cast<std::uint32_t>(packet.size());
+  put_u32(out, length);  // captured length
+  put_u32(out, length);  // original length
+  out.write(reinterpret_cast<const char*>(packet.data()),
+            static_cast<std::streamsize>(packet.size()));
+}
+
+std::optional<std::vector<CapturedPacket>> read_pcap(std::istream& in) {
+  unsigned char magic_bytes[4];
+  in.read(reinterpret_cast<char*>(magic_bytes), 4);
+  if (!in) return std::nullopt;
+  std::uint32_t magic_le = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic_le |= static_cast<std::uint32_t>(magic_bytes[i]) << (8 * i);
+  }
+  std::uint32_t magic_be = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic_be |= static_cast<std::uint32_t>(magic_bytes[i]) << (8 * (3 - i));
+  }
+
+  bool swap = false;
+  bool nanos = false;
+  if (magic_le == kMagicNanos || magic_le == kMagicMicros) {
+    nanos = magic_le == kMagicNanos;
+  } else if (magic_be == kMagicNanos || magic_be == kMagicMicros) {
+    swap = true;
+    nanos = magic_be == kMagicNanos;
+  } else {
+    return std::nullopt;
+  }
+
+  FieldReader reader(in, swap);
+  // version(2x16) packed as one u32, thiszone, sigfigs, snaplen, linktype.
+  for (int i = 0; i < 5; ++i) {
+    if (!reader.u32()) return std::nullopt;
+  }
+
+  std::vector<CapturedPacket> packets;
+  while (true) {
+    const auto seconds = reader.u32();
+    if (!seconds) break;  // clean EOF between records
+    const auto subsec = reader.u32();
+    const auto captured = reader.u32();
+    const auto original = reader.u32();
+    if (!subsec || !captured || !original || *captured > kSnapLen) {
+      return std::nullopt;
+    }
+    CapturedPacket packet;
+    packet.time = static_cast<util::Nanos>(*seconds) * util::kSecond +
+                  static_cast<util::Nanos>(*subsec) * (nanos ? 1 : 1000);
+    packet.bytes.resize(*captured);
+    in.read(reinterpret_cast<char*>(packet.bytes.data()),
+            static_cast<std::streamsize>(*captured));
+    if (!in) return std::nullopt;
+    packets.push_back(std::move(packet));
+  }
+  return packets;
+}
+
+}  // namespace flashroute::io

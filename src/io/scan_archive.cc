@@ -1,0 +1,222 @@
+#include "io/scan_archive.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "io/varint.h"
+#include "net/ipv4.h"
+
+namespace flashroute::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'R', 'S', 'C'};
+constexpr std::uint64_t kFormatVersion = 1;
+
+std::vector<core::RouteHop> sorted_hops(
+    const std::vector<core::RouteHop>& hops) {
+  auto sorted = hops;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const core::RouteHop& a, const core::RouteHop& b) {
+              if (a.ttl != b.ttl) return a.ttl < b.ttl;
+              return a.ip < b.ip;
+            });
+  return sorted;
+}
+
+const char* hop_kind(const core::RouteHop& hop) {
+  if (hop.flags & core::RouteHop::kFromDestination) return "dest";
+  if (hop.flags & core::RouteHop::kPreprobe) return "preprobe";
+  if (hop.flags & core::RouteHop::kExtraScan) return "extra";
+  return "hop";
+}
+
+}  // namespace
+
+void write_routes_text(const core::ScanResult& result,
+                       const TargetResolver& target_of,
+                       std::uint32_t first_prefix, std::ostream& out) {
+  for (std::size_t i = 0; i < result.routes.size(); ++i) {
+    if (result.routes[i].empty()) continue;
+    const auto offset = static_cast<std::uint32_t>(i);
+    out << "target "
+        << net::Ipv4Address(target_of(offset)).to_string() << " (prefix "
+        << net::Ipv4Address((first_prefix + offset) << 8).to_string()
+        << "/24";
+    if (i < result.destination_distance.size() &&
+        result.destination_distance[i] != 0) {
+      out << ", distance " << int(result.destination_distance[i]);
+    }
+    out << ")\n";
+    std::uint8_t last_ttl = 0;
+    std::uint32_t last_ip = 0;
+    for (const core::RouteHop& hop : sorted_hops(result.routes[i])) {
+      if (hop.ttl == last_ttl && hop.ip == last_ip) continue;
+      last_ttl = hop.ttl;
+      last_ip = hop.ip;
+      out << "  " << int(hop.ttl) << "\t"
+          << net::Ipv4Address(hop.ip).to_string();
+      if (hop.flags != 0) out << "\t[" << hop_kind(hop) << "]";
+      out << "\n";
+    }
+  }
+}
+
+void write_routes_csv(const core::ScanResult& result,
+                      const TargetResolver& target_of,
+                      std::uint32_t first_prefix, std::ostream& out) {
+  out << "prefix,target,ttl,hop,kind\n";
+  for (std::size_t i = 0; i < result.routes.size(); ++i) {
+    if (result.routes[i].empty()) continue;
+    const auto offset = static_cast<std::uint32_t>(i);
+    const std::string prefix =
+        net::Ipv4Address((first_prefix + offset) << 8).to_string();
+    const std::string target =
+        net::Ipv4Address(target_of(offset)).to_string();
+    for (const core::RouteHop& hop : sorted_hops(result.routes[i])) {
+      out << prefix << ',' << target << ',' << int(hop.ttl) << ','
+          << net::Ipv4Address(hop.ip).to_string() << ',' << hop_kind(hop)
+          << "\n";
+    }
+  }
+}
+
+void write_archive(const core::ScanResult& result,
+                   const ArchiveHeader& header, std::ostream& out) {
+  out.write(kMagic, sizeof kMagic);
+  write_varint(out, kFormatVersion);
+  write_varint(out, header.first_prefix);
+  write_varint(out, static_cast<std::uint64_t>(header.prefix_bits));
+  write_varint(out, header.seed);
+
+  // Scalar counters.
+  write_varint(out, result.probes_sent);
+  write_varint(out, result.preprobe_probes);
+  write_varint(out, result.responses);
+  write_varint(out, result.mismatches);
+  write_varint(out, result.destinations_reached);
+  write_varint(out, result.distances_measured);
+  write_varint(out, result.distances_predicted);
+  write_varint(out, result.convergence_stops);
+  write_varint(out, static_cast<std::uint64_t>(result.scan_time));
+  write_varint(out, static_cast<std::uint64_t>(result.preprobe_time));
+
+  // Interfaces, delta-coded over the sorted set.
+  std::vector<std::uint32_t> interfaces(result.interfaces.begin(),
+                                        result.interfaces.end());
+  std::sort(interfaces.begin(), interfaces.end());
+  write_varint(out, interfaces.size());
+  std::uint32_t previous = 0;
+  for (const std::uint32_t ip : interfaces) {
+    write_varint(out, ip - previous);
+    previous = ip;
+  }
+
+  // Per-prefix byte vectors (empty vectors are stored with length 0).
+  const auto write_bytes = [&](const std::vector<std::uint8_t>& values) {
+    write_varint(out, values.size());
+    for (const std::uint8_t v : values) out.put(static_cast<char>(v));
+  };
+  write_bytes(result.destination_distance);
+  write_bytes(result.trigger_ttl);
+  write_bytes(result.measured_distance);
+  write_bytes(result.predicted_distance);
+
+  // Routes.
+  write_varint(out, result.routes.size());
+  for (const auto& route : result.routes) {
+    write_varint(out, route.size());
+    for (const core::RouteHop& hop : route) {
+      write_varint(out, hop.ip);
+      out.put(static_cast<char>(hop.ttl));
+      out.put(static_cast<char>(hop.flags));
+    }
+  }
+}
+
+std::optional<LoadedArchive> read_archive(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof magic);
+  if (!in || !std::equal(magic, magic + 4, kMagic)) return std::nullopt;
+  const auto version = read_varint(in);
+  if (!version || *version != kFormatVersion) return std::nullopt;
+
+  LoadedArchive loaded;
+  const auto read_u64 = [&](auto& field) -> bool {
+    const auto value = read_varint(in);
+    if (!value) return false;
+    field = static_cast<std::remove_reference_t<decltype(field)>>(*value);
+    return true;
+  };
+
+  if (!read_u64(loaded.header.first_prefix)) return std::nullopt;
+  if (!read_u64(loaded.header.prefix_bits)) return std::nullopt;
+  if (!read_u64(loaded.header.seed)) return std::nullopt;
+
+  core::ScanResult& result = loaded.result;
+  if (!read_u64(result.probes_sent)) return std::nullopt;
+  if (!read_u64(result.preprobe_probes)) return std::nullopt;
+  if (!read_u64(result.responses)) return std::nullopt;
+  if (!read_u64(result.mismatches)) return std::nullopt;
+  if (!read_u64(result.destinations_reached)) return std::nullopt;
+  if (!read_u64(result.distances_measured)) return std::nullopt;
+  if (!read_u64(result.distances_predicted)) return std::nullopt;
+  if (!read_u64(result.convergence_stops)) return std::nullopt;
+  if (!read_u64(result.scan_time)) return std::nullopt;
+  if (!read_u64(result.preprobe_time)) return std::nullopt;
+
+  const auto interface_count = read_varint(in);
+  if (!interface_count) return std::nullopt;
+  std::uint32_t previous = 0;
+  for (std::uint64_t i = 0; i < *interface_count; ++i) {
+    const auto delta = read_varint(in);
+    if (!delta) return std::nullopt;
+    previous += static_cast<std::uint32_t>(*delta);
+    result.interfaces.insert(previous);
+  }
+
+  const auto read_bytes = [&](std::vector<std::uint8_t>& values) -> bool {
+    const auto count = read_varint(in);
+    if (!count || *count > (std::uint64_t{1} << 32)) return false;
+    values.resize(static_cast<std::size_t>(*count));
+    for (auto& v : values) {
+      const int byte = in.get();
+      if (byte == std::char_traits<char>::eof()) return false;
+      v = static_cast<std::uint8_t>(byte);
+    }
+    return true;
+  };
+  if (!read_bytes(result.destination_distance)) return std::nullopt;
+  if (!read_bytes(result.trigger_ttl)) return std::nullopt;
+  if (!read_bytes(result.measured_distance)) return std::nullopt;
+  if (!read_bytes(result.predicted_distance)) return std::nullopt;
+
+  const auto route_count = read_varint(in);
+  if (!route_count || *route_count > (std::uint64_t{1} << 32)) {
+    return std::nullopt;
+  }
+  result.routes.resize(static_cast<std::size_t>(*route_count));
+  for (auto& route : result.routes) {
+    const auto hop_count = read_varint(in);
+    if (!hop_count || *hop_count > (std::uint64_t{1} << 24)) {
+      return std::nullopt;
+    }
+    route.resize(static_cast<std::size_t>(*hop_count));
+    for (core::RouteHop& hop : route) {
+      const auto ip = read_varint(in);
+      if (!ip) return std::nullopt;
+      hop.ip = static_cast<std::uint32_t>(*ip);
+      const int ttl = in.get();
+      const int flags = in.get();
+      if (ttl == std::char_traits<char>::eof() ||
+          flags == std::char_traits<char>::eof()) {
+        return std::nullopt;
+      }
+      hop.ttl = static_cast<std::uint8_t>(ttl);
+      hop.flags = static_cast<std::uint8_t>(flags);
+    }
+  }
+  return loaded;
+}
+
+}  // namespace flashroute::io

@@ -1,0 +1,62 @@
+// Scan result persistence.
+//
+// The paper publishes the data collected in its study; a usable tool needs
+// durable scan outputs.  Three formats:
+//
+//  * text  — human-readable per-target route listings (traceroute-style);
+//  * csv   — one row per discovered hop, for spreadsheet/pandas analysis;
+//  * a versioned binary archive ("FRSC" magic) with varint coding, carrying
+//    everything in core::ScanResult (routes, distances, counters) so a scan
+//    can be analysed later without re-running it.  write_archive/read_archive
+//    round-trip exactly.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "core/result.h"
+
+namespace flashroute::io {
+
+/// Universe metadata stored alongside the results.
+struct ArchiveHeader {
+  std::uint32_t first_prefix = 0;
+  int prefix_bits = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Maps a prefix offset to the address that was probed (the engine's
+/// target_of); used by the text/CSV writers to label routes.
+using TargetResolver = std::function<std::uint32_t(std::uint32_t)>;
+
+/// Human-readable route listing: one block per target with any recorded
+/// hops, TTL-sorted, flagged with [dest]/[preprobe]/[extra].
+void write_routes_text(const core::ScanResult& result,
+                       const TargetResolver& target_of,
+                       std::uint32_t first_prefix, std::ostream& out);
+
+/// CSV: header row then `prefix,target,ttl,hop,kind` per recorded hop,
+/// kind in {hop, dest, preprobe, extra}.
+void write_routes_csv(const core::ScanResult& result,
+                      const TargetResolver& target_of,
+                      std::uint32_t first_prefix, std::ostream& out);
+
+/// Binary archive (format version 1).  Everything in `result` is stored.
+void write_archive(const core::ScanResult& result,
+                   const ArchiveHeader& header, std::ostream& out);
+
+struct LoadedArchive {
+  ArchiveHeader header;
+  core::ScanResult result;
+};
+
+/// Reads an archive; returns nullopt on a bad magic, unsupported version,
+/// or truncated/corrupt input.
+std::optional<LoadedArchive> read_archive(std::istream& in);
+
+}  // namespace flashroute::io

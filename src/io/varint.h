@@ -1,0 +1,39 @@
+// LEB128-style varint encoding for the binary scan archive.
+//
+// Scan archives store millions of small integers (TTLs, deltas, counters);
+// varint coding keeps a full-universe archive a few dozen megabytes instead
+// of hundreds.
+
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+
+namespace flashroute::io {
+
+/// Writes `value` as a base-128 varint (1..10 bytes).
+inline void write_varint(std::ostream& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.put(static_cast<char>(0x80 | (value & 0x7F)));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+/// Reads a varint; returns nullopt on EOF, truncation, or overlong input.
+inline std::optional<std::uint64_t> read_varint(std::istream& in) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    const int byte = in.get();
+    if (byte == std::char_traits<char>::eof()) return std::nullopt;
+    value |= (static_cast<std::uint64_t>(byte) & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return std::nullopt;  // > 10 bytes: malformed
+}
+
+}  // namespace flashroute::io

@@ -1,0 +1,34 @@
+// RFC 1071 Internet checksum.
+//
+// Besides header checksums, FlashRoute uses the checksum of the destination
+// IP address as the probe's UDP source port (§3.1): a response whose quoted
+// source port does not match the checksum of its quoted destination address
+// reveals in-flight destination rewriting by a middlebox (§5.3).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "net/ipv4.h"
+
+namespace flashroute::net {
+
+/// One's-complement sum over `data`, folded to 16 bits (not yet inverted).
+/// Exposed so checksums can be computed over multiple fragments (header +
+/// pseudo-header) by chaining partial sums.
+std::uint32_t checksum_partial(std::span<const std::byte> data,
+                               std::uint32_t sum = 0) noexcept;
+
+/// Folds a partial sum and returns the final (inverted) Internet checksum.
+std::uint16_t checksum_finish(std::uint32_t sum) noexcept;
+
+/// Complete RFC 1071 checksum of a byte range.
+std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept;
+
+/// Checksum of the 4 bytes of an IPv4 address (network order) — the value
+/// FlashRoute places in the UDP source-port field of each probe.
+std::uint16_t address_checksum(Ipv4Address address) noexcept;
+
+}  // namespace flashroute::net

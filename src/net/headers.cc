@@ -1,0 +1,128 @@
+#include "net/headers.h"
+
+#include <array>
+
+#include "net/checksum.h"
+
+namespace flashroute::net {
+
+bool Ipv4Header::serialize(ByteWriter& w) const noexcept {
+  std::array<std::byte, kSize> scratch{};
+  ByteWriter header(scratch);
+  header.put_u8(0x45);  // version 4, IHL 5
+  header.put_u8(tos);
+  header.put_u16(total_length);
+  header.put_u16(id);
+  header.put_u16(flags_fragment);
+  header.put_u8(ttl);
+  header.put_u8(protocol);
+  header.put_u16(0);  // checksum placeholder
+  header.put_u32(src.value());
+  header.put_u32(dst.value());
+  if (!header.ok()) return false;
+  header.patch_u16(10, internet_checksum(scratch));
+  w.put_bytes(scratch);
+  return w.ok();
+}
+
+std::optional<Ipv4Header> Ipv4Header::parse(ByteReader& r) noexcept {
+  const std::uint8_t version_ihl = r.get_u8();
+  if (!r.ok() || (version_ihl >> 4) != 4) return std::nullopt;
+  const std::size_t ihl_bytes = static_cast<std::size_t>(version_ihl & 0xF) * 4;
+  if (ihl_bytes < kSize) return std::nullopt;
+  Ipv4Header h;
+  h.tos = r.get_u8();
+  h.total_length = r.get_u16();
+  h.id = r.get_u16();
+  h.flags_fragment = r.get_u16();
+  h.ttl = r.get_u8();
+  h.protocol = r.get_u8();
+  r.skip(2);  // checksum — validated separately when needed
+  h.src = Ipv4Address(r.get_u32());
+  h.dst = Ipv4Address(r.get_u32());
+  if (ihl_bytes > kSize) r.skip(ihl_bytes - kSize);
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+bool UdpHeader::serialize(ByteWriter& w) const noexcept {
+  w.put_u16(src_port);
+  w.put_u16(dst_port);
+  w.put_u16(length);
+  w.put_u16(checksum);
+  return w.ok();
+}
+
+std::optional<UdpHeader> UdpHeader::parse(ByteReader& r) noexcept {
+  UdpHeader h;
+  h.src_port = r.get_u16();
+  h.dst_port = r.get_u16();
+  h.length = r.get_u16();
+  h.checksum = r.get_u16();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+bool TcpHeader::serialize(ByteWriter& w) const noexcept {
+  w.put_u16(src_port);
+  w.put_u16(dst_port);
+  w.put_u32(seq);
+  w.put_u32(ack);
+  w.put_u8(0x50);  // data offset 5 words
+  w.put_u8(flags);
+  w.put_u16(window);
+  w.put_u16(checksum);
+  w.put_u16(0);  // urgent pointer
+  return w.ok();
+}
+
+std::optional<TcpHeader> TcpHeader::parse(ByteReader& r) noexcept {
+  TcpHeader h;
+  h.src_port = r.get_u16();
+  h.dst_port = r.get_u16();
+  h.seq = r.get_u32();
+  h.ack = r.get_u32();
+  const std::uint8_t data_offset = r.get_u8();
+  h.flags = r.get_u8();
+  h.window = r.get_u16();
+  h.checksum = r.get_u16();
+  r.skip(2);  // urgent pointer
+  const std::size_t header_bytes = static_cast<std::size_t>(data_offset >> 4) * 4;
+  if (header_bytes < kSize) return std::nullopt;
+  if (header_bytes > kSize) r.skip(header_bytes - kSize);
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+bool IcmpHeader::serialize(ByteWriter& w) const noexcept {
+  w.put_u8(type);
+  w.put_u8(code);
+  w.put_u16(checksum);
+  w.put_u32(rest);
+  return w.ok();
+}
+
+std::optional<IcmpHeader> IcmpHeader::parse(ByteReader& r) noexcept {
+  IcmpHeader h;
+  h.type = r.get_u8();
+  h.code = r.get_u8();
+  h.checksum = r.get_u16();
+  h.rest = r.get_u32();
+  if (!r.ok()) return std::nullopt;
+  return h;
+}
+
+bool verify_ipv4_checksum(std::span<const std::byte> bytes) noexcept {
+  if (bytes.empty()) return false;
+  const auto version_ihl = static_cast<std::uint8_t>(bytes[0]);
+  const std::size_t ihl_bytes = static_cast<std::size_t>(version_ihl & 0xF) * 4;
+  if ((version_ihl >> 4) != 4 || ihl_bytes < Ipv4Header::kSize ||
+      bytes.size() < ihl_bytes) {
+    return false;
+  }
+  // A correct header (checksum field included) sums to 0xFFFF, so the final
+  // inverted checksum over the full header is zero.
+  return internet_checksum(bytes.first(ihl_bytes)) == 0;
+}
+
+}  // namespace flashroute::net

@@ -1,0 +1,114 @@
+// IPv4 / UDP / TCP / ICMP header serialization and parsing.
+//
+// Probes and responses in this repository travel as real header bytes, both
+// through the Internet simulator and through the optional raw-socket
+// transport.  The probe-encoding scheme of §3.1 (TTL and timestamp bits in
+// the IPID field, timestamp bits in the UDP length, destination checksum as
+// the source port) is therefore executed against the same wire format a real
+// deployment would use.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/ipv4.h"
+#include "net/packet.h"
+
+namespace flashroute::net {
+
+// IP protocol numbers.
+inline constexpr std::uint8_t kProtoIcmp = 1;
+inline constexpr std::uint8_t kProtoTcp = 6;
+inline constexpr std::uint8_t kProtoUdp = 17;
+
+// ICMP types/codes used by traceroute.
+inline constexpr std::uint8_t kIcmpDestUnreachable = 3;
+inline constexpr std::uint8_t kIcmpCodeNetUnreachable = 0;
+inline constexpr std::uint8_t kIcmpCodeHostUnreachable = 1;
+inline constexpr std::uint8_t kIcmpCodeProtoUnreachable = 2;
+inline constexpr std::uint8_t kIcmpCodePortUnreachable = 3;
+inline constexpr std::uint8_t kIcmpTimeExceeded = 11;
+inline constexpr std::uint8_t kIcmpCodeTtlExceeded = 0;
+
+/// The traceroute destination port: probes aimed at it elicit ICMP
+/// port-unreachable from hosts (§3.3.1).
+inline constexpr std::uint16_t kTracerouteDstPort = 33434;
+
+/// IPv4 header (fixed 20 bytes; we never emit options).
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;
+
+  std::uint8_t tos = 0;
+  std::uint16_t total_length = 0;  // header + payload, bytes
+  std::uint16_t id = 0;            // the IPID field FlashRoute encodes into
+  std::uint16_t flags_fragment = 0;
+  std::uint8_t ttl = 0;
+  std::uint8_t protocol = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  /// Serializes 20 bytes, computing the header checksum.
+  /// Returns false if the buffer is too small.
+  bool serialize(ByteWriter& w) const noexcept;
+
+  /// Parses 20(+options) bytes; consumes the full IHL.  Does not verify the
+  /// checksum (receivers that care call verify_checksum on the raw bytes).
+  static std::optional<Ipv4Header> parse(ByteReader& r) noexcept;
+};
+
+/// UDP header (8 bytes).  `length` covers header + payload; FlashRoute
+/// encodes 6 bits of the probe timestamp in the payload size (§3.1).
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;
+  std::uint16_t checksum = 0;
+
+  bool serialize(ByteWriter& w) const noexcept;
+  static std::optional<UdpHeader> parse(ByteReader& r) noexcept;
+};
+
+/// TCP header (fixed 20 bytes, no options) — used by the Yarrp baseline's
+/// Paris-TCP-ACK probes, which encode the elapsed time in the sequence
+/// number field (§3.1).
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;
+
+  static constexpr std::uint8_t kFlagRst = 0x04;
+  static constexpr std::uint8_t kFlagAck = 0x10;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0;
+  std::uint16_t checksum = 0;
+
+  bool serialize(ByteWriter& w) const noexcept;
+  static std::optional<TcpHeader> parse(ByteReader& r) noexcept;
+};
+
+/// ICMP header (8 bytes; the 4 "rest of header" bytes are unused by the
+/// types we emit).
+struct IcmpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint8_t type = 0;
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+  std::uint32_t rest = 0;
+
+  bool serialize(ByteWriter& w) const noexcept;
+  static std::optional<IcmpHeader> parse(ByteReader& r) noexcept;
+};
+
+/// Recomputes and verifies the IPv4 header checksum over raw bytes
+/// (`bytes` must start at the IP header and contain at least IHL*4 bytes).
+bool verify_ipv4_checksum(std::span<const std::byte> bytes) noexcept;
+
+}  // namespace flashroute::net

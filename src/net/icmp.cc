@@ -1,0 +1,160 @@
+#include "net/icmp.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "net/checksum.h"
+#include "net/packet.h"
+
+namespace flashroute::net {
+
+namespace {
+
+/// Quote length per RFC 792: inner IP header + 8 bytes of its payload
+/// (fewer if the probe itself was shorter, which never happens for our
+/// probes but is handled defensively).
+std::size_t quote_length(std::span<const std::byte> probe) noexcept {
+  return std::min<std::size_t>(probe.size(), Ipv4Header::kSize + 8);
+}
+
+}  // namespace
+
+std::optional<std::vector<std::byte>> craft_icmp_response(
+    std::uint8_t icmp_type, std::uint8_t icmp_code, Ipv4Address responder,
+    std::span<const std::byte> probe_packet, std::uint8_t residual_ttl,
+    std::optional<Ipv4Address> rewritten_destination) {
+  ByteReader probe_reader(probe_packet);
+  const auto inner = Ipv4Header::parse(probe_reader);
+  if (!inner) return std::nullopt;
+
+  // Copy the quoted portion of the probe and patch its TTL to the residual
+  // value it carried when it reached the responder.  Routers rewrite the IP
+  // checksum as they decrement the TTL, so we recompute it for realism.
+  std::array<std::byte, Ipv4Header::kSize + 8> quote{};
+  const std::size_t quoted = quote_length(probe_packet);
+  if (quoted < Ipv4Header::kSize) return std::nullopt;
+  std::memcpy(quote.data(), probe_packet.data(), quoted);
+  if (rewritten_destination) {
+    const std::uint32_t v = rewritten_destination->value();
+    quote[16] = std::byte(v >> 24);
+    quote[17] = std::byte((v >> 16) & 0xFF);
+    quote[18] = std::byte((v >> 8) & 0xFF);
+    quote[19] = std::byte(v & 0xFF);
+  }
+  quote[8] = std::byte{residual_ttl};
+  quote[10] = std::byte{0};
+  quote[11] = std::byte{0};
+  const std::uint16_t inner_checksum = internet_checksum(
+      std::span<const std::byte>(quote.data(), Ipv4Header::kSize));
+  quote[10] = std::byte(inner_checksum >> 8);
+  quote[11] = std::byte(inner_checksum & 0xFF);
+
+  const std::size_t icmp_len = IcmpHeader::kSize + quoted;
+  std::vector<std::byte> packet(Ipv4Header::kSize + icmp_len);
+  ByteWriter writer(packet);
+
+  Ipv4Header outer;
+  outer.total_length = static_cast<std::uint16_t>(packet.size());
+  outer.ttl = 64;
+  outer.protocol = kProtoIcmp;
+  outer.src = responder;
+  outer.dst = inner->src;
+  if (!outer.serialize(writer)) return std::nullopt;
+
+  IcmpHeader icmp;
+  icmp.type = icmp_type;
+  icmp.code = icmp_code;
+  if (!icmp.serialize(writer)) return std::nullopt;
+  writer.put_bytes(std::span<const std::byte>(quote.data(), quoted));
+  if (!writer.ok()) return std::nullopt;
+
+  // Patch the ICMP checksum (covers the ICMP header and the quote).
+  const std::uint16_t icmp_checksum = internet_checksum(
+      std::span<const std::byte>(packet).subspan(Ipv4Header::kSize));
+  packet[Ipv4Header::kSize + 2] = std::byte(icmp_checksum >> 8);
+  packet[Ipv4Header::kSize + 3] = std::byte(icmp_checksum & 0xFF);
+  return packet;
+}
+
+std::optional<std::vector<std::byte>> craft_tcp_rst(
+    std::span<const std::byte> probe_packet) {
+  ByteReader reader(probe_packet);
+  const auto probe_ip = Ipv4Header::parse(reader);
+  if (!probe_ip || probe_ip->protocol != kProtoTcp) return std::nullopt;
+  const auto probe_tcp = TcpHeader::parse(reader);
+  if (!probe_tcp) return std::nullopt;
+
+  std::vector<std::byte> packet(Ipv4Header::kSize + TcpHeader::kSize);
+  ByteWriter writer(packet);
+
+  Ipv4Header outer;
+  outer.total_length = static_cast<std::uint16_t>(packet.size());
+  outer.ttl = 64;
+  outer.protocol = kProtoTcp;
+  outer.src = probe_ip->dst;
+  outer.dst = probe_ip->src;
+  if (!outer.serialize(writer)) return std::nullopt;
+
+  TcpHeader rst;
+  rst.src_port = probe_tcp->dst_port;
+  rst.dst_port = probe_tcp->src_port;
+  rst.seq = probe_tcp->ack;  // RFC 793: RST to an ACK carries SEG.ACK as seq
+  rst.flags = TcpHeader::kFlagRst;
+  if (!rst.serialize(writer)) return std::nullopt;
+  return packet;
+}
+
+std::optional<ParsedResponse> parse_response(
+    std::span<const std::byte> packet) {
+  ByteReader reader(packet);
+  const auto outer = Ipv4Header::parse(reader);
+  if (!outer) return std::nullopt;
+
+  ParsedResponse response;
+  response.responder = outer->src;
+  response.outer_ttl = outer->ttl;
+
+  if (outer->protocol == kProtoTcp) {
+    const auto tcp = TcpHeader::parse(reader);
+    if (!tcp || (tcp->flags & TcpHeader::kFlagRst) == 0) return std::nullopt;
+    response.is_tcp_rst = true;
+    response.tcp_src_port = tcp->src_port;
+    response.tcp_dst_port = tcp->dst_port;
+    response.tcp_seq = tcp->seq;
+    return response;
+  }
+
+  if (outer->protocol != kProtoIcmp) return std::nullopt;
+  const auto icmp = IcmpHeader::parse(reader);
+  if (!icmp) return std::nullopt;
+  if (icmp->type != kIcmpTimeExceeded && icmp->type != kIcmpDestUnreachable) {
+    return std::nullopt;
+  }
+  response.is_icmp = true;
+  response.icmp_type = icmp->type;
+  response.icmp_code = icmp->code;
+
+  const auto inner = Ipv4Header::parse(reader);
+  if (!inner) return std::nullopt;
+  response.inner = *inner;
+
+  if (inner->protocol == kProtoUdp) {
+    const auto udp = UdpHeader::parse(reader);
+    if (!udp) return std::nullopt;
+    response.inner_src_port = udp->src_port;
+    response.inner_dst_port = udp->dst_port;
+    response.inner_udp_length = udp->length;
+  } else if (inner->protocol == kProtoTcp) {
+    // Only 8 quoted bytes are guaranteed: ports + sequence number.
+    response.inner_src_port = reader.get_u16();
+    response.inner_dst_port = reader.get_u16();
+    response.inner_tcp_seq = reader.get_u32();
+    if (!reader.ok()) return std::nullopt;
+  } else {
+    return std::nullopt;
+  }
+  return response;
+}
+
+}  // namespace flashroute::net

@@ -1,0 +1,89 @@
+// Crafting and parsing of the response packets a traceroute scan receives:
+// ICMP time-exceeded / destination-unreachable messages quoting the probe
+// (RFC 792: inner IP header + first 8 payload bytes), and the TCP RST a
+// destination returns to a Paris-TCP-ACK probe (the Yarrp default, §4.2.1).
+//
+// The simulator crafts these bytes exactly as a real router would — with the
+// quoted probe header carrying the *residual* TTL the packet had when it
+// arrived at the responder, which is what FlashRoute's one-probe distance
+// measurement reads (§3.3.1) — and the probing engines decode from the same
+// bytes.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/headers.h"
+#include "net/ipv4.h"
+
+namespace flashroute::net {
+
+/// Largest response we ever craft: outer IP + ICMP + quoted IP + 8 bytes.
+inline constexpr std::size_t kMaxResponseSize =
+    Ipv4Header::kSize + IcmpHeader::kSize + Ipv4Header::kSize + 8;
+
+/// Builds an ICMP message from `responder` to the probe's source, quoting the
+/// probe packet with its TTL patched to `residual_ttl` (and the quoted IP
+/// checksum recomputed, as routers rewrite it at each decrement).
+///
+/// `probe_packet` must be a full IPv4 probe as produced by the probing
+/// engines.  Returns the crafted packet, or nullopt if the probe bytes are
+/// malformed.
+///
+/// When `rewritten_destination` is set, the quoted header's destination is
+/// replaced with it — this is what a response looks like after an in-flight
+/// destination-rewriting middlebox (§5.3), and it is how FlashRoute detects
+/// the rewrite: the quoted source port no longer matches the checksum of the
+/// quoted destination.
+std::optional<std::vector<std::byte>> craft_icmp_response(
+    std::uint8_t icmp_type, std::uint8_t icmp_code, Ipv4Address responder,
+    std::span<const std::byte> probe_packet, std::uint8_t residual_ttl,
+    std::optional<Ipv4Address> rewritten_destination = std::nullopt);
+
+/// Builds the TCP RST a destination host sends in reply to an unsolicited
+/// TCP-ACK probe.  Ports are swapped relative to the probe; the RST's
+/// sequence number echoes the probe's ACK number per RFC 793.
+std::optional<std::vector<std::byte>> craft_tcp_rst(
+    std::span<const std::byte> probe_packet);
+
+/// Everything a probing engine needs from one received packet.
+struct ParsedResponse {
+  Ipv4Address responder;      // outer source: the router/host that replied
+  std::uint8_t outer_ttl = 0; // TTL of the response itself (unused by logic)
+
+  bool is_icmp = false;
+  std::uint8_t icmp_type = 0;
+  std::uint8_t icmp_code = 0;
+
+  // ICMP only: the quoted probe header (inner.ttl is the residual TTL the
+  // probe had at the responder) and its first 8 payload bytes, already
+  // interpreted per the quoted protocol.
+  Ipv4Header inner;
+  std::uint16_t inner_src_port = 0;
+  std::uint16_t inner_dst_port = 0;
+  std::uint16_t inner_udp_length = 0;  // UDP probes: carries 6 timestamp bits
+  std::uint32_t inner_tcp_seq = 0;     // TCP probes: carries Yarrp's elapsed time
+
+  bool is_tcp_rst = false;
+  std::uint16_t tcp_src_port = 0;  // RST only: the destination's port view
+  std::uint16_t tcp_dst_port = 0;
+  std::uint32_t tcp_seq = 0;       // echoes the probe's ACK number
+
+  bool is_time_exceeded() const noexcept {
+    return is_icmp && icmp_type == kIcmpTimeExceeded;
+  }
+  bool is_destination_unreachable() const noexcept {
+    return is_icmp && icmp_type == kIcmpDestUnreachable;
+  }
+};
+
+/// Parses a received IPv4 packet (ICMP quoting a probe, or a bare TCP RST).
+/// Returns nullopt for anything else or for truncated packets.
+std::optional<ParsedResponse> parse_response(
+    std::span<const std::byte> packet);
+
+}  // namespace flashroute::net

@@ -1,0 +1,41 @@
+#include "net/ipv4.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+
+namespace flashroute::net {
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) noexcept {
+  std::array<std::uint32_t, 4> octets{};
+  const char* cursor = text.data();
+  const char* const end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (cursor == end) return std::nullopt;
+    // Reject a leading '+'/'-' (from_chars would reject '+' but accept
+    // nothing else odd) and overlong octets like "001".
+    if (*cursor < '0' || *cursor > '9') return std::nullopt;
+    const auto [next, ec] = std::from_chars(cursor, end, octets[i]);
+    if (ec != std::errc{} || octets[i] > 255) return std::nullopt;
+    if (next - cursor > 1 && *cursor == '0') return std::nullopt;
+    cursor = next;
+    if (i < 3) {
+      if (cursor == end || *cursor != '.') return std::nullopt;
+      ++cursor;
+    }
+  }
+  if (cursor != end) return std::nullopt;
+  return from_octets(static_cast<std::uint8_t>(octets[0]),
+                     static_cast<std::uint8_t>(octets[1]),
+                     static_cast<std::uint8_t>(octets[2]),
+                     static_cast<std::uint8_t>(octets[3]));
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+}  // namespace flashroute::net

@@ -1,0 +1,107 @@
+// IPv4 address and /24-prefix primitives.
+//
+// FlashRoute traces one address per /24 block and keeps its per-destination
+// state in an array indexed by the /24 prefix of the destination (§3.4), so
+// the /24 prefix index is a first-class concept here.  The classification
+// helpers implement the paper's exclusion of "private, multicast, and
+// reserved destinations" from the scan.
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace flashroute::net {
+
+/// An IPv4 address held in host byte order.  Conversions to and from network
+/// byte order happen only at the serialization boundary (see packet.h).
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() noexcept = default;
+  explicit constexpr Ipv4Address(std::uint32_t host_order) noexcept
+      : value_(host_order) {}
+
+  /// Builds an address from its four dotted-quad octets, a.b.c.d.
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b,
+                                           std::uint8_t c,
+                                           std::uint8_t d) noexcept {
+    return Ipv4Address((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                       (std::uint32_t{c} << 8) | std::uint32_t{d});
+  }
+
+  /// Parses dotted-quad notation; rejects anything malformed
+  /// (empty/overlong octets, values > 255, trailing junk).
+  static std::optional<Ipv4Address> parse(std::string_view text) noexcept;
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) noexcept =
+      default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Index of the /24 block containing `addr`: the top 24 bits.
+constexpr std::uint32_t prefix24_index(Ipv4Address addr) noexcept {
+  return addr.value() >> 8;
+}
+
+/// The address `index`.x where x is the host octet.
+constexpr Ipv4Address address_in_prefix24(std::uint32_t prefix_index,
+                                          std::uint8_t host_octet) noexcept {
+  return Ipv4Address((prefix_index << 8) | host_octet);
+}
+
+constexpr std::uint32_t kNumPrefix24 = std::uint32_t{1} << 24;
+
+// --- Special-range classification (RFC 6890 and friends) -------------------
+
+constexpr bool is_private(Ipv4Address a) noexcept {
+  const std::uint32_t v = a.value();
+  return (v >> 24) == 10 ||                       // 10.0.0.0/8
+         (v >> 20) == (172u << 4 | 1) ||          // 172.16.0.0/12
+         (v >> 16) == (192u << 8 | 168);          // 192.168.0.0/16
+}
+
+constexpr bool is_loopback(Ipv4Address a) noexcept {
+  return (a.value() >> 24) == 127;                // 127.0.0.0/8
+}
+
+constexpr bool is_multicast(Ipv4Address a) noexcept {
+  return (a.value() >> 28) == 0xE;                // 224.0.0.0/4
+}
+
+constexpr bool is_reserved(Ipv4Address a) noexcept {
+  const std::uint32_t v = a.value();
+  return (v >> 28) == 0xF ||                      // 240.0.0.0/4
+         (v >> 24) == 0 ||                        // 0.0.0.0/8
+         (v >> 16) == (169u << 8 | 254) ||        // 169.254.0.0/16 link-local
+         (v >> 22) == (100u << 2 | 1) ||          // 100.64.0.0/10 CGN
+         v == 0xFFFFFFFFu;                        // broadcast
+}
+
+/// True when FlashRoute must not probe this address: the paper removes all
+/// private, multicast, and reserved destinations from the DCB list before
+/// probing commences (§3.4).
+constexpr bool is_probe_excluded(Ipv4Address a) noexcept {
+  return is_private(a) || is_loopback(a) || is_multicast(a) || is_reserved(a);
+}
+
+}  // namespace flashroute::net
+
+template <>
+struct std::hash<flashroute::net::Ipv4Address> {
+  std::size_t operator()(flashroute::net::Ipv4Address a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};

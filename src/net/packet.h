@@ -1,0 +1,137 @@
+// Bounds-checked big-endian byte readers/writers for packet serialization.
+//
+// All header structs in headers.h serialize through these.  The writers and
+// readers never touch memory outside the span they were given; a failed
+// operation latches the `ok()` flag to false and subsequent reads return 0,
+// so callers can serialize or parse a full header and check once at the end.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace flashroute::net {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::span<std::byte> buffer) noexcept
+      : buffer_(buffer) {}
+
+  bool ok() const noexcept { return ok_; }
+  std::size_t written() const noexcept { return offset_; }
+
+  void put_u8(std::uint8_t v) noexcept {
+    if (!ensure(1)) return;
+    buffer_[offset_++] = std::byte{v};
+  }
+
+  void put_u16(std::uint16_t v) noexcept {
+    if (!ensure(2)) return;
+    buffer_[offset_++] = std::byte(v >> 8);
+    buffer_[offset_++] = std::byte(v & 0xFF);
+  }
+
+  void put_u32(std::uint32_t v) noexcept {
+    if (!ensure(4)) return;
+    buffer_[offset_++] = std::byte(v >> 24);
+    buffer_[offset_++] = std::byte((v >> 16) & 0xFF);
+    buffer_[offset_++] = std::byte((v >> 8) & 0xFF);
+    buffer_[offset_++] = std::byte(v & 0xFF);
+  }
+
+  void put_bytes(std::span<const std::byte> data) noexcept {
+    if (!ensure(data.size())) return;
+    std::memcpy(buffer_.data() + offset_, data.data(), data.size());
+    offset_ += data.size();
+  }
+
+  /// Skips `n` bytes, zero-filling them.
+  void put_zeros(std::size_t n) noexcept {
+    if (!ensure(n)) return;
+    std::memset(buffer_.data() + offset_, 0, n);
+    offset_ += n;
+  }
+
+  /// Overwrites a previously written 16-bit field (e.g. a checksum slot).
+  void patch_u16(std::size_t offset, std::uint16_t v) noexcept {
+    if (offset + 2 > buffer_.size()) {
+      ok_ = false;
+      return;
+    }
+    buffer_[offset] = std::byte(v >> 8);
+    buffer_[offset + 1] = std::byte(v & 0xFF);
+  }
+
+ private:
+  bool ensure(std::size_t n) noexcept {
+    if (!ok_ || offset_ + n > buffer_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<std::byte> buffer_;
+  std::size_t offset_ = 0;
+  bool ok_ = true;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> buffer) noexcept
+      : buffer_(buffer) {}
+
+  bool ok() const noexcept { return ok_; }
+  std::size_t remaining() const noexcept { return buffer_.size() - offset_; }
+  std::size_t consumed() const noexcept { return offset_; }
+
+  std::uint8_t get_u8() noexcept {
+    if (!ensure(1)) return 0;
+    return static_cast<std::uint8_t>(buffer_[offset_++]);
+  }
+
+  std::uint16_t get_u16() noexcept {
+    if (!ensure(2)) return 0;
+    const auto hi = static_cast<std::uint16_t>(buffer_[offset_]);
+    const auto lo = static_cast<std::uint16_t>(buffer_[offset_ + 1]);
+    offset_ += 2;
+    return static_cast<std::uint16_t>(hi << 8 | lo);
+  }
+
+  std::uint32_t get_u32() noexcept {
+    if (!ensure(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v = v << 8 | static_cast<std::uint32_t>(buffer_[offset_ + i]);
+    }
+    offset_ += 4;
+    return v;
+  }
+
+  void skip(std::size_t n) noexcept {
+    if (!ensure(n)) return;
+    offset_ += n;
+  }
+
+  /// Returns the unread tail without consuming it.
+  std::span<const std::byte> rest() const noexcept {
+    return ok_ ? buffer_.subspan(offset_) : std::span<const std::byte>{};
+  }
+
+ private:
+  bool ensure(std::size_t n) noexcept {
+    if (!ok_ || offset_ + n > buffer_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::span<const std::byte> buffer_;
+  std::size_t offset_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace flashroute::net

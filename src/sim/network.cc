@@ -1,0 +1,156 @@
+#include "sim/network.h"
+
+#include "net/checksum.h"
+#include "net/headers.h"
+#include "net/packet.h"
+
+namespace flashroute::sim {
+
+SimNetwork::SimNetwork(const Topology& topology)
+    : topology_(topology),
+      seed_rtt_(util::hash_combine(topology.params().seed, 0x727474)) {}
+
+bool SimNetwork::admit_response(std::uint32_t responder_ip, util::Nanos t) {
+  auto [it, inserted] = rate_limiters_.try_emplace(
+      responder_ip, topology_.params().icmp_rate_limit_pps,
+      topology_.params().icmp_rate_limit_burst, t);
+  if (it->second.try_consume(t)) return true;
+  ++stats_.rate_limited;
+  ++rate_limit_drops_[responder_ip];
+  return false;
+}
+
+util::Nanos SimNetwork::arrival_time(util::Nanos send_time, int hop,
+                                     std::uint64_t jitter_key) const noexcept {
+  const auto& params = topology_.params();
+  const util::Nanos jitter =
+      params.rtt_jitter > 0
+          ? static_cast<util::Nanos>(util::stable_bounded(
+                seed_rtt_, jitter_key,
+                static_cast<std::uint64_t>(params.rtt_jitter)))
+          : 0;
+  return send_time + params.rtt_base + params.rtt_per_hop * hop + jitter;
+}
+
+std::optional<Delivery> SimNetwork::process(std::span<const std::byte> probe,
+                                            util::Nanos send_time) {
+  ++stats_.probes;
+
+  net::ByteReader reader(probe);
+  const auto ip = net::Ipv4Header::parse(reader);
+  if (!ip || ip->ttl == 0) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  if (ip->protocol == net::kProtoUdp) {
+    const auto udp = net::UdpHeader::parse(reader);
+    if (!udp) {
+      ++stats_.malformed;
+      return std::nullopt;
+    }
+    src_port = udp->src_port;
+    dst_port = udp->dst_port;
+  } else if (ip->protocol == net::kProtoTcp) {
+    const auto tcp = net::TcpHeader::parse(reader);
+    if (!tcp) {
+      ++stats_.malformed;
+      return std::nullopt;
+    }
+    src_port = tcp->src_port;
+    dst_port = tcp->dst_port;
+  } else {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+
+  // Per-flow label: what a Paris-style load balancer hashes (§3, Paris
+  // traceroute keeps these constant so one target sees one path).
+  const std::uint64_t flow =
+      util::hash_combine(ip->dst.value(), src_port, dst_port, ip->protocol);
+  const std::int64_t epoch =
+      send_time / topology_.params().dynamics_epoch;
+
+  Route route;
+  if (!topology_.resolve(ip->dst, flow, epoch, route)) {
+    ++stats_.out_of_universe;
+    return std::nullopt;
+  }
+
+  // Walk the path, decrementing TTL.  A TTL-rewriting middlebox resets the
+  // residual TTL of packets it forwards (but a packet expiring *at* the
+  // middlebox still expires there).
+  int residual = ip->ttl;
+  int expire_pos = 0;
+  for (int pos = 1; pos <= route.num_hops; ++pos) {
+    if (residual == 1) {
+      expire_pos = pos;
+      break;
+    }
+    if (pos == route.middlebox_pos) residual = route.middlebox_reset;
+    --residual;
+  }
+
+  if (expire_pos == 0 && !route.delivers) {
+    if (route.loops) {
+      // The dark tail bounces between two hops; the probe expires
+      // `residual` hops into the loop.
+      expire_pos = route.num_hops + residual;
+    } else {
+      ++stats_.dropped_dark;
+      return std::nullopt;
+    }
+  }
+
+  if (expire_pos != 0) {
+    const std::uint32_t responder = route.hop_at(expire_pos);
+    if (!topology_.interface_responds(responder, ip->protocol)) {
+      ++stats_.silent_interface;
+      return std::nullopt;
+    }
+    if (!admit_response(responder, send_time)) return std::nullopt;
+    auto packet = net::craft_icmp_response(
+        net::kIcmpTimeExceeded, net::kIcmpCodeTtlExceeded,
+        net::Ipv4Address(responder), probe, /*residual_ttl=*/1);
+    if (!packet) {
+      ++stats_.malformed;
+      return std::nullopt;
+    }
+    ++stats_.time_exceeded_sent;
+    const std::uint64_t jitter_key = util::hash_combine(
+        ip->dst.value(), ip->ttl, flow, static_cast<std::uint64_t>(epoch));
+    return Delivery{arrival_time(send_time, expire_pos, jitter_key),
+                    std::move(*packet)};
+  }
+
+  // Delivered to a host: `residual` is the TTL it arrives with.
+  const net::Ipv4Address host(route.delivered_address);
+  if (!topology_.host_responds(host, ip->protocol)) {
+    ++stats_.silent_host;
+    return std::nullopt;
+  }
+  if (!admit_response(host.value(), send_time)) return std::nullopt;
+
+  std::optional<std::vector<std::byte>> packet;
+  if (ip->protocol == net::kProtoTcp) {
+    packet = net::craft_tcp_rst(probe);
+  } else {
+    packet = net::craft_icmp_response(
+        net::kIcmpDestUnreachable, net::kIcmpCodePortUnreachable, host, probe,
+        static_cast<std::uint8_t>(residual),
+        route.rewritten ? std::optional(host) : std::nullopt);
+  }
+  if (!packet) {
+    ++stats_.malformed;
+    return std::nullopt;
+  }
+  ++stats_.destination_responses;
+  const std::uint64_t jitter_key = util::hash_combine(
+      ip->dst.value(), ip->ttl, flow, static_cast<std::uint64_t>(epoch) ^ 1);
+  return Delivery{arrival_time(send_time, route.num_hops + 1, jitter_key),
+                  std::move(*packet)};
+}
+
+}  // namespace flashroute::sim

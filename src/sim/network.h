@@ -1,0 +1,87 @@
+// The packet-level behaviour of the simulated Internet.
+//
+// `SimNetwork` receives the same IPv4 probe bytes a real deployment would
+// put on the wire, walks the probe along the forwarding path its Topology
+// resolves — honouring TTL decrement semantics, TTL-rewriting middleboxes,
+// dark tails and forwarding loops — and returns the response bytes a real
+// router or host would emit, with a delivery time reflecting the per-hop RTT.
+//
+// Per-interface ICMP generation is limited with a token bucket (default
+// 500/s per Ravaioli et al., the assumption of the paper's §4.2.2 analysis),
+// so an over-aggressive scan genuinely loses responses here, exactly the
+// intrusiveness phenomenon Table 4 studies.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/icmp.h"
+#include "sim/topology.h"
+#include "util/clock.h"
+#include "util/token_bucket.h"
+
+namespace flashroute::sim {
+
+struct NetworkStats {
+  std::uint64_t probes = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t out_of_universe = 0;
+  std::uint64_t time_exceeded_sent = 0;
+  std::uint64_t destination_responses = 0;  // port-unreachable / TCP RST
+  std::uint64_t silent_interface = 0;
+  std::uint64_t silent_host = 0;
+  std::uint64_t rate_limited = 0;
+  std::uint64_t dropped_dark = 0;  // probe died with no responder in range
+
+  std::uint64_t responses() const noexcept {
+    return time_exceeded_sent + destination_responses;
+  }
+};
+
+/// A response packet and the virtual time at which it reaches the vantage.
+struct Delivery {
+  util::Nanos arrival;
+  std::vector<std::byte> packet;
+};
+
+class SimNetwork {
+ public:
+  explicit SimNetwork(const Topology& topology);
+
+  /// Processes one probe sent at `send_time`.  Returns the response and its
+  /// arrival time, or nullopt when the network stays silent.  `send_time`
+  /// must be non-decreasing across calls (the rate limiters refill
+  /// monotonically).
+  std::optional<Delivery> process(std::span<const std::byte> probe,
+                                  util::Nanos send_time);
+
+  const NetworkStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = NetworkStats{}; }
+
+  /// Ground-truth rate-limit drops per interface (for validating the
+  /// Table 4 overprobing analysis against what "actually" happened).
+  const std::unordered_map<std::uint32_t, std::uint64_t>& rate_limit_drops()
+      const noexcept {
+    return rate_limit_drops_;
+  }
+
+  const Topology& topology() const noexcept { return topology_; }
+
+ private:
+  bool admit_response(std::uint32_t responder_ip, util::Nanos t);
+  util::Nanos arrival_time(util::Nanos send_time, int hop,
+                           std::uint64_t jitter_key) const noexcept;
+
+  const Topology& topology_;
+  NetworkStats stats_;
+  std::unordered_map<std::uint32_t, util::TokenBucket> rate_limiters_;
+  std::unordered_map<std::uint32_t, std::uint64_t> rate_limit_drops_;
+  std::uint64_t seed_rtt_;
+};
+
+}  // namespace flashroute::sim

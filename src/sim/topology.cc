@@ -1,0 +1,521 @@
+#include "sim/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/headers.h"
+
+namespace flashroute::sim {
+
+namespace {
+
+// Tags mixed into the master seed so each stochastic aspect of the model
+// draws from an independent stream.
+enum SeedTag : std::uint64_t {
+  kTagHost = 0x686f7374,
+  kTagDepth = 0x64657074,
+  kTagUdp = 0x756470,
+  kTagTcp = 0x746370,
+  kTagSilent = 0x73696c31,
+  kTagSilentTcp = 0x73696c32,
+  kTagDyn = 0x64796e,
+  kTagLoop = 0x6c6f6f70,
+  kTagHitlist = 0x686974,
+  kTagInternal = 0x696e74,
+};
+
+constexpr std::uint8_t kApplianceOctet = 1;
+
+}  // namespace
+
+Topology::Topology(const SimParams& params)
+    : params_(params),
+      next_pool_ip_(params.interface_pool_base),
+      seed_host_(util::hash_combine(params.seed, kTagHost)),
+      seed_depth_(util::hash_combine(params.seed, kTagDepth)),
+      seed_udp_(util::hash_combine(params.seed, kTagUdp)),
+      seed_tcp_(util::hash_combine(params.seed, kTagTcp)),
+      seed_silent_(util::hash_combine(params.seed, kTagSilent)),
+      seed_silent_tcp_(util::hash_combine(params.seed, kTagSilentTcp)),
+      seed_dyn_(util::hash_combine(params.seed, kTagDyn)),
+      seed_loop_(util::hash_combine(params.seed, kTagLoop)),
+      seed_hitlist_(util::hash_combine(params.seed, kTagHitlist)),
+      seed_internal_(util::hash_combine(params.seed, kTagInternal)) {
+  if (params_.prefix_bits < 1 || params_.prefix_bits > 24) {
+    throw std::invalid_argument("prefix_bits must be in [1, 24]");
+  }
+  const std::uint64_t universe_first =
+      std::uint64_t{params_.first_prefix} << 8;
+  const std::uint64_t universe_last =
+      (std::uint64_t{params_.last_prefix()} << 8) | 0xFF;
+  if (std::uint64_t{params_.last_prefix()} < params_.first_prefix ||
+      universe_last > 0xFFFFFFFFull) {
+    throw std::invalid_argument("destination universe overflows IPv4 space");
+  }
+  // The interface pool must not overlap the destination universe: pool IPs
+  // are "provider" addresses, universe IPs are scan targets.
+  const std::uint64_t pool_first = params_.interface_pool_base;
+  const std::uint64_t pool_last =
+      pool_first + (std::uint64_t{1} << 24);  // generous upper bound
+  if (pool_first <= universe_last && universe_first <= pool_last) {
+    throw std::invalid_argument(
+        "interface pool overlaps the destination universe");
+  }
+
+  util::Xoshiro256 rng(params_.seed);
+
+  // --- Provider core: random recursive tree with load-balancer diamonds ---
+  const int num_core = params_.effective_core_routers();
+  // edge_hops[i]: the template positions appended when a path crosses the
+  // edge parent(i) -> i.  The root's single entry is the TTL-1 interface.
+  std::vector<std::vector<TemplateHop>> edge_hops(
+      static_cast<std::size_t>(num_core));
+  std::vector<std::int32_t> parent(static_cast<std::size_t>(num_core), -1);
+  std::vector<std::uint16_t> depth(static_cast<std::size_t>(num_core), 0);
+
+  edge_hops[0].push_back({alloc_pool_ip(), 0, 0});
+  for (int i = 1; i < num_core; ++i) {
+    // Depth-biased attachment: the deepest of `tree_attach_draws` candidates
+    // becomes the parent, stretching routes toward realistic hop counts.
+    std::int32_t chosen =
+        static_cast<std::int32_t>(rng.bounded(static_cast<std::uint64_t>(i)));
+    for (int draw = 1; draw < params_.tree_attach_draws; ++draw) {
+      const auto candidate = static_cast<std::int32_t>(
+          rng.bounded(static_cast<std::uint64_t>(i)));
+      if (depth[static_cast<std::size_t>(candidate)] >
+          depth[static_cast<std::size_t>(chosen)]) {
+        chosen = candidate;
+      }
+    }
+    parent[static_cast<std::size_t>(i)] = chosen;
+    depth[static_cast<std::size_t>(i)] =
+        static_cast<std::uint16_t>(depth[static_cast<std::size_t>(chosen)] + 1);
+    auto& hops = edge_hops[static_cast<std::size_t>(i)];
+    if (rng.chance(params_.diamond_fraction)) {
+      const std::uint8_t width =
+          rng.chance(params_.diamond_three_way_fraction) ? 3 : 2;
+      const std::uint64_t edge_key = rng();
+      const std::uint32_t mid_base = next_pool_ip_;
+      next_pool_ip_ += width;  // parallel mid-router interfaces
+      const std::uint32_t child_base = next_pool_ip_;
+      next_pool_ip_ += width;  // per-branch in-interfaces of the child
+      hops.push_back({mid_base, width, edge_key});
+      hops.push_back({child_base, width, edge_key});
+    } else {
+      hops.push_back({alloc_pool_ip(), 0, 0});
+    }
+  }
+
+  // --- Carve the universe into advertised blocks -------------------------
+  const std::uint32_t num_prefixes = params_.num_prefixes();
+  prefix_map_.assign(num_prefixes, kUnmapped);
+
+  struct PendingBlock {
+    std::uint32_t start;
+    std::uint32_t size;
+    bool routed;
+  };
+  std::vector<PendingBlock> blocks;
+  std::uint32_t cursor = 0;
+  while (cursor < num_prefixes) {
+    const int bits = static_cast<int>(
+        rng.bounded(static_cast<std::uint64_t>(params_.max_block_bits + 1)));
+    const std::uint32_t size = std::min(std::uint32_t{1} << bits,
+                                        num_prefixes - cursor);
+    blocks.push_back({cursor, size, rng.chance(params_.routed_fraction)});
+    cursor += size;
+  }
+  // Ensure at least one stub exists so dark blocks have a provider.
+  if (std::none_of(blocks.begin(), blocks.end(),
+                   [](const PendingBlock& b) { return b.routed; })) {
+    blocks.front().routed = true;
+  }
+
+  // --- Build stubs ----------------------------------------------------------
+  for (const auto& block : blocks) {
+    if (!block.routed) continue;
+    Stub stub;
+
+    // Provider path: root .. attachment router, expanded edge templates.
+    const auto attach = static_cast<std::int32_t>(
+        rng.bounded(static_cast<std::uint64_t>(num_core)));
+    std::vector<std::int32_t> ancestry;
+    for (std::int32_t r = attach; r >= 0;
+         r = parent[static_cast<std::size_t>(r)]) {
+      ancestry.push_back(r);
+    }
+    for (auto it = ancestry.rbegin(); it != ancestry.rend(); ++it) {
+      const auto& hops = edge_hops[static_cast<std::size_t>(*it)];
+      stub.path.insert(stub.path.end(), hops.begin(), hops.end());
+    }
+
+    // Access chain between the core and the gateway, then the gateway.
+    const int chain =
+        1 + static_cast<int>(rng.bounded(
+                static_cast<std::uint64_t>(params_.max_access_chain)));
+    for (int i = 0; i < chain - 1; ++i) {
+      stub.path.push_back({alloc_pool_ip(), 0, 0});
+    }
+    if (rng.chance(params_.stub_multihome_prob)) {
+      // Multihomed stub: a wide per-flow ECMP fan feeds the gateway (§5.2).
+      const auto width = static_cast<std::uint8_t>(
+          params_.multihome_min_width +
+          static_cast<int>(rng.bounded(static_cast<std::uint64_t>(
+              params_.multihome_max_width - params_.multihome_min_width + 1))));
+      const std::uint64_t edge_key = rng();
+      const std::uint32_t mid_base = next_pool_ip_;
+      next_pool_ip_ += width;
+      const std::uint32_t child_base = next_pool_ip_;
+      next_pool_ip_ += width;
+      stub.path.push_back({mid_base, width, edge_key});
+      stub.path.push_back({child_base, width, edge_key});
+    } else {
+      stub.path.push_back({alloc_pool_ip(), 0, 0});
+    }
+    stub.path.push_back({alloc_pool_ip(), 0, 0});  // gateway in-interface
+
+    stub.spine_base = static_cast<std::uint8_t>(
+        rng.bounded(static_cast<std::uint64_t>(params_.max_spine + 1)));
+    for (auto& ip : stub.spine_ips) ip = alloc_pool_ip();
+
+    if (rng.chance(params_.ttl_reset_middlebox_prob)) {
+      stub.mbox_reset =
+          rng.chance(0.5) ? params_.ttl_reset_low : params_.ttl_reset_high;
+    }
+    stub.rewrite = rng.chance(params_.rewrite_middlebox_prob);
+
+    apply_filtered_tail(stub, rng);
+
+    const auto stub_id = static_cast<std::int32_t>(stubs_.size());
+    stubs_.push_back(std::move(stub));
+    for (std::uint32_t p = block.start; p < block.start + block.size; ++p) {
+      prefix_map_[p] = stub_id;
+    }
+  }
+
+  // --- Dark (unrouted) blocks: probes die inside a provider ----------------
+  for (const auto& block : blocks) {
+    if (block.routed) continue;
+    DarkBlock dark;
+    dark.provider_stub = static_cast<std::uint32_t>(
+        rng.bounded(static_cast<std::uint64_t>(stubs_.size())));
+    dark.drop_back = static_cast<std::uint8_t>(rng.bounded(3));
+    dark.loop = rng.chance(params_.dark_loop_prob);
+    const auto dark_id = static_cast<std::int32_t>(dark_blocks_.size());
+    dark_blocks_.push_back(dark);
+    for (std::uint32_t p = block.start; p < block.start + block.size; ++p) {
+      prefix_map_[p] = -dark_id - 2;
+    }
+  }
+}
+
+void Topology::apply_filtered_tail(const Stub& stub, util::Xoshiro256& rng) {
+  // The last `tail` router hops before the segment appliances never answer:
+  // spine hops first (nearest the appliance), then the gateway, then access
+  // routers.  Forward probing needs GapLimit >= tail to see past them.
+  const auto draw = static_cast<int>(rng.bounded(100));
+  int tail = 5;
+  for (int length = 0; length < 5; ++length) {
+    if (draw < params_.filtered_tail_cum_pct[length]) {
+      tail = length;
+      break;
+    }
+  }
+  if (tail == 0) return;
+  int remaining = tail;
+  for (int spine = static_cast<int>(stub.spine_base) - 1;
+       spine >= 0 && remaining > 0; --spine, --remaining) {
+    forced_silent_.insert(stub.spine_ips[static_cast<std::size_t>(spine)]);
+  }
+  for (auto it = stub.path.rbegin(); it != stub.path.rend() && remaining > 0;
+       ++it) {
+    if (it->width != 0) break;  // stop at a load-balancer diamond
+    forced_silent_.insert(it->base_ip);
+    --remaining;
+  }
+}
+
+std::uint32_t Topology::template_hop_ip(const TemplateHop& hop,
+                                        std::uint64_t flow) const noexcept {
+  if (hop.width == 0) return hop.base_ip;
+  const std::uint64_t branch =
+      util::mix64(hop.edge_key ^ flow) % hop.width;
+  return hop.base_ip + static_cast<std::uint32_t>(branch);
+}
+
+int Topology::expand_template(
+    const Stub& stub, std::uint64_t flow, int limit,
+    std::array<std::uint32_t, Route::kMaxHops>& hops) const noexcept {
+  const int count =
+      std::min(limit, static_cast<int>(stub.path.size()));
+  for (int i = 0; i < count; ++i) {
+    hops[static_cast<std::size_t>(i)] =
+        template_hop_ip(stub.path[static_cast<std::size_t>(i)], flow);
+  }
+  return count;
+}
+
+bool Topology::in_universe(net::Ipv4Address address) const noexcept {
+  const std::uint32_t prefix = net::prefix24_index(address);
+  return prefix >= params_.first_prefix && prefix <= params_.last_prefix();
+}
+
+bool Topology::prefix_routed(std::uint32_t prefix_index) const noexcept {
+  if (prefix_index < params_.first_prefix ||
+      prefix_index > params_.last_prefix()) {
+    return false;
+  }
+  return prefix_map_[prefix_index - params_.first_prefix] >= 0;
+}
+
+std::uint32_t Topology::appliance_address(
+    std::uint32_t prefix_index) const noexcept {
+  return (prefix_index << 8) | kApplianceOctet;
+}
+
+int Topology::spine_length(std::uint32_t stub_id,
+                           std::int64_t epoch) const noexcept {
+  const auto& stub = stubs_[stub_id];
+  int length = stub.spine_base;
+  const std::uint64_t key =
+      util::hash_combine(stub_id, static_cast<std::uint64_t>(epoch));
+  if (util::stable_chance(seed_dyn_, key, params_.route_dynamics_prob)) {
+    const bool up = (util::hash_combine(seed_dyn_, key) & 1) != 0;
+    length += up ? 1 : -1;
+  }
+  return std::clamp(length, 0,
+                    static_cast<int>(stubs_[stub_id].spine_ips.size()));
+}
+
+std::uint8_t Topology::internal_octet(std::uint32_t prefix_index,
+                                      int level) const noexcept {
+  const std::uint64_t key =
+      util::hash_combine(prefix_index, static_cast<std::uint64_t>(level));
+  return static_cast<std::uint8_t>(
+      2 + util::stable_bounded(seed_internal_, key, 253));
+}
+
+bool Topology::stub_is_responsive(std::uint32_t prefix_index) const noexcept {
+  if (prefix_index < params_.first_prefix ||
+      prefix_index > params_.last_prefix()) {
+    return false;
+  }
+  const std::int32_t entry = prefix_map_[prefix_index - params_.first_prefix];
+  if (entry < 0) return false;
+  return util::stable_chance(util::hash_combine(seed_host_, 0x636c7573),
+                             static_cast<std::uint64_t>(entry),
+                             params_.stub_responsive_prob);
+}
+
+bool Topology::host_exists(net::Ipv4Address address) const noexcept {
+  const std::uint32_t prefix = net::prefix24_index(address);
+  if (!prefix_routed(prefix)) return false;
+  if ((address.value() & 0xFF) == kApplianceOctet) return true;
+  const double exist_prob = stub_is_responsive(prefix)
+                                ? params_.host_exist_prob_responsive
+                                : params_.host_exist_prob_quiet;
+  return util::stable_chance(seed_host_, address.value(), exist_prob);
+}
+
+bool Topology::host_responds(net::Ipv4Address address,
+                             std::uint8_t protocol) const noexcept {
+  if (!host_exists(address)) return false;
+  const bool is_appliance = (address.value() & 0xFF) == kApplianceOctet;
+  if (protocol == net::kProtoTcp) {
+    const double p = is_appliance ? params_.appliance_tcp_response_prob
+                                  : params_.host_tcp_response_prob;
+    return util::stable_chance(seed_tcp_, address.value(), p);
+  }
+  const double p = is_appliance ? params_.appliance_udp_response_prob
+                                : params_.host_udp_response_prob;
+  return util::stable_chance(seed_udp_, address.value(), p);
+}
+
+bool Topology::interface_responds(std::uint32_t interface_ip,
+                                  std::uint8_t protocol) const noexcept {
+  if (forced_silent_.contains(interface_ip)) return false;
+  if (util::stable_chance(seed_silent_, interface_ip,
+                          params_.interface_silent_prob)) {
+    return false;
+  }
+  if (protocol == net::kProtoTcp &&
+      util::stable_chance(seed_silent_tcp_, interface_ip,
+                          params_.interface_tcp_extra_silent_prob)) {
+    return false;
+  }
+  return true;
+}
+
+bool Topology::resolve(net::Ipv4Address destination, std::uint64_t flow,
+                       std::int64_t epoch, Route& route) const noexcept {
+  if (!in_universe(destination)) return false;
+  const std::uint32_t prefix = net::prefix24_index(destination);
+  const std::int32_t entry = prefix_map_[prefix - params_.first_prefix];
+  route = Route{};
+
+  if (entry <= -2) {
+    // Dark space: the path follows the provider of a nearby stub and dies
+    // drop_back hops before that stub's gateway.
+    const DarkBlock& dark = dark_blocks_[static_cast<std::size_t>(-entry - 2)];
+    const Stub& provider = stubs_[dark.provider_stub];
+    const int full = static_cast<int>(provider.path.size());
+    const int drop_at = std::max(1, full - dark.drop_back);
+    route.num_hops = expand_template(provider, flow, drop_at, route.hops);
+    if (dark.loop && route.num_hops >= 2) {
+      route.loops = true;
+      route.loop_a = route.hops[static_cast<std::size_t>(route.num_hops - 1)];
+      route.loop_b = route.hops[static_cast<std::size_t>(route.num_hops - 2)];
+    }
+    return true;
+  }
+
+  const Stub& stub = stubs_[static_cast<std::size_t>(entry)];
+  const int gateway_pos =
+      expand_template(stub, flow, Route::kMaxHops, route.hops);
+  if (stub.mbox_reset != 0) {
+    route.middlebox_pos = gateway_pos;
+    route.middlebox_reset = stub.mbox_reset;
+  }
+
+  const std::uint32_t appliance = appliance_address(prefix);
+  const std::uint8_t host_octet =
+      static_cast<std::uint8_t>(destination.value() & 0xFF);
+
+  if (stub.rewrite) {
+    // A NAT-ish middlebox at the gateway rewrites every inbound destination
+    // to the segment appliance (§5.3).
+    int pos = gateway_pos;
+    const int spine = spine_length(static_cast<std::uint32_t>(entry), epoch);
+    for (int j = 0; j < spine && pos < Route::kMaxHops; ++j) {
+      route.hops[static_cast<std::size_t>(pos++)] = stub.spine_ips[
+          static_cast<std::size_t>(j)];
+    }
+    route.num_hops = pos;
+    route.delivers = true;
+    route.delivered_address = appliance;
+    route.rewritten = destination.value() != appliance;
+    return true;
+  }
+
+  if (host_octet != kApplianceOctet && !host_exists(destination)) {
+    // Unassigned address in a routed prefix.
+    if (util::stable_chance(util::hash_combine(seed_loop_, 0x6c616e),
+                            destination.value(),
+                            params_.unassigned_reach_appliance_prob)) {
+      // The appliance forwards onto the dead LAN: the probe dies one hop
+      // beyond it, so the route to an unassigned random target measures
+      // *longer* than the route to the prefix's appliance (§5.1).
+      int pos = gateway_pos;
+      const int spine =
+          spine_length(static_cast<std::uint32_t>(entry), epoch);
+      for (int j = 0; j < spine && pos < Route::kMaxHops; ++j) {
+        route.hops[static_cast<std::size_t>(pos++)] =
+            stub.spine_ips[static_cast<std::size_t>(j)];
+      }
+      if (pos < Route::kMaxHops) {
+        route.hops[static_cast<std::size_t>(pos++)] = appliance;
+      }
+      route.num_hops = pos;
+      return true;
+    }
+    // Otherwise the gateway ingress-filters it...
+    route.num_hops = gateway_pos;
+    if (route.num_hops >= 2 &&
+        util::stable_chance(seed_loop_, destination.value(),
+                            params_.dark_loop_prob)) {
+      // ...unless the stub default-routes it back to the provider (§5.1).
+      route.loops = true;
+      route.loop_a = route.hops[static_cast<std::size_t>(route.num_hops - 1)];
+      route.loop_b = route.hops[static_cast<std::size_t>(route.num_hops - 2)];
+    }
+    return true;
+  }
+
+  int pos = gateway_pos;
+  const int spine = spine_length(static_cast<std::uint32_t>(entry), epoch);
+  for (int j = 0; j < spine && pos < Route::kMaxHops; ++j) {
+    route.hops[static_cast<std::size_t>(pos++)] =
+        stub.spine_ips[static_cast<std::size_t>(j)];
+  }
+
+  if (host_octet == kApplianceOctet) {
+    // The appliance itself is the destination: the route ends at the
+    // segment entrance — the hitlist bias in action (§5.1).
+    route.num_hops = pos;
+    route.delivers = true;
+    route.delivered_address = destination.value();
+    return true;
+  }
+
+  // Assigned host 0..max_host_depth hops behind the appliance.
+  if (pos < Route::kMaxHops) {
+    route.hops[static_cast<std::size_t>(pos++)] = appliance;
+  }
+  const auto depth_draw = static_cast<int>(
+      util::stable_bounded(seed_depth_, destination.value(), 100));
+  int depth = 3;
+  if (depth_draw < params_.host_depth_cum_pct_0) {
+    depth = 0;
+  } else if (depth_draw < params_.host_depth_cum_pct_1) {
+    depth = 1;
+  } else if (depth_draw < params_.host_depth_cum_pct_2) {
+    depth = 2;
+  }
+  depth = std::min(depth, params_.max_host_depth);
+  for (int level = 1; level <= depth && pos < Route::kMaxHops; ++level) {
+    route.hops[static_cast<std::size_t>(pos++)] =
+        (prefix << 8) | internal_octet(prefix, level);
+  }
+  route.num_hops = pos;
+  route.delivers = true;
+  route.delivered_address = destination.value();
+  return true;
+}
+
+std::optional<int> Topology::trigger_ttl(net::Ipv4Address destination,
+                                         std::uint64_t flow,
+                                         std::int64_t epoch) const noexcept {
+  Route route;
+  if (!resolve(destination, flow, epoch, route) || !route.delivers) {
+    return std::nullopt;
+  }
+  return route.num_hops + 1;
+}
+
+std::vector<std::uint32_t> Topology::generate_hitlist() const {
+  const std::uint32_t num_prefixes = params_.num_prefixes();
+  std::vector<std::uint32_t> hitlist(num_prefixes, 0);
+  for (std::uint32_t i = 0; i < num_prefixes; ++i) {
+    const std::uint32_t prefix = params_.first_prefix + i;
+    if (prefix_map_[i] < 0) continue;  // census finds nothing in dark space
+    const double present_prob = stub_is_responsive(prefix)
+                                    ? params_.hitlist_present_responsive
+                                    : params_.hitlist_present_quiet;
+    if (!util::stable_chance(seed_hitlist_, prefix, present_prob)) {
+      continue;
+    }
+    if (util::stable_chance(util::hash_combine(seed_hitlist_, 1), prefix,
+                            params_.hitlist_is_appliance_prob)) {
+      hitlist[i] = appliance_address(prefix);
+      continue;
+    }
+    // Census found a responsive interior host: pick the first assigned
+    // responsive candidate among a few deterministic octets.
+    std::uint32_t chosen = appliance_address(prefix);
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const std::uint8_t octet = static_cast<std::uint8_t>(
+          2 + util::stable_bounded(util::hash_combine(seed_hitlist_, 2),
+                                   util::hash_combine(prefix, attempt), 253));
+      const net::Ipv4Address candidate((prefix << 8) | octet);
+      if (host_exists(candidate) &&
+          host_responds(candidate, net::kProtoUdp)) {
+        chosen = candidate.value();
+        break;
+      }
+    }
+    hitlist[i] = chosen;
+  }
+  return hitlist;
+}
+
+}  // namespace flashroute::sim

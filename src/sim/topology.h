@@ -1,0 +1,189 @@
+// Deterministic Internet topology model.
+//
+// The model reproduces the structural phenomena the paper's probing
+// strategies interact with:
+//
+//  * routes from one vantage point form a tree (Doubletree's premise, Fig 1):
+//    a random recursive tree of provider-core routers, so paths to different
+//    stubs share long common sections near the source;
+//  * per-flow load balancers create diamond sections (Fig 2): some core
+//    edges expand into 2-3 parallel one-hop branches selected by flow hash,
+//    so a different source port reveals different interfaces;
+//  * stubs advertise contiguous blocks of /24s that share their forward path
+//    — the basis of proximity-span distance prediction (§3.3.3);
+//  * each routed /24 has a "gateway appliance" interface inside the prefix;
+//    hosts sit 0..2 hops behind it.  The hitlist preferentially names the
+//    appliance, which is the paper's §5.1 bias;
+//  * probes to unassigned addresses die inside the provider (dark blocks) or
+//    at the stub gateway, occasionally entering a forwarding loop (§5.1);
+//  * TTL-rewriting and destination-rewriting middleboxes sit at stub
+//    entrances (§3.3.2, §5.3);
+//  * stub spine length jitters over time epochs, modelling route dynamicity.
+//
+// The topology is immutable after construction; all queries are const and
+// deterministic, so concurrent probing engines can share one instance.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "sim/params.h"
+#include "util/rng.h"
+
+namespace flashroute::sim {
+
+/// A resolved forwarding path for one (destination, flow, epoch) triple.
+struct Route {
+  static constexpr int kMaxHops = 64;
+
+  /// hops[i] answers time-exceeded at TTL i+1 (interface IPs, host order).
+  std::array<std::uint32_t, kMaxHops> hops{};
+  int num_hops = 0;  ///< routers before delivery or drop
+
+  bool delivers = false;           ///< reaches an assigned host
+  std::uint32_t delivered_address = 0;  ///< responder (after any rewriting)
+  bool rewritten = false;          ///< destination rewritten en route (§5.3)
+
+  bool loops = false;              ///< dark tail bounces between two hops
+  std::uint32_t loop_a = 0;
+  std::uint32_t loop_b = 0;
+
+  int middlebox_pos = 0;           ///< 1-based hop of TTL-reset box, 0 = none
+  std::uint8_t middlebox_reset = 0;
+
+  /// Interface that would see the probe expire at 1-based position `pos`.
+  /// Positions beyond num_hops are valid only when `loops`.
+  std::uint32_t hop_at(int pos) const noexcept {
+    if (pos <= num_hops) return hops[static_cast<std::size_t>(pos - 1)];
+    return ((pos - num_hops) % 2 == 1) ? loop_a : loop_b;
+  }
+};
+
+class Topology {
+ public:
+  explicit Topology(const SimParams& params);
+
+  /// Resolves the forwarding path for `destination` under flow label `flow`
+  /// at dynamics epoch `epoch`.  Returns false when the destination lies
+  /// outside the simulated universe.
+  bool resolve(net::Ipv4Address destination, std::uint64_t flow,
+               std::int64_t epoch, Route& route) const noexcept;
+
+  /// Minimum TTL that elicits a response from the destination itself
+  /// (num_hops + 1), or nullopt when the destination never answers.
+  std::optional<int> trigger_ttl(net::Ipv4Address destination,
+                                 std::uint64_t flow,
+                                 std::int64_t epoch) const noexcept;
+
+  // --- Host & interface behaviour ------------------------------------------
+
+  /// Whether this exact address is an assigned host (the per-/24 appliance
+  /// always is; other octets are assigned with host_exist_prob).
+  bool host_exists(net::Ipv4Address address) const noexcept;
+
+  /// Whether the host answers a probe of the given transport protocol
+  /// (kProtoUdp -> ICMP port-unreachable, kProtoTcp -> RST).
+  bool host_responds(net::Ipv4Address address,
+                     std::uint8_t protocol) const noexcept;
+
+  /// Whether a router interface answers time-exceeded for this protocol
+  /// (persistently silent interfaces never do; some are silent to TCP only).
+  bool interface_responds(std::uint32_t interface_ip,
+                          std::uint8_t protocol) const noexcept;
+
+  // --- Metadata --------------------------------------------------------------
+  const SimParams& params() const noexcept { return params_; }
+  bool in_universe(net::Ipv4Address address) const noexcept;
+  bool prefix_routed(std::uint32_t prefix_index) const noexcept;
+  std::uint32_t appliance_address(std::uint32_t prefix_index) const noexcept;
+  std::uint32_t num_stubs() const noexcept {
+    return static_cast<std::uint32_t>(stubs_.size());
+  }
+  std::uint32_t num_dark_blocks() const noexcept {
+    return static_cast<std::uint32_t>(dark_blocks_.size());
+  }
+  /// Interfaces allocated from the provider pool (core, access, gateways,
+  /// spines, load-balancer branches) — excludes per-/24 stub-interior IPs.
+  std::uint64_t allocated_pool_interfaces() const noexcept {
+    return next_pool_ip_ - params_.interface_pool_base;
+  }
+
+  /// The hitlist: for each prefix in the universe, the "most responsive"
+  /// address (0 when the census would have found none).  Biased toward the
+  /// gateway appliance per §5.1.
+  std::vector<std::uint32_t> generate_hitlist() const;
+
+  /// Dynamics: spine length of a stub at a given epoch.
+  int spine_length(std::uint32_t stub_id, std::int64_t epoch) const noexcept;
+
+  /// Host responsiveness class of the stub owning this prefix (densely
+  /// populated vs nearly empty; see SimParams::stub_responsive_prob).
+  bool stub_is_responsive(std::uint32_t prefix_index) const noexcept;
+
+ private:
+  /// One position of a stub's provider-path template.  width == 0: a fixed
+  /// interface; width > 0: a load-balancer branch — the interface is
+  /// base_ip + (branch hash % width).
+  struct TemplateHop {
+    std::uint32_t base_ip = 0;
+    std::uint8_t width = 0;
+    std::uint64_t edge_key = 0;
+  };
+
+  struct Stub {
+    std::vector<TemplateHop> path;  ///< root .. gateway (gateway last)
+    std::array<std::uint32_t, 4> spine_ips{};
+    std::uint8_t spine_base = 0;
+    std::uint8_t mbox_reset = 0;  ///< 0 = no TTL-reset middlebox
+    bool rewrite = false;         ///< destination-rewriting middlebox
+  };
+
+  void apply_filtered_tail(const Stub& stub, util::Xoshiro256& rng);
+
+  struct DarkBlock {
+    std::uint32_t provider_stub = 0;
+    std::uint8_t drop_back = 0;  ///< probes die drop_back hops before gateway
+    bool loop = false;
+  };
+
+  static constexpr std::int32_t kUnmapped = -1;
+
+  std::uint32_t alloc_pool_ip() noexcept { return next_pool_ip_++; }
+  int expand_template(const Stub& stub, std::uint64_t flow, int limit,
+                      std::array<std::uint32_t, Route::kMaxHops>& hops)
+      const noexcept;
+  std::uint32_t template_hop_ip(const TemplateHop& hop,
+                                std::uint64_t flow) const noexcept;
+  std::uint8_t internal_octet(std::uint32_t prefix_index,
+                              int level) const noexcept;
+
+  SimParams params_;
+  std::uint32_t next_pool_ip_;
+
+  /// Per-prefix mapping: >= 0 stub index; <= -2 dark block index (-(v)-2);
+  /// kUnmapped never occurs after construction.
+  std::vector<std::int32_t> prefix_map_;
+  std::vector<Stub> stubs_;
+  std::vector<DarkBlock> dark_blocks_;
+  /// Interfaces silenced by a filtered stub tail (Fig 6's silent stretches).
+  std::unordered_set<std::uint32_t> forced_silent_;
+
+  // Derived seeds for independent stochastic aspects.
+  std::uint64_t seed_host_;
+  std::uint64_t seed_depth_;
+  std::uint64_t seed_udp_;
+  std::uint64_t seed_tcp_;
+  std::uint64_t seed_silent_;
+  std::uint64_t seed_silent_tcp_;
+  std::uint64_t seed_dyn_;
+  std::uint64_t seed_loop_;
+  std::uint64_t seed_hitlist_;
+  std::uint64_t seed_internal_;
+};
+
+}  // namespace flashroute::sim

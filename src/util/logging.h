@@ -1,0 +1,37 @@
+// Minimal leveled logger.  Benchmarks and examples print their tables on
+// stdout; diagnostics go through here to stderr so table output stays clean.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace flashroute::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are suppressed.
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+void log_message(LogLevel level, const std::string& message);
+
+template <typename... Args>
+void logf(LogLevel level, const char* fmt, Args&&... args) {
+  if (level < log_threshold()) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof buf, fmt, std::forward<Args>(args)...);
+  log_message(level, buf);
+}
+
+#define FR_LOG_DEBUG(...) \
+  ::flashroute::util::logf(::flashroute::util::LogLevel::kDebug, __VA_ARGS__)
+#define FR_LOG_INFO(...) \
+  ::flashroute::util::logf(::flashroute::util::LogLevel::kInfo, __VA_ARGS__)
+#define FR_LOG_WARN(...) \
+  ::flashroute::util::logf(::flashroute::util::LogLevel::kWarn, __VA_ARGS__)
+#define FR_LOG_ERROR(...) \
+  ::flashroute::util::logf(::flashroute::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace flashroute::util

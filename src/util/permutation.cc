@@ -1,0 +1,42 @@
+#include "util/permutation.h"
+
+#include <bit>
+
+namespace flashroute::util {
+
+RandomPermutation::RandomPermutation(std::uint64_t domain_size,
+                                     std::uint64_t seed) noexcept
+    : domain_size_(domain_size) {
+  // Smallest even bit-width 2k with 2^(2k) >= domain_size, k >= 1.
+  int bits = domain_size <= 2 ? 2 : std::bit_width(domain_size - 1);
+  if (bits % 2 != 0) ++bits;
+  half_bits_ = static_cast<std::uint64_t>(bits) / 2;
+  half_mask_ = (std::uint64_t{1} << half_bits_) - 1;
+  std::uint64_t s = seed;
+  for (auto& key : round_keys_) key = splitmix64(s);
+}
+
+std::uint64_t RandomPermutation::feistel(std::uint64_t x) const noexcept {
+  std::uint64_t left = x >> half_bits_;
+  std::uint64_t right = x & half_mask_;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::uint64_t f = mix64(right ^ round_keys_[round]) & half_mask_;
+    const std::uint64_t next_right = left ^ f;
+    left = right;
+    right = next_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+std::uint64_t RandomPermutation::operator()(std::uint64_t i) const noexcept {
+  // Cycle-walk: the Feistel network permutes [0, 2^(2k)); keep re-applying
+  // until we land back inside the target domain.  Because the network is a
+  // bijection on the larger power-of-two domain, this is a bijection on
+  // [0, domain_size_), and since 2^(2k) < 4 * domain_size_, the expected
+  // number of applications is < 4.
+  std::uint64_t x = feistel(i);
+  while (x >= domain_size_) x = feistel(x);
+  return x;
+}
+
+}  // namespace flashroute::util

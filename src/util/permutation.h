@@ -1,0 +1,49 @@
+// Keyed random permutation over an arbitrary finite domain.
+//
+// Both FlashRoute and Yarrp need to visit a huge set of probing targets in a
+// pseudo-random order without materializing the shuffled sequence:
+//
+//  * FlashRoute shuffles all /24 prefixes once, to thread its destination
+//    control blocks (DCBs) into a circular list in random order (§3.4);
+//  * Yarrp walks a random permutation of every (prefix, TTL) pair on the fly,
+//    the ZMap-inspired technique that keeps it stateless (§2).
+//
+// We implement the standard cycle-walking Feistel construction: a balanced
+// Feistel network over the smallest even-bit-width domain covering N, applied
+// repeatedly until the image lands inside [0, N).  This yields a bijection on
+// [0, N) for any N, computable point-wise in O(1) expected time (< 4 Feistel
+// applications on average), with no per-element state.
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace flashroute::util {
+
+class RandomPermutation {
+ public:
+  /// Builds the identity-free keyed bijection on [0, domain_size).
+  /// domain_size == 0 yields an empty permutation (operator() must not be
+  /// called); domain_size == 1 is the identity.
+  RandomPermutation(std::uint64_t domain_size, std::uint64_t seed) noexcept;
+
+  /// Maps index i in [0, size()) to its position in the shuffled order.
+  /// A bijection: distinct inputs give distinct outputs.
+  std::uint64_t operator()(std::uint64_t i) const noexcept;
+
+  std::uint64_t size() const noexcept { return domain_size_; }
+
+ private:
+  static constexpr int kRounds = 4;
+
+  std::uint64_t feistel(std::uint64_t x) const noexcept;
+
+  std::uint64_t domain_size_;
+  std::uint64_t half_bits_;   // each Feistel half is this many bits
+  std::uint64_t half_mask_;   // (1 << half_bits_) - 1
+  std::uint64_t round_keys_[kRounds];
+};
+
+}  // namespace flashroute::util

@@ -1,0 +1,104 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace flashroute::util {
+
+void Histogram::add(std::int64_t key, std::uint64_t count) {
+  bins_[key] += count;
+  total_ += count;
+}
+
+std::uint64_t Histogram::count(std::int64_t key) const {
+  const auto it = bins_.find(key);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+double Histogram::pdf(std::int64_t key) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(key)) / static_cast<double>(total_);
+}
+
+double Histogram::cdf(std::int64_t key) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t acc = 0;
+  for (const auto& [k, c] : bins_) {
+    if (k > key) break;
+    acc += c;
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::quantile(double q) const {
+  std::uint64_t acc = 0;
+  const auto threshold = static_cast<double>(total_) * q;
+  std::int64_t last = 0;
+  for (const auto& [k, c] : bins_) {
+    acc += c;
+    last = k;
+    if (static_cast<double>(acc) >= threshold) return k;
+  }
+  return last;
+}
+
+double jaccard(const std::unordered_set<std::uint32_t>& a,
+               const std::unordered_set<std::uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const auto& small = a.size() <= b.size() ? a : b;
+  const auto& large = a.size() <= b.size() ? b : a;
+  std::size_t intersection = 0;
+  for (const auto v : small) {
+    if (large.contains(v)) ++intersection;
+  }
+  const std::size_t unions = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(unions);
+}
+
+std::string format_duration(Nanos ns) {
+  if (ns < 0) ns = 0;
+  const auto centis = (ns / 10'000'000) % 100;
+  const auto total_seconds = ns / kSecond;
+  const auto seconds = total_seconds % 60;
+  const auto minutes = (total_seconds / 60) % 60;
+  const auto hours = total_seconds / 3600;
+  char buf[64];
+  if (hours > 0) {
+    std::snprintf(buf, sizeof buf, "%lld:%02lld:%02lld.%02lld",
+                  static_cast<long long>(hours),
+                  static_cast<long long>(minutes),
+                  static_cast<long long>(seconds),
+                  static_cast<long long>(centis));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld:%02lld.%02lld",
+                  static_cast<long long>(minutes),
+                  static_cast<long long>(seconds),
+                  static_cast<long long>(centis));
+  }
+  return buf;
+}
+
+std::string format_count(std::uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string format_count(std::int64_t n) {
+  if (n < 0) return "-" + format_count(static_cast<std::uint64_t>(-n));
+  return format_count(static_cast<std::uint64_t>(n));
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace flashroute::util

@@ -1,0 +1,62 @@
+// Small statistics toolkit used by the analysis modules and benchmarks:
+// integer histograms (PDFs/CDFs of hop-distance differences for Figs 3-4),
+// Jaccard similarity of interface sets (Fig 8), and the number/duration
+// formatting used to print tables in the same shape as the paper.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace flashroute::util {
+
+/// Histogram over signed integer keys with O(log n) insert; exposes the
+/// empirical PDF and CDF in key order.
+class Histogram {
+ public:
+  void add(std::int64_t key, std::uint64_t count = 1);
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t count(std::int64_t key) const;
+
+  /// Fraction of samples with exactly this key (0 when total()==0).
+  double pdf(std::int64_t key) const;
+
+  /// Fraction of samples with key <= the argument.
+  double cdf(std::int64_t key) const;
+
+  /// All (key, count) pairs in increasing key order.
+  const std::map<std::int64_t, std::uint64_t>& bins() const noexcept {
+    return bins_;
+  }
+
+  /// Smallest key k such that cdf(k) >= q (q in (0, 1]); requires total()>0.
+  std::int64_t quantile(double q) const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Jaccard index |a ∩ b| / |a ∪ b|; defined as 1.0 for two empty sets
+/// (identical), matching the convention used in the paper's Fig 8.
+double jaccard(const std::unordered_set<std::uint32_t>& a,
+               const std::unordered_set<std::uint32_t>& b);
+
+/// Formats nanoseconds the way the paper prints scan times:
+/// "mm:ss.cc" below an hour, "h:mm:ss.cc" above.
+std::string format_duration(Nanos ns);
+
+/// Formats an integer with thousands separators: 97807092 -> "97,807,092".
+std::string format_count(std::uint64_t n);
+std::string format_count(std::int64_t n);
+
+/// Fixed-point percent: format_percent(0.123456) -> "12.3%".
+std::string format_percent(double fraction, int decimals = 1);
+
+}  // namespace flashroute::util

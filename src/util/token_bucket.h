@@ -1,0 +1,64 @@
+// Token-bucket rate limiter.
+//
+// Used in two places:
+//  * per-interface ICMP generation limits in the Internet simulator —
+//    Ravaioli et al. found most routers cap ICMP replies at <= 500/s, the
+//    bound the paper assumes in its overprobing analysis (§4.2.2);
+//  * the probing-rate throttle of the real-time (threaded) scan runner.
+//
+// The bucket is defined in virtual time (util::Nanos), so the same code
+// serves both the simulator and the real runner.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/clock.h"
+
+namespace flashroute::util {
+
+class TokenBucket {
+ public:
+  /// `rate_per_second` tokens accrue per second up to `burst` capacity.
+  /// The bucket starts full at time `start`.
+  TokenBucket(double rate_per_second, double burst, Nanos start = 0) noexcept
+      : rate_(rate_per_second), burst_(burst), tokens_(burst), last_(start) {}
+
+  /// Attempts to take one token at time `t`; returns false when the bucket
+  /// is empty (the event is rate-limited).  `t` must be non-decreasing
+  /// across calls.
+  bool try_consume(Nanos t) noexcept {
+    refill(t);
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    return false;
+  }
+
+  /// Tokens currently available at time `t` (also refills).
+  double available(Nanos t) noexcept {
+    refill(t);
+    return tokens_;
+  }
+
+  double rate() const noexcept { return rate_; }
+  double burst() const noexcept { return burst_; }
+
+ private:
+  void refill(Nanos t) noexcept {
+    if (t <= last_) return;
+    const double elapsed_s =
+        static_cast<double>(t - last_) / static_cast<double>(kSecond);
+    tokens_ = std::min(burst_, tokens_ + elapsed_s * rate_);
+    last_ = t;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  Nanos last_;
+};
+
+}  // namespace flashroute::util

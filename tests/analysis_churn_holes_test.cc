@@ -1,0 +1,174 @@
+// Tests for snapshot churn (analysis/churn.h) and route-hole counting
+// (analysis/route_holes.h), on synthetic inputs and real scans.
+
+#include <gtest/gtest.h>
+
+#include "analysis/churn.h"
+#include "analysis/route_holes.h"
+#include "core/tracer.h"
+#include "sim/network.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+
+namespace flashroute::analysis {
+namespace {
+
+core::ScanResult make_scan(std::size_t prefixes) {
+  core::ScanResult scan;
+  scan.routes.assign(prefixes, {});
+  scan.destination_distance.assign(prefixes, 0);
+  scan.trigger_ttl.assign(prefixes, 0);
+  return scan;
+}
+
+TEST(Churn, IdenticalSnapshotsAreQuiet) {
+  auto scan = make_scan(2);
+  scan.interfaces = {1, 2, 3};
+  scan.routes[0] = {{1, 1, 0}, {2, 2, 0}};
+  scan.destination_distance[0] = 3;
+  const auto churn = compare_snapshots(scan, scan);
+  EXPECT_EQ(churn.interfaces_appeared, 0u);
+  EXPECT_EQ(churn.interfaces_vanished, 0u);
+  EXPECT_EQ(churn.routes_compared, 1u);
+  EXPECT_EQ(churn.routes_changed_hops, 0u);
+  EXPECT_EQ(churn.routes_changed_length, 0u);
+  EXPECT_DOUBLE_EQ(churn.interface_churn_rate(), 0.0);
+}
+
+TEST(Churn, CountsAppearancesAndRouteChanges) {
+  auto before = make_scan(3);
+  auto after = make_scan(3);
+  before.interfaces = {1, 2, 3};
+  after.interfaces = {2, 3, 4, 5};
+  before.routes[0] = {{10, 4, 0}};
+  after.routes[0] = {{11, 4, 0}};  // hop replaced at the same TTL
+  before.destination_distance[0] = 5;
+  after.destination_distance[0] = 5;
+  before.routes[1] = {{20, 2, 0}};
+  after.routes[1] = {{20, 2, 0}};
+  before.destination_distance[1] = 3;
+  after.destination_distance[1] = 4;  // longer now
+  // Prefix 2: only present in `after` — not compared.
+  after.routes[2] = {{30, 1, 0}};
+
+  const auto churn = compare_snapshots(before, after);
+  EXPECT_EQ(churn.interfaces_appeared, 2u);  // 4, 5
+  EXPECT_EQ(churn.interfaces_vanished, 1u);  // 1
+  EXPECT_EQ(churn.routes_compared, 2u);
+  EXPECT_EQ(churn.routes_changed_hops, 1u);
+  EXPECT_EQ(churn.routes_changed_length, 1u);
+}
+
+TEST(Churn, DuplicateResponsesAndFlagsDoNotCount) {
+  auto before = make_scan(1);
+  auto after = make_scan(1);
+  before.routes[0] = {{10, 4, 0}, {10, 4, 0}};
+  after.routes[0] = {{10, 4, core::RouteHop::kExtraScan}};
+  before.destination_distance[0] = after.destination_distance[0] = 5;
+  const auto churn = compare_snapshots(before, after);
+  EXPECT_EQ(churn.routes_changed_hops, 0u);
+}
+
+TEST(Churn, RealScansOfDriftingWorldShowBoundedChurn) {
+  sim::SimParams params;
+  params.prefix_bits = 9;
+  params.seed = 3;
+  const sim::Topology topology(params);
+  const double pps = sim::scaled_probe_rate(100'000.0, params.prefix_bits);
+
+  core::TracerConfig config;
+  config.first_prefix = params.first_prefix;
+  config.prefix_bits = params.prefix_bits;
+  config.vantage = net::Ipv4Address(params.vantage_address);
+  config.probes_per_second = pps;
+  config.preprobe = core::PreprobeMode::kNone;
+
+  sim::SimNetwork network(topology);
+  sim::SimScanRuntime runtime(network, pps);
+  core::Tracer first(config, runtime);
+  const auto snapshot_a = first.run();
+  core::Tracer second(config, runtime);  // later virtual time, same world
+  const auto snapshot_b = second.run();
+
+  const auto churn = compare_snapshots(snapshot_a, snapshot_b);
+  EXPECT_GT(churn.routes_compared, 100u);
+  // The world drifts but does not capsize: some change, far from total.
+  EXPECT_GT(churn.routes_changed_hops + churn.interfaces_appeared, 0u);
+  EXPECT_LT(churn.route_change_rate(), 0.5);
+  EXPECT_LT(churn.interface_churn_rate(), 0.3);
+}
+
+TEST(RouteHoles, SyntheticCounting) {
+  auto scan = make_scan(2);
+  // Prefix 0: destination at 5; probed TTLs 1..4; answered at 1 and 3.
+  scan.destination_distance[0] = 5;
+  scan.routes[0] = {{100, 1, 0}, {101, 3, 0}};
+  for (std::uint8_t ttl = 1; ttl <= 4; ++ttl) {
+    scan.probe_log.push_back({0, 0x01000001u, ttl, false});
+  }
+  // Prefix 1: never reached, deepest hop at 2 probed at 1..6 — probes past
+  // the extent are not holes.
+  scan.routes[1] = {{200, 2, 0}};
+  for (std::uint8_t ttl = 1; ttl <= 6; ++ttl) {
+    scan.probe_log.push_back({0, 0x01000101u, ttl, false});
+  }
+  const auto report = count_route_holes(scan, 0x010000);
+  EXPECT_EQ(report.routes_considered, 2u);
+  // Prefix 0: positions 1..4 probed -> 4; holes at 2 and 4.
+  // Prefix 1: extent 2 -> position 1 probed, answered? no (hop at 2 only)
+  //           -> 1 probed position, 1 hole.
+  EXPECT_EQ(report.probed_positions, 5u);
+  EXPECT_EQ(report.holes, 3u);
+  EXPECT_NEAR(report.holes_per_route(), 1.5, 1e-9);
+  EXPECT_NEAR(report.hole_fraction(), 0.6, 1e-9);
+}
+
+TEST(RouteHoles, NoLogMeansNoHoles) {
+  auto scan = make_scan(1);
+  scan.destination_distance[0] = 5;
+  scan.routes[0] = {{100, 1, 0}};
+  const auto report = count_route_holes(scan, 0x010000);
+  EXPECT_EQ(report.holes, 0u);
+  EXPECT_EQ(report.probed_positions, 0u);
+}
+
+TEST(RouteHoles, ExhaustiveScanHasFewHolesOnRespondingPaths) {
+  // In a world with no rate limiting and no silent interfaces, an
+  // exhaustive scan's recorded routes have zero holes.
+  sim::SimParams params;
+  params.prefix_bits = 7;
+  params.interface_silent_prob = 0.0;
+  params.interface_tcp_extra_silent_prob = 0.0;
+  params.filtered_tail_cum_pct[0] = 100;  // no filtered tails
+  params.filtered_tail_cum_pct[1] = 100;
+  params.filtered_tail_cum_pct[2] = 100;
+  params.filtered_tail_cum_pct[3] = 100;
+  params.filtered_tail_cum_pct[4] = 100;
+  params.icmp_rate_limit_pps = 1e9;
+  params.icmp_rate_limit_burst = 1e9;
+  params.route_dynamics_prob = 0.0;
+  const sim::Topology topology(params);
+
+  core::TracerConfig config;
+  config.first_prefix = params.first_prefix;
+  config.prefix_bits = params.prefix_bits;
+  config.vantage = net::Ipv4Address(params.vantage_address);
+  config.probes_per_second =
+      sim::scaled_probe_rate(100'000.0, params.prefix_bits);
+  config.preprobe = core::PreprobeMode::kNone;
+  config.split_ttl = 32;
+  config.forward_probing = false;
+  config.redundancy_removal = false;
+  config.collect_probe_log = true;
+
+  sim::SimNetwork network(topology);
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  core::Tracer tracer(config, runtime);
+  const auto result = tracer.run();
+  const auto report = count_route_holes(result, params.first_prefix);
+  EXPECT_GT(report.routes_considered, 50u);
+  EXPECT_EQ(report.holes, 0u);
+}
+
+}  // namespace
+}  // namespace flashroute::analysis

@@ -1,0 +1,236 @@
+// Tests for the analysis modules on synthetic inputs: the Table 4
+// overprobing replay, the Fig 8 / §5.1 route comparisons, and the
+// Figs 3-4 distance evaluations.
+
+#include <gtest/gtest.h>
+
+#include "analysis/distance_eval.h"
+#include "analysis/overprobing.h"
+#include "analysis/route_compare.h"
+
+namespace flashroute::analysis {
+namespace {
+
+core::ScanResult make_scan(std::size_t prefixes) {
+  core::ScanResult scan;
+  scan.routes.assign(prefixes, {});
+  scan.destination_distance.assign(prefixes, 0);
+  scan.trigger_ttl.assign(prefixes, 0);
+  return scan;
+}
+
+// --- Overprobing -----------------------------------------------------------
+
+TEST(TopologyMap, BuildsFromRoutes) {
+  auto reference = make_scan(4);
+  reference.routes[0] = {{0xC8000001, 1, 0}, {0xC8000002, 2, 0}};
+  reference.routes[1] = {{0xC8000001, 1, 0}};
+  const TopologyMap map(reference, 4, 32);
+  EXPECT_EQ(map.interface_at(0, 1), 0xC8000001u);
+  EXPECT_EQ(map.interface_at(0, 2), 0xC8000002u);
+  EXPECT_EQ(map.interface_at(0, 3), 0u);
+  EXPECT_EQ(map.interface_at(1, 1), 0xC8000001u);
+  EXPECT_EQ(map.interface_at(2, 1), 0u);
+  EXPECT_EQ(map.interface_at(99, 1), 0u);  // out of range
+  EXPECT_EQ(map.interface_at(0, 0), 0u);
+  EXPECT_EQ(map.interface_at(0, 33), 0u);
+}
+
+TEST(Overprobing, UnderLimitIsClean) {
+  auto reference = make_scan(1);
+  reference.routes[0] = {{0xC8000001, 1, 0}};
+  const TopologyMap map(reference, 1, 32);
+
+  std::vector<core::ProbeLogEntry> log;
+  for (int i = 0; i < 10; ++i) {
+    log.push_back({i * util::kMillisecond, 0x00000001u << 8 | 7, 1, false});
+  }
+  // destination prefix index 1? first_prefix=1 so prefix offset 0:
+  const auto report = analyze_overprobing(log, map, 1, 500, util::kSecond);
+  EXPECT_EQ(report.mapped_probes, 10u);
+  EXPECT_EQ(report.overprobed_interfaces, 0u);
+  EXPECT_EQ(report.dropped_probes, 0u);
+}
+
+TEST(Overprobing, BurstBeyondLimitDrops) {
+  auto reference = make_scan(1);
+  reference.routes[0] = {{0xC8000001, 1, 0}};
+  const TopologyMap map(reference, 1, 32);
+  std::vector<core::ProbeLogEntry> log;
+  for (int i = 0; i < 700; ++i) {
+    log.push_back({i * 100'000, 0x00000001u << 8 | 7, 1, false});
+  }
+  const auto report = analyze_overprobing(log, map, 1, 500, util::kSecond);
+  EXPECT_EQ(report.overprobed_interfaces, 1u);
+  EXPECT_EQ(report.dropped_probes, 200u);
+}
+
+TEST(Overprobing, WindowResetsCounts) {
+  auto reference = make_scan(1);
+  reference.routes[0] = {{0xC8000001, 1, 0}};
+  const TopologyMap map(reference, 1, 32);
+  std::vector<core::ProbeLogEntry> log;
+  // 400 probes in second 0, 400 in second 1: never over 500 per window.
+  for (int s = 0; s < 2; ++s) {
+    for (int i = 0; i < 400; ++i) {
+      log.push_back({s * util::kSecond + i, 0x00000001u << 8 | 7, 1, false});
+    }
+  }
+  const auto report = analyze_overprobing(log, map, 1, 500, util::kSecond);
+  EXPECT_EQ(report.dropped_probes, 0u);
+}
+
+TEST(Overprobing, UnmappedProbesIgnored) {
+  auto reference = make_scan(1);
+  const TopologyMap map(reference, 1, 32);  // empty topology
+  std::vector<core::ProbeLogEntry> log{{0, 0x00000001u << 8 | 7, 1, false}};
+  const auto report = analyze_overprobing(log, map, 1, 500, util::kSecond);
+  EXPECT_EQ(report.mapped_probes, 0u);
+}
+
+// --- Route comparison --------------------------------------------------------
+
+TEST(RouteLengths, PreferDestinationDistance) {
+  auto scan = make_scan(3);
+  scan.destination_distance[0] = 9;
+  scan.routes[0] = {{1, 12, 0}};  // deeper hop exists but dest answered at 9
+  scan.routes[1] = {{2, 5, 0}, {3, 7, 0}};
+  // routes[2] empty.
+  const auto lengths = route_lengths(scan);
+  EXPECT_EQ(lengths[0], 9);
+  EXPECT_EQ(lengths[1], 7);
+  EXPECT_EQ(lengths[2], 0);
+}
+
+TEST(RouteLengths, DestinationHopsDoNotCount) {
+  auto scan = make_scan(1);
+  scan.routes[0] = {{5, 11, core::RouteHop::kFromDestination}, {4, 6, 0}};
+  EXPECT_EQ(route_lengths(scan)[0], 6);
+}
+
+TEST(CompareRouteLengths, CountsDirections) {
+  auto a = make_scan(4);
+  auto b = make_scan(4);
+  a.destination_distance = {10, 8, 7, 0};
+  b.destination_distance = {9, 8, 9, 5};
+  a.routes[3] = {{1, 3, 0}};  // unresponsive but partially explored
+  const auto all = compare_route_lengths(a, b, false);
+  EXPECT_EQ(all.comparable, 4u);
+  EXPECT_EQ(all.a_longer, 1u);  // 10 > 9
+  EXPECT_EQ(all.equal, 1u);     // 8 == 8
+  EXPECT_EQ(all.b_longer, 2u);  // 7 < 9, 3 < 5
+
+  const auto both = compare_route_lengths(a, b, true);
+  EXPECT_EQ(both.comparable, 3u);  // prefix 3 unreached in a
+}
+
+TEST(Jaccard, ByDistanceFromDestination) {
+  auto a = make_scan(2);
+  auto b = make_scan(2);
+  a.destination_distance = {5, 0};
+  b.destination_distance = {5, 0};
+  // Both scans see hop X one hop before the destination; scan A also sees
+  // hop Y there for... same prefix; and they disagree 2 hops before.
+  a.routes[0] = {{100, 4, 0}, {200, 3, 0}};
+  b.routes[0] = {{100, 4, 0}, {201, 3, 0}};
+  const auto jaccard = jaccard_by_distance_from_destination(a, b, 4);
+  EXPECT_DOUBLE_EQ(jaccard.at(1), 1.0);  // {100} vs {100}
+  EXPECT_DOUBLE_EQ(jaccard.at(2), 0.0);  // {200} vs {201}
+}
+
+TEST(Jaccard, RequireBothResponsiveFiltersPrefixes) {
+  auto a = make_scan(2);
+  auto b = make_scan(2);
+  a.destination_distance = {5, 5};
+  b.destination_distance = {5, 0};  // prefix 1 unresponsive in B
+  a.routes[0] = {{100, 4, 0}};
+  a.routes[1] = {{300, 4, 0}};
+  b.routes[0] = {{100, 4, 0}};
+  const auto strict = jaccard_by_distance_from_destination(a, b, 4, true);
+  EXPECT_DOUBLE_EQ(strict.at(1), 1.0);  // prefix 1 excluded on both sides
+  const auto loose = jaccard_by_distance_from_destination(a, b, 4, false);
+  EXPECT_DOUBLE_EQ(loose.at(1), 0.5);  // {100,300} vs {100}
+}
+
+TEST(CrossAppearance, DetectsTargetsOnRoutes) {
+  auto a = make_scan(2);
+  auto b = make_scan(2);
+  const std::vector<std::uint32_t> targets_a{0x0100000A, 0x0100010A};
+  const std::vector<std::uint32_t> targets_b{0x01000001, 0x01000101};
+  // B's target (the appliance) appears en-route in A's scan of prefix 0.
+  a.routes[0] = {{0x01000001, 7, 0}};
+  a.destination_distance = {8, 0};
+  b.destination_distance = {7, 7};
+  const auto cross = cross_appearance(a, targets_a, b, targets_b);
+  EXPECT_EQ(cross.b_targets_on_a_routes, 1u);
+  EXPECT_EQ(cross.a_targets_on_b_routes, 0u);
+  EXPECT_EQ(cross.a_targets_responsive, 1u);
+  EXPECT_EQ(cross.b_targets_responsive, 2u);
+}
+
+TEST(CrossAppearance, DestinationResponsesDoNotCount) {
+  auto a = make_scan(1);
+  auto b = make_scan(1);
+  const std::vector<std::uint32_t> targets_a{0x0100000A};
+  const std::vector<std::uint32_t> targets_b{0x01000001};
+  a.routes[0] = {{0x01000001, 8, core::RouteHop::kFromDestination}};
+  const auto cross = cross_appearance(a, targets_a, b, targets_b);
+  EXPECT_EQ(cross.b_targets_on_a_routes, 0u);
+}
+
+TEST(Loops, DetectsRepeatedInterfaceOnUnresponsiveRoute) {
+  auto scan = make_scan(3);
+  // Prefix 0: loop (interface 9 at two TTLs), unresponsive.
+  scan.routes[0] = {{9, 10, 0}, {8, 11, 0}, {9, 12, 0}};
+  // Prefix 1: duplicate response at the same TTL is not a loop.
+  scan.routes[1] = {{9, 10, 0}, {9, 10, 0}};
+  // Prefix 2: responsive — excluded even though hops repeat.
+  scan.routes[2] = {{9, 10, 0}, {9, 12, 0}};
+  scan.destination_distance[2] = 13;
+  const auto report = count_loops(scan);
+  EXPECT_EQ(report.unresponsive_routes, 2u);
+  EXPECT_EQ(report.looped_routes, 1u);
+}
+
+// --- Distance evaluation ------------------------------------------------------
+
+TEST(DistanceDifference, OnlyJointlyMeasuredCount) {
+  const std::vector<std::uint8_t> value{10, 0, 12, 14};
+  const std::vector<std::uint8_t> reference{11, 9, 0, 14};
+  const auto histogram = distance_difference(value, reference);
+  EXPECT_EQ(histogram.total(), 2u);  // indices 0 and 3
+  EXPECT_EQ(histogram.count(1), 1u);   // 11 - 10
+  EXPECT_EQ(histogram.count(0), 1u);   // 14 - 14
+}
+
+TEST(EvaluatePrediction, PredictsFromNearestNeighbour) {
+  // measured: [10, 0, 0, 12]; index 0's nearest measured neighbour within
+  // span 3 is index 3 (value 12); reference says 11 -> diff -1.
+  const std::vector<std::uint8_t> measured{10, 0, 0, 12};
+  const std::vector<std::uint8_t> reference{11, 0, 0, 12};
+  const auto eval = evaluate_prediction(measured, reference, 3);
+  EXPECT_EQ(eval.measured_blocks, 2u);
+  EXPECT_EQ(eval.predictable_blocks, 2u);
+  EXPECT_EQ(eval.difference.count(-1), 1u);  // 11 - 12 for index 0
+  EXPECT_EQ(eval.difference.count(2), 1u);   // 12 - 10 for index 3
+}
+
+TEST(EvaluatePrediction, RespectsSpan) {
+  const std::vector<std::uint8_t> measured{10, 0, 0, 0, 0, 0, 12};
+  const std::vector<std::uint8_t> reference{10, 0, 0, 0, 0, 0, 12};
+  const auto eval = evaluate_prediction(measured, reference, 3);
+  EXPECT_EQ(eval.measured_blocks, 2u);
+  EXPECT_EQ(eval.predictable_blocks, 0u);  // gap of 6 > span 3
+}
+
+TEST(EvaluatePrediction, PrefersCloserNeighbour) {
+  const std::vector<std::uint8_t> measured{9, 10, 0, 14};
+  const std::vector<std::uint8_t> reference{9, 10, 0, 14};
+  const auto eval = evaluate_prediction(measured, reference, 3);
+  // Index 1 predicted from index 0 (distance 1), not index 3 (distance 2):
+  // diff = 10 - 9 = 1 must be present.
+  EXPECT_GE(eval.difference.count(1), 1u);
+}
+
+}  // namespace
+}  // namespace flashroute::analysis

@@ -1,0 +1,185 @@
+// Tests for the Scamper-like baseline (baselines/scamper.h): the windowed
+// sequential trace state machine, timeouts, one-outstanding-probe
+// discipline, and the Fig-7 redundancy model.
+
+#include "baselines/scamper.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/network.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+
+namespace flashroute::baselines {
+namespace {
+
+sim::SimParams world_params(std::uint64_t seed = 1) {
+  sim::SimParams params;
+  params.prefix_bits = 10;
+  params.seed = seed;
+  return params;
+}
+
+ScamperConfig base_config(const sim::SimParams& params) {
+  ScamperConfig config;
+  config.first_prefix = params.first_prefix;
+  config.prefix_bits = params.prefix_bits;
+  config.vantage = net::Ipv4Address(params.vantage_address);
+  config.probes_per_second =
+      sim::scaled_probe_rate(10'000.0, params.prefix_bits);
+  config.window = 128;
+  return config;
+}
+
+core::ScanResult run_scamper(const sim::Topology& topology,
+                             const ScamperConfig& config) {
+  sim::SimNetwork network(topology);
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  Scamper scamper(config, runtime);
+  return scamper.run();
+}
+
+TEST(Scamper, CompletesEveryTrace) {
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.collect_probe_log = true;
+  const auto result = run_scamper(topology, config);
+
+  // Every non-excluded prefix was probed at least once.
+  std::set<std::uint32_t> probed;
+  for (const auto& probe : result.probe_log) {
+    probed.insert(probe.destination >> 8);
+  }
+  EXPECT_EQ(probed.size(), topology.params().num_prefixes());
+  EXPECT_GT(result.destinations_reached, 0u);
+}
+
+TEST(Scamper, OneProbePerHopNoRetries) {
+  // The paper restricts Scamper's retries so it issues one probe per hop.
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.collect_probe_log = true;
+  const auto result = run_scamper(topology, config);
+  std::set<std::pair<std::uint32_t, std::uint8_t>> pairs;
+  for (const auto& probe : result.probe_log) {
+    EXPECT_TRUE(pairs.emplace(probe.destination, probe.ttl).second)
+        << "retry detected at " << probe.destination << " ttl "
+        << int(probe.ttl);
+  }
+}
+
+TEST(Scamper, ProbesAreSequentialPerDestination) {
+  // One outstanding probe per destination: a destination's k-th probe is
+  // sent only after its (k-1)-th was answered or timed out, so per-dest
+  // probe times are strictly increasing with sensible spacing.
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.collect_probe_log = true;
+  const auto result = run_scamper(topology, config);
+  std::map<std::uint32_t, util::Nanos> last_time;
+  for (const auto& probe : result.probe_log) {
+    const auto it = last_time.find(probe.destination);
+    if (it != last_time.end()) {
+      EXPECT_GT(probe.time, it->second);
+    }
+    last_time[probe.destination] = probe.time;
+  }
+}
+
+TEST(Scamper, ForwardThenBackwardShape) {
+  // Each trace starts at first_ttl, explores forward, then walks backward:
+  // the first probe of every destination is at first_ttl.
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.collect_probe_log = true;
+  const auto result = run_scamper(topology, config);
+  std::map<std::uint32_t, std::uint8_t> first_probe;
+  for (const auto& probe : result.probe_log) {
+    first_probe.try_emplace(probe.destination, probe.ttl);
+  }
+  for (const auto& [destination, ttl] : first_probe) {
+    EXPECT_EQ(ttl, config.first_ttl);
+  }
+}
+
+TEST(Scamper, SilentWorldStillTerminates) {
+  // Everything silent: every probe times out, the state machines must walk
+  // forward to the horizon and backward to TTL 1, then finish.
+  sim::SimParams params = world_params();
+  params.prefix_bits = 6;
+  params.interface_silent_prob = 1.0;
+  params.host_udp_response_prob = 0.0;
+  params.appliance_udp_response_prob = 0.0;
+  const sim::Topology topology(params);
+  auto config = base_config(params);
+  config.window = 16;
+  const auto result = run_scamper(topology, config);
+  EXPECT_TRUE(result.interfaces.empty());
+  EXPECT_EQ(result.destinations_reached, 0u);
+  // Forward gap_limit probes + backward first_ttl-1 probes per dest.
+  EXPECT_EQ(result.probes_sent,
+            std::uint64_t{config.num_prefixes()} *
+                (config.gap_limit + config.first_ttl - 1));
+}
+
+TEST(Scamper, RedundancyPauseRegionProbesMoreThanFlashRouteWould) {
+  // The Fig-7 behaviour: convergence stops are suspended between the pause
+  // thresholds, so hops in (low, high) are probed by many destinations.
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.collect_probe_log = true;
+  const auto result = run_scamper(topology, config);
+  std::map<int, std::set<std::uint32_t>> targets_at;
+  for (const auto& probe : result.probe_log) {
+    targets_at[probe.ttl].insert(probe.destination);
+  }
+  // Flat region: essentially no decay between TTL high-1 and low+1.
+  const auto high = targets_at[config.redundancy_pause_high - 1].size();
+  const auto low = targets_at[config.redundancy_pause_low + 1].size();
+  EXPECT_EQ(high, low);
+  EXPECT_GT(high, 0u);
+}
+
+TEST(Scamper, ConvergenceStopsHappen) {
+  const sim::Topology topology(world_params());
+  const auto config = base_config(topology.params());
+  const auto result = run_scamper(topology, config);
+  EXPECT_GT(result.convergence_stops, 100u);
+}
+
+TEST(Scamper, DeterministicAcrossRuns) {
+  const sim::Topology topology(world_params());
+  const auto config = base_config(topology.params());
+  const auto a = run_scamper(topology, config);
+  const auto b = run_scamper(topology, config);
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.interfaces, b.interfaces);
+  EXPECT_EQ(a.scan_time, b.scan_time);
+}
+
+TEST(Scamper, WindowLimitsConcurrency) {
+  // With a window of 1 the scan is fully sequential: per-destination probe
+  // blocks never interleave.
+  sim::SimParams params = world_params();
+  params.prefix_bits = 5;
+  const sim::Topology topology(params);
+  auto config = base_config(params);
+  config.window = 1;
+  config.collect_probe_log = true;
+  const auto result = run_scamper(topology, config);
+  std::set<std::uint32_t> finished;
+  std::uint32_t current = 0;
+  for (const auto& probe : result.probe_log) {
+    if (probe.destination != current) {
+      EXPECT_FALSE(finished.contains(probe.destination))
+          << "destination revisited after another began";
+      if (current != 0) finished.insert(current);
+      current = probe.destination;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace flashroute::baselines

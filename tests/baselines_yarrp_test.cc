@@ -1,0 +1,227 @@
+// Tests for the Yarrp baseline (baselines/yarrp.h): the stateless
+// (prefix, TTL) permutation walk, fill mode's inherent gap limit of one,
+// neighborhood protection, and TCP/UDP probe handling.
+
+#include "baselines/yarrp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/network.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+
+namespace flashroute::baselines {
+namespace {
+
+sim::SimParams world_params(std::uint64_t seed = 1) {
+  sim::SimParams params;
+  params.prefix_bits = 10;
+  params.seed = seed;
+  return params;
+}
+
+YarrpConfig base_config(const sim::SimParams& params) {
+  YarrpConfig config;
+  config.first_prefix = params.first_prefix;
+  config.prefix_bits = params.prefix_bits;
+  config.vantage = net::Ipv4Address(params.vantage_address);
+  config.probes_per_second =
+      sim::scaled_probe_rate(100'000.0, params.prefix_bits);
+  return config;
+}
+
+core::ScanResult run_yarrp(const sim::Topology& topology,
+                           const YarrpConfig& config) {
+  sim::SimNetwork network(topology);
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  Yarrp yarrp(config, runtime);
+  return yarrp.run();
+}
+
+TEST(Yarrp, ProbesEveryPrefixTtlPairExactlyOnce) {
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.collect_probe_log = true;
+  const auto result = run_yarrp(topology, config);
+  EXPECT_EQ(result.probes_sent,
+            std::uint64_t{config.num_prefixes()} * config.exhaustive_ttl);
+  std::set<std::pair<std::uint32_t, std::uint8_t>> pairs;
+  for (const auto& probe : result.probe_log) {
+    EXPECT_TRUE(pairs.emplace(probe.destination, probe.ttl).second)
+        << "duplicate probe";
+    EXPECT_GE(probe.ttl, 1);
+    EXPECT_LE(probe.ttl, config.exhaustive_ttl);
+  }
+}
+
+TEST(Yarrp, WalkOrderIsShuffled) {
+  // Consecutive probes must not walk one destination's TTLs in order —
+  // the whole point of the ZMap-style permutation.
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.collect_probe_log = true;
+  const auto result = run_yarrp(topology, config);
+  int same_destination_consecutive = 0;
+  for (std::size_t i = 1; i < result.probe_log.size(); ++i) {
+    if (result.probe_log[i].destination ==
+        result.probe_log[i - 1].destination) {
+      ++same_destination_consecutive;
+    }
+  }
+  EXPECT_LT(same_destination_consecutive,
+            static_cast<int>(result.probe_log.size() / 100));
+}
+
+TEST(Yarrp, DeterministicAcrossRuns) {
+  const sim::Topology topology(world_params());
+  const auto config = base_config(topology.params());
+  const auto a = run_yarrp(topology, config);
+  const auto b = run_yarrp(topology, config);
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.interfaces, b.interfaces);
+}
+
+TEST(Yarrp, FillModeExtendsBeyondExhaustiveTtl) {
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.exhaustive_ttl = 16;
+  config.fill_mode = true;
+  config.fill_max_ttl = 32;
+  config.collect_probe_log = true;
+  const auto result = run_yarrp(topology, config);
+
+  // More probes than the exhaustive 16 floor, fewer than exhaustive 32.
+  const std::uint64_t floor16 = std::uint64_t{config.num_prefixes()} * 16;
+  EXPECT_GT(result.probes_sent, floor16);
+  EXPECT_LT(result.probes_sent, floor16 * 2);
+
+  // Fill probes exist above 16, but every fill chain walks one hop at a
+  // time: a probe at TTL t > 17 requires a probe at t-1 for the same dest.
+  std::set<std::pair<std::uint32_t, std::uint8_t>> pairs;
+  bool any_fill = false;
+  for (const auto& probe : result.probe_log) {
+    pairs.emplace(probe.destination, probe.ttl);
+    if (probe.ttl > 16) any_fill = true;
+  }
+  EXPECT_TRUE(any_fill);
+  for (const auto& [destination, ttl] : pairs) {
+    if (ttl > 17) {
+      EXPECT_TRUE(pairs.contains({destination,
+                                  static_cast<std::uint8_t>(ttl - 1)}))
+          << "fill chain gap for ttl " << int(ttl);
+    }
+  }
+}
+
+TEST(Yarrp, FillModeNeverExceedsFillMax) {
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.exhaustive_ttl = 16;
+  config.fill_mode = true;
+  config.fill_max_ttl = 20;
+  config.collect_probe_log = true;
+  const auto result = run_yarrp(topology, config);
+  for (const auto& probe : result.probe_log) {
+    EXPECT_LE(probe.ttl, 20);
+  }
+}
+
+TEST(Yarrp, Fill16MissesInterfacesVersusExhaustive32) {
+  // Table 3's headline for Yarrp-16: the inherent forward gap limit of one
+  // loses interfaces behind any silent hop.
+  const sim::Topology topology(world_params());
+  auto fill = base_config(topology.params());
+  fill.exhaustive_ttl = 16;
+  fill.fill_mode = true;
+  const auto fill_result = run_yarrp(topology, fill);
+
+  const auto full = base_config(topology.params());
+  const auto full_result = run_yarrp(topology, full);
+
+  // Fill mode can only lose interfaces relative to exhaustive probing (the
+  // magnitude is scale- and seed-dependent; Table 3 reproduces the paper's
+  // large deficit at the default bench scale).
+  EXPECT_LE(fill_result.interfaces.size(), full_result.interfaces.size());
+  EXPECT_LT(fill_result.probes_sent, full_result.probes_sent);
+}
+
+TEST(Yarrp, NeighborhoodProtectionReducesNearProbes) {
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.collect_probe_log = true;
+  const auto plain = run_yarrp(topology, config);
+
+  config.protected_hops = 3;
+  const auto protected_run = run_yarrp(topology, config);
+
+  EXPECT_LT(protected_run.probes_sent, plain.probes_sent);
+
+  // The skipped probes are exactly the near ones.
+  std::uint64_t plain_near = 0, protected_near = 0;
+  for (const auto& probe : plain.probe_log) {
+    if (probe.ttl <= 3) ++plain_near;
+  }
+  for (const auto& probe : protected_run.probe_log) {
+    if (probe.ttl <= 3) ++protected_near;
+  }
+  EXPECT_LT(protected_near, plain_near);
+  // Far probes are untouched.
+  EXPECT_EQ(plain.probes_sent - plain_near,
+            protected_run.probes_sent - protected_near);
+}
+
+TEST(Yarrp, TcpFindsFewerInterfacesThanUdp) {
+  // §4.2.1: UDP probes elicit more responses than TCP-ACK.
+  const sim::Topology topology(world_params());
+  auto tcp = base_config(topology.params());
+  tcp.probe_type = YarrpConfig::ProbeType::kTcpAck;
+  const auto tcp_result = run_yarrp(topology, tcp);
+
+  auto udp = tcp;
+  udp.probe_type = YarrpConfig::ProbeType::kUdp;
+  const auto udp_result = run_yarrp(topology, udp);
+
+  EXPECT_LT(tcp_result.interfaces.size(), udp_result.interfaces.size());
+  // TCP destination responses are RSTs; UDP derives trigger TTLs.
+  EXPECT_GT(udp_result.destinations_reached, 0u);
+  EXPECT_GT(tcp_result.destinations_reached, 0u);
+}
+
+TEST(Yarrp, UdpModeDerivesDistances) {
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.probe_type = YarrpConfig::ProbeType::kUdp;
+  const auto result = run_yarrp(topology, config);
+  int with_distance = 0, aligned = 0;
+  for (std::uint32_t i = 0; i < config.num_prefixes(); ++i) {
+    if (result.destination_distance[i] != 0) {
+      ++with_distance;
+      ASSERT_NE(result.trigger_ttl[i], 0);
+      // Routing dynamics between probes at different instants can shift
+      // the two measurements by a hop; they agree almost everywhere.
+      if (std::abs(static_cast<int>(result.destination_distance[i]) -
+                   static_cast<int>(result.trigger_ttl[i])) <= 1) {
+        ++aligned;
+      }
+    }
+  }
+  EXPECT_GT(with_distance, 10);
+  EXPECT_GT(aligned * 20, with_distance * 17);  // >85% (middlebox tail aside)
+}
+
+TEST(Yarrp, ScanTimeMatchesProbeBudget) {
+  const sim::Topology topology(world_params());
+  const auto config = base_config(topology.params());
+  const auto result = run_yarrp(topology, config);
+  const auto floor_ns = static_cast<util::Nanos>(
+      static_cast<double>(result.probes_sent) /
+      config.probes_per_second * util::kSecond);
+  EXPECT_GE(result.scan_time, floor_ns);
+  // ...and not wildly above it (Yarrp has no round barriers).
+  EXPECT_LT(result.scan_time, floor_ns + 10 * util::kSecond);
+}
+
+}  // namespace
+}  // namespace flashroute::baselines

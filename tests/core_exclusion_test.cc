@@ -1,0 +1,163 @@
+// Tests for exclusion lists (ethics appendix) and target-list loading
+// (§3.4's exterior-file option).
+
+#include "core/exclusion.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/tracer.h"
+#include "sim/network.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+
+namespace flashroute::core {
+namespace {
+
+TEST(ExclusionList, SingleAddress) {
+  ExclusionList list;
+  EXPECT_TRUE(list.add_entry("1.2.3.4"));
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("1.2.3.4")));
+  EXPECT_FALSE(list.contains(*net::Ipv4Address::parse("1.2.3.5")));
+  EXPECT_FALSE(list.contains(*net::Ipv4Address::parse("1.2.3.3")));
+}
+
+TEST(ExclusionList, CidrRanges) {
+  ExclusionList list;
+  EXPECT_TRUE(list.add_entry("10.20.0.0/16"));
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("10.20.0.0")));
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("10.20.255.255")));
+  EXPECT_FALSE(list.contains(*net::Ipv4Address::parse("10.21.0.0")));
+  EXPECT_FALSE(list.contains(*net::Ipv4Address::parse("10.19.255.255")));
+}
+
+TEST(ExclusionList, HostBitsAreMasked) {
+  ExclusionList list;
+  EXPECT_TRUE(list.add_entry("192.168.77.200/24"));
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("192.168.77.1")));
+}
+
+TEST(ExclusionList, SlashZeroCoversEverything) {
+  ExclusionList list;
+  EXPECT_TRUE(list.add_entry("0.0.0.0/0"));
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("8.8.8.8")));
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("255.255.255.255")));
+}
+
+TEST(ExclusionList, RejectsMalformedEntries) {
+  ExclusionList list;
+  EXPECT_FALSE(list.add_entry("1.2.3"));
+  EXPECT_FALSE(list.add_entry("1.2.3.4/33"));
+  EXPECT_FALSE(list.add_entry("1.2.3.4/-1"));
+  EXPECT_FALSE(list.add_entry("1.2.3.4/"));
+  EXPECT_FALSE(list.add_entry("hello"));
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(ExclusionList, OverlappingRangesMerge) {
+  ExclusionList list;
+  EXPECT_TRUE(list.add_entry("1.0.0.0/24"));
+  EXPECT_TRUE(list.add_entry("1.0.0.128/25"));
+  EXPECT_TRUE(list.add_entry("1.0.1.0/24"));
+  // Merging happens lazily; all queries consistent.
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("1.0.0.5")));
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("1.0.1.200")));
+  EXPECT_FALSE(list.contains(*net::Ipv4Address::parse("1.0.2.0")));
+}
+
+TEST(ExclusionList, Prefix24Overlap) {
+  ExclusionList list;
+  EXPECT_TRUE(list.add_entry("9.9.9.77"));  // single host
+  // The conservative opt-out: the whole /24 around it is off limits.
+  EXPECT_TRUE(list.excludes_prefix24(0x090909));
+  EXPECT_FALSE(list.excludes_prefix24(0x090908));
+  EXPECT_FALSE(list.excludes_prefix24(0x09090A));
+
+  EXPECT_TRUE(list.add_entry("20.0.0.0/14"));
+  EXPECT_TRUE(list.excludes_prefix24(0x140000));  // 20.0.0.0/24
+  EXPECT_TRUE(list.excludes_prefix24(0x1403FF));  // 20.3.255.0/24
+  EXPECT_FALSE(list.excludes_prefix24(0x140400)); // 20.4.0.0/24
+}
+
+TEST(ExclusionList, LoadWithCommentsAndBlanks) {
+  ExclusionList list;
+  std::istringstream input(
+      "# opt-outs received 2020-09-17\n"
+      "\n"
+      "1.2.3.0/24   # complaint A\n"
+      "  5.6.7.8\n"
+      "\t9.0.0.0/8\n");
+  const auto added = list.load(input);
+  ASSERT_TRUE(added);
+  EXPECT_EQ(*added, 3u);
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("9.200.1.1")));
+}
+
+TEST(ExclusionList, LoadIsAllOrNothing) {
+  ExclusionList list;
+  ASSERT_TRUE(list.add_entry("7.7.7.7"));
+  std::istringstream input("1.2.3.0/24\nnot-an-address\n");
+  EXPECT_FALSE(list.load(input));
+  // The bad file changed nothing; the pre-existing entry survived.
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("7.7.7.7")));
+  EXPECT_FALSE(list.contains(*net::Ipv4Address::parse("1.2.3.4")));
+}
+
+TEST(TargetList, LoadsOnePerPrefix) {
+  std::istringstream input(
+      "# curated targets\n"
+      "1.0.0.55\n"
+      "1.0.0.77\n"   // second entry for the same /24: ignored (§3.4)
+      "1.0.2.1\n"
+      "9.9.9.9\n");  // outside the universe
+  std::size_t skipped = 0;
+  const auto targets = load_target_list(input, 0x010000, 4, &skipped);
+  ASSERT_TRUE(targets);
+  EXPECT_EQ(targets->size(), 4u);
+  EXPECT_EQ((*targets)[0], 0x01000037u);  // 1.0.0.55 — first entry wins
+  EXPECT_EQ((*targets)[1], 0u);
+  EXPECT_EQ((*targets)[2], 0x01000201u);
+  EXPECT_EQ(skipped, 1u);
+}
+
+TEST(TargetList, RejectsMalformed) {
+  std::istringstream input("1.0.0.55\nbogus\n");
+  EXPECT_FALSE(load_target_list(input, 0x010000, 4));
+}
+
+TEST(TracerWithExclusions, SkipsExcludedBlocks) {
+  sim::SimParams params;
+  params.prefix_bits = 8;
+  const sim::Topology topology(params);
+
+  ExclusionList exclusions;
+  // Exclude the first half of the universe: 1.0.0.0/17 covers offsets 0..127.
+  ASSERT_TRUE(exclusions.add_entry("1.0.0.0/17"));
+
+  TracerConfig config;
+  config.first_prefix = params.first_prefix;
+  config.prefix_bits = params.prefix_bits;
+  config.vantage = net::Ipv4Address(params.vantage_address);
+  config.probes_per_second =
+      sim::scaled_probe_rate(100'000.0, params.prefix_bits);
+  config.preprobe = PreprobeMode::kNone;
+  config.exclusions = &exclusions;
+  config.collect_probe_log = true;
+
+  sim::SimNetwork network(topology);
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  Tracer tracer(config, runtime);
+  const auto result = tracer.run();
+
+  EXPECT_GT(result.probes_sent, 0u);
+  for (const auto& probe : result.probe_log) {
+    EXPECT_FALSE(exclusions.contains(net::Ipv4Address(probe.destination)))
+        << net::Ipv4Address(probe.destination).to_string();
+    EXPECT_GE(probe.destination >> 8, 0x010080u);  // second half only
+  }
+}
+
+}  // namespace
+}  // namespace flashroute::core

@@ -1,0 +1,355 @@
+// Behaviour-level tests for the FlashRoute engine (core/tracer.h): probing
+#include <set>
+// phases, split-point selection, forward/backward termination, fold mode,
+// exclusion handling, discovery-optimized extra scans, and determinism.
+
+#include "core/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/targets.h"
+#include "net/checksum.h"
+#include "net/headers.h"
+#include "sim/network.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+
+namespace flashroute::core {
+namespace {
+
+sim::SimParams world_params(std::uint64_t seed = 1, int bits = 10) {
+  sim::SimParams params;
+  params.prefix_bits = bits;
+  params.seed = seed;
+  return params;
+}
+
+TracerConfig base_config(const sim::SimParams& params) {
+  TracerConfig config;
+  config.first_prefix = params.first_prefix;
+  config.prefix_bits = params.prefix_bits;
+  config.vantage = net::Ipv4Address(params.vantage_address);
+  config.probes_per_second =
+      sim::scaled_probe_rate(100'000.0, params.prefix_bits);
+  return config;
+}
+
+ScanResult run_scan(const sim::Topology& topology, TracerConfig config,
+                    double pps_override = 0) {
+  sim::SimNetwork network(topology);
+  const double pps =
+      pps_override > 0 ? pps_override : config.probes_per_second;
+  sim::SimScanRuntime runtime(network, pps);
+  Tracer tracer(config, runtime);
+  return tracer.run();
+}
+
+TEST(Tracer, DeterministicAcrossRuns) {
+  const sim::Topology topology(world_params(8));
+  auto config = base_config(topology.params());
+  config.preprobe = PreprobeMode::kRandom;
+  const auto a = run_scan(topology, config);
+  const auto b = run_scan(topology, config);
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.scan_time, b.scan_time);
+  EXPECT_EQ(a.interfaces, b.interfaces);
+  EXPECT_EQ(a.destination_distance, b.destination_distance);
+  EXPECT_EQ(a.measured_distance, b.measured_distance);
+}
+
+TEST(Tracer, PreprobeOnlyMeasuresDistancesWithOneProbeEach) {
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.preprobe = PreprobeMode::kRandom;
+  config.preprobe_only = true;
+  const auto result = run_scan(topology, config);
+
+  EXPECT_EQ(result.probes_sent, result.preprobe_probes);
+  EXPECT_EQ(result.probes_sent, config.num_prefixes());
+  EXPECT_GT(result.distances_measured, 0u);
+
+  // Measured distances must equal the triggering TTL of the target,
+  // modulo the (rare) dynamics between the two queries.
+  int checked = 0, exact = 0;
+  for (std::uint32_t i = 0; i < config.num_prefixes(); ++i) {
+    if (result.measured_distance[i] == 0) continue;
+    const std::uint32_t target = random_target(
+        config.target_seed, config.first_prefix + i);
+    const auto flow = util::hash_combine(
+        target, net::address_checksum(net::Ipv4Address(target)),
+        net::kTracerouteDstPort, net::kProtoUdp);
+    const auto truth =
+        topology.trigger_ttl(net::Ipv4Address(target), flow, 0);
+    if (!truth) continue;
+    ++checked;
+    if (result.measured_distance[i] == *truth) ++exact;
+  }
+  ASSERT_GT(checked, 10);
+  EXPECT_GT(exact * 10, checked * 8);  // >80% exact (Fig 3: ~90%)
+}
+
+TEST(Tracer, PredictionsComeFromNeighboursWithinSpan) {
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.preprobe = PreprobeMode::kRandom;
+  config.preprobe_only = true;
+  config.proximity_span = 5;
+  const auto result = run_scan(topology, config);
+  ASSERT_GT(result.distances_predicted, 0u);
+  const auto n = config.num_prefixes();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (result.predicted_distance[i] == 0) continue;
+    EXPECT_EQ(result.measured_distance[i], 0u)
+        << "prediction must not overwrite a measurement";
+    bool neighbour_found = false;
+    for (int delta = 1; delta <= 5 && !neighbour_found; ++delta) {
+      if (i >= static_cast<std::uint32_t>(delta) &&
+          result.measured_distance[i - static_cast<std::uint32_t>(delta)] ==
+              result.predicted_distance[i]) {
+        neighbour_found = true;
+      }
+      if (i + static_cast<std::uint32_t>(delta) < n &&
+          result.measured_distance[i + static_cast<std::uint32_t>(delta)] ==
+              result.predicted_distance[i]) {
+        neighbour_found = true;
+      }
+    }
+    EXPECT_TRUE(neighbour_found) << "prefix offset " << i;
+  }
+}
+
+TEST(Tracer, ZeroProximitySpanDisablesPrediction) {
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.preprobe = PreprobeMode::kRandom;
+  config.preprobe_only = true;
+  config.proximity_span = 0;
+  const auto result = run_scan(topology, config);
+  EXPECT_EQ(result.distances_predicted, 0u);
+}
+
+TEST(Tracer, ExcludedPrefixesAreNeverProbed) {
+  // A universe inside 10.0.0.0/8: everything is private, so the ring is
+  // empty and no probe leaves the vantage (§3.4 exclusion).
+  sim::SimParams params = world_params();
+  params.first_prefix = 0x0A0000;  // 10.0.0.0
+  const sim::Topology topology(params);
+  auto config = base_config(params);
+  config.preprobe = PreprobeMode::kNone;
+  const auto result = run_scan(topology, config);
+  EXPECT_EQ(result.probes_sent, 0u);
+  EXPECT_TRUE(result.interfaces.empty());
+}
+
+TEST(Tracer, YarrpSimulationModeProbesEveryHopOnce) {
+  // The §4.2.1 Yarrp-32-UDP simulation: one probe per (prefix, TTL 1..32).
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.preprobe = PreprobeMode::kNone;
+  config.split_ttl = 32;
+  config.forward_probing = false;
+  config.redundancy_removal = false;
+  const auto result = run_scan(topology, config);
+  EXPECT_EQ(result.probes_sent,
+            static_cast<std::uint64_t>(config.num_prefixes()) * 32u);
+}
+
+TEST(Tracer, GapLimitBoundsForwardProbing) {
+  // With no responses past the split, forward probing sends exactly
+  // gap_limit probes per destination: split+1 .. split+gap.
+  const sim::Topology topology(world_params());
+  for (const std::uint8_t gap : {0, 2, 5}) {
+    auto config = base_config(topology.params());
+    config.preprobe = PreprobeMode::kNone;
+    config.gap_limit = gap;
+    config.collect_probe_log = true;
+    const auto result = run_scan(topology, config);
+    std::uint8_t max_ttl_probed = 0;
+    for (const auto& probe : result.probe_log) {
+      max_ttl_probed = std::max(max_ttl_probed, probe.ttl);
+    }
+    // Horizon extensions can push past split+gap only when a deeper hop
+    // responded; the hard bound is the deepest responding hop + gap.
+    EXPECT_LE(max_ttl_probed, 32);
+    if (gap == 0) {
+      // No forward probing at all: nothing above the split TTL.
+      EXPECT_LE(max_ttl_probed, config.split_ttl);
+    }
+  }
+}
+
+TEST(Tracer, DestinationResponseStopsForwardProbing) {
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.preprobe = PreprobeMode::kNone;
+  config.collect_probe_log = true;
+  const auto result = run_scan(topology, config);
+  // For every reached destination, no forward probe was sent far beyond
+  // its distance (allow the one-round overshoot inherent to decoupling).
+  std::vector<std::uint8_t> deepest_probe(config.num_prefixes(), 0);
+  for (const auto& probe : result.probe_log) {
+    const std::uint32_t index =
+        (probe.destination >> 8) - config.first_prefix;
+    deepest_probe[index] = std::max(deepest_probe[index], probe.ttl);
+  }
+  int checked = 0;
+  for (std::uint32_t i = 0; i < config.num_prefixes(); ++i) {
+    const auto distance = result.destination_distance[i];
+    if (distance == 0 || distance <= config.split_ttl) continue;
+    ++checked;
+    EXPECT_LE(deepest_probe[i], distance + 2) << "prefix offset " << i;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(Tracer, FoldModeCostsNoExtraProbes) {
+  // §3.3.5: with split 32 and random preprobing, the preprobe *is* round
+  // one — the probe count stays within a whisker of the no-preprobe scan
+  // (and typically below, thanks to measured-distance shortcuts).
+  const sim::Topology topology(world_params());
+  auto fold = base_config(topology.params());
+  fold.split_ttl = 32;
+  fold.preprobe = PreprobeMode::kRandom;
+  const auto folded = run_scan(topology, fold);
+  EXPECT_EQ(folded.preprobe_probes, 0u);  // no separate phase
+  EXPECT_GT(folded.distances_measured, 0u);
+
+  auto plain = fold;
+  plain.preprobe = PreprobeMode::kNone;
+  const auto unfolded = run_scan(topology, plain);
+  EXPECT_LE(folded.probes_sent, unfolded.probes_sent);
+
+  // Disabling the fold forces a separate preprobe phase.
+  auto no_fold = fold;
+  no_fold.fold_preprobe = false;
+  const auto separate = run_scan(topology, no_fold);
+  EXPECT_EQ(separate.preprobe_probes,
+            static_cast<std::uint64_t>(separate.preprobe_probes));
+  EXPECT_GT(separate.preprobe_probes, 0u);
+}
+
+TEST(Tracer, HitlistPreprobeUsesHitlistTargets) {
+  const sim::Topology topology(world_params());
+  const auto hitlist = topology.generate_hitlist();
+  auto config = base_config(topology.params());
+  config.preprobe = PreprobeMode::kHitlist;
+  config.hitlist = &hitlist;
+  config.preprobe_only = true;
+  const auto with_hitlist = run_scan(topology, config);
+
+  config.preprobe = PreprobeMode::kRandom;
+  const auto with_random = run_scan(topology, config);
+
+  // The census list is curated for responsiveness: it must measure
+  // substantially more distances (§4.1.3: 10% vs 4%).
+  EXPECT_GT(with_hitlist.distances_measured,
+            with_random.distances_measured * 2);
+}
+
+TEST(Tracer, ExtraScansOnlyAddInterfaces) {
+  const sim::Topology topology(world_params(21));
+  auto config = base_config(topology.params());
+  config.split_ttl = 32;
+  config.preprobe = PreprobeMode::kNone;
+  const auto plain = run_scan(topology, config);
+  config.extra_scans = 2;
+  const auto optimized = run_scan(topology, config);
+  EXPECT_GT(optimized.probes_sent, plain.probes_sent);
+  EXPECT_GE(optimized.interfaces.size(), plain.interfaces.size());
+  // Everything the plain scan found is still found (stop set is shared,
+  // never subtractive).
+  for (const auto ip : plain.interfaces) {
+    EXPECT_TRUE(optimized.interfaces.contains(ip));
+  }
+}
+
+TEST(Tracer, TargetOverrideFallsBackPerEntry) {
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  std::vector<std::uint32_t> override_targets(config.num_prefixes(), 0);
+  override_targets[3] = ((config.first_prefix + 3) << 8) | 7;
+  sim::SimNetwork network(topology);
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  Tracer tracer_with(
+      [&] {
+        auto c = config;
+        c.target_override = &override_targets;
+        return c;
+      }(),
+      runtime);
+  EXPECT_EQ(tracer_with.target_of(3), override_targets[3]);
+  EXPECT_EQ(tracer_with.target_of(4),
+            random_target(config.target_seed, config.first_prefix + 4));
+}
+
+TEST(Tracer, MismatchesAreDroppedNotRecorded) {
+  sim::SimParams params = world_params(31);
+  params.rewrite_middlebox_prob = 1.0;  // every stub rewrites
+  const sim::Topology topology(params);
+  auto config = base_config(params);
+  config.preprobe = PreprobeMode::kNone;
+  const auto result = run_scan(topology, config);
+  EXPECT_GT(result.mismatches, 0u);
+  // No destination is ever "reached": every unreachable came back with a
+  // mismatched checksum and was dropped.
+  EXPECT_EQ(result.destinations_reached, 0u);
+}
+
+TEST(Tracer, ScanTimeReflectsProbePacing) {
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.preprobe = PreprobeMode::kNone;
+  const auto result = run_scan(topology, config);
+  // Sending result.probes_sent at the configured rate is a lower bound for
+  // the virtual scan time (rounds add barrier time on top).
+  const auto floor_ns = static_cast<util::Nanos>(
+      static_cast<double>(result.probes_sent) /
+      config.probes_per_second * util::kSecond);
+  EXPECT_GE(result.scan_time, floor_ns);
+}
+
+TEST(Tracer, RoutesRecordDistinctHopsPerTtl) {
+  const sim::Topology topology(world_params());
+  auto config = base_config(topology.params());
+  config.preprobe = PreprobeMode::kNone;
+  const auto result = run_scan(topology, config);
+  for (std::uint32_t i = 0; i < config.num_prefixes(); ++i) {
+    for (const RouteHop& hop : result.routes[i]) {
+      EXPECT_GE(hop.ttl, 1);
+      EXPECT_LE(hop.ttl, 37);  // max_ttl + derived-distance slack
+      EXPECT_NE(hop.ip, 0u);
+    }
+  }
+}
+
+TEST(Tracer, ExtraScansCanVaryTargets) {
+  // §5.4's open question: extra scans probing fresh addresses per /24.
+  const sim::Topology topology(world_params(17));
+  auto config = base_config(topology.params());
+  config.split_ttl = 32;
+  config.preprobe = PreprobeMode::kNone;
+  config.extra_scans = 2;
+  config.collect_probe_log = true;
+
+  config.extra_scan_vary_targets = false;
+  const auto fixed = run_scan(topology, config);
+  config.extra_scan_vary_targets = true;
+  const auto varied = run_scan(topology, config);
+
+  // With fixed targets, every probe goes to one address per prefix; with
+  // varied targets, extra passes probe additional addresses.
+  std::set<std::uint32_t> fixed_addresses, varied_addresses;
+  for (const auto& probe : fixed.probe_log) {
+    fixed_addresses.insert(probe.destination);
+  }
+  for (const auto& probe : varied.probe_log) {
+    varied_addresses.insert(probe.destination);
+  }
+  EXPECT_LE(fixed_addresses.size(), config.num_prefixes());
+  EXPECT_GT(varied_addresses.size(), fixed_addresses.size());
+  // Varying addresses reaches the per-/24 interior: more interfaces.
+  EXPECT_GE(varied.interfaces.size(), fixed.interfaces.size());
+}
+
+}  // namespace
+}  // namespace flashroute::core

@@ -1,0 +1,194 @@
+// Tests for scan persistence (io/scan_archive.h): varint coding, the binary
+// archive round-trip (including on real scan results), and the text/CSV
+// writers.
+
+#include "io/scan_archive.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/tracer.h"
+#include "io/varint.h"
+#include "sim/network.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+
+namespace flashroute::io {
+namespace {
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  for (const std::uint64_t value :
+       {0ull, 1ull, 127ull, 128ull, 129ull, 16383ull, 16384ull,
+        0xFFFFFFFFull, 0x100000000ull, ~0ull}) {
+    std::stringstream stream;
+    write_varint(stream, value);
+    const auto read = read_varint(stream);
+    ASSERT_TRUE(read) << value;
+    EXPECT_EQ(*read, value);
+  }
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  std::stringstream stream;
+  write_varint(stream, 100);
+  EXPECT_EQ(stream.str().size(), 1u);
+  write_varint(stream, 1000);
+  EXPECT_EQ(stream.str().size(), 3u);  // 1 + 2
+}
+
+TEST(Varint, ReadFailsOnTruncation) {
+  std::stringstream stream;
+  stream.put(static_cast<char>(0x80));  // continuation bit, then EOF
+  EXPECT_FALSE(read_varint(stream));
+}
+
+TEST(Varint, ReadFailsOnOverlongInput) {
+  std::stringstream stream;
+  for (int i = 0; i < 11; ++i) stream.put(static_cast<char>(0xFF));
+  EXPECT_FALSE(read_varint(stream));
+}
+
+core::ScanResult sample_result() {
+  core::ScanResult result;
+  result.interfaces = {0xC8000001, 0xC8000005, 0x01020301};
+  result.routes.resize(4);
+  result.routes[0] = {{0xC8000001, 1, 0},
+                      {0xC8000005, 2, core::RouteHop::kExtraScan}};
+  result.routes[2] = {{0x01020301, 9, core::RouteHop::kFromDestination}};
+  result.destination_distance = {0, 0, 9, 0};
+  result.trigger_ttl = {0, 0, 9, 0};
+  result.measured_distance = {0, 0, 9, 0};
+  result.predicted_distance = {9, 0, 0, 9};
+  result.probes_sent = 12345;
+  result.preprobe_probes = 4;
+  result.responses = 100;
+  result.mismatches = 2;
+  result.destinations_reached = 1;
+  result.distances_measured = 1;
+  result.distances_predicted = 2;
+  result.convergence_stops = 3;
+  result.scan_time = 98'765'432'100;
+  result.preprobe_time = 1'234'567;
+  return result;
+}
+
+TEST(Archive, RoundTripsSyntheticResult) {
+  const auto original = sample_result();
+  const ArchiveHeader header{0x010200, 2, 77};
+  std::stringstream stream;
+  write_archive(original, header, stream);
+
+  const auto loaded = read_archive(stream);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->header.first_prefix, header.first_prefix);
+  EXPECT_EQ(loaded->header.prefix_bits, header.prefix_bits);
+  EXPECT_EQ(loaded->header.seed, header.seed);
+
+  const auto& result = loaded->result;
+  EXPECT_EQ(result.interfaces, original.interfaces);
+  EXPECT_EQ(result.destination_distance, original.destination_distance);
+  EXPECT_EQ(result.trigger_ttl, original.trigger_ttl);
+  EXPECT_EQ(result.measured_distance, original.measured_distance);
+  EXPECT_EQ(result.predicted_distance, original.predicted_distance);
+  EXPECT_EQ(result.probes_sent, original.probes_sent);
+  EXPECT_EQ(result.scan_time, original.scan_time);
+  EXPECT_EQ(result.preprobe_time, original.preprobe_time);
+  ASSERT_EQ(result.routes.size(), original.routes.size());
+  for (std::size_t i = 0; i < result.routes.size(); ++i) {
+    ASSERT_EQ(result.routes[i].size(), original.routes[i].size());
+    for (std::size_t h = 0; h < result.routes[i].size(); ++h) {
+      EXPECT_EQ(result.routes[i][h].ip, original.routes[i][h].ip);
+      EXPECT_EQ(result.routes[i][h].ttl, original.routes[i][h].ttl);
+      EXPECT_EQ(result.routes[i][h].flags, original.routes[i][h].flags);
+    }
+  }
+}
+
+TEST(Archive, RoundTripsRealScan) {
+  sim::SimParams params;
+  params.prefix_bits = 8;
+  const sim::Topology topology(params);
+  core::TracerConfig config;
+  config.first_prefix = params.first_prefix;
+  config.prefix_bits = params.prefix_bits;
+  config.vantage = net::Ipv4Address(params.vantage_address);
+  config.probes_per_second =
+      sim::scaled_probe_rate(100'000.0, params.prefix_bits);
+  config.preprobe = core::PreprobeMode::kRandom;
+  sim::SimNetwork network(topology);
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  core::Tracer tracer(config, runtime);
+  const auto original = tracer.run();
+
+  std::stringstream stream;
+  write_archive(original, {config.first_prefix, config.prefix_bits, 1},
+                stream);
+  const auto loaded = read_archive(stream);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->result.interfaces, original.interfaces);
+  EXPECT_EQ(loaded->result.probes_sent, original.probes_sent);
+  EXPECT_EQ(loaded->result.destination_distance,
+            original.destination_distance);
+  std::size_t original_hops = 0, loaded_hops = 0;
+  for (const auto& route : original.routes) original_hops += route.size();
+  for (const auto& route : loaded->result.routes) loaded_hops += route.size();
+  EXPECT_EQ(loaded_hops, original_hops);
+}
+
+TEST(Archive, RejectsBadMagicAndTruncation) {
+  std::stringstream bad("NOPE....");
+  EXPECT_FALSE(read_archive(bad));
+
+  const auto original = sample_result();
+  std::stringstream stream;
+  write_archive(original, {0, 1, 0}, stream);
+  const std::string full = stream.str();
+  for (const std::size_t cut : {4ul, 8ul, full.size() / 2, full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_FALSE(read_archive(truncated)) << "cut at " << cut;
+  }
+}
+
+TEST(Archive, RejectsWrongVersion) {
+  std::stringstream stream;
+  stream.write("FRSC", 4);
+  write_varint(stream, 99);  // unsupported version
+  EXPECT_FALSE(read_archive(stream));
+}
+
+TEST(TextWriter, ListsRoutesWithAnnotations) {
+  const auto result = sample_result();
+  std::ostringstream out;
+  write_routes_text(
+      result, [](std::uint32_t offset) { return (0x010200u + offset) << 8 | 7; },
+      0x010200, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("target 1.2.0.7 (prefix 1.2.0.0/24)"),
+            std::string::npos);
+  EXPECT_NE(text.find("200.0.0.1"), std::string::npos);
+  EXPECT_NE(text.find("[extra]"), std::string::npos);
+  EXPECT_NE(text.find("[dest]"), std::string::npos);
+  EXPECT_NE(text.find("distance 9"), std::string::npos);
+  // Empty routes produce no block.
+  EXPECT_EQ(text.find("1.2.1.0/24"), std::string::npos);
+}
+
+TEST(CsvWriter, OneRowPerHop) {
+  const auto result = sample_result();
+  std::ostringstream out;
+  write_routes_csv(
+      result, [](std::uint32_t offset) { return (0x010200u + offset) << 8 | 7; },
+      0x010200, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("prefix,target,ttl,hop,kind"), std::string::npos);
+  EXPECT_NE(text.find("1.2.0.0,1.2.0.7,1,200.0.0.1,hop"), std::string::npos);
+  EXPECT_NE(text.find("1.2.0.0,1.2.0.7,2,200.0.0.5,extra"),
+            std::string::npos);
+  EXPECT_NE(text.find("1.2.2.0,1.2.2.7,9,1.2.3.1,dest"), std::string::npos);
+  // 1 header + 3 hop rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace flashroute::io

@@ -1,0 +1,214 @@
+// Serialize/parse round-trips for the packet headers (net/headers.h) and
+// the bounds-checked byte readers/writers (net/packet.h).
+
+#include "net/headers.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "net/checksum.h"
+#include "net/packet.h"
+
+namespace flashroute::net {
+namespace {
+
+TEST(ByteWriter, WritesBigEndian) {
+  std::array<std::byte, 8> buf{};
+  ByteWriter w(buf);
+  w.put_u8(0x12);
+  w.put_u16(0x3456);
+  w.put_u32(0x789ABCDE);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.written(), 7u);
+  EXPECT_EQ(buf[0], std::byte{0x12});
+  EXPECT_EQ(buf[1], std::byte{0x34});
+  EXPECT_EQ(buf[2], std::byte{0x56});
+  EXPECT_EQ(buf[3], std::byte{0x78});
+  EXPECT_EQ(buf[6], std::byte{0xDE});
+}
+
+TEST(ByteWriter, OverflowLatchesFailure) {
+  std::array<std::byte, 3> buf{};
+  ByteWriter w(buf);
+  w.put_u32(1);  // doesn't fit
+  EXPECT_FALSE(w.ok());
+  w.put_u8(2);  // stays failed
+  EXPECT_FALSE(w.ok());
+  EXPECT_EQ(w.written(), 0u);
+}
+
+TEST(ByteWriter, PatchU16) {
+  std::array<std::byte, 4> buf{};
+  ByteWriter w(buf);
+  w.put_u32(0);
+  w.patch_u16(2, 0xBEEF);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(buf[2], std::byte{0xBE});
+  EXPECT_EQ(buf[3], std::byte{0xEF});
+}
+
+TEST(ByteReader, ReadsWhatWriterWrote) {
+  std::array<std::byte, 16> buf{};
+  ByteWriter w(buf);
+  w.put_u8(1);
+  w.put_u16(515);
+  w.put_u32(0xCAFEBABE);
+  ByteReader r(std::span<const std::byte>(buf.data(), w.written()));
+  EXPECT_EQ(r.get_u8(), 1);
+  EXPECT_EQ(r.get_u16(), 515);
+  EXPECT_EQ(r.get_u32(), 0xCAFEBABEu);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReader, UnderflowLatchesFailure) {
+  std::array<std::byte, 2> buf{};
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_u32(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.get_u8(), 0);  // still failed
+}
+
+TEST(Ipv4Header, RoundTrip) {
+  Ipv4Header h;
+  h.tos = 0x10;
+  h.total_length = 1234;
+  h.id = 0xABCD;
+  h.flags_fragment = 0x4000;
+  h.ttl = 17;
+  h.protocol = kProtoUdp;
+  h.src = Ipv4Address(0x01020304);
+  h.dst = Ipv4Address(0x05060708);
+
+  std::array<std::byte, Ipv4Header::kSize> buf{};
+  ByteWriter w(buf);
+  ASSERT_TRUE(h.serialize(w));
+
+  // The emitted header must carry a valid checksum.
+  EXPECT_TRUE(verify_ipv4_checksum(buf));
+
+  ByteReader r(buf);
+  const auto parsed = Ipv4Header::parse(r);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->tos, h.tos);
+  EXPECT_EQ(parsed->total_length, h.total_length);
+  EXPECT_EQ(parsed->id, h.id);
+  EXPECT_EQ(parsed->flags_fragment, h.flags_fragment);
+  EXPECT_EQ(parsed->ttl, h.ttl);
+  EXPECT_EQ(parsed->protocol, h.protocol);
+  EXPECT_EQ(parsed->src, h.src);
+  EXPECT_EQ(parsed->dst, h.dst);
+}
+
+TEST(Ipv4Header, ParseSkipsOptions) {
+  std::array<std::byte, 24> buf{};
+  ByteWriter w(buf);
+  Ipv4Header h;
+  h.total_length = 24;
+  h.ttl = 1;
+  h.protocol = kProtoIcmp;
+  ASSERT_TRUE(h.serialize(w));
+  buf[0] = std::byte{0x46};  // IHL 6 -> 24-byte header
+  w.put_u32(0xDEADBEEF);     // the option word
+  ByteReader r(buf);
+  const auto parsed = Ipv4Header::parse(r);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(r.remaining(), 0u);  // options consumed
+}
+
+TEST(Ipv4Header, ParseRejectsNonIpv4) {
+  std::array<std::byte, Ipv4Header::kSize> buf{};
+  buf[0] = std::byte{0x65};  // version 6
+  ByteReader r(buf);
+  EXPECT_FALSE(Ipv4Header::parse(r));
+}
+
+TEST(Ipv4Header, ParseRejectsTruncated) {
+  std::array<std::byte, 10> buf{};
+  buf[0] = std::byte{0x45};
+  ByteReader r(buf);
+  EXPECT_FALSE(Ipv4Header::parse(r));
+}
+
+TEST(UdpHeader, RoundTrip) {
+  UdpHeader h;
+  h.src_port = 54321;
+  h.dst_port = kTracerouteDstPort;
+  h.length = 28;
+  h.checksum = 0x1111;
+  std::array<std::byte, UdpHeader::kSize> buf{};
+  ByteWriter w(buf);
+  ASSERT_TRUE(h.serialize(w));
+  ByteReader r(buf);
+  const auto parsed = UdpHeader::parse(r);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->src_port, h.src_port);
+  EXPECT_EQ(parsed->dst_port, h.dst_port);
+  EXPECT_EQ(parsed->length, h.length);
+  EXPECT_EQ(parsed->checksum, h.checksum);
+}
+
+TEST(TcpHeader, RoundTrip) {
+  TcpHeader h;
+  h.src_port = 1000;
+  h.dst_port = 80;
+  h.seq = 0x12345678;
+  h.ack = 0x9ABCDEF0;
+  h.flags = TcpHeader::kFlagAck;
+  h.window = 65535;
+  std::array<std::byte, TcpHeader::kSize> buf{};
+  ByteWriter w(buf);
+  ASSERT_TRUE(h.serialize(w));
+  ByteReader r(buf);
+  const auto parsed = TcpHeader::parse(r);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->src_port, h.src_port);
+  EXPECT_EQ(parsed->dst_port, h.dst_port);
+  EXPECT_EQ(parsed->seq, h.seq);
+  EXPECT_EQ(parsed->ack, h.ack);
+  EXPECT_EQ(parsed->flags, h.flags);
+  EXPECT_EQ(parsed->window, h.window);
+}
+
+TEST(IcmpHeader, RoundTrip) {
+  IcmpHeader h;
+  h.type = kIcmpTimeExceeded;
+  h.code = kIcmpCodeTtlExceeded;
+  h.checksum = 0x2222;
+  h.rest = 0x33334444;
+  std::array<std::byte, IcmpHeader::kSize> buf{};
+  ByteWriter w(buf);
+  ASSERT_TRUE(h.serialize(w));
+  ByteReader r(buf);
+  const auto parsed = IcmpHeader::parse(r);
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->type, h.type);
+  EXPECT_EQ(parsed->code, h.code);
+  EXPECT_EQ(parsed->rest, h.rest);
+}
+
+TEST(VerifyIpv4Checksum, DetectsCorruption) {
+  std::array<std::byte, Ipv4Header::kSize> buf{};
+  ByteWriter w(buf);
+  Ipv4Header h;
+  h.total_length = 20;
+  h.ttl = 64;
+  h.protocol = kProtoTcp;
+  h.src = Ipv4Address(0x0A000001);
+  h.dst = Ipv4Address(0x0A000002);
+  ASSERT_TRUE(h.serialize(w));
+  ASSERT_TRUE(verify_ipv4_checksum(buf));
+  buf[8] = std::byte{63};  // decrement TTL without fixing the checksum
+  EXPECT_FALSE(verify_ipv4_checksum(buf));
+}
+
+TEST(VerifyIpv4Checksum, RejectsGarbage) {
+  EXPECT_FALSE(verify_ipv4_checksum({}));
+  std::array<std::byte, 4> tiny{};
+  tiny[0] = std::byte{0x45};
+  EXPECT_FALSE(verify_ipv4_checksum(tiny));
+}
+
+}  // namespace
+}  // namespace flashroute::net

@@ -1,0 +1,153 @@
+// Tests for ICMP/RST response crafting and parsing (net/icmp.h): the
+// round-trip every probe response in this repository takes, including the
+// quoted-TTL semantics the one-probe distance measurement depends on and
+// the destination-rewrite patching behind §5.3.
+
+#include "net/icmp.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/probe_codec.h"
+#include "net/checksum.h"
+#include "net/headers.h"
+
+namespace flashroute::net {
+namespace {
+
+constexpr Ipv4Address kVantage(0xCB00710A);
+constexpr Ipv4Address kTarget(0x01020304);
+constexpr Ipv4Address kRouter(0xC8000005);
+
+std::vector<std::byte> make_udp_probe(std::uint8_t ttl,
+                                      util::Nanos when = 1'000'000'000) {
+  const core::ProbeCodec codec(kVantage);
+  std::array<std::byte, core::ProbeCodec::kMaxProbeSize> buf;
+  const std::size_t size = codec.encode_udp(kTarget, ttl, false, when, buf);
+  EXPECT_GT(size, 0u);
+  return {buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(size)};
+}
+
+TEST(IcmpCraft, TimeExceededRoundTrip) {
+  const auto probe = make_udp_probe(7);
+  const auto packet = craft_icmp_response(kIcmpTimeExceeded,
+                                          kIcmpCodeTtlExceeded, kRouter,
+                                          probe, /*residual_ttl=*/1);
+  ASSERT_TRUE(packet);
+  const auto parsed = parse_response(*packet);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->is_time_exceeded());
+  EXPECT_EQ(parsed->responder, kRouter);
+  EXPECT_EQ(parsed->inner.dst, kTarget);
+  EXPECT_EQ(parsed->inner.src, kVantage);
+  EXPECT_EQ(parsed->inner.ttl, 1);  // residual as quoted
+  EXPECT_EQ(parsed->inner_dst_port, kTracerouteDstPort);
+  EXPECT_EQ(parsed->inner_src_port, address_checksum(kTarget));
+}
+
+TEST(IcmpCraft, PortUnreachableCarriesResidual) {
+  const auto probe = make_udp_probe(32);
+  const auto packet = craft_icmp_response(kIcmpDestUnreachable,
+                                          kIcmpCodePortUnreachable, kTarget,
+                                          probe, /*residual_ttl=*/17);
+  ASSERT_TRUE(packet);
+  const auto parsed = parse_response(*packet);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->is_destination_unreachable());
+  EXPECT_EQ(parsed->icmp_code, kIcmpCodePortUnreachable);
+  // 32 - residual 17 + 1 = 16: the distance the preprober derives (§3.3.1).
+  EXPECT_EQ(parsed->inner.ttl, 17);
+}
+
+TEST(IcmpCraft, QuotedHeaderHasValidChecksumAfterTtlPatch) {
+  const auto probe = make_udp_probe(20);
+  const auto packet = craft_icmp_response(kIcmpTimeExceeded,
+                                          kIcmpCodeTtlExceeded, kRouter,
+                                          probe, 1);
+  ASSERT_TRUE(packet);
+  // The quote begins after outer IP + ICMP headers.
+  const std::span<const std::byte> quote =
+      std::span<const std::byte>(*packet).subspan(Ipv4Header::kSize +
+                                                  IcmpHeader::kSize);
+  EXPECT_TRUE(verify_ipv4_checksum(quote));
+}
+
+TEST(IcmpCraft, OuterHeaderAddressesAndChecksumAreCorrect) {
+  const auto probe = make_udp_probe(5);
+  const auto packet = craft_icmp_response(kIcmpTimeExceeded,
+                                          kIcmpCodeTtlExceeded, kRouter,
+                                          probe, 1);
+  ASSERT_TRUE(packet);
+  EXPECT_TRUE(verify_ipv4_checksum(*packet));
+  ByteReader r(*packet);
+  const auto outer = Ipv4Header::parse(r);
+  ASSERT_TRUE(outer);
+  EXPECT_EQ(outer->src, kRouter);
+  EXPECT_EQ(outer->dst, kVantage);
+  EXPECT_EQ(outer->protocol, kProtoIcmp);
+  EXPECT_EQ(outer->total_length, packet->size());
+}
+
+TEST(IcmpCraft, RewrittenDestinationIsVisibleInQuote) {
+  const auto probe = make_udp_probe(32);
+  const Ipv4Address rewritten(0x01020301);
+  const auto packet = craft_icmp_response(
+      kIcmpDestUnreachable, kIcmpCodePortUnreachable, rewritten, probe, 3,
+      rewritten);
+  ASSERT_TRUE(packet);
+  const auto parsed = parse_response(*packet);
+  ASSERT_TRUE(parsed);
+  // The quote now names the rewritten destination...
+  EXPECT_EQ(parsed->inner.dst, rewritten);
+  // ...while the quoted source port still encodes the original target's
+  // checksum — the §5.3 mismatch FlashRoute drops on.
+  EXPECT_EQ(parsed->inner_src_port, address_checksum(kTarget));
+  EXPECT_NE(parsed->inner_src_port, address_checksum(rewritten));
+}
+
+TEST(IcmpCraft, RejectsMalformedProbe) {
+  const std::array<std::byte, 4> garbage{};
+  EXPECT_FALSE(craft_icmp_response(kIcmpTimeExceeded, 0, kRouter, garbage, 1));
+}
+
+TEST(TcpRst, RoundTrip) {
+  const core::ProbeCodec codec(kVantage);
+  std::array<std::byte, core::ProbeCodec::kMaxProbeSize> buf;
+  const std::size_t size = codec.encode_tcp(kTarget, 9, 123456789, buf);
+  ASSERT_GT(size, 0u);
+  const auto rst =
+      craft_tcp_rst(std::span<const std::byte>(buf.data(), size));
+  ASSERT_TRUE(rst);
+  const auto parsed = parse_response(*rst);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->is_tcp_rst);
+  EXPECT_FALSE(parsed->is_icmp);
+  EXPECT_EQ(parsed->responder, kTarget);
+  EXPECT_EQ(parsed->tcp_src_port, 80);  // the probe's destination port
+  EXPECT_EQ(parsed->tcp_dst_port, address_checksum(kTarget));
+}
+
+TEST(TcpRst, RejectsUdpProbe) {
+  const auto probe = make_udp_probe(5);
+  EXPECT_FALSE(craft_tcp_rst(probe));
+}
+
+TEST(ParseResponse, RejectsNonResponses) {
+  // A raw UDP probe is not a response.
+  const auto probe = make_udp_probe(5);
+  EXPECT_FALSE(parse_response(probe));
+  // Truncated packets.
+  EXPECT_FALSE(parse_response(std::span<const std::byte>(probe).first(10)));
+  EXPECT_FALSE(parse_response({}));
+}
+
+TEST(ParseResponse, RejectsOtherIcmpTypes) {
+  const auto probe = make_udp_probe(5);
+  const auto echo = craft_icmp_response(/*type=*/0, 0, kRouter, probe, 1);
+  ASSERT_TRUE(echo);
+  EXPECT_FALSE(parse_response(*echo));
+}
+
+}  // namespace
+}  // namespace flashroute::net

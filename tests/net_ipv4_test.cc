@@ -1,0 +1,110 @@
+// Tests for IPv4 address handling and the /24-prefix helpers (net/ipv4.h),
+// including the special-range classification that drives the paper's
+// exclusion of private/multicast/reserved destinations (§3.4).
+
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace flashroute::net {
+namespace {
+
+TEST(Ipv4Address, FromOctetsAndAccessors) {
+  const auto a = Ipv4Address::from_octets(192, 168, 1, 200);
+  EXPECT_EQ(a.value(), 0xC0A801C8u);
+  EXPECT_EQ(a.octet(0), 192);
+  EXPECT_EQ(a.octet(1), 168);
+  EXPECT_EQ(a.octet(2), 1);
+  EXPECT_EQ(a.octet(3), 200);
+}
+
+TEST(Ipv4Address, ParseValid) {
+  EXPECT_EQ(Ipv4Address::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4Address::parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+  EXPECT_EQ(Ipv4Address::parse("1.2.3.4")->value(), 0x01020304u);
+  EXPECT_EQ(Ipv4Address::parse("10.0.0.1")->value(), 0x0A000001u);
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.256"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.-4"));
+  EXPECT_FALSE(Ipv4Address::parse("1..3.4"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4Address::parse(" 1.2.3.4"));
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4x"));
+  EXPECT_FALSE(Ipv4Address::parse("01.2.3.4"));  // overlong octet
+}
+
+TEST(Ipv4Address, ToStringRoundTrip) {
+  for (const char* text : {"0.0.0.0", "1.2.3.4", "203.0.113.10",
+                           "255.255.255.255", "10.200.30.40"}) {
+    const auto parsed = Ipv4Address::parse(text);
+    ASSERT_TRUE(parsed) << text;
+    EXPECT_EQ(parsed->to_string(), text);
+  }
+}
+
+TEST(Ipv4Address, Ordering) {
+  EXPECT_LT(Ipv4Address(1), Ipv4Address(2));
+  EXPECT_EQ(Ipv4Address(7), Ipv4Address(7));
+  EXPECT_GT(Ipv4Address(0xFFFFFFFF), Ipv4Address(0));
+}
+
+TEST(Ipv4Address, Hashable) {
+  std::hash<Ipv4Address> hasher;
+  EXPECT_EQ(hasher(Ipv4Address(42)), hasher(Ipv4Address(42)));
+}
+
+TEST(Prefix24, IndexAndReconstruction) {
+  const auto a = Ipv4Address::from_octets(100, 100, 123, 45);
+  EXPECT_EQ(prefix24_index(a), 0x64647Bu);
+  EXPECT_EQ(address_in_prefix24(prefix24_index(a), 45), a);
+  EXPECT_EQ(address_in_prefix24(0, 1).value(), 1u);
+}
+
+TEST(Classification, Private) {
+  EXPECT_TRUE(is_private(*Ipv4Address::parse("10.0.0.1")));
+  EXPECT_TRUE(is_private(*Ipv4Address::parse("10.255.255.255")));
+  EXPECT_TRUE(is_private(*Ipv4Address::parse("172.16.0.1")));
+  EXPECT_TRUE(is_private(*Ipv4Address::parse("172.31.255.255")));
+  EXPECT_TRUE(is_private(*Ipv4Address::parse("192.168.0.1")));
+  EXPECT_FALSE(is_private(*Ipv4Address::parse("172.32.0.1")));
+  EXPECT_FALSE(is_private(*Ipv4Address::parse("172.15.255.255")));
+  EXPECT_FALSE(is_private(*Ipv4Address::parse("11.0.0.1")));
+  EXPECT_FALSE(is_private(*Ipv4Address::parse("192.169.0.1")));
+}
+
+TEST(Classification, LoopbackMulticastReserved) {
+  EXPECT_TRUE(is_loopback(*Ipv4Address::parse("127.0.0.1")));
+  EXPECT_FALSE(is_loopback(*Ipv4Address::parse("126.255.255.255")));
+  EXPECT_TRUE(is_multicast(*Ipv4Address::parse("224.0.0.1")));
+  EXPECT_TRUE(is_multicast(*Ipv4Address::parse("239.255.255.255")));
+  EXPECT_FALSE(is_multicast(*Ipv4Address::parse("223.255.255.255")));
+  EXPECT_TRUE(is_reserved(*Ipv4Address::parse("240.0.0.1")));
+  EXPECT_TRUE(is_reserved(*Ipv4Address::parse("255.255.255.255")));
+  EXPECT_TRUE(is_reserved(*Ipv4Address::parse("0.1.2.3")));
+  EXPECT_TRUE(is_reserved(*Ipv4Address::parse("169.254.1.1")));
+  EXPECT_TRUE(is_reserved(*Ipv4Address::parse("100.64.0.1")));    // CGN
+  EXPECT_TRUE(is_reserved(*Ipv4Address::parse("100.127.255.1")));
+  EXPECT_FALSE(is_reserved(*Ipv4Address::parse("100.128.0.1")));
+  EXPECT_FALSE(is_reserved(*Ipv4Address::parse("100.63.255.1")));
+}
+
+TEST(Classification, ProbeExclusionMatchesPaper) {
+  // §3.4: "all private, multicast, and reserved destinations ... are
+  // removed from the doubly linked list before probing commences."
+  EXPECT_TRUE(is_probe_excluded(*Ipv4Address::parse("10.1.2.3")));
+  EXPECT_TRUE(is_probe_excluded(*Ipv4Address::parse("224.1.2.3")));
+  EXPECT_TRUE(is_probe_excluded(*Ipv4Address::parse("127.0.0.1")));
+  EXPECT_TRUE(is_probe_excluded(*Ipv4Address::parse("240.0.0.1")));
+  EXPECT_FALSE(is_probe_excluded(*Ipv4Address::parse("8.8.8.8")));
+  EXPECT_FALSE(is_probe_excluded(*Ipv4Address::parse("1.0.0.1")));
+  EXPECT_FALSE(is_probe_excluded(*Ipv4Address::parse("203.0.113.99")));
+}
+
+}  // namespace
+}  // namespace flashroute::net

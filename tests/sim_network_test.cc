@@ -1,0 +1,309 @@
+// Tests for the packet-level network simulation (sim/network.h): TTL
+// decrement semantics, expiry positions, destination responses, rate
+// limiting, middlebox TTL rewriting, and the statistics counters.
+
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/probe_codec.h"
+#include "net/checksum.h"
+#include "net/icmp.h"
+
+namespace flashroute::sim {
+namespace {
+
+SimParams tiny_params(std::uint64_t seed = 1) {
+  SimParams params;
+  params.prefix_bits = 10;
+  params.seed = seed;
+  return params;
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : params_(tiny_params()),
+        topology_(params_),
+        network_(topology_),
+        codec_(net::Ipv4Address(params_.vantage_address)) {}
+
+  std::optional<Delivery> probe_udp(net::Ipv4Address dest, std::uint8_t ttl,
+                                    util::Nanos when) {
+    std::array<std::byte, core::ProbeCodec::kMaxProbeSize> buf;
+    const std::size_t size = codec_.encode_udp(dest, ttl, false, when, buf);
+    EXPECT_GT(size, 0u);
+    return network_.process(std::span<const std::byte>(buf.data(), size),
+                            when);
+  }
+
+  std::optional<Delivery> probe_tcp(net::Ipv4Address dest, std::uint8_t ttl,
+                                    util::Nanos when) {
+    std::array<std::byte, core::ProbeCodec::kMaxProbeSize> buf;
+    const std::size_t size = codec_.encode_tcp(dest, ttl, when, buf);
+    EXPECT_GT(size, 0u);
+    return network_.process(std::span<const std::byte>(buf.data(), size),
+                            when);
+  }
+
+  /// A routed prefix plus a responsive interior host on it (or appliance).
+  net::Ipv4Address find_responsive_target() {
+    for (std::uint32_t i = 0; i < params_.num_prefixes(); ++i) {
+      const std::uint32_t prefix = params_.first_prefix + i;
+      if (!topology_.prefix_routed(prefix)) continue;
+      for (int octet = 1; octet < 255; ++octet) {
+        const net::Ipv4Address host(
+            (prefix << 8) | static_cast<std::uint32_t>(octet));
+        if (topology_.host_exists(host) &&
+            topology_.host_responds(host, net::kProtoUdp)) {
+          // Ensure every hop on the way responds, so expiry tests are
+          // deterministic.
+          Route route;
+          topology_.resolve(host, flow_of(host), 0, route);
+          bool clean = true;
+          for (int h = 0; h < route.num_hops; ++h) {
+            if (!topology_.interface_responds(
+                    route.hops[static_cast<std::size_t>(h)],
+                    net::kProtoUdp)) {
+              clean = false;
+              break;
+            }
+          }
+          if (clean) return host;
+        }
+      }
+    }
+    ADD_FAILURE() << "no fully responsive target in universe";
+    return net::Ipv4Address(0);
+  }
+
+  std::uint64_t flow_of(net::Ipv4Address dest) const {
+    return util::hash_combine(dest.value(), net::address_checksum(dest),
+                              net::kTracerouteDstPort, net::kProtoUdp);
+  }
+
+  SimParams params_;
+  Topology topology_;
+  SimNetwork network_;
+  core::ProbeCodec codec_;
+};
+
+TEST_F(NetworkTest, ExpiryMatchesResolvedPath) {
+  const auto target = find_responsive_target();
+  Route route;
+  ASSERT_TRUE(topology_.resolve(target, flow_of(target), 0, route));
+  util::Nanos t = 0;
+  for (int ttl = 1; ttl <= route.num_hops; ++ttl) {
+    const auto delivery = probe_udp(target, static_cast<std::uint8_t>(ttl),
+                                    t += util::kSecond);
+    ASSERT_TRUE(delivery) << "no response at ttl " << ttl;
+    const auto parsed = net::parse_response(delivery->packet);
+    ASSERT_TRUE(parsed);
+    EXPECT_TRUE(parsed->is_time_exceeded());
+    EXPECT_EQ(parsed->responder.value(),
+              route.hops[static_cast<std::size_t>(ttl - 1)]);
+  }
+}
+
+TEST_F(NetworkTest, DestinationAnswersBeyondItsDistance) {
+  const auto target = find_responsive_target();
+  Route route;
+  topology_.resolve(target, flow_of(target), 0, route);
+  const int distance = route.num_hops + 1;  // triggering TTL
+  util::Nanos t = util::kSecond;
+  for (int ttl = distance; ttl <= 32; ttl += 5) {
+    const auto delivery = probe_udp(target, static_cast<std::uint8_t>(ttl),
+                                    t += util::kSecond);
+    ASSERT_TRUE(delivery);
+    const auto parsed = net::parse_response(delivery->packet);
+    ASSERT_TRUE(parsed);
+    EXPECT_TRUE(parsed->is_destination_unreachable());
+    EXPECT_EQ(parsed->responder, target);
+    // The quoted residual must always derive the same distance (§3.3.1).
+    const auto decoded = codec_.decode(*parsed);
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->initial_ttl - decoded->residual_ttl + 1, distance);
+  }
+}
+
+TEST_F(NetworkTest, NoResponseBelowTriggeringTtlFromDestination) {
+  const auto target = find_responsive_target();
+  Route route;
+  topology_.resolve(target, flow_of(target), 0, route);
+  // TTL == num_hops expires at the last router, not the destination.
+  const auto delivery = probe_udp(
+      target, static_cast<std::uint8_t>(route.num_hops), util::kSecond);
+  ASSERT_TRUE(delivery);
+  const auto parsed = net::parse_response(delivery->packet);
+  EXPECT_TRUE(parsed->is_time_exceeded());
+  EXPECT_NE(parsed->responder, target);
+}
+
+TEST_F(NetworkTest, RttGrowsWithHopDistance) {
+  const auto target = find_responsive_target();
+  const auto near = probe_udp(target, 1, 0);
+  Route route;
+  topology_.resolve(target, flow_of(target), 0, route);
+  const auto far = probe_udp(
+      target, static_cast<std::uint8_t>(route.num_hops), util::kSecond);
+  ASSERT_TRUE(near);
+  ASSERT_TRUE(far);
+  EXPECT_LT(near->arrival - 0, far->arrival - util::kSecond);
+}
+
+TEST_F(NetworkTest, RateLimitingSuppressesBursts) {
+  // Hammer the TTL-1 interface: the first `burst` probes in a second get
+  // answers, the rest are rate-limited (the paper's overprobing).
+  const auto target = find_responsive_target();
+  const auto limit =
+      static_cast<int>(params_.icmp_rate_limit_burst);
+  int answered = 0;
+  for (int i = 0; i < limit + 100; ++i) {
+    if (probe_udp(target, 1, 1000 + i)) ++answered;  // ~same instant
+  }
+  EXPECT_EQ(answered, limit);
+  EXPECT_EQ(network_.stats().rate_limited, 100u);
+  EXPECT_EQ(network_.rate_limit_drops().size(), 1u);
+
+  // A second later the bucket has refilled ~rate tokens.
+  int later = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (probe_udp(target, 1, 2 * util::kSecond + i)) ++later;
+  }
+  EXPECT_EQ(later, 100);
+}
+
+TEST_F(NetworkTest, TcpProbesGetRstFromDestination) {
+  // Find a TCP-responsive host.
+  net::Ipv4Address target(0);
+  for (std::uint32_t i = 0; i < params_.num_prefixes(); ++i) {
+    const std::uint32_t prefix = params_.first_prefix + i;
+    if (!topology_.prefix_routed(prefix)) continue;
+    const net::Ipv4Address appliance(topology_.appliance_address(prefix));
+    if (topology_.host_responds(appliance, net::kProtoTcp)) {
+      target = appliance;
+      break;
+    }
+  }
+  ASSERT_NE(target.value(), 0u);
+  const auto delivery = probe_tcp(target, 32, util::kSecond);
+  ASSERT_TRUE(delivery);
+  const auto parsed = net::parse_response(delivery->packet);
+  ASSERT_TRUE(parsed);
+  EXPECT_TRUE(parsed->is_tcp_rst);
+  EXPECT_EQ(parsed->responder, target);
+}
+
+TEST_F(NetworkTest, MalformedPacketsAreCounted) {
+  const std::array<std::byte, 5> garbage{std::byte{0x45}};
+  EXPECT_FALSE(network_.process(garbage, 0));
+  EXPECT_EQ(network_.stats().malformed, 1u);
+
+  // TTL 0 is malformed on the wire.
+  std::array<std::byte, core::ProbeCodec::kMaxProbeSize> buf;
+  const std::size_t size = codec_.encode_udp(
+      net::Ipv4Address((params_.first_prefix << 8) | 1), 1, false, 0, buf);
+  buf[8] = std::byte{0};  // patch TTL to 0
+  EXPECT_FALSE(network_.process(
+      std::span<const std::byte>(buf.data(), size), 0));
+  EXPECT_EQ(network_.stats().malformed, 2u);
+}
+
+TEST_F(NetworkTest, OutOfUniverseCounted) {
+  EXPECT_FALSE(probe_udp(net::Ipv4Address(0xDEADBEEF), 8, 0));
+  EXPECT_EQ(network_.stats().out_of_universe, 1u);
+}
+
+TEST_F(NetworkTest, StatsAccumulateAndReset) {
+  const auto target = find_responsive_target();
+  probe_udp(target, 1, 0);
+  probe_udp(target, 32, util::kSecond);
+  EXPECT_GE(network_.stats().probes, 2u);
+  EXPECT_GE(network_.stats().responses(), 2u);
+  network_.reset_stats();
+  EXPECT_EQ(network_.stats().probes, 0u);
+}
+
+TEST(NetworkMiddlebox, TtlResetMakesSweepTriggerEarly) {
+  // Force TTL-reset middleboxes everywhere and verify the Fig 3 mechanism:
+  // the traditional sweep triggers at the middlebox position + 1, because
+  // any probe surviving past the middlebox gets a fresh TTL.
+  auto params = tiny_params(5);
+  params.ttl_reset_middlebox_prob = 1.0;
+  params.ttl_reset_low = 64;  // always reset high
+  params.ttl_reset_high = 64;
+  params.route_dynamics_prob = 0.0;
+  Topology topology(params);
+  SimNetwork network(topology);
+  const core::ProbeCodec codec(net::Ipv4Address(params.vantage_address));
+
+  // Find a responsive appliance with a clean path.
+  for (std::uint32_t i = 0; i < params.num_prefixes(); ++i) {
+    const std::uint32_t prefix = params.first_prefix + i;
+    if (!topology.prefix_routed(prefix)) continue;
+    const net::Ipv4Address appliance(topology.appliance_address(prefix));
+    if (!topology.host_responds(appliance, net::kProtoUdp)) continue;
+    Route route;
+    topology.resolve(appliance,
+                     util::hash_combine(appliance.value(),
+                                        net::address_checksum(appliance),
+                                        net::kTracerouteDstPort,
+                                        net::kProtoUdp),
+                     0, route);
+    ASSERT_GT(route.middlebox_pos, 0);
+    if (route.middlebox_pos + 1 > route.num_hops) continue;
+
+    // A probe with TTL = middlebox_pos + 1 passes the middlebox with
+    // residual > 1, gets reset to 64, and must reach the destination.
+    std::array<std::byte, core::ProbeCodec::kMaxProbeSize> buf;
+    const std::size_t size = codec.encode_udp(
+        appliance, static_cast<std::uint8_t>(route.middlebox_pos + 1),
+        false, 0, buf);
+    const auto delivery = network.process(
+        std::span<const std::byte>(buf.data(), size), util::kSecond);
+    ASSERT_TRUE(delivery);
+    const auto parsed = net::parse_response(delivery->packet);
+    ASSERT_TRUE(parsed);
+    EXPECT_TRUE(parsed->is_destination_unreachable());
+    // The derived distance is now wildly off (residual came from 64), which
+    // is exactly the >1-hop tail of Fig 3.
+    const auto decoded = codec.decode(*parsed);
+    ASSERT_TRUE(decoded);
+    const int derived = decoded->initial_ttl - decoded->residual_ttl + 1;
+    EXPECT_NE(derived, route.num_hops + 1);
+    return;  // one clean case suffices
+  }
+  GTEST_SKIP() << "no suitable middlebox path found";
+}
+
+TEST(NetworkRewrite, MismatchedResponsesAreCraftedForRewrites) {
+  auto params = tiny_params(6);
+  params.rewrite_middlebox_prob = 1.0;
+  Topology topology(params);
+  SimNetwork network(topology);
+  const core::ProbeCodec codec(net::Ipv4Address(params.vantage_address));
+  for (std::uint32_t i = 0; i < params.num_prefixes(); ++i) {
+    const std::uint32_t prefix = params.first_prefix + i;
+    if (!topology.prefix_routed(prefix)) continue;
+    const net::Ipv4Address appliance(topology.appliance_address(prefix));
+    if (!topology.host_responds(appliance, net::kProtoUdp)) continue;
+    const net::Ipv4Address original((prefix << 8) | 222);
+    std::array<std::byte, core::ProbeCodec::kMaxProbeSize> buf;
+    const std::size_t size = codec.encode_udp(original, 32, false, 0, buf);
+    const auto delivery = network.process(
+        std::span<const std::byte>(buf.data(), size), util::kSecond);
+    if (!delivery) continue;  // appliance may be rate-silent
+    const auto parsed = net::parse_response(delivery->packet);
+    ASSERT_TRUE(parsed);
+    const auto decoded = codec.decode(*parsed);
+    ASSERT_TRUE(decoded);
+    EXPECT_FALSE(decoded->source_port_matches);  // §5.3 detection fires
+    return;
+  }
+  GTEST_SKIP() << "no rewrite path exercised";
+}
+
+}  // namespace
+}  // namespace flashroute::sim

@@ -1,0 +1,380 @@
+// Tests for the simulated Internet topology (sim/topology.h): routing
+// invariants, Paris-consistency, the hitlist's gateway bias, dark space,
+// middleboxes, and dynamics.  Parameterized sweeps check the invariants
+// over several seeds.
+
+#include "sim/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/targets.h"
+#include "net/headers.h"
+
+namespace flashroute::sim {
+namespace {
+
+SimParams tiny_params(std::uint64_t seed = 1) {
+  SimParams params;
+  params.prefix_bits = 10;
+  params.seed = seed;
+  return params;
+}
+
+TEST(Topology, RejectsBadConfiguration) {
+  SimParams params;
+  params.prefix_bits = 0;
+  EXPECT_THROW(Topology{params}, std::invalid_argument);
+  params.prefix_bits = 25;
+  EXPECT_THROW(Topology{params}, std::invalid_argument);
+
+  // Universe overlapping the interface pool.
+  params = tiny_params();
+  params.first_prefix = params.interface_pool_base >> 8;
+  EXPECT_THROW(Topology{params}, std::invalid_argument);
+
+  // Universe overflowing IPv4 space.
+  params = tiny_params();
+  params.first_prefix = 0xFFFFFF;
+  params.prefix_bits = 8;
+  EXPECT_THROW(Topology{params}, std::invalid_argument);
+}
+
+TEST(Topology, InUniverse) {
+  const Topology topo(tiny_params());
+  EXPECT_TRUE(topo.in_universe(net::Ipv4Address(0x01000000)));
+  EXPECT_TRUE(topo.in_universe(net::Ipv4Address(0x0103FFFF)));
+  EXPECT_FALSE(topo.in_universe(net::Ipv4Address(0x01040000)));
+  EXPECT_FALSE(topo.in_universe(net::Ipv4Address(0x00FFFFFF)));
+}
+
+TEST(Topology, ResolveFailsOutsideUniverse) {
+  const Topology topo(tiny_params());
+  Route route;
+  EXPECT_FALSE(topo.resolve(net::Ipv4Address(0x7F000001), 1, 0, route));
+}
+
+TEST(Topology, DeterministicForSameSeed) {
+  const Topology a(tiny_params(3));
+  const Topology b(tiny_params(3));
+  for (std::uint32_t i = 0; i < 1024; i += 7) {
+    const net::Ipv4Address dest(((a.params().first_prefix + i) << 8) | 77);
+    Route ra, rb;
+    ASSERT_EQ(a.resolve(dest, 123, 0, ra), b.resolve(dest, 123, 0, rb));
+    ASSERT_EQ(ra.num_hops, rb.num_hops);
+    for (int h = 0; h < ra.num_hops; ++h) {
+      ASSERT_EQ(ra.hops[static_cast<std::size_t>(h)],
+                rb.hops[static_cast<std::size_t>(h)]);
+    }
+    ASSERT_EQ(ra.delivers, rb.delivers);
+  }
+}
+
+TEST(Topology, DifferentSeedsDiffer) {
+  const Topology a(tiny_params(1));
+  const Topology b(tiny_params(2));
+  int differing = 0;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    const net::Ipv4Address dest(((a.params().first_prefix + i) << 8) | 50);
+    Route ra, rb;
+    a.resolve(dest, 1, 0, ra);
+    b.resolve(dest, 1, 0, rb);
+    if (ra.num_hops != rb.num_hops) ++differing;
+  }
+  EXPECT_GT(differing, 32);
+}
+
+class TopologyInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TopologyInvariants, RoutesAreWellFormed) {
+  const Topology topo(tiny_params(GetParam()));
+  const auto& params = topo.params();
+  for (std::uint32_t i = 0; i < params.num_prefixes(); ++i) {
+    const std::uint32_t prefix = params.first_prefix + i;
+    for (const std::uint8_t octet : {1, 42, 200, 254}) {
+      const net::Ipv4Address dest((prefix << 8) | octet);
+      Route route;
+      ASSERT_TRUE(topo.resolve(dest, 99, 0, route));
+      ASSERT_GT(route.num_hops, 0);
+      ASSERT_LE(route.num_hops, Route::kMaxHops);
+      // Paths stay within the paper's 32-hop world (very few exceed it).
+      ASSERT_LE(route.num_hops, 40);
+      if (route.delivers) {
+        ASSERT_NE(route.delivered_address, 0u);
+        ASSERT_TRUE(topo.host_exists(
+            net::Ipv4Address(route.delivered_address)));
+      }
+      if (route.loops) {
+        ASSERT_FALSE(route.delivers);
+        ASSERT_NE(route.loop_a, 0u);
+        ASSERT_NE(route.loop_b, 0u);
+        ASSERT_NE(route.loop_a, route.loop_b);
+      }
+      // Every hop interface is an allocated pool IP or inside the prefix.
+      for (int h = 0; h < route.num_hops; ++h) {
+        const std::uint32_t ip = route.hops[static_cast<std::size_t>(h)];
+        const bool in_pool =
+            ip >= params.interface_pool_base &&
+            ip < params.interface_pool_base +
+                     topo.allocated_pool_interfaces();
+        const bool in_prefix = (ip >> 8) == prefix;
+        ASSERT_TRUE(in_pool || in_prefix)
+            << net::Ipv4Address(ip).to_string();
+      }
+    }
+  }
+}
+
+TEST_P(TopologyInvariants, ParisConsistency) {
+  // Same flow label -> identical path (the Paris property FlashRoute's
+  // fixed ports rely on); different flows may only diverge at diamonds.
+  const Topology topo(tiny_params(GetParam()));
+  const auto& params = topo.params();
+  for (std::uint32_t i = 0; i < params.num_prefixes(); i += 13) {
+    const net::Ipv4Address dest(((params.first_prefix + i) << 8) | 99);
+    Route r1, r2, r3;
+    topo.resolve(dest, 0xAAAA, 0, r1);
+    topo.resolve(dest, 0xAAAA, 0, r2);
+    topo.resolve(dest, 0xBBBB, 0, r3);
+    ASSERT_EQ(r1.num_hops, r2.num_hops);
+    for (int h = 0; h < r1.num_hops; ++h) {
+      ASSERT_EQ(r1.hops[static_cast<std::size_t>(h)],
+                r2.hops[static_cast<std::size_t>(h)]);
+    }
+    // A different flow keeps the same length (diamonds are hop-parallel).
+    ASSERT_EQ(r1.num_hops, r3.num_hops);
+    ASSERT_EQ(r1.delivers, r3.delivers);
+  }
+}
+
+TEST_P(TopologyInvariants, SomeFlowsDiverge) {
+  // Load balancing must actually do something: across many destinations
+  // and two flows, at least some paths differ at some hop.
+  const Topology topo(tiny_params(GetParam()));
+  const auto& params = topo.params();
+  int divergent = 0;
+  for (std::uint32_t i = 0; i < params.num_prefixes(); ++i) {
+    const net::Ipv4Address dest(((params.first_prefix + i) << 8) | 99);
+    Route r1, r2;
+    topo.resolve(dest, 1, 0, r1);
+    topo.resolve(dest, 2, 0, r2);
+    for (int h = 0; h < r1.num_hops; ++h) {
+      if (r1.hops[static_cast<std::size_t>(h)] !=
+          r2.hops[static_cast<std::size_t>(h)]) {
+        ++divergent;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(divergent, 10);
+}
+
+TEST_P(TopologyInvariants, SharedProviderSections) {
+  // Doubletree's premise (Fig 1): routes from one vantage form a tree, so
+  // the TTL-1 interface is shared by every destination.
+  const Topology topo(tiny_params(GetParam()));
+  const auto& params = topo.params();
+  std::unordered_set<std::uint32_t> first_hops;
+  for (std::uint32_t i = 0; i < params.num_prefixes(); i += 3) {
+    const net::Ipv4Address dest(((params.first_prefix + i) << 8) | 10);
+    Route route;
+    topo.resolve(dest, 7, 0, route);
+    first_hops.insert(route.hops[0]);
+  }
+  EXPECT_EQ(first_hops.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TopologyInvariants,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+TEST(Topology, ApplianceAlwaysExistsInRoutedPrefixes) {
+  const Topology topo(tiny_params());
+  const auto& params = topo.params();
+  for (std::uint32_t i = 0; i < params.num_prefixes(); ++i) {
+    const std::uint32_t prefix = params.first_prefix + i;
+    if (!topo.prefix_routed(prefix)) {
+      EXPECT_FALSE(topo.host_exists(net::Ipv4Address((prefix << 8) | 1)));
+      continue;
+    }
+    EXPECT_TRUE(topo.host_exists(
+        net::Ipv4Address(topo.appliance_address(prefix))));
+  }
+}
+
+TEST(Topology, ApplianceRouteIsShorterThanInteriorHost) {
+  // The §5.1 bias mechanism: the appliance sits at the segment entrance.
+  const Topology topo(tiny_params());
+  const auto& params = topo.params();
+  int compared = 0;
+  for (std::uint32_t i = 0; i < params.num_prefixes() && compared < 50; ++i) {
+    const std::uint32_t prefix = params.first_prefix + i;
+    if (!topo.prefix_routed(prefix)) continue;
+    const auto appliance_ttl = topo.trigger_ttl(
+        net::Ipv4Address(topo.appliance_address(prefix)), 1, 0);
+    ASSERT_TRUE(appliance_ttl);
+    for (int octet = 2; octet < 255; ++octet) {
+      const net::Ipv4Address host((prefix << 8) |
+                                  static_cast<std::uint32_t>(octet));
+      if (!topo.host_exists(host)) continue;
+      const auto host_ttl = topo.trigger_ttl(host, 1, 0);
+      ASSERT_TRUE(host_ttl);
+      EXPECT_GT(*host_ttl, *appliance_ttl);
+      ++compared;
+      break;
+    }
+  }
+  EXPECT_GT(compared, 10);
+}
+
+TEST(Topology, HitlistEntriesAreInTheirPrefixAndBiased) {
+  const Topology topo(tiny_params());
+  const auto& params = topo.params();
+  const auto hitlist = topo.generate_hitlist();
+  ASSERT_EQ(hitlist.size(), params.num_prefixes());
+  std::uint32_t present = 0, appliance = 0;
+  for (std::uint32_t i = 0; i < params.num_prefixes(); ++i) {
+    if (hitlist[i] == 0) continue;
+    ++present;
+    const std::uint32_t prefix = params.first_prefix + i;
+    EXPECT_EQ(hitlist[i] >> 8, prefix);
+    EXPECT_TRUE(topo.prefix_routed(prefix));
+    EXPECT_TRUE(topo.host_exists(net::Ipv4Address(hitlist[i])));
+    if (hitlist[i] == topo.appliance_address(prefix)) ++appliance;
+  }
+  EXPECT_GT(present, 20u);
+  // The census prefers gateway appliances (§5.1).
+  EXPECT_GT(appliance * 10, present * 7);
+}
+
+TEST(Topology, DarkPrefixesNeverDeliver) {
+  const Topology topo(tiny_params());
+  const auto& params = topo.params();
+  int dark_checked = 0;
+  for (std::uint32_t i = 0; i < params.num_prefixes(); ++i) {
+    const std::uint32_t prefix = params.first_prefix + i;
+    if (topo.prefix_routed(prefix)) continue;
+    Route route;
+    ASSERT_TRUE(topo.resolve(net::Ipv4Address((prefix << 8) | 1), 5, 0,
+                             route));
+    EXPECT_FALSE(route.delivers);
+    EXPECT_GT(route.num_hops, 0);  // dies inside the provider, not at once
+    ++dark_checked;
+  }
+  EXPECT_GT(dark_checked, 50);
+}
+
+TEST(Topology, MiddleboxFieldsWhenForced) {
+  auto params = tiny_params();
+  params.ttl_reset_middlebox_prob = 1.0;
+  const Topology topo(params);
+  for (std::uint32_t i = 0; i < params.num_prefixes(); ++i) {
+    const std::uint32_t prefix = params.first_prefix + i;
+    if (!topo.prefix_routed(prefix)) continue;
+    Route route;
+    topo.resolve(net::Ipv4Address(topo.appliance_address(prefix)), 1, 0,
+                 route);
+    EXPECT_GT(route.middlebox_pos, 0);
+    EXPECT_LE(route.middlebox_pos, route.num_hops);
+    EXPECT_TRUE(route.middlebox_reset == params.ttl_reset_low ||
+                route.middlebox_reset == params.ttl_reset_high);
+  }
+}
+
+TEST(Topology, RewriteMiddleboxDeliversToAppliance) {
+  auto params = tiny_params();
+  params.rewrite_middlebox_prob = 1.0;
+  const Topology topo(params);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const std::uint32_t prefix = params.first_prefix + i;
+    if (!topo.prefix_routed(prefix)) continue;
+    Route route;
+    topo.resolve(net::Ipv4Address((prefix << 8) | 200), 1, 0, route);
+    EXPECT_TRUE(route.delivers);
+    EXPECT_TRUE(route.rewritten);
+    EXPECT_EQ(route.delivered_address, topo.appliance_address(prefix));
+    // Probing the appliance itself is not "rewritten".
+    topo.resolve(net::Ipv4Address(topo.appliance_address(prefix)), 1, 0,
+                 route);
+    EXPECT_FALSE(route.rewritten);
+  }
+}
+
+TEST(Topology, SpineDynamicsAreBoundedAndEpochStable) {
+  const Topology topo(tiny_params());
+  for (std::uint32_t stub = 0; stub < topo.num_stubs(); ++stub) {
+    for (std::int64_t epoch = 0; epoch < 20; ++epoch) {
+      const int s = topo.spine_length(stub, epoch);
+      EXPECT_GE(s, 0);
+      EXPECT_LE(s, 4);
+      EXPECT_EQ(s, topo.spine_length(stub, epoch));  // stable within epoch
+    }
+  }
+}
+
+TEST(Topology, RouteDynamicsChangeSomeLengthsAcrossEpochs) {
+  const Topology topo(tiny_params());
+  const auto& params = topo.params();
+  int changed = 0, total = 0;
+  for (std::uint32_t i = 0; i < params.num_prefixes(); ++i) {
+    const std::uint32_t prefix = params.first_prefix + i;
+    if (!topo.prefix_routed(prefix)) continue;
+    const net::Ipv4Address appliance(topo.appliance_address(prefix));
+    const auto t0 = topo.trigger_ttl(appliance, 1, 0);
+    const auto t9 = topo.trigger_ttl(appliance, 1, 9);
+    if (!t0 || !t9) continue;
+    ++total;
+    if (*t0 != *t9) {
+      ++changed;
+      EXPECT_LE(std::abs(*t0 - *t9), 2);
+    }
+  }
+  EXPECT_GT(changed, 0);
+  EXPECT_LT(changed * 2, total);  // dynamics are the exception, not the rule
+}
+
+TEST(Topology, HopAtExtendsIntoLoops) {
+  Route route;
+  route.num_hops = 2;
+  route.hops[0] = 10;
+  route.hops[1] = 20;
+  route.loops = true;
+  route.loop_a = 100;
+  route.loop_b = 200;
+  EXPECT_EQ(route.hop_at(1), 10u);
+  EXPECT_EQ(route.hop_at(2), 20u);
+  EXPECT_EQ(route.hop_at(3), 100u);
+  EXPECT_EQ(route.hop_at(4), 200u);
+  EXPECT_EQ(route.hop_at(5), 100u);
+}
+
+TEST(Topology, InterfaceResponsivenessIsPersistent) {
+  const Topology topo(tiny_params());
+  int silent = 0;
+  for (std::uint32_t ip = topo.params().interface_pool_base;
+       ip < topo.params().interface_pool_base + 500; ++ip) {
+    const bool responds = topo.interface_responds(ip, net::kProtoUdp);
+    EXPECT_EQ(responds, topo.interface_responds(ip, net::kProtoUdp));
+    if (!responds) ++silent;
+    // TCP-silence is a superset of UDP-silence.
+    if (!responds) {
+      EXPECT_FALSE(topo.interface_responds(ip, net::kProtoTcp));
+    }
+  }
+  EXPECT_GT(silent, 20);   // some silent interfaces
+  EXPECT_LT(silent, 300);  // most respond
+}
+
+TEST(Topology, TcpSilenceIsSlightlyHigher) {
+  const Topology topo(tiny_params());
+  int udp = 0, tcp = 0;
+  for (std::uint32_t ip = topo.params().interface_pool_base;
+       ip < topo.params().interface_pool_base + 2000; ++ip) {
+    if (topo.interface_responds(ip, net::kProtoUdp)) ++udp;
+    if (topo.interface_responds(ip, net::kProtoTcp)) ++tcp;
+  }
+  EXPECT_LT(tcp, udp);
+}
+
+}  // namespace
+}  // namespace flashroute::sim

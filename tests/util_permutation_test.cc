@@ -1,0 +1,98 @@
+// Tests for the keyed cycle-walking Feistel permutation (util/permutation.h).
+//
+// Both FlashRoute's DCB ring order and Yarrp's (prefix, TTL) walk depend on
+// this being a true bijection for arbitrary domain sizes.
+
+#include "util/permutation.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+namespace flashroute::util {
+namespace {
+
+class PermutationBijection
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationBijection, CoversDomainExactlyOnce) {
+  const std::uint64_t n = GetParam();
+  const RandomPermutation perm(n, /*seed=*/0xBEEF);
+  std::vector<bool> seen(n, false);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t v = perm(i);
+    ASSERT_LT(v, n) << "image escaped the domain at " << i;
+    ASSERT_FALSE(seen[v]) << "collision at " << i << " -> " << v;
+    seen[v] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DomainSizes, PermutationBijection,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 15, 16, 17,
+                                           100, 255, 256, 257, 1000, 4096,
+                                           5000, 65536, 100000));
+
+TEST(Permutation, DeterministicForSameSeed) {
+  const RandomPermutation a(1000, 42);
+  const RandomPermutation b(1000, 42);
+  for (std::uint64_t i = 0; i < 1000; ++i) EXPECT_EQ(a(i), b(i));
+}
+
+TEST(Permutation, DifferentSeedsGiveDifferentOrders) {
+  const RandomPermutation a(1000, 1);
+  const RandomPermutation b(1000, 2);
+  int same = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    if (a(i) == b(i)) ++same;
+  }
+  // Two random permutations of 1000 elements agree on ~1 position.
+  EXPECT_LT(same, 20);
+}
+
+TEST(Permutation, ActuallyShuffles) {
+  const RandomPermutation perm(10000, 7);
+  // Count fixed points and adjacent mappings; identity-like behaviour would
+  // make probing bursts hit adjacent prefixes.
+  int fixed = 0;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    if (perm(i) == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 30);
+}
+
+TEST(Permutation, SpreadsNeighbours) {
+  // Consecutive ranks should land far apart on average — this is the
+  // anti-hotspot property Yarrp relies on.
+  const std::uint64_t n = 65536;
+  const RandomPermutation perm(n, 3);
+  std::uint64_t sum_distance = 0;
+  const int samples = 1000;
+  for (int i = 0; i < samples; ++i) {
+    const auto a = perm(static_cast<std::uint64_t>(i));
+    const auto b = perm(static_cast<std::uint64_t>(i) + 1);
+    sum_distance += a > b ? a - b : b - a;
+  }
+  // Random pairs average n/3 apart.
+  EXPECT_GT(sum_distance / samples, n / 8);
+}
+
+TEST(Permutation, SizeAccessor) {
+  EXPECT_EQ(RandomPermutation(123, 1).size(), 123u);
+  EXPECT_EQ(RandomPermutation(0, 1).size(), 0u);
+}
+
+TEST(Permutation, HugeDomainPointQueriesStayInRange) {
+  const std::uint64_t n = std::uint64_t{1} << 40;
+  const RandomPermutation perm(n, 99);
+  std::unordered_set<std::uint64_t> images;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const auto v = perm(i * 0x10000001ULL % n);
+    ASSERT_LT(v, n);
+    images.insert(v);
+  }
+  EXPECT_EQ(images.size(), 1000u);  // injective on the sampled points
+}
+
+}  // namespace
+}  // namespace flashroute::util

@@ -1,0 +1,153 @@
+// Tests for the deterministic RNG primitives (util/rng.h).
+
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace flashroute::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t s = 42;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Mix64, IsPure) {
+  EXPECT_EQ(mix64(12345), mix64(12345));
+  EXPECT_NE(mix64(12345), mix64(12346));
+}
+
+TEST(Mix64, SpreadsLowBits) {
+  // Consecutive inputs must not produce consecutive outputs.
+  std::set<std::uint64_t> high_bytes;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    high_bytes.insert(mix64(i) >> 56);
+  }
+  EXPECT_GT(high_bytes.size(), 100u);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombine, VariadicOverloadsDiffer) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(1, 2, 0));
+  EXPECT_NE(hash_combine(1, 2, 3), hash_combine(1, 2, 3, 0));
+}
+
+TEST(Xoshiro256, ReproducibleFromSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  Xoshiro256 a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(123);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.bounded(17), 17u);
+  }
+}
+
+TEST(Xoshiro256, BoundedOneIsAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, ChanceMatchesProbability) {
+  Xoshiro256 rng(11);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Xoshiro256, RangeInclusive) {
+  Xoshiro256 rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(StableChance, DeterministicPerKey) {
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(stable_chance(1, key, 0.5), stable_chance(1, key, 0.5));
+  }
+}
+
+TEST(StableChance, RespectsProbabilityAcrossKeys) {
+  int hits = 0;
+  constexpr int kKeys = 100000;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    if (stable_chance(99, key, 0.2)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kKeys), 0.2, 0.01);
+}
+
+TEST(StableChance, ExtremesAreExact) {
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_FALSE(stable_chance(3, key, 0.0));
+    EXPECT_TRUE(stable_chance(3, key, 1.0));
+  }
+}
+
+TEST(StableBounded, StaysInRangeAndCoversIt) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    const auto v = stable_bounded(17, key, 8);
+    ASSERT_LT(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(StableBounded, DifferentSeedsDecorrelate) {
+  int same = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    if (stable_bounded(1, key, 100) == stable_bounded(2, key, 100)) ++same;
+  }
+  EXPECT_LT(same, 40);
+}
+
+}  // namespace
+}  // namespace flashroute::util

@@ -1,0 +1,119 @@
+// Tests for histograms, Jaccard similarity, and table formatting
+// (util/stats.h) — the primitives every analysis module builds on.
+
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace flashroute::util {
+namespace {
+
+TEST(Histogram, EmptyBehaviour) {
+  Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(0), 0u);
+  EXPECT_DOUBLE_EQ(h.pdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.cdf(0), 0.0);
+}
+
+TEST(Histogram, CountsAndTotals) {
+  Histogram h;
+  h.add(1);
+  h.add(1);
+  h.add(-2, 3);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(-2), 3u);
+  EXPECT_EQ(h.count(7), 0u);
+}
+
+TEST(Histogram, PdfSumsToOne) {
+  Histogram h;
+  for (int i = -5; i <= 5; ++i) h.add(i, static_cast<std::uint64_t>(i + 6));
+  double sum = 0;
+  for (const auto& [key, count] : h.bins()) sum += h.pdf(key);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Histogram, CdfIsMonotoneAndEndsAtOne) {
+  Histogram h;
+  h.add(-1, 2);
+  h.add(0, 3);
+  h.add(4, 5);
+  EXPECT_NEAR(h.cdf(-2), 0.0, 1e-12);
+  EXPECT_NEAR(h.cdf(-1), 0.2, 1e-12);
+  EXPECT_NEAR(h.cdf(0), 0.5, 1e-12);
+  EXPECT_NEAR(h.cdf(3), 0.5, 1e-12);
+  EXPECT_NEAR(h.cdf(4), 1.0, 1e-12);
+  EXPECT_NEAR(h.cdf(100), 1.0, 1e-12);
+}
+
+TEST(Histogram, Quantiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_EQ(h.quantile(0.01), 1);
+  EXPECT_EQ(h.quantile(0.50), 50);
+  EXPECT_EQ(h.quantile(0.99), 99);
+  EXPECT_EQ(h.quantile(1.0), 100);
+}
+
+TEST(Jaccard, IdenticalSets) {
+  const std::unordered_set<std::uint32_t> a{1, 2, 3};
+  EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
+}
+
+TEST(Jaccard, DisjointSets) {
+  EXPECT_DOUBLE_EQ(jaccard({1, 2}, {3, 4}), 0.0);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  EXPECT_DOUBLE_EQ(jaccard({1, 2, 3}, {2, 3, 4}), 0.5);
+}
+
+TEST(Jaccard, EmptySetsAreIdentical) {
+  EXPECT_DOUBLE_EQ(jaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard({1}, {}), 0.0);
+}
+
+TEST(Jaccard, Symmetric) {
+  const std::unordered_set<std::uint32_t> a{1, 2, 3, 4, 5};
+  const std::unordered_set<std::uint32_t> b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(jaccard(a, b), jaccard(b, a));
+}
+
+TEST(FormatDuration, MatchesPaperStyle) {
+  // The paper prints 17:16.94 for FlashRoute-16 and 1:00:15.21 for Yarrp-32.
+  EXPECT_EQ(format_duration(0), "0:00.00");
+  EXPECT_EQ(format_duration(1'036'940'000'000LL), "17:16.94");
+  EXPECT_EQ(format_duration(3'615'210'000'000LL), "1:00:15.21");
+}
+
+TEST(FormatDuration, NegativeClampsToZero) {
+  EXPECT_EQ(format_duration(-5), "0:00.00");
+}
+
+TEST(FormatDuration, SubSecond) {
+  EXPECT_EQ(format_duration(250'000'000), "0:00.25");
+}
+
+TEST(FormatCount, ThousandsSeparators) {
+  EXPECT_EQ(format_count(std::uint64_t{0}), "0");
+  EXPECT_EQ(format_count(std::uint64_t{999}), "999");
+  EXPECT_EQ(format_count(std::uint64_t{1000}), "1,000");
+  EXPECT_EQ(format_count(std::uint64_t{97807092}), "97,807,092");
+  EXPECT_EQ(format_count(std::uint64_t{1234567890}), "1,234,567,890");
+}
+
+TEST(FormatCount, SignedValues) {
+  EXPECT_EQ(format_count(std::int64_t{-1234}), "-1,234");
+  EXPECT_EQ(format_count(std::int64_t{42}), "42");
+}
+
+TEST(FormatPercent, Decimals) {
+  EXPECT_EQ(format_percent(0.123456), "12.3%");
+  EXPECT_EQ(format_percent(0.123456, 2), "12.35%");
+  EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace flashroute::util
