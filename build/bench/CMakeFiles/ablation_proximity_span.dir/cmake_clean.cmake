@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_proximity_span.dir/ablation_proximity_span.cc.o"
+  "CMakeFiles/ablation_proximity_span.dir/ablation_proximity_span.cc.o.d"
+  "ablation_proximity_span"
+  "ablation_proximity_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_proximity_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

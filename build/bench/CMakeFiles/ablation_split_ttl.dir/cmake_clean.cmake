@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_split_ttl.dir/ablation_split_ttl.cc.o"
+  "CMakeFiles/ablation_split_ttl.dir/ablation_split_ttl.cc.o.d"
+  "ablation_split_ttl"
+  "ablation_split_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_split_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_distance_accuracy.dir/fig3_distance_accuracy.cc.o"
+  "CMakeFiles/fig3_distance_accuracy.dir/fig3_distance_accuracy.cc.o.d"
+  "fig3_distance_accuracy"
+  "fig3_distance_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_distance_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

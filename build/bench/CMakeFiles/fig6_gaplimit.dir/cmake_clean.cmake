@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gaplimit.dir/fig6_gaplimit.cc.o"
+  "CMakeFiles/fig6_gaplimit.dir/fig6_gaplimit.cc.o.d"
+  "fig6_gaplimit"
+  "fig6_gaplimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gaplimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

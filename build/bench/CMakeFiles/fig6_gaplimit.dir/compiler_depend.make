@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_gaplimit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_hitlist_jaccard.dir/fig8_hitlist_jaccard.cc.o"
+  "CMakeFiles/fig8_hitlist_jaccard.dir/fig8_hitlist_jaccard.cc.o.d"
+  "fig8_hitlist_jaccard"
+  "fig8_hitlist_jaccard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hitlist_jaccard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec34_memory_footprint.dir/sec34_memory_footprint.cc.o"
+  "CMakeFiles/sec34_memory_footprint.dir/sec34_memory_footprint.cc.o.d"
+  "sec34_memory_footprint"
+  "sec34_memory_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec34_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

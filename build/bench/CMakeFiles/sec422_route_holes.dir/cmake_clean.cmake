@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec422_route_holes.dir/sec422_route_holes.cc.o"
+  "CMakeFiles/sec422_route_holes.dir/sec422_route_holes.cc.o.d"
+  "sec422_route_holes"
+  "sec422_route_holes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec422_route_holes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec422_route_holes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec51_hitlist_bias.dir/sec51_hitlist_bias.cc.o"
+  "CMakeFiles/sec51_hitlist_bias.dir/sec51_hitlist_bias.cc.o.d"
+  "sec51_hitlist_bias"
+  "sec51_hitlist_bias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_hitlist_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

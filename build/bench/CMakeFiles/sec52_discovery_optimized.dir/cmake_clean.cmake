@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec52_discovery_optimized.dir/sec52_discovery_optimized.cc.o"
+  "CMakeFiles/sec52_discovery_optimized.dir/sec52_discovery_optimized.cc.o.d"
+  "sec52_discovery_optimized"
+  "sec52_discovery_optimized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec52_discovery_optimized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_address_modification.dir/sec53_address_modification.cc.o"
+  "CMakeFiles/sec53_address_modification.dir/sec53_address_modification.cc.o.d"
+  "sec53_address_modification"
+  "sec53_address_modification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_address_modification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_future_work.dir/sec54_future_work.cc.o"
+  "CMakeFiles/sec54_future_work.dir/sec54_future_work.cc.o.d"
+  "sec54_future_work"
+  "sec54_future_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_future_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_redundancy.dir/table1_redundancy.cc.o"
+  "CMakeFiles/table1_redundancy.dir/table1_redundancy.cc.o.d"
+  "table1_redundancy"
+  "table1_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_preprobing.dir/table2_preprobing.cc.o"
+  "CMakeFiles/table2_preprobing.dir/table2_preprobing.cc.o.d"
+  "table2_preprobing"
+  "table2_preprobing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_preprobing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

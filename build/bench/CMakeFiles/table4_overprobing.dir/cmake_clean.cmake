@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_overprobing.dir/table4_overprobing.cc.o"
+  "CMakeFiles/table4_overprobing.dir/table4_overprobing.cc.o.d"
+  "table4_overprobing"
+  "table4_overprobing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_overprobing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

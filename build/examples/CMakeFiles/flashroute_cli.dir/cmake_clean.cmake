@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flashroute_cli.dir/flashroute_cli.cpp.o"
+  "CMakeFiles/flashroute_cli.dir/flashroute_cli.cpp.o.d"
+  "flashroute_cli"
+  "flashroute_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flashroute_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hitlist_bias_study.dir/hitlist_bias_study.cpp.o"
+  "CMakeFiles/hitlist_bias_study.dir/hitlist_bias_study.cpp.o.d"
+  "hitlist_bias_study"
+  "hitlist_bias_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hitlist_bias_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

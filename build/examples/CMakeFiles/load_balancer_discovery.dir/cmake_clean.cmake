@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_balancer_discovery.dir/load_balancer_discovery.cpp.o"
+  "CMakeFiles/load_balancer_discovery.dir/load_balancer_discovery.cpp.o.d"
+  "load_balancer_discovery"
+  "load_balancer_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_balancer_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

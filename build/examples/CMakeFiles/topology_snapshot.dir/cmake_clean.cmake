@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_snapshot.dir/topology_snapshot.cpp.o"
+  "CMakeFiles/topology_snapshot.dir/topology_snapshot.cpp.o.d"
+  "topology_snapshot"
+  "topology_snapshot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

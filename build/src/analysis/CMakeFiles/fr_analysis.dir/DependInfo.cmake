@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/churn.cc" "src/analysis/CMakeFiles/fr_analysis.dir/churn.cc.o" "gcc" "src/analysis/CMakeFiles/fr_analysis.dir/churn.cc.o.d"
+  "/root/repo/src/analysis/distance_eval.cc" "src/analysis/CMakeFiles/fr_analysis.dir/distance_eval.cc.o" "gcc" "src/analysis/CMakeFiles/fr_analysis.dir/distance_eval.cc.o.d"
+  "/root/repo/src/analysis/overprobing.cc" "src/analysis/CMakeFiles/fr_analysis.dir/overprobing.cc.o" "gcc" "src/analysis/CMakeFiles/fr_analysis.dir/overprobing.cc.o.d"
+  "/root/repo/src/analysis/route_compare.cc" "src/analysis/CMakeFiles/fr_analysis.dir/route_compare.cc.o" "gcc" "src/analysis/CMakeFiles/fr_analysis.dir/route_compare.cc.o.d"
+  "/root/repo/src/analysis/route_holes.cc" "src/analysis/CMakeFiles/fr_analysis.dir/route_holes.cc.o" "gcc" "src/analysis/CMakeFiles/fr_analysis.dir/route_holes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fr_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_analysis.dir/churn.cc.o"
+  "CMakeFiles/fr_analysis.dir/churn.cc.o.d"
+  "CMakeFiles/fr_analysis.dir/distance_eval.cc.o"
+  "CMakeFiles/fr_analysis.dir/distance_eval.cc.o.d"
+  "CMakeFiles/fr_analysis.dir/overprobing.cc.o"
+  "CMakeFiles/fr_analysis.dir/overprobing.cc.o.d"
+  "CMakeFiles/fr_analysis.dir/route_compare.cc.o"
+  "CMakeFiles/fr_analysis.dir/route_compare.cc.o.d"
+  "CMakeFiles/fr_analysis.dir/route_holes.cc.o"
+  "CMakeFiles/fr_analysis.dir/route_holes.cc.o.d"
+  "libfr_analysis.a"
+  "libfr_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

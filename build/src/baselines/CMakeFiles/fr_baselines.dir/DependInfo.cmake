@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/scamper.cc" "src/baselines/CMakeFiles/fr_baselines.dir/scamper.cc.o" "gcc" "src/baselines/CMakeFiles/fr_baselines.dir/scamper.cc.o.d"
+  "/root/repo/src/baselines/yarrp.cc" "src/baselines/CMakeFiles/fr_baselines.dir/yarrp.cc.o" "gcc" "src/baselines/CMakeFiles/fr_baselines.dir/yarrp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fr_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

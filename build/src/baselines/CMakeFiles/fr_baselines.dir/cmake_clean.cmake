@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_baselines.dir/scamper.cc.o"
+  "CMakeFiles/fr_baselines.dir/scamper.cc.o.d"
+  "CMakeFiles/fr_baselines.dir/yarrp.cc.o"
+  "CMakeFiles/fr_baselines.dir/yarrp.cc.o.d"
+  "libfr_baselines.a"
+  "libfr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

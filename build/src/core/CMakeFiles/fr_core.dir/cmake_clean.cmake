@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_core.dir/exclusion.cc.o"
+  "CMakeFiles/fr_core.dir/exclusion.cc.o.d"
+  "CMakeFiles/fr_core.dir/probe_codec.cc.o"
+  "CMakeFiles/fr_core.dir/probe_codec.cc.o.d"
+  "CMakeFiles/fr_core.dir/tracer.cc.o"
+  "CMakeFiles/fr_core.dir/tracer.cc.o.d"
+  "libfr_core.a"
+  "libfr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

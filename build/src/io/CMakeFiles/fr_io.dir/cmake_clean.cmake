@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_io.dir/pcap.cc.o"
+  "CMakeFiles/fr_io.dir/pcap.cc.o.d"
+  "CMakeFiles/fr_io.dir/scan_archive.cc.o"
+  "CMakeFiles/fr_io.dir/scan_archive.cc.o.d"
+  "libfr_io.a"
+  "libfr_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

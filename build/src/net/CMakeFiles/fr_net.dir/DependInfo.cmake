@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/fr_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/fr_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/headers.cc" "src/net/CMakeFiles/fr_net.dir/headers.cc.o" "gcc" "src/net/CMakeFiles/fr_net.dir/headers.cc.o.d"
+  "/root/repo/src/net/icmp.cc" "src/net/CMakeFiles/fr_net.dir/icmp.cc.o" "gcc" "src/net/CMakeFiles/fr_net.dir/icmp.cc.o.d"
+  "/root/repo/src/net/ipv4.cc" "src/net/CMakeFiles/fr_net.dir/ipv4.cc.o" "gcc" "src/net/CMakeFiles/fr_net.dir/ipv4.cc.o.d"
+  "/root/repo/src/net/raw/raw_socket_transport.cc" "src/net/CMakeFiles/fr_net.dir/raw/raw_socket_transport.cc.o" "gcc" "src/net/CMakeFiles/fr_net.dir/raw/raw_socket_transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/fr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_net.dir/checksum.cc.o"
+  "CMakeFiles/fr_net.dir/checksum.cc.o.d"
+  "CMakeFiles/fr_net.dir/headers.cc.o"
+  "CMakeFiles/fr_net.dir/headers.cc.o.d"
+  "CMakeFiles/fr_net.dir/icmp.cc.o"
+  "CMakeFiles/fr_net.dir/icmp.cc.o.d"
+  "CMakeFiles/fr_net.dir/ipv4.cc.o"
+  "CMakeFiles/fr_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/fr_net.dir/raw/raw_socket_transport.cc.o"
+  "CMakeFiles/fr_net.dir/raw/raw_socket_transport.cc.o.d"
+  "libfr_net.a"
+  "libfr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_sim.dir/network.cc.o"
+  "CMakeFiles/fr_sim.dir/network.cc.o.d"
+  "CMakeFiles/fr_sim.dir/topology.cc.o"
+  "CMakeFiles/fr_sim.dir/topology.cc.o.d"
+  "libfr_sim.a"
+  "libfr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

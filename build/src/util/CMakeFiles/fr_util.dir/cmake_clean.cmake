@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fr_util.dir/logging.cc.o"
+  "CMakeFiles/fr_util.dir/logging.cc.o.d"
+  "CMakeFiles/fr_util.dir/permutation.cc.o"
+  "CMakeFiles/fr_util.dir/permutation.cc.o.d"
+  "CMakeFiles/fr_util.dir/stats.cc.o"
+  "CMakeFiles/fr_util.dir/stats.cc.o.d"
+  "libfr_util.a"
+  "libfr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_churn_holes_test.dir/analysis_churn_holes_test.cc.o"
+  "CMakeFiles/analysis_churn_holes_test.dir/analysis_churn_holes_test.cc.o.d"
+  "analysis_churn_holes_test"
+  "analysis_churn_holes_test.pdb"
+  "analysis_churn_holes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_churn_holes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_scamper_test.dir/baselines_scamper_test.cc.o"
+  "CMakeFiles/baselines_scamper_test.dir/baselines_scamper_test.cc.o.d"
+  "baselines_scamper_test"
+  "baselines_scamper_test.pdb"
+  "baselines_scamper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_scamper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/behavior_details_test.dir/behavior_details_test.cc.o"
+  "CMakeFiles/behavior_details_test.dir/behavior_details_test.cc.o.d"
+  "behavior_details_test"
+  "behavior_details_test.pdb"
+  "behavior_details_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/behavior_details_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dcb_array_test.dir/core_dcb_array_test.cc.o"
+  "CMakeFiles/core_dcb_array_test.dir/core_dcb_array_test.cc.o.d"
+  "core_dcb_array_test"
+  "core_dcb_array_test.pdb"
+  "core_dcb_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dcb_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

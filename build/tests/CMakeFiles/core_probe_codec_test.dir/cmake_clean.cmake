@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_probe_codec_test.dir/core_probe_codec_test.cc.o"
+  "CMakeFiles/core_probe_codec_test.dir/core_probe_codec_test.cc.o.d"
+  "core_probe_codec_test"
+  "core_probe_codec_test.pdb"
+  "core_probe_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_probe_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

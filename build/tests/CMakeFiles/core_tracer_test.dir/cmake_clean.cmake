@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tracer_test.dir/core_tracer_test.cc.o"
+  "CMakeFiles/core_tracer_test.dir/core_tracer_test.cc.o.d"
+  "core_tracer_test"
+  "core_tracer_test.pdb"
+  "core_tracer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tracer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

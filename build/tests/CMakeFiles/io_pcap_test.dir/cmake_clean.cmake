@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_pcap_test.dir/io_pcap_test.cc.o"
+  "CMakeFiles/io_pcap_test.dir/io_pcap_test.cc.o.d"
+  "io_pcap_test"
+  "io_pcap_test.pdb"
+  "io_pcap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_pcap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_scan_archive_test.dir/io_scan_archive_test.cc.o"
+  "CMakeFiles/io_scan_archive_test.dir/io_scan_archive_test.cc.o.d"
+  "io_scan_archive_test"
+  "io_scan_archive_test.pdb"
+  "io_scan_archive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_scan_archive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_icmp_test.dir/net_icmp_test.cc.o"
+  "CMakeFiles/net_icmp_test.dir/net_icmp_test.cc.o.d"
+  "net_icmp_test"
+  "net_icmp_test.pdb"
+  "net_icmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_icmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_socket_test.dir/raw_socket_test.cc.o"
+  "CMakeFiles/raw_socket_test.dir/raw_socket_test.cc.o.d"
+  "raw_socket_test"
+  "raw_socket_test.pdb"
+  "raw_socket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_socket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

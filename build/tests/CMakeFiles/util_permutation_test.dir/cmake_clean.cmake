@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_permutation_test.dir/util_permutation_test.cc.o"
+  "CMakeFiles/util_permutation_test.dir/util_permutation_test.cc.o.d"
+  "util_permutation_test"
+  "util_permutation_test.pdb"
+  "util_permutation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_permutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_token_bucket_test.dir/util_token_bucket_test.cc.o"
+  "CMakeFiles/util_token_bucket_test.dir/util_token_bucket_test.cc.o.d"
+  "util_token_bucket_test"
+  "util_token_bucket_test.pdb"
+  "util_token_bucket_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_token_bucket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
