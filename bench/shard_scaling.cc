@@ -1,0 +1,162 @@
+// Shard-scaling benchmark for the real-time sharded engine.
+//
+// Runs the same scan — identical seed, identical shard decomposition, hence
+// identical probes and discovered topology — on the threaded (real-time)
+// runtime over the in-memory wire at 1/2/4/8 workers, and reports aggregate
+// probes/sec and wall time per worker count in BENCH_shard_scaling.json.
+//
+// What is being measured: a FlashRoute scan's wall time is dominated by
+// *waiting* — round barriers (min_round_duration) and response RTTs — not by
+// CPU.  A single worker serializes every shard's waits; W workers overlap
+// them, so wall time drops by ~W even on a single-core host (each worker
+// sleeps through its barriers while another runs).  This is the regime a
+// real deployment with a fast uplink sits in whenever the probing budget,
+// not the CPU, is the bottleneck.
+//
+// Environment overrides:
+//   FR_PREFIX_BITS   universe size exponent (default 7 = 128 /24s)
+//   FR_SEED          topology seed (default 1)
+//   FR_ROUND_MS      round barrier in milliseconds (default 20)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/sharded_tracer.h"
+#include "core/threaded_runtime.h"
+#include "sim/sim_wire.h"
+#include "sim/topology.h"
+#include "util/clock.h"
+
+namespace flashroute {
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+struct Run {
+  int workers = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t probes = 0;
+  std::uint64_t responses = 0;
+  std::size_t interfaces = 0;
+  std::uint64_t dropped = 0;
+  double pps() const { return static_cast<double>(probes) / wall_seconds; }
+};
+
+}  // namespace
+}  // namespace flashroute
+
+int main() {
+  using namespace flashroute;
+
+  sim::SimParams params;
+  params.prefix_bits = env_int("FR_PREFIX_BITS", 7);
+  params.seed = static_cast<std::uint64_t>(env_int("FR_SEED", 1));
+  // Short RTTs: responses land well inside the round barrier, so the barrier
+  // (not response loss) sets the pace, as on a low-latency uplink.
+  params.rtt_base = 200'000;     // 0.2 ms
+  params.rtt_per_hop = 50'000;   // 0.05 ms
+  params.rtt_jitter = 100'000;
+  const sim::Topology topology(params);
+
+  core::ShardedTracerConfig config;
+  config.base.first_prefix = params.first_prefix;
+  config.base.prefix_bits = params.prefix_bits;
+  config.base.vantage = net::Ipv4Address(params.vantage_address);
+  config.base.preprobe = core::PreprobeMode::kNone;
+  config.base.collect_routes = false;
+  config.base.min_round_duration =
+      static_cast<util::Nanos>(env_int("FR_ROUND_MS", 20)) *
+      util::kMillisecond;
+  // A generous budget: the throttle never binds, isolating the waiting time.
+  config.base.probes_per_second = 200'000.0;
+  config.shard_prefix_bits = config.base.prefix_bits - 3;  // 8 logical shards
+
+  const auto shards = core::ShardedTracer::plan(config);
+  std::printf("shard_scaling: 2^%d /24s in %zu logical shards, round %d ms\n",
+              params.prefix_bits, shards.size(),
+              env_int("FR_ROUND_MS", 20));
+
+  std::vector<Run> runs;
+  for (const int workers : {1, 2, 4, 8}) {
+    config.num_workers = workers;
+    sim::RealTimeSimWire wire(topology, config.base.first_prefix,
+                              config.base.num_prefixes(),
+                              static_cast<std::uint32_t>(shards.size()));
+    util::MonotonicClock clock;
+    const util::Nanos start = clock.now();
+    core::ScanResult result;
+    std::uint64_t dropped = 0;
+    {
+      core::ShardedThreadedRuntime runtime(wire, config);
+      core::ShardedTracer tracer(config, runtime);
+      result = tracer.run();
+      dropped = runtime.packets_dropped();
+    }
+    const double wall =
+        static_cast<double>(clock.now() - start) / util::kSecond;
+
+    Run run;
+    run.workers = workers;
+    run.wall_seconds = wall;
+    run.probes = result.probes_sent;
+    run.responses = result.responses;
+    run.interfaces = result.interfaces.size();
+    run.dropped = dropped;
+    runs.push_back(run);
+    std::printf(
+        "  workers=%d  wall=%.3fs  probes=%llu  pps=%.0f  responses=%llu  "
+        "interfaces=%zu  dropped=%llu\n",
+        workers, wall, static_cast<unsigned long long>(run.probes), run.pps(),
+        static_cast<unsigned long long>(run.responses), run.interfaces,
+        static_cast<unsigned long long>(dropped));
+  }
+
+  double speedup4 = 0.0;
+  for (const Run& run : runs) {
+    if (run.workers == 4) speedup4 = run.pps() / runs.front().pps();
+  }
+  std::printf("speedup at 4 workers vs 1: %.2fx (probes/sec)\n", speedup4);
+
+  const char* path = "BENCH_shard_scaling.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"shard_scaling\",\n"
+               "  \"prefix_bits\": %d,\n"
+               "  \"logical_shards\": %zu,\n"
+               "  \"round_ms\": %d,\n"
+               "  \"probes_per_second_budget\": %.0f,\n"
+               "  \"runs\": [\n",
+               params.prefix_bits, shards.size(), env_int("FR_ROUND_MS", 20),
+               config.base.probes_per_second);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& run = runs[i];
+    std::fprintf(out,
+                 "    {\"workers\": %d, \"wall_seconds\": %.4f, "
+                 "\"probes_sent\": %llu, \"probes_per_second\": %.1f, "
+                 "\"responses\": %llu, \"interfaces\": %zu, "
+                 "\"packets_dropped\": %llu}%s\n",
+                 run.workers, run.wall_seconds,
+                 static_cast<unsigned long long>(run.probes), run.pps(),
+                 static_cast<unsigned long long>(run.responses),
+                 run.interfaces, static_cast<unsigned long long>(run.dropped),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"speedup_4_workers_vs_1\": %.3f\n"
+               "}\n",
+               speedup4);
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+  return speedup4 >= 2.0 ? 0 : 1;
+}

@@ -25,6 +25,7 @@
 #include <string>
 
 #include "core/exclusion.h"
+#include "core/sharded_tracer.h"
 #include "core/tracer.h"
 #include "io/pcap.h"
 #include "io/scan_archive.h"
@@ -44,6 +45,7 @@ struct CliOptions {
   int prefix_bits = 12;
   std::string first_prefix = "1.0.0.0";
   double pps = 0;  // 0 = auto (100 Kpps scaled for sim, 1 Kpps raw)
+  int shards = 0;  // 0 = classic single-engine scan; N>=1 = sharded engine
   int split_ttl = 16;
   int gap_limit = 5;
   int max_ttl = 32;
@@ -71,6 +73,10 @@ void print_usage() {
       "  --prefix-bits=N          scan 2^N /24 blocks (default 12)\n"
       "  --first-prefix=A.B.C.0   first /24 of the range (default 1.0.0.0)\n"
       "  --pps=R                  probing rate (default: auto)\n"
+      "  --shards=N               run the sharded engine with N workers over\n"
+      "                           a fixed 8-shard decomposition (sim backend\n"
+      "                           only; results are identical for any N\n"
+      "                           given the same seed; N is capped at 8)\n"
       "  --split-ttl=N            default split point (default 16)\n"
       "  --gap-limit=N            forward-probing gap limit (default 5)\n"
       "  --max-ttl=N              maximum explored TTL (default 32)\n"
@@ -109,6 +115,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       options.first_prefix = *v;
     } else if (auto v = value_of("--pps")) {
       options.pps = std::stod(*v);
+    } else if (auto v = value_of("--shards")) {
+      options.shards = std::stoi(*v);
     } else if (auto v = value_of("--split-ttl")) {
       options.split_ttl = std::stoi(*v);
     } else if (auto v = value_of("--gap-limit")) {
@@ -249,6 +257,12 @@ int main(int argc, char** argv) {
       config.hitlist = &hitlist;
     }
   } else if (options->backend == "raw") {
+    if (options->shards > 0) {
+      std::fprintf(stderr,
+                   "--shards requires the sim backend (the raw backend has a "
+                   "single send socket)\n");
+      return 2;
+    }
     if (options->first_prefix == "1.0.0.0") {
       // Good-citizenship default: the user did not pick a range, so target
       // the RFC 2544 benchmarking block instead of allocated address space.
@@ -312,6 +326,10 @@ int main(int argc, char** argv) {
   std::unique_ptr<io::CapturingRuntime> capturing;
   core::ScanRuntime* active_runtime = runtime.get();
   if (!options->pcap_file.empty()) {
+    if (options->shards > 0) {
+      std::fprintf(stderr, "--pcap cannot capture a sharded scan\n");
+      return 2;
+    }
     pcap_out.open(options->pcap_file, std::ios::binary);
     if (!pcap_out) {
       std::fprintf(stderr, "cannot write %s\n", options->pcap_file.c_str());
@@ -321,8 +339,30 @@ int main(int argc, char** argv) {
     active_runtime = capturing.get();
   }
 
-  core::Tracer tracer(config, *active_runtime);
-  const core::ScanResult result = tracer.run();
+  std::unique_ptr<core::Tracer> tracer;
+  std::unique_ptr<core::ShardedTracer> sharded_tracer;
+  std::unique_ptr<sim::SimShardRuntimeProvider> shard_provider;
+  core::ScanResult result;
+  if (options->shards > 0) {
+    core::ShardedTracerConfig sharded_config;
+    sharded_config.base = config;
+    sharded_config.num_workers = options->shards;
+    // A fixed decomposition of 8 logical shards (fewer only when the scan
+    // has fewer than 8 /24s).  Deliberately NOT derived from the worker
+    // count — that is what makes the results identical for any --shards=N.
+    sharded_config.shard_prefix_bits = std::max(config.prefix_bits - 3, 0);
+    shard_provider = std::make_unique<sim::SimShardRuntimeProvider>(
+        *topology, sharded_config);
+    sharded_tracer = std::make_unique<core::ShardedTracer>(sharded_config,
+                                                           *shard_provider);
+    std::printf("sharded scan: %d logical shards on %d workers\n",
+                sharded_config.num_shards(),
+                std::min(options->shards, sharded_config.num_shards()));
+    result = sharded_tracer->run();
+  } else {
+    tracer = std::make_unique<core::Tracer>(config, *active_runtime);
+    result = tracer->run();
+  }
   if (capturing) {
     std::printf("capture written to %s\n", options->pcap_file.c_str());
   }
@@ -336,8 +376,9 @@ int main(int argc, char** argv) {
               util::format_count(result.destinations_reached).c_str(),
               util::format_count(result.mismatches).c_str());
 
-  const io::TargetResolver resolver = [&tracer](std::uint32_t offset) {
-    return tracer.target_of(offset);
+  const io::TargetResolver resolver = [&](std::uint32_t offset) {
+    return tracer ? tracer->target_of(offset)
+                  : sharded_tracer->target_of(offset);
   };
   if (!options->routes_file.empty()) {
     std::ofstream out(options->routes_file);

@@ -34,6 +34,16 @@ class BasicDcbArray {
     return dcbs_[index];
   }
 
+  /// Seeds a fresh keyed permutation over [0, size()) and threads the ring
+  /// with it.  Sharded scans derive `seed` from (scan seed, shard id), so
+  /// every shard walks its own deterministic shuffle regardless of how many
+  /// worker threads drive the scan.
+  template <typename Include>
+  std::uint32_t build_ring(std::uint64_t seed, Include&& include) {
+    const util::RandomPermutation permutation(size(), seed);
+    return build_ring(permutation, std::forward<Include>(include));
+  }
+
   /// (Re)threads the ring through every index `include` admits, in the order
   /// of `permutation` (which must cover [0, size())).  Returns the ring size.
   /// Excluded slots are marked kRemoved but keep occupying their array slot.

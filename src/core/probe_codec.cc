@@ -106,6 +106,41 @@ std::optional<DecodedProbe> ProbeCodec::decode(
   return probe;
 }
 
+std::optional<std::uint32_t> ProbeCodec::classify_prefix24(
+    std::span<const std::byte> packet) noexcept {
+  const auto byte_at = [&](std::size_t i) {
+    return static_cast<std::uint8_t>(packet[i]);
+  };
+  // Outer IPv4 header: version 4, honor IHL, protocol ICMP.
+  if (packet.size() < net::Ipv4Header::kSize) return std::nullopt;
+  if ((byte_at(0) >> 4) != 4) return std::nullopt;
+  const std::size_t outer_ihl = static_cast<std::size_t>(byte_at(0) & 0x0F) * 4;
+  if (outer_ihl < net::Ipv4Header::kSize) return std::nullopt;
+  if (byte_at(9) != net::kProtoIcmp) return std::nullopt;
+
+  // ICMP header: only the two traceroute response types quote a probe.
+  const std::size_t icmp = outer_ihl;
+  if (packet.size() < icmp + net::IcmpHeader::kSize) return std::nullopt;
+  const std::uint8_t type = byte_at(icmp);
+  if (type != net::kIcmpTimeExceeded && type != net::kIcmpDestUnreachable) {
+    return std::nullopt;
+  }
+
+  // Quoted probe header: IPv4 over UDP; its destination names the /24.
+  const std::size_t inner = icmp + net::IcmpHeader::kSize;
+  if (packet.size() < inner + net::Ipv4Header::kSize) return std::nullopt;
+  if ((byte_at(inner) >> 4) != 4) return std::nullopt;
+  if (byte_at(inner + 9) != net::kProtoUdp) return std::nullopt;
+  const std::uint32_t dst = (static_cast<std::uint32_t>(byte_at(inner + 16))
+                             << 24) |
+                            (static_cast<std::uint32_t>(byte_at(inner + 17))
+                             << 16) |
+                            (static_cast<std::uint32_t>(byte_at(inner + 18))
+                             << 8) |
+                            static_cast<std::uint32_t>(byte_at(inner + 19));
+  return dst >> 8;
+}
+
 util::Nanos ProbeCodec::rtt(const DecodedProbe& probe,
                             util::Nanos arrival) noexcept {
   const std::uint16_t arrival_ms =

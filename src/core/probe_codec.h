@@ -74,6 +74,16 @@ class ProbeCodec {
   static util::Nanos rtt(const DecodedProbe& probe,
                          util::Nanos arrival) noexcept;
 
+  /// Receive-path classifier for sharded runtimes: the /24 prefix index of
+  /// the destination the response's quoted probe was aimed at, extracted
+  /// with fixed-offset reads instead of a full parse — this runs on the
+  /// single receiver thread for every arriving packet, so it must stay far
+  /// cheaper than decode().  Returns nullopt for anything that is not an
+  /// ICMP time-exceeded/unreachable quoting one of our UDP probes (notably
+  /// TCP RSTs, which carry no quote to classify by).
+  static std::optional<std::uint32_t> classify_prefix24(
+      std::span<const std::byte> packet) noexcept;
+
   std::uint16_t port_offset() const noexcept { return port_offset_; }
 
   /// Probe sizes: IP + UDP + up to 63 timestamp-encoding payload bytes.

@@ -29,6 +29,10 @@ namespace flashroute::core {
 class ScanRuntime {
  public:
   /// Called for every received response packet with its arrival time.
+  /// The span may point into a preallocated, reused receive slot: it is valid
+  /// only for the duration of the call, and a sink that needs the bytes later
+  /// must copy them.  This contract is what lets the real-time runtimes keep
+  /// the receive hot path free of per-packet allocations.
   using Sink =
       std::function<void(std::span<const std::byte>, util::Nanos arrival)>;
 
@@ -47,6 +51,10 @@ class ScanRuntime {
   virtual void idle_until(util::Nanos t, const Sink& sink) = 0;
 
   std::uint64_t packets_sent() const noexcept { return packets_sent_; }
+
+  /// Responses dropped before reaching the engine (bounded receive rings
+  /// overflowing, unclassifiable packets).  0 for runtimes that never drop.
+  virtual std::uint64_t packets_dropped() const noexcept { return 0; }
 
  protected:
   std::uint64_t packets_sent_ = 0;

@@ -1,49 +1,92 @@
-// Real-time ScanRuntime with the paper's decoupled architecture (§3.2):
+// Real-time ScanRuntimes with the paper's decoupled architecture (§3.2):
 // "Sending probes and processing responses is decoupled ... and is done
 // through separate threads."
 //
-// The engine's thread paces probes onto a `Wire` through a token-bucket
-// throttle; a dedicated receiver thread blocks on the wire and queues
-// arriving packets, which `drain`/`idle_until` hand to the engine's sink.
-// This is the runtime a live deployment composes with a raw-socket Wire;
-// tests compose it with an in-memory wire over the simulator and verify
-// that the threaded path discovers the same topology the virtual-time path
-// does.  The per-DCB locks of §3.4 are load-bearing exactly here: the
-// receiver's updates race with the sender's round walk.
+// Two runtimes live here:
+//
+//  * ThreadedRuntime — one engine thread paces probes onto a `Wire` through
+//    a token-bucket throttle; a dedicated receiver thread blocks on the wire
+//    and publishes arriving packets into a bounded lock-free SPSC ring of
+//    preallocated slots.  `drain`/`idle_until` hand a span over each slot to
+//    the engine's sink — the receive hot path performs zero heap allocations
+//    per packet in steady state.
+//
+//  * ShardedThreadedRuntime — the multi-core variant backing ShardedTracer:
+//    N worker threads each pace their own token-bucket slice of the global
+//    pps budget, while a single receiver thread classifies every arriving
+//    packet by the /24 its quoted probe targeted (ProbeCodec::
+//    classify_prefix24) and routes it to the owning worker's SPSC ring.
+//    Rings are strictly single-producer (the receiver) / single-consumer
+//    (the worker), so the handoff stays lock-free end to end.
+//
+// The per-DCB locks of §3.4 are load-bearing exactly here: the receiver's
+// updates race with the sender's round walk.  A full ring drops the packet
+// (counted in packets_dropped) — the same backpressure a NIC ring imposes.
 
 #pragma once
 
+#include <array>
 #include <atomic>
-#include <condition_variable>
-#include <deque>
-#include <mutex>
-#include <optional>
+#include <chrono>
+#include <cstring>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "core/probe_codec.h"
 #include "core/runtime.h"
+#include "core/sharded_tracer.h"
 #include "util/clock.h"
+#include "util/spsc_ring.h"
 #include "util/token_bucket.h"
 
 namespace flashroute::core {
 
-/// The physical layer a ThreadedRuntime drives: transmit is called from the
-/// engine thread, receive from the receiver thread (blocking up to the
-/// given timeout).  Implementations must tolerate that concurrency.
+/// One preallocated receive slot: the packet bytes plus arrival time.
+/// Sized to hold any response the scan can receive (ICMP quote of a full
+/// probe) with headroom for real-network extras (IP options, longer quotes).
+struct PacketSlot {
+  static constexpr std::size_t kCapacity = 192;
+
+  util::Nanos time = 0;
+  std::uint32_t size = 0;
+  std::array<std::byte, kCapacity> data;
+
+  std::span<const std::byte> bytes() const noexcept {
+    return {data.data(), size};
+  }
+};
+
+/// The physical layer the real-time runtimes drive.  `transmit` may be
+/// called concurrently from multiple sender threads (sharded runtimes);
+/// `receive_into` is only ever called from the single receiver thread.
+/// Implementations must tolerate that concurrency.
 class Wire {
  public:
   virtual ~Wire() = default;
+
   virtual void transmit(std::span<const std::byte> packet) = 0;
-  virtual std::optional<std::vector<std::byte>> receive(
-      util::Nanos timeout) = 0;
+
+  /// Blocks up to `timeout` for one packet, copies it into `buffer`, and
+  /// returns its size; returns 0 on timeout.  Packets longer than `buffer`
+  /// are dropped (never truncated into a half-parseable prefix).
+  virtual std::size_t receive_into(std::span<std::byte> buffer,
+                                   util::Nanos timeout) = 0;
 };
+
+/// Sleep quantum for pacing/idle waits.  Coarse enough to let other threads
+/// run (important when workers outnumber cores), fine enough for the
+/// millisecond-scale round barriers the engine uses.
+inline constexpr auto kRuntimePollInterval = std::chrono::microseconds(100);
 
 class ThreadedRuntime final : public ScanRuntime {
  public:
-  ThreadedRuntime(Wire& wire, double probes_per_second)
+  explicit ThreadedRuntime(Wire& wire, double probes_per_second,
+                           std::size_t ring_capacity = 4096)
       : wire_(wire),
         throttle_(probes_per_second, probes_per_second / 50.0 + 1.0,
                   clock_.now()),
+        ring_(ring_capacity),
         receiver_([this] { receive_loop(); }) {}
 
   ~ThreadedRuntime() override {
@@ -65,58 +108,205 @@ class ThreadedRuntime final : public ScanRuntime {
   }
 
   void drain(const Sink& sink) override {
-    std::deque<Arrival> batch;
-    {
-      const std::lock_guard guard(mutex_);
-      batch.swap(queue_);
-    }
-    for (const Arrival& arrival : batch) {
-      sink(arrival.packet, arrival.time);
+    // Zero-allocation hot path: the sink sees a span into the preallocated
+    // slot, which is recycled by pop() after the call returns.
+    while (PacketSlot* slot = ring_.front()) {
+      sink(slot->bytes(), slot->time);
+      ring_.pop();
     }
   }
 
   void idle_until(util::Nanos t, const Sink& sink) override {
     while (clock_.now() < t) {
-      std::unique_lock lock(mutex_);
-      queue_ready_.wait_for(
-          lock, std::chrono::nanoseconds(
-                    std::min<util::Nanos>(t - clock_.now(),
-                                          util::kMillisecond)),
-          [this] { return !queue_.empty(); });
-      std::deque<Arrival> batch;
-      batch.swap(queue_);
-      lock.unlock();
-      for (const Arrival& arrival : batch) {
-        sink(arrival.packet, arrival.time);
-      }
+      drain(sink);
+      std::this_thread::sleep_for(kRuntimePollInterval);
     }
+    drain(sink);
+  }
+
+  std::uint64_t packets_dropped() const noexcept override {
+    return dropped_.load(std::memory_order_relaxed);
   }
 
  private:
-  struct Arrival {
-    std::vector<std::byte> packet;
-    util::Nanos time;
-  };
-
   void receive_loop() {
+    // Packets land directly in ring slots; when the ring is full they are
+    // received into a scratch slot and dropped.
+    PacketSlot scratch;
     while (!stopping_.load(std::memory_order_relaxed)) {
-      auto packet = wire_.receive(/*timeout=*/util::kMillisecond);
-      if (!packet) continue;
-      const util::Nanos time = clock_.now();
-      {
-        const std::lock_guard guard(mutex_);
-        queue_.push_back({std::move(*packet), time});
+      PacketSlot* slot = ring_.try_claim();
+      PacketSlot* target = slot != nullptr ? slot : &scratch;
+      const std::size_t size =
+          wire_.receive_into(target->data, /*timeout=*/util::kMillisecond);
+      if (size == 0) continue;
+      if (slot == nullptr) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
       }
-      queue_ready_.notify_one();
+      slot->size = static_cast<std::uint32_t>(size);
+      slot->time = clock_.now();
+      ring_.publish();
     }
   }
 
   util::MonotonicClock clock_;
   Wire& wire_;
   util::TokenBucket throttle_;
-  std::mutex mutex_;
-  std::condition_variable queue_ready_;
-  std::deque<Arrival> queue_;
+  util::SpscRing<PacketSlot> ring_;
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<bool> stopping_{false};
+  std::thread receiver_;
+};
+
+/// Real-time ShardRuntimeProvider: per-worker send throttles and SPSC
+/// receive rings over one shared Wire, one receiver thread classifying
+/// responses to the worker that owns their destination shard.
+class ShardedThreadedRuntime final : public ShardRuntimeProvider {
+ public:
+  ShardedThreadedRuntime(Wire& wire, const ShardedTracerConfig& config,
+                         std::size_t ring_capacity = 4096)
+      : wire_(wire),
+        first_prefix_(config.base.first_prefix),
+        num_prefixes_(config.base.num_prefixes()) {
+    const std::vector<ShardInfo> shards = ShardedTracer::plan(config);
+    const int workers = shards.back().worker + 1;
+    shard_shift_ = 0;
+    while ((std::uint32_t{1} << shard_shift_) < shards.front().num_prefixes) {
+      ++shard_shift_;
+    }
+    worker_of_shard_.reserve(shards.size());
+    std::vector<double> worker_pps(static_cast<std::size_t>(workers), 0.0);
+    for (const ShardInfo& shard : shards) {
+      worker_of_shard_.push_back(shard.worker);
+      // The worker paces at the sum of its shards' slices; only one of its
+      // shards probes at a time, so the global budget is respected.
+      worker_pps[static_cast<std::size_t>(shard.worker)] +=
+          shard.probes_per_second;
+    }
+    views_.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      views_.push_back(std::make_unique<WorkerView>(
+          *this, worker_pps[static_cast<std::size_t>(w)], ring_capacity));
+    }
+    receiver_ = std::thread([this] { receive_loop(); });
+  }
+
+  ~ShardedThreadedRuntime() {
+    stopping_.store(true, std::memory_order_relaxed);
+    receiver_.join();
+  }
+
+  ShardedThreadedRuntime(const ShardedThreadedRuntime&) = delete;
+  ShardedThreadedRuntime& operator=(const ShardedThreadedRuntime&) = delete;
+
+  ScanRuntime& runtime_for(const ShardInfo& shard) override {
+    return *views_[static_cast<std::size_t>(shard.worker)];
+  }
+
+  /// Packets lost before reaching any engine: unclassifiable bytes plus
+  /// per-worker ring overflows.
+  std::uint64_t packets_dropped() const noexcept {
+    std::uint64_t total = unclassified_.load(std::memory_order_relaxed);
+    for (const auto& view : views_) total += view->packets_dropped();
+    return total;
+  }
+
+  std::uint64_t packets_sent() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& view : views_) total += view->packets_sent();
+    return total;
+  }
+
+ private:
+  /// The per-worker ScanRuntime: consumer side of the worker's ring plus the
+  /// worker's slice of the send budget.  One view serves all shards of a
+  /// worker — they run sequentially on the worker's thread.
+  class WorkerView final : public ScanRuntime {
+   public:
+    WorkerView(ShardedThreadedRuntime& owner, double pps,
+               std::size_t ring_capacity)
+        : owner_(owner),
+          throttle_(pps, pps / 50.0 + 1.0, owner.clock_.now()),
+          ring_(ring_capacity) {}
+
+    util::Nanos now() const noexcept override { return owner_.clock_.now(); }
+
+    void send(std::span<const std::byte> packet) override {
+      while (!throttle_.try_consume(owner_.clock_.now())) {
+        std::this_thread::yield();
+      }
+      owner_.wire_.transmit(packet);
+      ++packets_sent_;
+    }
+
+    void drain(const Sink& sink) override {
+      while (PacketSlot* slot = ring_.front()) {
+        sink(slot->bytes(), slot->time);
+        ring_.pop();
+      }
+    }
+
+    void idle_until(util::Nanos t, const Sink& sink) override {
+      while (owner_.clock_.now() < t) {
+        drain(sink);
+        std::this_thread::sleep_for(kRuntimePollInterval);
+      }
+      drain(sink);
+    }
+
+    std::uint64_t packets_dropped() const noexcept override {
+      return dropped_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class ShardedThreadedRuntime;
+
+    ShardedThreadedRuntime& owner_;
+    util::TokenBucket throttle_;
+    util::SpscRing<PacketSlot> ring_;
+    std::atomic<std::uint64_t> dropped_{0};
+  };
+
+  void receive_loop() {
+    PacketSlot scratch;
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      const std::size_t size =
+          wire_.receive_into(scratch.data, /*timeout=*/util::kMillisecond);
+      if (size == 0) continue;
+      scratch.size = static_cast<std::uint32_t>(size);
+      scratch.time = clock_.now();
+
+      // O(1) classification (§3.4's flat-array discipline, applied to shard
+      // routing): quoted destination /24 -> shard -> owning worker's ring.
+      const auto prefix = ProbeCodec::classify_prefix24(scratch.bytes());
+      if (!prefix || *prefix < first_prefix_ ||
+          *prefix - first_prefix_ >= num_prefixes_) {
+        unclassified_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const std::uint32_t shard = (*prefix - first_prefix_) >> shard_shift_;
+      WorkerView& view = *views_[static_cast<std::size_t>(
+          worker_of_shard_[shard])];
+      PacketSlot* slot = view.ring_.try_claim();
+      if (slot == nullptr) {
+        view.dropped_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      slot->time = scratch.time;
+      slot->size = scratch.size;
+      std::memcpy(slot->data.data(), scratch.data.data(), size);
+      view.ring_.publish();
+    }
+  }
+
+  util::MonotonicClock clock_;
+  Wire& wire_;
+  std::uint32_t first_prefix_;
+  std::uint32_t num_prefixes_;
+  int shard_shift_ = 0;
+  std::vector<int> worker_of_shard_;
+  std::vector<std::unique_ptr<WorkerView>> views_;
+  std::atomic<std::uint64_t> unclassified_{0};
   std::atomic<bool> stopping_{false};
   std::thread receiver_;
 };

@@ -61,8 +61,7 @@ ScanResult Tracer::run() {
   for (std::uint32_t i = 0; i < n; ++i) {
     dcbs_[i].destination = target_of(i);
   }
-  const util::RandomPermutation permutation(n, config_.seed);
-  dcbs_.build_ring(permutation, [this](std::uint32_t index) {
+  dcbs_.build_ring(config_.seed, [this](std::uint32_t index) {
     return include_in_scan(index);
   });
 

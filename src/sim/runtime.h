@@ -9,10 +9,13 @@
 
 #pragma once
 
-#include <queue>
+#include <algorithm>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/runtime.h"
+#include "core/sharded_tracer.h"
 #include "sim/network.h"
 #include "util/clock.h"
 
@@ -33,8 +36,9 @@ class SimScanRuntime final : public core::ScanRuntime {
     clock_.advance(probe_interval_);
     ++packets_sent_;
     if (auto delivery = network_.process(packet, clock_.now())) {
-      pending_.push(Pending{delivery->arrival, next_seq_++,
-                            std::move(delivery->packet)});
+      pending_.push_back(Pending{delivery->arrival, next_seq_++,
+                                 std::move(delivery->packet)});
+      std::push_heap(pending_.begin(), pending_.end(), std::greater<>{});
     }
   }
 
@@ -60,11 +64,13 @@ class SimScanRuntime final : public core::ScanRuntime {
   };
 
   void deliver_due(util::Nanos deadline, const Sink& sink) {
-    while (!pending_.empty() && pending_.top().arrival <= deadline) {
-      // std::priority_queue::top is const; the copy is fine for response-
-      // sized packets and keeps the heap invariant intact.
-      Pending item = pending_.top();
-      pending_.pop();
+    // An explicit binary heap instead of std::priority_queue: pop_heap moves
+    // the minimum to the back, where it can be *moved* out — top() is const
+    // on priority_queue, which used to force a copy of every packet payload.
+    while (!pending_.empty() && pending_.front().arrival <= deadline) {
+      std::pop_heap(pending_.begin(), pending_.end(), std::greater<>{});
+      Pending item = std::move(pending_.back());
+      pending_.pop_back();
       clock_.advance_to(item.arrival);
       sink(item.packet, item.arrival);
     }
@@ -74,7 +80,62 @@ class SimScanRuntime final : public core::ScanRuntime {
   util::SimClock clock_;
   util::Nanos probe_interval_;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> pending_;
+  /// Min-heap on (arrival, seq) maintained with std::push_heap/pop_heap.
+  std::vector<Pending> pending_;
+};
+
+/// Virtual-time ShardRuntimeProvider: one (SimNetwork, SimScanRuntime) lane
+/// per logical shard, preallocated from ShardedTracer::plan so runtime_for
+/// is a lock-free lookup from any worker thread.  Topology is immutable and
+/// safely shared; everything mutable (network state, virtual clock, pending
+/// responses) is shard-private, so each shard's sub-scan is exactly as
+/// deterministic as an unsharded virtual-time scan — which is what makes the
+/// merged result invariant under the worker count.
+class SimShardRuntimeProvider final : public core::ShardRuntimeProvider {
+ public:
+  SimShardRuntimeProvider(const Topology& topology,
+                          const core::ShardedTracerConfig& config) {
+    const auto shards = core::ShardedTracer::plan(config);
+    lanes_.reserve(shards.size());
+    for (const core::ShardInfo& shard : shards) {
+      lanes_.push_back(
+          std::make_unique<Lane>(topology, shard.probes_per_second));
+    }
+  }
+
+  core::ScanRuntime& runtime_for(const core::ShardInfo& shard) override {
+    return lanes_[static_cast<std::size_t>(shard.index)]->runtime;
+  }
+
+  /// Aggregated ground-truth statistics across all shard networks (only
+  /// meaningful after run() — workers have stopped touching their lanes).
+  NetworkStats stats() const {
+    NetworkStats total;
+    for (const auto& lane : lanes_) {
+      const NetworkStats& s = lane->network.stats();
+      total.probes += s.probes;
+      total.malformed += s.malformed;
+      total.out_of_universe += s.out_of_universe;
+      total.time_exceeded_sent += s.time_exceeded_sent;
+      total.destination_responses += s.destination_responses;
+      total.silent_interface += s.silent_interface;
+      total.silent_host += s.silent_host;
+      total.rate_limited += s.rate_limited;
+      total.dropped_dark += s.dropped_dark;
+    }
+    return total;
+  }
+
+ private:
+  struct Lane {
+    Lane(const Topology& topology, double pps)
+        : network(topology), runtime(network, pps) {}
+
+    SimNetwork network;
+    SimScanRuntime runtime;
+  };
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
 };
 
 }  // namespace flashroute::sim

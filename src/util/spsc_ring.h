@@ -1,0 +1,100 @@
+// Bounded lock-free single-producer/single-consumer ring buffer.
+//
+// The receiver→engine handoff of the real-time runtimes: the receiver thread
+// claims a slot, writes the packet bytes into it, and publishes; the engine
+// thread peeks the oldest slot, hands a span over it to the response sink,
+// and releases.  No locks, no per-packet allocation — slots are preallocated
+// once and reused, which is what keeps the receive hot path allocation-free
+// at the paper's 100 Kpps response rates.
+//
+// Exactly one producer thread and one consumer thread may use an instance
+// concurrently (the classic Lamport queue with cached indices): the producer
+// owns head_, the consumer owns tail_, and each refreshes its cached copy of
+// the other's index only when the ring looks full/empty.  A full ring makes
+// try_claim return nullptr — callers drop (and count) the packet, the same
+// backpressure a NIC ring imposes.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+namespace flashroute::util {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2) so index wrapping
+  /// is a mask, not a division.
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t capacity = 2;
+    while (capacity < min_capacity) capacity *= 2;
+    mask_ = capacity - 1;
+    slots_ = std::make_unique<T[]>(capacity);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  // --- Producer side ---------------------------------------------------------
+
+  /// Slot to write the next element into, or nullptr when the ring is full.
+  /// The slot stays owned by the producer until publish().
+  T* try_claim() noexcept {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head - cached_tail_ > mask_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head - cached_tail_ > mask_) return nullptr;
+    }
+    return &slots_[head & mask_];
+  }
+
+  /// Makes the slot returned by the last try_claim visible to the consumer.
+  void publish() noexcept {
+    head_.store(head_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+  /// Convenience copy-in push.  Returns false when full.
+  bool push(const T& value) noexcept {
+    T* slot = try_claim();
+    if (slot == nullptr) return false;
+    *slot = value;
+    publish();
+    return true;
+  }
+
+  // --- Consumer side ---------------------------------------------------------
+
+  /// Oldest unconsumed element, or nullptr when the ring is empty.  The slot
+  /// stays valid until pop().
+  T* front() noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return nullptr;
+    }
+    return &slots_[tail & mask_];
+  }
+
+  /// Releases the slot returned by the last front() back to the producer.
+  void pop() noexcept {
+    tail_.store(tail_.load(std::memory_order_relaxed) + 1,
+                std::memory_order_release);
+  }
+
+ private:
+  // Indices are free-running counts; (head - tail) is the fill level even
+  // across wraparound of the unsigned counters.
+  alignas(64) std::atomic<std::size_t> head_{0};  // producer-owned
+  alignas(64) std::size_t cached_tail_ = 0;       // producer's view of tail_
+  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer-owned
+  alignas(64) std::size_t cached_head_ = 0;       // consumer's view of head_
+  std::size_t mask_ = 0;
+  std::unique_ptr<T[]> slots_;
+};
+
+}  // namespace flashroute::util

@@ -7,69 +7,17 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
-#include <mutex>
 
 #include "core/tracer.h"
 #include "sim/network.h"
 #include "sim/runtime.h"
+#include "sim/sim_wire.h"
 #include "sim/topology.h"
 
 namespace flashroute::core {
 namespace {
 
-/// In-memory wire: probes go straight into the simulator; responses become
-/// receivable after their simulated RTT has elapsed in *real* time.
-class SimWire final : public Wire {
- public:
-  explicit SimWire(sim::SimNetwork& network) : network_(network) {}
-
-  void transmit(std::span<const std::byte> packet) override {
-    const util::Nanos now = clock_.now();
-    std::optional<sim::Delivery> delivery;
-    {
-      const std::lock_guard guard(mutex_);
-      // Rebase the simulator's virtual timeline onto the real clock.
-      if (epoch_ == 0) epoch_ = now;
-      delivery = network_.process(packet, now - epoch_);
-      if (delivery) {
-        pending_.push_back({epoch_ + delivery->arrival,
-                            std::move(delivery->packet)});
-      }
-    }
-  }
-
-  std::optional<std::vector<std::byte>> receive(
-      util::Nanos timeout) override {
-    const util::Nanos deadline = clock_.now() + timeout;
-    do {
-      {
-        const std::lock_guard guard(mutex_);
-        const util::Nanos now = clock_.now();
-        for (auto it = pending_.begin(); it != pending_.end(); ++it) {
-          if (it->due <= now) {
-            auto packet = std::move(it->packet);
-            pending_.erase(it);
-            return packet;
-          }
-        }
-      }
-      std::this_thread::sleep_for(std::chrono::microseconds(100));
-    } while (clock_.now() < deadline);
-    return std::nullopt;
-  }
-
- private:
-  struct Pending {
-    util::Nanos due;
-    std::vector<std::byte> packet;
-  };
-
-  util::MonotonicClock clock_;
-  sim::SimNetwork& network_;
-  std::mutex mutex_;
-  std::vector<Pending> pending_;
-  util::Nanos epoch_ = 0;
-};
+using sim::RealTimeSimWire;
 
 TEST(ThreadedRuntime, RealTimeScanMatchesVirtualTimeScan) {
   sim::SimParams params;
@@ -90,8 +38,8 @@ TEST(ThreadedRuntime, RealTimeScanMatchesVirtualTimeScan) {
   config.probes_per_second = 20'000.0;
 
   // Real time, decoupled threads.
-  sim::SimNetwork threaded_network(topology);
-  SimWire wire(threaded_network);
+  RealTimeSimWire wire(topology, params.first_prefix,
+                       std::uint32_t{1} << params.prefix_bits);
   ScanResult threaded;
   {
     ThreadedRuntime runtime(wire, config.probes_per_second);
@@ -131,8 +79,8 @@ TEST(ThreadedRuntime, DrainDeliversFromReceiverThread) {
   params.rtt_per_hop = 10'000;
   params.rtt_jitter = 0;
   const sim::Topology topology(params);
-  sim::SimNetwork network(topology);
-  SimWire wire(network);
+  RealTimeSimWire wire(topology, params.first_prefix,
+                       std::uint32_t{1} << params.prefix_bits);
   ThreadedRuntime runtime(wire, 10'000.0);
 
   const ProbeCodec codec(net::Ipv4Address(params.vantage_address));
@@ -154,8 +102,8 @@ TEST(ThreadedRuntime, ThrottlePacesSends) {
   sim::SimParams params;
   params.prefix_bits = 4;
   const sim::Topology topology(params);
-  sim::SimNetwork network(topology);
-  SimWire wire(network);
+  RealTimeSimWire wire(topology, params.first_prefix,
+                       std::uint32_t{1} << params.prefix_bits);
   ThreadedRuntime runtime(wire, /*pps=*/2'000.0);
 
   const ProbeCodec codec(net::Ipv4Address(params.vantage_address));
