@@ -1,0 +1,284 @@
+// Hot-path microbenchmark for the allocation-free probe/response pipeline
+// (DESIGN.md §6).  Reports, in BENCH_hotpath.json:
+//
+//  * probes/sec through SimNetwork::process_into with the route cache on
+//    (sim defaults) vs bypassed (route_cache_bits = 0, the pre-cache
+//    behaviour), plus the measured cache hit rate;
+//  * probe encodes/sec through the template-patching ProbeCodec vs a
+//    reference encoder that serializes both headers from scratch and
+//    recomputes the RFC 1071 checksum per probe (what the codec used to do).
+//
+// The probe stream is destination-major — for each /24, a TTL sweep against
+// one representative target — matching how FlashRoute actually probes: each
+// prefix is visited dozens of times with an identical (destination, flow,
+// epoch) triple, which is exactly the redundancy the route cache collapses.
+//
+// Environment overrides:
+//   FR_PREFIX_BITS  universe size exponent (default 16, the sim default)
+//   FR_SEED         topology seed (default 1)
+//   FR_PROBES       probes per measured pipeline pass (default 2,000,000)
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "bench/common.h"
+#include "core/probe_codec.h"
+#include "net/checksum.h"
+#include "net/headers.h"
+#include "net/packet.h"
+#include "util/clock.h"
+
+namespace flashroute {
+namespace {
+
+using bench::env_int;
+
+constexpr std::uint8_t kMaxTtl = 16;
+
+// The pre-template encoder: builds both headers field by field and lets
+// Ipv4Header::serialize recompute the full header checksum.  Kept local to
+// the bench as the comparison baseline.
+std::size_t reference_encode_udp(net::Ipv4Address src, net::Ipv4Address dst,
+                                 std::uint8_t ttl, util::Nanos when,
+                                 std::span<std::byte> buffer) {
+  const auto ts = static_cast<std::uint16_t>(
+      (when / util::kMillisecond) & 0xFFFF);
+  const std::size_t payload = (ts >> 10) & 0x3F;
+  const std::size_t total =
+      net::Ipv4Header::kSize + net::UdpHeader::kSize + payload;
+  if (buffer.size() < total) return 0;
+  std::memset(buffer.data(), 0, total);
+
+  net::Ipv4Header ip;
+  ip.total_length = static_cast<std::uint16_t>(total);
+  ip.id = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>((ttl - 1) & 0x1F) << 11) | (ts & 0x03FF));
+  ip.ttl = ttl;
+  ip.protocol = net::kProtoUdp;
+  ip.src = src;
+  ip.dst = dst;
+  net::UdpHeader udp;
+  udp.src_port = net::address_checksum(dst);
+  udp.dst_port = net::kTracerouteDstPort;
+  udp.length = static_cast<std::uint16_t>(net::UdpHeader::kSize + payload);
+
+  net::ByteWriter writer(buffer);
+  ip.serialize(writer);
+  udp.serialize(writer);
+  return total;
+}
+
+struct PipelineRun {
+  double wall_seconds = 0.0;
+  std::uint64_t probes = 0;
+  std::uint64_t responses = 0;
+  double hit_rate = 0.0;
+
+  double pps() const { return static_cast<double>(probes) / wall_seconds; }
+};
+
+/// Pushes `num_probes` probes (destination-major TTL sweeps over the whole
+/// universe, wrapping) through one SimNetwork via the zero-copy entry point.
+PipelineRun run_pipeline(const sim::Topology& topology,
+                         const core::ProbeCodec& codec,
+                         std::uint64_t num_probes) {
+  sim::SimNetwork network(topology);
+  const sim::SimParams& params = topology.params();
+
+  std::array<std::byte, core::ProbeCodec::kMaxProbeSize> probe;
+  std::array<std::byte, net::kMaxResponseSize> response;
+  util::Nanos when = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+
+  util::MonotonicClock clock;
+  const util::Nanos start = clock.now();
+  while (sent < num_probes) {
+    for (std::uint32_t block = 0;
+         block < params.num_prefixes() && sent < num_probes; ++block) {
+      const net::Ipv4Address dst(((params.first_prefix + block) << 8) | 0x64);
+      for (std::uint8_t ttl = 1; ttl <= kMaxTtl && sent < num_probes; ++ttl) {
+        const std::size_t size = codec.encode_udp(dst, ttl, false, when, probe);
+        if (network.process_into(
+                std::span<const std::byte>(probe.data(), size), when,
+                response)) {
+          ++delivered;
+        }
+        when += 1000;  // 1 µs per probe (1 Mpps virtual send rate)
+        ++sent;
+      }
+    }
+  }
+  const util::Nanos elapsed = clock.now() - start;
+
+  PipelineRun run;
+  run.wall_seconds = static_cast<double>(elapsed) / util::kSecond;
+  run.probes = sent;
+  run.responses = delivered;
+  const auto& stats = network.stats();
+  run.hit_rate = static_cast<double>(stats.route_cache_hits) /
+                 static_cast<double>(stats.route_cache_hits +
+                                     stats.route_cache_misses);
+  return run;
+}
+
+struct EncodeRun {
+  double wall_seconds = 0.0;
+  std::uint64_t encodes = 0;
+  std::uint64_t bytes = 0;  // defeats dead-code elimination
+
+  double pps() const { return static_cast<double>(encodes) / wall_seconds; }
+};
+
+template <typename Encode>
+EncodeRun run_encode(const sim::SimParams& params, std::uint64_t num_probes,
+                     Encode&& encode) {
+  std::array<std::byte, core::ProbeCodec::kMaxProbeSize> probe;
+  util::Nanos when = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t bytes = 0;
+
+  util::MonotonicClock clock;
+  const util::Nanos start = clock.now();
+  while (sent < num_probes) {
+    for (std::uint32_t block = 0;
+         block < params.num_prefixes() && sent < num_probes; ++block) {
+      const net::Ipv4Address dst(((params.first_prefix + block) << 8) | 0x64);
+      for (std::uint8_t ttl = 1; ttl <= kMaxTtl && sent < num_probes; ++ttl) {
+        bytes += encode(dst, ttl, when, probe);
+        when += 1000;
+        ++sent;
+      }
+    }
+  }
+  const util::Nanos elapsed = clock.now() - start;
+
+  EncodeRun run;
+  run.wall_seconds = static_cast<double>(elapsed) / util::kSecond;
+  run.encodes = sent;
+  run.bytes = bytes;
+  return run;
+}
+
+}  // namespace
+}  // namespace flashroute
+
+int main() {
+  using namespace flashroute;
+
+  sim::SimParams params;
+  params.prefix_bits = env_int("FR_PREFIX_BITS", 16);
+  params.seed = static_cast<std::uint64_t>(env_int("FR_SEED", 1));
+  const auto num_probes =
+      static_cast<std::uint64_t>(env_int("FR_PROBES", 2'000'000));
+
+  std::printf("=== hot path: probe/response pipeline ===\n");
+  std::printf("universe: %u /24 blocks, seed %llu, %llu probes per pass\n\n",
+              params.num_prefixes(),
+              static_cast<unsigned long long>(params.seed),
+              static_cast<unsigned long long>(num_probes));
+
+  const net::Ipv4Address vantage(params.vantage_address);
+  const core::ProbeCodec codec(vantage);
+
+  // Sanity: the template encoder and the reference encoder agree bit for bit
+  // before either is timed.
+  {
+    std::array<std::byte, core::ProbeCodec::kMaxProbeSize> a{};
+    std::array<std::byte, core::ProbeCodec::kMaxProbeSize> b{};
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+      const net::Ipv4Address dst(((params.first_prefix + i * 7) << 8) | 0x64);
+      const auto ttl = static_cast<std::uint8_t>(1 + i % 32);
+      const util::Nanos when = static_cast<util::Nanos>(i) * 77 *
+                               util::kMillisecond;
+      const std::size_t sa = codec.encode_udp(dst, ttl, false, when, a);
+      const std::size_t sb = reference_encode_udp(vantage, dst, ttl, when, b);
+      if (sa != sb || std::memcmp(a.data(), b.data(), sa) != 0) {
+        std::fprintf(stderr,
+                     "template encoder diverges from reference at probe %u\n",
+                     i);
+        return 1;
+      }
+    }
+  }
+
+  // --- process(): cached vs bypassed ---------------------------------------
+  sim::SimParams bypass_params = params;
+  bypass_params.route_cache_bits = 0;
+  const sim::Topology cached_topology(params);
+  const sim::Topology bypass_topology(bypass_params);
+
+  // Warm one untimed pass each (page in the topology, size the tables).
+  (void)run_pipeline(cached_topology, codec, num_probes / 10);
+  (void)run_pipeline(bypass_topology, codec, num_probes / 10);
+
+  const PipelineRun cached = run_pipeline(cached_topology, codec, num_probes);
+  const PipelineRun bypassed =
+      run_pipeline(bypass_topology, codec, num_probes);
+  const double process_speedup = cached.pps() / bypassed.pps();
+
+  std::printf("process_into, route cache on : %11.0f probes/s  "
+              "(hit rate %.1f%%, %llu responses)\n",
+              cached.pps(), 100.0 * cached.hit_rate,
+              static_cast<unsigned long long>(cached.responses));
+  std::printf("process_into, cache bypassed : %11.0f probes/s  "
+              "(%llu responses)\n",
+              bypassed.pps(),
+              static_cast<unsigned long long>(bypassed.responses));
+  std::printf("speedup                      : %.2fx\n\n", process_speedup);
+  if (cached.responses != bypassed.responses) {
+    std::fprintf(stderr, "response counts diverge: cache is not transparent\n");
+    return 1;
+  }
+
+  // --- encode: template patching vs full serialization ---------------------
+  const EncodeRun tmpl = run_encode(
+      params, num_probes,
+      [&codec](net::Ipv4Address dst, std::uint8_t ttl, util::Nanos when,
+               std::span<std::byte> buf) {
+        return codec.encode_udp(dst, ttl, false, when, buf);
+      });
+  const EncodeRun reference = run_encode(
+      params, num_probes,
+      [vantage](net::Ipv4Address dst, std::uint8_t ttl, util::Nanos when,
+                std::span<std::byte> buf) {
+        return reference_encode_udp(vantage, dst, ttl, when, buf);
+      });
+  const double encode_speedup = tmpl.pps() / reference.pps();
+
+  std::printf("encode_udp, template + RFC1624: %11.0f probes/s\n", tmpl.pps());
+  std::printf("encode_udp, full serialization: %11.0f probes/s\n",
+              reference.pps());
+  std::printf("speedup                       : %.2fx\n", encode_speedup);
+
+  const char* path = "BENCH_hotpath.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"prefix_bits\": %d,\n"
+      "  \"seed\": %llu,\n"
+      "  \"probes_per_pass\": %llu,\n"
+      "  \"process_cached_pps\": %.1f,\n"
+      "  \"process_bypassed_pps\": %.1f,\n"
+      "  \"process_speedup\": %.3f,\n"
+      "  \"route_cache_hit_rate\": %.4f,\n"
+      "  \"responses_per_pass\": %llu,\n"
+      "  \"encode_template_pps\": %.1f,\n"
+      "  \"encode_reference_pps\": %.1f,\n"
+      "  \"encode_speedup\": %.3f\n"
+      "}\n",
+      params.prefix_bits, static_cast<unsigned long long>(params.seed),
+      static_cast<unsigned long long>(num_probes), cached.pps(),
+      bypassed.pps(), process_speedup, cached.hit_rate,
+      static_cast<unsigned long long>(cached.responses), tmpl.pps(),
+      reference.pps(), encode_speedup);
+  std::fclose(out);
+  std::printf("\nwrote %s\n", path);
+  return 0;
+}

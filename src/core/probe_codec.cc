@@ -1,5 +1,7 @@
 #include "core/probe_codec.h"
 
+#include <cstring>
+
 #include "net/checksum.h"
 #include "net/packet.h"
 
@@ -16,7 +18,71 @@ constexpr std::uint16_t pack_ipid(std::uint8_t ttl, bool preprobe,
       (ts_ms & 0x03FF));
 }
 
+// Offsets of the fields encode_udp/encode_tcp patch into the templates.
+constexpr std::size_t kIpTotalLength = 2;
+constexpr std::size_t kIpId = 4;
+constexpr std::size_t kIpTtlWord = 8;  // [ TTL | protocol ]
+constexpr std::size_t kIpChecksum = 10;
+constexpr std::size_t kIpDst = 16;
+constexpr std::size_t kL4SrcPort = net::Ipv4Header::kSize;      // UDP & TCP
+constexpr std::size_t kUdpLength = net::Ipv4Header::kSize + 4;
+constexpr std::size_t kTcpSeq = net::Ipv4Header::kSize + 4;
+
+std::uint16_t read_u16(std::span<const std::byte> buffer,
+                       std::size_t offset) noexcept {
+  return static_cast<std::uint16_t>(
+      static_cast<std::uint16_t>(buffer[offset]) << 8 |
+      static_cast<std::uint16_t>(buffer[offset + 1]));
+}
+
+void patch_u16(std::span<std::byte> buffer, std::size_t offset,
+               std::uint16_t v) noexcept {
+  buffer[offset] = std::byte(v >> 8);
+  buffer[offset + 1] = std::byte(v & 0xFF);
+}
+
+void patch_u32(std::span<std::byte> buffer, std::size_t offset,
+               std::uint32_t v) noexcept {
+  patch_u16(buffer, offset, static_cast<std::uint16_t>(v >> 16));
+  patch_u16(buffer, offset + 2, static_cast<std::uint16_t>(v & 0xFFFF));
+}
+
 }  // namespace
+
+ProbeCodec::ProbeCodec(net::Ipv4Address source,
+                       std::uint16_t port_offset) noexcept
+    : source_(source), port_offset_(port_offset) {
+  // UDP template: zero-payload probe with dst/TTL/IPID/src-port zeroed.
+  // The template checksum seeds the per-probe RFC 1624 update chain.
+  {
+    net::ByteWriter writer(udp_template_);
+    net::Ipv4Header ip;
+    ip.total_length = net::Ipv4Header::kSize + net::UdpHeader::kSize;
+    ip.protocol = net::kProtoUdp;
+    ip.src = source_;
+    net::UdpHeader udp;
+    udp.dst_port = net::kTracerouteDstPort;
+    udp.length = net::UdpHeader::kSize;
+    ip.serialize(writer);
+    udp.serialize(writer);
+    udp_template_checksum_ = read_u16(udp_template_, kIpChecksum);
+  }
+  // TCP template: Paris-TCP-ACK probe with dst/TTL/IPID/src-port/seq zeroed.
+  {
+    net::ByteWriter writer(tcp_template_);
+    net::Ipv4Header ip;
+    ip.total_length = kTcpProbeSize;
+    ip.protocol = net::kProtoTcp;
+    ip.src = source_;
+    net::TcpHeader tcp;
+    tcp.dst_port = 80;
+    tcp.flags = net::TcpHeader::kFlagAck;
+    tcp.window = 65535;
+    ip.serialize(writer);
+    tcp.serialize(writer);
+    tcp_template_checksum_ = read_u16(tcp_template_, kIpChecksum);
+  }
+}
 
 std::size_t ProbeCodec::encode_udp(net::Ipv4Address destination,
                                    std::uint8_t ttl, bool preprobe,
@@ -31,52 +97,73 @@ std::size_t ProbeCodec::encode_udp(net::Ipv4Address destination,
       net::Ipv4Header::kSize + net::UdpHeader::kSize + payload;
   if (buffer.size() < total) return 0;
 
-  net::ByteWriter writer(buffer.first(total));
-  net::Ipv4Header ip;
-  ip.total_length = static_cast<std::uint16_t>(total);
-  ip.id = pack_ipid(ttl, preprobe, ts);
-  ip.ttl = ttl;
-  ip.protocol = net::kProtoUdp;
-  ip.src = source_;
-  ip.dst = destination;
-  if (!ip.serialize(writer)) return 0;
+  // Fixed-size header copy (compiles to two vector moves) plus a zero fill
+  // of the short payload; only five header fields remain to patch.
+  constexpr std::size_t kHeaderBytes =
+      net::Ipv4Header::kSize + net::UdpHeader::kSize;
+  std::memcpy(buffer.data(), udp_template_.data(), kHeaderBytes);
+  std::memset(buffer.data() + kHeaderBytes, 0, payload);
+  const auto total_length = static_cast<std::uint16_t>(total);
+  const std::uint16_t id = pack_ipid(ttl, preprobe, ts);
+  const auto ttl_word =
+      static_cast<std::uint16_t>(std::uint16_t{ttl} << 8 | net::kProtoUdp);
+  const std::uint32_t dst = destination.value();
+  patch_u16(buffer, kIpTotalLength, total_length);
+  patch_u16(buffer, kIpId, id);
+  patch_u16(buffer, kIpTtlWord, ttl_word);
+  patch_u32(buffer, kIpDst, dst);
+  patch_u16(buffer, kL4SrcPort,
+            static_cast<std::uint16_t>(net::address_checksum(destination) +
+                                       port_offset_));
+  patch_u16(buffer, kUdpLength,
+            static_cast<std::uint16_t>(net::UdpHeader::kSize + payload));
 
-  net::UdpHeader udp;
-  udp.src_port = static_cast<std::uint16_t>(
-      net::address_checksum(destination) + port_offset_);
-  udp.dst_port = net::kTracerouteDstPort;
-  udp.length = static_cast<std::uint16_t>(net::UdpHeader::kSize + payload);
-  if (!udp.serialize(writer)) return 0;
-  writer.put_zeros(payload);
-  return writer.ok() ? total : 0;
+  std::uint16_t checksum = net::incremental_checksum_update(
+      udp_template_checksum_,
+      static_cast<std::uint16_t>(net::Ipv4Header::kSize +
+                                 net::UdpHeader::kSize),
+      total_length);
+  checksum = net::incremental_checksum_update(checksum, 0, id);
+  checksum =
+      net::incremental_checksum_update(checksum, net::kProtoUdp, ttl_word);
+  checksum = net::incremental_checksum_update(
+      checksum, 0, static_cast<std::uint16_t>(dst >> 16));
+  checksum = net::incremental_checksum_update(
+      checksum, 0, static_cast<std::uint16_t>(dst & 0xFFFF));
+  patch_u16(buffer, kIpChecksum, checksum);
+  return total;
 }
 
 std::size_t ProbeCodec::encode_tcp(net::Ipv4Address destination,
                                    std::uint8_t ttl, util::Nanos send_time,
                                    std::span<std::byte> buffer) const noexcept {
   if (buffer.size() < kTcpProbeSize) return 0;
-  net::ByteWriter writer(buffer.first(kTcpProbeSize));
+  std::memcpy(buffer.data(), tcp_template_.data(), kTcpProbeSize);
 
-  net::Ipv4Header ip;
-  ip.total_length = kTcpProbeSize;
-  ip.id = pack_ipid(ttl, false, timestamp_ms16(send_time));
-  ip.ttl = ttl;
-  ip.protocol = net::kProtoTcp;
-  ip.src = source_;
-  ip.dst = destination;
-  if (!ip.serialize(writer)) return 0;
-
-  net::TcpHeader tcp;
-  tcp.src_port = static_cast<std::uint16_t>(
-      net::address_checksum(destination) + port_offset_);
-  tcp.dst_port = 80;
+  const std::uint16_t id = pack_ipid(ttl, false, timestamp_ms16(send_time));
+  const auto ttl_word =
+      static_cast<std::uint16_t>(std::uint16_t{ttl} << 8 | net::kProtoTcp);
+  const std::uint32_t dst = destination.value();
+  patch_u16(buffer, kIpId, id);
+  patch_u16(buffer, kIpTtlWord, ttl_word);
+  patch_u32(buffer, kIpDst, dst);
+  patch_u16(buffer, kL4SrcPort,
+            static_cast<std::uint16_t>(net::address_checksum(destination) +
+                                       port_offset_));
   // Yarrp encodes the elapsed time into the sequence number of its TCP-ACK
   // probes; millisecond granularity is plenty for RTT purposes.
-  tcp.seq = static_cast<std::uint32_t>(send_time / util::kMillisecond);
-  tcp.ack = 0;
-  tcp.flags = net::TcpHeader::kFlagAck;
-  tcp.window = 65535;
-  if (!tcp.serialize(writer)) return 0;
+  patch_u32(buffer, kTcpSeq,
+            static_cast<std::uint32_t>(send_time / util::kMillisecond));
+
+  std::uint16_t checksum =
+      net::incremental_checksum_update(tcp_template_checksum_, 0, id);
+  checksum =
+      net::incremental_checksum_update(checksum, net::kProtoTcp, ttl_word);
+  checksum = net::incremental_checksum_update(
+      checksum, 0, static_cast<std::uint16_t>(dst >> 16));
+  checksum = net::incremental_checksum_update(
+      checksum, 0, static_cast<std::uint16_t>(dst & 0xFFFF));
+  patch_u16(buffer, kIpChecksum, checksum);
   return kTcpProbeSize;
 }
 

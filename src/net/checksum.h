@@ -31,4 +31,23 @@ std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept;
 /// FlashRoute places in the UDP source-port field of each probe.
 std::uint16_t address_checksum(Ipv4Address address) noexcept;
 
+/// RFC 1624 (Eqn. 3) incremental update: the checksum of a header after one
+/// aligned 16-bit word changes from `old_word` to `new_word`, given the
+/// checksum before the change.  This is how the template-probe codec and
+/// real routers patch a precomputed header without re-summing it; for any
+/// header containing at least one nonzero word the result is bit-identical
+/// to a full recomputation (see net_checksum_test's randomized equivalence).
+/// Defined inline: encoders chain several updates per probe.
+inline std::uint16_t incremental_checksum_update(
+    std::uint16_t checksum, std::uint16_t old_word,
+    std::uint16_t new_word) noexcept {
+  // HC' = ~(~HC + ~m + m')  (RFC 1624 Eqn. 3)
+  std::uint32_t sum = static_cast<std::uint32_t>(
+                          static_cast<std::uint16_t>(~checksum)) +
+                      static_cast<std::uint16_t>(~old_word) + new_word;
+  sum = (sum & 0xFFFF) + (sum >> 16);
+  sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
 }  // namespace flashroute::net

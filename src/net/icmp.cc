@@ -20,20 +20,21 @@ std::size_t quote_length(std::span<const std::byte> probe) noexcept {
 
 }  // namespace
 
-std::optional<std::vector<std::byte>> craft_icmp_response(
+std::size_t craft_icmp_response_into(
     std::uint8_t icmp_type, std::uint8_t icmp_code, Ipv4Address responder,
     std::span<const std::byte> probe_packet, std::uint8_t residual_ttl,
-    std::optional<Ipv4Address> rewritten_destination) {
+    std::span<std::byte> out,
+    std::optional<Ipv4Address> rewritten_destination) noexcept {
   ByteReader probe_reader(probe_packet);
   const auto inner = Ipv4Header::parse(probe_reader);
-  if (!inner) return std::nullopt;
+  if (!inner) return 0;
 
   // Copy the quoted portion of the probe and patch its TTL to the residual
   // value it carried when it reached the responder.  Routers rewrite the IP
   // checksum as they decrement the TTL, so we recompute it for realism.
   std::array<std::byte, Ipv4Header::kSize + 8> quote{};
   const std::size_t quoted = quote_length(probe_packet);
-  if (quoted < Ipv4Header::kSize) return std::nullopt;
+  if (quoted < Ipv4Header::kSize) return 0;
   std::memcpy(quote.data(), probe_packet.data(), quoted);
   if (rewritten_destination) {
     const std::uint32_t v = rewritten_destination->value();
@@ -51,57 +52,81 @@ std::optional<std::vector<std::byte>> craft_icmp_response(
   quote[11] = std::byte(inner_checksum & 0xFF);
 
   const std::size_t icmp_len = IcmpHeader::kSize + quoted;
-  std::vector<std::byte> packet(Ipv4Header::kSize + icmp_len);
-  ByteWriter writer(packet);
+  const std::size_t total = Ipv4Header::kSize + icmp_len;
+  if (out.size() < total) return 0;
+  ByteWriter writer(out.first(total));
 
   Ipv4Header outer;
-  outer.total_length = static_cast<std::uint16_t>(packet.size());
+  outer.total_length = static_cast<std::uint16_t>(total);
   outer.ttl = 64;
   outer.protocol = kProtoIcmp;
   outer.src = responder;
   outer.dst = inner->src;
-  if (!outer.serialize(writer)) return std::nullopt;
+  if (!outer.serialize(writer)) return 0;
 
   IcmpHeader icmp;
   icmp.type = icmp_type;
   icmp.code = icmp_code;
-  if (!icmp.serialize(writer)) return std::nullopt;
+  if (!icmp.serialize(writer)) return 0;
   writer.put_bytes(std::span<const std::byte>(quote.data(), quoted));
-  if (!writer.ok()) return std::nullopt;
+  if (!writer.ok()) return 0;
 
   // Patch the ICMP checksum (covers the ICMP header and the quote).
   const std::uint16_t icmp_checksum = internet_checksum(
-      std::span<const std::byte>(packet).subspan(Ipv4Header::kSize));
-  packet[Ipv4Header::kSize + 2] = std::byte(icmp_checksum >> 8);
-  packet[Ipv4Header::kSize + 3] = std::byte(icmp_checksum & 0xFF);
-  return packet;
+      std::span<const std::byte>(out.data() + Ipv4Header::kSize, icmp_len));
+  out[Ipv4Header::kSize + 2] = std::byte(icmp_checksum >> 8);
+  out[Ipv4Header::kSize + 3] = std::byte(icmp_checksum & 0xFF);
+  return total;
 }
 
-std::optional<std::vector<std::byte>> craft_tcp_rst(
-    std::span<const std::byte> probe_packet) {
+std::size_t craft_tcp_rst_into(std::span<const std::byte> probe_packet,
+                               std::span<std::byte> out) noexcept {
   ByteReader reader(probe_packet);
   const auto probe_ip = Ipv4Header::parse(reader);
-  if (!probe_ip || probe_ip->protocol != kProtoTcp) return std::nullopt;
+  if (!probe_ip || probe_ip->protocol != kProtoTcp) return 0;
   const auto probe_tcp = TcpHeader::parse(reader);
-  if (!probe_tcp) return std::nullopt;
+  if (!probe_tcp) return 0;
 
-  std::vector<std::byte> packet(Ipv4Header::kSize + TcpHeader::kSize);
-  ByteWriter writer(packet);
+  constexpr std::size_t total = Ipv4Header::kSize + TcpHeader::kSize;
+  if (out.size() < total) return 0;
+  ByteWriter writer(out.first(total));
 
   Ipv4Header outer;
-  outer.total_length = static_cast<std::uint16_t>(packet.size());
+  outer.total_length = static_cast<std::uint16_t>(total);
   outer.ttl = 64;
   outer.protocol = kProtoTcp;
   outer.src = probe_ip->dst;
   outer.dst = probe_ip->src;
-  if (!outer.serialize(writer)) return std::nullopt;
+  if (!outer.serialize(writer)) return 0;
 
   TcpHeader rst;
   rst.src_port = probe_tcp->dst_port;
   rst.dst_port = probe_tcp->src_port;
   rst.seq = probe_tcp->ack;  // RFC 793: RST to an ACK carries SEG.ACK as seq
   rst.flags = TcpHeader::kFlagRst;
-  if (!rst.serialize(writer)) return std::nullopt;
+  if (!rst.serialize(writer)) return 0;
+  return total;
+}
+
+std::optional<std::vector<std::byte>> craft_icmp_response(
+    std::uint8_t icmp_type, std::uint8_t icmp_code, Ipv4Address responder,
+    std::span<const std::byte> probe_packet, std::uint8_t residual_ttl,
+    std::optional<Ipv4Address> rewritten_destination) {
+  std::vector<std::byte> packet(kMaxResponseSize);
+  const std::size_t size =
+      craft_icmp_response_into(icmp_type, icmp_code, responder, probe_packet,
+                               residual_ttl, packet, rewritten_destination);
+  if (size == 0) return std::nullopt;
+  packet.resize(size);
+  return packet;
+}
+
+std::optional<std::vector<std::byte>> craft_tcp_rst(
+    std::span<const std::byte> probe_packet) {
+  std::vector<std::byte> packet(Ipv4Header::kSize + TcpHeader::kSize);
+  const std::size_t size = craft_tcp_rst_into(probe_packet, packet);
+  if (size == 0) return std::nullopt;
+  packet.resize(size);
   return packet;
 }
 

@@ -31,22 +31,34 @@ inline constexpr std::size_t kMaxResponseSize =
 /// checksum recomputed, as routers rewrite it at each decrement).
 ///
 /// `probe_packet` must be a full IPv4 probe as produced by the probing
-/// engines.  Returns the crafted packet, or nullopt if the probe bytes are
-/// malformed.
+/// engines.  Encodes into `out` (which must hold at least kMaxResponseSize
+/// bytes) and returns the packet size, or 0 if the probe bytes are malformed
+/// or `out` is too small.  This is the simulator's hot path: it never
+/// allocates — callers hand in a recycled pool slot (sim/response_pool.h).
 ///
 /// When `rewritten_destination` is set, the quoted header's destination is
 /// replaced with it — this is what a response looks like after an in-flight
 /// destination-rewriting middlebox (§5.3), and it is how FlashRoute detects
 /// the rewrite: the quoted source port no longer matches the checksum of the
 /// quoted destination.
+std::size_t craft_icmp_response_into(
+    std::uint8_t icmp_type, std::uint8_t icmp_code, Ipv4Address responder,
+    std::span<const std::byte> probe_packet, std::uint8_t residual_ttl,
+    std::span<std::byte> out,
+    std::optional<Ipv4Address> rewritten_destination = std::nullopt) noexcept;
+
+/// Builds the TCP RST a destination host sends in reply to an unsolicited
+/// TCP-ACK probe.  Ports are swapped relative to the probe; the RST's
+/// sequence number echoes the probe's ACK number per RFC 793.  Same
+/// encode-into contract as craft_icmp_response_into.
+std::size_t craft_tcp_rst_into(std::span<const std::byte> probe_packet,
+                               std::span<std::byte> out) noexcept;
+
+/// Allocating convenience wrappers over the _into variants (tests, tools).
 std::optional<std::vector<std::byte>> craft_icmp_response(
     std::uint8_t icmp_type, std::uint8_t icmp_code, Ipv4Address responder,
     std::span<const std::byte> probe_packet, std::uint8_t residual_ttl,
     std::optional<Ipv4Address> rewritten_destination = std::nullopt);
-
-/// Builds the TCP RST a destination host sends in reply to an unsolicited
-/// TCP-ACK probe.  Ports are swapped relative to the probe; the RST's
-/// sequence number echoes the probe's ACK number per RFC 793.
 std::optional<std::vector<std::byte>> craft_tcp_rst(
     std::span<const std::byte> probe_packet);
 

@@ -8,15 +8,23 @@ namespace flashroute::sim {
 
 SimNetwork::SimNetwork(const Topology& topology)
     : topology_(topology),
-      seed_rtt_(util::hash_combine(topology.params().seed, 0x727474)) {}
+      rate_limiters_(topology.params().icmp_rate_limit_pps,
+                     topology.params().icmp_rate_limit_burst,
+                     topology.params().interface_pool_base,
+                     static_cast<std::uint32_t>(
+                         topology.allocated_pool_interfaces())),
+      seed_rtt_(util::hash_combine(topology.params().seed, 0x727474)) {
+  if (const int bits = topology.params().effective_route_cache_bits();
+      bits > 0) {
+    route_cache_.emplace(bits);
+  }
+}
 
 bool SimNetwork::admit_response(std::uint32_t responder_ip, util::Nanos t) {
-  auto [it, inserted] = rate_limiters_.try_emplace(
-      responder_ip, topology_.params().icmp_rate_limit_pps,
-      topology_.params().icmp_rate_limit_burst, t);
-  if (it->second.try_consume(t)) return true;
+  RateLimitTable::Entry& limiter = rate_limiters_.entry(responder_ip, t);
+  if (limiter.bucket.try_consume(t)) return true;
   ++stats_.rate_limited;
-  ++rate_limit_drops_[responder_ip];
+  ++limiter.drops;
   return false;
 }
 
@@ -32,72 +40,150 @@ util::Nanos SimNetwork::arrival_time(util::Nanos send_time, int hop,
   return send_time + params.rtt_base + params.rtt_per_hop * hop + jitter;
 }
 
-std::optional<Delivery> SimNetwork::process(std::span<const std::byte> probe,
-                                            util::Nanos send_time) {
+std::optional<ProcessedResponse> SimNetwork::process_into(
+    std::span<const std::byte> probe, util::Nanos send_time,
+    std::span<std::byte> out) {
   ++stats_.probes;
 
-  net::ByteReader reader(probe);
-  const auto ip = net::Ipv4Header::parse(reader);
-  if (!ip || ip->ttl == 0) {
-    ++stats_.malformed;
-    return std::nullopt;
-  }
-
+  // Decode the probe.  Every probe the codecs emit is a canonical
+  // options-free IPv4 header (version 4, IHL 5) over UDP or TCP — those take
+  // the fast path: five field loads at fixed offsets, no ByteReader, no
+  // optionals.  Anything else (IP options, other protocols, truncated or
+  // garbage bytes) falls back to the full parser, which classifies it
+  // exactly as before.
+  std::uint8_t ttl = 0;
+  std::uint8_t protocol = 0;
+  std::uint32_t dst_value = 0;
   std::uint16_t src_port = 0;
   std::uint16_t dst_port = 0;
-  if (ip->protocol == net::kProtoUdp) {
-    const auto udp = net::UdpHeader::parse(reader);
-    if (!udp) {
+  const auto u8 = [&probe](std::size_t i) {
+    return std::to_integer<std::uint32_t>(probe[i]);
+  };
+  bool decoded = false;
+  if (probe.size() >= net::Ipv4Header::kSize + net::UdpHeader::kSize &&
+      u8(0) == 0x45) {
+    protocol = static_cast<std::uint8_t>(u8(9));
+    if (protocol == net::kProtoUdp ||
+        (protocol == net::kProtoTcp &&
+         probe.size() >= net::Ipv4Header::kSize + net::TcpHeader::kSize)) {
+      ttl = static_cast<std::uint8_t>(u8(8));
+      dst_value = u8(16) << 24 | u8(17) << 16 | u8(18) << 8 | u8(19);
+      src_port = static_cast<std::uint16_t>(u8(20) << 8 | u8(21));
+      dst_port = static_cast<std::uint16_t>(u8(22) << 8 | u8(23));
+      decoded = true;
+    }
+  }
+  if (!decoded) {
+    net::ByteReader reader(probe);
+    const auto ip = net::Ipv4Header::parse(reader);
+    if (!ip) {
       ++stats_.malformed;
       return std::nullopt;
     }
-    src_port = udp->src_port;
-    dst_port = udp->dst_port;
-  } else if (ip->protocol == net::kProtoTcp) {
-    const auto tcp = net::TcpHeader::parse(reader);
-    if (!tcp) {
+    if (ip->protocol == net::kProtoUdp) {
+      const auto udp = net::UdpHeader::parse(reader);
+      if (!udp) {
+        ++stats_.malformed;
+        return std::nullopt;
+      }
+      src_port = udp->src_port;
+      dst_port = udp->dst_port;
+    } else if (ip->protocol == net::kProtoTcp) {
+      const auto tcp = net::TcpHeader::parse(reader);
+      if (!tcp) {
+        ++stats_.malformed;
+        return std::nullopt;
+      }
+      src_port = tcp->src_port;
+      dst_port = tcp->dst_port;
+    } else {
       ++stats_.malformed;
       return std::nullopt;
     }
-    src_port = tcp->src_port;
-    dst_port = tcp->dst_port;
-  } else {
+    ttl = ip->ttl;
+    protocol = ip->protocol;
+    dst_value = ip->dst.value();
+  }
+  if (ttl == 0) {
     ++stats_.malformed;
     return std::nullopt;
   }
+  const net::Ipv4Address dst_address(dst_value);
 
   // Per-flow label: what a Paris-style load balancer hashes (§3, Paris
   // traceroute keeps these constant so one target sees one path).
   const std::uint64_t flow =
-      util::hash_combine(ip->dst.value(), src_port, dst_port, ip->protocol);
-  const std::int64_t epoch =
-      send_time / topology_.params().dynamics_epoch;
-
-  Route route;
-  if (!topology_.resolve(ip->dst, flow, epoch, route)) {
-    ++stats_.out_of_universe;
-    return std::nullopt;
+      util::hash_combine(dst_value, src_port, dst_port, protocol);
+  // Memoize the epoch: send times are non-decreasing (a documented contract
+  // of process_into), so the division only runs when an epoch boundary is
+  // actually crossed.
+  if (send_time >= epoch_end_) {
+    current_epoch_ = send_time / topology_.params().dynamics_epoch;
+    epoch_end_ = (current_epoch_ + 1) * topology_.params().dynamics_epoch;
   }
+  const std::int64_t epoch = current_epoch_;
 
-  // Walk the path, decrementing TTL.  A TTL-rewriting middlebox resets the
-  // residual TTL of packets it forwards (but a packet expiring *at* the
-  // middlebox still expires there).
-  int residual = ip->ttl;
-  int expire_pos = 0;
-  for (int pos = 1; pos <= route.num_hops; ++pos) {
-    if (residual == 1) {
-      expire_pos = pos;
-      break;
+  const Route* route;
+  const RouteSilence* silence;
+  if (route_cache_) {
+    const RouteCache::Entry* entry =
+        route_cache_->find(dst_address, flow, epoch, protocol);
+    if (entry != nullptr) {
+      ++stats_.route_cache_hits;
+    } else {
+      ++stats_.route_cache_misses;
+      entry = route_cache_->fill(topology_, dst_address, flow, epoch, protocol);
     }
-    if (pos == route.middlebox_pos) residual = route.middlebox_reset;
-    --residual;
+    if (entry == nullptr) {
+      ++stats_.out_of_universe;
+      return std::nullopt;
+    }
+    route = &entry->route;
+    silence = &entry->silence;
+  } else {
+    ++stats_.route_cache_misses;
+    if (!topology_.resolve(dst_address, flow, epoch, scratch_route_)) {
+      ++stats_.out_of_universe;
+      return std::nullopt;
+    }
+    topology_.annotate_silence(scratch_route_, protocol, scratch_silence_);
+    route = &scratch_route_;
+    silence = &scratch_silence_;
   }
 
-  if (expire_pos == 0 && !route.delivers) {
-    if (route.loops) {
+  // Where does the probe's TTL run out?  A TTL-rewriting middlebox at
+  // (1-based) hop m resets the residual TTL of packets it forwards, so a
+  // probe that passes it expires reset-1 hops later regardless of its
+  // original TTL (but a packet expiring *at* the middlebox still expires
+  // there).  Closed form of the hop-by-hop decrement walk; `residual` is
+  // the TTL the packet would arrive at the far end with.
+  int residual;
+  int expire_pos;
+  const int ttl_signed = ttl;
+  if (route->middlebox_pos >= 1 && route->middlebox_pos <= route->num_hops &&
+      ttl_signed > route->middlebox_pos) {
+    const int reborn = route->middlebox_pos + route->middlebox_reset - 1;
+    if (route->middlebox_reset >= 2 && reborn <= route->num_hops) {
+      expire_pos = reborn;
+      residual = 1;
+    } else {
+      expire_pos = 0;
+      residual = route->middlebox_pos + route->middlebox_reset - 1 -
+                 route->num_hops;
+    }
+  } else if (ttl_signed <= route->num_hops) {
+    expire_pos = ttl_signed;
+    residual = 1;
+  } else {
+    expire_pos = 0;
+    residual = ttl_signed - route->num_hops;
+  }
+
+  if (expire_pos == 0 && !route->delivers) {
+    if (route->loops) {
       // The dark tail bounces between two hops; the probe expires
       // `residual` hops into the loop.
-      expire_pos = route.num_hops + residual;
+      expire_pos = route->num_hops + residual;
     } else {
       ++stats_.dropped_dark;
       return std::nullopt;
@@ -105,52 +191,67 @@ std::optional<Delivery> SimNetwork::process(std::span<const std::byte> probe,
   }
 
   if (expire_pos != 0) {
-    const std::uint32_t responder = route.hop_at(expire_pos);
-    if (!topology_.interface_responds(responder, ip->protocol)) {
+    const bool hop_silent =
+        expire_pos <= route->num_hops
+            ? ((silence->hop_silent >> (expire_pos - 1)) & 1) != 0
+            : ((expire_pos - route->num_hops) % 2 == 1
+                   ? silence->loop_a_silent
+                   : silence->loop_b_silent);
+    if (hop_silent) {
       ++stats_.silent_interface;
       return std::nullopt;
     }
+    const std::uint32_t responder = route->hop_at(expire_pos);
     if (!admit_response(responder, send_time)) return std::nullopt;
-    auto packet = net::craft_icmp_response(
+    const std::size_t size = net::craft_icmp_response_into(
         net::kIcmpTimeExceeded, net::kIcmpCodeTtlExceeded,
-        net::Ipv4Address(responder), probe, /*residual_ttl=*/1);
-    if (!packet) {
+        net::Ipv4Address(responder), probe, /*residual_ttl=*/1, out);
+    if (size == 0) {
       ++stats_.malformed;
       return std::nullopt;
     }
     ++stats_.time_exceeded_sent;
     const std::uint64_t jitter_key = util::hash_combine(
-        ip->dst.value(), ip->ttl, flow, static_cast<std::uint64_t>(epoch));
-    return Delivery{arrival_time(send_time, expire_pos, jitter_key),
-                    std::move(*packet)};
+        dst_value, ttl, flow, static_cast<std::uint64_t>(epoch));
+    return ProcessedResponse{arrival_time(send_time, expire_pos, jitter_key),
+                             size};
   }
 
   // Delivered to a host: `residual` is the TTL it arrives with.
-  const net::Ipv4Address host(route.delivered_address);
-  if (!topology_.host_responds(host, ip->protocol)) {
+  const net::Ipv4Address host(route->delivered_address);
+  if (!silence->host_answers) {
     ++stats_.silent_host;
     return std::nullopt;
   }
   if (!admit_response(host.value(), send_time)) return std::nullopt;
 
-  std::optional<std::vector<std::byte>> packet;
-  if (ip->protocol == net::kProtoTcp) {
-    packet = net::craft_tcp_rst(probe);
+  std::size_t size;
+  if (protocol == net::kProtoTcp) {
+    size = net::craft_tcp_rst_into(probe, out);
   } else {
-    packet = net::craft_icmp_response(
+    size = net::craft_icmp_response_into(
         net::kIcmpDestUnreachable, net::kIcmpCodePortUnreachable, host, probe,
-        static_cast<std::uint8_t>(residual),
-        route.rewritten ? std::optional(host) : std::nullopt);
+        static_cast<std::uint8_t>(residual), out,
+        route->rewritten ? std::optional(host) : std::nullopt);
   }
-  if (!packet) {
+  if (size == 0) {
     ++stats_.malformed;
     return std::nullopt;
   }
   ++stats_.destination_responses;
   const std::uint64_t jitter_key = util::hash_combine(
-      ip->dst.value(), ip->ttl, flow, static_cast<std::uint64_t>(epoch) ^ 1);
-  return Delivery{arrival_time(send_time, route.num_hops + 1, jitter_key),
-                  std::move(*packet)};
+      dst_value, ttl, flow, static_cast<std::uint64_t>(epoch) ^ 1);
+  return ProcessedResponse{
+      arrival_time(send_time, route->num_hops + 1, jitter_key), size};
+}
+
+std::optional<Delivery> SimNetwork::process(std::span<const std::byte> probe,
+                                            util::Nanos send_time) {
+  std::vector<std::byte> packet(net::kMaxResponseSize);
+  const auto response = process_into(probe, send_time, packet);
+  if (!response) return std::nullopt;
+  packet.resize(response->size);
+  return Delivery{response->arrival, std::move(packet)};
 }
 
 }  // namespace flashroute::sim

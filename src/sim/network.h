@@ -10,6 +10,14 @@
 // 500/s per Ravaioli et al., the assumption of the paper's §4.2.2 analysis),
 // so an over-aggressive scan genuinely loses responses here, exactly the
 // intrusiveness phenomenon Table 4 studies.
+//
+// Hot path (DESIGN.md §6): `process_into` is allocation-free in steady
+// state.  Route resolution goes through a direct-mapped per-(destination,
+// flow, epoch) cache (sim/route_cache.h; bypassable, bit-identical either
+// way), responses are encoded straight into a caller-provided buffer —
+// normally a recycled sim/response_pool.h slot — and the per-responder ICMP
+// limiters live in a flat table indexed by interface-pool offset
+// (sim/rate_limit_table.h).
 
 #pragma once
 
@@ -21,9 +29,10 @@
 #include <vector>
 
 #include "net/icmp.h"
+#include "sim/rate_limit_table.h"
+#include "sim/route_cache.h"
 #include "sim/topology.h"
 #include "util/clock.h"
-#include "util/token_bucket.h"
 
 namespace flashroute::sim {
 
@@ -37,13 +46,23 @@ struct NetworkStats {
   std::uint64_t silent_host = 0;
   std::uint64_t rate_limited = 0;
   std::uint64_t dropped_dark = 0;  // probe died with no responder in range
+  std::uint64_t route_cache_hits = 0;
+  std::uint64_t route_cache_misses = 0;  // probes resolved, cache bypassed too
 
   std::uint64_t responses() const noexcept {
     return time_exceeded_sent + destination_responses;
   }
 };
 
-/// A response packet and the virtual time at which it reaches the vantage.
+/// A response encoded into the caller's buffer and the virtual time at which
+/// it reaches the vantage.
+struct ProcessedResponse {
+  util::Nanos arrival;
+  std::size_t size;
+};
+
+/// A response packet and the virtual time at which it reaches the vantage
+/// (allocating convenience form).
 struct Delivery {
   util::Nanos arrival;
   std::vector<std::byte> packet;
@@ -53,10 +72,16 @@ class SimNetwork {
  public:
   explicit SimNetwork(const Topology& topology);
 
-  /// Processes one probe sent at `send_time`.  Returns the response and its
-  /// arrival time, or nullopt when the network stays silent.  `send_time`
-  /// must be non-decreasing across calls (the rate limiters refill
-  /// monotonically).
+  /// Processes one probe sent at `send_time`, encoding any response into
+  /// `out` (which must hold at least net::kMaxResponseSize bytes).  Returns
+  /// the response size and arrival time, or nullopt when the network stays
+  /// silent.  `send_time` must be non-decreasing across calls (the rate
+  /// limiters refill monotonically).  Never allocates in steady state.
+  std::optional<ProcessedResponse> process_into(
+      std::span<const std::byte> probe, util::Nanos send_time,
+      std::span<std::byte> out);
+
+  /// Allocating wrapper over process_into (tests, tools).
   std::optional<Delivery> process(std::span<const std::byte> probe,
                                   util::Nanos send_time);
 
@@ -65,9 +90,9 @@ class SimNetwork {
 
   /// Ground-truth rate-limit drops per interface (for validating the
   /// Table 4 overprobing analysis against what "actually" happened).
-  const std::unordered_map<std::uint32_t, std::uint64_t>& rate_limit_drops()
-      const noexcept {
-    return rate_limit_drops_;
+  /// Materialized from the flat limiter table — not a hot-path accessor.
+  std::unordered_map<std::uint32_t, std::uint64_t> rate_limit_drops() const {
+    return rate_limiters_.drops();
   }
 
   const Topology& topology() const noexcept { return topology_; }
@@ -79,8 +104,19 @@ class SimNetwork {
 
   const Topology& topology_;
   NetworkStats stats_;
-  std::unordered_map<std::uint32_t, util::TokenBucket> rate_limiters_;
-  std::unordered_map<std::uint32_t, std::uint64_t> rate_limit_drops_;
+  RateLimitTable rate_limiters_;
+  /// Memoizes Topology::resolve; null when params.route_cache_bits == 0.
+  std::optional<RouteCache> route_cache_;
+  /// Scratch for cache-bypassed resolution (avoids a 64-slot array on the
+  /// stack per probe and lets Route::reset skip the hops array).  Bypassing
+  /// re-derives the full response plan per probe — that is the cost the
+  /// route cache amortizes.
+  Route scratch_route_;
+  RouteSilence scratch_silence_;
+  /// Current dynamics epoch, memoized over the non-decreasing send times so
+  /// the 64-bit division only runs at epoch boundaries.
+  std::int64_t current_epoch_ = 0;
+  util::Nanos epoch_end_ = 0;
   std::uint64_t seed_rtt_;
 };
 

@@ -176,6 +176,14 @@ struct SimParams {
   util::Nanos rtt_per_hop = 2'500'000;  // 2.5 ms per hop
   util::Nanos rtt_jitter = 3 * util::kMillisecond;
 
+  // --- Simulator hot path ----------------------------------------------------
+  /// Route-cache size, as log2 of the entry count, for SimNetwork's
+  /// direct-mapped memoization of Topology::resolve (sim/route_cache.h).
+  /// 0 bypasses the cache entirely (every probe re-resolves — the seed
+  /// behaviour; results are bit-identical either way).  -1 sizes it
+  /// automatically from the universe: prefix_bits - 2, clamped to [8, 14].
+  int route_cache_bits = -1;
+
   // Derived helpers.
   std::uint32_t num_prefixes() const noexcept {
     return std::uint32_t{1} << prefix_bits;
@@ -187,6 +195,11 @@ struct SimParams {
     if (core_routers > 0) return core_routers;
     const auto auto_size = static_cast<int>(num_prefixes() / 128);
     return auto_size < 64 ? 64 : auto_size;
+  }
+  int effective_route_cache_bits() const noexcept {
+    if (route_cache_bits >= 0) return route_cache_bits;
+    const int auto_bits = prefix_bits - 2;
+    return auto_bits < 8 ? 8 : (auto_bits > 14 ? 14 : auto_bits);
   }
 };
 

@@ -1,0 +1,108 @@
+// Flat per-responder ICMP rate-limiter storage.
+//
+// The seed kept one std::unordered_map<ip, TokenBucket> plus a second
+// std::unordered_map<ip, drops> — two chained-hash lookups (and a node
+// allocation) per rate-limited response.  Responder addresses come in two
+// shapes, and this table exploits both:
+//
+//  * interface-pool IPs (core routers, access chains, gateways, spines,
+//    load-balancer branches) are densely allocated from
+//    params.interface_pool_base upward — those index straight into a flat
+//    array by pool offset: no hashing, no probing, no allocation;
+//  * everything else (appliances, stub-interior interfaces, hosts — sparse
+//    across the universe) lands in an open-addressing table with linear
+//    probing that rehashes amortized and allocates nothing in steady state.
+//
+// The drop counter lives inside the entry, so the rate-limited path is one
+// lookup instead of the seed's try_emplace + drops[ip] pair.
+//
+// Buckets are pre-created full at t=0 in the dense array; this is
+// behaviourally identical to the seed's create-on-first-probe-at-t (the
+// bucket starts full either way, and refill clamps at burst).
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/token_bucket.h"
+
+namespace flashroute::sim {
+
+class RateLimitTable {
+ public:
+  struct Entry {
+    std::uint32_t ip = 0;  ///< key; 0 = empty (no valid responder is 0.0.0.0)
+    std::uint64_t drops = 0;
+    util::TokenBucket bucket{0.0, 0.0};
+  };
+
+  /// Pool IPs in [pool_base, pool_base + pool_size) take the dense path.
+  RateLimitTable(double rate_per_second, double burst, std::uint32_t pool_base,
+                 std::uint32_t pool_size)
+      : rate_(rate_per_second),
+        burst_(burst),
+        pool_base_(pool_base),
+        dense_(pool_size, Entry{0, 0, util::TokenBucket(rate_per_second,
+                                                        burst, 0)}),
+        sparse_(kInitialSparseCapacity) {}
+
+  /// The limiter entry for `ip`, created full at time `t` on first touch.
+  Entry& entry(std::uint32_t ip, util::Nanos t) {
+    const std::uint32_t offset = ip - pool_base_;  // wraps below pool_base
+    if (offset < dense_.size()) return dense_[offset];
+    return sparse_entry(ip, t);
+  }
+
+  /// Ground-truth drops per responder, materialized off the hot path.
+  std::unordered_map<std::uint32_t, std::uint64_t> drops() const {
+    std::unordered_map<std::uint32_t, std::uint64_t> out;
+    for (std::uint32_t i = 0; i < dense_.size(); ++i) {
+      if (dense_[i].drops > 0) out.emplace(pool_base_ + i, dense_[i].drops);
+    }
+    for (const Entry& e : sparse_) {
+      if (e.ip != 0 && e.drops > 0) out.emplace(e.ip, e.drops);
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::size_t kInitialSparseCapacity = 1024;  // power of two
+
+  Entry& sparse_entry(std::uint32_t ip, util::Nanos t) {
+    if ((sparse_used_ + 1) * 4 > sparse_.size() * 3) rehash();
+    const std::size_t mask = sparse_.size() - 1;
+    std::size_t i = util::mix64(ip) & mask;
+    while (sparse_[i].ip != 0 && sparse_[i].ip != ip) i = (i + 1) & mask;
+    Entry& e = sparse_[i];
+    if (e.ip == 0) {
+      e.ip = ip;
+      e.bucket = util::TokenBucket(rate_, burst_, t);
+      ++sparse_used_;
+    }
+    return e;
+  }
+
+  void rehash() {
+    std::vector<Entry> old = std::move(sparse_);
+    sparse_.assign(old.size() * 2, Entry{});
+    const std::size_t mask = sparse_.size() - 1;
+    for (Entry& e : old) {
+      if (e.ip == 0) continue;
+      std::size_t i = util::mix64(e.ip) & mask;
+      while (sparse_[i].ip != 0) i = (i + 1) & mask;
+      sparse_[i] = e;
+    }
+  }
+
+  double rate_;
+  double burst_;
+  std::uint32_t pool_base_;
+  std::vector<Entry> dense_;
+  std::vector<Entry> sparse_;
+  std::size_t sparse_used_ = 0;
+};
+
+}  // namespace flashroute::sim

@@ -1,0 +1,79 @@
+// Fixed-slot buffer pool for simulated response packets.
+//
+// The simulator used to heap-allocate a fresh std::vector<std::byte> for
+// every response it crafted and every delivery-queue entry that carried one.
+// This pool gives the delivery queues the same recycling discipline as the
+// SPSC receive ring (util/spsc_ring.h): responses are encoded directly into
+// a pooled slot, the queue entry stores only {slot index, size}, and the
+// slot returns to the free list once the packet has been handed to the
+// engine.
+//
+// Lifetime rules (also documented in DESIGN.md §6):
+//  * acquire() hands out a slot; the caller owns it until release().
+//  * buffer(slot) spans are stable: storage grows in fixed blocks that are
+//    never moved or freed, so a span stays valid across later acquires.
+//  * Steady state allocates nothing — the pool only grows while the
+//    in-flight response count is still climbing toward its high-water mark
+//    (one block per kBlockSlots slots).
+//  * The pool is externally synchronized, like the SimNetwork it serves
+//    (per-lane in the sharded runtimes).
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/icmp.h"
+
+namespace flashroute::sim {
+
+class ResponsePool {
+ public:
+  using Slot = std::uint32_t;
+
+  ResponsePool() { free_.reserve(kBlockSlots); }
+
+  /// Claims a slot, growing the backing storage when the free list is empty.
+  Slot acquire() {
+    if (free_.empty()) grow();
+    const Slot slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+
+  /// The slot's buffer (kMaxResponseSize bytes, stable address).
+  std::span<std::byte> buffer(Slot slot) noexcept {
+    return (*blocks_[slot / kBlockSlots])[slot % kBlockSlots];
+  }
+  std::span<const std::byte> buffer(Slot slot) const noexcept {
+    return (*blocks_[slot / kBlockSlots])[slot % kBlockSlots];
+  }
+
+  void release(Slot slot) { free_.push_back(slot); }
+
+  std::size_t capacity() const noexcept {
+    return blocks_.size() * kBlockSlots;
+  }
+
+ private:
+  static constexpr std::size_t kBlockSlots = 64;
+  using Block =
+      std::array<std::array<std::byte, net::kMaxResponseSize>, kBlockSlots>;
+
+  void grow() {
+    const Slot base = static_cast<Slot>(capacity());
+    blocks_.push_back(std::make_unique<Block>());
+    free_.reserve(capacity());
+    for (Slot i = 0; i < kBlockSlots; ++i) {
+      free_.push_back(base + kBlockSlots - 1 - i);  // hand out low slots first
+    }
+  }
+
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::vector<Slot> free_;
+};
+
+}  // namespace flashroute::sim

@@ -17,6 +17,7 @@
 #include "core/runtime.h"
 #include "core/sharded_tracer.h"
 #include "sim/network.h"
+#include "sim/response_pool.h"
 #include "util/clock.h"
 
 namespace flashroute::sim {
@@ -35,10 +36,17 @@ class SimScanRuntime final : public core::ScanRuntime {
   void send(std::span<const std::byte> packet) override {
     clock_.advance(probe_interval_);
     ++packets_sent_;
-    if (auto delivery = network_.process(packet, clock_.now())) {
-      pending_.push_back(Pending{delivery->arrival, next_seq_++,
-                                 std::move(delivery->packet)});
+    // Encode the response (if any) straight into a recycled pool slot; the
+    // delivery heap carries only {slot, size}, so the steady-state sim path
+    // moves no payload bytes and allocates nothing.
+    const ResponsePool::Slot slot = pool_.acquire();
+    if (auto response =
+            network_.process_into(packet, clock_.now(), pool_.buffer(slot))) {
+      pending_.push_back(Pending{response->arrival, next_seq_++, slot,
+                                 static_cast<std::uint32_t>(response->size)});
       std::push_heap(pending_.begin(), pending_.end(), std::greater<>{});
+    } else {
+      pool_.release(slot);
     }
   }
 
@@ -55,7 +63,8 @@ class SimScanRuntime final : public core::ScanRuntime {
   struct Pending {
     util::Nanos arrival;
     std::uint64_t seq;  // FIFO tiebreak for simultaneous arrivals
-    std::vector<std::byte> packet;
+    ResponsePool::Slot slot;  // payload lives in pool_, recycled after sink
+    std::uint32_t size;
 
     bool operator>(const Pending& other) const noexcept {
       if (arrival != other.arrival) return arrival > other.arrival;
@@ -65,14 +74,15 @@ class SimScanRuntime final : public core::ScanRuntime {
 
   void deliver_due(util::Nanos deadline, const Sink& sink) {
     // An explicit binary heap instead of std::priority_queue: pop_heap moves
-    // the minimum to the back, where it can be *moved* out — top() is const
-    // on priority_queue, which used to force a copy of every packet payload.
+    // the minimum to the back where it can be consumed — top() is const on
+    // priority_queue.  Entries are 24-byte PODs; payloads stay in the pool.
     while (!pending_.empty() && pending_.front().arrival <= deadline) {
       std::pop_heap(pending_.begin(), pending_.end(), std::greater<>{});
-      Pending item = std::move(pending_.back());
+      const Pending item = pending_.back();
       pending_.pop_back();
       clock_.advance_to(item.arrival);
-      sink(item.packet, item.arrival);
+      sink(pool_.buffer(item.slot).first(item.size), item.arrival);
+      pool_.release(item.slot);
     }
   }
 
@@ -82,6 +92,8 @@ class SimScanRuntime final : public core::ScanRuntime {
   std::uint64_t next_seq_ = 0;
   /// Min-heap on (arrival, seq) maintained with std::push_heap/pop_heap.
   std::vector<Pending> pending_;
+  /// Fixed-slot storage for in-flight response payloads.
+  ResponsePool pool_;
 };
 
 /// Virtual-time ShardRuntimeProvider: one (SimNetwork, SimScanRuntime) lane
@@ -122,6 +134,8 @@ class SimShardRuntimeProvider final : public core::ShardRuntimeProvider {
       total.silent_host += s.silent_host;
       total.rate_limited += s.rate_limited;
       total.dropped_dark += s.dropped_dark;
+      total.route_cache_hits += s.route_cache_hits;
+      total.route_cache_misses += s.route_cache_misses;
     }
     return total;
   }

@@ -29,6 +29,7 @@
 
 #include "core/threaded_runtime.h"
 #include "sim/network.h"
+#include "sim/response_pool.h"
 #include "sim/topology.h"
 #include "util/clock.h"
 
@@ -74,9 +75,15 @@ class RealTimeSimWire final : public core::Wire {
     const util::Nanos send_time =
         std::max(now - lane.epoch, lane.last_send_time);
     lane.last_send_time = send_time;
-    if (auto delivery = lane.network.process(packet, send_time)) {
-      lane.pending.push_back(
-          {lane.epoch + delivery->arrival, std::move(delivery->packet)});
+    // Responses are encoded straight into a recycled per-lane pool slot; the
+    // pending list carries only {due, slot, size} (see sim/response_pool.h).
+    const ResponsePool::Slot slot = lane.pool.acquire();
+    if (auto response =
+            lane.network.process_into(packet, send_time, lane.pool.buffer(slot))) {
+      lane.pending.push_back({lane.epoch + response->arrival, slot,
+                              static_cast<std::uint32_t>(response->size)});
+    } else {
+      lane.pool.release(slot);
     }
   }
 
@@ -91,14 +98,16 @@ class RealTimeSimWire final : public core::Wire {
         const std::lock_guard guard(lane.mutex);
         for (auto it = lane.pending.begin(); it != lane.pending.end(); ++it) {
           if (it->due > now) continue;
-          const std::size_t size = it->packet.size();
+          const std::size_t size = it->size;
           if (size > buffer.size()) {
             // Wire contract: oversize packets are dropped, not truncated.
+            lane.pool.release(it->slot);
             lane.pending.erase(it);
             ++oversize_dropped_;
             break;
           }
-          std::memcpy(buffer.data(), it->packet.data(), size);
+          std::memcpy(buffer.data(), lane.pool.buffer(it->slot).data(), size);
+          lane.pool.release(it->slot);
           lane.pending.erase(it);
           cursor_ = (cursor_ + i + 1) % lanes_.size();
           return size;
@@ -124,6 +133,8 @@ class RealTimeSimWire final : public core::Wire {
       total.silent_host += s.silent_host;
       total.rate_limited += s.rate_limited;
       total.dropped_dark += s.dropped_dark;
+      total.route_cache_hits += s.route_cache_hits;
+      total.route_cache_misses += s.route_cache_misses;
     }
     return total;
   }
@@ -133,7 +144,8 @@ class RealTimeSimWire final : public core::Wire {
  private:
   struct Pending {
     util::Nanos due;
-    std::vector<std::byte> packet;
+    ResponsePool::Slot slot;  // payload lives in the lane's pool
+    std::uint32_t size;
   };
 
   struct Lane {
@@ -142,6 +154,7 @@ class RealTimeSimWire final : public core::Wire {
     mutable std::mutex mutex;
     SimNetwork network;
     std::vector<Pending> pending;
+    ResponsePool pool;  // guarded by mutex, like pending
     util::Nanos epoch = 0;
     util::Nanos last_send_time = 0;
   };

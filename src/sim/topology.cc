@@ -346,12 +346,31 @@ bool Topology::interface_responds(std::uint32_t interface_ip,
   return true;
 }
 
+void Topology::annotate_silence(const Route& route, std::uint8_t protocol,
+                                RouteSilence& out) const noexcept {
+  std::uint64_t mask = 0;
+  for (int i = 0; i < route.num_hops; ++i) {
+    if (!interface_responds(route.hops[static_cast<std::size_t>(i)],
+                            protocol)) {
+      mask |= std::uint64_t{1} << i;
+    }
+  }
+  out.hop_silent = mask;
+  out.loop_a_silent =
+      route.loops && !interface_responds(route.loop_a, protocol);
+  out.loop_b_silent =
+      route.loops && !interface_responds(route.loop_b, protocol);
+  out.host_answers =
+      route.delivers &&
+      host_responds(net::Ipv4Address(route.delivered_address), protocol);
+}
+
 bool Topology::resolve(net::Ipv4Address destination, std::uint64_t flow,
                        std::int64_t epoch, Route& route) const noexcept {
   if (!in_universe(destination)) return false;
   const std::uint32_t prefix = net::prefix24_index(destination);
   const std::int32_t entry = prefix_map_[prefix - params_.first_prefix];
-  route = Route{};
+  route.reset();
 
   if (entry <= -2) {
     // Dark space: the path follows the provider of a nearby stub and dies

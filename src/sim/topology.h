@@ -26,6 +26,7 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <unordered_set>
@@ -56,12 +57,42 @@ struct Route {
   int middlebox_pos = 0;           ///< 1-based hop of TTL-reset box, 0 = none
   std::uint8_t middlebox_reset = 0;
 
+  /// Resets the scalar fields for reuse.  The `hops` array is deliberately
+  /// left stale: resolve() only writes (and callers only read) entries
+  /// [0, num_hops), so zero-filling all 64 slots per resolution would be
+  /// pure hot-path waste.  Debug builds assert the read bound in hop_at.
+  void reset() noexcept {
+    num_hops = 0;
+    delivers = false;
+    delivered_address = 0;
+    rewritten = false;
+    loops = false;
+    loop_a = 0;
+    loop_b = 0;
+    middlebox_pos = 0;
+    middlebox_reset = 0;
+  }
+
   /// Interface that would see the probe expire at 1-based position `pos`.
   /// Positions beyond num_hops are valid only when `loops`.
   std::uint32_t hop_at(int pos) const noexcept {
+    assert(pos >= 1);
     if (pos <= num_hops) return hops[static_cast<std::size_t>(pos - 1)];
+    assert(loops);
     return ((pos - num_hops) % 2 == 1) ? loop_a : loop_b;
   }
+};
+
+/// The response plan of a resolved route for one transport protocol: which
+/// hop positions would stay silent if a probe expired there, and whether the
+/// delivered-to host answers.  Pure over (route, protocol) — the route cache
+/// memoizes it next to the Route so a cache hit answers every per-probe
+/// question without touching the Topology again (DESIGN.md §6).
+struct RouteSilence {
+  std::uint64_t hop_silent = 0;  ///< bit i set: hops[i] never answers
+  bool loop_a_silent = false;
+  bool loop_b_silent = false;
+  bool host_answers = false;
 };
 
 class Topology {
@@ -95,6 +126,13 @@ class Topology {
   /// (persistently silent interfaces never do; some are silent to TCP only).
   bool interface_responds(std::uint32_t interface_ip,
                           std::uint8_t protocol) const noexcept;
+
+  /// Precomputes the per-hop interface_responds / host_responds answers for
+  /// a resolved route into a RouteSilence.  Equivalent to querying them
+  /// probe by probe — the route cache amortizes this over every TTL probed
+  /// toward the same (destination, flow, epoch).
+  void annotate_silence(const Route& route, std::uint8_t protocol,
+                        RouteSilence& out) const noexcept;
 
   // --- Metadata --------------------------------------------------------------
   const SimParams& params() const noexcept { return params_; }

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <random>
 #include <tuple>
 
 #include "net/checksum.h"
@@ -203,6 +204,62 @@ TEST(ProbeCodec, EncodeTcpMatchesYarrpConventions) {
   EXPECT_EQ(tcp->dst_port, 80);
   EXPECT_EQ(tcp->src_port, net::address_checksum(kTarget));
   EXPECT_EQ(tcp->seq, 5000u);  // elapsed ms in the sequence number
+}
+
+TEST(ProbeCodec, TemplatePatchingMatchesFullSerializationRandomized) {
+  // The codec serializes from a precomputed template, patching only the
+  // variable fields and updating the IP checksum incrementally (RFC 1624).
+  // Over randomized (destination, TTL, preprobe, timestamp, port offset),
+  // every emitted probe must carry a checksum indistinguishable from a full
+  // RFC 1071 recompute, and every header field must parse back exactly.
+  std::mt19937 rng(0xF1A5);
+  std::uniform_int_distribution<std::uint32_t> addr_dist;
+  std::uniform_int_distribution<int> ttl_dist(1, 32);
+  std::uniform_int_distribution<std::int64_t> ms_dist(0, 1'000'000);
+  std::array<std::byte, ProbeCodec::kMaxProbeSize> buf;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const net::Ipv4Address dst(addr_dist(rng));
+    const auto ttl = static_cast<std::uint8_t>(ttl_dist(rng));
+    const bool preprobe = (trial & 1) != 0;
+    const util::Nanos when = ms_dist(rng) * util::kMillisecond;
+    const ProbeCodec codec(kVantage, /*port_offset=*/trial % 4);
+
+    const bool tcp = trial % 3 == 0;
+    const std::size_t size =
+        tcp ? codec.encode_tcp(dst, ttl, when, buf)
+            : codec.encode_udp(dst, ttl, preprobe, when, buf);
+    ASSERT_GT(size, 0u);
+    const std::span<const std::byte> wire(buf.data(), size);
+    ASSERT_TRUE(net::verify_ipv4_checksum(wire))
+        << "trial " << trial << ": incremental checksum diverged from a "
+        << "full recompute";
+
+    net::ByteReader reader(wire);
+    const auto ip = net::Ipv4Header::parse(reader);
+    ASSERT_TRUE(ip);
+    EXPECT_EQ(ip->src, kVantage);
+    EXPECT_EQ(ip->dst, dst);
+    EXPECT_EQ(ip->ttl, ttl);
+    EXPECT_EQ(ip->total_length, size);
+    EXPECT_EQ(ip->protocol, tcp ? net::kProtoTcp : net::kProtoUdp);
+    const std::uint16_t expected_port = static_cast<std::uint16_t>(
+        net::address_checksum(dst) + trial % 4);
+    if (tcp) {
+      const auto l4 = net::TcpHeader::parse(reader);
+      ASSERT_TRUE(l4);
+      EXPECT_EQ(l4->src_port, expected_port);
+      EXPECT_EQ(l4->seq, static_cast<std::uint32_t>(when / util::kMillisecond));
+    } else {
+      const auto l4 = net::UdpHeader::parse(reader);
+      ASSERT_TRUE(l4);
+      EXPECT_EQ(l4->src_port, expected_port);
+      const auto ts =
+          static_cast<std::uint16_t>((when / util::kMillisecond) & 0xFFFF);
+      EXPECT_EQ(ip->id & 0x3FF, ts & 0x3FF);
+      EXPECT_EQ((ip->id >> 10) & 1, preprobe ? 1 : 0);
+      EXPECT_EQ(l4->length, net::UdpHeader::kSize + (ts >> 10));
+    }
+  }
 }
 
 TEST(ProbeCodec, EncodeFailsOnTinyBuffer) {

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <random>
 #include <vector>
 
 namespace flashroute::net {
@@ -52,6 +53,52 @@ TEST(Checksum, KnownIpv4HeaderValidates) {
              0xB8, 0x61, 0xC0, 0xA8, 0x00, 0x01, 0xC0, 0xA8, 0x00, 0xC7});
   // Summing a valid header including its checksum yields zero.
   EXPECT_EQ(internet_checksum(header), 0);
+}
+
+TEST(Checksum, IncrementalUpdateMatchesFullRecomputeRandomized) {
+  // RFC 1624 Eqn. 3: patching one 16-bit word of a checksummed header and
+  // applying incremental_checksum_update must equal recomputing the checksum
+  // from scratch.  Randomized over header contents, patch position, and new
+  // value; chained over several successive patches like the probe codec does.
+  std::mt19937 rng(0x1624);
+  std::uniform_int_distribution<unsigned> byte_dist(0, 255);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::array<std::byte, 20> header;
+    for (auto& b : header) b = std::byte(byte_dist(rng));
+    // Like a real IPv4 header, zero the checksum field and at least one
+    // word is nonzero (the version/IHL byte of a real header always is).
+    header[0] = std::byte{0x45};
+    header[10] = header[11] = std::byte{0};
+    std::uint16_t checksum = internet_checksum(header);
+
+    for (int patch = 0; patch < 4; ++patch) {
+      const std::size_t word = 2 * (byte_dist(rng) % 10);
+      if (word == 10) continue;  // never patch the checksum field itself
+      const std::uint16_t old_word =
+          static_cast<std::uint16_t>(std::to_integer<unsigned>(header[word])
+                                         << 8 |
+                                     std::to_integer<unsigned>(header[word + 1]));
+      const std::uint16_t new_word = static_cast<std::uint16_t>(
+          byte_dist(rng) << 8 | byte_dist(rng));
+      header[word] = std::byte(new_word >> 8);
+      header[word + 1] = std::byte(new_word & 0xFF);
+      checksum = incremental_checksum_update(checksum, old_word, new_word);
+      ASSERT_EQ(checksum, internet_checksum(header))
+          << "trial " << trial << " patch " << patch << " word " << word;
+    }
+  }
+}
+
+TEST(Checksum, IncrementalUpdateIdentityAndInverse) {
+  // Patching a word to itself is a no-op; patching there and back returns
+  // the original checksum (the folded sum of a nonzero header is a unique
+  // representative of its class mod 0xFFFF).
+  const auto data = bytes({0x45, 0x00, 0x00, 0x1c, 0xde, 0xad});
+  const std::uint16_t checksum = internet_checksum(data);
+  EXPECT_EQ(incremental_checksum_update(checksum, 0xDEAD, 0xDEAD), checksum);
+  const std::uint16_t patched =
+      incremental_checksum_update(checksum, 0xDEAD, 0xBEEF);
+  EXPECT_EQ(incremental_checksum_update(patched, 0xBEEF, 0xDEAD), checksum);
 }
 
 TEST(AddressChecksum, MatchesManualComputation) {
