@@ -4,6 +4,10 @@
 //  * probes/sec through SimNetwork::process_into with the route cache on
 //    (sim defaults) vs bypassed (route_cache_bits = 0, the pre-cache
 //    behaviour), plus the measured cache hit rate;
+//  * the same pipeline with scan telemetry enabled (DESIGN.md §7) vs the
+//    default-off telemetry, exercising the per-probe counter bump, the
+//    per-response histogram record and the tracer tick exactly as the
+//    engines do — the acceptance bar is <= 2% overhead;
 //  * probe encodes/sec through the template-patching ProbeCodec vs a
 //    reference encoder that serializes both headers from scratch and
 //    recomputes the RFC 1071 checksum per probe (what the codec used to do).
@@ -27,6 +31,9 @@
 #include "net/checksum.h"
 #include "net/headers.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
+#include "obs/scan_metrics.h"
+#include "obs/scan_tracer.h"
 #include "util/clock.h"
 
 namespace flashroute {
@@ -80,11 +87,19 @@ struct PipelineRun {
 
 /// Pushes `num_probes` probes (destination-major TTL sweeps over the whole
 /// universe, wrapping) through one SimNetwork via the zero-copy entry point.
+/// `telemetry` gets the same hooks the engines run per probe and per
+/// response (core/tracer.cc send_probe/on_packet); the default disabled
+/// handle measures the off cost (one predicted branch per hook).
 PipelineRun run_pipeline(const sim::Topology& topology,
                          const core::ProbeCodec& codec,
-                         std::uint64_t num_probes) {
+                         std::uint64_t num_probes,
+                         const obs::ScanTelemetry& telemetry_in = {}) {
   sim::SimNetwork network(topology);
   const sim::SimParams& params = topology.params();
+  // Local by-value copy: nothing else holds its address, so the compiler can
+  // keep the lane/tracer pointers in registers across the opaque
+  // process_into call instead of reloading them every probe.
+  const obs::ScanTelemetry telemetry = telemetry_in;
 
   std::array<std::byte, core::ProbeCodec::kMaxProbeSize> probe;
   std::array<std::byte, net::kMaxResponseSize> response;
@@ -100,10 +115,18 @@ PipelineRun run_pipeline(const sim::Topology& topology,
       const net::Ipv4Address dst(((params.first_prefix + block) << 8) | 0x64);
       for (std::uint8_t ttl = 1; ttl <= kMaxTtl && sent < num_probes; ++ttl) {
         const std::size_t size = codec.encode_udp(dst, ttl, false, when, probe);
+        telemetry.count(telemetry.ids.probes_sent);
+        if (telemetry.tracer != nullptr) telemetry.tick(when);
         if (network.process_into(
                 std::span<const std::byte>(probe.data(), size), when,
                 response)) {
           ++delivered;
+          if (telemetry.enabled()) {
+            telemetry.count(telemetry.ids.responses);
+            telemetry.sample(telemetry.ids.rtt_us,
+                             static_cast<std::uint64_t>(ttl) * 10);
+            telemetry.tick(when);
+          }
         }
         when += 1000;  // 1 µs per probe (1 Mpps virtual send rate)
         ++sent;
@@ -232,6 +255,46 @@ int main() {
     return 1;
   }
 
+  // --- process(): telemetry on vs off ---------------------------------------
+  // The on pass wires a lane + tracer exactly as the CLI does and pays the
+  // real per-probe hooks; the off pass carries the default (disabled)
+  // telemetry handle through the same code path.  Passes are interleaved and
+  // the best of two is kept to damp scheduler noise.
+  obs::MetricsRegistry metrics_registry;
+  obs::ScanTelemetry telemetry_on;
+  telemetry_on.registry = &metrics_registry;
+  telemetry_on.ids = obs::register_scan_metrics(metrics_registry);
+  metrics_registry.freeze(1);
+  obs::ScanTracer scan_tracer(metrics_registry, 100 * util::kMillisecond);
+  telemetry_on.tracer = &scan_tracer;
+  telemetry_on.lane = metrics_registry.lane(0);
+  telemetry_on.lane_id = 0;
+  scan_tracer.begin_phase(0, obs::ScanPhase::kMain, 0);
+
+  PipelineRun metrics_off;
+  PipelineRun metrics_on;
+  for (int pass = 0; pass < 3; ++pass) {
+    const PipelineRun off = run_pipeline(cached_topology, codec, num_probes);
+    if (pass == 0 || off.pps() > metrics_off.pps()) metrics_off = off;
+    const PipelineRun on =
+        run_pipeline(cached_topology, codec, num_probes, telemetry_on);
+    if (pass == 0 || on.pps() > metrics_on.pps()) metrics_on = on;
+  }
+  const double metrics_overhead_pct =
+      100.0 * (1.0 - metrics_on.pps() / metrics_off.pps());
+
+  std::printf("process_into, telemetry off  : %11.0f probes/s\n",
+              metrics_off.pps());
+  std::printf("process_into, telemetry on   : %11.0f probes/s\n",
+              metrics_on.pps());
+  std::printf("telemetry overhead           : %.2f%%\n\n",
+              metrics_overhead_pct);
+  if (telemetry_on.lane.counter(telemetry_on.ids.probes_sent) <
+      2 * num_probes) {
+    std::fprintf(stderr, "telemetry counters were not exercised\n");
+    return 1;
+  }
+
   // --- encode: template patching vs full serialization ---------------------
   const EncodeRun tmpl = run_encode(
       params, num_probes,
@@ -269,6 +332,9 @@ int main() {
       "  \"process_speedup\": %.3f,\n"
       "  \"route_cache_hit_rate\": %.4f,\n"
       "  \"responses_per_pass\": %llu,\n"
+      "  \"process_metrics_off_pps\": %.1f,\n"
+      "  \"process_metrics_on_pps\": %.1f,\n"
+      "  \"metrics_overhead_pct\": %.2f,\n"
       "  \"encode_template_pps\": %.1f,\n"
       "  \"encode_reference_pps\": %.1f,\n"
       "  \"encode_speedup\": %.3f\n"
@@ -276,8 +342,9 @@ int main() {
       params.prefix_bits, static_cast<unsigned long long>(params.seed),
       static_cast<unsigned long long>(num_probes), cached.pps(),
       bypassed.pps(), process_speedup, cached.hit_rate,
-      static_cast<unsigned long long>(cached.responses), tmpl.pps(),
-      reference.pps(), encode_speedup);
+      static_cast<unsigned long long>(cached.responses), metrics_off.pps(),
+      metrics_on.pps(), metrics_overhead_pct, tmpl.pps(), reference.pps(),
+      encode_speedup);
   std::fclose(out);
   std::printf("\nwrote %s\n", path);
   return 0;

@@ -30,6 +30,10 @@
 #include "io/pcap.h"
 #include "io/scan_archive.h"
 #include "net/raw/raw_socket_transport.h"
+#include "obs/metrics.h"
+#include "obs/scan_metrics.h"
+#include "obs/scan_tracer.h"
+#include "obs/snapshot_exporter.h"
 #include "sim/network.h"
 #include "sim/runtime.h"
 #include "sim/topology.h"
@@ -62,6 +66,8 @@ struct CliOptions {
   std::string exclusion_file;
   std::string targets_file;
   std::string pcap_file;  // capture all probes and responses
+  std::string metrics_file;         // JSONL telemetry stream (DESIGN.md §7)
+  double metrics_interval_ms = 1000;  // snapshot cadence, virtual ms
   bool help = false;
 };
 
@@ -93,6 +99,12 @@ void print_usage() {
       "  --exclude=FILE           CIDR opt-out list (one entry per line)\n"
       "  --targets=FILE           target list, one address per /24 (Sec 3.4)\n"
       "  --pcap=FILE              capture all probes/responses (pcap, raw IP)\n"
+      "  --metrics-out=FILE       stream scan telemetry to FILE as JSONL:\n"
+      "                           per-interval counter deltas and gauges,\n"
+      "                           then one summary record (see DESIGN.md §7;\n"
+      "                           deterministic for sim scans)\n"
+      "  --metrics-interval=MS    telemetry snapshot cadence in (virtual)\n"
+      "                           milliseconds (default 1000)\n"
       "  --help                   this text");
 }
 
@@ -149,6 +161,10 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       options.targets_file = *v;
     } else if (auto v = value_of("--pcap")) {
       options.pcap_file = *v;
+    } else if (auto v = value_of("--metrics-out")) {
+      options.metrics_file = *v;
+    } else if (auto v = value_of("--metrics-interval")) {
+      options.metrics_interval_ms = std::stod(*v);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return std::nullopt;
@@ -236,6 +252,7 @@ int main(int argc, char** argv) {
   std::unique_ptr<core::ScanRuntime> runtime;
   std::unique_ptr<sim::Topology> topology;
   std::unique_ptr<sim::SimNetwork> network;
+  sim::SimScanRuntime* sim_runtime = nullptr;  // for gauge registration
   std::vector<std::uint32_t> hitlist;
 
   if (options->backend == "sim") {
@@ -251,7 +268,9 @@ int main(int argc, char** argv) {
             : sim::scaled_probe_rate(100'000.0, options->prefix_bits);
     config.probes_per_second = pps;
     config.vantage = net::Ipv4Address(params.vantage_address);
-    runtime = std::make_unique<sim::SimScanRuntime>(*network, pps);
+    auto sim_rt = std::make_unique<sim::SimScanRuntime>(*network, pps);
+    sim_runtime = sim_rt.get();
+    runtime = std::move(sim_rt);
     if (config.preprobe == core::PreprobeMode::kHitlist) {
       hitlist = topology->generate_hitlist();
       config.hitlist = &hitlist;
@@ -339,6 +358,19 @@ int main(int argc, char** argv) {
     active_runtime = capturing.get();
   }
 
+  // Telemetry (DESIGN.md §7): counters/histograms register before freeze;
+  // the lane count is 1 for a classic scan and the logical shard count for
+  // a sharded one, fixed below once the decomposition is known.
+  obs::MetricsRegistry metrics_registry;
+  std::unique_ptr<obs::ScanTracer> scan_tracer;
+  const bool metrics_on = !options->metrics_file.empty();
+  const auto metrics_interval = static_cast<util::Nanos>(
+      options->metrics_interval_ms * static_cast<double>(util::kMillisecond));
+  if (metrics_on) {
+    config.telemetry.registry = &metrics_registry;
+    config.telemetry.ids = obs::register_scan_metrics(metrics_registry);
+  }
+
   std::unique_ptr<core::Tracer> tracer;
   std::unique_ptr<core::ShardedTracer> sharded_tracer;
   std::unique_ptr<sim::SimShardRuntimeProvider> shard_provider;
@@ -353,6 +385,15 @@ int main(int argc, char** argv) {
     sharded_config.shard_prefix_bits = std::max(config.prefix_bits - 3, 0);
     shard_provider = std::make_unique<sim::SimShardRuntimeProvider>(
         *topology, sharded_config);
+    if (metrics_on) {
+      metrics_registry.freeze(sharded_config.num_shards());
+      scan_tracer = std::make_unique<obs::ScanTracer>(metrics_registry,
+                                                      metrics_interval);
+      sharded_config.base.telemetry.tracer = scan_tracer.get();
+      // Shard i's counters and gauges both land on lane i (the per-shard
+      // lane itself is assigned inside ShardedTracer::shard_config).
+      shard_provider->register_gauges(metrics_registry);
+    }
     sharded_tracer = std::make_unique<core::ShardedTracer>(sharded_config,
                                                            *shard_provider);
     std::printf("sharded scan: %d logical shards on %d workers\n",
@@ -360,11 +401,34 @@ int main(int argc, char** argv) {
                 std::min(options->shards, sharded_config.num_shards()));
     result = sharded_tracer->run();
   } else {
+    if (metrics_on) {
+      metrics_registry.freeze(1);
+      scan_tracer = std::make_unique<obs::ScanTracer>(metrics_registry,
+                                                      metrics_interval);
+      config.telemetry.tracer = scan_tracer.get();
+      config.telemetry.lane = metrics_registry.lane(0);
+      config.telemetry.lane_id = 0;
+      if (sim_runtime != nullptr) {
+        sim_runtime->register_gauges(metrics_registry, 0);
+      }
+    }
     tracer = std::make_unique<core::Tracer>(config, *active_runtime);
     result = tracer->run();
   }
   if (capturing) {
     std::printf("capture written to %s\n", options->pcap_file.c_str());
+  }
+
+  if (metrics_on) {
+    std::ofstream mout(options->metrics_file);
+    if (!mout) {
+      std::fprintf(stderr, "cannot write %s\n", options->metrics_file.c_str());
+      return 1;
+    }
+    obs::SnapshotExporter exporter(mout);
+    exporter.write_intervals(*scan_tracer, metrics_registry);
+    exporter.write_summary(*scan_tracer, metrics_registry, result.scan_time);
+    std::printf("metrics written to %s\n", options->metrics_file.c_str());
   }
 
   std::printf("scan complete: %zu interfaces, %s probes, %s%s\n",

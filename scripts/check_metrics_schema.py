@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Validates a FlashRoute telemetry JSONL stream (DESIGN.md §7).
+
+Usage: check_metrics_schema.py METRICS.jsonl
+
+Checks, using only the standard library:
+  * every line is a standalone JSON object with "type" of "interval" or
+    "summary";
+  * exactly one summary record exists and it is the last line;
+  * interval records carry lane (int >= 0), t_ns (int >= 0), phase (one of
+    the exported phase names), deltas (str -> non-negative int, zero deltas
+    omitted) and gauges (str -> number);
+  * per lane, interval timestamps are strictly increasing;
+  * the summary's lane count covers every lane seen in the intervals;
+  * summary histograms are log2-bucketed: bucket indices in [0, 65), counts
+    positive, bucket counts summing to the histogram's total;
+  * for every counter, the sum of interval deltas equals the summary total
+    (the stream is self-consistent, not two unrelated exports).
+
+Exit status 0 on success; 1 with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+PHASES = {"init", "preprobe", "main", "extra", "done"}
+LOG2_BUCKETS = 65
+
+
+def fail(line_no, message):
+    print(f"check_metrics_schema: line {line_no}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_interval(line_no, record, last_t_by_lane, delta_sums):
+    lane = record.get("lane")
+    if not isinstance(lane, int) or lane < 0:
+        fail(line_no, f"bad lane: {lane!r}")
+    t_ns = record.get("t_ns")
+    if not isinstance(t_ns, int) or t_ns < 0:
+        fail(line_no, f"bad t_ns: {t_ns!r}")
+    if lane in last_t_by_lane and t_ns <= last_t_by_lane[lane]:
+        fail(line_no,
+             f"lane {lane} t_ns {t_ns} not after {last_t_by_lane[lane]}")
+    last_t_by_lane[lane] = t_ns
+    phase = record.get("phase")
+    if phase not in PHASES:
+        fail(line_no, f"bad phase: {phase!r}")
+    deltas = record.get("deltas")
+    if not isinstance(deltas, dict):
+        fail(line_no, "deltas is not an object")
+    for name, value in deltas.items():
+        if not isinstance(value, int) or value <= 0:
+            fail(line_no, f"delta {name!r} must be a positive int: {value!r}")
+        delta_sums[name] = delta_sums.get(name, 0) + value
+    gauges = record.get("gauges")
+    if not isinstance(gauges, dict):
+        fail(line_no, "gauges is not an object")
+    for name, value in gauges.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(line_no, f"gauge {name!r} is not a number: {value!r}")
+
+
+def check_summary(line_no, record, last_t_by_lane, delta_sums):
+    lanes = record.get("lanes")
+    if not isinstance(lanes, int) or lanes < 1:
+        fail(line_no, f"bad lanes: {lanes!r}")
+    if last_t_by_lane and max(last_t_by_lane) >= lanes:
+        fail(line_no,
+             f"interval lane {max(last_t_by_lane)} >= summary lanes {lanes}")
+    for field in ("scan_time_ns", "interval_ns"):
+        if not isinstance(record.get(field), int):
+            fail(line_no, f"bad {field}: {record.get(field)!r}")
+
+    phases = record.get("phases")
+    if not isinstance(phases, list) or not phases:
+        fail(line_no, "phases must be a non-empty array")
+    for entry in phases:
+        if (not isinstance(entry, dict) or entry.get("phase") not in PHASES
+                or not isinstance(entry.get("t_ns"), int)
+                or not isinstance(entry.get("lane"), int)):
+            fail(line_no, f"bad phase transition: {entry!r}")
+
+    counters = record.get("counters")
+    if not isinstance(counters, dict) or not counters:
+        fail(line_no, "counters must be a non-empty object")
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            fail(line_no, f"counter {name!r} must be a non-negative int")
+    # Interval deltas must reconcile with the summary totals: phase-boundary
+    # and finish() captures flush every lane's tail, so nothing is lost.
+    for name, total in delta_sums.items():
+        if counters.get(name) != total:
+            fail(line_no, f"counter {name!r}: summary {counters.get(name)} "
+                          f"!= sum of interval deltas {total}")
+
+    histograms = record.get("histograms")
+    if not isinstance(histograms, dict):
+        fail(line_no, "histograms is not an object")
+    for name, hist in histograms.items():
+        if not isinstance(hist, dict):
+            fail(line_no, f"histogram {name!r} is not an object")
+        total = hist.get("total")
+        buckets = hist.get("buckets")
+        if not isinstance(total, int) or total < 0:
+            fail(line_no, f"histogram {name!r} bad total: {total!r}")
+        if not isinstance(buckets, list):
+            fail(line_no, f"histogram {name!r} buckets is not an array")
+        seen = set()
+        bucket_sum = 0
+        for pair in buckets:
+            if (not isinstance(pair, list) or len(pair) != 2
+                    or not isinstance(pair[0], int)
+                    or not isinstance(pair[1], int)):
+                fail(line_no, f"histogram {name!r} bad bucket: {pair!r}")
+            index, count = pair
+            if not 0 <= index < LOG2_BUCKETS:
+                fail(line_no, f"histogram {name!r} bucket {index} out of "
+                              f"range [0, {LOG2_BUCKETS})")
+            if index in seen:
+                fail(line_no, f"histogram {name!r} duplicate bucket {index}")
+            seen.add(index)
+            if count <= 0:
+                fail(line_no, f"histogram {name!r} bucket {index} "
+                              f"non-positive count {count}")
+            bucket_sum += count
+        if bucket_sum != total:
+            fail(line_no, f"histogram {name!r} buckets sum to {bucket_sum}, "
+                          f"total says {total}")
+
+    gauges = record.get("gauges")
+    if not isinstance(gauges, list):
+        fail(line_no, "summary gauges is not an array")
+    for entry in gauges:
+        if (not isinstance(entry, dict)
+                or not isinstance(entry.get("lane"), int)
+                or not isinstance(entry.get("name"), str)
+                or not isinstance(entry.get("value"), (int, float))):
+            fail(line_no, f"bad gauge entry: {entry!r}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    last_t_by_lane = {}
+    delta_sums = {}
+    intervals = 0
+    summary_line = None
+
+    with open(sys.argv[1], encoding="utf-8") as stream:
+        for line_no, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                fail(line_no, "blank line in JSONL stream")
+            if summary_line is not None:
+                fail(line_no, f"record after the summary (line {summary_line})")
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(line_no, f"invalid JSON: {error}")
+            if not isinstance(record, dict):
+                fail(line_no, "record is not a JSON object")
+            kind = record.get("type")
+            if kind == "interval":
+                intervals += 1
+                check_interval(line_no, record, last_t_by_lane, delta_sums)
+            elif kind == "summary":
+                summary_line = line_no
+                check_summary(line_no, record, last_t_by_lane, delta_sums)
+            else:
+                fail(line_no, f"unknown record type: {kind!r}")
+
+    if summary_line is None:
+        fail(0, "stream has no summary record")
+    print(f"check_metrics_schema: OK — {intervals} interval record(s) across "
+          f"{len(last_t_by_lane)} lane(s), summary on line {summary_line}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

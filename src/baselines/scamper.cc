@@ -56,6 +56,9 @@ void Scamper::send_probe(std::uint32_t index, TraceState& state) {
   if (size == 0) return;
   runtime_.send(std::span<const std::byte>(buffer.data(), size));
   ++result_.probes_sent;
+  const obs::ScanTelemetry& tel = config_.telemetry;
+  tel.count(tel.ids.probes_sent);
+  if (tel.tracer != nullptr) tel.tick(runtime_.now());
   if (config_.collect_probe_log) {
     result_.probe_log.push_back(
         {runtime_.now(), state.destination, state.ttl});
@@ -130,7 +133,10 @@ void Scamper::advance_backward(TraceState& state, bool responded,
     // the flat 14..6 section of Fig 7's blue curve.
     if (stop) {
       state.phase = Phase::kDone;
-      if (known && t > 1) ++result_.convergence_stops;
+      if (known && t > 1) {
+        ++result_.convergence_stops;
+        config_.telemetry.count(config_.telemetry.ids.convergence_stops);
+      }
       return;
     }
   } else {
@@ -151,6 +157,7 @@ core::ScanResult Scamper::run() {
   admit_cursor_ = 0;
 
   const util::Nanos start = runtime_.now();
+  config_.telemetry.begin_phase(obs::ScanPhase::kMain, start);
   admit_next();
 
   while (!active_.empty()) {
@@ -196,18 +203,21 @@ core::ScanResult Scamper::run() {
 
   runtime_.idle_until(runtime_.now() + util::kSecond, sink_);
   result_.scan_time = runtime_.now() - start;
+  config_.telemetry.finish(runtime_.now());
   permutation_ = nullptr;
   return result_;
 }
 
 void Scamper::on_packet(std::span<const std::byte> packet,
-                        util::Nanos /*arrival*/) {
+                        util::Nanos arrival) {
   const auto parsed = net::parse_response(packet);
   if (!parsed || !parsed->is_icmp) return;
   const auto probe = codec_.decode(*parsed);
   if (!probe) return;
+  const obs::ScanTelemetry& tel = config_.telemetry;
   if (!probe->source_port_matches) {
     ++result_.mismatches;
+    tel.count(tel.ids.mismatches);
     return;
   }
   const std::uint32_t prefix = probe->destination.value() >> 8;
@@ -217,6 +227,14 @@ void Scamper::on_packet(std::span<const std::byte> packet,
   }
   const std::uint32_t index = prefix - config_.first_prefix;
   ++result_.responses;
+  if (tel.enabled()) {
+    tel.count(tel.ids.responses);
+    const util::Nanos rtt = core::ProbeCodec::rtt(*probe, arrival);
+    tel.sample(tel.ids.rtt_us,
+               static_cast<std::uint64_t>(std::max<util::Nanos>(rtt, 0)) /
+                   1000);
+    tel.tick(arrival);
+  }
 
   const bool reached = parsed->is_destination_unreachable();
   const bool was_known =
@@ -224,7 +242,12 @@ void Scamper::on_packet(std::span<const std::byte> packet,
 
   // Record the hop regardless of whether the trace still awaits it.
   if (parsed->is_time_exceeded()) {
-    result_.interfaces.insert(parsed->responder.value());
+    const bool is_new =
+        result_.interfaces.insert(parsed->responder.value()).second;
+    if (is_new) {
+      tel.count(tel.ids.interfaces_discovered);
+      tel.sample(tel.ids.hop_distance, probe->initial_ttl);
+    }
     if (config_.collect_routes) {
       result_.routes[index].push_back(
           {parsed->responder.value(), probe->initial_ttl, 0});
@@ -243,6 +266,7 @@ void Scamper::on_packet(std::span<const std::byte> packet,
         clamped < result_.destination_distance[index]) {
       if (result_.destination_distance[index] == 0) {
         ++result_.destinations_reached;
+        tel.count(tel.ids.destinations_reached);
       }
       result_.destination_distance[index] = clamped;
     }

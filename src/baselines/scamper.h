@@ -28,6 +28,7 @@
 #include "core/result.h"
 #include "core/runtime.h"
 #include "net/ipv4.h"
+#include "obs/scan_metrics.h"
 #include "util/permutation.h"
 
 namespace flashroute::baselines {
@@ -55,6 +56,10 @@ struct ScamperConfig {
   bool collect_routes = true;
   bool collect_probe_log = false;
   const std::vector<std::uint32_t>* target_override = nullptr;
+
+  /// Scan telemetry (DESIGN.md §7); default-disabled.  Scamper's windowed
+  /// state machine is a single phase, reported as kMain.
+  obs::ScanTelemetry telemetry;
 
   std::uint32_t num_prefixes() const noexcept {
     return std::uint32_t{1} << prefix_bits;

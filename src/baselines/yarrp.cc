@@ -39,6 +39,9 @@ void Yarrp::send_probe(std::uint32_t destination, std::uint8_t ttl) {
   if (size == 0) return;
   runtime_.send(std::span<const std::byte>(buffer.data(), size));
   ++result_.probes_sent;
+  const obs::ScanTelemetry& tel = config_.telemetry;
+  tel.count(tel.ids.probes_sent);
+  if (tel.tracer != nullptr) tel.tick(runtime_.now());
   if (config_.collect_probe_log) {
     result_.probe_log.push_back({runtime_.now(), destination, ttl});
   }
@@ -55,6 +58,7 @@ core::ScanResult Yarrp::run() {
       static_cast<std::size_t>(config_.protected_hops) + 1, runtime_.now());
 
   const util::Nanos start = runtime_.now();
+  config_.telemetry.begin_phase(obs::ScanPhase::kMain, start);
 
   // The ZMap-inspired walk: a keyed bijection over every (prefix, TTL)
   // combination, generated on the fly — no target list in memory (§2).
@@ -89,6 +93,7 @@ core::ScanResult Yarrp::run() {
   }
 
   result_.scan_time = runtime_.now() - start;
+  config_.telemetry.finish(runtime_.now());
   return result_;
 }
 
@@ -102,9 +107,10 @@ void Yarrp::flush_fill_queue() {
 }
 
 void Yarrp::on_packet(std::span<const std::byte> packet,
-                      util::Nanos /*arrival*/) {
+                      util::Nanos arrival) {
   const auto parsed = net::parse_response(packet);
   if (!parsed) return;
+  const obs::ScanTelemetry& tel = config_.telemetry;
 
   if (parsed->is_tcp_rst) {
     // The destination answered our TCP-ACK with a RST: route endpoint.
@@ -119,10 +125,15 @@ void Yarrp::on_packet(std::span<const std::byte> packet,
     if (parsed->tcp_dst_port !=
         net::address_checksum(net::Ipv4Address(responder))) {
       ++result_.mismatches;
+      tel.count(tel.ids.mismatches);
       return;
     }
     const std::uint32_t index = prefix - config_.first_prefix;
     ++result_.responses;
+    if (tel.enabled()) {
+      tel.count(tel.ids.responses);
+      tel.tick(arrival);
+    }
     if (config_.collect_routes) {
       result_.routes[index].push_back(
           {responder, 0, core::RouteHop::kFromDestination});
@@ -130,6 +141,7 @@ void Yarrp::on_packet(std::span<const std::byte> packet,
     if (!dest_done_[index]) {
       dest_done_[index] = true;
       ++result_.destinations_reached;
+      tel.count(tel.ids.destinations_reached);
     }
     return;
   }
@@ -138,6 +150,7 @@ void Yarrp::on_packet(std::span<const std::byte> packet,
   if (!probe) return;
   if (!probe->source_port_matches) {
     ++result_.mismatches;
+    tel.count(tel.ids.mismatches);
     return;
   }
   const std::uint32_t prefix = probe->destination.value() >> 8;
@@ -147,11 +160,23 @@ void Yarrp::on_packet(std::span<const std::byte> packet,
   }
   const std::uint32_t index = prefix - config_.first_prefix;
   ++result_.responses;
+  if (tel.enabled()) {
+    tel.count(tel.ids.responses);
+    const util::Nanos rtt = core::ProbeCodec::rtt(*probe, arrival);
+    tel.sample(tel.ids.rtt_us,
+               static_cast<std::uint64_t>(std::max<util::Nanos>(rtt, 0)) /
+                   1000);
+    tel.tick(arrival);
+  }
 
   if (parsed->is_time_exceeded()) {
     const std::uint8_t ttl = probe->initial_ttl;
     const bool is_new =
         result_.interfaces.insert(parsed->responder.value()).second;
+    if (is_new) {
+      tel.count(tel.ids.interfaces_discovered);
+      tel.sample(tel.ids.hop_distance, ttl);
+    }
     if (config_.collect_routes) {
       result_.routes[index].push_back({parsed->responder.value(), ttl, 0});
     }
@@ -190,6 +215,7 @@ void Yarrp::on_packet(std::span<const std::byte> packet,
     if (!dest_done_[index]) {
       dest_done_[index] = true;
       ++result_.destinations_reached;
+      tel.count(tel.ids.destinations_reached);
     }
   }
 }

@@ -76,6 +76,14 @@ TracerConfig ShardedTracer::shard_config(const ShardInfo& shard) const {
   cfg.hitlist = shard_hitlists_.empty() ? nullptr : &shard_hitlists_[i];
   cfg.target_override =
       shard_targets_.empty() ? nullptr : &shard_targets_[i];
+  // Telemetry: shard i writes metric lane i — single writer per lane (a
+  // shard runs start-to-finish on one worker), cache-line-isolated from its
+  // neighbours, merged only at snapshot time.  The base config's registry /
+  // tracer must have been frozen for num_shards() lanes.
+  if (cfg.telemetry.registry != nullptr) {
+    cfg.telemetry.lane = cfg.telemetry.registry->lane(shard.index);
+    cfg.telemetry.lane_id = shard.index;
+  }
   return cfg;
 }
 

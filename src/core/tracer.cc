@@ -68,11 +68,13 @@ ScanResult Tracer::run() {
   const util::Nanos start = runtime_.now();
 
   if (config_.preprobe != PreprobeMode::kNone && !fold_mode()) {
+    config_.telemetry.begin_phase(obs::ScanPhase::kPreprobe, runtime_.now());
     preprobe_phase();
     predict_distances();
   }
   if (config_.preprobe_only) {
     result_.scan_time = runtime_.now() - start;
+    config_.telemetry.finish(runtime_.now());
     return result_;
   }
   initialize_dcbs();
@@ -80,11 +82,16 @@ ScanResult Tracer::run() {
   // In fold mode the preprobe *is* round one: the first round's TTL-32
   // backward probes carry the preprobe bit, so their responses both build
   // topology and measure distances (§3.3.5).
+  config_.telemetry.begin_phase(obs::ScanPhase::kMain, runtime_.now());
   main_rounds(codec_, fold_mode(), 0);
 
-  if (config_.extra_scans > 0) run_extra_scans();
+  if (config_.extra_scans > 0) {
+    config_.telemetry.begin_phase(obs::ScanPhase::kExtra, runtime_.now());
+    run_extra_scans();
+  }
 
   result_.scan_time = runtime_.now() - start;
+  config_.telemetry.finish(runtime_.now());
   return result_;
 }
 
@@ -97,6 +104,10 @@ void Tracer::send_probe(const ProbeCodec& codec, std::uint32_t destination,
   if (size == 0) return;
   runtime_.send(std::span<const std::byte>(buffer.data(), size));
   ++result_.probes_sent;
+  const obs::ScanTelemetry& tel = config_.telemetry;
+  tel.count(tel.ids.probes_sent);
+  // Guarded so the disabled path never pays the runtime_.now() call.
+  if (tel.tracer != nullptr) tel.tick(runtime_.now());
   if (config_.collect_probe_log) {
     result_.probe_log.push_back(
         {runtime_.now(), destination, ttl, preprobe_flag && !fold_mode()});
@@ -117,6 +128,7 @@ void Tracer::preprobe_phase() {
     }
     send_probe(codec_, target, config_.max_ttl, /*preprobe_flag=*/true);
     ++result_.preprobe_probes;
+    config_.telemetry.count(config_.telemetry.ids.preprobe_probes);
     runtime_.drain(sink_);
   }
   // Allow in-flight preprobe responses to land before splitting routes.
@@ -187,6 +199,9 @@ void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
       std::uint8_t backward_ttl = 0;
       std::uint8_t forward_ttl = 0;
       bool done = false;
+      bool dest_reached = false;
+      std::uint8_t last_forward = 0;
+      std::uint8_t horizon = 0;
       {
         const std::lock_guard guard(dcb.lock);
         const bool forward_active =
@@ -195,6 +210,12 @@ void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
             dcb.next_forward_hop <= config_.max_ttl;
         if (dcb.next_backward_hop == 0 && !forward_active) {
           done = true;
+          dest_reached = (dcb.flags & Dcb::kDestReached) != 0;
+          last_forward = dcb.next_forward_hop > 0
+                             ? static_cast<std::uint8_t>(dcb.next_forward_hop -
+                                                         1)
+                             : std::uint8_t{0};
+          horizon = dcb.forward_horizon;
         } else {
           if (dcb.next_backward_hop > 0) {
             backward_ttl = dcb.next_backward_hop--;
@@ -205,6 +226,19 @@ void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
         }
       }
       if (done) {
+        // Gap-run length (§3.2): how many trailing forward probes went
+        // unanswered before the gap limit retired this destination.  Only
+        // main-scan DCBs that were forward-probing and never reached the
+        // destination have a meaningful run.
+        const obs::ScanTelemetry& tel = config_.telemetry;
+        if (tel.enabled() && current_hop_flags_ == 0 &&
+            config_.forward_probing && !dest_reached && horizon > 0) {
+          const int run = static_cast<int>(last_forward) -
+                          (static_cast<int>(horizon) - config_.gap_limit);
+          if (run > 0) {
+            tel.sample(tel.ids.gap_run, static_cast<std::uint64_t>(run));
+          }
+        }
         dcbs_.remove(current);
         current = next;
         continue;
@@ -310,15 +344,17 @@ void Tracer::run_extra_scans() {
 }
 
 void Tracer::on_packet(std::span<const std::byte> packet,
-                       util::Nanos /*arrival*/) {
+                       util::Nanos arrival) {
   const auto parsed = net::parse_response(packet);
   if (!parsed || !parsed->is_icmp) return;
   const auto probe = active_codec_->decode(*parsed);
   if (!probe) return;
+  const obs::ScanTelemetry& tel = config_.telemetry;
   if (!probe->source_port_matches) {
     // The quoted destination no longer matches the checksum carried in the
     // source port: the address was modified in flight (§5.3).  Drop it.
     ++result_.mismatches;
+    tel.count(tel.ids.mismatches);
     return;
   }
   const std::uint32_t prefix = probe->destination.value() >> 8;
@@ -328,6 +364,14 @@ void Tracer::on_packet(std::span<const std::byte> packet,
   }
   const std::uint32_t index = prefix - config_.first_prefix;
   ++result_.responses;
+  if (tel.enabled()) {
+    tel.count(tel.ids.responses);
+    const util::Nanos rtt = ProbeCodec::rtt(*probe, arrival);
+    tel.sample(tel.ids.rtt_us,
+               static_cast<std::uint64_t>(std::max<util::Nanos>(rtt, 0)) /
+                   1000);
+    tel.tick(arrival);
+  }
 
   if (probe->preprobe && !fold_mode()) {
     handle_preprobe_response(index, *parsed, *probe);
@@ -342,7 +386,12 @@ void Tracer::record_hop(std::uint32_t index, std::uint32_t ip,
   // populate the Doubletree stop set); destination responses are tracked
   // separately as reached targets.
   if ((flags & RouteHop::kFromDestination) == 0) {
-    result_.interfaces.insert(ip);
+    const bool is_new = result_.interfaces.insert(ip).second;
+    if (is_new) {
+      const obs::ScanTelemetry& tel = config_.telemetry;
+      tel.count(tel.ids.interfaces_discovered);
+      tel.sample(tel.ids.hop_distance, ttl);
+    }
   }
   if (config_.collect_routes) {
     result_.routes[index].push_back({ip, ttl, flags});
@@ -400,6 +449,7 @@ void Tracer::handle_main_response(std::uint32_t index,
       } else if (config_.redundancy_removal && was_known) {
         dcb.next_backward_hop = 0;
         ++result_.convergence_stops;
+        config_.telemetry.count(config_.telemetry.ids.convergence_stops);
       }
     }
     return;
@@ -432,6 +482,7 @@ void Tracer::handle_main_response(std::uint32_t index,
   if ((dcb.flags & Dcb::kDestReached) == 0) {
     dcb.flags |= Dcb::kDestReached;  // stops forward probing (§3.2)
     ++result_.destinations_reached;
+    config_.telemetry.count(config_.telemetry.ids.destinations_reached);
   }
   if (probe.preprobe && fold_mode()) {
     // §3.3.5: the folded first round measured the distance — jump backward

@@ -35,6 +35,7 @@
 #include "core/result.h"
 #include "core/runtime.h"
 #include "net/ipv4.h"
+#include "obs/scan_metrics.h"
 
 namespace flashroute::core {
 
@@ -115,6 +116,11 @@ struct TracerConfig {
   /// an excluded range is removed from the scan alongside the built-in
   /// private/multicast/reserved exclusions.
   const ExclusionList* exclusions = nullptr;
+
+  /// Scan telemetry (DESIGN.md §7).  Default-disabled: every hook in the
+  /// hot path is then a single branch, no atomics.  The registry, tracer
+  /// and lane referenced here must outlive the scan.
+  obs::ScanTelemetry telemetry;
 
   std::uint32_t num_prefixes() const noexcept {
     return std::uint32_t{1} << prefix_bits;

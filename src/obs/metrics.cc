@@ -1,0 +1,99 @@
+#include "obs/metrics.h"
+
+#include <cassert>
+#include <utility>
+
+namespace flashroute::obs {
+
+CounterId MetricsRegistry::add_counter(std::string name) {
+  assert(!frozen() && "add_counter after freeze()");
+  counter_names_.push_back(std::move(name));
+  return static_cast<CounterId>(counter_names_.size() - 1);
+}
+
+HistogramId MetricsRegistry::add_histogram(std::string name) {
+  assert(!frozen() && "add_histogram after freeze()");
+  histogram_names_.push_back(std::move(name));
+  return static_cast<HistogramId>(histogram_names_.size() - 1);
+}
+
+void MetricsRegistry::add_gauge(std::string name, int lane,
+                                std::function<double()> sample) {
+  gauges_.push_back({std::move(name), lane, std::move(sample)});
+}
+
+void MetricsRegistry::freeze(int num_lanes) {
+  assert(!frozen() && "freeze() called twice");
+  assert(num_lanes > 0);
+  num_lanes_ = num_lanes;
+  hist_base_ = static_cast<std::uint32_t>(counter_names_.size());
+  const std::uint32_t cells_per_lane =
+      hist_base_ + static_cast<std::uint32_t>(histogram_names_.size()) *
+                       util::Log2Histogram::kBuckets;
+  // Round the lane up to whole cache-line blocks so adjacent lanes never
+  // share a line; at least one block even for an empty registry.
+  blocks_per_lane_ = (cells_per_lane + 7) / 8;
+  if (blocks_per_lane_ == 0) blocks_per_lane_ = 1;
+  // Construct in place: CellBlock holds atomics, which are not copyable,
+  // so vector::assign's copy-fill is unavailable; value-initialization
+  // zeroes every cell (C++20 atomic default ctor).
+  blocks_ = std::vector<detail::CellBlock>(
+      static_cast<std::size_t>(blocks_per_lane_) *
+      static_cast<std::size_t>(num_lanes));
+}
+
+MetricsLane MetricsRegistry::lane(int index) {
+  assert(frozen() && "lane() before freeze()");
+  assert(index >= 0 && index < num_lanes_);
+  return MetricsLane(
+      blocks_.data() +
+          static_cast<std::size_t>(index) * blocks_per_lane_,
+      hist_base_);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.counter_names = counter_names_;
+  snap.histogram_names = histogram_names_;
+  snap.counters.assign(counter_names_.size(), 0);
+  snap.histograms.assign(histogram_names_.size(), util::Log2Histogram{});
+  for (int lane = 0; lane < num_lanes_; ++lane) {
+    const detail::CellBlock* base =
+        blocks_.data() + static_cast<std::size_t>(lane) * blocks_per_lane_;
+    const auto cell = [&](std::uint32_t index) {
+      return base[index / 8].cells[index % 8].load(std::memory_order_relaxed);
+    };
+    for (std::uint32_t c = 0; c < counter_names_.size(); ++c) {
+      snap.counters[c] += cell(c);
+    }
+    for (std::uint32_t h = 0; h < histogram_names_.size(); ++h) {
+      const std::uint32_t first =
+          hist_base_ + h * util::Log2Histogram::kBuckets;
+      for (int b = 0; b < util::Log2Histogram::kBuckets; ++b) {
+        const std::uint64_t n = cell(first + static_cast<std::uint32_t>(b));
+        if (n != 0) snap.histograms[h].add_bucket(b, n);
+      }
+    }
+  }
+  snap.gauge_names.reserve(gauges_.size());
+  snap.gauge_lanes.reserve(gauges_.size());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& g : gauges_) {
+    snap.gauge_names.push_back(g.name);
+    snap.gauge_lanes.push_back(g.lane);
+    snap.gauges.push_back(g.sample ? g.sample() : 0.0);
+  }
+  return snap;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::sample_lane_gauges(int lane) const {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& g : gauges_) {
+    if (g.lane != lane) continue;
+    out.emplace_back(g.name, g.sample ? g.sample() : 0.0);
+  }
+  return out;
+}
+
+}  // namespace flashroute::obs

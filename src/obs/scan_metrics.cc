@@ -1,0 +1,21 @@
+#include "obs/scan_metrics.h"
+
+namespace flashroute::obs {
+
+ScanMetricIds register_scan_metrics(MetricsRegistry& registry) {
+  ScanMetricIds ids;
+  ids.probes_sent = registry.add_counter("scan.probes_sent");
+  ids.preprobe_probes = registry.add_counter("scan.preprobe_probes");
+  ids.responses = registry.add_counter("scan.responses");
+  ids.mismatches = registry.add_counter("scan.mismatches");
+  ids.destinations_reached = registry.add_counter("scan.destinations_reached");
+  ids.interfaces_discovered =
+      registry.add_counter("scan.interfaces_discovered");
+  ids.convergence_stops = registry.add_counter("scan.convergence_stops");
+  ids.rtt_us = registry.add_histogram("scan.rtt_us");
+  ids.hop_distance = registry.add_histogram("scan.hop_distance");
+  ids.gap_run = registry.add_histogram("scan.gap_run");
+  return ids;
+}
+
+}  // namespace flashroute::obs

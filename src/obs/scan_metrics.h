@@ -1,0 +1,69 @@
+// The standard metric set every probing engine (core::Tracer, the Yarrp
+// and Scamper baselines) reports, and ScanTelemetry — the nullable handle
+// a TracerConfig carries into the engine.
+//
+// Telemetry is opt-in at runtime: a default ScanTelemetry has a null lane,
+// enabled() is false, and every hook in the hot path reduces to one
+// predictable branch — no atomics, no allocation, nothing compiled out.
+
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/scan_tracer.h"
+#include "util/clock.h"
+
+namespace flashroute::obs {
+
+/// Counter / histogram ids shared by all engines (registered once per
+/// registry by register_scan_metrics).
+struct ScanMetricIds {
+  // Counters.
+  CounterId probes_sent = 0;
+  CounterId preprobe_probes = 0;
+  CounterId responses = 0;
+  CounterId mismatches = 0;
+  CounterId destinations_reached = 0;
+  CounterId interfaces_discovered = 0;
+  CounterId convergence_stops = 0;
+
+  // Log2 histograms.
+  HistogramId rtt_us = 0;        // response round-trip time, microseconds
+  HistogramId hop_distance = 0;  // hop distance of each discovered interface
+  HistogramId gap_run = 0;       // unresponsive-run length at gap-limit stops
+};
+
+/// Registers the standard scan metrics on a (not yet frozen) registry.
+ScanMetricIds register_scan_metrics(MetricsRegistry& registry);
+
+/// The handle an engine carries: lane + tracer + ids.  Copyable, cheap,
+/// and valid in its disabled (default) state — the lane is held by value
+/// (two words), so a default ScanTelemetry is self-contained and every
+/// hook below is one branch.  The registry/tracer outlive the scan (the
+/// CLI / test owns them).
+struct ScanTelemetry {
+  MetricsRegistry* registry = nullptr;
+  ScanTracer* tracer = nullptr;
+  MetricsLane lane;  // invalid by default = telemetry off
+  int lane_id = 0;
+  ScanMetricIds ids;
+
+  bool enabled() const noexcept { return lane.valid(); }
+
+  void count(CounterId id, std::uint64_t delta = 1) const noexcept {
+    if (lane.valid()) lane.inc(id, delta);
+  }
+  void sample(HistogramId id, std::uint64_t value) const noexcept {
+    if (lane.valid()) lane.record(id, value);
+  }
+  void begin_phase(ScanPhase phase, util::Nanos now) const {
+    if (tracer != nullptr) tracer->begin_phase(lane_id, phase, now);
+  }
+  void tick(util::Nanos now) const {
+    if (tracer != nullptr) tracer->tick(lane_id, now);
+  }
+  void finish(util::Nanos now) const {
+    if (tracer != nullptr) tracer->finish(lane_id, now);
+  }
+};
+
+}  // namespace flashroute::obs

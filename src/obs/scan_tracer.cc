@@ -1,0 +1,73 @@
+#include "obs/scan_tracer.h"
+
+#include <cassert>
+
+namespace flashroute::obs {
+
+const char* phase_name(ScanPhase phase) noexcept {
+  switch (phase) {
+    case ScanPhase::kInit:
+      return "init";
+    case ScanPhase::kPreprobe:
+      return "preprobe";
+    case ScanPhase::kMain:
+      return "main";
+    case ScanPhase::kExtra:
+      return "extra";
+    case ScanPhase::kDone:
+      return "done";
+  }
+  return "?";
+}
+
+ScanTracer::ScanTracer(MetricsRegistry& registry, util::Nanos interval)
+    : registry_(registry), interval_(interval) {
+  assert(registry.frozen() && "ScanTracer requires a frozen registry");
+  lanes_.reserve(static_cast<std::size_t>(registry.num_lanes()));
+  for (int i = 0; i < registry.num_lanes(); ++i) {
+    auto st = std::make_unique<LaneState>();
+    st->metrics = registry.lane(i);
+    st->last.assign(registry.num_counters(), 0);
+    lanes_.push_back(std::move(st));
+  }
+}
+
+void ScanTracer::capture(int lane, LaneState& st, util::Nanos now) {
+  TraceInterval iv;
+  iv.t = now;
+  iv.phase = st.phase;
+  iv.deltas.resize(st.last.size());
+  for (std::size_t c = 0; c < st.last.size(); ++c) {
+    const std::uint64_t cur =
+        st.metrics.counter(static_cast<CounterId>(c));
+    iv.deltas[c] = cur - st.last[c];
+    st.last[c] = cur;
+  }
+  iv.gauges = registry_.sample_lane_gauges(lane);
+  st.intervals.push_back(std::move(iv));
+  st.interval_begin = now;
+}
+
+void ScanTracer::begin_phase(int lane, ScanPhase phase, util::Nanos now) {
+  auto& st = *lanes_[static_cast<std::size_t>(lane)];
+  if (!st.started) {
+    // First phase anchors the tick grid; no interval precedes it.
+    st.started = true;
+    st.interval_begin = now;
+    if (interval_ > 0) st.next_tick = now + interval_;
+  } else {
+    // Close out the outgoing phase so its tail shows up in the stream.
+    capture(lane, st, now);
+  }
+  st.phase = phase;
+  st.transitions.push_back({now, phase});
+}
+
+void ScanTracer::finish(int lane, util::Nanos now) {
+  auto& st = *lanes_[static_cast<std::size_t>(lane)];
+  if (st.started) capture(lane, st, now);
+  st.phase = ScanPhase::kDone;
+  st.transitions.push_back({now, ScanPhase::kDone});
+}
+
+}  // namespace flashroute::obs

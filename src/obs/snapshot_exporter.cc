@@ -1,0 +1,132 @@
+#include "obs/snapshot_exporter.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace flashroute::obs {
+
+std::string SnapshotExporter::json_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+std::string SnapshotExporter::json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void SnapshotExporter::write_intervals(const ScanTracer& tracer,
+                                       const MetricsRegistry& registry) {
+  const auto& names = registry.counter_names();
+  for (int lane = 0; lane < tracer.num_lanes(); ++lane) {
+    for (const auto& iv : tracer.intervals(lane)) {
+      out_ << "{\"type\":\"interval\",\"lane\":" << lane
+           << ",\"t_ns\":" << iv.t << ",\"phase\":\"" << phase_name(iv.phase)
+           << "\",\"deltas\":{";
+      bool first = true;
+      for (std::size_t c = 0; c < iv.deltas.size(); ++c) {
+        if (iv.deltas[c] == 0) continue;
+        if (!first) out_ << ',';
+        first = false;
+        out_ << '"' << json_escape(names[c]) << "\":" << iv.deltas[c];
+      }
+      out_ << "},\"gauges\":{";
+      first = true;
+      for (const auto& [name, value] : iv.gauges) {
+        if (!first) out_ << ',';
+        first = false;
+        out_ << '"' << json_escape(name) << "\":" << json_double(value);
+      }
+      out_ << "}}\n";
+    }
+  }
+}
+
+void SnapshotExporter::write_summary(const ScanTracer& tracer,
+                                     const MetricsRegistry& registry,
+                                     util::Nanos scan_time) {
+  const MetricsSnapshot snap = registry.snapshot();
+
+  out_ << "{\"type\":\"summary\",\"scan_time_ns\":" << scan_time
+       << ",\"lanes\":" << tracer.num_lanes()
+       << ",\"interval_ns\":" << tracer.interval() << ",\"phases\":[";
+  bool first = true;
+  for (int lane = 0; lane < tracer.num_lanes(); ++lane) {
+    for (const auto& tr : tracer.transitions(lane)) {
+      if (!first) out_ << ',';
+      first = false;
+      out_ << "{\"lane\":" << lane << ",\"t_ns\":" << tr.t << ",\"phase\":\""
+           << phase_name(tr.phase) << "\"}";
+    }
+  }
+  out_ << "],\"counters\":{";
+  first = true;
+  for (std::size_t c = 0; c < snap.counter_names.size(); ++c) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << '"' << json_escape(snap.counter_names[c])
+         << "\":" << snap.counters[c];
+  }
+  out_ << "},\"histograms\":{";
+  first = true;
+  for (std::size_t h = 0; h < snap.histogram_names.size(); ++h) {
+    if (!first) out_ << ',';
+    first = false;
+    const auto& hist = snap.histograms[h];
+    out_ << '"' << json_escape(snap.histogram_names[h])
+         << "\":{\"total\":" << hist.total() << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (int b = 0; b < util::Log2Histogram::kBuckets; ++b) {
+      if (hist.bucket_count(b) == 0) continue;
+      if (!first_bucket) out_ << ',';
+      first_bucket = false;
+      out_ << '[' << b << ',' << hist.bucket_count(b) << ']';
+    }
+    out_ << "]}";
+  }
+  // Gauges are an array, not an object: the same gauge name exists once
+  // per lane in sharded runs, so name alone is not a unique key.
+  out_ << "},\"gauges\":[";
+  first = true;
+  for (std::size_t g = 0; g < snap.gauge_names.size(); ++g) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << "{\"lane\":" << snap.gauge_lanes[g] << ",\"name\":\""
+         << json_escape(snap.gauge_names[g])
+         << "\",\"value\":" << json_double(snap.gauges[g]) << '}';
+  }
+  out_ << "]}\n";
+}
+
+}  // namespace flashroute::obs

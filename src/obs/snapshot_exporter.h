@@ -1,0 +1,47 @@
+// SnapshotExporter: serializes a scan's telemetry as JSON Lines — one
+// `interval` record per captured tick (lane-major, virtual-time order
+// within a lane) followed by exactly one final `summary` record with the
+// merged counters, histograms, gauges and the phase-transition log.
+//
+// The stream is a pure function of the captured data, which under SimClock
+// is a pure function of the scan seed — so two same-seed runs write
+// byte-identical files (tests/obs_export_test.cc), and the stream itself
+// is usable as a regression artifact.  scripts/check_metrics_schema.py
+// validates the schema.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/scan_tracer.h"
+#include "util/clock.h"
+
+namespace flashroute::obs {
+
+class SnapshotExporter {
+ public:
+  explicit SnapshotExporter(std::ostream& out) : out_(out) {}
+
+  /// Writes every captured interval of every lane, lane-major.  Interval
+  /// records carry only the non-zero counter deltas.
+  void write_intervals(const ScanTracer& tracer,
+                       const MetricsRegistry& registry);
+
+  /// Writes the single closing summary record.
+  void write_summary(const ScanTracer& tracer,
+                     const MetricsRegistry& registry,
+                     util::Nanos scan_time);
+
+  /// Formats a double deterministically for the JSON stream ("%.12g").
+  static std::string json_double(double v);
+
+  /// Escapes a string for a JSON literal (quotes not included).
+  static std::string json_escape(const std::string& s);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace flashroute::obs

@@ -16,6 +16,7 @@
 
 #include "core/runtime.h"
 #include "core/sharded_tracer.h"
+#include "obs/metrics.h"
 #include "sim/network.h"
 #include "sim/response_pool.h"
 #include "util/clock.h"
@@ -58,6 +59,42 @@ class SimScanRuntime final : public core::ScanRuntime {
   }
 
   util::SimClock& clock() noexcept { return clock_; }
+
+  /// Registers this runtime's observability gauges on `lane` of a metrics
+  /// registry (DESIGN.md §7): the sim network's rate-limit drops and
+  /// route-cache hit rate, plus response-pool occupancy.  The gauge
+  /// callbacks read plain counters owned by this runtime's scan thread;
+  /// they are sampled either on that thread (interval ticks) or after the
+  /// scan (the summary snapshot), so sim scans stay deterministic.  This —
+  /// not bespoke accessors on SimNetwork — is how scan-facing tooling
+  /// observes the sim internals.
+  void register_gauges(obs::MetricsRegistry& registry, int lane) const {
+    const SimNetwork* network = &network_;
+    registry.add_gauge("sim.rate_limit_drops", lane, [network] {
+      return static_cast<double>(network->stats().rate_limited);
+    });
+    registry.add_gauge("sim.route_cache_hits", lane, [network] {
+      return static_cast<double>(network->stats().route_cache_hits);
+    });
+    registry.add_gauge("sim.route_cache_misses", lane, [network] {
+      return static_cast<double>(network->stats().route_cache_misses);
+    });
+    registry.add_gauge("sim.route_cache_hit_rate", lane, [network] {
+      const NetworkStats& s = network->stats();
+      const std::uint64_t lookups = s.route_cache_hits + s.route_cache_misses;
+      return lookups == 0 ? 0.0
+                          : static_cast<double>(s.route_cache_hits) /
+                                static_cast<double>(lookups);
+    });
+    const ResponsePool* pool = &pool_;
+    const std::vector<Pending>* pending = &pending_;
+    registry.add_gauge("sim.response_pool_slots", lane, [pool] {
+      return static_cast<double>(pool->capacity());
+    });
+    registry.add_gauge("sim.responses_in_flight", lane, [pending] {
+      return static_cast<double>(pending->size());
+    });
+  }
 
  private:
   struct Pending {
@@ -117,6 +154,15 @@ class SimShardRuntimeProvider final : public core::ShardRuntimeProvider {
 
   core::ScanRuntime& runtime_for(const core::ShardInfo& shard) override {
     return lanes_[static_cast<std::size_t>(shard.index)]->runtime;
+  }
+
+  /// Registers every shard runtime's gauges, shard i on metric lane i —
+  /// matching the lane assignment ShardedTracer::shard_config makes for
+  /// counters, so one lane holds one shard's whole telemetry.
+  void register_gauges(obs::MetricsRegistry& registry) const {
+    for (std::size_t i = 0; i < lanes_.size(); ++i) {
+      lanes_[i]->runtime.register_gauges(registry, static_cast<int>(i));
+    }
   }
 
   /// Aggregated ground-truth statistics across all shard networks (only

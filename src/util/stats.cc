@@ -5,6 +5,35 @@
 
 namespace flashroute::util {
 
+namespace stats_detail {
+
+std::uint64_t quantile_threshold(std::uint64_t total, double q) noexcept {
+  if (total == 0) return 0;
+  if (q <= 0.0) return 0;
+  if (q >= 1.0) return total;
+  // Two precision traps meet here.  (1) The walk must compare the
+  // cumulative count against the threshold as *integers*: the old code
+  // compared double(acc) >= double(total)*q, and past 2^53 double(acc)
+  // rounds — double(2^54 - 1) == 2^54, so quantile(1.0) could return a bin
+  // BEFORE the last sample.  (2) q itself is a double: 0.01 is really
+  // 0.010000000000000000208…, so a naive high-precision ceil(100 * q)
+  // yields 2 where the caller plainly meant 1.  So: compute q * total in
+  // long double (64-bit mantissa on x86 — total converts exactly), snap to
+  // the nearest integer when within a few double ulps (absorbing q's
+  // representation error), and only then take the ceiling.
+  const long double t =
+      static_cast<long double>(total) * static_cast<long double>(q);
+  const long double nearest = std::round(t);
+  const long double tolerance = t * 4.44e-16L;  // ~4 ulps of a double
+  const long double exact =
+      std::abs(t - nearest) <= tolerance ? nearest : std::ceil(t);
+  if (exact >= static_cast<long double>(total)) return total;
+  if (exact <= 0.0L) return 0;
+  return static_cast<std::uint64_t>(exact);
+}
+
+}  // namespace stats_detail
+
 void Histogram::add(std::int64_t key, std::uint64_t count) {
   bins_[key] += count;
   total_ += count;
@@ -21,25 +50,55 @@ double Histogram::pdf(std::int64_t key) const {
 }
 
 double Histogram::cdf(std::int64_t key) const {
-  if (total_ == 0) return 0.0;
-  std::uint64_t acc = 0;
-  for (const auto& [k, c] : bins_) {
-    if (k > key) break;
-    acc += c;
-  }
-  return static_cast<double>(acc) / static_cast<double>(total_);
+  auto it = bins_.begin();
+  return stats_detail::cdf_walk(
+      [&](std::int64_t& k, std::uint64_t& c) {
+        if (it == bins_.end()) return false;
+        k = it->first;
+        c = it->second;
+        ++it;
+        return true;
+      },
+      total_, key);
 }
 
 std::int64_t Histogram::quantile(double q) const {
-  std::uint64_t acc = 0;
-  const auto threshold = static_cast<double>(total_) * q;
-  std::int64_t last = 0;
-  for (const auto& [k, c] : bins_) {
-    acc += c;
-    last = k;
-    if (static_cast<double>(acc) >= threshold) return k;
-  }
-  return last;
+  auto it = bins_.begin();
+  return stats_detail::quantile_walk(
+      [&](std::int64_t& k, std::uint64_t& c) {
+        if (it == bins_.end()) return false;
+        k = it->first;
+        c = it->second;
+        ++it;
+        return true;
+      },
+      total_, q);
+}
+
+double Log2Histogram::cdf(std::uint64_t value) const noexcept {
+  int b = 0;
+  return stats_detail::cdf_walk(
+      [&](std::int64_t& k, std::uint64_t& c) {
+        if (b >= kBuckets) return false;
+        k = b;
+        c = buckets_[static_cast<std::size_t>(b)];
+        ++b;
+        return true;
+      },
+      total_, bucket_of(value));
+}
+
+int Log2Histogram::quantile_bucket(double q) const noexcept {
+  int b = 0;
+  return static_cast<int>(stats_detail::quantile_walk(
+      [&](std::int64_t& k, std::uint64_t& c) {
+        if (b >= kBuckets) return false;
+        k = b;
+        c = buckets_[static_cast<std::size_t>(b)];
+        ++b;
+        return true;
+      },
+      total_, q));
 }
 
 double jaccard(const std::unordered_set<std::uint32_t>& a,
@@ -91,7 +150,8 @@ std::string format_count(std::uint64_t n) {
 }
 
 std::string format_count(std::int64_t n) {
-  if (n < 0) return "-" + format_count(static_cast<std::uint64_t>(-n));
+  // Negate in unsigned space: -INT64_MIN overflows as a signed expression.
+  if (n < 0) return "-" + format_count(std::uint64_t{0} - static_cast<std::uint64_t>(n));
   return format_count(static_cast<std::uint64_t>(n));
 }
 

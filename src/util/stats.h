@@ -1,10 +1,18 @@
-// Small statistics toolkit used by the analysis modules and benchmarks:
-// integer histograms (PDFs/CDFs of hop-distance differences for Figs 3-4),
-// Jaccard similarity of interface sets (Fig 8), and the number/duration
-// formatting used to print tables in the same shape as the paper.
+// Small statistics toolkit used by the analysis modules, the benchmarks and
+// the telemetry subsystem: integer histograms (PDFs/CDFs of hop-distance
+// differences for Figs 3-4), log2-bucketed histograms (the obs/ metric
+// lanes merge into these), Jaccard similarity of interface sets (Fig 8), and
+// the number/duration formatting used to print tables in the same shape as
+// the paper.
+//
+// Both histogram flavours share ONE cumulative-walk implementation
+// (stats_detail below) for their CDF/quantile queries; the classes differ
+// only in how samples are binned (exact signed keys vs log2 buckets).
 
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -15,8 +23,53 @@
 
 namespace flashroute::util {
 
+namespace stats_detail {
+
+/// Cumulative count a quantile walk must reach: the smallest integer
+/// >= q * total.  Computed in extended precision (long double carries a
+/// 64-bit mantissa on x86) and clamped to [0, total], so totals beyond 2^53
+/// — where a plain double threshold mis-rounds — still resolve exactly.
+std::uint64_t quantile_threshold(std::uint64_t total, double q) noexcept;
+
+/// The one cumulative walk behind every histogram flavour's quantile():
+/// `next(key, count)` yields successive bins in increasing key order
+/// (returning false when exhausted); returns the first key whose cumulative
+/// count reaches the threshold, or the last key seen.
+template <typename NextBin>
+std::int64_t quantile_walk(NextBin&& next, std::uint64_t total, double q) {
+  const std::uint64_t threshold = quantile_threshold(total, q);
+  std::uint64_t acc = 0;
+  std::int64_t key = 0;
+  std::int64_t last = 0;
+  std::uint64_t count = 0;
+  while (next(key, count)) {
+    acc += count;
+    last = key;
+    if (acc >= threshold) return key;
+  }
+  return last;
+}
+
+/// Shared CDF walk: fraction of samples with key <= `upto` (0 on empty).
+/// Integer accumulation; the single division happens at the end.
+template <typename NextBin>
+double cdf_walk(NextBin&& next, std::uint64_t total, std::int64_t upto) {
+  if (total == 0) return 0.0;
+  std::uint64_t acc = 0;
+  std::int64_t key = 0;
+  std::uint64_t count = 0;
+  while (next(key, count)) {
+    if (key > upto) break;
+    acc += count;
+  }
+  return static_cast<double>(acc) / static_cast<double>(total);
+}
+
+}  // namespace stats_detail
+
 /// Histogram over signed integer keys with O(log n) insert; exposes the
-/// empirical PDF and CDF in key order.
+/// empirical PDF and CDF in key order.  Thin wrapper over the shared
+/// stats_detail walks.
 class Histogram {
  public:
   void add(std::int64_t key, std::uint64_t count = 1);
@@ -40,6 +93,61 @@ class Histogram {
 
  private:
   std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Fixed-footprint histogram over unsigned values with power-of-two buckets:
+/// bucket 0 holds the value 0, bucket b (1..64) holds [2^(b-1), 2^b).  This
+/// is the shape the telemetry subsystem records RTTs, hop distances and
+/// gap-run lengths into (obs/metrics.h keeps one atomic bucket array per
+/// shard lane and merges them into this type at snapshot time): constant
+/// memory, one shift to bin, and the tails the paper's distributions have
+/// are still resolved to within a factor of two.
+class Log2Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // value 0, then one per bit width
+
+  /// The bucket a value falls into: 0 for 0, else bit_width(value).
+  static int bucket_of(std::uint64_t value) noexcept {
+    return value == 0 ? 0 : std::bit_width(value);
+  }
+
+  /// Inclusive value range covered by a bucket.
+  static std::uint64_t bucket_min(int bucket) noexcept {
+    return bucket <= 0 ? 0 : std::uint64_t{1} << (bucket - 1);
+  }
+  static std::uint64_t bucket_max(int bucket) noexcept {
+    if (bucket <= 0) return 0;
+    if (bucket >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << bucket) - 1;
+  }
+
+  void add(std::uint64_t value, std::uint64_t count = 1) noexcept {
+    add_bucket(bucket_of(value), count);
+  }
+
+  /// Adds directly to a bucket (how per-lane atomic arrays merge in).
+  void add_bucket(int bucket, std::uint64_t count) noexcept {
+    buckets_[static_cast<std::size_t>(bucket)] += count;
+    total_ += count;
+  }
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t bucket_count(int bucket) const noexcept {
+    return buckets_[static_cast<std::size_t>(bucket)];
+  }
+  const std::array<std::uint64_t, kBuckets>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  /// Fraction of samples in buckets up to and including the value's bucket.
+  double cdf(std::uint64_t value) const noexcept;
+
+  /// Smallest bucket index whose cumulative count reaches q (q in (0, 1]).
+  int quantile_bucket(double q) const noexcept;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t total_ = 0;
 };
 

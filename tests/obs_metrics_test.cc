@@ -1,0 +1,248 @@
+// Tests for the lock-free metrics registry (obs/metrics.h) and the
+// virtual-time scan tracer (obs/scan_tracer.h): lane layout and padding,
+// snapshot merging, log2 histogram recording, gauge sampling, the
+// single-writer-per-lane concurrency contract (the TSan target — the
+// thread-sanitizer CI job runs MetricsRegistry.* under TSan), and the
+// tracer's deterministic tick grid.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "obs/scan_metrics.h"
+#include "obs/scan_tracer.h"
+
+namespace flashroute::obs {
+namespace {
+
+TEST(MetricsRegistry, LanesArePaddedToCacheLines) {
+  static_assert(sizeof(detail::CellBlock) == 64);
+  static_assert(alignof(detail::CellBlock) == 64);
+
+  // 9 counters need two blocks per lane; lane pointers must land 128 bytes
+  // apart so two shards never share a line.
+  MetricsRegistry registry;
+  for (int i = 0; i < 9; ++i) {
+    registry.add_counter("c" + std::to_string(i));
+  }
+  registry.freeze(2);
+  const MetricsLane a = registry.lane(0);
+  const MetricsLane b = registry.lane(1);
+  a.inc(8);
+  EXPECT_EQ(a.counter(8), 1u);
+  EXPECT_EQ(b.counter(8), 0u);  // lane isolation across the block boundary
+}
+
+TEST(MetricsRegistry, CountersMergeAcrossLanes) {
+  MetricsRegistry registry;
+  const CounterId sent = registry.add_counter("sent");
+  const CounterId recv = registry.add_counter("recv");
+  registry.freeze(3);
+
+  for (int lane = 0; lane < 3; ++lane) {
+    const MetricsLane l = registry.lane(lane);
+    l.inc(sent, static_cast<std::uint64_t>(10 * (lane + 1)));
+    l.inc(recv);
+  }
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.counter_names.size(), 2u);
+  EXPECT_EQ(snap.counter_names[0], "sent");
+  EXPECT_EQ(snap.counters[sent], 60u);
+  EXPECT_EQ(snap.counters[recv], 3u);
+}
+
+TEST(MetricsRegistry, HistogramRecordsLandInLog2Buckets) {
+  MetricsRegistry registry;
+  registry.add_counter("pad");  // histogram cells sit after the counters
+  const HistogramId rtt = registry.add_histogram("rtt");
+  const HistogramId hops = registry.add_histogram("hops");
+  registry.freeze(2);
+
+  const MetricsLane a = registry.lane(0);
+  const MetricsLane b = registry.lane(1);
+  a.record(rtt, 0);     // bucket 0
+  a.record(rtt, 1);     // bucket 1
+  a.record(rtt, 1000);  // bucket 10: [512, 1024)
+  b.record(rtt, 1023);  // bucket 10 again, merged from the other lane
+  b.record(hops, 12);   // bucket 4: [8, 16)
+
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 2u);
+  const util::Log2Histogram& h = snap.histograms[rtt];
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(10), 2u);
+  EXPECT_EQ(snap.histograms[hops].bucket_count(4), 1u);
+  EXPECT_EQ(snap.histograms[hops].total(), 1u);
+  // The histogram cells must not alias the counter cells.
+  EXPECT_EQ(snap.counters[0], 0u);
+}
+
+TEST(MetricsRegistry, GaugesSampleAtSnapshotTime) {
+  MetricsRegistry registry;
+  registry.add_counter("c");
+  registry.freeze(2);
+
+  double source = 1.5;
+  registry.add_gauge("load", /*lane=*/1, [&source] { return source; });
+  registry.add_gauge("fixed", /*lane=*/0, [] { return 7.0; });
+
+  source = 2.5;  // snapshot must see the value at sample time
+  const MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.gauge_names.size(), 2u);
+  EXPECT_EQ(snap.gauge_names[0], "load");
+  EXPECT_EQ(snap.gauge_lanes[0], 1);
+  EXPECT_DOUBLE_EQ(snap.gauges[0], 2.5);
+  EXPECT_DOUBLE_EQ(snap.gauges[1], 7.0);
+
+  // Per-lane sampling returns only that lane's gauges, registration order.
+  const auto lane1 = registry.sample_lane_gauges(1);
+  ASSERT_EQ(lane1.size(), 1u);
+  EXPECT_EQ(lane1[0].first, "load");
+  EXPECT_DOUBLE_EQ(lane1[0].second, 2.5);
+  EXPECT_TRUE(registry.sample_lane_gauges(0).size() == 1);
+}
+
+TEST(MetricsRegistry, DisabledTelemetryIsInert) {
+  // A default ScanTelemetry (no registry, no tracer, invalid lane) must make
+  // every hook a no-op — this is the runtime off switch the engines rely on.
+  const ScanTelemetry tel;
+  EXPECT_FALSE(tel.enabled());
+  tel.count(tel.ids.probes_sent);
+  tel.sample(tel.ids.rtt_us, 123);
+  tel.begin_phase(ScanPhase::kMain, 0);
+  tel.tick(1'000'000);
+  tel.finish(2'000'000);
+}
+
+// The TSan anchor: four single-writer lanes hammered from four threads while
+// the main thread snapshots concurrently.  Relaxed load+store per lane plus
+// relaxed snapshot loads must be torn-free and race-free.
+TEST(MetricsRegistry, ConcurrentWritersAndSnapshotsMergeExactly) {
+  constexpr int kLanes = 4;
+  constexpr std::uint64_t kIncrements = 50'000;
+
+  MetricsRegistry registry;
+  const CounterId counter = registry.add_counter("scan.probes_sent");
+  const HistogramId hist = registry.add_histogram("scan.rtt_us");
+  registry.freeze(kLanes);
+
+  std::atomic<int> running{kLanes};
+  std::vector<std::thread> writers;
+  writers.reserve(kLanes);
+  for (int lane = 0; lane < kLanes; ++lane) {
+    writers.emplace_back([&registry, &running, counter, hist, lane] {
+      const MetricsLane l = registry.lane(lane);
+      for (std::uint64_t i = 0; i < kIncrements; ++i) {
+        l.inc(counter);
+        l.record(hist, i & 0xFFF);
+      }
+      running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  // Concurrent snapshots: values may be stale but never torn or above the
+  // final total.
+  while (running.load(std::memory_order_acquire) > 0) {
+    const MetricsSnapshot snap = registry.snapshot();
+    EXPECT_LE(snap.counters[counter], kLanes * kIncrements);
+    EXPECT_LE(snap.histograms[hist].total(), kLanes * kIncrements);
+  }
+  for (auto& t : writers) t.join();
+
+  const MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(snap.counters[counter], kLanes * kIncrements);
+  EXPECT_EQ(snap.histograms[hist].total(), kLanes * kIncrements);
+  // values 0..4095 span log2 buckets 0..12 and nothing else.
+  for (int b = 13; b < util::Log2Histogram::kBuckets; ++b) {
+    EXPECT_EQ(snap.histograms[hist].bucket_count(b), 0u);
+  }
+}
+
+TEST(ScanTracer, RecordsPhaseTransitionsAndDeltas) {
+  MetricsRegistry registry;
+  const CounterId sent = registry.add_counter("sent");
+  registry.freeze(1);
+  ScanTracer tracer(registry, /*interval=*/0);  // transitions only
+  const MetricsLane lane = registry.lane(0);
+
+  tracer.begin_phase(0, ScanPhase::kPreprobe, 100);
+  lane.inc(sent, 5);
+  tracer.tick(0, 1'000'000);  // interval capture disabled: must be inert
+  tracer.begin_phase(0, ScanPhase::kMain, 200);
+  lane.inc(sent, 7);
+  tracer.finish(0, 300);
+
+  // Periodic ticks are off, but phase boundaries still close out the
+  // outgoing phase so its tail shows up in the stream.
+  const auto& iv = tracer.intervals(0);
+  ASSERT_EQ(iv.size(), 2u);
+  EXPECT_EQ(iv[0].t, 200);
+  EXPECT_EQ(iv[0].phase, ScanPhase::kPreprobe);
+  EXPECT_EQ(iv[0].deltas[sent], 5u);
+  EXPECT_EQ(iv[1].t, 300);
+  EXPECT_EQ(iv[1].phase, ScanPhase::kMain);
+  EXPECT_EQ(iv[1].deltas[sent], 7u);
+  const auto& tr = tracer.transitions(0);
+  ASSERT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr[0].t, 100);
+  EXPECT_EQ(tr[0].phase, ScanPhase::kPreprobe);
+  EXPECT_EQ(tr[1].t, 200);
+  EXPECT_EQ(tr[1].phase, ScanPhase::kMain);
+  EXPECT_EQ(tr[2].t, 300);
+  EXPECT_EQ(tr[2].phase, ScanPhase::kDone);
+}
+
+TEST(ScanTracer, TickGridIsDeterministicAndCatchUpEmitsOneInterval) {
+  MetricsRegistry registry;
+  const CounterId sent = registry.add_counter("sent");
+  registry.freeze(1);
+  ScanTracer tracer(registry, /*interval=*/100);
+  const MetricsLane lane = registry.lane(0);
+
+  tracer.begin_phase(0, ScanPhase::kMain, 50);  // grid anchored: 150, 250, …
+  lane.inc(sent, 3);
+  tracer.tick(0, 149);  // before the first tick: no capture
+  EXPECT_TRUE(tracer.intervals(0).empty());
+  tracer.tick(0, 150);  // on the tick: capture [50, 150)
+  lane.inc(sent, 4);
+  tracer.tick(0, 555);  // long stall: ONE catch-up capture, grid realigns
+  tracer.tick(0, 649);  // still before the realigned tick at 650
+  tracer.finish(0, 700);
+
+  const auto& iv = tracer.intervals(0);
+  ASSERT_EQ(iv.size(), 3u);
+  EXPECT_EQ(iv[0].t, 150);
+  EXPECT_EQ(iv[0].phase, ScanPhase::kMain);
+  EXPECT_EQ(iv[0].deltas[sent], 3u);
+  EXPECT_EQ(iv[1].t, 555);
+  EXPECT_EQ(iv[1].deltas[sent], 4u);
+  EXPECT_EQ(iv[2].t, 700);  // final capture from finish()
+  EXPECT_EQ(iv[2].deltas[sent], 0u);
+  EXPECT_EQ(tracer.transitions(0).back().phase, ScanPhase::kDone);
+}
+
+TEST(ScanTracer, LanesTickIndependently) {
+  MetricsRegistry registry;
+  registry.add_counter("sent");
+  registry.freeze(2);
+  ScanTracer tracer(registry, /*interval=*/100);
+
+  tracer.begin_phase(0, ScanPhase::kMain, 0);
+  // Lane 1 never begins a phase: its grid stays unanchored and tick() is
+  // inert no matter how large `now` gets.
+  tracer.tick(1, 1'000'000'000);
+  tracer.tick(0, 100);
+  EXPECT_EQ(tracer.intervals(0).size(), 1u);
+  EXPECT_TRUE(tracer.intervals(1).empty());
+}
+
+}  // namespace
+}  // namespace flashroute::obs

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace flashroute::util {
 namespace {
 
@@ -57,6 +59,63 @@ TEST(Histogram, Quantiles) {
   EXPECT_EQ(h.quantile(1.0), 100);
 }
 
+TEST(Histogram, QuantileExactPastDoublePrecision) {
+  // Totals beyond 2^53 are not representable in a double: the old
+  // double-based threshold rounded double(2^54 - 1) up to 2^54 and could
+  // return a bin BEFORE the last sample for q = 1.0.  The walk must compare
+  // cumulative counts as integers.
+  Histogram h;
+  h.add(10, (std::uint64_t{1} << 54) - 1);
+  h.add(20, 1);
+  EXPECT_EQ(h.quantile(1.0), 20);
+  EXPECT_EQ(h.quantile(0.5), 10);
+}
+
+TEST(Log2Histogram, BucketMapping) {
+  EXPECT_EQ(Log2Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Log2Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Log2Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Log2Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Log2Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Log2Histogram::bucket_of(1023), 10);
+  EXPECT_EQ(Log2Histogram::bucket_of(1024), 11);
+  EXPECT_EQ(Log2Histogram::bucket_of(~std::uint64_t{0}), 64);
+
+  // Every bucket's [min, max] range round-trips through bucket_of.
+  for (int b = 0; b < Log2Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Log2Histogram::bucket_of(Log2Histogram::bucket_min(b)), b);
+    EXPECT_EQ(Log2Histogram::bucket_of(Log2Histogram::bucket_max(b)), b);
+  }
+}
+
+TEST(Log2Histogram, AddAndMergeSemantics) {
+  Log2Histogram h;
+  EXPECT_EQ(h.total(), 0u);
+  h.add(0);
+  h.add(5, 3);        // bucket 3
+  h.add_bucket(3, 2); // merged in the way lane snapshots arrive
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(3), 5u);
+  EXPECT_EQ(h.bucket_count(1), 0u);
+}
+
+TEST(Log2Histogram, CdfAndQuantileBucket) {
+  Log2Histogram h;
+  h.add(0, 2);    // bucket 0
+  h.add(1, 3);    // bucket 1
+  h.add(100, 5);  // bucket 7
+  EXPECT_NEAR(h.cdf(0), 0.2, 1e-12);
+  EXPECT_NEAR(h.cdf(1), 0.5, 1e-12);
+  EXPECT_NEAR(h.cdf(63), 0.5, 1e-12);  // bucket 7 spans [64, 127]
+  EXPECT_NEAR(h.cdf(64), 1.0, 1e-12);  // cdf is bucket-resolution: includes
+  EXPECT_NEAR(h.cdf(99), 1.0, 1e-12);  // the whole bucket the value is in
+  EXPECT_EQ(h.quantile_bucket(0.2), 0);
+  EXPECT_EQ(h.quantile_bucket(0.5), 1);
+  EXPECT_EQ(h.quantile_bucket(0.51), 7);
+  EXPECT_EQ(h.quantile_bucket(1.0), 7);
+}
+
 TEST(Jaccard, IdenticalSets) {
   const std::unordered_set<std::uint32_t> a{1, 2, 3};
   EXPECT_DOUBLE_EQ(jaccard(a, a), 1.0);
@@ -107,6 +166,15 @@ TEST(FormatCount, ThousandsSeparators) {
 TEST(FormatCount, SignedValues) {
   EXPECT_EQ(format_count(std::int64_t{-1234}), "-1,234");
   EXPECT_EQ(format_count(std::int64_t{42}), "42");
+}
+
+TEST(FormatCount, Int64MinDoesNotOverflow) {
+  // -INT64_MIN is UB as a signed negation; the formatter must route through
+  // unsigned space.
+  EXPECT_EQ(format_count(std::numeric_limits<std::int64_t>::min()),
+            "-9,223,372,036,854,775,808");
+  EXPECT_EQ(format_count(std::numeric_limits<std::int64_t>::max()),
+            "9,223,372,036,854,775,807");
 }
 
 TEST(FormatPercent, Decimals) {
