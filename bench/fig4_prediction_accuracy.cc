@@ -39,7 +39,8 @@ void run() {
               util::format_count(eval.measured_blocks).c_str(),
               util::format_count(eval.predictable_blocks).c_str(),
               eval.measured_blocks
-                  ? 100.0 * eval.predictable_blocks / eval.measured_blocks
+                  ? 100.0 * static_cast<double>(eval.predictable_blocks) /
+                        static_cast<double>(eval.measured_blocks)
                   : 0.0);
   std::printf("%8s %10s %10s\n", "diff", "PDF", "CDF");
   for (int diff = -8; diff <= 8; ++diff) {

@@ -57,11 +57,12 @@ void run() {
       const auto n = world.params.num_prefixes();
       std::printf(
           "%-28s   measured %.1f%%, +predicted %.1f%% -> coverage %.1f%%\n",
-          "", 100.0 * results[i].distances_measured / n,
-          100.0 * results[i].distances_predicted / n,
+          "",
+          100.0 * static_cast<double>(results[i].distances_measured) / n,
+          100.0 * static_cast<double>(results[i].distances_predicted) / n,
           100.0 *
-              (results[i].distances_measured +
-               results[i].distances_predicted) /
+              static_cast<double>(results[i].distances_measured +
+                                  results[i].distances_predicted) /
               n);
     }
     ++i;

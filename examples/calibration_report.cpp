@@ -64,13 +64,15 @@ int main(int argc, char** argv) {
     if (hitlist[i] != 0) ++hitlist_present;
   }
   std::printf("responsive random targets: %.2f%%  hitlist entries: %.2f%%\n",
-              100.0 * responsive / params.num_prefixes(),
-              100.0 * hitlist_present / params.num_prefixes());
+              100.0 * static_cast<double>(responsive) / params.num_prefixes(),
+              100.0 * static_cast<double>(hitlist_present) /
+                  params.num_prefixes());
+  const auto quantile_or = [&](double q) -> long long {
+    return dist.total() ? static_cast<long long>(dist.quantile(q)) : -1;
+  };
   std::printf("trigger ttl quantiles: p10=%lld p50=%lld p90=%lld p99=%lld\n",
-              dist.total() ? dist.quantile(0.10) : -1,
-              dist.total() ? dist.quantile(0.50) : -1,
-              dist.total() ? dist.quantile(0.90) : -1,
-              dist.total() ? dist.quantile(0.99) : -1);
+              quantile_or(0.10), quantile_or(0.50), quantile_or(0.90),
+              quantile_or(0.99));
 
   const double scale = static_cast<double>(params.num_prefixes()) / (1 << 24);
   const double pps = 100'000.0 * scale;

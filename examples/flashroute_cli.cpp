@@ -112,6 +112,7 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
   CliOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    std::optional<std::string> v;
     const auto value_of = [&](const char* name) -> std::optional<std::string> {
       const std::string prefix = std::string(name) + "=";
       if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
@@ -119,51 +120,51 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     };
     if (arg == "--help" || arg == "-h") {
       options.help = true;
-    } else if (auto v = value_of("--backend")) {
+    } else if ((v = value_of("--backend"))) {
       options.backend = *v;
-    } else if (auto v = value_of("--prefix-bits")) {
+    } else if ((v = value_of("--prefix-bits"))) {
       options.prefix_bits = std::stoi(*v);
-    } else if (auto v = value_of("--first-prefix")) {
+    } else if ((v = value_of("--first-prefix"))) {
       options.first_prefix = *v;
-    } else if (auto v = value_of("--pps")) {
+    } else if ((v = value_of("--pps"))) {
       options.pps = std::stod(*v);
-    } else if (auto v = value_of("--shards")) {
+    } else if ((v = value_of("--shards"))) {
       options.shards = std::stoi(*v);
-    } else if (auto v = value_of("--split-ttl")) {
+    } else if ((v = value_of("--split-ttl"))) {
       options.split_ttl = std::stoi(*v);
-    } else if (auto v = value_of("--gap-limit")) {
+    } else if ((v = value_of("--gap-limit"))) {
       options.gap_limit = std::stoi(*v);
-    } else if (auto v = value_of("--max-ttl")) {
+    } else if ((v = value_of("--max-ttl"))) {
       options.max_ttl = std::stoi(*v);
-    } else if (auto v = value_of("--preprobe")) {
+    } else if ((v = value_of("--preprobe"))) {
       options.preprobe = *v;
-    } else if (auto v = value_of("--proximity-span")) {
+    } else if ((v = value_of("--proximity-span"))) {
       options.proximity_span = std::stoi(*v);
-    } else if (auto v = value_of("--extra-scans")) {
+    } else if ((v = value_of("--extra-scans"))) {
       options.extra_scans = std::stoi(*v);
     } else if (arg == "--no-redundancy-removal") {
       options.redundancy = false;
     } else if (arg == "--no-forward") {
       options.forward = false;
-    } else if (auto v = value_of("--seed")) {
+    } else if ((v = value_of("--seed"))) {
       options.seed = std::stoull(*v);
-    } else if (auto v = value_of("--routes")) {
+    } else if ((v = value_of("--routes"))) {
       options.routes_file = *v;
-    } else if (auto v = value_of("--routes-format")) {
+    } else if ((v = value_of("--routes-format"))) {
       options.routes_format = *v;
-    } else if (auto v = value_of("--archive")) {
+    } else if ((v = value_of("--archive"))) {
       options.archive_file = *v;
-    } else if (auto v = value_of("--inspect")) {
+    } else if ((v = value_of("--inspect"))) {
       options.inspect_file = *v;
-    } else if (auto v = value_of("--exclude")) {
+    } else if ((v = value_of("--exclude"))) {
       options.exclusion_file = *v;
-    } else if (auto v = value_of("--targets")) {
+    } else if ((v = value_of("--targets"))) {
       options.targets_file = *v;
-    } else if (auto v = value_of("--pcap")) {
+    } else if ((v = value_of("--pcap"))) {
       options.pcap_file = *v;
-    } else if (auto v = value_of("--metrics-out")) {
+    } else if ((v = value_of("--metrics-out"))) {
       options.metrics_file = *v;
-    } else if (auto v = value_of("--metrics-interval")) {
+    } else if ((v = value_of("--metrics-interval"))) {
       options.metrics_interval_ms = std::stod(*v);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());

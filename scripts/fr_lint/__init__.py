@@ -1,0 +1,26 @@
+"""fr-lint: repo-specific static analysis for the FlashRoute reproduction.
+
+Enforces the invariants DESIGN.md §8 documents:
+
+  * hot-path purity    (rules hot-call, hot-banned, hot-virtual)
+  * atomics discipline (rules single-writer, atomic-member)
+  * determinism        (rules det-random, det-wallclock, det-ptr-iter)
+  * include layering   (rule layering)
+
+Two engines produce findings: a libclang engine over the CMake-exported
+compile_commands.json (engine=clang) and a pure-stdlib token-level engine
+(engine=fallback) that needs nothing beyond Python 3.  Both are driven by
+run.py and checked against the fixture corpus by selftest.py.
+"""
+
+RULES = (
+    "hot-call",
+    "hot-banned",
+    "hot-virtual",
+    "single-writer",
+    "atomic-member",
+    "det-random",
+    "det-wallclock",
+    "det-ptr-iter",
+    "layering",
+)

@@ -1,0 +1,197 @@
+"""libclang fr-lint engine: semantic call resolution for the hot-path rules.
+
+Subclasses the fallback engine and replaces only the hot-body analysis
+(rules hot-call / hot-banned) with an AST walk: FR_HOT functions are found
+by their `[[clang::annotate("fr::hot")]]` attribute and each call inside a
+hot body resolves to its *referenced declaration*, so same-named functions
+are no longer conflated.  The textual rules (determinism, layering,
+atomics, hot-virtual) are inherited — they are token properties of the
+source, and the fallback passes are already exact for them.
+
+Requires the libclang Python bindings (Debian/Ubuntu: python3-clang).
+Import and library loading are probed by run.py; when either is missing,
+run.py falls back to the token engine (or exits 2 under --engine clang).
+A compile_commands.json (cmake -DCMAKE_EXPORT_COMPILE_COMMANDS=ON) supplies
+per-file flags; without one, files parse with default C++20 flags plus any
+`extra_args` (the selftest passes -I for the fixture prelude).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from clang import cindex
+
+from . import config
+from .fallback_engine import FallbackEngine
+from .model import ScrubbedSource, scrub
+
+_HOT_ANNOTATION = "fr::hot"
+_DEFAULT_ARGS = ["-x", "c++", "-std=c++20"]
+
+_LIBRARY_CANDIDATES = (
+    "libclang.so",
+    "libclang-18.so.1", "libclang-17.so.1", "libclang-16.so.1",
+    "libclang-15.so.1", "libclang-14.so.1", "libclang-13.so.1",
+)
+
+
+def _make_index() -> "cindex.Index":
+    try:
+        return cindex.Index.create()
+    except cindex.LibclangError:
+        for name in _LIBRARY_CANDIDATES:
+            try:
+                cindex.Config.loaded = False
+                cindex.Config.set_library_file(name)
+                return cindex.Index.create()
+            except cindex.LibclangError:
+                continue
+        raise
+
+
+def _is_hot(cursor) -> bool:
+    return any(
+        child.kind == cindex.CursorKind.ANNOTATE_ATTR
+        and child.spelling == _HOT_ANNOTATION
+        for child in cursor.get_children()
+    )
+
+
+def _load_compile_args(path: str | None) -> dict[str, list[str]]:
+    """Maps absolute source path -> compiler args (flags only, no -c/-o)."""
+    if path is None:
+        return {}
+    args_by_file: dict[str, list[str]] = {}
+    for entry in json.loads(pathlib.Path(path).read_text(encoding="utf-8")):
+        raw = entry.get("arguments") or entry["command"].split()
+        args: list[str] = []
+        skip = False
+        for token in raw[1:]:
+            if skip:
+                skip = False
+                continue
+            if token in ("-c", "-o"):
+                skip = token == "-o"
+                continue
+            args.append(token)
+        source = str(
+            (pathlib.Path(entry["directory"]) / entry["file"]).resolve()
+        )
+        args_by_file[source] = [a for a in args if a != entry["file"]]
+    return args_by_file
+
+
+class ClangEngine(FallbackEngine):
+    def __init__(self, sources: list[ScrubbedSource],
+                 real_paths: dict[str, str],
+                 compile_commands: str | None = None,
+                 extra_args: list[str] | None = None):
+        super().__init__(sources)
+        self.real_paths = real_paths
+        self.compile_args = _load_compile_args(compile_commands)
+        self.extra_args = list(extra_args or [])
+        self.index = _make_index()
+
+    @classmethod
+    def from_files(cls, root, paths: list[str],
+                   compile_commands: str | None = None,
+                   extra_args: list[str] | None = None) -> "ClangEngine":
+        sources = []
+        real_paths = {}
+        for rel in paths:
+            real = str((pathlib.Path(root) / rel).resolve())
+            raw = pathlib.Path(real).read_text(
+                encoding="utf-8", errors="replace"
+            )
+            sources.append(scrub(rel, raw))
+            real_paths[rel] = real
+        if compile_commands is None:
+            default = pathlib.Path(root) / "build" / "compile_commands.json"
+            if default.is_file():
+                compile_commands = str(default)
+        return cls(sources, real_paths, compile_commands, extra_args)
+
+    # -- semantic hot-body analysis ------------------------------------------
+
+    def _check_hot_bodies(self, src: ScrubbedSource) -> None:
+        real = self.real_paths.get(src.path, src.path)
+        args = self.compile_args.get(real)
+        if args is None:
+            args = _DEFAULT_ARGS + self.extra_args
+        try:
+            tu = self.index.parse(real, args=args)
+        except cindex.TranslationUnitLoadError:
+            super()._check_hot_bodies(src)  # parse failed: textual floor
+            return
+        main_file = str(pathlib.Path(real).resolve())
+        for cursor in tu.cursor.walk_preorder():
+            if cursor.kind not in (
+                cindex.CursorKind.FUNCTION_DECL,
+                cindex.CursorKind.CXX_METHOD,
+                cindex.CursorKind.CONSTRUCTOR,
+                cindex.CursorKind.CONVERSION_FUNCTION,
+            ):
+                continue
+            if not cursor.is_definition() or not _is_hot(cursor):
+                continue
+            location = cursor.location
+            if location.file is None or str(
+                pathlib.Path(str(location.file)).resolve()
+            ) != main_file:
+                continue
+            self._walk_hot_body(src, cursor)
+
+    def _walk_hot_body(self, src: ScrubbedSource, fn) -> None:
+        name = fn.spelling or "<unknown>"
+        extent = fn.extent
+        for node in fn.walk_preorder():
+            kind = node.kind
+            line = node.location.line
+            if kind == cindex.CursorKind.CXX_NEW_EXPR:
+                self._emit("hot-banned", src, line,
+                           f"heap allocation (new) in FR_HOT function "
+                           f"'{name}'")
+            elif kind == cindex.CursorKind.CXX_DELETE_EXPR:
+                self._emit("hot-banned", src, line,
+                           f"heap deallocation (delete) in FR_HOT function "
+                           f"'{name}'")
+            elif kind == cindex.CursorKind.CXX_THROW_EXPR:
+                self._emit("hot-banned", src, line,
+                           f"throw expression in FR_HOT function '{name}'")
+            elif kind == cindex.CursorKind.CALL_EXPR:
+                self._check_call(src, name, extent, node)
+
+    def _check_call(self, src: ScrubbedSource, name: str, extent,
+                    node) -> None:
+        ref = node.referenced
+        callee = (ref.spelling if ref is not None else node.spelling) or ""
+        if not callee:
+            return  # indirect call through a function pointer/std::function
+        if ref is not None:
+            if _is_hot(ref) or _is_hot(ref.canonical):
+                return
+            # Calls into a lambda (or helper) defined inside this hot body
+            # inherit its discipline: the lambda's own calls are walked too.
+            loc = ref.location
+            if (loc.file is not None and extent.start.file is not None
+                    and str(loc.file) == str(extent.start.file)
+                    and extent.start.line <= loc.line <= extent.end.line):
+                return
+            # Compiler-defaulted/trivial special members never allocate.
+            if ref.kind == cindex.CursorKind.CONSTRUCTOR and (
+                    ref.is_default_constructor() or ref.is_copy_constructor()
+                    or ref.is_move_constructor()) and ref.is_defaulted_method():
+                return
+        if callee in config.CALL_ALLOWLIST or callee in config.TYPE_ALLOWLIST:
+            return
+        line = node.location.line
+        if callee in config.BANNED_CALLS:
+            self._emit("hot-banned", src, line,
+                       f"call to '{callee}' (allocating or I/O) in FR_HOT "
+                       f"function '{name}'")
+            return
+        self._emit("hot-call", src, line,
+                   f"FR_HOT function '{name}' calls '{callee}', which is "
+                   "neither FR_HOT nor allowlisted")

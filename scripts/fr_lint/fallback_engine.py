@@ -1,0 +1,356 @@
+"""Token-level fr-lint engine (no dependencies beyond the Python stdlib).
+
+The engine is deliberately *name-based*: FR_HOT functions are collected
+repo-wide, and a call inside an FR_HOT body resolves against (local lambdas
+| FR_HOT names | allowlist).  That makes the hot-path discipline inductive —
+if every FR_HOT function only calls FR_HOT or allowlisted callees, the whole
+annotated call graph is transitively free of allocation, throwing, blocking
+and I/O — at the cost of treating same-named functions alike.  The libclang
+engine (clang_engine.py) resolves calls semantically when available; this
+engine is the floor that always runs.
+"""
+
+from __future__ import annotations
+
+import re
+
+from . import config
+from .model import Finding, ScrubbedSource, match_brace, scrub
+
+_HOT_TOKEN_RE = re.compile(r"\bFR_HOT\b")
+_SW_TOKEN_RE = re.compile(r"\bFR_SINGLE_WRITER\b")
+_NAME_BEFORE_PAREN_RE = re.compile(
+    r"(operator\s*[^\s(]+|[A-Za-z_]\w*)\s*\($"
+)
+_CALL_RE = re.compile(r"(\boperator\s*[^\s\w(]+\s*|\b[A-Za-z_]\w*\s*)\(")
+_LOCAL_LAMBDA_RE = re.compile(r"\b(?:const\s+)?auto\s+([A-Za-z_]\w*)\s*=\s*\[")
+_INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+_CLASS_RE = re.compile(
+    r"\b(class|struct)\s+(?:FR_\w+\s+)?(?:alignas\s*\([^)]*\)\s*)?"
+    r"([A-Za-z_]\w*)(\s+final)?\s*:\s*(?:public|protected|private)\s+"
+)
+_OVERRIDE_RE = re.compile(r"\boverride\b")
+_RMW_RE = re.compile(
+    r"\b(fetch_add|fetch_sub|fetch_or|fetch_and|fetch_xor|exchange|"
+    r"compare_exchange_weak|compare_exchange_strong)\s*\("
+)
+_NONRELAXED_ORDER_RE = re.compile(
+    r"\bmemory_order_(acquire|release|acq_rel|seq_cst|consume)\b|"
+    r"\bmemory_order::(acquire|release|acq_rel|seq_cst|consume)\b"
+)
+_ATOMIC_DECL_RE = re.compile(r"\bstd::atomic(?:_flag)?\b")
+_PTR_UNORDERED_RE = re.compile(r"\bunordered_(?:map|set)\s*<[^;{}()]*\*")
+
+# Tokens that, when found as the word immediately before a call-looking
+# identifier, mean "this is a call, not a declaration".
+_NOT_A_TYPE = frozenset({
+    "return", "else", "case", "goto", "co_return", "co_yield", "in",
+    "and", "or", "not",
+})
+
+
+def _find_declarator_end(text: str, start: int) -> tuple[int, str]:
+    """From `start` (just past FR_HOT), finds the end of the declaration:
+    returns (index, kind) where kind is '{' (definition) or ';' (declaration
+    only).  Scans at paren depth 0 so default arguments don't confuse it."""
+    depth = 0
+    for i in range(start, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+        elif depth == 0 and c in "{;":
+            return i, c
+    return len(text), ";"
+
+
+def _declared_name(decl: str) -> str | None:
+    """Function name from the declaration text before its parameter list."""
+    paren = _first_param_paren(decl)
+    if paren is None:
+        return None
+    m = _NAME_BEFORE_PAREN_RE.search(decl[: paren + 1])
+    if not m:
+        return None
+    name = m.group(1)
+    if name.startswith("operator"):
+        return "operator" + name[len("operator"):].strip()
+    return name
+
+
+def _first_param_paren(decl: str) -> int | None:
+    """Index of the '(' opening the parameter list (the first paren at
+    angle-bracket depth 0 — return types like std::optional<T> have none)."""
+    angle = 0
+    for i, c in enumerate(decl):
+        if c == "<":
+            angle += 1
+        elif c == ">":
+            angle = max(0, angle - 1)
+        elif c == "(" and angle == 0:
+            return i
+    return None
+
+
+class FallbackEngine:
+    def __init__(self, sources: list[ScrubbedSource]):
+        self.sources = sources
+        self.hot_names: set[str] = set()
+        self.findings: list[Finding] = []
+        self._collect_hot_names()
+
+    @classmethod
+    def from_files(cls, root, paths: list[str]) -> "FallbackEngine":
+        sources = []
+        for rel in paths:
+            raw = (root / rel).read_text(encoding="utf-8", errors="replace")
+            sources.append(scrub(rel, raw))
+        return cls(sources)
+
+    # -- collection ----------------------------------------------------------
+
+    def _collect_hot_names(self) -> None:
+        for src in self.sources:
+            for m in _HOT_TOKEN_RE.finditer(src.text):
+                end, _ = _find_declarator_end(src.text, m.end())
+                name = _declared_name(src.text[m.end(): end])
+                if name:
+                    self.hot_names.add(name)
+
+    # -- entry point ---------------------------------------------------------
+
+    def analyze(self) -> list[Finding]:
+        for src in self.sources:
+            self._check_hot_bodies(src)
+            self._check_hot_virtual(src)
+            self._check_single_writer(src)
+            self._check_atomic_members(src)
+            self._check_tokens(src, "det-random", config.DET_RANDOM_TOKENS)
+            if src.path not in config.DET_WALLCLOCK_FILE_ALLOWLIST:
+                self._check_tokens(
+                    src, "det-wallclock", config.DET_WALLCLOCK_TOKENS
+                )
+            self._check_ptr_iter(src)
+            self._check_layering(src)
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.rule)
+        )
+
+    def _emit(self, rule: str, src: ScrubbedSource, line: int,
+              message: str) -> None:
+        if not src.allowed(rule, line):
+            self.findings.append(Finding(rule, src.path, line, message))
+
+    # -- hot-path purity -----------------------------------------------------
+
+    def _hot_bodies(self, src: ScrubbedSource):
+        for m in _HOT_TOKEN_RE.finditer(src.text):
+            end, kind = _find_declarator_end(src.text, m.end())
+            if kind != "{":
+                continue
+            name = _declared_name(src.text[m.end(): end])
+            body_end = match_brace(src.text, end)
+            yield name or "<unknown>", end, body_end
+
+    def _check_hot_bodies(self, src: ScrubbedSource) -> None:
+        for name, body_start, body_end in self._hot_bodies(src):
+            body = src.text[body_start:body_end]
+            local_ok = set(_LOCAL_LAMBDA_RE.findall(body))
+            self._scan_banned_tokens(src, name, body, body_start)
+            self._scan_calls(src, name, body, body_start, local_ok)
+
+    def _scan_banned_tokens(self, src: ScrubbedSource, name: str,
+                            body: str, base: int) -> None:
+        for pattern, what in config.BANNED_TOKENS:
+            for m in re.finditer(pattern, body):
+                line = src.line_of(base + m.start())
+                self._emit(
+                    "hot-banned", src, line,
+                    f"{what} in FR_HOT function '{name}'",
+                )
+
+    def _scan_calls(self, src: ScrubbedSource, name: str, body: str,
+                    base: int, local_ok: set[str]) -> None:
+        for m in _CALL_RE.finditer(body):
+            callee = m.group(1).strip()
+            if callee in config.CALL_KEYWORDS:
+                continue
+            if callee.startswith("operator"):
+                continue  # operator calls resolve like methods; keep lenient
+            line = src.line_of(base + m.start())
+            prev = body[: m.start()].rstrip()
+            prev_char = prev[-1:] if prev else ""
+            if prev_char and (prev_char.isalnum() or prev_char == "_"):
+                prev_word = re.search(r"([A-Za-z_]\w*)$", prev)
+                word = prev_word.group(1) if prev_word else ""
+                if word not in _NOT_A_TYPE and word not in config.CALL_KEYWORDS:
+                    # `Type name(args)` — a declaration; vet the type.
+                    type_name = word
+                    if (type_name in config.TYPE_ALLOWLIST
+                            or type_name in self.hot_names):
+                        continue
+                    self._emit(
+                        "hot-call", src, line,
+                        f"FR_HOT function '{name}' constructs "
+                        f"'{type_name}', which is neither FR_HOT nor "
+                        "allowlisted",
+                    )
+                    continue
+            if callee in local_ok:
+                continue
+            if callee in self.hot_names:
+                continue
+            if callee in config.CALL_ALLOWLIST:
+                continue
+            if callee in config.TYPE_ALLOWLIST:
+                continue  # functional cast / temporary of a vetted type
+            if callee in config.BANNED_CALLS:
+                self._emit(
+                    "hot-banned", src, line,
+                    f"call to '{callee}' (allocating or I/O) in FR_HOT "
+                    f"function '{name}'",
+                )
+                continue
+            self._emit(
+                "hot-call", src, line,
+                f"FR_HOT function '{name}' calls '{callee}', which is "
+                "neither FR_HOT nor allowlisted",
+            )
+
+    def _check_hot_virtual(self, src: ScrubbedSource) -> None:
+        for m in _CLASS_RE.finditer(src.text):
+            is_final = bool(m.group(3))
+            if is_final:
+                continue
+            class_name = m.group(2)
+            open_brace = src.text.find("{", m.end())
+            if open_brace == -1:
+                continue
+            body_end = match_brace(src.text, open_brace)
+            body = src.text[open_brace:body_end]
+            for om in _OVERRIDE_RE.finditer(body):
+                # `override final` (either order) devirtualizes the slot.
+                window = body[max(0, om.start() - 48): om.start() + 48]
+                if re.search(r"\bfinal\b", window):
+                    continue
+                line = src.line_of(open_brace + om.start())
+                self._emit(
+                    "hot-virtual", src, line,
+                    f"'{class_name}' overrides a virtual method but neither "
+                    "the class nor the method is final; hot-path calls "
+                    "cannot be devirtualized",
+                )
+
+    # -- atomics discipline --------------------------------------------------
+
+    def _single_writer_regions(self, src: ScrubbedSource):
+        for m in _SW_TOKEN_RE.finditer(src.text):
+            open_brace = src.text.find("{", m.end())
+            if open_brace == -1:
+                continue
+            yield open_brace, match_brace(src.text, open_brace)
+
+    def _check_single_writer(self, src: ScrubbedSource) -> None:
+        for start, end in self._single_writer_regions(src):
+            body = src.text[start:end]
+            for m in _RMW_RE.finditer(body):
+                line = src.line_of(start + m.start())
+                self._emit(
+                    "single-writer", src, line,
+                    f"read-modify-write atomic '{m.group(1)}' inside an "
+                    "FR_SINGLE_WRITER lane (single-writer lanes use plain "
+                    "load+store)",
+                )
+            for m in _NONRELAXED_ORDER_RE.finditer(body):
+                line = src.line_of(start + m.start())
+                self._emit(
+                    "single-writer", src, line,
+                    "non-relaxed memory order inside an FR_SINGLE_WRITER "
+                    "lane",
+                )
+
+    def _check_atomic_members(self, src: ScrubbedSource) -> None:
+        sw_regions = list(self._single_writer_regions(src))
+        offset = 0
+        for lineno, line in enumerate(src.text.split("\n"), start=1):
+            start = offset
+            offset += len(line) + 1
+            stripped = line.strip()
+            if (not _ATOMIC_DECL_RE.search(line)
+                    or stripped.startswith("#")
+                    or stripped.startswith("using ")
+                    or stripped.startswith("template")):
+                continue
+            if any(s <= start < e for s, e in sw_regions):
+                continue
+            decl = re.sub(r"alignas\s*\([^)]*\)", "", line)
+            if "(" in decl:
+                continue  # parameter, local with ctor args, or expression
+            if not decl.rstrip().endswith((";", "{", "}")):
+                continue
+            if src.has_atomic_role(lineno):
+                continue
+            self._emit(
+                "atomic-member", src, lineno,
+                "raw std::atomic member without an `// fr-atomic: <role>` "
+                "comment (or FR_SINGLE_WRITER on the owning class)",
+            )
+
+    # -- determinism ---------------------------------------------------------
+
+    def _check_tokens(self, src: ScrubbedSource, rule: str,
+                      tokens) -> None:
+        for pattern, what in tokens:
+            for m in re.finditer(pattern, src.text):
+                line = src.line_of(m.start())
+                self._emit(
+                    rule, src, line,
+                    f"{what} is nondeterministic; engines must stay "
+                    "seed-deterministic (DESIGN.md §8)",
+                )
+
+    def _check_ptr_iter(self, src: ScrubbedSource) -> None:
+        if src.path in config.DET_PTR_ITER_FILE_ALLOWLIST:
+            return
+        for m in _PTR_UNORDERED_RE.finditer(src.text):
+            line = src.line_of(m.start())
+            self._emit(
+                "det-ptr-iter", src, line,
+                "pointer-keyed unordered container: iteration order depends "
+                "on the allocator and breaks run-to-run determinism",
+            )
+
+    # -- layering ------------------------------------------------------------
+
+    def _check_layering(self, src: ScrubbedSource) -> None:
+        parts = src.path.split("/")
+        if len(parts) < 3 or parts[0] != "src":
+            return
+        layer = parts[1]
+        rule = config.LAYERING.get(layer)
+        if rule is None:
+            return
+        allowed_dirs, core_interface = rule
+        scrub_lines = src.text.split("\n")
+        # Include paths are string literals, which scrub() blanks — match on
+        # the raw text, then drop matches whose line was comment-scrubbed.
+        for m in _INCLUDE_RE.finditer(src.raw):
+            # Anchor on the path capture: `^\s*` may have swallowed the
+            # newline of a preceding blank line.
+            line = src.raw.count("\n", 0, m.start(1)) + 1
+            if "include" not in scrub_lines[line - 1]:
+                continue  # commented-out include
+            target = m.group(1)
+            target_dir = target.split("/", 1)[0]
+            if target_dir in allowed_dirs:
+                continue
+            if core_interface and target in config.CORE_INTERFACE_HEADERS:
+                continue
+            self._emit(
+                "layering", src, line,
+                f"{layer}/ may not include \"{target}\" (allowed: "
+                f"{', '.join(sorted(allowed_dirs))}"
+                + (", plus core interface headers" if core_interface else "")
+                + ")",
+            )

@@ -1,0 +1,13 @@
+// fr-lint fixture: atomic-member must FIRE.
+// A raw std::atomic member with no `// fr-atomic: <role>` comment and no
+// FR_SINGLE_WRITER on the owning class: the sharing contract is unstated.
+#include <atomic>
+#include <cstdint>
+
+class DropCounter {
+ public:
+  void bump() { drops_.store(drops_.load() + 1); }
+
+ private:
+  std::atomic<uint64_t> drops_{0};
+};

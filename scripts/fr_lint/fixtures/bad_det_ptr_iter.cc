@@ -1,0 +1,8 @@
+// fr-lint fixture: det-ptr-iter must FIRE.
+// Pointer-keyed unordered containers hash addresses: iteration order
+// changes run to run with the allocator, breaking replay determinism.
+#include <unordered_map>
+
+struct Session;
+
+using SessionIndex = std::unordered_map<Session*, int>;

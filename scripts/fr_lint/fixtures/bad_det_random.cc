@@ -1,0 +1,6 @@
+// fr-lint fixture: det-random must FIRE.
+// rand() draws from hidden process-global state; two runs with the same
+// scan seed would probe different targets.
+#include <cstdlib>
+
+int pick_offset() { return rand() % 255; }

@@ -1,0 +1,8 @@
+// fr-lint fixture: det-wallclock must FIRE.
+// Reading system_clock outside src/util/clock.h couples results to the
+// host's wall time; the sim runtime could never replay it.
+#include <chrono>
+
+long long stamp_now() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,9 @@
+// fr-lint fixture: hot-banned must FIRE.
+// An FR_HOT function grows a vector (heap allocation on the hot path).
+#include <fr_lint_fixture_prelude.h>
+
+#include <vector>
+
+FR_HOT void record(std::vector<int>& log, int value) {
+  log.push_back(value);
+}

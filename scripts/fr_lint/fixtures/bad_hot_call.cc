@@ -1,0 +1,10 @@
+// fr-lint fixture: hot-call must FIRE.
+// classify() is FR_HOT but calls lookup_table(), which is neither FR_HOT
+// nor on the call allowlist, so the hot-path discipline is broken.
+#include <fr_lint_fixture_prelude.h>
+
+int lookup_table(int key);
+
+FR_HOT int classify(int key) {
+  return lookup_table(key) + 1;
+}

@@ -1,0 +1,13 @@
+// fr-lint fixture: hot-virtual must FIRE.
+// LoopbackWire overrides transmit() but neither the class nor the method
+// is final, so calls through Wire* cannot be devirtualized.
+class Wire {
+ public:
+  virtual ~Wire() = default;
+  virtual int transmit(int frame) = 0;
+};
+
+class LoopbackWire : public Wire {
+ public:
+  int transmit(int frame) override { return frame; }
+};

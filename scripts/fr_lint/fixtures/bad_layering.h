@@ -1,0 +1,7 @@
+// fr-lint fixture: layering must FIRE (scanned as src/sim/bad_layering.h).
+// sim/ may only reach core/ through the interface headers; core/dcb.h is
+// engine-internal state.
+#pragma once
+
+#include "core/dcb.h"
+#include "util/clock.h"

@@ -1,0 +1,16 @@
+// fr-lint fixture: single-writer must FIRE.
+// An FR_SINGLE_WRITER lane uses an atomic RMW and acquire/seq_cst
+// orderings; single-writer lanes only need plain relaxed load+store.
+#include <fr_lint_fixture_prelude.h>
+
+#include <atomic>
+#include <cstdint>
+
+class FR_SINGLE_WRITER Counter {
+ public:
+  void bump() { total_.fetch_add(1, std::memory_order_seq_cst); }
+  uint64_t total() const { return total_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> total_{0};
+};

@@ -1,0 +1,13 @@
+// Self-contained stand-in for src/util/annotations.h, so fixtures compile
+// under the libclang engine without reaching into src/.  Included with
+// angle brackets (selftest passes -I for this directory) so the layering
+// rule, which only inspects quoted includes, never sees it.
+#pragma once
+
+#if defined(__clang__)
+#define FR_HOT [[clang::annotate("fr::hot")]]
+#define FR_SINGLE_WRITER [[clang::annotate("fr::single_writer")]]
+#else
+#define FR_HOT
+#define FR_SINGLE_WRITER
+#endif

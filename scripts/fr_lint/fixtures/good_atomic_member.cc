@@ -1,0 +1,17 @@
+// fr-lint fixture: atomic-member must PASS.
+// Each raw atomic member states its sharing role, either trailing the
+// declaration or in the comment block directly above it.
+#include <atomic>
+#include <cstdint>
+
+class DropCounter {
+ public:
+  void bump() { drops_.store(drops_.load() + 1); }
+
+ private:
+  std::atomic<uint64_t> drops_{0};  // fr-atomic: receiver-thread counter
+
+  // fr-atomic: destructor -> receiver-thread stop request, relaxed;
+  // spans two comment lines to exercise the block-scan suppression path
+  std::atomic<bool> stopping_{false};
+};

@@ -1,0 +1,7 @@
+// fr-lint fixture: det-ptr-iter must PASS.
+// Keyed by a stable integer id (as the scan state is: addresses and /24
+// indices), iteration order is a pure function of the inserted keys.
+#include <cstdint>
+#include <unordered_map>
+
+using SessionIndex = std::unordered_map<uint64_t, int>;

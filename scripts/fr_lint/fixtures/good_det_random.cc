@@ -1,0 +1,12 @@
+// fr-lint fixture: det-random must PASS.
+// Randomness comes from an explicitly seeded generator whose state the
+// caller owns, so runs replay exactly.
+#include <cstdint>
+
+inline uint64_t next_offset(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}

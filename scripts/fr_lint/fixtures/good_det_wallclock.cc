@@ -1,0 +1,6 @@
+// fr-lint fixture: det-wallclock must PASS.
+// Time reaches engines only as util::Nanos handed in by the injected
+// Clock; code under test records the value it is given.
+#include <cstdint>
+
+int64_t stamp(int64_t now_ns) { return now_ns; }

@@ -1,0 +1,17 @@
+// fr-lint fixture: hot-banned must PASS.
+// The hot writer fills a preallocated slab; the one deliberate growth
+// site carries a documented inline suppression.
+#include <fr_lint_fixture_prelude.h>
+
+#include <vector>
+
+FR_HOT void record(int* slots, int& cursor, int value) {
+  slots[cursor] = value;
+  ++cursor;
+}
+
+FR_HOT void record_diagnostic(std::vector<int>& log, int value) {
+  // fr-lint: allow(hot-banned): diagnostic-only path, off in production
+  // scans; growth is bounded by the fixture's tiny input
+  log.push_back(value);
+}

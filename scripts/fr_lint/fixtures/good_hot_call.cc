@@ -1,0 +1,15 @@
+// fr-lint fixture: hot-call must PASS.
+// Every callee of an FR_HOT function is itself FR_HOT (inductive closure),
+// a local lambda, or an allowlisted primitive.
+#include <fr_lint_fixture_prelude.h>
+
+#include <cstring>
+
+FR_HOT int lookup_table(int key) { return key * 2; }
+
+FR_HOT int classify(int key) {
+  const auto fold = [](int v) { return v & 0xff; };
+  unsigned char scratch[4];
+  std::memset(scratch, 0, sizeof scratch);
+  return fold(lookup_table(key)) + static_cast<int>(scratch[0]);
+}

@@ -1,0 +1,18 @@
+// fr-lint fixture: hot-virtual must PASS.
+// Overriding classes are final (or the overriding method is), so the
+// compiler may devirtualize hot-path calls.
+class Wire {
+ public:
+  virtual ~Wire() = default;
+  virtual int transmit(int frame) = 0;
+};
+
+class LoopbackWire final : public Wire {
+ public:
+  int transmit(int frame) override { return frame; }
+};
+
+class CountingWire : public Wire {
+ public:
+  int transmit(int frame) override final { return frame + 1; }
+};

@@ -1,0 +1,8 @@
+// fr-lint fixture: layering must PASS (scanned as src/sim/good_layering.h).
+// sim/ includes its own layer, the layers below it, and core/ interface
+// headers only.
+#pragma once
+
+#include "core/runtime.h"
+#include "net/ipv4.h"
+#include "util/clock.h"

@@ -1,0 +1,19 @@
+// fr-lint fixture: single-writer must PASS.
+// The lane's one writer uses relaxed load+store, never RMW; readers
+// tolerate a stale value by design.
+#include <fr_lint_fixture_prelude.h>
+
+#include <atomic>
+#include <cstdint>
+
+class FR_SINGLE_WRITER Counter {
+ public:
+  void bump() {
+    total_.store(total_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+  }
+  uint64_t total() const { return total_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> total_{0};
+};

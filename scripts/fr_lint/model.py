@@ -1,0 +1,150 @@
+"""Shared source model for fr-lint engines.
+
+The fallback engine works on a *scrubbed* view of each translation unit:
+comments and string/character literals are blanked out (newlines preserved,
+so line numbers survive), while the comment text is retained separately to
+parse `// fr-lint: allow(<rule>): <reason>` suppressions and
+`// fr-atomic: <role>` annotations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    rule: str
+    path: str  # repo-relative
+    line: int  # 1-based
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+_ALLOW_RE = re.compile(r"fr-lint:\s*allow\(([a-z-]+)\)")
+_ATOMIC_ROLE_RE = re.compile(r"fr-atomic:\s*\S")
+
+
+@dataclasses.dataclass
+class ScrubbedSource:
+    """A file with literals/comments blanked and suppression data extracted."""
+
+    path: str
+    text: str  # scrubbed: same length/line structure as the original
+    raw: str
+    # line (1-based) -> set of rule names allowed on that line
+    allows: dict[int, set[str]]
+    # lines (1-based) carrying an `fr-atomic:` role comment
+    atomic_roles: set[int]
+    _comment_only: set[int] | None = None
+
+    def line_of(self, offset: int) -> int:
+        return self.text.count("\n", 0, offset) + 1
+
+    def _comment_only_lines(self) -> set[int]:
+        if self._comment_only is None:
+            self._comment_only = set()
+            for i, (raw_line, clean_line) in enumerate(
+                    zip(self.raw.split("\n"), self.text.split("\n")),
+                    start=1):
+                if raw_line.strip() and not clean_line.strip():
+                    self._comment_only.add(i)
+        return self._comment_only
+
+    def _probe_lines(self, line: int):
+        """The line itself, then the contiguous run of comment-only lines
+        directly above it (a multi-line comment suppresses the first code
+        line below it)."""
+        yield line
+        probe = line - 1
+        comment_only = self._comment_only_lines()
+        while probe in comment_only:
+            yield probe
+            probe -= 1
+
+    def allowed(self, rule: str, line: int) -> bool:
+        return any(rule in self.allows.get(probe, set())
+                   for probe in self._probe_lines(line))
+
+    def has_atomic_role(self, line: int) -> bool:
+        return any(probe in self.atomic_roles
+                   for probe in self._probe_lines(line))
+
+
+def scrub(path: str, raw: str) -> ScrubbedSource:
+    """Blanks comments and string/char literals; keeps newlines in place."""
+    out = []
+    allows: dict[int, set[str]] = {}
+    atomic_roles: set[int] = set()
+    i = 0
+    n = len(raw)
+    line = 1
+
+    def record_comment(text: str, start_line: int) -> None:
+        for delta, comment_line in enumerate(text.split("\n")):
+            for match in _ALLOW_RE.finditer(comment_line):
+                allows.setdefault(start_line + delta, set()).add(match.group(1))
+            if _ATOMIC_ROLE_RE.search(comment_line):
+                atomic_roles.add(start_line + delta)
+
+    while i < n:
+        c = raw[i]
+        nxt = raw[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = raw.find("\n", i)
+            if end == -1:
+                end = n
+            record_comment(raw[i:end], line)
+            out.append(" " * (end - i))
+            i = end
+        elif c == "/" and nxt == "*":
+            end = raw.find("*/", i + 2)
+            end = n if end == -1 else end + 2
+            text = raw[i:end]
+            record_comment(text, line)
+            out.append(re.sub(r"[^\n]", " ", text))
+            line += text.count("\n")
+            i = end
+        elif c == '"':
+            j = i + 1
+            while j < n and raw[j] != '"':
+                j += 2 if raw[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append('""' + " " * (j - i - 2))
+            i = j
+        elif c == "'":
+            j = i + 1
+            while j < n and raw[j] != "'":
+                j += 2 if raw[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append("''" + " " * (j - i - 2))
+            i = j
+        else:
+            if c == "\n":
+                line += 1
+            out.append(c)
+            i += 1
+
+    return ScrubbedSource(
+        path=path,
+        text="".join(out),
+        raw=raw,
+        allows=allows,
+        atomic_roles=atomic_roles,
+    )
+
+
+def match_brace(text: str, open_index: int) -> int:
+    """Index just past the `}` matching the `{` at open_index (or len)."""
+    depth = 0
+    for i in range(open_index, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)

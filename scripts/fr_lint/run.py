@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""fr-lint driver.
+
+Usage:
+  python3 scripts/fr_lint/run.py --all                 # lint src/ (fallback)
+  python3 scripts/fr_lint/run.py --all --engine clang  # libclang engine
+  python3 scripts/fr_lint/run.py --selftest            # fixture corpus
+  python3 scripts/fr_lint/run.py src/core/tracer.cc    # specific files
+
+Exit status: 0 = no findings, 1 = findings, 2 = usage/environment error.
+
+The fallback engine needs nothing beyond the Python stdlib and is the
+engine CI gates on.  The clang engine needs the libclang Python bindings
+(python3-clang) and a compile_commands.json (cmake -DCMAKE_EXPORT_COMPILE_COMMANDS=ON);
+`--engine auto` uses it when importable and falls back otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from fr_lint import RULES, config  # type: ignore
+    from fr_lint.fallback_engine import FallbackEngine  # type: ignore
+else:
+    from . import RULES, config
+    from .fallback_engine import FallbackEngine
+
+
+def repo_root() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def collect_sources(root: pathlib.Path) -> list[str]:
+    files = []
+    for src_dir in config.SOURCE_DIRS:
+        base = root / src_dir
+        for path in sorted(base.rglob("*")):
+            if path.suffix in config.SOURCE_SUFFIXES and path.is_file():
+                files.append(path.relative_to(root).as_posix())
+    return files
+
+
+def make_engine(engine: str, root: pathlib.Path, files: list[str],
+                compile_commands: str | None):
+    if engine in ("clang", "auto"):
+        try:
+            if __package__ in (None, ""):
+                from fr_lint.clang_engine import ClangEngine  # type: ignore
+            else:
+                from .clang_engine import ClangEngine
+            return ClangEngine.from_files(root, files, compile_commands)
+        except Exception as error:  # noqa: BLE001 - env probe, not logic
+            if engine == "clang":
+                print(f"fr-lint: clang engine unavailable: {error}",
+                      file=sys.stderr)
+                raise SystemExit(2)
+            print(f"fr-lint: falling back to token engine ({error})",
+                  file=sys.stderr)
+    return FallbackEngine.from_files(root, files)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="fr-lint", description=__doc__)
+    parser.add_argument("files", nargs="*",
+                        help="repo-relative files to lint (default: --all)")
+    parser.add_argument("--all", action="store_true",
+                        help="lint every .h/.cc under src/")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: auto-detected)")
+    parser.add_argument("--engine", choices=("fallback", "clang", "auto"),
+                        default="fallback")
+    parser.add_argument("--compile-commands", default=None,
+                        help="path to compile_commands.json (clang engine)")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the fixture self-test and exit")
+    parser.add_argument("--rule", action="append", choices=RULES,
+                        help="restrict output to these rules")
+    args = parser.parse_args(argv)
+
+    root = pathlib.Path(args.root).resolve() if args.root else repo_root()
+
+    if args.selftest:
+        if __package__ in (None, ""):
+            from fr_lint.selftest import run_selftest  # type: ignore
+        else:
+            from .selftest import run_selftest
+        return run_selftest(engine=args.engine)
+
+    if args.all or not args.files:
+        files = collect_sources(root)
+    else:
+        files = []
+        for name in args.files:
+            rel = pathlib.Path(name)
+            if rel.is_absolute():
+                rel = rel.relative_to(root)
+            if not (root / rel).is_file():
+                print(f"fr-lint: no such file: {name}", file=sys.stderr)
+                return 2
+            files.append(rel.as_posix())
+
+    engine = make_engine(args.engine, root, files, args.compile_commands)
+    findings = engine.analyze()
+    if args.rule:
+        wanted = set(args.rule)
+        findings = [f for f in findings if f.rule in wanted]
+
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"fr-lint: {len(findings)} finding(s) in {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"fr-lint: clean ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""clang-tidy changed-baseline gate.
+
+Runs clang-tidy (profile: .clang-tidy) over every first-party translation
+unit in compile_commands.json and compares the findings against the
+checked-in baseline, scripts/fr_lint/clang_tidy_baseline.txt:
+
+  * a finding in the baseline      -> tolerated (pre-existing debt)
+  * a finding NOT in the baseline  -> NEW, exit 1 (CI fails)
+  * a baseline line with no match  -> reported as stale (fix landed:
+                                      delete the line), exit stays 0
+
+Findings are keyed as `path:check-name:message` — line numbers are left
+out so unrelated edits that shift code don't churn the baseline.
+
+Usage:
+  python3 scripts/fr_lint/run_clang_tidy.py --build-dir build
+  python3 scripts/fr_lint/run_clang_tidy.py --build-dir build \
+      --update-baseline      # rewrite the baseline from current findings
+
+Exit status: 0 = no new findings, 1 = new findings, 2 = environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+_FINDING_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?:warning|error): (?P<message>.*?) \[(?P<check>[^\]]+)\]$"
+)
+
+BASELINE = pathlib.Path(__file__).resolve().parent / "clang_tidy_baseline.txt"
+
+
+def repo_root() -> pathlib.Path:
+    return pathlib.Path(__file__).resolve().parent.parent.parent
+
+
+def first_party_sources(build_dir: pathlib.Path,
+                        root: pathlib.Path) -> list[str]:
+    db = build_dir / "compile_commands.json"
+    if not db.is_file():
+        print(f"run_clang_tidy: no {db} (configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)", file=sys.stderr)
+        raise SystemExit(2)
+    sources = []
+    for entry in json.loads(db.read_text(encoding="utf-8")):
+        path = pathlib.Path(entry["directory"], entry["file"]).resolve()
+        try:
+            rel = path.relative_to(root)
+        except ValueError:
+            continue
+        if rel.parts[0] in ("src", "examples"):
+            sources.append(str(path))
+    return sorted(set(sources))
+
+
+def run_tidy(tidy: str, build_dir: pathlib.Path, sources: list[str],
+             jobs: int) -> list[str]:
+    findings: set[str] = set()
+    root = repo_root()
+    for batch_start in range(0, len(sources), jobs):
+        batch = sources[batch_start: batch_start + jobs]
+        procs = [
+            subprocess.Popen(
+                [tidy, "-p", str(build_dir), "--quiet", source],
+                stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                text=True,
+            )
+            for source in batch
+        ]
+        for proc in procs:
+            out, _ = proc.communicate()
+            for line in out.splitlines():
+                m = _FINDING_RE.match(line)
+                if not m:
+                    continue
+                path = pathlib.Path(m.group("path"))
+                try:
+                    rel = path.resolve().relative_to(root).as_posix()
+                except ValueError:
+                    continue  # system/third-party header
+                findings.add(f"{rel}:{m.group('check')}:{m.group('message')}")
+    return sorted(findings)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: first on PATH)")
+    parser.add_argument("--jobs", type=int, default=8)
+    parser.add_argument("--update-baseline", action="store_true")
+    args = parser.parse_args(argv)
+
+    tidy = args.clang_tidy or shutil.which("clang-tidy")
+    if tidy is None:
+        for version in range(20, 12, -1):
+            tidy = shutil.which(f"clang-tidy-{version}")
+            if tidy:
+                break
+    if tidy is None:
+        print("run_clang_tidy: clang-tidy not found on PATH",
+              file=sys.stderr)
+        return 2
+
+    root = repo_root()
+    build_dir = pathlib.Path(args.build_dir)
+    if not build_dir.is_absolute():
+        build_dir = root / build_dir
+    sources = first_party_sources(build_dir, root)
+    if not sources:
+        print("run_clang_tidy: no first-party sources in the compilation "
+              "database", file=sys.stderr)
+        return 2
+    findings = run_tidy(tidy, build_dir, sources, max(1, args.jobs))
+
+    if args.update_baseline:
+        BASELINE.write_text(
+            "".join(f"{finding}\n" for finding in findings),
+            encoding="utf-8",
+        )
+        print(f"run_clang_tidy: baseline rewritten with {len(findings)} "
+              f"finding(s)")
+        return 0
+
+    baseline = set()
+    if BASELINE.is_file():
+        baseline = {
+            line.strip()
+            for line in BASELINE.read_text(encoding="utf-8").splitlines()
+            if line.strip() and not line.startswith("#")
+        }
+    new = [f for f in findings if f not in baseline]
+    stale = sorted(baseline - set(findings))
+    for finding in stale:
+        print(f"stale baseline entry (fixed? delete it): {finding}")
+    if new:
+        print(f"run_clang_tidy: {len(new)} NEW finding(s) "
+              f"(not in clang_tidy_baseline.txt):", file=sys.stderr)
+        for finding in new:
+            print(f"  {finding}", file=sys.stderr)
+        return 1
+    print(f"run_clang_tidy: clean ({len(sources)} TUs, "
+          f"{len(findings)} baselined finding(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,132 @@
+"""fr-lint self-test: prove every rule fires on a violating fixture and
+stays silent on a conforming one.
+
+Each rule has a bad_/good_ pair under fixtures/.  A fixture is scanned in
+isolation under a *scan path* chosen per rule (the layering pair poses as
+src/sim/ files; the wall-clock pair must not pose as src/util/clock.h),
+so the path-sensitive rules see the paths they key on.  The bad fixture
+must produce at least one finding of its target rule and nothing else;
+the good fixture must produce no findings at all — fixtures double as the
+documentation corpus, so incidental noise in them is itself a failure.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+    from fr_lint.fallback_engine import FallbackEngine  # type: ignore
+    from fr_lint.model import scrub  # type: ignore
+else:
+    from .fallback_engine import FallbackEngine
+    from .model import scrub
+
+FIXTURES_DIR = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+# rule -> (bad fixture, good fixture, scan directory the engine sees)
+CASES = (
+    ("hot-call", "bad_hot_call.cc", "good_hot_call.cc", "src/core"),
+    ("hot-banned", "bad_hot_banned.cc", "good_hot_banned.cc", "src/core"),
+    ("hot-virtual", "bad_hot_virtual.cc", "good_hot_virtual.cc", "src/core"),
+    ("single-writer", "bad_single_writer.cc", "good_single_writer.cc",
+     "src/core"),
+    ("atomic-member", "bad_atomic_member.cc", "good_atomic_member.cc",
+     "src/core"),
+    ("det-random", "bad_det_random.cc", "good_det_random.cc", "src/core"),
+    ("det-wallclock", "bad_det_wallclock.cc", "good_det_wallclock.cc",
+     "src/core"),
+    ("det-ptr-iter", "bad_det_ptr_iter.cc", "good_det_ptr_iter.cc",
+     "src/core"),
+    ("layering", "bad_layering.h", "good_layering.h", "src/sim"),
+)
+
+
+def _engine_for(mode: str, scan_path: str, fixture: pathlib.Path,
+                clang_engine_cls):
+    raw = fixture.read_text(encoding="utf-8")
+    source = scrub(scan_path, raw)
+    if mode == "clang":
+        return clang_engine_cls(
+            [source], {scan_path: str(fixture)},
+            compile_commands=None,
+            extra_args=["-I", str(FIXTURES_DIR)],
+        )
+    return FallbackEngine([source])
+
+
+def _check_fixture(mode: str, rule: str, filename: str, scan_dir: str,
+                   expect_fire: bool, clang_engine_cls) -> list[str]:
+    fixture = FIXTURES_DIR / filename
+    scan_path = f"{scan_dir}/{filename}"
+    engine = _engine_for(mode, scan_path, fixture, clang_engine_cls)
+    findings = engine.analyze()
+    errors = []
+    if expect_fire:
+        if not any(f.rule == rule for f in findings):
+            errors.append(
+                f"{filename}: expected a [{rule}] finding, got "
+                + (", ".join(f.format() for f in findings) or "none")
+            )
+        for f in findings:
+            if f.rule != rule:
+                errors.append(f"{filename}: stray finding {f.format()}")
+    elif findings:
+        for f in findings:
+            errors.append(f"{filename}: expected clean, got {f.format()}")
+    return errors
+
+
+def run_selftest(engine: str = "fallback") -> int:
+    modes = []
+    clang_engine_cls = None
+    if engine in ("clang", "auto"):
+        try:
+            if __package__ in (None, ""):
+                from fr_lint.clang_engine import ClangEngine  # type: ignore
+            else:
+                from .clang_engine import ClangEngine
+            clang_engine_cls = ClangEngine
+            modes.append("clang")
+        except Exception as error:  # noqa: BLE001 - env probe
+            if engine == "clang":
+                print(f"fr-lint selftest: clang engine unavailable: {error}",
+                      file=sys.stderr)
+                return 2
+            print(f"fr-lint selftest: clang engine unavailable ({error}); "
+                  "running fallback only", file=sys.stderr)
+    if engine in ("fallback", "auto") or not modes:
+        modes.insert(0, "fallback")
+
+    failures: list[str] = []
+    for mode in modes:
+        for rule, bad, good, scan_dir in CASES:
+            for filename, expect_fire in ((bad, True), (good, False)):
+                try:
+                    errors = _check_fixture(
+                        mode, rule, filename, scan_dir, expect_fire,
+                        clang_engine_cls,
+                    )
+                except Exception as error:  # noqa: BLE001 - surface, don't die
+                    errors = [f"{filename}: engine error: {error!r}"]
+                status = "ok" if not errors else "FAIL"
+                print(f"[{mode}] {rule:<14} {filename:<26} {status}")
+                failures.extend(f"[{mode}] {e}" for e in errors)
+
+    if failures:
+        print(f"\nfr-lint selftest: {len(failures)} failure(s)",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    total = len(CASES) * 2 * len(modes)
+    print(f"fr-lint selftest: {total} fixture checks passed "
+          f"({' + '.join(modes)})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_selftest(
+        sys.argv[1] if len(sys.argv) > 1 else "fallback"
+    ))

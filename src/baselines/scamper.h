@@ -70,7 +70,7 @@ class Scamper {
  public:
   Scamper(const ScamperConfig& config, core::ScanRuntime& runtime);
 
-  core::ScanResult run();
+  [[nodiscard]] core::ScanResult run();
 
  private:
   enum class Phase : std::uint8_t { kForward, kBackward, kDone };

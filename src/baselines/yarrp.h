@@ -70,7 +70,7 @@ class Yarrp {
  public:
   Yarrp(const YarrpConfig& config, core::ScanRuntime& runtime);
 
-  core::ScanResult run();
+  [[nodiscard]] core::ScanResult run();
 
  private:
   struct FillProbe {

@@ -16,21 +16,24 @@
 #include <cstdint>
 #include <mutex>
 
+#include "util/annotations.h"
+
 namespace flashroute::core {
 
 /// 1-byte test-and-set spinlock (the paper's suggested optimization).
 /// Meets BasicLockable, so std::lock_guard works.
 class SpinLock {
  public:
-  void lock() noexcept {
+  FR_HOT void lock() noexcept {
     while (flag_.test_and_set(std::memory_order_acquire)) {
       // Contention is "highly unlikely" (§3.4): only when the sender visits
       // a destination at the instant one of its responses arrives.
     }
   }
-  void unlock() noexcept { flag_.clear(std::memory_order_release); }
+  FR_HOT void unlock() noexcept { flag_.clear(std::memory_order_release); }
 
  private:
+  // fr-atomic: 1-byte test-and-set spinlock flag (acquire/release pair)
   std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
 };
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/dcb.h"
+#include "util/annotations.h"
 #include "util/permutation.h"
 
 namespace flashroute::core {
@@ -76,9 +77,9 @@ class BasicDcbArray {
     return ring_size_;
   }
 
-  std::uint32_t head() const noexcept { return head_; }
-  std::uint32_t ring_size() const noexcept { return ring_size_; }
-  std::uint32_t next(std::uint32_t index) const noexcept {
+  FR_HOT std::uint32_t head() const noexcept { return head_; }
+  FR_HOT std::uint32_t ring_size() const noexcept { return ring_size_; }
+  FR_HOT std::uint32_t next(std::uint32_t index) const noexcept {
     return dcbs_[index].next_index;
   }
   bool in_ring(std::uint32_t index) const noexcept {
@@ -86,7 +87,7 @@ class BasicDcbArray {
   }
 
   /// Unlinks a completed destination from future rounds (sender-side only).
-  void remove(std::uint32_t index) noexcept {
+  FR_HOT void remove(std::uint32_t index) noexcept {
     DcbType& dcb = dcbs_[index];
     if (dcb.flags & DcbType::kRemoved) return;
     dcb.flags |= DcbType::kRemoved;

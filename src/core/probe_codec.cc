@@ -10,7 +10,7 @@ namespace flashroute::core {
 namespace {
 
 // IPID bit layout: [ttl-1 : 5][preprobe : 1][timestamp low bits : 10].
-constexpr std::uint16_t pack_ipid(std::uint8_t ttl, bool preprobe,
+FR_HOT constexpr std::uint16_t pack_ipid(std::uint8_t ttl, bool preprobe,
                                   std::uint16_t ts_ms) noexcept {
   return static_cast<std::uint16_t>(
       (static_cast<std::uint16_t>((ttl - 1) & 0x1F) << 11) |
@@ -35,13 +35,13 @@ std::uint16_t read_u16(std::span<const std::byte> buffer,
       static_cast<std::uint16_t>(buffer[offset + 1]));
 }
 
-void patch_u16(std::span<std::byte> buffer, std::size_t offset,
+FR_HOT void patch_u16(std::span<std::byte> buffer, std::size_t offset,
                std::uint16_t v) noexcept {
   buffer[offset] = std::byte(v >> 8);
   buffer[offset + 1] = std::byte(v & 0xFF);
 }
 
-void patch_u32(std::span<std::byte> buffer, std::size_t offset,
+FR_HOT void patch_u32(std::span<std::byte> buffer, std::size_t offset,
                std::uint32_t v) noexcept {
   patch_u16(buffer, offset, static_cast<std::uint16_t>(v >> 16));
   patch_u16(buffer, offset + 2, static_cast<std::uint16_t>(v & 0xFFFF));
@@ -84,7 +84,7 @@ ProbeCodec::ProbeCodec(net::Ipv4Address source,
   }
 }
 
-std::size_t ProbeCodec::encode_udp(net::Ipv4Address destination,
+FR_HOT std::size_t ProbeCodec::encode_udp(net::Ipv4Address destination,
                                    std::uint8_t ttl, bool preprobe,
                                    util::Nanos send_time,
                                    std::span<std::byte> buffer) const noexcept {
@@ -134,7 +134,7 @@ std::size_t ProbeCodec::encode_udp(net::Ipv4Address destination,
   return total;
 }
 
-std::size_t ProbeCodec::encode_tcp(net::Ipv4Address destination,
+FR_HOT std::size_t ProbeCodec::encode_tcp(net::Ipv4Address destination,
                                    std::uint8_t ttl, util::Nanos send_time,
                                    std::span<std::byte> buffer) const noexcept {
   if (buffer.size() < kTcpProbeSize) return 0;
@@ -167,7 +167,7 @@ std::size_t ProbeCodec::encode_tcp(net::Ipv4Address destination,
   return kTcpProbeSize;
 }
 
-std::optional<DecodedProbe> ProbeCodec::decode(
+FR_HOT std::optional<DecodedProbe> ProbeCodec::decode(
     const net::ParsedResponse& response) const noexcept {
   if (!response.is_icmp) return std::nullopt;
 
@@ -193,7 +193,7 @@ std::optional<DecodedProbe> ProbeCodec::decode(
   return probe;
 }
 
-std::optional<std::uint32_t> ProbeCodec::classify_prefix24(
+FR_HOT std::optional<std::uint32_t> ProbeCodec::classify_prefix24(
     std::span<const std::byte> packet) noexcept {
   const auto byte_at = [&](std::size_t i) {
     return static_cast<std::uint8_t>(packet[i]);
@@ -228,7 +228,7 @@ std::optional<std::uint32_t> ProbeCodec::classify_prefix24(
   return dst >> 8;
 }
 
-util::Nanos ProbeCodec::rtt(const DecodedProbe& probe,
+FR_HOT util::Nanos ProbeCodec::rtt(const DecodedProbe& probe,
                             util::Nanos arrival) noexcept {
   const std::uint16_t arrival_ms =
       static_cast<std::uint16_t>((arrival / util::kMillisecond) & 0xFFFF);

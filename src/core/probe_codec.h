@@ -31,6 +31,7 @@
 #include "net/headers.h"
 #include "net/icmp.h"
 #include "net/ipv4.h"
+#include "util/annotations.h"
 #include "util/clock.h"
 
 namespace flashroute::core {
@@ -62,23 +63,23 @@ class ProbeCodec {
 
   /// Crafts a FlashRoute UDP probe into `buffer`; returns the packet size.
   /// `buffer` must hold at least kMaxProbeSize bytes.
-  std::size_t encode_udp(net::Ipv4Address destination, std::uint8_t ttl,
+  [[nodiscard]] FR_HOT std::size_t encode_udp(net::Ipv4Address destination, std::uint8_t ttl,
                          bool preprobe, util::Nanos send_time,
                          std::span<std::byte> buffer) const noexcept;
 
   /// Crafts a Yarrp-style Paris-TCP-ACK probe.
-  std::size_t encode_tcp(net::Ipv4Address destination, std::uint8_t ttl,
+  [[nodiscard]] FR_HOT std::size_t encode_tcp(net::Ipv4Address destination, std::uint8_t ttl,
                          util::Nanos send_time,
                          std::span<std::byte> buffer) const noexcept;
 
   /// Decodes the quoted probe of an ICMP response.  Returns nullopt when
   /// the quote is not one of our probes (wrong destination port family).
-  std::optional<DecodedProbe> decode(const net::ParsedResponse& response)
+  [[nodiscard]] FR_HOT std::optional<DecodedProbe> decode(const net::ParsedResponse& response)
       const noexcept;
 
   /// Round-trip time implied by a decoded probe and its arrival instant,
   /// correcting for the 16-bit timestamp wraparound.
-  static util::Nanos rtt(const DecodedProbe& probe,
+  [[nodiscard]] FR_HOT static util::Nanos rtt(const DecodedProbe& probe,
                          util::Nanos arrival) noexcept;
 
   /// Receive-path classifier for sharded runtimes: the /24 prefix index of
@@ -88,7 +89,7 @@ class ProbeCodec {
   /// cheaper than decode().  Returns nullopt for anything that is not an
   /// ICMP time-exceeded/unreachable quoting one of our UDP probes (notably
   /// TCP RSTs, which carry no quote to classify by).
-  static std::optional<std::uint32_t> classify_prefix24(
+  [[nodiscard]] FR_HOT static std::optional<std::uint32_t> classify_prefix24(
       std::span<const std::byte> packet) noexcept;
 
   std::uint16_t port_offset() const noexcept { return port_offset_; }
@@ -100,7 +101,7 @@ class ProbeCodec {
       net::Ipv4Header::kSize + net::TcpHeader::kSize;
 
  private:
-  static std::uint16_t timestamp_ms16(util::Nanos t) noexcept {
+  FR_HOT static std::uint16_t timestamp_ms16(util::Nanos t) noexcept {
     return static_cast<std::uint16_t>((t / util::kMillisecond) & 0xFFFF);
   }
 

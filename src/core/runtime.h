@@ -22,6 +22,7 @@
 #include <functional>
 #include <span>
 
+#include "util/annotations.h"
 #include "util/clock.h"
 
 namespace flashroute::core {
@@ -38,19 +39,19 @@ class ScanRuntime {
 
   virtual ~ScanRuntime() = default;
 
-  virtual util::Nanos now() const noexcept = 0;
+  FR_HOT virtual util::Nanos now() const noexcept = 0;
 
   /// Paces one probe slot (1/pps) and puts the packet on the wire.
-  virtual void send(std::span<const std::byte> packet) = 0;
+  FR_HOT virtual void send(std::span<const std::byte> packet) = 0;
 
   /// Delivers all responses available by now() to `sink`.
-  virtual void drain(const Sink& sink) = 0;
+  FR_HOT virtual void drain(const Sink& sink) = 0;
 
   /// Advances to time `t` (the paper's >= 1 s round barrier), delivering
   /// responses that arrive in the meantime.  No-op when t <= now().
-  virtual void idle_until(util::Nanos t, const Sink& sink) = 0;
+  FR_HOT virtual void idle_until(util::Nanos t, const Sink& sink) = 0;
 
-  std::uint64_t packets_sent() const noexcept { return packets_sent_; }
+  FR_HOT std::uint64_t packets_sent() const noexcept { return packets_sent_; }
 
   /// Responses dropped before reaching the engine (bounded receive rings
   /// overflowing, unclassifiable packets).  0 for runtimes that never drop.
@@ -66,10 +67,10 @@ class ScanRuntime {
 /// Table 5 reports as "non-throttled scan speed".
 class NullRuntime final : public ScanRuntime {
  public:
-  util::Nanos now() const noexcept override { return clock_.now(); }
-  void send(std::span<const std::byte>) override { ++packets_sent_; }
-  void drain(const Sink&) override {}
-  void idle_until(util::Nanos, const Sink&) override {}
+  FR_HOT util::Nanos now() const noexcept override { return clock_.now(); }
+  FR_HOT void send(std::span<const std::byte>) override { ++packets_sent_; }
+  FR_HOT void drain(const Sink&) override {}
+  FR_HOT void idle_until(util::Nanos, const Sink&) override {}
 
  private:
   util::MonotonicClock clock_;

@@ -91,7 +91,7 @@ class ShardedTracer {
 
   /// Runs all shards to completion across the configured workers and returns
   /// the deterministically merged result.
-  ScanResult run();
+  [[nodiscard]] ScanResult run();
 
   /// Same per-/24 target the sub-scans probe (global target_seed keyed by
   /// absolute prefix, so identical for every decomposition).

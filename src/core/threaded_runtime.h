@@ -36,6 +36,7 @@
 #include "core/probe_codec.h"
 #include "core/runtime.h"
 #include "core/sharded_tracer.h"
+#include "util/annotations.h"
 #include "util/clock.h"
 #include "util/spsc_ring.h"
 #include "util/token_bucket.h"
@@ -52,7 +53,7 @@ struct PacketSlot {
   std::uint32_t size = 0;
   std::array<std::byte, kCapacity> data;
 
-  std::span<const std::byte> bytes() const noexcept {
+  FR_HOT std::span<const std::byte> bytes() const noexcept {
     return {data.data(), size};
   }
 };
@@ -65,13 +66,13 @@ class Wire {
  public:
   virtual ~Wire() = default;
 
-  virtual void transmit(std::span<const std::byte> packet) = 0;
+  FR_HOT virtual void transmit(std::span<const std::byte> packet) = 0;
 
   /// Blocks up to `timeout` for one packet, copies it into `buffer`, and
   /// returns its size; returns 0 on timeout.  Packets longer than `buffer`
   /// are dropped (never truncated into a half-parseable prefix).
-  virtual std::size_t receive_into(std::span<std::byte> buffer,
-                                   util::Nanos timeout) = 0;
+  FR_HOT virtual std::size_t receive_into(std::span<std::byte> buffer,
+                                          util::Nanos timeout) = 0;
 };
 
 /// Sleep quantum for pacing/idle waits.  Coarse enough to let other threads
@@ -97,9 +98,9 @@ class ThreadedRuntime final : public ScanRuntime {
   ThreadedRuntime(const ThreadedRuntime&) = delete;
   ThreadedRuntime& operator=(const ThreadedRuntime&) = delete;
 
-  util::Nanos now() const noexcept override { return clock_.now(); }
+  FR_HOT util::Nanos now() const noexcept override { return clock_.now(); }
 
-  void send(std::span<const std::byte> packet) override {
+  FR_HOT void send(std::span<const std::byte> packet) override {
     while (!throttle_.try_consume(clock_.now())) {
       std::this_thread::yield();
     }
@@ -107,7 +108,7 @@ class ThreadedRuntime final : public ScanRuntime {
     ++packets_sent_;
   }
 
-  void drain(const Sink& sink) override {
+  FR_HOT void drain(const Sink& sink) override {
     // Zero-allocation hot path: the sink sees a span into the preallocated
     // slot, which is recycled by pop() after the call returns.
     while (PacketSlot* slot = ring_.front()) {
@@ -116,7 +117,7 @@ class ThreadedRuntime final : public ScanRuntime {
     }
   }
 
-  void idle_until(util::Nanos t, const Sink& sink) override {
+  FR_HOT void idle_until(util::Nanos t, const Sink& sink) override {
     while (clock_.now() < t) {
       drain(sink);
       std::this_thread::sleep_for(kRuntimePollInterval);
@@ -124,12 +125,12 @@ class ThreadedRuntime final : public ScanRuntime {
     drain(sink);
   }
 
-  std::uint64_t packets_dropped() const noexcept override {
+  FR_HOT std::uint64_t packets_dropped() const noexcept override {
     return dropped_.load(std::memory_order_relaxed);
   }
 
  private:
-  void receive_loop() {
+  FR_HOT void receive_loop() {
     // Packets land directly in ring slots; when the ring is full they are
     // received into a scratch slot and dropped.
     PacketSlot scratch;
@@ -153,7 +154,9 @@ class ThreadedRuntime final : public ScanRuntime {
   Wire& wire_;
   util::TokenBucket throttle_;
   util::SpscRing<PacketSlot> ring_;
+  // fr-atomic: receiver-thread drop counter, relaxed; read by accessors
   std::atomic<std::uint64_t> dropped_{0};
+  // fr-atomic: destructor -> receiver-thread stop request, relaxed
   std::atomic<bool> stopping_{false};
   std::thread receiver_;
 };
@@ -229,9 +232,11 @@ class ShardedThreadedRuntime final : public ShardRuntimeProvider {
           throttle_(pps, pps / 50.0 + 1.0, owner.clock_.now()),
           ring_(ring_capacity) {}
 
-    util::Nanos now() const noexcept override { return owner_.clock_.now(); }
+    FR_HOT util::Nanos now() const noexcept override {
+      return owner_.clock_.now();
+    }
 
-    void send(std::span<const std::byte> packet) override {
+    FR_HOT void send(std::span<const std::byte> packet) override {
       while (!throttle_.try_consume(owner_.clock_.now())) {
         std::this_thread::yield();
       }
@@ -239,14 +244,14 @@ class ShardedThreadedRuntime final : public ShardRuntimeProvider {
       ++packets_sent_;
     }
 
-    void drain(const Sink& sink) override {
+    FR_HOT void drain(const Sink& sink) override {
       while (PacketSlot* slot = ring_.front()) {
         sink(slot->bytes(), slot->time);
         ring_.pop();
       }
     }
 
-    void idle_until(util::Nanos t, const Sink& sink) override {
+    FR_HOT void idle_until(util::Nanos t, const Sink& sink) override {
       while (owner_.clock_.now() < t) {
         drain(sink);
         std::this_thread::sleep_for(kRuntimePollInterval);
@@ -254,7 +259,7 @@ class ShardedThreadedRuntime final : public ShardRuntimeProvider {
       drain(sink);
     }
 
-    std::uint64_t packets_dropped() const noexcept override {
+    FR_HOT std::uint64_t packets_dropped() const noexcept override {
       return dropped_.load(std::memory_order_relaxed);
     }
 
@@ -264,10 +269,11 @@ class ShardedThreadedRuntime final : public ShardRuntimeProvider {
     ShardedThreadedRuntime& owner_;
     util::TokenBucket throttle_;
     util::SpscRing<PacketSlot> ring_;
+    // fr-atomic: receiver-thread ring-overflow counter, relaxed
     std::atomic<std::uint64_t> dropped_{0};
   };
 
-  void receive_loop() {
+  FR_HOT void receive_loop() {
     PacketSlot scratch;
     while (!stopping_.load(std::memory_order_relaxed)) {
       const std::size_t size =
@@ -306,7 +312,9 @@ class ShardedThreadedRuntime final : public ShardRuntimeProvider {
   int shard_shift_ = 0;
   std::vector<int> worker_of_shard_;
   std::vector<std::unique_ptr<WorkerView>> views_;
+  // fr-atomic: receiver-thread unclassifiable-packet counter, relaxed
   std::atomic<std::uint64_t> unclassified_{0};
+  // fr-atomic: destructor -> receiver-thread stop request, relaxed
   std::atomic<bool> stopping_{false};
   std::thread receiver_;
 };

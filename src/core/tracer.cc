@@ -23,7 +23,7 @@ Tracer::Tracer(const TracerConfig& config, ScanRuntime& runtime)
   };
 }
 
-bool Tracer::fold_mode() const noexcept {
+FR_HOT bool Tracer::fold_mode() const noexcept {
   return config_.preprobe == PreprobeMode::kRandom &&
          config_.split_ttl == 32 && config_.fold_preprobe;
 }
@@ -95,7 +95,7 @@ ScanResult Tracer::run() {
   return result_;
 }
 
-void Tracer::send_probe(const ProbeCodec& codec, std::uint32_t destination,
+FR_HOT void Tracer::send_probe(const ProbeCodec& codec, std::uint32_t destination,
                         std::uint8_t ttl, bool preprobe_flag) {
   std::array<std::byte, ProbeCodec::kMaxProbeSize> buffer;
   const std::size_t size =
@@ -109,6 +109,7 @@ void Tracer::send_probe(const ProbeCodec& codec, std::uint32_t destination,
   // Guarded so the disabled path never pays the runtime_.now() call.
   if (tel.tracer != nullptr) tel.tick(runtime_.now());
   if (config_.collect_probe_log) {
+    // fr-lint: allow(hot-banned): optional diagnostic probe log, off by default
     result_.probe_log.push_back(
         {runtime_.now(), destination, ttl, preprobe_flag && !fold_mode()});
   }
@@ -181,7 +182,7 @@ void Tracer::initialize_dcbs() {
   }
 }
 
-void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
+FR_HOT void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
                          std::uint8_t hop_flags) {
   active_codec_ = &codec;
   current_hop_flags_ = hop_flags;
@@ -264,7 +265,9 @@ void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
       // §3.3.5 + §3.3.3: the folded first round measured distances for the
       // responsive targets; predict the neighbours' distances now and jump
       // their backward probing to the predicted split.
+      // fr-lint: allow(hot-call): once per scan, at the fold-round barrier
       predict_distances();
+      // fr-lint: allow(hot-call): once per scan, at the fold-round barrier
       apply_fold_predictions();
     }
     first_round = false;
@@ -343,7 +346,7 @@ void Tracer::run_extra_scans() {
   }
 }
 
-void Tracer::on_packet(std::span<const std::byte> packet,
+FR_HOT void Tracer::on_packet(std::span<const std::byte> packet,
                        util::Nanos arrival) {
   const auto parsed = net::parse_response(packet);
   if (!parsed || !parsed->is_icmp) return;
@@ -380,12 +383,14 @@ void Tracer::on_packet(std::span<const std::byte> packet,
   }
 }
 
-void Tracer::record_hop(std::uint32_t index, std::uint32_t ip,
+FR_HOT void Tracer::record_hop(std::uint32_t index, std::uint32_t ip,
                         std::uint8_t ttl, std::uint8_t flags) {
   // Only en-route router interfaces count as "discovered interfaces" (and
   // populate the Doubletree stop set); destination responses are tracked
   // separately as reached targets.
   if ((flags & RouteHop::kFromDestination) == 0) {
+    // fr-lint: allow(hot-banned): Doubletree stop-set insert — bounded by the
+    // number of distinct interfaces, not by probe count
     const bool is_new = result_.interfaces.insert(ip).second;
     if (is_new) {
       const obs::ScanTelemetry& tel = config_.telemetry;
@@ -394,11 +399,13 @@ void Tracer::record_hop(std::uint32_t index, std::uint32_t ip,
     }
   }
   if (config_.collect_routes) {
+    // fr-lint: allow(hot-banned): route output collection, bounded by
+    // discovered hops; disable collect_routes for allocation-free scans
     result_.routes[index].push_back({ip, ttl, flags});
   }
 }
 
-void Tracer::handle_preprobe_response(std::uint32_t index,
+FR_HOT void Tracer::handle_preprobe_response(std::uint32_t index,
                                       const net::ParsedResponse& parsed,
                                       const DecodedProbe& probe) {
   if (parsed.is_time_exceeded()) {
@@ -421,7 +428,7 @@ void Tracer::handle_preprobe_response(std::uint32_t index,
   }
 }
 
-void Tracer::handle_main_response(std::uint32_t index,
+FR_HOT void Tracer::handle_main_response(std::uint32_t index,
                                   const net::ParsedResponse& parsed,
                                   const DecodedProbe& probe) {
   Dcb& dcb = dcbs_[index];

@@ -36,6 +36,7 @@
 #include "core/runtime.h"
 #include "net/ipv4.h"
 #include "obs/scan_metrics.h"
+#include "util/annotations.h"
 
 namespace flashroute::core {
 
@@ -132,7 +133,7 @@ class Tracer {
   Tracer(const TracerConfig& config, ScanRuntime& runtime);
 
   /// Runs the configured scan to completion and returns the results.
-  ScanResult run();
+  [[nodiscard]] ScanResult run();
 
   /// The target address the engine probes for a /24 (random host octet
   /// unless overridden) — exposed for analyses that need it.
@@ -143,21 +144,22 @@ class Tracer {
   void predict_distances();
   void apply_fold_predictions();
   void initialize_dcbs();
-  void main_rounds(const ProbeCodec& codec, bool flag_first_round,
-                   std::uint8_t hop_flags);
+  FR_HOT void main_rounds(const ProbeCodec& codec, bool flag_first_round,
+                          std::uint8_t hop_flags);
   void run_extra_scans();
-  void send_probe(const ProbeCodec& codec, std::uint32_t destination,
-                  std::uint8_t ttl, bool preprobe_flag);
-  void on_packet(std::span<const std::byte> packet, util::Nanos arrival);
-  void handle_preprobe_response(std::uint32_t index,
-                                const net::ParsedResponse& parsed,
-                                const DecodedProbe& probe);
-  void handle_main_response(std::uint32_t index,
-                            const net::ParsedResponse& parsed,
-                            const DecodedProbe& probe);
-  void record_hop(std::uint32_t index, std::uint32_t ip, std::uint8_t ttl,
-                  std::uint8_t flags);
-  bool fold_mode() const noexcept;
+  FR_HOT void send_probe(const ProbeCodec& codec, std::uint32_t destination,
+                         std::uint8_t ttl, bool preprobe_flag);
+  FR_HOT void on_packet(std::span<const std::byte> packet,
+                        util::Nanos arrival);
+  FR_HOT void handle_preprobe_response(std::uint32_t index,
+                                       const net::ParsedResponse& parsed,
+                                       const DecodedProbe& probe);
+  FR_HOT void handle_main_response(std::uint32_t index,
+                                   const net::ParsedResponse& parsed,
+                                   const DecodedProbe& probe);
+  FR_HOT void record_hop(std::uint32_t index, std::uint32_t ip,
+                         std::uint8_t ttl, std::uint8_t flags);
+  FR_HOT bool fold_mode() const noexcept;
   bool include_in_scan(std::uint32_t index) const;
 
   TracerConfig config_;

@@ -23,7 +23,7 @@ inline void write_varint(std::ostream& out, std::uint64_t value) {
 }
 
 /// Reads a varint; returns nullopt on EOF, truncation, or overlong input.
-inline std::optional<std::uint64_t> read_varint(std::istream& in) {
+[[nodiscard]] inline std::optional<std::uint64_t> read_varint(std::istream& in) {
   std::uint64_t value = 0;
   int shift = 0;
   for (int i = 0; i < 10; ++i) {

@@ -2,7 +2,7 @@
 
 namespace flashroute::net {
 
-std::uint32_t checksum_partial(std::span<const std::byte> data,
+FR_HOT std::uint32_t checksum_partial(std::span<const std::byte> data,
                                std::uint32_t sum) noexcept {
   std::size_t i = 0;
   for (; i + 1 < data.size(); i += 2) {
@@ -15,16 +15,16 @@ std::uint32_t checksum_partial(std::span<const std::byte> data,
   return sum;
 }
 
-std::uint16_t checksum_finish(std::uint32_t sum) noexcept {
+FR_HOT std::uint16_t checksum_finish(std::uint32_t sum) noexcept {
   while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
   return static_cast<std::uint16_t>(~sum & 0xFFFF);
 }
 
-std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept {
+FR_HOT std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept {
   return checksum_finish(checksum_partial(data));
 }
 
-std::uint16_t address_checksum(Ipv4Address address) noexcept {
+FR_HOT std::uint16_t address_checksum(Ipv4Address address) noexcept {
   const std::uint32_t v = address.value();
   std::uint32_t sum = (v >> 16) + (v & 0xFFFF);
   return checksum_finish(sum);

@@ -12,24 +12,25 @@
 #include <span>
 
 #include "net/ipv4.h"
+#include "util/annotations.h"
 
 namespace flashroute::net {
 
 /// One's-complement sum over `data`, folded to 16 bits (not yet inverted).
 /// Exposed so checksums can be computed over multiple fragments (header +
 /// pseudo-header) by chaining partial sums.
-std::uint32_t checksum_partial(std::span<const std::byte> data,
+FR_HOT std::uint32_t checksum_partial(std::span<const std::byte> data,
                                std::uint32_t sum = 0) noexcept;
 
 /// Folds a partial sum and returns the final (inverted) Internet checksum.
-std::uint16_t checksum_finish(std::uint32_t sum) noexcept;
+FR_HOT std::uint16_t checksum_finish(std::uint32_t sum) noexcept;
 
 /// Complete RFC 1071 checksum of a byte range.
-std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept;
+FR_HOT std::uint16_t internet_checksum(std::span<const std::byte> data) noexcept;
 
 /// Checksum of the 4 bytes of an IPv4 address (network order) — the value
 /// FlashRoute places in the UDP source-port field of each probe.
-std::uint16_t address_checksum(Ipv4Address address) noexcept;
+FR_HOT std::uint16_t address_checksum(Ipv4Address address) noexcept;
 
 /// RFC 1624 (Eqn. 3) incremental update: the checksum of a header after one
 /// aligned 16-bit word changes from `old_word` to `new_word`, given the
@@ -38,7 +39,7 @@ std::uint16_t address_checksum(Ipv4Address address) noexcept;
 /// header containing at least one nonzero word the result is bit-identical
 /// to a full recomputation (see net_checksum_test's randomized equivalence).
 /// Defined inline: encoders chain several updates per probe.
-inline std::uint16_t incremental_checksum_update(
+FR_HOT inline std::uint16_t incremental_checksum_update(
     std::uint16_t checksum, std::uint16_t old_word,
     std::uint16_t new_word) noexcept {
   // HC' = ~(~HC + ~m + m')  (RFC 1624 Eqn. 3)

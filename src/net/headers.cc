@@ -6,7 +6,7 @@
 
 namespace flashroute::net {
 
-bool Ipv4Header::serialize(ByteWriter& w) const noexcept {
+FR_HOT bool Ipv4Header::serialize(ByteWriter& w) const noexcept {
   std::array<std::byte, kSize> scratch{};
   ByteWriter header(scratch);
   header.put_u8(0x45);  // version 4, IHL 5
@@ -25,7 +25,7 @@ bool Ipv4Header::serialize(ByteWriter& w) const noexcept {
   return w.ok();
 }
 
-std::optional<Ipv4Header> Ipv4Header::parse(ByteReader& r) noexcept {
+FR_HOT std::optional<Ipv4Header> Ipv4Header::parse(ByteReader& r) noexcept {
   const std::uint8_t version_ihl = r.get_u8();
   if (!r.ok() || (version_ihl >> 4) != 4) return std::nullopt;
   const std::size_t ihl_bytes = static_cast<std::size_t>(version_ihl & 0xF) * 4;
@@ -45,7 +45,7 @@ std::optional<Ipv4Header> Ipv4Header::parse(ByteReader& r) noexcept {
   return h;
 }
 
-bool UdpHeader::serialize(ByteWriter& w) const noexcept {
+FR_HOT bool UdpHeader::serialize(ByteWriter& w) const noexcept {
   w.put_u16(src_port);
   w.put_u16(dst_port);
   w.put_u16(length);
@@ -53,7 +53,7 @@ bool UdpHeader::serialize(ByteWriter& w) const noexcept {
   return w.ok();
 }
 
-std::optional<UdpHeader> UdpHeader::parse(ByteReader& r) noexcept {
+FR_HOT std::optional<UdpHeader> UdpHeader::parse(ByteReader& r) noexcept {
   UdpHeader h;
   h.src_port = r.get_u16();
   h.dst_port = r.get_u16();
@@ -63,7 +63,7 @@ std::optional<UdpHeader> UdpHeader::parse(ByteReader& r) noexcept {
   return h;
 }
 
-bool TcpHeader::serialize(ByteWriter& w) const noexcept {
+FR_HOT bool TcpHeader::serialize(ByteWriter& w) const noexcept {
   w.put_u16(src_port);
   w.put_u16(dst_port);
   w.put_u32(seq);
@@ -76,7 +76,7 @@ bool TcpHeader::serialize(ByteWriter& w) const noexcept {
   return w.ok();
 }
 
-std::optional<TcpHeader> TcpHeader::parse(ByteReader& r) noexcept {
+FR_HOT std::optional<TcpHeader> TcpHeader::parse(ByteReader& r) noexcept {
   TcpHeader h;
   h.src_port = r.get_u16();
   h.dst_port = r.get_u16();
@@ -94,7 +94,7 @@ std::optional<TcpHeader> TcpHeader::parse(ByteReader& r) noexcept {
   return h;
 }
 
-bool IcmpHeader::serialize(ByteWriter& w) const noexcept {
+FR_HOT bool IcmpHeader::serialize(ByteWriter& w) const noexcept {
   w.put_u8(type);
   w.put_u8(code);
   w.put_u16(checksum);
@@ -102,7 +102,7 @@ bool IcmpHeader::serialize(ByteWriter& w) const noexcept {
   return w.ok();
 }
 
-std::optional<IcmpHeader> IcmpHeader::parse(ByteReader& r) noexcept {
+FR_HOT std::optional<IcmpHeader> IcmpHeader::parse(ByteReader& r) noexcept {
   IcmpHeader h;
   h.type = r.get_u8();
   h.code = r.get_u8();
@@ -112,7 +112,7 @@ std::optional<IcmpHeader> IcmpHeader::parse(ByteReader& r) noexcept {
   return h;
 }
 
-bool verify_ipv4_checksum(std::span<const std::byte> bytes) noexcept {
+FR_HOT bool verify_ipv4_checksum(std::span<const std::byte> bytes) noexcept {
   if (bytes.empty()) return false;
   const auto version_ihl = static_cast<std::uint8_t>(bytes[0]);
   const std::size_t ihl_bytes = static_cast<std::size_t>(version_ihl & 0xF) * 4;

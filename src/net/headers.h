@@ -15,6 +15,7 @@
 
 #include "net/ipv4.h"
 #include "net/packet.h"
+#include "util/annotations.h"
 
 namespace flashroute::net {
 
@@ -51,11 +52,11 @@ struct Ipv4Header {
 
   /// Serializes 20 bytes, computing the header checksum.
   /// Returns false if the buffer is too small.
-  bool serialize(ByteWriter& w) const noexcept;
+  FR_HOT bool serialize(ByteWriter& w) const noexcept;
 
   /// Parses 20(+options) bytes; consumes the full IHL.  Does not verify the
   /// checksum (receivers that care call verify_checksum on the raw bytes).
-  static std::optional<Ipv4Header> parse(ByteReader& r) noexcept;
+  [[nodiscard]] FR_HOT static std::optional<Ipv4Header> parse(ByteReader& r) noexcept;
 };
 
 /// UDP header (8 bytes).  `length` covers header + payload; FlashRoute
@@ -68,8 +69,8 @@ struct UdpHeader {
   std::uint16_t length = 0;
   std::uint16_t checksum = 0;
 
-  bool serialize(ByteWriter& w) const noexcept;
-  static std::optional<UdpHeader> parse(ByteReader& r) noexcept;
+  FR_HOT bool serialize(ByteWriter& w) const noexcept;
+  [[nodiscard]] FR_HOT static std::optional<UdpHeader> parse(ByteReader& r) noexcept;
 };
 
 /// TCP header (fixed 20 bytes, no options) — used by the Yarrp baseline's
@@ -89,8 +90,8 @@ struct TcpHeader {
   std::uint16_t window = 0;
   std::uint16_t checksum = 0;
 
-  bool serialize(ByteWriter& w) const noexcept;
-  static std::optional<TcpHeader> parse(ByteReader& r) noexcept;
+  FR_HOT bool serialize(ByteWriter& w) const noexcept;
+  [[nodiscard]] FR_HOT static std::optional<TcpHeader> parse(ByteReader& r) noexcept;
 };
 
 /// ICMP header (8 bytes; the 4 "rest of header" bytes are unused by the
@@ -103,12 +104,12 @@ struct IcmpHeader {
   std::uint16_t checksum = 0;
   std::uint32_t rest = 0;
 
-  bool serialize(ByteWriter& w) const noexcept;
-  static std::optional<IcmpHeader> parse(ByteReader& r) noexcept;
+  FR_HOT bool serialize(ByteWriter& w) const noexcept;
+  [[nodiscard]] FR_HOT static std::optional<IcmpHeader> parse(ByteReader& r) noexcept;
 };
 
 /// Recomputes and verifies the IPv4 header checksum over raw bytes
 /// (`bytes` must start at the IP header and contain at least IHL*4 bytes).
-bool verify_ipv4_checksum(std::span<const std::byte> bytes) noexcept;
+FR_HOT bool verify_ipv4_checksum(std::span<const std::byte> bytes) noexcept;
 
 }  // namespace flashroute::net

@@ -14,13 +14,13 @@ namespace {
 /// Quote length per RFC 792: inner IP header + 8 bytes of its payload
 /// (fewer if the probe itself was shorter, which never happens for our
 /// probes but is handled defensively).
-std::size_t quote_length(std::span<const std::byte> probe) noexcept {
+FR_HOT std::size_t quote_length(std::span<const std::byte> probe) noexcept {
   return std::min<std::size_t>(probe.size(), Ipv4Header::kSize + 8);
 }
 
 }  // namespace
 
-std::size_t craft_icmp_response_into(
+FR_HOT std::size_t craft_icmp_response_into(
     std::uint8_t icmp_type, std::uint8_t icmp_code, Ipv4Address responder,
     std::span<const std::byte> probe_packet, std::uint8_t residual_ttl,
     std::span<std::byte> out,
@@ -79,7 +79,7 @@ std::size_t craft_icmp_response_into(
   return total;
 }
 
-std::size_t craft_tcp_rst_into(std::span<const std::byte> probe_packet,
+FR_HOT std::size_t craft_tcp_rst_into(std::span<const std::byte> probe_packet,
                                std::span<std::byte> out) noexcept {
   ByteReader reader(probe_packet);
   const auto probe_ip = Ipv4Header::parse(reader);
@@ -130,7 +130,7 @@ std::optional<std::vector<std::byte>> craft_tcp_rst(
   return packet;
 }
 
-std::optional<ParsedResponse> parse_response(
+FR_HOT std::optional<ParsedResponse> parse_response(
     std::span<const std::byte> packet) {
   ByteReader reader(packet);
   const auto outer = Ipv4Header::parse(reader);

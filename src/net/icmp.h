@@ -19,6 +19,7 @@
 
 #include "net/headers.h"
 #include "net/ipv4.h"
+#include "util/annotations.h"
 
 namespace flashroute::net {
 
@@ -41,7 +42,7 @@ inline constexpr std::size_t kMaxResponseSize =
 /// destination-rewriting middlebox (§5.3), and it is how FlashRoute detects
 /// the rewrite: the quoted source port no longer matches the checksum of the
 /// quoted destination.
-std::size_t craft_icmp_response_into(
+[[nodiscard]] FR_HOT std::size_t craft_icmp_response_into(
     std::uint8_t icmp_type, std::uint8_t icmp_code, Ipv4Address responder,
     std::span<const std::byte> probe_packet, std::uint8_t residual_ttl,
     std::span<std::byte> out,
@@ -51,15 +52,15 @@ std::size_t craft_icmp_response_into(
 /// TCP-ACK probe.  Ports are swapped relative to the probe; the RST's
 /// sequence number echoes the probe's ACK number per RFC 793.  Same
 /// encode-into contract as craft_icmp_response_into.
-std::size_t craft_tcp_rst_into(std::span<const std::byte> probe_packet,
-                               std::span<std::byte> out) noexcept;
+[[nodiscard]] FR_HOT std::size_t craft_tcp_rst_into(
+    std::span<const std::byte> probe_packet, std::span<std::byte> out) noexcept;
 
 /// Allocating convenience wrappers over the _into variants (tests, tools).
-std::optional<std::vector<std::byte>> craft_icmp_response(
+[[nodiscard]] std::optional<std::vector<std::byte>> craft_icmp_response(
     std::uint8_t icmp_type, std::uint8_t icmp_code, Ipv4Address responder,
     std::span<const std::byte> probe_packet, std::uint8_t residual_ttl,
     std::optional<Ipv4Address> rewritten_destination = std::nullopt);
-std::optional<std::vector<std::byte>> craft_tcp_rst(
+[[nodiscard]] std::optional<std::vector<std::byte>> craft_tcp_rst(
     std::span<const std::byte> probe_packet);
 
 /// Everything a probing engine needs from one received packet.
@@ -85,17 +86,17 @@ struct ParsedResponse {
   std::uint16_t tcp_dst_port = 0;
   std::uint32_t tcp_seq = 0;       // echoes the probe's ACK number
 
-  bool is_time_exceeded() const noexcept {
+  FR_HOT bool is_time_exceeded() const noexcept {
     return is_icmp && icmp_type == kIcmpTimeExceeded;
   }
-  bool is_destination_unreachable() const noexcept {
+  FR_HOT bool is_destination_unreachable() const noexcept {
     return is_icmp && icmp_type == kIcmpDestUnreachable;
   }
 };
 
 /// Parses a received IPv4 packet (ICMP quoting a probe, or a bare TCP RST).
 /// Returns nullopt for anything else or for truncated packets.
-std::optional<ParsedResponse> parse_response(
+[[nodiscard]] FR_HOT std::optional<ParsedResponse> parse_response(
     std::span<const std::byte> packet);
 
 }  // namespace flashroute::net

@@ -15,6 +15,8 @@
 #include <string>
 #include <string_view>
 
+#include "util/annotations.h"
+
 namespace flashroute::net {
 
 /// An IPv4 address held in host byte order.  Conversions to and from network
@@ -37,8 +39,8 @@ class Ipv4Address {
   /// (empty/overlong octets, values > 255, trailing junk).
   static std::optional<Ipv4Address> parse(std::string_view text) noexcept;
 
-  constexpr std::uint32_t value() const noexcept { return value_; }
-  constexpr std::uint8_t octet(int i) const noexcept {
+  FR_HOT constexpr std::uint32_t value() const noexcept { return value_; }
+  FR_HOT constexpr std::uint8_t octet(int i) const noexcept {
     return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
   }
 
@@ -52,13 +54,13 @@ class Ipv4Address {
 };
 
 /// Index of the /24 block containing `addr`: the top 24 bits.
-constexpr std::uint32_t prefix24_index(Ipv4Address addr) noexcept {
+FR_HOT constexpr std::uint32_t prefix24_index(Ipv4Address addr) noexcept {
   return addr.value() >> 8;
 }
 
 /// The address `index`.x where x is the host octet.
-constexpr Ipv4Address address_in_prefix24(std::uint32_t prefix_index,
-                                          std::uint8_t host_octet) noexcept {
+FR_HOT constexpr Ipv4Address address_in_prefix24(
+    std::uint32_t prefix_index, std::uint8_t host_octet) noexcept {
   return Ipv4Address((prefix_index << 8) | host_octet);
 }
 
@@ -66,22 +68,22 @@ constexpr std::uint32_t kNumPrefix24 = std::uint32_t{1} << 24;
 
 // --- Special-range classification (RFC 6890 and friends) -------------------
 
-constexpr bool is_private(Ipv4Address a) noexcept {
+FR_HOT constexpr bool is_private(Ipv4Address a) noexcept {
   const std::uint32_t v = a.value();
   return (v >> 24) == 10 ||                       // 10.0.0.0/8
          (v >> 20) == (172u << 4 | 1) ||          // 172.16.0.0/12
          (v >> 16) == (192u << 8 | 168);          // 192.168.0.0/16
 }
 
-constexpr bool is_loopback(Ipv4Address a) noexcept {
+FR_HOT constexpr bool is_loopback(Ipv4Address a) noexcept {
   return (a.value() >> 24) == 127;                // 127.0.0.0/8
 }
 
-constexpr bool is_multicast(Ipv4Address a) noexcept {
+FR_HOT constexpr bool is_multicast(Ipv4Address a) noexcept {
   return (a.value() >> 28) == 0xE;                // 224.0.0.0/4
 }
 
-constexpr bool is_reserved(Ipv4Address a) noexcept {
+FR_HOT constexpr bool is_reserved(Ipv4Address a) noexcept {
   const std::uint32_t v = a.value();
   return (v >> 28) == 0xF ||                      // 240.0.0.0/4
          (v >> 24) == 0 ||                        // 0.0.0.0/8
@@ -93,7 +95,7 @@ constexpr bool is_reserved(Ipv4Address a) noexcept {
 /// True when FlashRoute must not probe this address: the paper removes all
 /// private, multicast, and reserved destinations from the DCB list before
 /// probing commences (§3.4).
-constexpr bool is_probe_excluded(Ipv4Address a) noexcept {
+FR_HOT constexpr bool is_probe_excluded(Ipv4Address a) noexcept {
   return is_private(a) || is_loopback(a) || is_multicast(a) || is_reserved(a);
 }
 

@@ -12,6 +12,8 @@
 #include <cstring>
 #include <span>
 
+#include "util/annotations.h"
+
 namespace flashroute::net {
 
 class ByteWriter {
@@ -19,21 +21,21 @@ class ByteWriter {
   explicit ByteWriter(std::span<std::byte> buffer) noexcept
       : buffer_(buffer) {}
 
-  bool ok() const noexcept { return ok_; }
-  std::size_t written() const noexcept { return offset_; }
+  FR_HOT bool ok() const noexcept { return ok_; }
+  FR_HOT std::size_t written() const noexcept { return offset_; }
 
-  void put_u8(std::uint8_t v) noexcept {
+  FR_HOT void put_u8(std::uint8_t v) noexcept {
     if (!ensure(1)) return;
     buffer_[offset_++] = std::byte{v};
   }
 
-  void put_u16(std::uint16_t v) noexcept {
+  FR_HOT void put_u16(std::uint16_t v) noexcept {
     if (!ensure(2)) return;
     buffer_[offset_++] = std::byte(v >> 8);
     buffer_[offset_++] = std::byte(v & 0xFF);
   }
 
-  void put_u32(std::uint32_t v) noexcept {
+  FR_HOT void put_u32(std::uint32_t v) noexcept {
     if (!ensure(4)) return;
     buffer_[offset_++] = std::byte(v >> 24);
     buffer_[offset_++] = std::byte((v >> 16) & 0xFF);
@@ -41,21 +43,21 @@ class ByteWriter {
     buffer_[offset_++] = std::byte(v & 0xFF);
   }
 
-  void put_bytes(std::span<const std::byte> data) noexcept {
+  FR_HOT void put_bytes(std::span<const std::byte> data) noexcept {
     if (!ensure(data.size())) return;
     std::memcpy(buffer_.data() + offset_, data.data(), data.size());
     offset_ += data.size();
   }
 
   /// Skips `n` bytes, zero-filling them.
-  void put_zeros(std::size_t n) noexcept {
+  FR_HOT void put_zeros(std::size_t n) noexcept {
     if (!ensure(n)) return;
     std::memset(buffer_.data() + offset_, 0, n);
     offset_ += n;
   }
 
   /// Overwrites a previously written 16-bit field (e.g. a checksum slot).
-  void patch_u16(std::size_t offset, std::uint16_t v) noexcept {
+  FR_HOT void patch_u16(std::size_t offset, std::uint16_t v) noexcept {
     if (offset + 2 > buffer_.size()) {
       ok_ = false;
       return;
@@ -65,7 +67,7 @@ class ByteWriter {
   }
 
  private:
-  bool ensure(std::size_t n) noexcept {
+  FR_HOT bool ensure(std::size_t n) noexcept {
     if (!ok_ || offset_ + n > buffer_.size()) {
       ok_ = false;
       return false;
@@ -83,16 +85,16 @@ class ByteReader {
   explicit ByteReader(std::span<const std::byte> buffer) noexcept
       : buffer_(buffer) {}
 
-  bool ok() const noexcept { return ok_; }
-  std::size_t remaining() const noexcept { return buffer_.size() - offset_; }
-  std::size_t consumed() const noexcept { return offset_; }
+  FR_HOT bool ok() const noexcept { return ok_; }
+  FR_HOT std::size_t remaining() const noexcept { return buffer_.size() - offset_; }
+  FR_HOT std::size_t consumed() const noexcept { return offset_; }
 
-  std::uint8_t get_u8() noexcept {
+  FR_HOT std::uint8_t get_u8() noexcept {
     if (!ensure(1)) return 0;
     return static_cast<std::uint8_t>(buffer_[offset_++]);
   }
 
-  std::uint16_t get_u16() noexcept {
+  FR_HOT std::uint16_t get_u16() noexcept {
     if (!ensure(2)) return 0;
     const auto hi = static_cast<std::uint16_t>(buffer_[offset_]);
     const auto lo = static_cast<std::uint16_t>(buffer_[offset_ + 1]);
@@ -100,7 +102,7 @@ class ByteReader {
     return static_cast<std::uint16_t>(hi << 8 | lo);
   }
 
-  std::uint32_t get_u32() noexcept {
+  FR_HOT std::uint32_t get_u32() noexcept {
     if (!ensure(4)) return 0;
     std::uint32_t v = 0;
     for (int i = 0; i < 4; ++i) {
@@ -110,18 +112,18 @@ class ByteReader {
     return v;
   }
 
-  void skip(std::size_t n) noexcept {
+  FR_HOT void skip(std::size_t n) noexcept {
     if (!ensure(n)) return;
     offset_ += n;
   }
 
   /// Returns the unread tail without consuming it.
-  std::span<const std::byte> rest() const noexcept {
+  FR_HOT std::span<const std::byte> rest() const noexcept {
     return ok_ ? buffer_.subspan(offset_) : std::span<const std::byte>{};
   }
 
  private:
-  bool ensure(std::size_t n) noexcept {
+  FR_HOT bool ensure(std::size_t n) noexcept {
     if (!ok_ || offset_ + n > buffer_.size()) {
       ok_ = false;
       return false;

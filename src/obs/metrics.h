@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/stats.h"
 
 namespace flashroute::obs {
@@ -45,6 +46,8 @@ namespace detail {
 /// One cache line of counter cells.  Lanes are built from whole blocks so
 /// no two lanes share a line.
 struct alignas(64) CellBlock {
+  // fr-atomic: lane counter cells — single-writer relaxed store, relaxed
+  // snapshot loads (MetricsLane is the FR_SINGLE_WRITER scope that writes).
   std::array<std::atomic<std::uint64_t>, 8> cells{};
 };
 static_assert(sizeof(CellBlock) == 64);
@@ -54,25 +57,25 @@ static_assert(sizeof(CellBlock) == 64);
 /// A single shard's private view of the registry's cell slab.  Cheap to
 /// copy (two pointers); the engine stores a pointer to one and bumps it
 /// from exactly one thread.
-class MetricsLane {
+class FR_SINGLE_WRITER MetricsLane {
  public:
   MetricsLane() = default;
 
   /// A default-constructed lane is invalid; inc/record on it are UB (the
   /// ScanTelemetry wrapper checks before calling).
-  bool valid() const noexcept { return blocks_ != nullptr; }
+  FR_HOT bool valid() const noexcept { return blocks_ != nullptr; }
 
   /// Single-writer increment: relaxed load + relaxed store.  Deliberately
   /// NOT fetch_add — there is one writer per lane, so a read-modify-write
   /// (lock-prefixed on x86) would buy nothing and cost ~20 cycles.
-  void inc(CounterId id, std::uint64_t delta = 1) const noexcept {
+  FR_HOT void inc(CounterId id, std::uint64_t delta = 1) const noexcept {
     auto& cell = cell_at(id);
     cell.store(cell.load(std::memory_order_relaxed) + delta,
                std::memory_order_relaxed);
   }
 
   /// Records one sample into a log2-bucketed histogram.
-  void record(HistogramId id, std::uint64_t value) const noexcept {
+  FR_HOT void record(HistogramId id, std::uint64_t value) const noexcept {
     auto& cell = cell_at(
         hist_base_ + id * util::Log2Histogram::kBuckets +
         static_cast<std::uint32_t>(util::Log2Histogram::bucket_of(value)));
@@ -82,7 +85,7 @@ class MetricsLane {
 
   /// Reads one counter cell (relaxed; used by ScanTracer delta capture,
   /// which runs on the lane's own writer thread).
-  std::uint64_t counter(CounterId id) const noexcept {
+  FR_HOT std::uint64_t counter(CounterId id) const noexcept {
     return cell_at(id).load(std::memory_order_relaxed);
   }
 
@@ -91,7 +94,7 @@ class MetricsLane {
   MetricsLane(detail::CellBlock* blocks, std::uint32_t hist_base)
       : blocks_(blocks), hist_base_(hist_base) {}
 
-  std::atomic<std::uint64_t>& cell_at(std::uint32_t index) const noexcept {
+  FR_HOT std::atomic<std::uint64_t>& cell_at(std::uint32_t index) const noexcept {
     return blocks_[index / 8].cells[index % 8];
   }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "obs/metrics.h"
+#include "util/annotations.h"
 #include "obs/scan_tracer.h"
 #include "util/clock.h"
 
@@ -47,18 +48,18 @@ struct ScanTelemetry {
   int lane_id = 0;
   ScanMetricIds ids;
 
-  bool enabled() const noexcept { return lane.valid(); }
+  FR_HOT bool enabled() const noexcept { return lane.valid(); }
 
-  void count(CounterId id, std::uint64_t delta = 1) const noexcept {
+  FR_HOT void count(CounterId id, std::uint64_t delta = 1) const noexcept {
     if (lane.valid()) lane.inc(id, delta);
   }
-  void sample(HistogramId id, std::uint64_t value) const noexcept {
+  FR_HOT void sample(HistogramId id, std::uint64_t value) const noexcept {
     if (lane.valid()) lane.record(id, value);
   }
   void begin_phase(ScanPhase phase, util::Nanos now) const {
     if (tracer != nullptr) tracer->begin_phase(lane_id, phase, now);
   }
-  void tick(util::Nanos now) const {
+  FR_HOT void tick(util::Nanos now) const {
     if (tracer != nullptr) tracer->tick(lane_id, now);
   }
   void finish(util::Nanos now) const {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/annotations.h"
 #include "util/clock.h"
 
 namespace flashroute::obs {
@@ -62,9 +63,11 @@ class ScanTracer {
 
   /// Hot-loop hook: captures an interval when `now` crossed the lane's
   /// next tick.  One compare + branch when it hasn't.
-  void tick(int lane, util::Nanos now) {
+  FR_HOT void tick(int lane, util::Nanos now) {
     auto& st = *lanes_[static_cast<std::size_t>(lane)];
     if (interval_ <= 0 || now < st.next_tick) return;
+    // fr-lint: allow(hot-call): interval capture runs only at tick-grid
+    // boundaries (at most once per metrics interval), never per probe.
     capture(lane, st, now);
     // Advance past `now` on the fixed grid so a long stall emits one
     // catch-up interval, not a burst of empty ones.

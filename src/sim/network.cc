@@ -20,7 +20,7 @@ SimNetwork::SimNetwork(const Topology& topology)
   }
 }
 
-bool SimNetwork::admit_response(std::uint32_t responder_ip, util::Nanos t) {
+FR_HOT bool SimNetwork::admit_response(std::uint32_t responder_ip, util::Nanos t) {
   RateLimitTable::Entry& limiter = rate_limiters_.entry(responder_ip, t);
   if (limiter.bucket.try_consume(t)) return true;
   ++stats_.rate_limited;
@@ -28,7 +28,7 @@ bool SimNetwork::admit_response(std::uint32_t responder_ip, util::Nanos t) {
   return false;
 }
 
-util::Nanos SimNetwork::arrival_time(util::Nanos send_time, int hop,
+FR_HOT util::Nanos SimNetwork::arrival_time(util::Nanos send_time, int hop,
                                      std::uint64_t jitter_key) const noexcept {
   const auto& params = topology_.params();
   const util::Nanos jitter =
@@ -40,7 +40,7 @@ util::Nanos SimNetwork::arrival_time(util::Nanos send_time, int hop,
   return send_time + params.rtt_base + params.rtt_per_hop * hop + jitter;
 }
 
-std::optional<ProcessedResponse> SimNetwork::process_into(
+FR_HOT std::optional<ProcessedResponse> SimNetwork::process_into(
     std::span<const std::byte> probe, util::Nanos send_time,
     std::span<std::byte> out) {
   ++stats_.probes;

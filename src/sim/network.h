@@ -32,6 +32,7 @@
 #include "sim/rate_limit_table.h"
 #include "sim/route_cache.h"
 #include "sim/topology.h"
+#include "util/annotations.h"
 #include "util/clock.h"
 
 namespace flashroute::sim {
@@ -77,12 +78,12 @@ class SimNetwork {
   /// the response size and arrival time, or nullopt when the network stays
   /// silent.  `send_time` must be non-decreasing across calls (the rate
   /// limiters refill monotonically).  Never allocates in steady state.
-  std::optional<ProcessedResponse> process_into(
+  [[nodiscard]] FR_HOT std::optional<ProcessedResponse> process_into(
       std::span<const std::byte> probe, util::Nanos send_time,
       std::span<std::byte> out);
 
   /// Allocating wrapper over process_into (tests, tools).
-  std::optional<Delivery> process(std::span<const std::byte> probe,
+  [[nodiscard]] std::optional<Delivery> process(std::span<const std::byte> probe,
                                   util::Nanos send_time);
 
   const NetworkStats& stats() const noexcept { return stats_; }
@@ -98,9 +99,9 @@ class SimNetwork {
   const Topology& topology() const noexcept { return topology_; }
 
  private:
-  bool admit_response(std::uint32_t responder_ip, util::Nanos t);
-  util::Nanos arrival_time(util::Nanos send_time, int hop,
-                           std::uint64_t jitter_key) const noexcept;
+  FR_HOT bool admit_response(std::uint32_t responder_ip, util::Nanos t);
+  FR_HOT util::Nanos arrival_time(util::Nanos send_time, int hop,
+                                  std::uint64_t jitter_key) const noexcept;
 
   const Topology& topology_;
   NetworkStats stats_;

@@ -22,6 +22,8 @@
 
 #include <cstdint>
 
+#include "util/annotations.h"
+
 #include "util/clock.h"
 
 namespace flashroute::sim {
@@ -185,10 +187,10 @@ struct SimParams {
   int route_cache_bits = -1;
 
   // Derived helpers.
-  std::uint32_t num_prefixes() const noexcept {
+  FR_HOT std::uint32_t num_prefixes() const noexcept {
     return std::uint32_t{1} << prefix_bits;
   }
-  std::uint32_t last_prefix() const noexcept {
+  FR_HOT std::uint32_t last_prefix() const noexcept {
     return first_prefix + num_prefixes() - 1;
   }
   int effective_core_routers() const noexcept {

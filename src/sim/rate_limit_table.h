@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/rng.h"
 #include "util/token_bucket.h"
 
@@ -50,7 +51,7 @@ class RateLimitTable {
         sparse_(kInitialSparseCapacity) {}
 
   /// The limiter entry for `ip`, created full at time `t` on first touch.
-  Entry& entry(std::uint32_t ip, util::Nanos t) {
+  FR_HOT Entry& entry(std::uint32_t ip, util::Nanos t) {
     const std::uint32_t offset = ip - pool_base_;  // wraps below pool_base
     if (offset < dense_.size()) return dense_[offset];
     return sparse_entry(ip, t);
@@ -71,7 +72,9 @@ class RateLimitTable {
  private:
   static constexpr std::size_t kInitialSparseCapacity = 1024;  // power of two
 
-  Entry& sparse_entry(std::uint32_t ip, util::Nanos t) {
+  FR_HOT Entry& sparse_entry(std::uint32_t ip, util::Nanos t) {
+    // fr-lint: allow(hot-call): amortized rehash — steady state (no new
+    // sparse responders) never takes this branch.
     if ((sparse_used_ + 1) * 4 > sparse_.size() * 3) rehash();
     const std::size_t mask = sparse_.size() - 1;
     std::size_t i = util::mix64(ip) & mask;

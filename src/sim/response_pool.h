@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "net/icmp.h"
+#include "util/annotations.h"
 
 namespace flashroute::sim {
 
@@ -37,7 +38,9 @@ class ResponsePool {
   ResponsePool() { free_.reserve(kBlockSlots); }
 
   /// Claims a slot, growing the backing storage when the free list is empty.
-  Slot acquire() {
+  FR_HOT Slot acquire() {
+    // fr-lint: allow(hot-call): pool growth happens only while the in-flight
+    // high-water mark is still climbing; steady state never calls grow().
     if (free_.empty()) grow();
     const Slot slot = free_.back();
     free_.pop_back();
@@ -45,14 +48,18 @@ class ResponsePool {
   }
 
   /// The slot's buffer (kMaxResponseSize bytes, stable address).
-  std::span<std::byte> buffer(Slot slot) noexcept {
+  FR_HOT std::span<std::byte> buffer(Slot slot) noexcept {
     return (*blocks_[slot / kBlockSlots])[slot % kBlockSlots];
   }
-  std::span<const std::byte> buffer(Slot slot) const noexcept {
+  FR_HOT std::span<const std::byte> buffer(Slot slot) const noexcept {
     return (*blocks_[slot / kBlockSlots])[slot % kBlockSlots];
   }
 
-  void release(Slot slot) { free_.push_back(slot); }
+  FR_HOT void release(Slot slot) {
+    // fr-lint: allow(hot-banned): free_ capacity is pre-reserved by grow()
+    // for every slot that can exist, so this push_back never reallocates.
+    free_.push_back(slot);
+  }
 
   std::size_t capacity() const noexcept {
     return blocks_.size() * kBlockSlots;
@@ -68,7 +75,7 @@ class ResponsePool {
     blocks_.push_back(std::make_unique<Block>());
     free_.reserve(capacity());
     for (Slot i = 0; i < kBlockSlots; ++i) {
-      free_.push_back(base + kBlockSlots - 1 - i);  // hand out low slots first
+      free_.push_back(static_cast<Slot>(base + kBlockSlots - 1 - i));  // low slots first
     }
   }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "sim/topology.h"
+#include "util/annotations.h"
 #include "util/rng.h"
 
 namespace flashroute::sim {
@@ -53,7 +54,7 @@ class RouteCache {
         entries_(std::size_t{1} << bits) {}
 
   /// The cached entry for the key, or nullptr on a miss.
-  const Entry* find(net::Ipv4Address destination, std::uint64_t flow,
+  FR_HOT const Entry* find(net::Ipv4Address destination, std::uint64_t flow,
                     std::int64_t epoch, std::uint8_t protocol) const noexcept {
     const Entry& entry = entries_[slot(destination, flow, epoch)];
     if (entry.valid && entry.destination == destination.value() &&
@@ -69,7 +70,7 @@ class RouteCache {
   /// freshly cached entry, or nullptr when the destination lies outside the
   /// universe (never cached; resolve bails before touching the slot's route
   /// in that case, and the cleared tag gates any reuse).
-  const Entry* fill(const Topology& topology, net::Ipv4Address destination,
+  FR_HOT const Entry* fill(const Topology& topology, net::Ipv4Address destination,
                     std::uint64_t flow, std::int64_t epoch,
                     std::uint8_t protocol) noexcept {
     Entry& entry = entries_[slot(destination, flow, epoch)];
@@ -89,7 +90,7 @@ class RouteCache {
   std::size_t capacity() const noexcept { return entries_.size(); }
 
  private:
-  std::size_t slot(net::Ipv4Address destination, std::uint64_t flow,
+  FR_HOT std::size_t slot(net::Ipv4Address destination, std::uint64_t flow,
                    std::int64_t epoch) const noexcept {
     return util::hash_combine(destination.value(), flow,
                               static_cast<std::uint64_t>(epoch)) &

@@ -235,7 +235,7 @@ void Topology::apply_filtered_tail(const Stub& stub, util::Xoshiro256& rng) {
   }
 }
 
-std::uint32_t Topology::template_hop_ip(const TemplateHop& hop,
+FR_HOT std::uint32_t Topology::template_hop_ip(const TemplateHop& hop,
                                         std::uint64_t flow) const noexcept {
   if (hop.width == 0) return hop.base_ip;
   const std::uint64_t branch =
@@ -243,7 +243,7 @@ std::uint32_t Topology::template_hop_ip(const TemplateHop& hop,
   return hop.base_ip + static_cast<std::uint32_t>(branch);
 }
 
-int Topology::expand_template(
+FR_HOT int Topology::expand_template(
     const Stub& stub, std::uint64_t flow, int limit,
     std::array<std::uint32_t, Route::kMaxHops>& hops) const noexcept {
   const int count =
@@ -255,12 +255,12 @@ int Topology::expand_template(
   return count;
 }
 
-bool Topology::in_universe(net::Ipv4Address address) const noexcept {
+FR_HOT bool Topology::in_universe(net::Ipv4Address address) const noexcept {
   const std::uint32_t prefix = net::prefix24_index(address);
   return prefix >= params_.first_prefix && prefix <= params_.last_prefix();
 }
 
-bool Topology::prefix_routed(std::uint32_t prefix_index) const noexcept {
+FR_HOT bool Topology::prefix_routed(std::uint32_t prefix_index) const noexcept {
   if (prefix_index < params_.first_prefix ||
       prefix_index > params_.last_prefix()) {
     return false;
@@ -268,12 +268,12 @@ bool Topology::prefix_routed(std::uint32_t prefix_index) const noexcept {
   return prefix_map_[prefix_index - params_.first_prefix] >= 0;
 }
 
-std::uint32_t Topology::appliance_address(
+FR_HOT std::uint32_t Topology::appliance_address(
     std::uint32_t prefix_index) const noexcept {
   return (prefix_index << 8) | kApplianceOctet;
 }
 
-int Topology::spine_length(std::uint32_t stub_id,
+FR_HOT int Topology::spine_length(std::uint32_t stub_id,
                            std::int64_t epoch) const noexcept {
   const auto& stub = stubs_[stub_id];
   int length = stub.spine_base;
@@ -287,7 +287,7 @@ int Topology::spine_length(std::uint32_t stub_id,
                     static_cast<int>(stubs_[stub_id].spine_ips.size()));
 }
 
-std::uint8_t Topology::internal_octet(std::uint32_t prefix_index,
+FR_HOT std::uint8_t Topology::internal_octet(std::uint32_t prefix_index,
                                       int level) const noexcept {
   const std::uint64_t key =
       util::hash_combine(prefix_index, static_cast<std::uint64_t>(level));
@@ -295,7 +295,7 @@ std::uint8_t Topology::internal_octet(std::uint32_t prefix_index,
       2 + util::stable_bounded(seed_internal_, key, 253));
 }
 
-bool Topology::stub_is_responsive(std::uint32_t prefix_index) const noexcept {
+FR_HOT bool Topology::stub_is_responsive(std::uint32_t prefix_index) const noexcept {
   if (prefix_index < params_.first_prefix ||
       prefix_index > params_.last_prefix()) {
     return false;
@@ -307,7 +307,7 @@ bool Topology::stub_is_responsive(std::uint32_t prefix_index) const noexcept {
                              params_.stub_responsive_prob);
 }
 
-bool Topology::host_exists(net::Ipv4Address address) const noexcept {
+FR_HOT bool Topology::host_exists(net::Ipv4Address address) const noexcept {
   const std::uint32_t prefix = net::prefix24_index(address);
   if (!prefix_routed(prefix)) return false;
   if ((address.value() & 0xFF) == kApplianceOctet) return true;
@@ -317,7 +317,7 @@ bool Topology::host_exists(net::Ipv4Address address) const noexcept {
   return util::stable_chance(seed_host_, address.value(), exist_prob);
 }
 
-bool Topology::host_responds(net::Ipv4Address address,
+FR_HOT bool Topology::host_responds(net::Ipv4Address address,
                              std::uint8_t protocol) const noexcept {
   if (!host_exists(address)) return false;
   const bool is_appliance = (address.value() & 0xFF) == kApplianceOctet;
@@ -331,7 +331,7 @@ bool Topology::host_responds(net::Ipv4Address address,
   return util::stable_chance(seed_udp_, address.value(), p);
 }
 
-bool Topology::interface_responds(std::uint32_t interface_ip,
+FR_HOT bool Topology::interface_responds(std::uint32_t interface_ip,
                                   std::uint8_t protocol) const noexcept {
   if (forced_silent_.contains(interface_ip)) return false;
   if (util::stable_chance(seed_silent_, interface_ip,
@@ -346,7 +346,7 @@ bool Topology::interface_responds(std::uint32_t interface_ip,
   return true;
 }
 
-void Topology::annotate_silence(const Route& route, std::uint8_t protocol,
+FR_HOT void Topology::annotate_silence(const Route& route, std::uint8_t protocol,
                                 RouteSilence& out) const noexcept {
   std::uint64_t mask = 0;
   for (int i = 0; i < route.num_hops; ++i) {
@@ -365,7 +365,7 @@ void Topology::annotate_silence(const Route& route, std::uint8_t protocol,
       host_responds(net::Ipv4Address(route.delivered_address), protocol);
 }
 
-bool Topology::resolve(net::Ipv4Address destination, std::uint64_t flow,
+FR_HOT bool Topology::resolve(net::Ipv4Address destination, std::uint64_t flow,
                        std::int64_t epoch, Route& route) const noexcept {
   if (!in_universe(destination)) return false;
   const std::uint32_t prefix = net::prefix24_index(destination);

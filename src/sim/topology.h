@@ -34,6 +34,7 @@
 
 #include "net/ipv4.h"
 #include "sim/params.h"
+#include "util/annotations.h"
 #include "util/rng.h"
 
 namespace flashroute::sim {
@@ -61,7 +62,7 @@ struct Route {
   /// left stale: resolve() only writes (and callers only read) entries
   /// [0, num_hops), so zero-filling all 64 slots per resolution would be
   /// pure hot-path waste.  Debug builds assert the read bound in hop_at.
-  void reset() noexcept {
+  FR_HOT void reset() noexcept {
     num_hops = 0;
     delivers = false;
     delivered_address = 0;
@@ -75,7 +76,7 @@ struct Route {
 
   /// Interface that would see the probe expire at 1-based position `pos`.
   /// Positions beyond num_hops are valid only when `loops`.
-  std::uint32_t hop_at(int pos) const noexcept {
+  FR_HOT std::uint32_t hop_at(int pos) const noexcept {
     assert(pos >= 1);
     if (pos <= num_hops) return hops[static_cast<std::size_t>(pos - 1)];
     assert(loops);
@@ -102,8 +103,8 @@ class Topology {
   /// Resolves the forwarding path for `destination` under flow label `flow`
   /// at dynamics epoch `epoch`.  Returns false when the destination lies
   /// outside the simulated universe.
-  bool resolve(net::Ipv4Address destination, std::uint64_t flow,
-               std::int64_t epoch, Route& route) const noexcept;
+  [[nodiscard]] FR_HOT bool resolve(net::Ipv4Address destination, std::uint64_t flow,
+                      std::int64_t epoch, Route& route) const noexcept;
 
   /// Minimum TTL that elicits a response from the destination itself
   /// (num_hops + 1), or nullopt when the destination never answers.
@@ -115,30 +116,31 @@ class Topology {
 
   /// Whether this exact address is an assigned host (the per-/24 appliance
   /// always is; other octets are assigned with host_exist_prob).
-  bool host_exists(net::Ipv4Address address) const noexcept;
+  FR_HOT bool host_exists(net::Ipv4Address address) const noexcept;
 
   /// Whether the host answers a probe of the given transport protocol
   /// (kProtoUdp -> ICMP port-unreachable, kProtoTcp -> RST).
-  bool host_responds(net::Ipv4Address address,
-                     std::uint8_t protocol) const noexcept;
+  FR_HOT bool host_responds(net::Ipv4Address address,
+                            std::uint8_t protocol) const noexcept;
 
   /// Whether a router interface answers time-exceeded for this protocol
   /// (persistently silent interfaces never do; some are silent to TCP only).
-  bool interface_responds(std::uint32_t interface_ip,
-                          std::uint8_t protocol) const noexcept;
+  FR_HOT bool interface_responds(std::uint32_t interface_ip,
+                                 std::uint8_t protocol) const noexcept;
 
   /// Precomputes the per-hop interface_responds / host_responds answers for
   /// a resolved route into a RouteSilence.  Equivalent to querying them
   /// probe by probe — the route cache amortizes this over every TTL probed
   /// toward the same (destination, flow, epoch).
-  void annotate_silence(const Route& route, std::uint8_t protocol,
-                        RouteSilence& out) const noexcept;
+  FR_HOT void annotate_silence(const Route& route, std::uint8_t protocol,
+                               RouteSilence& out) const noexcept;
 
   // --- Metadata --------------------------------------------------------------
-  const SimParams& params() const noexcept { return params_; }
-  bool in_universe(net::Ipv4Address address) const noexcept;
-  bool prefix_routed(std::uint32_t prefix_index) const noexcept;
-  std::uint32_t appliance_address(std::uint32_t prefix_index) const noexcept;
+  FR_HOT const SimParams& params() const noexcept { return params_; }
+  FR_HOT bool in_universe(net::Ipv4Address address) const noexcept;
+  FR_HOT bool prefix_routed(std::uint32_t prefix_index) const noexcept;
+  FR_HOT std::uint32_t appliance_address(
+      std::uint32_t prefix_index) const noexcept;
   std::uint32_t num_stubs() const noexcept {
     return static_cast<std::uint32_t>(stubs_.size());
   }
@@ -157,11 +159,12 @@ class Topology {
   std::vector<std::uint32_t> generate_hitlist() const;
 
   /// Dynamics: spine length of a stub at a given epoch.
-  int spine_length(std::uint32_t stub_id, std::int64_t epoch) const noexcept;
+  FR_HOT int spine_length(std::uint32_t stub_id,
+                          std::int64_t epoch) const noexcept;
 
   /// Host responsiveness class of the stub owning this prefix (densely
   /// populated vs nearly empty; see SimParams::stub_responsive_prob).
-  bool stub_is_responsive(std::uint32_t prefix_index) const noexcept;
+  FR_HOT bool stub_is_responsive(std::uint32_t prefix_index) const noexcept;
 
  private:
   /// One position of a stub's provider-path template.  width == 0: a fixed
@@ -192,13 +195,13 @@ class Topology {
   static constexpr std::int32_t kUnmapped = -1;
 
   std::uint32_t alloc_pool_ip() noexcept { return next_pool_ip_++; }
-  int expand_template(const Stub& stub, std::uint64_t flow, int limit,
-                      std::array<std::uint32_t, Route::kMaxHops>& hops)
+  FR_HOT int expand_template(const Stub& stub, std::uint64_t flow, int limit,
+                             std::array<std::uint32_t, Route::kMaxHops>& hops)
       const noexcept;
-  std::uint32_t template_hop_ip(const TemplateHop& hop,
-                                std::uint64_t flow) const noexcept;
-  std::uint8_t internal_octet(std::uint32_t prefix_index,
-                              int level) const noexcept;
+  FR_HOT std::uint32_t template_hop_ip(const TemplateHop& hop,
+                                       std::uint64_t flow) const noexcept;
+  FR_HOT std::uint8_t internal_octet(std::uint32_t prefix_index,
+                                     int level) const noexcept;
 
   SimParams params_;
   std::uint32_t next_pool_ip_;

@@ -1,0 +1,43 @@
+// Machine-checked invariant annotations (DESIGN.md §8).
+//
+// FlashRoute's throughput claims rest on invariants that code review alone
+// cannot hold at scale: the probe/response hot path must never allocate,
+// throw, take a mutex, or dispatch through a non-devirtualizable interface
+// (§3.2, DESIGN.md §6), and the telemetry lanes must stay single-writer
+// relaxed (DESIGN.md §7).  The annotations below make those invariants
+// visible to `scripts/fr_lint` (and, under clang, to any attribute-aware
+// tooling), which enforces them statically on every CI run.
+//
+// FR_HOT — marks a function as hot-path.  fr-lint requires an FR_HOT
+//   function to call only other FR_HOT functions, allowlisted known-pure
+//   primitives (memcpy, atomic load/store, ...), or calls carrying an
+//   explicit `// fr-lint: allow(<rule>): <reason>` suppression; its body may
+//   not contain heap allocation, `throw`, mutexes, blocking I/O, or calls to
+//   virtual methods whose implementations are not all `final`.  The
+//   discipline is inductive: if every FR_HOT function checks out locally,
+//   the whole annotated call graph is transitively clean.
+//
+// FR_SINGLE_WRITER — marks a class as a single-writer relaxed lane (one
+//   writer thread, torn-free relaxed readers — the MetricsLane contract).
+//   fr-lint forbids read-modify-write atomics (fetch_add, exchange,
+//   compare_exchange) and any non-relaxed memory order inside the class.
+//
+// `// fr-atomic: <role>` — every raw `std::atomic`/`std::atomic_flag` data
+//   member outside an FR_SINGLE_WRITER class must carry this trailing
+//   comment naming its synchronization role; fr-lint flags undocumented
+//   atomics (rule `atomic-member`).
+//
+// Under clang the macros expand to [[clang::annotate]] attributes, so the
+// libclang engine (and future clang plugins) see them in the AST; under
+// other compilers they expand to nothing.  The fallback engine matches the
+// macro tokens in source text, so enforcement does not depend on clang.
+
+#pragma once
+
+#if defined(__clang__)
+#define FR_HOT [[clang::annotate("fr::hot")]]
+#define FR_SINGLE_WRITER [[clang::annotate("fr::single_writer")]]
+#else
+#define FR_HOT
+#define FR_SINGLE_WRITER
+#endif

@@ -14,6 +14,8 @@
 #include <chrono>
 #include <cstdint>
 
+#include "util/annotations.h"
+
 namespace flashroute::util {
 
 /// Nanoseconds since an arbitrary epoch.  Signed so intervals can be
@@ -27,7 +29,7 @@ constexpr Nanos kSecond = 1'000'000'000;
 class Clock {
  public:
   virtual ~Clock() = default;
-  virtual Nanos now() const noexcept = 0;
+  FR_HOT virtual Nanos now() const noexcept = 0;
 };
 
 /// Virtual clock advanced explicitly by the simulation runner.
@@ -35,11 +37,11 @@ class SimClock final : public Clock {
  public:
   explicit SimClock(Nanos start = 0) noexcept : now_(start) {}
 
-  Nanos now() const noexcept override { return now_; }
-  void advance(Nanos delta) noexcept { now_ += delta; }
+  FR_HOT Nanos now() const noexcept override { return now_; }
+  FR_HOT void advance(Nanos delta) noexcept { now_ += delta; }
 
   /// Moves the clock forward to `t`; never moves it backwards.
-  void advance_to(Nanos t) noexcept {
+  FR_HOT void advance_to(Nanos t) noexcept {
     if (t > now_) now_ = t;
   }
 
@@ -50,7 +52,9 @@ class SimClock final : public Clock {
 /// Real monotonic clock (std::chrono::steady_clock).
 class MonotonicClock final : public Clock {
  public:
-  Nanos now() const noexcept override {
+  // fr-lint: allow(det-wallclock): the one sanctioned wall-clock read — every
+  // engine sees time only through the Clock interface.
+  FR_HOT Nanos now() const noexcept override {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
                std::chrono::steady_clock::now().time_since_epoch())
         .count();

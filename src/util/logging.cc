@@ -5,6 +5,7 @@
 namespace flashroute::util {
 
 namespace {
+// fr-atomic: process-wide log threshold, racy-read-OK relaxed toggle
 std::atomic<LogLevel> g_threshold{LogLevel::kInfo};
 
 const char* level_name(LogLevel level) noexcept {

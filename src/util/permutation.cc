@@ -8,7 +8,8 @@ RandomPermutation::RandomPermutation(std::uint64_t domain_size,
                                      std::uint64_t seed) noexcept
     : domain_size_(domain_size) {
   // Smallest even bit-width 2k with 2^(2k) >= domain_size, k >= 1.
-  int bits = domain_size <= 2 ? 2 : std::bit_width(domain_size - 1);
+  int bits =
+      domain_size <= 2 ? 2 : static_cast<int>(std::bit_width(domain_size - 1));
   if (bits % 2 != 0) ++bits;
   half_bits_ = static_cast<std::uint64_t>(bits) / 2;
   half_mask_ = (std::uint64_t{1} << half_bits_) - 1;

@@ -13,11 +13,13 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/annotations.h"
+
 namespace flashroute::util {
 
 /// SplitMix64 step: advances `state` and returns the next 64-bit output.
 /// Used as a seed expander and as a cheap stateless mixer.
-constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+FR_HOT constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
@@ -27,7 +29,7 @@ constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
 /// Stateless 64-bit mix of a single value (SplitMix64 finalizer).  Suitable
 /// for deriving per-entity values ("what is the jitter of interface i?")
 /// without keeping any per-entity RNG state.
-constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+FR_HOT constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
   x ^= x >> 30;
   x *= 0xbf58476d1ce4e5b9ULL;
   x ^= x >> 27;
@@ -37,17 +39,18 @@ constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
 }
 
 /// Combines two 64-bit values into one well-mixed value.  Order-sensitive.
-constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+FR_HOT constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
   return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
 }
 
-constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b,
-                                     std::uint64_t c) noexcept {
+FR_HOT constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b,
+                                            std::uint64_t c) noexcept {
   return hash_combine(hash_combine(a, b), c);
 }
 
-constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b,
-                                     std::uint64_t c, std::uint64_t d) noexcept {
+FR_HOT constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b,
+                                            std::uint64_t c,
+                                            std::uint64_t d) noexcept {
   return hash_combine(hash_combine(a, b), hash_combine(c, d));
 }
 
@@ -113,16 +116,17 @@ class Xoshiro256 {
 /// the mixed hash of `key` under `seed`.  Stateless, so the same entity gives
 /// the same answer every time — used for persistent properties such as
 /// "is this router interface responsive?".
-constexpr bool stable_chance(std::uint64_t seed, std::uint64_t key,
-                             double p) noexcept {
+FR_HOT constexpr bool stable_chance(std::uint64_t seed, std::uint64_t key,
+                                    double p) noexcept {
   const double u =
       static_cast<double>(hash_combine(seed, key) >> 11) * 0x1.0p-53;
   return u < p;
 }
 
 /// Deterministic per-entity uniform integer in [0, bound).
-constexpr std::uint64_t stable_bounded(std::uint64_t seed, std::uint64_t key,
-                                       std::uint64_t bound) noexcept {
+FR_HOT constexpr std::uint64_t stable_bounded(std::uint64_t seed,
+                                              std::uint64_t key,
+                                              std::uint64_t bound) noexcept {
   return static_cast<std::uint64_t>(
       (static_cast<unsigned __int128>(hash_combine(seed, key)) * bound) >> 64);
 }

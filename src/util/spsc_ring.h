@@ -20,6 +20,8 @@
 #include <cstddef>
 #include <memory>
 
+#include "util/annotations.h"
+
 namespace flashroute::util {
 
 template <typename T>
@@ -43,7 +45,7 @@ class SpscRing {
 
   /// Slot to write the next element into, or nullptr when the ring is full.
   /// The slot stays owned by the producer until publish().
-  T* try_claim() noexcept {
+  [[nodiscard]] FR_HOT T* try_claim() noexcept {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     if (head - cached_tail_ > mask_) {
       cached_tail_ = tail_.load(std::memory_order_acquire);
@@ -53,13 +55,13 @@ class SpscRing {
   }
 
   /// Makes the slot returned by the last try_claim visible to the consumer.
-  void publish() noexcept {
+  FR_HOT void publish() noexcept {
     head_.store(head_.load(std::memory_order_relaxed) + 1,
                 std::memory_order_release);
   }
 
   /// Convenience copy-in push.  Returns false when full.
-  bool push(const T& value) noexcept {
+  [[nodiscard]] FR_HOT bool push(const T& value) noexcept {
     T* slot = try_claim();
     if (slot == nullptr) return false;
     *slot = value;
@@ -71,7 +73,7 @@ class SpscRing {
 
   /// Oldest unconsumed element, or nullptr when the ring is empty.  The slot
   /// stays valid until pop().
-  T* front() noexcept {
+  [[nodiscard]] FR_HOT T* front() noexcept {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail == cached_head_) {
       cached_head_ = head_.load(std::memory_order_acquire);
@@ -81,7 +83,7 @@ class SpscRing {
   }
 
   /// Releases the slot returned by the last front() back to the producer.
-  void pop() noexcept {
+  FR_HOT void pop() noexcept {
     tail_.store(tail_.load(std::memory_order_relaxed) + 1,
                 std::memory_order_release);
   }
@@ -89,9 +91,9 @@ class SpscRing {
  private:
   // Indices are free-running counts; (head - tail) is the fill level even
   // across wraparound of the unsigned counters.
-  alignas(64) std::atomic<std::size_t> head_{0};  // producer-owned
+  alignas(64) std::atomic<std::size_t> head_{0};  // fr-atomic: SPSC producer index, release-published
   alignas(64) std::size_t cached_tail_ = 0;       // producer's view of tail_
-  alignas(64) std::atomic<std::size_t> tail_{0};  // consumer-owned
+  alignas(64) std::atomic<std::size_t> tail_{0};  // fr-atomic: SPSC consumer index, release-published
   alignas(64) std::size_t cached_head_ = 0;       // consumer's view of head_
   std::size_t mask_ = 0;
   std::unique_ptr<T[]> slots_;

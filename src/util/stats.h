@@ -19,6 +19,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "util/annotations.h"
 #include "util/clock.h"
 
 namespace flashroute::util {
@@ -108,8 +109,8 @@ class Log2Histogram {
   static constexpr int kBuckets = 65;  // value 0, then one per bit width
 
   /// The bucket a value falls into: 0 for 0, else bit_width(value).
-  static int bucket_of(std::uint64_t value) noexcept {
-    return value == 0 ? 0 : std::bit_width(value);
+  FR_HOT static int bucket_of(std::uint64_t value) noexcept {
+    return value == 0 ? 0 : static_cast<int>(std::bit_width(value));
   }
 
   /// Inclusive value range covered by a bucket.

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdint>
 
+#include "util/annotations.h"
 #include "util/clock.h"
 
 namespace flashroute::util {
@@ -28,7 +29,7 @@ class TokenBucket {
   /// Attempts to take one token at time `t`; returns false when the bucket
   /// is empty (the event is rate-limited).  `t` must be non-decreasing
   /// across calls.
-  bool try_consume(Nanos t) noexcept {
+  [[nodiscard]] FR_HOT bool try_consume(Nanos t) noexcept {
     refill(t);
     if (tokens_ >= 1.0) {
       tokens_ -= 1.0;
@@ -47,7 +48,7 @@ class TokenBucket {
   double burst() const noexcept { return burst_; }
 
  private:
-  void refill(Nanos t) noexcept {
+  FR_HOT void refill(Nanos t) noexcept {
     if (t <= last_) return;
     const double elapsed_s =
         static_cast<double>(t - last_) / static_cast<double>(kSecond);

@@ -83,6 +83,7 @@ TEST(DcbArray, RemoveHeadMovesHead) {
   const util::RandomPermutation perm(4, 4);
   array.build_ring(perm, [](std::uint32_t) { return true; });
   const std::uint32_t old_head = array.head();
+  ASSERT_LT(old_head, 4u);
   const std::uint32_t next = array.next(old_head);
   array.remove(old_head);
   EXPECT_EQ(array.head(), next);

@@ -222,7 +222,8 @@ TEST(ProbeCodec, TemplatePatchingMatchesFullSerializationRandomized) {
     const auto ttl = static_cast<std::uint8_t>(ttl_dist(rng));
     const bool preprobe = (trial & 1) != 0;
     const util::Nanos when = ms_dist(rng) * util::kMillisecond;
-    const ProbeCodec codec(kVantage, /*port_offset=*/trial % 4);
+    const ProbeCodec codec(kVantage,
+                           /*port_offset=*/static_cast<std::uint16_t>(trial % 4));
 
     const bool tcp = trial % 3 == 0;
     const std::size_t size =

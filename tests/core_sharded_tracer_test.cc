@@ -46,10 +46,17 @@ void* operator new[](std::size_t size) {
   throw std::bad_alloc{};
 }
 
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// noinline keeps GCC from tracking pointer provenance through the
+// replaced operators and mis-reporting free() of a malloc'd block as a
+// mismatched allocation function.
+[[gnu::noinline]] static void counted_free(void* p) noexcept {
+  std::free(p);
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
 
 namespace flashroute::core {
 namespace {
@@ -138,7 +145,9 @@ TEST(ShardedTracerPlan, CoversRangeContiguouslyAndBalancesWorkers) {
     EXPECT_EQ(shards[i].num_prefixes, 128u);
     EXPECT_DOUBLE_EQ(shards[i].probes_per_second, 10'000.0);
     // Worker assignment is contiguous and non-decreasing.
-    if (i > 0) EXPECT_GE(shards[i].worker, shards[i - 1].worker);
+    if (i > 0) {
+      EXPECT_GE(shards[i].worker, shards[i - 1].worker);
+    }
     ASSERT_GE(shards[i].worker, 0);
     ASSERT_LT(shards[i].worker, 3);
     ++per_worker[static_cast<std::size_t>(shards[i].worker)];

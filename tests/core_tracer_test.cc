@@ -158,10 +158,10 @@ TEST(Tracer, GapLimitBoundsForwardProbing) {
   // With no responses past the split, forward probing sends exactly
   // gap_limit probes per destination: split+1 .. split+gap.
   const sim::Topology topology(world_params());
-  for (const std::uint8_t gap : {0, 2, 5}) {
+  for (const int gap : {0, 2, 5}) {
     auto config = base_config(topology.params());
     config.preprobe = PreprobeMode::kNone;
-    config.gap_limit = gap;
+    config.gap_limit = static_cast<std::uint8_t>(gap);
     config.collect_probe_log = true;
     const auto result = run_scan(topology, config);
     std::uint8_t max_ttl_probed = 0;

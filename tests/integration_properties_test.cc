@@ -88,8 +88,8 @@ TEST_P(CrossToolProperties, GapLimitIsMonotoneInProbes) {
   auto config = tracer_config();
   config.preprobe = core::PreprobeMode::kNone;
   std::uint64_t previous = 0;
-  for (const std::uint8_t gap : {0, 2, 4, 6}) {
-    config.gap_limit = gap;
+  for (const int gap : {0, 2, 4, 6}) {
+    config.gap_limit = static_cast<std::uint8_t>(gap);
     const auto result = run(config);
     EXPECT_GE(result.probes_sent, previous);
     previous = result.probes_sent;

@@ -164,7 +164,8 @@ TEST(HotpathDeterminism, CachedResponsesMatchBypassedByteForByte) {
   util::Nanos when = 0;
   std::uint64_t responses = 0;
   for (int port_offset = 0; port_offset < 3; ++port_offset) {
-    const core::ProbeCodec codec(vantage, port_offset);
+    const core::ProbeCodec codec(vantage,
+                                 static_cast<std::uint16_t>(port_offset));
     for (std::uint32_t block = 0; block < 64; ++block) {
       const net::Ipv4Address dst(
           ((cached_params.first_prefix + block * 4) << 8) | 0x64);

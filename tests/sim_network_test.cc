@@ -61,7 +61,7 @@ class NetworkTest : public ::testing::Test {
           // Ensure every hop on the way responds, so expiry tests are
           // deterministic.
           Route route;
-          topology_.resolve(host, flow_of(host), 0, route);
+          EXPECT_TRUE(topology_.resolve(host, flow_of(host), 0, route));
           bool clean = true;
           for (int h = 0; h < route.num_hops; ++h) {
             if (!topology_.interface_responds(
@@ -110,7 +110,7 @@ TEST_F(NetworkTest, ExpiryMatchesResolvedPath) {
 TEST_F(NetworkTest, DestinationAnswersBeyondItsDistance) {
   const auto target = find_responsive_target();
   Route route;
-  topology_.resolve(target, flow_of(target), 0, route);
+  EXPECT_TRUE(topology_.resolve(target, flow_of(target), 0, route));
   const int distance = route.num_hops + 1;  // triggering TTL
   util::Nanos t = util::kSecond;
   for (int ttl = distance; ttl <= 32; ttl += 5) {
@@ -131,7 +131,7 @@ TEST_F(NetworkTest, DestinationAnswersBeyondItsDistance) {
 TEST_F(NetworkTest, NoResponseBelowTriggeringTtlFromDestination) {
   const auto target = find_responsive_target();
   Route route;
-  topology_.resolve(target, flow_of(target), 0, route);
+  EXPECT_TRUE(topology_.resolve(target, flow_of(target), 0, route));
   // TTL == num_hops expires at the last router, not the destination.
   const auto delivery = probe_udp(
       target, static_cast<std::uint8_t>(route.num_hops), util::kSecond);
@@ -145,7 +145,7 @@ TEST_F(NetworkTest, RttGrowsWithHopDistance) {
   const auto target = find_responsive_target();
   const auto near = probe_udp(target, 1, 0);
   Route route;
-  topology_.resolve(target, flow_of(target), 0, route);
+  EXPECT_TRUE(topology_.resolve(target, flow_of(target), 0, route));
   const auto far = probe_udp(
       target, static_cast<std::uint8_t>(route.num_hops), util::kSecond);
   ASSERT_TRUE(near);
@@ -246,12 +246,13 @@ TEST(NetworkMiddlebox, TtlResetMakesSweepTriggerEarly) {
     const net::Ipv4Address appliance(topology.appliance_address(prefix));
     if (!topology.host_responds(appliance, net::kProtoUdp)) continue;
     Route route;
-    topology.resolve(appliance,
-                     util::hash_combine(appliance.value(),
-                                        net::address_checksum(appliance),
-                                        net::kTracerouteDstPort,
-                                        net::kProtoUdp),
-                     0, route);
+    ASSERT_TRUE(
+        topology.resolve(appliance,
+                         util::hash_combine(appliance.value(),
+                                            net::address_checksum(appliance),
+                                            net::kTracerouteDstPort,
+                                            net::kProtoUdp),
+                         0, route));
     ASSERT_GT(route.middlebox_pos, 0);
     if (route.middlebox_pos + 1 > route.num_hops) continue;
 

@@ -78,8 +78,8 @@ TEST(Topology, DifferentSeedsDiffer) {
   for (std::uint32_t i = 0; i < 256; ++i) {
     const net::Ipv4Address dest(((a.params().first_prefix + i) << 8) | 50);
     Route ra, rb;
-    a.resolve(dest, 1, 0, ra);
-    b.resolve(dest, 1, 0, rb);
+    EXPECT_TRUE(a.resolve(dest, 1, 0, ra));
+    EXPECT_TRUE(b.resolve(dest, 1, 0, rb));
     if (ra.num_hops != rb.num_hops) ++differing;
   }
   EXPECT_GT(differing, 32);
@@ -92,7 +92,7 @@ TEST_P(TopologyInvariants, RoutesAreWellFormed) {
   const auto& params = topo.params();
   for (std::uint32_t i = 0; i < params.num_prefixes(); ++i) {
     const std::uint32_t prefix = params.first_prefix + i;
-    for (const std::uint8_t octet : {1, 42, 200, 254}) {
+    for (const int octet : {1, 42, 200, 254}) {
       const net::Ipv4Address dest((prefix << 8) | octet);
       Route route;
       ASSERT_TRUE(topo.resolve(dest, 99, 0, route));
@@ -134,9 +134,9 @@ TEST_P(TopologyInvariants, ParisConsistency) {
   for (std::uint32_t i = 0; i < params.num_prefixes(); i += 13) {
     const net::Ipv4Address dest(((params.first_prefix + i) << 8) | 99);
     Route r1, r2, r3;
-    topo.resolve(dest, 0xAAAA, 0, r1);
-    topo.resolve(dest, 0xAAAA, 0, r2);
-    topo.resolve(dest, 0xBBBB, 0, r3);
+    EXPECT_TRUE(topo.resolve(dest, 0xAAAA, 0, r1));
+    EXPECT_TRUE(topo.resolve(dest, 0xAAAA, 0, r2));
+    EXPECT_TRUE(topo.resolve(dest, 0xBBBB, 0, r3));
     ASSERT_EQ(r1.num_hops, r2.num_hops);
     for (int h = 0; h < r1.num_hops; ++h) {
       ASSERT_EQ(r1.hops[static_cast<std::size_t>(h)],
@@ -157,8 +157,8 @@ TEST_P(TopologyInvariants, SomeFlowsDiverge) {
   for (std::uint32_t i = 0; i < params.num_prefixes(); ++i) {
     const net::Ipv4Address dest(((params.first_prefix + i) << 8) | 99);
     Route r1, r2;
-    topo.resolve(dest, 1, 0, r1);
-    topo.resolve(dest, 2, 0, r2);
+    EXPECT_TRUE(topo.resolve(dest, 1, 0, r1));
+    EXPECT_TRUE(topo.resolve(dest, 2, 0, r2));
     for (int h = 0; h < r1.num_hops; ++h) {
       if (r1.hops[static_cast<std::size_t>(h)] !=
           r2.hops[static_cast<std::size_t>(h)]) {
@@ -179,7 +179,7 @@ TEST_P(TopologyInvariants, SharedProviderSections) {
   for (std::uint32_t i = 0; i < params.num_prefixes(); i += 3) {
     const net::Ipv4Address dest(((params.first_prefix + i) << 8) | 10);
     Route route;
-    topo.resolve(dest, 7, 0, route);
+    EXPECT_TRUE(topo.resolve(dest, 7, 0, route));
     first_hops.insert(route.hops[0]);
   }
   EXPECT_EQ(first_hops.size(), 1u);
@@ -272,8 +272,8 @@ TEST(Topology, MiddleboxFieldsWhenForced) {
     const std::uint32_t prefix = params.first_prefix + i;
     if (!topo.prefix_routed(prefix)) continue;
     Route route;
-    topo.resolve(net::Ipv4Address(topo.appliance_address(prefix)), 1, 0,
-                 route);
+    EXPECT_TRUE(topo.resolve(net::Ipv4Address(topo.appliance_address(prefix)),
+                             1, 0, route));
     EXPECT_GT(route.middlebox_pos, 0);
     EXPECT_LE(route.middlebox_pos, route.num_hops);
     EXPECT_TRUE(route.middlebox_reset == params.ttl_reset_low ||
@@ -289,13 +289,13 @@ TEST(Topology, RewriteMiddleboxDeliversToAppliance) {
     const std::uint32_t prefix = params.first_prefix + i;
     if (!topo.prefix_routed(prefix)) continue;
     Route route;
-    topo.resolve(net::Ipv4Address((prefix << 8) | 200), 1, 0, route);
+    EXPECT_TRUE(topo.resolve(net::Ipv4Address((prefix << 8) | 200), 1, 0, route));
     EXPECT_TRUE(route.delivers);
     EXPECT_TRUE(route.rewritten);
     EXPECT_EQ(route.delivered_address, topo.appliance_address(prefix));
     // Probing the appliance itself is not "rewritten".
-    topo.resolve(net::Ipv4Address(topo.appliance_address(prefix)), 1, 0,
-                 route);
+    EXPECT_TRUE(topo.resolve(net::Ipv4Address(topo.appliance_address(prefix)),
+                             1, 0, route));
     EXPECT_FALSE(route.rewritten);
   }
 }
