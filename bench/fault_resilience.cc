@@ -1,0 +1,234 @@
+// Fault-resilience benchmark: accuracy vs network loss (DESIGN.md §9).
+//
+// Sweeps a symmetric loss rate (probes and responses dropped with equal
+// probability) over the same simulated world and measures how much of the
+// zero-loss topology each tool still discovers:
+//
+//   flashroute        FlashRoute-16, no retransmission — the paper's tool,
+//                     which trades per-probe reliability for speed;
+//   flashroute_retx2  the same scan with a 2-probe retransmission budget
+//                     per /24 (this repo's resilience layer);
+//   yarrp             Yarrp-32, stateless by design: a lost probe is
+//                     indistinguishable from a silent hop, nothing retries;
+//   scamper_retry1    Scamper-16 with one retry per hop — the classic
+//                     stateful prober's answer to loss, paid in probes.
+//
+// Shape targets: every tool's discovery ratio (interfaces at loss L over
+// its own interfaces at zero loss) decays as L grows; FlashRoute's decay is
+// monotone; retransmission flattens the curve; Scamper's retries keep its
+// probe count within its (1 + retries) budget of the zero-loss count.
+//
+// Environment overrides:
+//   FR_PREFIX_BITS  universe size exponent (default 12)
+//   FR_SEED         topology seed (default 1)
+
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.h"
+
+namespace flashroute {
+namespace {
+
+constexpr std::array<double, 5> kLossSweep = {0.0, 0.05, 0.1, 0.2, 0.4};
+
+struct Point {
+  double loss = 0.0;
+  std::size_t interfaces = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t retransmits = 0;
+  double ratio = 0.0;  // interfaces / tool's zero-loss interfaces
+};
+
+struct Curve {
+  const char* name;
+  std::vector<Point> points;
+};
+
+sim::FaultParams faults_for(double loss) {
+  sim::FaultParams faults;
+  faults.probe_loss = loss;
+  faults.response_loss = loss;
+  return faults;
+}
+
+core::ScanResult run_tracer_under(const bench::World& world,
+                                  const core::TracerConfig& config,
+                                  double loss) {
+  sim::SimNetwork network(*world.topology, faults_for(loss));
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  core::Tracer tracer(config, runtime);
+  return tracer.run();
+}
+
+core::ScanResult run_yarrp_under(const bench::World& world,
+                                 const baselines::YarrpConfig& config,
+                                 double loss) {
+  sim::SimNetwork network(*world.topology, faults_for(loss));
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  baselines::Yarrp yarrp(config, runtime);
+  return yarrp.run();
+}
+
+core::ScanResult run_scamper_under(const bench::World& world,
+                                   const baselines::ScamperConfig& config,
+                                   double loss) {
+  sim::SimNetwork network(*world.topology, faults_for(loss));
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  baselines::Scamper scamper(config, runtime);
+  return scamper.run();
+}
+
+void finish_curve(Curve& curve) {
+  const double base = static_cast<double>(curve.points.front().interfaces);
+  for (Point& point : curve.points) {
+    point.ratio = base > 0 ? static_cast<double>(point.interfaces) / base
+                           : 0.0;
+  }
+  std::printf("  %-18s", curve.name);
+  for (const Point& point : curve.points) {
+    std::printf("  %.3f", point.ratio);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace flashroute
+
+int main() {
+  using namespace flashroute;
+
+  auto world = bench::make_world(/*default_bits=*/12);
+  bench::print_banner("Fault resilience: discovery vs loss rate", world);
+
+  Curve flashroute_curve{"flashroute", {}};
+  Curve retx_curve{"flashroute_retx2", {}};
+  Curve yarrp_curve{"yarrp", {}};
+  Curve scamper_curve{"scamper_retry1", {}};
+
+  constexpr int kScamperRetries = 1;
+  for (const double loss : kLossSweep) {
+    {
+      auto config = bench::tracer_base(world);
+      config.split_ttl = 16;
+      config.preprobe = core::PreprobeMode::kHitlist;
+      config.hitlist = &world.hitlist;
+      config.collect_routes = false;
+      const auto result = run_tracer_under(world, config, loss);
+      flashroute_curve.points.push_back(
+          {loss, result.interfaces.size(), result.probes_sent,
+           result.retransmits, 0.0});
+
+      config.max_retransmits = 2;
+      const auto retx = run_tracer_under(world, config, loss);
+      retx_curve.points.push_back({loss, retx.interfaces.size(),
+                                   retx.probes_sent, retx.retransmits, 0.0});
+    }
+    {
+      auto config = bench::yarrp_base(world);
+      config.collect_routes = false;
+      config.exhaustive_ttl = 32;
+      const auto result = run_yarrp_under(world, config, loss);
+      yarrp_curve.points.push_back({loss, result.interfaces.size(),
+                                    result.probes_sent, 0, 0.0});
+    }
+    {
+      auto config = bench::scamper_base(world);
+      config.collect_routes = false;
+      config.max_retries = kScamperRetries;
+      const auto result = run_scamper_under(world, config, loss);
+      scamper_curve.points.push_back({loss, result.interfaces.size(),
+                                      result.probes_sent, result.retransmits,
+                                      0.0});
+    }
+    std::printf("loss %.2f done\n", loss);
+  }
+
+  std::printf("\ndiscovery ratio vs own zero-loss baseline "
+              "(loss = 0 / .05 / .1 / .2 / .4):\n");
+  finish_curve(flashroute_curve);
+  finish_curve(retx_curve);
+  finish_curve(yarrp_curve);
+  finish_curve(scamper_curve);
+
+  // Assertion 1: FlashRoute's accuracy degrades monotonically with loss
+  // (within a small tolerance for topology-sampling noise).
+  bool monotone = true;
+  for (std::size_t i = 1; i < flashroute_curve.points.size(); ++i) {
+    if (flashroute_curve.points[i].ratio >
+        flashroute_curve.points[i - 1].ratio + 0.02) {
+      monotone = false;
+    }
+  }
+  std::printf("\nflashroute ratio monotone non-increasing: %s\n",
+              monotone ? "yes" : "NO");
+
+  // Assertion 2: Scamper's retries stay within budget — at any loss its
+  // probe count is at most (1 + retries) x its zero-loss count (+10%).
+  const double scamper_budget =
+      static_cast<double>(scamper_curve.points.front().probes) *
+      (1.0 + kScamperRetries) * 1.1;
+  bool within_budget = true;
+  for (const Point& point : scamper_curve.points) {
+    if (static_cast<double>(point.probes) > scamper_budget) {
+      within_budget = false;
+    }
+  }
+  std::printf("scamper probes within (1+retries) budget: %s\n",
+              within_budget ? "yes" : "NO");
+
+  // Assertion 3: the retransmission budget helps — at the highest loss the
+  // resilient scan discovers at least as much as the plain one.
+  const bool retx_helps = retx_curve.points.back().ratio + 0.02 >=
+                          flashroute_curve.points.back().ratio;
+  std::printf("retransmission flattens the curve: %s\n",
+              retx_helps ? "yes" : "NO");
+
+  const char* path = "BENCH_fault_resilience.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"fault_resilience\",\n"
+               "  \"prefix_bits\": %d,\n"
+               "  \"seed\": %llu,\n"
+               "  \"scamper_retries\": %d,\n"
+               "  \"tools\": [\n",
+               world.params.prefix_bits,
+               static_cast<unsigned long long>(world.params.seed),
+               kScamperRetries);
+  const std::array<const Curve*, 4> curves = {
+      &flashroute_curve, &retx_curve, &yarrp_curve, &scamper_curve};
+  for (std::size_t c = 0; c < curves.size(); ++c) {
+    const Curve& curve = *curves[c];
+    std::fprintf(out, "    {\"tool\": \"%s\", \"points\": [\n", curve.name);
+    for (std::size_t i = 0; i < curve.points.size(); ++i) {
+      const Point& point = curve.points[i];
+      std::fprintf(out,
+                   "      {\"loss\": %.2f, \"interfaces\": %zu, "
+                   "\"probes\": %llu, \"retransmits\": %llu, "
+                   "\"discovery_ratio\": %.4f}%s\n",
+                   point.loss, point.interfaces,
+                   static_cast<unsigned long long>(point.probes),
+                   static_cast<unsigned long long>(point.retransmits),
+                   point.ratio, i + 1 < curve.points.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", c + 1 < curves.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"flashroute_monotone\": %s,\n"
+               "  \"scamper_within_budget\": %s,\n"
+               "  \"retransmit_flattens\": %s\n"
+               "}\n",
+               monotone ? "true" : "false",
+               within_budget ? "true" : "false",
+               retx_helps ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+  return (monotone && within_budget && retx_helps) ? 0 : 1;
+}

@@ -27,6 +27,7 @@
 #include "core/exclusion.h"
 #include "core/sharded_tracer.h"
 #include "core/tracer.h"
+#include "io/checkpoint.h"
 #include "io/pcap.h"
 #include "io/scan_archive.h"
 #include "net/raw/raw_socket_transport.h"
@@ -68,7 +69,35 @@ struct CliOptions {
   std::string pcap_file;  // capture all probes and responses
   std::string metrics_file;         // JSONL telemetry stream (DESIGN.md §7)
   double metrics_interval_ms = 1000;  // snapshot cadence, virtual ms
+
+  // Fault injection (sim backend only; DESIGN.md §9).
+  double fault_probe_loss = 0;
+  double fault_response_loss = 0;
+  double fault_duplicate = 0;
+  double fault_reorder = 0;
+  double fault_corrupt = 0;
+  double fault_blackhole = 0;
+  double fault_flap = 0;
+  double fault_send_fail = 0;
+
+  // Resilience layer (DESIGN.md §9).
+  int retransmit = 0;
+  double retransmit_timeout_ms = 500;
+  bool backoff = false;
+  std::string checkpoint_file;         // write checkpoints here
+  double checkpoint_interval_ms = 1000;
+  std::string resume_file;             // resume a checkpointed scan
   bool help = false;
+
+  bool any_fault() const {
+    return fault_probe_loss > 0 || fault_response_loss > 0 ||
+           fault_duplicate > 0 || fault_reorder > 0 || fault_corrupt > 0 ||
+           fault_blackhole > 0 || fault_flap > 0 || fault_send_fail > 0;
+  }
+  bool resilience() const {
+    return retransmit > 0 || backoff || !checkpoint_file.empty() ||
+           !resume_file.empty();
+  }
 };
 
 void print_usage() {
@@ -105,6 +134,28 @@ void print_usage() {
       "                           deterministic for sim scans)\n"
       "  --metrics-interval=MS    telemetry snapshot cadence in (virtual)\n"
       "                           milliseconds (default 1000)\n"
+      "\n"
+      "fault injection (sim backend; deterministic per seed):\n"
+      "  --fault-probe-loss=P     probability a probe vanishes en route\n"
+      "  --fault-response-loss=P  probability a response vanishes\n"
+      "  --fault-duplicate=P      probability a response is duplicated\n"
+      "  --fault-reorder=P        probability a response is delayed/reordered\n"
+      "  --fault-corrupt=P        probability a response is corrupted\n"
+      "  --fault-blackhole=F      fraction of /24s persistently blackholed\n"
+      "  --fault-flap=F           fraction of /24s behind a flapping link\n"
+      "  --fault-send-fail=P      probability a local send fails (EAGAIN)\n"
+      "\n"
+      "resilience:\n"
+      "  --retransmit=N           per-/24 retransmission budget (default 0)\n"
+      "  --retransmit-timeout=MS  response deadline before re-sending\n"
+      "                           (default 500)\n"
+      "  --backoff                adaptive rate backoff on round loss\n"
+      "  --checkpoint-out=FILE    checkpoint the scan to FILE at each\n"
+      "                           interval (sim backend, unsharded)\n"
+      "  --checkpoint-interval=MS checkpoint cadence in virtual ms\n"
+      "                           (default 1000)\n"
+      "  --resume-from=FILE       resume a scan from a checkpoint written\n"
+      "                           by --checkpoint-out (same flags required)\n"
       "  --help                   this text");
 }
 
@@ -166,6 +217,34 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       options.metrics_file = *v;
     } else if ((v = value_of("--metrics-interval"))) {
       options.metrics_interval_ms = std::stod(*v);
+    } else if ((v = value_of("--fault-probe-loss"))) {
+      options.fault_probe_loss = std::stod(*v);
+    } else if ((v = value_of("--fault-response-loss"))) {
+      options.fault_response_loss = std::stod(*v);
+    } else if ((v = value_of("--fault-duplicate"))) {
+      options.fault_duplicate = std::stod(*v);
+    } else if ((v = value_of("--fault-reorder"))) {
+      options.fault_reorder = std::stod(*v);
+    } else if ((v = value_of("--fault-corrupt"))) {
+      options.fault_corrupt = std::stod(*v);
+    } else if ((v = value_of("--fault-blackhole"))) {
+      options.fault_blackhole = std::stod(*v);
+    } else if ((v = value_of("--fault-flap"))) {
+      options.fault_flap = std::stod(*v);
+    } else if ((v = value_of("--fault-send-fail"))) {
+      options.fault_send_fail = std::stod(*v);
+    } else if ((v = value_of("--retransmit"))) {
+      options.retransmit = std::stoi(*v);
+    } else if ((v = value_of("--retransmit-timeout"))) {
+      options.retransmit_timeout_ms = std::stod(*v);
+    } else if (arg == "--backoff") {
+      options.backoff = true;
+    } else if ((v = value_of("--checkpoint-out"))) {
+      options.checkpoint_file = *v;
+    } else if ((v = value_of("--checkpoint-interval"))) {
+      options.checkpoint_interval_ms = std::stod(*v);
+    } else if ((v = value_of("--resume-from"))) {
+      options.resume_file = *v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return std::nullopt;
@@ -250,6 +329,67 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Resilience knobs (DESIGN.md §9).
+  config.max_retransmits = static_cast<std::uint8_t>(
+      std::clamp(options->retransmit, 0, 255));
+  config.retransmit_timeout = static_cast<util::Nanos>(
+      options->retransmit_timeout_ms * static_cast<double>(
+                                           util::kMillisecond));
+  config.adaptive_backoff = options->backoff;
+
+  // Checkpoint/resume needs the single-engine virtual-time scan: the raw
+  // backend cannot replay a timeline, and a sharded scan checkpoints
+  // through the ShardedTracerConfig set API instead.
+  if ((!options->checkpoint_file.empty() || !options->resume_file.empty()) &&
+      (options->backend != "sim" || options->shards > 0)) {
+    std::fprintf(stderr,
+                 "--checkpoint-out/--resume-from require the unsharded sim "
+                 "backend\n");
+    return 2;
+  }
+  if (options->any_fault() && options->backend != "sim") {
+    std::fprintf(stderr, "--fault-* flags require the sim backend\n");
+    return 2;
+  }
+
+  std::optional<io::ScanCheckpoint> resume_checkpoint;
+  if (!options->resume_file.empty()) {
+    std::ifstream in(options->resume_file, std::ios::binary);
+    auto loaded = in ? io::read_checkpoint(in) : std::nullopt;
+    if (!loaded) {
+      std::fprintf(stderr, "%s: not a FlashRoute scan checkpoint\n",
+                   options->resume_file.c_str());
+      return 1;
+    }
+    resume_checkpoint = std::move(*loaded);
+    config.resume_from = &*resume_checkpoint;
+    std::printf("resuming from %s: %s elapsed, %llu rounds done\n",
+                options->resume_file.c_str(),
+                util::format_duration(resume_checkpoint->scan_elapsed).c_str(),
+                static_cast<unsigned long long>(
+                    resume_checkpoint->rounds_completed));
+  }
+
+  std::uint64_t checkpoints_written = 0;
+  if (!options->checkpoint_file.empty()) {
+    config.checkpoint_interval = static_cast<util::Nanos>(
+        options->checkpoint_interval_ms *
+        static_cast<double>(util::kMillisecond));
+    config.checkpoint_sink =
+        [&options, &checkpoints_written](const io::ScanCheckpoint& cp) {
+          std::ofstream out(options->checkpoint_file,
+                            std::ios::binary | std::ios::trunc);
+          if (!out) {
+            std::fprintf(stderr, "cannot write %s; aborting scan\n",
+                         options->checkpoint_file.c_str());
+            return false;
+          }
+          io::write_checkpoint(cp, out);
+          ++checkpoints_written;
+          return true;
+        };
+  }
+
   std::unique_ptr<core::ScanRuntime> runtime;
   std::unique_ptr<sim::Topology> topology;
   std::unique_ptr<sim::SimNetwork> network;
@@ -261,6 +401,14 @@ int main(int argc, char** argv) {
     params.prefix_bits = options->prefix_bits;
     params.first_prefix = config.first_prefix;
     params.seed = options->seed;
+    params.faults.probe_loss = options->fault_probe_loss;
+    params.faults.response_loss = options->fault_response_loss;
+    params.faults.duplicate_prob = options->fault_duplicate;
+    params.faults.reorder_prob = options->fault_reorder;
+    params.faults.corrupt_prob = options->fault_corrupt;
+    params.faults.blackhole_fraction = options->fault_blackhole;
+    params.faults.flap_fraction = options->fault_flap;
+    params.faults.send_fail_prob = options->fault_send_fail;
     topology = std::make_unique<sim::Topology>(params);
     network = std::make_unique<sim::SimNetwork>(*topology);
     const double pps =
@@ -269,7 +417,11 @@ int main(int argc, char** argv) {
             : sim::scaled_probe_rate(100'000.0, options->prefix_bits);
     config.probes_per_second = pps;
     config.vantage = net::Ipv4Address(params.vantage_address);
-    auto sim_rt = std::make_unique<sim::SimScanRuntime>(*network, pps);
+    // A resumed scan restarts the virtual clock at the checkpoint's cursor
+    // so rate pacing and the fault schedule continue the same timeline.
+    auto sim_rt = std::make_unique<sim::SimScanRuntime>(
+        *network, pps,
+        resume_checkpoint ? resume_checkpoint->virtual_now : 0);
     sim_runtime = sim_rt.get();
     runtime = std::move(sim_rt);
     if (config.preprobe == core::PreprobeMode::kHitlist) {
@@ -369,7 +521,8 @@ int main(int argc, char** argv) {
       options->metrics_interval_ms * static_cast<double>(util::kMillisecond));
   if (metrics_on) {
     config.telemetry.registry = &metrics_registry;
-    config.telemetry.ids = obs::register_scan_metrics(metrics_registry);
+    config.telemetry.ids =
+        obs::register_scan_metrics(metrics_registry, options->resilience());
   }
 
   std::unique_ptr<core::Tracer> tracer;
@@ -440,6 +593,19 @@ int main(int argc, char** argv) {
   std::printf("targets reached: %s; mismatched (rewritten) responses: %s\n",
               util::format_count(result.destinations_reached).c_str(),
               util::format_count(result.mismatches).c_str());
+  if (options->resilience()) {
+    std::printf("resilience: %s send failures, %s retransmits, "
+                "%s timeouts, %s rate backoffs\n",
+                util::format_count(result.send_failures).c_str(),
+                util::format_count(result.retransmits).c_str(),
+                util::format_count(result.probe_timeouts).c_str(),
+                util::format_count(result.rate_backoffs).c_str());
+  }
+  if (!options->checkpoint_file.empty()) {
+    std::printf("%llu checkpoint(s) written to %s\n",
+                static_cast<unsigned long long>(checkpoints_written),
+                options->checkpoint_file.c_str());
+  }
 
   const io::TargetResolver resolver = [&](std::uint32_t offset) {
     return tracer ? tracer->target_of(offset)

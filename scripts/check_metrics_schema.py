@@ -1,7 +1,11 @@
 #!/usr/bin/env python3
 """Validates a FlashRoute telemetry JSONL stream (DESIGN.md §7).
 
-Usage: check_metrics_schema.py METRICS.jsonl
+Usage: check_metrics_schema.py [--require-counters a,b,c] METRICS.jsonl
+
+With --require-counters, additionally fails unless every named counter is
+present in the summary (used by CI to pin the resilience counters of
+DESIGN.md §9 — e.g. scan.retransmits — into the exported stream).
 
 Checks, using only the standard library:
   * every line is a standalone JSON object with "type" of "interval" or
@@ -140,7 +144,19 @@ def check_summary(line_no, record, last_t_by_lane, delta_sums):
 
 
 def main():
-    if len(sys.argv) != 2:
+    argv = sys.argv[1:]
+    required = []
+    if argv and argv[0] == "--require-counters":
+        if len(argv) < 2:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        required = [name for name in argv[1].split(",") if name]
+        argv = argv[2:]
+    elif argv and argv[0].startswith("--require-counters="):
+        required = [name
+                    for name in argv[0].split("=", 1)[1].split(",") if name]
+        argv = argv[1:]
+    if len(argv) != 1:
         print(__doc__.strip(), file=sys.stderr)
         return 2
 
@@ -148,8 +164,9 @@ def main():
     delta_sums = {}
     intervals = 0
     summary_line = None
+    summary_counters = {}
 
-    with open(sys.argv[1], encoding="utf-8") as stream:
+    with open(argv[0], encoding="utf-8") as stream:
         for line_no, line in enumerate(stream, start=1):
             line = line.strip()
             if not line:
@@ -169,11 +186,16 @@ def main():
             elif kind == "summary":
                 summary_line = line_no
                 check_summary(line_no, record, last_t_by_lane, delta_sums)
+                summary_counters = record["counters"]
             else:
                 fail(line_no, f"unknown record type: {kind!r}")
 
     if summary_line is None:
         fail(0, "stream has no summary record")
+    missing = [name for name in required if name not in summary_counters]
+    if missing:
+        fail(summary_line,
+             f"summary is missing required counter(s): {', '.join(missing)}")
     print(f"check_metrics_schema: OK — {intervals} interval record(s) across "
           f"{len(last_t_by_lane)} lane(s), summary on line {summary_line}")
     return 0

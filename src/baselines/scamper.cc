@@ -14,7 +14,10 @@ constexpr util::Nanos kIdleStep = 10 * util::kMillisecond;
 }
 
 Scamper::Scamper(const ScamperConfig& config, core::ScanRuntime& runtime)
-    : config_(config), runtime_(runtime), codec_(config.vantage) {
+    : config_(config),
+      runtime_(runtime),
+      codec_(config.vantage),
+      timeouts_(std::max<util::Nanos>(config.probe_timeout / 32, 1)) {
   sink_ = [this](std::span<const std::byte> packet, util::Nanos arrival) {
     on_packet(packet, arrival);
   };
@@ -54,19 +57,26 @@ void Scamper::send_probe(std::uint32_t index, TraceState& state) {
       codec_.encode_udp(net::Ipv4Address(state.destination), state.ttl,
                         /*preprobe=*/false, runtime_.now(), buffer);
   if (size == 0) return;
-  runtime_.send(std::span<const std::byte>(buffer.data(), size));
-  ++result_.probes_sent;
   const obs::ScanTelemetry& tel = config_.telemetry;
-  tel.count(tel.ids.probes_sent);
-  if (tel.tracer != nullptr) tel.tick(runtime_.now());
-  if (config_.collect_probe_log) {
-    result_.probe_log.push_back(
-        {runtime_.now(), state.destination, state.ttl});
+  if (runtime_.try_send(std::span<const std::byte>(buffer.data(), size))) {
+    ++result_.probes_sent;
+    tel.count(tel.ids.probes_sent);
+    if (config_.collect_probe_log) {
+      result_.probe_log.push_back(
+          {runtime_.now(), state.destination, state.ttl});
+    }
+  } else {
+    // A probe lost at the sender behaves like one lost in flight: the
+    // timeout below retries it (within budget) or advances past the hop.
+    ++result_.send_failures;
+    if (tel.ids.resilience) tel.count(tel.ids.send_failures);
   }
+  if (tel.tracer != nullptr) tel.tick(runtime_.now());
   state.awaiting = true;
+  ++state.attempts;
   ++state.probe_token;
-  timeouts_.push(
-      {runtime_.now() + config_.probe_timeout, index, state.probe_token});
+  timeouts_.schedule(runtime_.now() + config_.probe_timeout,
+                     {index, state.probe_token});
 }
 
 void Scamper::finish(std::uint32_t index) {
@@ -164,31 +174,41 @@ core::ScanResult Scamper::run() {
     runtime_.drain(sink_);
 
     // Expire outstanding probes whose response never came.
-    while (!timeouts_.empty() &&
-           timeouts_.top().deadline <= runtime_.now()) {
-      const Timeout timeout = timeouts_.top();
-      timeouts_.pop();
+    timeouts_.expire_due(runtime_.now(), [this](const Timeout& timeout) {
       const auto it = active_.find(timeout.index);
       if (it == active_.end() || !it->second.awaiting ||
           it->second.probe_token != timeout.token) {
-        continue;  // stale: the probe was already answered
+        return;  // stale: the probe was already answered
       }
       TraceState& state = it->second;
       state.awaiting = false;
+      if (state.attempts <= config_.max_retries) {
+        // Budget left: re-probe the same hop before moving on.
+        ++result_.retransmits;
+        const obs::ScanTelemetry& tel = config_.telemetry;
+        if (tel.ids.resilience) tel.count(tel.ids.retransmits);
+        send_probe(timeout.index, state);
+        return;
+      }
+      ++result_.probe_timeouts;
+      if (config_.telemetry.ids.resilience) {
+        config_.telemetry.count(config_.telemetry.ids.probe_timeouts);
+      }
+      state.attempts = 0;
       if (state.phase == Phase::kForward) {
         advance_forward(state, /*responded=*/false, /*reached=*/false);
       } else {
         advance_backward(state, /*responded=*/false, /*known=*/false);
       }
       ready_.push_back(timeout.index);
-    }
+    });
 
     if (ready_.empty()) {
       // Everything in flight: idle towards the earliest timeout, in small
       // steps so arriving responses resume probing promptly.
       util::Nanos wake = runtime_.now() + kIdleStep;
-      if (!timeouts_.empty()) {
-        wake = std::min(wake, timeouts_.top().deadline);
+      if (const auto deadline = timeouts_.next_deadline()) {
+        wake = std::min(wake, std::max(*deadline, runtime_.now()));
       }
       runtime_.idle_until(wake, sink_);
       continue;
@@ -285,6 +305,7 @@ void Scamper::on_packet(std::span<const std::byte> packet,
 
   state.awaiting = false;
   ++state.probe_token;  // cancels the pending timeout
+  state.attempts = 0;
   if (state.phase == Phase::kForward) {
     advance_forward(state, /*responded=*/true, reached);
   } else {

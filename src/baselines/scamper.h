@@ -20,7 +20,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +29,7 @@
 #include "net/ipv4.h"
 #include "obs/scan_metrics.h"
 #include "util/permutation.h"
+#include "util/timing_wheel.h"
 
 namespace flashroute::baselines {
 
@@ -46,6 +46,11 @@ struct ScamperConfig {
   /// Destinations traced concurrently.
   std::uint32_t window = 4096;
   util::Nanos probe_timeout = 2 * util::kSecond;
+
+  /// Probes re-sent at the same TTL after a timeout before giving up on the
+  /// hop — Scamper's classic accuracy-for-probes trade (its `-q` attempts
+  /// knob).  0 reproduces the paper's configuration (one probe per hop).
+  std::uint8_t max_retries = 0;
 
   // Empirical Fig-7 redundancy model (see header comment).
   std::uint8_t redundancy_pause_high = 14;
@@ -81,17 +86,18 @@ class Scamper {
     std::uint8_t ttl = 0;            ///< TTL of the outstanding/next probe
     std::uint8_t forward_horizon = 0;
     std::uint8_t known_streak = 0;   ///< consecutive known backward hops
+    std::uint8_t attempts = 0;       ///< probes sent for the current TTL
     bool awaiting = false;
     std::uint32_t probe_token = 0;   ///< invalidates stale timeouts
   };
 
+  /// Timing-wheel payload; the deadline lives in the wheel itself.  Probe
+  /// timeouts are scheduled in strictly increasing virtual-time order, so
+  /// the wheel's (deadline, insertion) expiry order matches the former
+  /// priority queue's exactly — the Fig-7 regression depends on it.
   struct Timeout {
-    util::Nanos deadline;
     std::uint32_t index;
     std::uint32_t token;
-    bool operator>(const Timeout& other) const noexcept {
-      return deadline > other.deadline;
-    }
   };
 
   std::uint32_t target_of(std::uint32_t prefix_offset) const noexcept;
@@ -111,8 +117,7 @@ class Scamper {
 
   std::unordered_map<std::uint32_t, TraceState> active_;  // by prefix offset
   std::deque<std::uint32_t> ready_;
-  std::priority_queue<Timeout, std::vector<Timeout>, std::greater<>>
-      timeouts_;
+  util::TimingWheel<Timeout> timeouts_;
   std::uint64_t admit_cursor_ = 0;
   const util::RandomPermutation* permutation_ = nullptr;
 };

@@ -37,9 +37,17 @@ void Yarrp::send_probe(std::uint32_t destination, std::uint8_t ttl) {
                              /*preprobe=*/false, runtime_.now(), buffer);
   }
   if (size == 0) return;
-  runtime_.send(std::span<const std::byte>(buffer.data(), size));
-  ++result_.probes_sent;
   const obs::ScanTelemetry& tel = config_.telemetry;
+  if (!runtime_.try_send(std::span<const std::byte>(buffer.data(), size))) {
+    // Yarrp is stateless by design: a probe lost at the sender is simply a
+    // silent hop — no state to retry from (the contrast the resilience
+    // bench measures).
+    ++result_.send_failures;
+    if (tel.ids.resilience) tel.count(tel.ids.send_failures);
+    if (tel.tracer != nullptr) tel.tick(runtime_.now());
+    return;
+  }
+  ++result_.probes_sent;
   tel.count(tel.ids.probes_sent);
   if (tel.tracer != nullptr) tel.tick(runtime_.now());
   if (config_.collect_probe_log) {

@@ -86,6 +86,17 @@ class BasicDcbArray {
     return (dcbs_[index].flags & DcbType::kRemoved) == 0 && ring_size_ > 0;
   }
 
+  /// Repositions the ring cursor (checkpoint resume: the head drifts away
+  /// from the permutation start as destinations retire, so a resumed scan
+  /// must restore the exact cursor, not the rebuilt ring's first member).
+  /// `index` must be a current ring member; kNone empties the cursor.
+  void set_head(std::uint32_t index) noexcept {
+    if (index != kNone && (dcbs_[index].flags & DcbType::kRemoved) != 0) {
+      return;
+    }
+    head_ = index;
+  }
+
   /// Unlinks a completed destination from future rounds (sender-side only).
   FR_HOT void remove(std::uint32_t index) noexcept {
     DcbType& dcb = dcbs_[index];

@@ -22,6 +22,8 @@ struct RouteHop {
   std::uint32_t ip = 0;
   std::uint8_t ttl = 0;  ///< hop distance (derived distance for kFromDestination)
   std::uint8_t flags = 0;
+
+  bool operator==(const RouteHop&) const = default;
 };
 
 /// One sent probe, for the Table 4 overprobing replay.
@@ -30,6 +32,8 @@ struct ProbeLogEntry {
   std::uint32_t destination = 0;
   std::uint8_t ttl = 0;
   bool preprobe = false;  ///< sent during a (non-folded) preprobing phase
+
+  bool operator==(const ProbeLogEntry&) const = default;
 };
 
 struct ScanResult {
@@ -64,6 +68,14 @@ struct ScanResult {
   std::uint64_t distances_measured = 0;
   std::uint64_t distances_predicted = 0;
   std::uint64_t convergence_stops = 0;  ///< backward stops at known hops
+
+  // Resilience counters (DESIGN.md §9).  Not part of the FRSC archive
+  // payload — the v1 byte format is frozen; checkpoints carry them
+  // separately.
+  std::uint64_t send_failures = 0;   ///< try_send returned false
+  std::uint64_t retransmits = 0;     ///< probes re-sent after a timeout
+  std::uint64_t probe_timeouts = 0;  ///< timeouts with no retransmit budget
+  std::uint64_t rate_backoffs = 0;   ///< adaptive rate-halving events
 
   util::Nanos scan_time = 0;     ///< total, including preprobing & extra scans
   util::Nanos preprobe_time = 0;

@@ -41,8 +41,25 @@ class ScanRuntime {
 
   FR_HOT virtual util::Nanos now() const noexcept = 0;
 
-  /// Paces one probe slot (1/pps) and puts the packet on the wire.
-  FR_HOT virtual void send(std::span<const std::byte> packet) = 0;
+  /// Paces one probe slot (1/pps) and attempts to put the packet on the
+  /// wire.  Returns false when the transmit failed (transient socket error
+  /// after bounded retries, injected simulator fault); the pacing slot is
+  /// consumed either way.  Callers must handle the failure — the engines
+  /// count it and let their retransmission layer recover the probe.
+  [[nodiscard]] FR_HOT virtual bool try_send(
+      std::span<const std::byte> packet) = 0;
+
+  /// Send-and-tally convenience: failures are counted in send_failures()
+  /// rather than surfaced per call.
+  FR_HOT void send(std::span<const std::byte> packet) {
+    if (!try_send(packet)) ++send_failures_;
+  }
+
+  /// Adjusts the pacing rate mid-scan (the Tracer's adaptive backoff).
+  /// Default no-op: runtimes without a meaningful throttle (NullRuntime)
+  /// and the sharded real-time worker view (whose throttle is shared by
+  /// several shards) ignore it.
+  virtual void set_rate(double /*probes_per_second*/) {}
 
   /// Delivers all responses available by now() to `sink`.
   FR_HOT virtual void drain(const Sink& sink) = 0;
@@ -53,12 +70,19 @@ class ScanRuntime {
 
   FR_HOT std::uint64_t packets_sent() const noexcept { return packets_sent_; }
 
+  /// Probes whose transmit failed, as tallied by the send() wrapper.
+  /// Engines that call try_send directly keep their own count instead.
+  FR_HOT std::uint64_t send_failures() const noexcept {
+    return send_failures_;
+  }
+
   /// Responses dropped before reaching the engine (bounded receive rings
   /// overflowing, unclassifiable packets).  0 for runtimes that never drop.
   virtual std::uint64_t packets_dropped() const noexcept { return 0; }
 
  protected:
   std::uint64_t packets_sent_ = 0;
+  std::uint64_t send_failures_ = 0;
 };
 
 /// Swallows every probe and never delivers a response.  now() is the real
@@ -68,7 +92,10 @@ class ScanRuntime {
 class NullRuntime final : public ScanRuntime {
  public:
   FR_HOT util::Nanos now() const noexcept override { return clock_.now(); }
-  FR_HOT void send(std::span<const std::byte>) override { ++packets_sent_; }
+  [[nodiscard]] FR_HOT bool try_send(std::span<const std::byte>) override {
+    ++packets_sent_;
+    return true;
+  }
   FR_HOT void drain(const Sink&) override {}
   FR_HOT void idle_until(util::Nanos, const Sink&) override {}
 

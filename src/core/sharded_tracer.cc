@@ -84,6 +84,21 @@ TracerConfig ShardedTracer::shard_config(const ShardInfo& shard) const {
     cfg.telemetry.lane = cfg.telemetry.registry->lane(shard.index);
     cfg.telemetry.lane_id = shard.index;
   }
+  // Checkpoint fan-out: shard-tag the set-level sink, and hand each shard
+  // its own slice of the resume set.
+  const std::size_t index = static_cast<std::size_t>(shard.index);
+  if (config_.checkpoint_sink) {
+    cfg.checkpoint_sink = [sink = config_.checkpoint_sink,
+                           index](const io::ScanCheckpoint& checkpoint) {
+      return sink(index, checkpoint);
+    };
+  }
+  cfg.resume_from = nullptr;
+  if (config_.resume_from != nullptr &&
+      index < config_.resume_from->size() &&
+      !(*config_.resume_from)[index].next_backward.empty()) {
+    cfg.resume_from = &(*config_.resume_from)[index];
+  }
   return cfg;
 }
 
@@ -170,6 +185,10 @@ ScanResult merge_shard_results(std::vector<ScanResult>&& shard_results,
     merged.distances_measured += r.distances_measured;
     merged.distances_predicted += r.distances_predicted;
     merged.convergence_stops += r.convergence_stops;
+    merged.send_failures += r.send_failures;
+    merged.retransmits += r.retransmits;
+    merged.probe_timeouts += r.probe_timeouts;
+    merged.rate_backoffs += r.rate_backoffs;
 
     worker_time[static_cast<std::size_t>(shard.worker)] += r.scan_time;
     worker_preprobe_time[static_cast<std::size_t>(shard.worker)] +=

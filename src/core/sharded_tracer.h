@@ -29,11 +29,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/result.h"
 #include "core/runtime.h"
 #include "core/tracer.h"
+#include "io/checkpoint.h"
 
 namespace flashroute::core {
 
@@ -75,6 +77,20 @@ struct ShardedTracerConfig {
   /// /24s.  This — not num_workers — fixes the decomposition, which is what
   /// makes results invariant under the worker count.
   int shard_prefix_bits = 10;
+
+  /// Per-shard checkpoint fan-out: when the base config enables
+  /// checkpointing, each shard's Tracer hands its checkpoints here (tagged
+  /// with the shard index) instead of base.checkpoint_sink.  Called from
+  /// worker threads — the installed sink must be thread-safe.  Returning
+  /// false kills that shard's sub-scan, like the unsharded sink contract.
+  std::function<bool(std::size_t shard, const io::ScanCheckpoint&)>
+      checkpoint_sink;
+
+  /// Resume each shard from the matching entry of a previously captured
+  /// checkpoint set (index = shard index; must outlive run()).  An entry
+  /// with empty per-DCB state (next_backward.empty()) means "no checkpoint
+  /// for this shard — start it fresh".
+  const std::vector<io::ScanCheckpoint>* resume_from = nullptr;
 
   int num_shards() const noexcept {
     const int bits = shard_prefix_bits < base.prefix_bits

@@ -66,7 +66,12 @@ class Wire {
  public:
   virtual ~Wire() = default;
 
-  FR_HOT virtual void transmit(std::span<const std::byte> packet) = 0;
+  /// Attempts to put one packet on the wire.  Returns false when the
+  /// transmit failed (transient socket error after bounded retries,
+  /// injected simulator fault, unroutable packet) — callers must not
+  /// silently drop the failure.
+  [[nodiscard]] FR_HOT virtual bool try_transmit(
+      std::span<const std::byte> packet) = 0;
 
   /// Blocks up to `timeout` for one packet, copies it into `buffer`, and
   /// returns its size; returns 0 on timeout.  Packets longer than `buffer`
@@ -100,12 +105,20 @@ class ThreadedRuntime final : public ScanRuntime {
 
   FR_HOT util::Nanos now() const noexcept override { return clock_.now(); }
 
-  FR_HOT void send(std::span<const std::byte> packet) override {
+  [[nodiscard]] FR_HOT bool try_send(
+      std::span<const std::byte> packet) override {
     while (!throttle_.try_consume(clock_.now())) {
       std::this_thread::yield();
     }
-    wire_.transmit(packet);
+    if (!wire_.try_transmit(packet)) return false;
     ++packets_sent_;
+    return true;
+  }
+
+  /// Adaptive-backoff hook: called from the engine thread (the only thread
+  /// touching the throttle), settles accrued tokens before switching.
+  void set_rate(double probes_per_second) override {
+    throttle_.set_rate(probes_per_second, clock_.now());
   }
 
   FR_HOT void drain(const Sink& sink) override {
@@ -236,13 +249,20 @@ class ShardedThreadedRuntime final : public ShardRuntimeProvider {
       return owner_.clock_.now();
     }
 
-    FR_HOT void send(std::span<const std::byte> packet) override {
+    [[nodiscard]] FR_HOT bool try_send(
+        std::span<const std::byte> packet) override {
       while (!throttle_.try_consume(owner_.clock_.now())) {
         std::this_thread::yield();
       }
-      owner_.wire_.transmit(packet);
+      if (!owner_.wire_.try_transmit(packet)) return false;
       ++packets_sent_;
+      return true;
     }
+
+    // set_rate stays the base-class no-op here: this throttle paces the sum
+    // of several shards' budgets, so one shard backing off must not slow
+    // its siblings.  Per-shard backoff needs per-shard runtimes (the sim
+    // provider has them).
 
     FR_HOT void drain(const Sink& sink) override {
       while (PacketSlot* slot = ring_.front()) {

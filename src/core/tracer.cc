@@ -17,10 +17,36 @@ Tracer::Tracer(const TracerConfig& config, ScanRuntime& runtime)
       codec_(config.vantage),
       active_codec_(&codec_),
       dcbs_(config.num_prefixes()),
-      target_seed_(config.target_seed) {
+      target_seed_(config.target_seed),
+      wheel_(std::max<util::Nanos>(config.retransmit_timeout / 32, 1)) {
   sink_ = [this](std::span<const std::byte> packet, util::Nanos arrival) {
     on_packet(packet, arrival);
   };
+}
+
+std::uint64_t Tracer::checkpoint_digest() const noexcept {
+  using util::hash_combine;
+  std::uint64_t digest =
+      hash_combine(config_.first_prefix,
+                   static_cast<std::uint64_t>(config_.prefix_bits),
+                   config_.seed, config_.target_seed);
+  digest = hash_combine(digest, config_.split_ttl, config_.max_ttl,
+                        config_.gap_limit);
+  digest = hash_combine(
+      digest, static_cast<std::uint64_t>(config_.preprobe),
+      config_.proximity_span,
+      (std::uint64_t{config_.forward_probing} << 2) |
+          (std::uint64_t{config_.redundancy_removal} << 1) |
+          std::uint64_t{config_.fold_preprobe});
+  digest = hash_combine(digest, config_.max_retransmits,
+                        static_cast<std::uint64_t>(config_.retransmit_timeout),
+                        std::uint64_t{config_.adaptive_backoff});
+  digest = hash_combine(
+      digest, static_cast<std::uint64_t>(config_.checkpoint_interval),
+      static_cast<std::uint64_t>(config_.min_round_duration),
+      std::uint64_t{config_.collect_routes} << 1 |
+          std::uint64_t{config_.collect_probe_log});
+  return digest;
 }
 
 FR_HOT bool Tracer::fold_mode() const noexcept {
@@ -65,53 +91,129 @@ ScanResult Tracer::run() {
     return include_in_scan(index);
   });
 
-  const util::Nanos start = runtime_.now();
+  if (resilience_enabled()) {
+    answered_mask_.assign(n, 0);
+    retransmit_left_.assign(n, config_.max_retransmits);
+  }
+  backoff_level_ = 0;
+  rounds_completed_ = 0;
+  resume_elapsed_base_ = 0;
+  aborted_ = false;
 
-  if (config_.preprobe != PreprobeMode::kNone && !fold_mode()) {
-    config_.telemetry.begin_phase(obs::ScanPhase::kPreprobe, runtime_.now());
-    preprobe_phase();
-    predict_distances();
+  scan_start_ = runtime_.now();
+
+  bool resuming = false;
+  if (config_.resume_from != nullptr) {
+    if (config_.resume_from->config_digest == checkpoint_digest()) {
+      restore_checkpoint(*config_.resume_from);
+      resuming = true;
+    } else {
+      FR_LOG_WARN("checkpoint config digest mismatch; starting fresh");
+    }
   }
-  if (config_.preprobe_only) {
-    result_.scan_time = runtime_.now() - start;
-    config_.telemetry.finish(runtime_.now());
-    return result_;
+
+  if (!resuming) {
+    if (config_.preprobe != PreprobeMode::kNone && !fold_mode()) {
+      config_.telemetry.begin_phase(obs::ScanPhase::kPreprobe,
+                                    runtime_.now());
+      preprobe_phase();
+      predict_distances();
+    }
+    if (config_.preprobe_only) {
+      result_.scan_time = runtime_.now() - scan_start_;
+      config_.telemetry.finish(runtime_.now());
+      return result_;
+    }
+    initialize_dcbs();
   }
-  initialize_dcbs();
 
   // In fold mode the preprobe *is* round one: the first round's TTL-32
   // backward probes carry the preprobe bit, so their responses both build
-  // topology and measure distances (§3.3.5).
+  // topology and measure distances (§3.3.5).  A resumed scan never re-runs
+  // the fold round: the earliest checkpoint barrier sits after it.
   config_.telemetry.begin_phase(obs::ScanPhase::kMain, runtime_.now());
-  main_rounds(codec_, fold_mode(), 0);
+  next_checkpoint_ = runtime_.now() + config_.checkpoint_interval;
+  main_rounds(codec_, !resuming && fold_mode(), 0);
 
-  if (config_.extra_scans > 0) {
+  if (config_.extra_scans > 0 && !aborted_) {
     config_.telemetry.begin_phase(obs::ScanPhase::kExtra, runtime_.now());
     run_extra_scans();
   }
 
-  result_.scan_time = runtime_.now() - start;
+  result_.scan_time = resume_elapsed_base_ + (runtime_.now() - scan_start_);
   config_.telemetry.finish(runtime_.now());
   return result_;
 }
 
-FR_HOT void Tracer::send_probe(const ProbeCodec& codec, std::uint32_t destination,
-                        std::uint8_t ttl, bool preprobe_flag) {
+FR_HOT void Tracer::send_probe(const ProbeCodec& codec, std::uint32_t index,
+                        std::uint32_t destination, std::uint8_t ttl,
+                        bool preprobe_flag) {
   std::array<std::byte, ProbeCodec::kMaxProbeSize> buffer;
   const std::size_t size =
       codec.encode_udp(net::Ipv4Address(destination), ttl, preprobe_flag,
                        runtime_.now(), buffer);
   if (size == 0) return;
-  runtime_.send(std::span<const std::byte>(buffer.data(), size));
-  ++result_.probes_sent;
   const obs::ScanTelemetry& tel = config_.telemetry;
-  tel.count(tel.ids.probes_sent);
+  const bool sent =
+      runtime_.try_send(std::span<const std::byte>(buffer.data(), size));
+  if (sent) {
+    ++result_.probes_sent;
+    tel.count(tel.ids.probes_sent);
+    if (config_.collect_probe_log) {
+      // fr-lint: allow(hot-banned): optional diagnostic probe log, off by default
+      result_.probe_log.push_back(
+          {runtime_.now(), destination, ttl, preprobe_flag && !fold_mode()});
+    }
+  } else {
+    ++result_.send_failures;
+    if (tel.ids.resilience) tel.count(tel.ids.send_failures);
+  }
   // Guarded so the disabled path never pays the runtime_.now() call.
   if (tel.tracer != nullptr) tel.tick(runtime_.now());
-  if (config_.collect_probe_log) {
-    // fr-lint: allow(hot-banned): optional diagnostic probe log, off by default
-    result_.probe_log.push_back(
-        {runtime_.now(), destination, ttl, preprobe_flag && !fold_mode()});
+  if (retransmit_active_ && ttl >= 1 && ttl <= 64) {
+    // Track the probe on the retransmission wheel — failed sends too: the
+    // timeout/retransmit path is exactly how a swallowed probe recovers.
+    answered_mask_[index] &= ~(std::uint64_t{1} << (ttl - 1));
+    wheel_.schedule(runtime_.now() + config_.retransmit_timeout,
+                    {index, ttl});
+    ++round_probes_;
+  }
+}
+
+FR_HOT void Tracer::process_retransmits() {
+  if (!retransmit_active_ || wheel_.empty()) return;
+  wheel_.expire_due(runtime_.now(), [this](const Outstanding& probe) {
+    if ((answered_mask_[probe.index] &
+         (std::uint64_t{1} << (probe.ttl - 1))) != 0) {
+      return;  // answered within the timeout
+    }
+    ++round_loss_events_;
+    const obs::ScanTelemetry& tel = config_.telemetry;
+    if (config_.max_retransmits > 0 && retransmit_left_[probe.index] > 0) {
+      --retransmit_left_[probe.index];
+      ++result_.retransmits;
+      if (tel.ids.resilience) tel.count(tel.ids.retransmits);
+      // The re-sent probe carries a fresh send time, so the fault plane
+      // draws an independent loss decision for it.
+      send_probe(*active_codec_, probe.index, dcbs_[probe.index].destination,
+                 probe.ttl, false);
+    } else {
+      ++result_.probe_timeouts;
+      if (tel.ids.resilience) tel.count(tel.ids.probe_timeouts);
+    }
+  });
+}
+
+FR_HOT void Tracer::drain_wheel() {
+  // Walk the wheel on its natural deadlines: idle to each next deadline so
+  // a late response still wins the race against its retransmission, and
+  // keep going until retransmissions stop scheduling new entries.
+  while (retransmit_active_ && !wheel_.empty()) {
+    if (const auto deadline = wheel_.next_deadline()) {
+      runtime_.idle_until(std::max(*deadline, runtime_.now()), sink_);
+    }
+    process_retransmits();
+    runtime_.drain(sink_);
   }
 }
 
@@ -127,7 +229,7 @@ void Tracer::preprobe_phase() {
         (*config_.hitlist)[index] != 0) {
       target = (*config_.hitlist)[index];
     }
-    send_probe(codec_, target, config_.max_ttl, /*preprobe_flag=*/true);
+    send_probe(codec_, index, target, config_.max_ttl, /*preprobe_flag=*/true);
     ++result_.preprobe_probes;
     config_.telemetry.count(config_.telemetry.ids.preprobe_probes);
     runtime_.drain(sink_);
@@ -187,6 +289,12 @@ FR_HOT void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
   active_codec_ = &codec;
   current_hop_flags_ = hop_flags;
   bool first_round = true;
+  // Retransmission tracking covers the main phase only: extra scans are
+  // deliberate re-exploration, not per-hop coverage, and preprobes fold
+  // their redundancy into prediction.
+  retransmit_active_ = hop_flags == 0 && resilience_enabled();
+  round_probes_ = 0;
+  round_loss_events_ = 0;
 
   while (dcbs_.ring_size() > 0) {
     const util::Nanos round_start = runtime_.now();
@@ -245,13 +353,14 @@ FR_HOT void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
         continue;
       }
       if (backward_ttl != 0) {
-        send_probe(codec, dcb.destination, backward_ttl,
+        send_probe(codec, current, dcb.destination, backward_ttl,
                    flag_first_round && first_round);
       }
       if (forward_ttl != 0) {
-        send_probe(codec, dcb.destination, forward_ttl, false);
+        send_probe(codec, current, dcb.destination, forward_ttl, false);
       }
       runtime_.drain(sink_);
+      process_retransmits();
       current = next;
     }
 
@@ -261,6 +370,7 @@ FR_HOT void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
     } else {
       runtime_.drain(sink_);
     }
+    process_retransmits();
     if (flag_first_round && first_round) {
       // §3.3.5 + §3.3.3: the folded first round measured distances for the
       // responsive targets; predict the neighbours' distances now and jump
@@ -271,10 +381,143 @@ FR_HOT void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
       apply_fold_predictions();
     }
     first_round = false;
+    ++rounds_completed_;
+    if (retransmit_active_ && config_.adaptive_backoff) {
+      // fr-lint: allow(hot-call): once per round, at the barrier
+      update_backoff();
+    }
+    if (current_hop_flags_ == 0 && config_.checkpoint_interval > 0) {
+      // fr-lint: allow(hot-call): once per round, at the barrier
+      maybe_checkpoint();
+      if (aborted_) {
+        retransmit_active_ = false;
+        return;
+      }
+    }
+    // Reset after the (possible) checkpoint quiesce, not inside
+    // update_backoff: quiesce-era retransmissions would otherwise leak into
+    // the next round's loss ratio in the checkpointing run but not in a
+    // resumed one, breaking kill/resume equivalence.
+    round_probes_ = 0;
+    round_loss_events_ = 0;
   }
 
-  // Collect straggler responses still in flight.
+  // Ring empty: see every still-outstanding probe through its deadline
+  // (retiring or retransmitting it), then collect straggler responses.
+  drain_wheel();
   runtime_.idle_until(runtime_.now() + config_.min_round_duration, sink_);
+  retransmit_active_ = false;
+}
+
+void Tracer::update_backoff() {
+  // Round loss ratio over probes *attempted* this round (retransmissions
+  // included): the signal the paper's §4.2.2 intrusiveness analysis wants
+  // reacted to — responses evaporating under rate limiting or loss.
+  const double ratio =
+      round_probes_ > 0 ? static_cast<double>(round_loss_events_) /
+                              static_cast<double>(round_probes_)
+                        : 0.0;
+  if (ratio > config_.backoff_loss_threshold &&
+      backoff_level_ < static_cast<std::uint32_t>(config_.max_backoff_level)) {
+    ++backoff_level_;
+    runtime_.set_rate(config_.probes_per_second /
+                      static_cast<double>(std::uint64_t{1} << backoff_level_));
+    ++result_.rate_backoffs;
+    const obs::ScanTelemetry& tel = config_.telemetry;
+    if (tel.ids.resilience) tel.count(tel.ids.rate_backoffs);
+  } else if (backoff_level_ > 0 &&
+             ratio < config_.backoff_loss_threshold / 2.0) {
+    --backoff_level_;
+    runtime_.set_rate(config_.probes_per_second /
+                      static_cast<double>(std::uint64_t{1} << backoff_level_));
+  }
+}
+
+void Tracer::quiesce() {
+  // Bring the engine to a probe-free instant: every outstanding wheel entry
+  // retired on its natural deadline, then a grace idle long enough for any
+  // retransmitted probe's response (and the rate limiters' refill) to land.
+  drain_wheel();
+  runtime_.idle_until(runtime_.now() + 2 * util::kSecond, sink_);
+}
+
+io::ScanCheckpoint Tracer::capture_checkpoint() {
+  io::ScanCheckpoint checkpoint;
+  checkpoint.header = {config_.first_prefix, config_.prefix_bits,
+                       config_.seed};
+  checkpoint.config_digest = checkpoint_digest();
+  checkpoint.virtual_now = runtime_.now();
+  checkpoint.scan_elapsed =
+      resume_elapsed_base_ + (runtime_.now() - scan_start_);
+  checkpoint.rounds_completed = rounds_completed_;
+  checkpoint.backoff_level = backoff_level_;
+  checkpoint.ring_head = dcbs_.head();
+  const std::uint32_t n = config_.num_prefixes();
+  checkpoint.next_backward.resize(n);
+  checkpoint.next_forward.resize(n);
+  checkpoint.forward_horizon.resize(n);
+  checkpoint.dcb_flags.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Dcb& dcb = dcbs_[i];
+    checkpoint.next_backward[i] = dcb.next_backward_hop;
+    checkpoint.next_forward[i] = dcb.next_forward_hop;
+    checkpoint.forward_horizon[i] = dcb.forward_horizon;
+    checkpoint.dcb_flags[i] = dcb.flags;
+  }
+  checkpoint.retransmit_left = retransmit_left_;
+  checkpoint.result = result_;
+  checkpoint.result.scan_time = checkpoint.scan_elapsed;
+  return checkpoint;
+}
+
+void Tracer::restore_checkpoint(const io::ScanCheckpoint& checkpoint) {
+  result_ = checkpoint.result;
+  rounds_completed_ = checkpoint.rounds_completed;
+  backoff_level_ = checkpoint.backoff_level;
+  resume_elapsed_base_ = checkpoint.scan_elapsed;
+  const std::uint32_t n = config_.num_prefixes();
+  if (checkpoint.next_backward.size() == n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Dcb& dcb = dcbs_[i];
+      dcb.next_backward_hop = checkpoint.next_backward[i];
+      dcb.next_forward_hop = checkpoint.next_forward[i];
+      dcb.forward_horizon = checkpoint.forward_horizon[i];
+      dcb.flags = checkpoint.dcb_flags[i];
+    }
+    // Rebuild the ring over the surviving membership.  Removing members
+    // from the circular list preserves the permutation's relative order,
+    // so threading the permutation through the survivors reproduces the
+    // uninterrupted run's ring exactly — except the cursor, which drifted
+    // with the retirements and is restored explicitly.
+    dcbs_.build_ring(config_.seed, [&checkpoint](std::uint32_t index) {
+      return (checkpoint.dcb_flags[index] & Dcb::kRemoved) == 0;
+    });
+    dcbs_.set_head(checkpoint.ring_head);
+  }
+  if (retransmit_left_.size() == checkpoint.retransmit_left.size()) {
+    retransmit_left_ = checkpoint.retransmit_left;
+  }
+  if (backoff_level_ > 0) {
+    runtime_.set_rate(config_.probes_per_second /
+                      static_cast<double>(std::uint64_t{1} << backoff_level_));
+  }
+}
+
+void Tracer::maybe_checkpoint() {
+  if (runtime_.now() < next_checkpoint_) return;
+  // The quiesce runs whether or not a sink is installed, so a checkpointing
+  // run and its uninterrupted reference share one timeline — the property
+  // the kill/resume equivalence tests assert.
+  quiesce();
+  next_checkpoint_ = runtime_.now() + config_.checkpoint_interval;
+  if (!config_.checkpoint_sink) return;
+  const io::ScanCheckpoint checkpoint = capture_checkpoint();
+  const obs::ScanTelemetry& tel = config_.telemetry;
+  if (config_.checkpoint_sink(checkpoint)) {
+    if (tel.ids.resilience) tel.count(tel.ids.checkpoints_written);
+  } else {
+    aborted_ = true;  // the sink's way of killing the scan mid-sweep
+  }
 }
 
 void Tracer::apply_fold_predictions() {
@@ -432,6 +675,12 @@ FR_HOT void Tracer::handle_main_response(std::uint32_t index,
                                   const net::ParsedResponse& parsed,
                                   const DecodedProbe& probe) {
   Dcb& dcb = dcbs_[index];
+  if (retransmit_active_ && probe.initial_ttl >= 1 &&
+      probe.initial_ttl <= 64) {
+    // The wheel entry for this (destination, ttl) will find its bit set
+    // and retire without retransmitting.
+    answered_mask_[index] |= std::uint64_t{1} << (probe.initial_ttl - 1);
+  }
 
   if (parsed.is_time_exceeded()) {
     const std::uint8_t hop_ttl = probe.initial_ttl;

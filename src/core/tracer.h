@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/dcb_array.h"
@@ -34,9 +35,11 @@
 #include "core/probe_codec.h"
 #include "core/result.h"
 #include "core/runtime.h"
+#include "io/checkpoint.h"
 #include "net/ipv4.h"
 #include "obs/scan_metrics.h"
 #include "util/annotations.h"
+#include "util/timing_wheel.h"
 
 namespace flashroute::core {
 
@@ -118,6 +121,40 @@ struct TracerConfig {
   /// private/multicast/reserved exclusions.
   const ExclusionList* exclusions = nullptr;
 
+  // --- Resilience (DESIGN.md §9) -----------------------------------------
+  // All off by default: a default-configured scan performs no retransmission
+  // tracking, no rate adaptation, and no checkpointing, and its outputs are
+  // byte-identical to builds that predate this layer.
+
+  /// Retransmission budget per destination: a main-phase probe whose
+  /// response has not arrived within `retransmit_timeout` is re-sent, at
+  /// most this many times per /24 across the whole scan.  0 = the paper's
+  /// one-probe-per-hop policy (no retransmission).
+  std::uint8_t max_retransmits = 0;
+  util::Nanos retransmit_timeout = 500 * util::kMillisecond;
+
+  /// Adaptive rate backoff: when the fraction of main-phase probes timing
+  /// out in a round exceeds `backoff_loss_threshold`, the probing rate is
+  /// halved (down to probes_per_second / 2^max_backoff_level); it doubles
+  /// back one step per round once the loss ratio falls below half the
+  /// threshold.
+  bool adaptive_backoff = false;
+  double backoff_loss_threshold = 0.3;
+  int max_backoff_level = 4;
+
+  /// Checkpointing: at the first main-phase round barrier past each
+  /// interval the engine quiesces (drains the retransmission wheel and
+  /// in-flight responses) and hands a checkpoint to `checkpoint_sink`.
+  /// The sink returning false aborts the scan — the hook tests use to kill
+  /// a scan mid-sweep.  0 = no checkpointing.
+  util::Nanos checkpoint_interval = 0;
+  std::function<bool(const io::ScanCheckpoint&)> checkpoint_sink;
+
+  /// Resume a scan from this checkpoint (must outlive run()).  The config
+  /// must match the checkpointed scan's (checkpoint_digest()); preprobing
+  /// is skipped — the checkpoint captured post-initialization state.
+  const io::ScanCheckpoint* resume_from = nullptr;
+
   /// Scan telemetry (DESIGN.md §7).  Default-disabled: every hook in the
   /// hot path is then a single branch, no atomics.  The registry, tracer
   /// and lane referenced here must outlive the scan.
@@ -139,7 +176,17 @@ class Tracer {
   /// unless overridden) — exposed for analyses that need it.
   std::uint32_t target_of(std::uint32_t prefix_offset) const noexcept;
 
+  /// Digest of the resume-relevant config fields; a checkpoint resumes only
+  /// into a tracer whose digest matches its config_digest.
+  std::uint64_t checkpoint_digest() const noexcept;
+
  private:
+  /// A main-phase probe awaiting its response on the retransmission wheel.
+  struct Outstanding {
+    std::uint32_t index;
+    std::uint8_t ttl;
+  };
+
   void preprobe_phase();
   void predict_distances();
   void apply_fold_predictions();
@@ -147,8 +194,19 @@ class Tracer {
   FR_HOT void main_rounds(const ProbeCodec& codec, bool flag_first_round,
                           std::uint8_t hop_flags);
   void run_extra_scans();
-  FR_HOT void send_probe(const ProbeCodec& codec, std::uint32_t destination,
-                         std::uint8_t ttl, bool preprobe_flag);
+  FR_HOT void send_probe(const ProbeCodec& codec, std::uint32_t index,
+                         std::uint32_t destination, std::uint8_t ttl,
+                         bool preprobe_flag);
+  FR_HOT void process_retransmits();
+  FR_HOT void drain_wheel();
+  FR_HOT bool resilience_enabled() const noexcept {
+    return config_.max_retransmits > 0 || config_.adaptive_backoff;
+  }
+  void update_backoff();
+  void maybe_checkpoint();
+  void quiesce();
+  io::ScanCheckpoint capture_checkpoint();
+  void restore_checkpoint(const io::ScanCheckpoint& checkpoint);
   FR_HOT void on_packet(std::span<const std::byte> packet,
                         util::Nanos arrival);
   FR_HOT void handle_preprobe_response(std::uint32_t index,
@@ -171,6 +229,28 @@ class Tracer {
   ScanRuntime::Sink sink_;
   std::uint8_t current_hop_flags_ = 0;
   std::uint64_t target_seed_;
+
+  // --- Resilience state (DESIGN.md §9) ------------------------------------
+  /// Virtual-time deadlines of outstanding main-phase probes.
+  util::TimingWheel<Outstanding> wheel_;
+  /// Bit (ttl - 1) set = the probe at that TTL was answered; checked on
+  /// wheel expiry, cleared on each (re)send.  Empty when resilience is off.
+  std::vector<std::uint64_t> answered_mask_;
+  /// Remaining retransmission budget per destination.
+  std::vector<std::uint8_t> retransmit_left_;
+  /// True while main_rounds runs the main phase with resilience on — the
+  /// single branch the disabled hot path pays.
+  bool retransmit_active_ = false;
+  std::uint32_t backoff_level_ = 0;
+  std::uint64_t round_probes_ = 0;
+  std::uint64_t round_loss_events_ = 0;
+  std::uint64_t rounds_completed_ = 0;
+  util::Nanos scan_start_ = 0;
+  /// Scan time accumulated by the run(s) before a resume.
+  util::Nanos resume_elapsed_base_ = 0;
+  util::Nanos next_checkpoint_ = 0;
+  /// Set when checkpoint_sink returns false: the scan stops at the barrier.
+  bool aborted_ = false;
 };
 
 }  // namespace flashroute::core

@@ -1,0 +1,85 @@
+// Checkpoint/resume persistence for an in-progress scan (DESIGN.md §9).
+//
+// A checkpoint is taken at a main-phase round barrier after the engine has
+// quiesced (retransmission wheel drained, responses idled out), so the
+// captured state has no in-flight probes.  The "FRCK" container embeds the
+// partial core::ScanResult through the existing FRSC archive writer —
+// checkpoints reuse the frozen v1 result encoding rather than inventing a
+// second one — and adds what FRSC does not carry: the probe log, the
+// resilience counters, the engine's per-destination control state, and the
+// virtual-time cursor needed to resume the timeline exactly where it
+// stopped.
+//
+// Resume contract (core::Tracer): restoring a checkpoint and finishing the
+// scan produces merged results identical to the same scan never having been
+// interrupted, fault schedules included — the fault plane draws on virtual
+// send times, which the restored clock continues without a gap.
+
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+#include "core/result.h"
+#include "io/scan_archive.h"
+#include "util/clock.h"
+
+namespace flashroute::io {
+
+/// Everything needed to resume a scan mid-sweep.  The per-DCB vectors are
+/// indexed by prefix offset and have one entry per destination.
+struct ScanCheckpoint {
+  ArchiveHeader header;
+
+  /// Digest of the resume-relevant TracerConfig fields; a checkpoint only
+  /// resumes into a tracer configured identically (checked by the caller).
+  std::uint64_t config_digest = 0;
+
+  /// Virtual time of the runtime when the checkpoint was taken; the resumed
+  /// runtime starts its clock here so rate limiters, fault draws, and epoch
+  /// boundaries continue the uninterrupted timeline.
+  util::Nanos virtual_now = 0;
+  /// Scan time accumulated before the checkpoint (added to the resumed
+  /// run's own elapsed time when reporting ScanResult::scan_time).
+  util::Nanos scan_elapsed = 0;
+
+  /// Main-phase rounds completed before the checkpoint.
+  std::uint64_t rounds_completed = 0;
+  /// Adaptive-backoff level in effect (0 = full configured rate).
+  std::uint32_t backoff_level = 0;
+  /// Ring cursor (prefix offset) at the barrier, or DcbArray::kNone when
+  /// the ring had emptied.  The head drifts from the permutation start as
+  /// destinations retire, so the rebuilt ring must be re-pointed at it.
+  std::uint32_t ring_head = 0;
+
+  // Per-DCB engine state (empty vectors = checkpoint of a finished scan).
+  std::vector<std::uint8_t> next_backward;
+  std::vector<std::uint8_t> next_forward;
+  std::vector<std::uint8_t> forward_horizon;
+  std::vector<std::uint8_t> dcb_flags;
+  std::vector<std::uint8_t> retransmit_left;
+
+  /// Results accumulated so far (interfaces, routes, counters, probe log).
+  core::ScanResult result;
+};
+
+/// Writes a checkpoint ("FRCK" magic, format version 1).
+void write_checkpoint(const ScanCheckpoint& checkpoint, std::ostream& out);
+
+/// Reads a checkpoint; returns nullopt on bad magic, unsupported version,
+/// or truncated/corrupt input.
+std::optional<ScanCheckpoint> read_checkpoint(std::istream& in);
+
+/// Writes a sharded scan's checkpoint set: a count followed by each shard's
+/// checkpoint, in shard order.
+void write_checkpoint_set(const std::vector<ScanCheckpoint>& checkpoints,
+                          std::ostream& out);
+
+/// Reads a checkpoint set written by write_checkpoint_set.
+std::optional<std::vector<ScanCheckpoint>> read_checkpoint_set(
+    std::istream& in);
+
+}  // namespace flashroute::io

@@ -53,10 +53,13 @@ class CapturingRuntime final : public core::ScanRuntime {
 
   util::Nanos now() const noexcept override { return inner_.now(); }
 
-  void send(std::span<const std::byte> packet) override {
+  /// Captures only probes that actually reached the wire: a failed inner
+  /// send produced no traffic, so it must not appear in the capture.
+  [[nodiscard]] bool try_send(std::span<const std::byte> packet) override {
+    if (!inner_.try_send(packet)) return false;
     write_pcap_packet(out_, inner_.now(), packet);
-    inner_.send(packet);
     ++packets_sent_;
+    return true;
   }
 
   void drain(const Sink& sink) override { inner_.drain(wrap(sink)); }

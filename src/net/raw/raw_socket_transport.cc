@@ -48,22 +48,35 @@ RawSocketRuntime::~RawSocketRuntime() {
 
 util::Nanos RawSocketRuntime::now() const noexcept { return clock_.now(); }
 
-void RawSocketRuntime::send(std::span<const std::byte> packet) {
+bool RawSocketRuntime::try_send(std::span<const std::byte> packet) {
   // Pace to the configured rate (the role virtual-clock advancement plays
   // in simulation).
   while (!throttle_.try_consume(clock_.now())) {
     // Busy-wait: at >= 100 Kpps the wait is microseconds; sleeping would
     // undershoot the rate badly.
   }
-  if (packet.size() < 20) return;
+  if (packet.size() < 20) return false;
   sockaddr_in dst{};
   dst.sin_family = AF_INET;
   std::uint32_t daddr = 0;
   std::memcpy(&daddr, packet.data() + 16, 4);
   dst.sin_addr.s_addr = daddr;  // already network order in the packet
-  (void)::sendto(send_fd_, packet.data(), packet.size(), 0,
+  // A full socket buffer (EAGAIN/ENOBUFS) is transient — the kernel is
+  // draining it at line rate — so a couple of immediate retries usually
+  // succeed.  Anything else (or exhaustion of the retries) is a failed
+  // send: report it rather than silently dropping the probe.
+  constexpr int kSendAttempts = 3;
+  for (int attempt = 0; attempt < kSendAttempts; ++attempt) {
+    const ssize_t wrote =
+        ::sendto(send_fd_, packet.data(), packet.size(), 0,
                  reinterpret_cast<const sockaddr*>(&dst), sizeof dst);
-  ++packets_sent_;
+    if (wrote >= 0) {
+      ++packets_sent_;
+      return true;
+    }
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != ENOBUFS) break;
+  }
+  return false;
 }
 
 std::optional<std::vector<std::byte>> RawSocketRuntime::read_one() {
@@ -99,7 +112,7 @@ RawSocketRuntime::RawSocketRuntime(double probes_per_second)
 
 RawSocketRuntime::~RawSocketRuntime() = default;
 util::Nanos RawSocketRuntime::now() const noexcept { return clock_.now(); }
-void RawSocketRuntime::send(std::span<const std::byte>) {}
+bool RawSocketRuntime::try_send(std::span<const std::byte>) { return false; }
 std::optional<std::vector<std::byte>> RawSocketRuntime::read_one() {
   return std::nullopt;
 }

@@ -39,7 +39,11 @@ class RawSocketRuntime final : public core::ScanRuntime {
   RawSocketRuntime& operator=(const RawSocketRuntime&) = delete;
 
   util::Nanos now() const noexcept override;
-  void send(std::span<const std::byte> packet) override;
+  /// Paces to the configured rate, then writes the packet through the raw
+  /// socket, retrying a transient full send buffer (EAGAIN/ENOBUFS) a small
+  /// bounded number of times.  Returns false when the kernel still refused
+  /// the packet — the engine's retransmission layer recovers it.
+  [[nodiscard]] bool try_send(std::span<const std::byte> packet) override;
   void drain(const Sink& sink) override;
   void idle_until(util::Nanos t, const Sink& sink) override;
 

@@ -2,7 +2,8 @@
 
 namespace flashroute::obs {
 
-ScanMetricIds register_scan_metrics(MetricsRegistry& registry) {
+ScanMetricIds register_scan_metrics(MetricsRegistry& registry,
+                                    bool resilience) {
   ScanMetricIds ids;
   ids.probes_sent = registry.add_counter("scan.probes_sent");
   ids.preprobe_probes = registry.add_counter("scan.preprobe_probes");
@@ -12,6 +13,14 @@ ScanMetricIds register_scan_metrics(MetricsRegistry& registry) {
   ids.interfaces_discovered =
       registry.add_counter("scan.interfaces_discovered");
   ids.convergence_stops = registry.add_counter("scan.convergence_stops");
+  if (resilience) {
+    ids.resilience = true;
+    ids.retransmits = registry.add_counter("scan.retransmits");
+    ids.send_failures = registry.add_counter("scan.send_failures");
+    ids.probe_timeouts = registry.add_counter("scan.probe_timeouts");
+    ids.rate_backoffs = registry.add_counter("scan.rate_backoffs");
+    ids.checkpoints_written = registry.add_counter("scan.checkpoints_written");
+  }
   ids.rtt_us = registry.add_histogram("scan.rtt_us");
   ids.hop_distance = registry.add_histogram("scan.hop_distance");
   ids.gap_run = registry.add_histogram("scan.gap_run");

@@ -27,6 +27,18 @@ struct ScanMetricIds {
   CounterId interfaces_discovered = 0;
   CounterId convergence_stops = 0;
 
+  // Resilience counters — registered only when register_scan_metrics is
+  // asked for them (the summary snapshot emits every registered counter,
+  // so unconditional registration would change existing telemetry bytes).
+  // `resilience` says whether the ids below are live; it must be checked
+  // before counting them because CounterId 0 is a valid id.
+  bool resilience = false;
+  CounterId retransmits = 0;
+  CounterId send_failures = 0;
+  CounterId probe_timeouts = 0;
+  CounterId rate_backoffs = 0;
+  CounterId checkpoints_written = 0;
+
   // Log2 histograms.
   HistogramId rtt_us = 0;        // response round-trip time, microseconds
   HistogramId hop_distance = 0;  // hop distance of each discovered interface
@@ -34,7 +46,10 @@ struct ScanMetricIds {
 };
 
 /// Registers the standard scan metrics on a (not yet frozen) registry.
-ScanMetricIds register_scan_metrics(MetricsRegistry& registry);
+/// With `resilience`, also registers the retransmission / backoff /
+/// checkpoint counter family (DESIGN.md §9).
+ScanMetricIds register_scan_metrics(MetricsRegistry& registry,
+                                    bool resilience = false);
 
 /// The handle an engine carries: lane + tracer + ids.  Copyable, cheap,
 /// and valid in its disabled (default) state — the lane is held by value

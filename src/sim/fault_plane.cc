@@ -1,0 +1,36 @@
+#include "sim/fault_plane.h"
+
+namespace flashroute::sim {
+
+namespace {
+
+// Direction/kind tags folded into the per-kind sub-seeds so the same
+// (destination, ttl, send_time) tuple draws independently for each fault.
+constexpr std::uint64_t kTagProbeLoss = 0x70726C73;     // "prls"
+constexpr std::uint64_t kTagResponseLoss = 0x72736C73;  // "rsls"
+constexpr std::uint64_t kTagDuplicate = 0x64757065;     // "dupe"
+constexpr std::uint64_t kTagReorder = 0x72657264;       // "rerd"
+constexpr std::uint64_t kTagCorrupt = 0x63727074;       // "crpt"
+constexpr std::uint64_t kTagBlackhole = 0x626C6B68;     // "blkh"
+constexpr std::uint64_t kTagFlap = 0x666C6170;          // "flap"
+constexpr std::uint64_t kTagFlapPhase = 0x666C7068;     // "flph"
+constexpr std::uint64_t kTagSendFail = 0x736E6466;      // "sndf"
+
+}  // namespace
+
+FaultPlane::FaultPlane(const FaultParams& params, std::uint64_t topology_seed)
+    : params_(params) {
+  const std::uint64_t base =
+      util::hash_combine(topology_seed, params.fault_seed);
+  seed_probe_loss_ = util::hash_combine(base, kTagProbeLoss);
+  seed_response_loss_ = util::hash_combine(base, kTagResponseLoss);
+  seed_duplicate_ = util::hash_combine(base, kTagDuplicate);
+  seed_reorder_ = util::hash_combine(base, kTagReorder);
+  seed_corrupt_ = util::hash_combine(base, kTagCorrupt);
+  seed_blackhole_ = util::hash_combine(base, kTagBlackhole);
+  seed_flap_ = util::hash_combine(base, kTagFlap);
+  seed_flap_phase_ = util::hash_combine(base, kTagFlapPhase);
+  seed_send_fail_ = util::hash_combine(base, kTagSendFail);
+}
+
+}  // namespace flashroute::sim

@@ -1,0 +1,208 @@
+// Deterministic fault-injection plane for the Internet simulator
+// (DESIGN.md §9).
+//
+// The paper's headline trade-off — one probe per hop — is fragile under
+// packet loss and ICMP rate limiting; Scamper buys accuracy back with
+// timeouts and retransmission, Yarrp simply tolerates the loss.  This
+// plane gives the simulator the adversity needed to exercise that
+// discussion: per-direction loss, duplication, bounded reordering,
+// payload corruption, persistently blackholed /24s, flapping links on a
+// virtual-time schedule, and transient local send failures.
+//
+// Determinism contract: every fault is a stateless draw over (probe
+// content, virtual send time) — never over a mutable counter — so a fault
+// schedule replays byte-identically across runs, across shard
+// decompositions (each shard sees the same (destination, ttl, time)
+// tuples regardless of worker count), and across checkpoint resumes
+// (a resumed SimNetwork reproduces the exact draws of the uninterrupted
+// timeline).  A retransmitted probe carries a fresh send time and hence a
+// fresh, independent draw — exactly the property retransmission relies on.
+//
+// Hot-path contract: all draws are constexpr hash arithmetic (util/rng.h);
+// the plane allocates nothing after construction.  With all knobs at zero
+// SimNetwork does not even construct a plane, so the default simulation
+// path is unchanged.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "sim/params.h"
+#include "util/annotations.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace flashroute::sim {
+
+class FaultPlane {
+ public:
+  /// Injection tallies, by kind.  Single-writer (the lane's scan thread),
+  /// read by gauges/tests between or after scans.
+  struct Stats {
+    std::uint64_t probes_lost = 0;
+    std::uint64_t probes_blackholed = 0;
+    std::uint64_t probes_flap_dropped = 0;
+    std::uint64_t responses_lost = 0;
+    std::uint64_t responses_duplicated = 0;
+    std::uint64_t responses_reordered = 0;
+    std::uint64_t responses_corrupted = 0;
+    std::uint64_t sends_failed = 0;
+
+    std::uint64_t total() const noexcept {
+      return probes_lost + probes_blackholed + probes_flap_dropped +
+             responses_lost + responses_duplicated + responses_reordered +
+             responses_corrupted + sends_failed;
+    }
+  };
+
+  /// `topology_seed` is folded with params.fault_seed so fault schedules
+  /// follow the simulated world by default but can be re-rolled alone.
+  FaultPlane(const FaultParams& params, std::uint64_t topology_seed);
+
+  /// True when a probe to `destination` (address value) with `ttl`, sent at
+  /// `send_time`, dies en route: blackholed prefix, flapping link in its
+  /// down window, or random loss.  Counts the drop by kind.
+  FR_HOT bool drop_probe(std::uint32_t destination, std::uint8_t ttl,
+                         util::Nanos send_time) noexcept {
+    const std::uint32_t prefix = destination >> 8;
+    if (params_.blackhole_fraction > 0.0 &&
+        util::stable_chance(seed_blackhole_, prefix,
+                            params_.blackhole_fraction)) {
+      ++stats_.probes_blackholed;
+      return true;
+    }
+    if (params_.flap_fraction > 0.0 && flap_down(prefix, send_time)) {
+      ++stats_.probes_flap_dropped;
+      return true;
+    }
+    if (params_.probe_loss > 0.0 &&
+        util::stable_chance(seed_probe_loss_, key(destination, ttl, send_time),
+                            params_.probe_loss)) {
+      ++stats_.probes_lost;
+      return true;
+    }
+    return false;
+  }
+
+  /// True when the response to the (destination, ttl, send_time) probe is
+  /// lost on the way back.
+  FR_HOT bool drop_response(std::uint32_t destination, std::uint8_t ttl,
+                            util::Nanos send_time) noexcept {
+    if (params_.response_loss > 0.0 &&
+        util::stable_chance(seed_response_loss_,
+                            key(destination, ttl, send_time),
+                            params_.response_loss)) {
+      ++stats_.responses_lost;
+      return true;
+    }
+    return false;
+  }
+
+  /// Corrupts the delivered response in place (flips two payload bytes)
+  /// with probability corrupt_prob; returns whether it did.
+  FR_HOT bool corrupt_response(std::uint32_t destination, std::uint8_t ttl,
+                               util::Nanos send_time,
+                               std::span<std::byte> packet) noexcept {
+    if (params_.corrupt_prob <= 0.0 || packet.empty()) return false;
+    const std::uint64_t k = key(destination, ttl, send_time);
+    if (!util::stable_chance(seed_corrupt_, k, params_.corrupt_prob)) {
+      return false;
+    }
+    const std::uint64_t draw = util::hash_combine(seed_corrupt_, k, 1);
+    packet[static_cast<std::size_t>(
+        util::stable_bounded(seed_corrupt_, draw, packet.size()))] ^=
+        std::byte{0xFF};
+    packet[static_cast<std::size_t>(
+        util::stable_bounded(seed_corrupt_, draw + 1, packet.size()))] ^=
+        std::byte{0x55};
+    ++stats_.responses_corrupted;
+    return true;
+  }
+
+  /// Extra in-flight delay (0 = delivered in order).  Bounded by
+  /// reorder_max_delay, so reordering is local, not unbounded starvation.
+  FR_HOT util::Nanos reorder_delay(std::uint32_t destination, std::uint8_t ttl,
+                                   util::Nanos send_time) noexcept {
+    if (params_.reorder_prob <= 0.0 || params_.reorder_max_delay <= 0) {
+      return 0;
+    }
+    const std::uint64_t k = key(destination, ttl, send_time);
+    if (!util::stable_chance(seed_reorder_, k, params_.reorder_prob)) return 0;
+    ++stats_.responses_reordered;
+    return 1 + static_cast<util::Nanos>(util::stable_bounded(
+                   seed_reorder_, k + 1,
+                   static_cast<std::uint64_t>(params_.reorder_max_delay)));
+  }
+
+  /// Extra arrival time of a duplicated copy of the response, or 0 when the
+  /// response is not duplicated.  The copy trails the original by up to
+  /// 2 ms, modelling a close-by retransmission artifact.
+  FR_HOT util::Nanos duplicate_lag(std::uint32_t destination, std::uint8_t ttl,
+                                   util::Nanos send_time) noexcept {
+    if (params_.duplicate_prob <= 0.0) return 0;
+    const std::uint64_t k = key(destination, ttl, send_time);
+    if (!util::stable_chance(seed_duplicate_, k, params_.duplicate_prob)) {
+      return 0;
+    }
+    ++stats_.responses_duplicated;
+    return 1 + static_cast<util::Nanos>(util::stable_bounded(
+                   seed_duplicate_, k + 1,
+                   static_cast<std::uint64_t>(2 * util::kMillisecond)));
+  }
+
+  /// True when the local send at virtual time `now` fails transiently.
+  /// Keyed on the send time alone: within one lane the virtual clock
+  /// advances every send, so the key is unique per attempt.
+  FR_HOT bool fail_send(util::Nanos now) noexcept {
+    if (params_.send_fail_prob <= 0.0) return false;
+    if (!util::stable_chance(seed_send_fail_, static_cast<std::uint64_t>(now),
+                             params_.send_fail_prob)) {
+      return false;
+    }
+    ++stats_.sends_failed;
+    return true;
+  }
+
+  const Stats& stats() const noexcept { return stats_; }
+  const FaultParams& params() const noexcept { return params_; }
+
+ private:
+  FR_HOT static std::uint64_t key(std::uint32_t destination, std::uint8_t ttl,
+                                  util::Nanos send_time) noexcept {
+    return util::hash_combine(destination, ttl,
+                              static_cast<std::uint64_t>(send_time));
+  }
+
+  /// A flapping prefix is down during the first flap_down_share of each
+  /// period; a per-prefix phase offset decorrelates the prefixes.
+  FR_HOT bool flap_down(std::uint32_t prefix,
+                        util::Nanos send_time) noexcept {
+    if (!util::stable_chance(seed_flap_, prefix, params_.flap_fraction)) {
+      return false;
+    }
+    const util::Nanos period =
+        params_.flap_period > 0 ? params_.flap_period : util::kSecond;
+    const auto phase = static_cast<util::Nanos>(util::stable_bounded(
+        seed_flap_phase_, prefix, static_cast<std::uint64_t>(period)));
+    const util::Nanos position = (send_time + phase) % period;
+    return position <
+           static_cast<util::Nanos>(params_.flap_down_share *
+                                    static_cast<double>(period));
+  }
+
+  FaultParams params_;
+  Stats stats_;
+  std::uint64_t seed_probe_loss_;
+  std::uint64_t seed_response_loss_;
+  std::uint64_t seed_duplicate_;
+  std::uint64_t seed_reorder_;
+  std::uint64_t seed_corrupt_;
+  std::uint64_t seed_blackhole_;
+  std::uint64_t seed_flap_;
+  std::uint64_t seed_flap_phase_;
+  std::uint64_t seed_send_fail_;
+};
+
+}  // namespace flashroute::sim

@@ -7,6 +7,9 @@
 namespace flashroute::sim {
 
 SimNetwork::SimNetwork(const Topology& topology)
+    : SimNetwork(topology, topology.params().faults) {}
+
+SimNetwork::SimNetwork(const Topology& topology, const FaultParams& faults)
     : topology_(topology),
       rate_limiters_(topology.params().icmp_rate_limit_pps,
                      topology.params().icmp_rate_limit_burst,
@@ -18,6 +21,7 @@ SimNetwork::SimNetwork(const Topology& topology)
       bits > 0) {
     route_cache_.emplace(bits);
   }
+  if (faults.any()) fault_plane_.emplace(faults, topology.params().seed);
 }
 
 FR_HOT bool SimNetwork::admit_response(std::uint32_t responder_ip, util::Nanos t) {
@@ -109,6 +113,14 @@ FR_HOT std::optional<ProcessedResponse> SimNetwork::process_into(
     return std::nullopt;
   }
   const net::Ipv4Address dst_address(dst_value);
+
+  // Probe-direction faults: blackholed prefixes, flapping links, random
+  // loss.  Drawn from (destination, ttl, send_time) — stateless, so the
+  // schedule replays identically across runs and resumes.
+  if (fault_plane_ &&
+      fault_plane_->drop_probe(dst_value, ttl, send_time)) {
+    return std::nullopt;
+  }
 
   // Per-flow label: what a Paris-style load balancer hashes (§3, Paris
   // traceroute keeps these constant so one target sees one path).
@@ -213,8 +225,9 @@ FR_HOT std::optional<ProcessedResponse> SimNetwork::process_into(
     ++stats_.time_exceeded_sent;
     const std::uint64_t jitter_key = util::hash_combine(
         dst_value, ttl, flow, static_cast<std::uint64_t>(epoch));
-    return ProcessedResponse{arrival_time(send_time, expire_pos, jitter_key),
-                             size};
+    return finish_response(dst_value, ttl, send_time,
+                           arrival_time(send_time, expire_pos, jitter_key),
+                           size, out);
   }
 
   // Delivered to a host: `residual` is the TTL it arrives with.
@@ -241,8 +254,25 @@ FR_HOT std::optional<ProcessedResponse> SimNetwork::process_into(
   ++stats_.destination_responses;
   const std::uint64_t jitter_key = util::hash_combine(
       dst_value, ttl, flow, static_cast<std::uint64_t>(epoch) ^ 1);
-  return ProcessedResponse{
-      arrival_time(send_time, route->num_hops + 1, jitter_key), size};
+  return finish_response(
+      dst_value, ttl, send_time,
+      arrival_time(send_time, route->num_hops + 1, jitter_key), size, out);
+}
+
+// Response-direction faults, applied after the router/host has "sent" the
+// response (the generation counters above stay truthful): loss swallows it,
+// corruption flips delivered bytes, reordering adds bounded delay, and
+// duplication schedules a trailing second copy.
+FR_HOT std::optional<ProcessedResponse> SimNetwork::finish_response(
+    std::uint32_t dst_value, std::uint8_t ttl, util::Nanos send_time,
+    util::Nanos arrival, std::size_t size, std::span<std::byte> out) {
+  if (!fault_plane_) return ProcessedResponse{arrival, size};
+  FaultPlane& plane = *fault_plane_;
+  if (plane.drop_response(dst_value, ttl, send_time)) return std::nullopt;
+  (void)plane.corrupt_response(dst_value, ttl, send_time, out.first(size));
+  arrival += plane.reorder_delay(dst_value, ttl, send_time);
+  const util::Nanos lag = plane.duplicate_lag(dst_value, ttl, send_time);
+  return ProcessedResponse{arrival, size, lag > 0 ? arrival + lag : 0};
 }
 
 std::optional<Delivery> SimNetwork::process(std::span<const std::byte> probe,

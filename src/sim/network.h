@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "net/icmp.h"
+#include "sim/fault_plane.h"
 #include "sim/rate_limit_table.h"
 #include "sim/route_cache.h"
 #include "sim/topology.h"
@@ -56,10 +57,13 @@ struct NetworkStats {
 };
 
 /// A response encoded into the caller's buffer and the virtual time at which
-/// it reaches the vantage.
+/// it reaches the vantage.  When the fault plane duplicates the response,
+/// `duplicate_arrival` is the (later) arrival time of the second copy;
+/// 0 means no duplicate.
 struct ProcessedResponse {
   util::Nanos arrival;
   std::size_t size;
+  util::Nanos duplicate_arrival = 0;
 };
 
 /// A response packet and the virtual time at which it reaches the vantage
@@ -72,6 +76,10 @@ struct Delivery {
 class SimNetwork {
  public:
   explicit SimNetwork(const Topology& topology);
+
+  /// Overrides the topology's fault parameters (bench sweeps reuse one
+  /// expensive Topology across fault configurations).
+  SimNetwork(const Topology& topology, const FaultParams& faults);
 
   /// Processes one probe sent at `send_time`, encoding any response into
   /// `out` (which must hold at least net::kMaxResponseSize bytes).  Returns
@@ -98,8 +106,20 @@ class SimNetwork {
 
   const Topology& topology() const noexcept { return topology_; }
 
+  /// The fault-injection plane, or nullptr when every fault knob is zero
+  /// (the plane is then never constructed — the default path is unchanged).
+  FR_HOT FaultPlane* fault_plane() noexcept {
+    return fault_plane_ ? &*fault_plane_ : nullptr;
+  }
+  const FaultPlane* fault_plane() const noexcept {
+    return fault_plane_ ? &*fault_plane_ : nullptr;
+  }
+
  private:
   FR_HOT bool admit_response(std::uint32_t responder_ip, util::Nanos t);
+  FR_HOT std::optional<ProcessedResponse> finish_response(
+      std::uint32_t dst_value, std::uint8_t ttl, util::Nanos send_time,
+      util::Nanos arrival, std::size_t size, std::span<std::byte> out);
   FR_HOT util::Nanos arrival_time(util::Nanos send_time, int hop,
                                   std::uint64_t jitter_key) const noexcept;
 
@@ -119,6 +139,9 @@ class SimNetwork {
   std::int64_t current_epoch_ = 0;
   util::Nanos epoch_end_ = 0;
   std::uint64_t seed_rtt_;
+  /// Engaged only when FaultParams::any() — one branch on the hot path
+  /// otherwise (DESIGN.md §9).
+  std::optional<FaultPlane> fault_plane_;
 };
 
 }  // namespace flashroute::sim

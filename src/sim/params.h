@@ -28,6 +28,49 @@
 
 namespace flashroute::sim {
 
+/// Deterministic fault-injection knobs (sim/fault_plane.h; DESIGN.md §9).
+/// All defaults are zero: `any()` is false and SimNetwork never constructs
+/// a FaultPlane, so the default simulation is bit-identical to a build
+/// without the plane.  Every fault is drawn statelessly from (probe
+/// content, virtual send time), so fault schedules replay identically
+/// across runs, shard decompositions, and checkpoint resumes.
+struct FaultParams {
+  /// Probability a probe vanishes en route (before reaching any responder).
+  double probe_loss = 0.0;
+  /// Probability a crafted response vanishes on the way back.
+  double response_loss = 0.0;
+  /// Probability a response is delivered twice (duplicated in flight).
+  double duplicate_prob = 0.0;
+  /// Probability a response is delayed past later traffic (reordering),
+  /// and the bound on the extra delay.
+  double reorder_prob = 0.0;
+  util::Nanos reorder_max_delay = 50 * util::kMillisecond;
+  /// Probability a response arrives with corrupted payload bytes.
+  double corrupt_prob = 0.0;
+  /// Fraction of /24 prefixes that are persistently blackholed (probes to
+  /// them are swallowed for the whole scan).
+  double blackhole_fraction = 0.0;
+  /// Fraction of /24 prefixes behind a flapping link: probes are dropped
+  /// while the link is in the "down" share of each virtual-time period.
+  double flap_fraction = 0.0;
+  util::Nanos flap_period = 10 * util::kSecond;
+  double flap_down_share = 0.5;
+  /// Probability a local send fails transiently (EAGAIN-style): the probe
+  /// never reaches the network and try_send reports false.
+  double send_fail_prob = 0.0;
+
+  /// Extra seed folded into every fault draw, so fault schedules can be
+  /// varied independently of the topology seed.
+  std::uint64_t fault_seed = 0xFA17;
+
+  bool any() const noexcept {
+    return probe_loss > 0.0 || response_loss > 0.0 || duplicate_prob > 0.0 ||
+           reorder_prob > 0.0 || corrupt_prob > 0.0 ||
+           blackhole_fraction > 0.0 || flap_fraction > 0.0 ||
+           send_fail_prob > 0.0;
+  }
+};
+
 struct SimParams {
   // --- Universe ------------------------------------------------------------
   std::uint64_t seed = 1;
@@ -185,6 +228,12 @@ struct SimParams {
   /// behaviour; results are bit-identical either way).  -1 sizes it
   /// automatically from the universe: prefix_bits - 2, clamped to [8, 14].
   int route_cache_bits = -1;
+
+  // --- Fault injection -------------------------------------------------------
+  /// Adversity model (loss, duplication, reordering, corruption, blackholes,
+  /// flapping links, transient send failures).  All-zero by default: the
+  /// simulation is then byte-identical to one without the fault plane.
+  FaultParams faults;
 
   // Derived helpers.
   FR_HOT std::uint32_t num_prefixes() const noexcept {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -35,8 +36,15 @@ class SimScanRuntime final : public core::ScanRuntime {
 
   FR_HOT util::Nanos now() const noexcept override { return clock_.now(); }
 
-  FR_HOT void send(std::span<const std::byte> packet) override {
+  [[nodiscard]] FR_HOT bool try_send(
+      std::span<const std::byte> packet) override {
     clock_.advance(probe_interval_);
+    // Transient local send failure (fault plane): the pacing slot is
+    // consumed but the packet never reaches the simulated network.
+    if (FaultPlane* plane = network_.fault_plane();
+        plane != nullptr && plane->fail_send(clock_.now())) {
+      return false;
+    }
     ++packets_sent_;
     // Encode the response (if any) straight into a recycled pool slot; the
     // delivery heap carries only {slot, size}, so the steady-state sim path
@@ -44,15 +52,27 @@ class SimScanRuntime final : public core::ScanRuntime {
     const ResponsePool::Slot slot = pool_.acquire();
     if (auto response =
             network_.process_into(packet, clock_.now(), pool_.buffer(slot))) {
-      // fr-lint: allow(hot-banned): in-flight heap entries are 24-byte PODs;
-      // capacity reaches the max outstanding-response count early in the scan
-      // and is never shrunk, so steady state re-uses it
-      pending_.push_back(Pending{response->arrival, next_seq_++, slot,
-                                 static_cast<std::uint32_t>(response->size)});
-      std::push_heap(pending_.begin(), pending_.end(), std::greater<>{});
+      push_pending(response->arrival, slot,
+                   static_cast<std::uint32_t>(response->size));
+      if (response->duplicate_arrival > 0) {
+        // Fault-plane duplication: a second pooled copy of the same bytes,
+        // delivered at its own (later) arrival time.
+        const ResponsePool::Slot copy = pool_.acquire();
+        std::memcpy(pool_.buffer(copy).data(), pool_.buffer(slot).data(),
+                    response->size);
+        push_pending(response->duplicate_arrival, copy,
+                     static_cast<std::uint32_t>(response->size));
+      }
     } else {
       pool_.release(slot);
     }
+    return true;
+  }
+
+  /// Adaptive-backoff hook: subsequent sends pace at the new rate.
+  void set_rate(double probes_per_second) override {
+    probe_interval_ = static_cast<util::Nanos>(
+        static_cast<double>(util::kSecond) / probes_per_second);
   }
 
   FR_HOT void drain(const Sink& sink) override {
@@ -100,6 +120,24 @@ class SimScanRuntime final : public core::ScanRuntime {
     registry.add_gauge("sim.responses_in_flight", lane, [pending] {
       return static_cast<double>(pending->size());
     });
+    // Fault-plane tallies, registered only when the plane is active so
+    // zero-fault telemetry streams stay byte-identical to pre-fault builds.
+    if (const FaultPlane* plane = network_.fault_plane()) {
+      registry.add_gauge("sim.faults_injected", lane, [plane] {
+        return static_cast<double>(plane->stats().total());
+      });
+      registry.add_gauge("sim.fault_probes_dropped", lane, [plane] {
+        const FaultPlane::Stats& s = plane->stats();
+        return static_cast<double>(s.probes_lost + s.probes_blackholed +
+                                   s.probes_flap_dropped);
+      });
+      registry.add_gauge("sim.fault_responses_dropped", lane, [plane] {
+        return static_cast<double>(plane->stats().responses_lost);
+      });
+      registry.add_gauge("sim.fault_sends_failed", lane, [plane] {
+        return static_cast<double>(plane->stats().sends_failed);
+      });
+    }
   }
 
  private:
@@ -114,6 +152,15 @@ class SimScanRuntime final : public core::ScanRuntime {
       return seq > other.seq;
     }
   };
+
+  FR_HOT void push_pending(util::Nanos arrival, ResponsePool::Slot slot,
+                           std::uint32_t size) {
+    // fr-lint: allow(hot-banned): in-flight heap entries are 24-byte PODs;
+    // capacity reaches the max outstanding-response count early in the scan
+    // and is never shrunk, so steady state re-uses it
+    pending_.push_back(Pending{arrival, next_seq_++, slot, size});
+    std::push_heap(pending_.begin(), pending_.end(), std::greater<>{});
+  }
 
   FR_HOT void deliver_due(util::Nanos deadline, const Sink& sink) {
     // An explicit binary heap instead of std::priority_queue: pop_heap moves
@@ -148,13 +195,20 @@ class SimScanRuntime final : public core::ScanRuntime {
 /// merged result invariant under the worker count.
 class SimShardRuntimeProvider final : public core::ShardRuntimeProvider {
  public:
+  /// `start_times` (optional, indexed by shard) starts each lane's virtual
+  /// clock at the given instant — required when resuming a sharded scan
+  /// from a checkpoint set, so rate pacing and the fault schedule continue
+  /// each shard's uninterrupted timeline.  Missing entries start at 0.
   SimShardRuntimeProvider(const Topology& topology,
-                          const core::ShardedTracerConfig& config) {
+                          const core::ShardedTracerConfig& config,
+                          std::span<const util::Nanos> start_times = {}) {
     const auto shards = core::ShardedTracer::plan(config);
     lanes_.reserve(shards.size());
     for (const core::ShardInfo& shard : shards) {
-      lanes_.push_back(
-          std::make_unique<Lane>(topology, shard.probes_per_second));
+      const auto i = static_cast<std::size_t>(shard.index);
+      lanes_.push_back(std::make_unique<Lane>(
+          topology, shard.probes_per_second,
+          i < start_times.size() ? start_times[i] : 0));
     }
   }
 
@@ -192,10 +246,31 @@ class SimShardRuntimeProvider final : public core::ShardRuntimeProvider {
     return total;
   }
 
+  /// Aggregated fault-injection tallies across all shard networks (zero
+  /// when the fault plane is disabled).  Same post-run-only contract as
+  /// stats().
+  FaultPlane::Stats fault_stats() const {
+    FaultPlane::Stats total;
+    for (const auto& lane : lanes_) {
+      const FaultPlane* plane = lane->network.fault_plane();
+      if (plane == nullptr) continue;
+      const FaultPlane::Stats& s = plane->stats();
+      total.probes_lost += s.probes_lost;
+      total.probes_blackholed += s.probes_blackholed;
+      total.probes_flap_dropped += s.probes_flap_dropped;
+      total.responses_lost += s.responses_lost;
+      total.responses_duplicated += s.responses_duplicated;
+      total.responses_reordered += s.responses_reordered;
+      total.responses_corrupted += s.responses_corrupted;
+      total.sends_failed += s.sends_failed;
+    }
+    return total;
+  }
+
  private:
   struct Lane {
-    Lane(const Topology& topology, double pps)
-        : network(topology), runtime(network, pps) {}
+    Lane(const Topology& topology, double pps, util::Nanos start_time)
+        : network(topology), runtime(network, pps, start_time) {}
 
     SimNetwork network;
     SimScanRuntime runtime;

@@ -52,9 +52,11 @@ class RealTimeSimWire final : public core::Wire {
     }
   }
 
-  void transmit(std::span<const std::byte> packet) override {
-    // Outer IPv4 destination (bytes 16..19) names the lane.
-    if (packet.size() < 20) return;
+  [[nodiscard]] bool try_transmit(std::span<const std::byte> packet) override {
+    // Outer IPv4 destination (bytes 16..19) names the lane.  A short or
+    // out-of-range packet never reached the wire — that is a failed send,
+    // not a silently swallowed one.
+    if (packet.size() < 20) return false;
     const std::uint32_t dst =
         (static_cast<std::uint32_t>(packet[16]) << 24) |
         (static_cast<std::uint32_t>(packet[17]) << 16) |
@@ -62,7 +64,7 @@ class RealTimeSimWire final : public core::Wire {
         static_cast<std::uint32_t>(packet[19]);
     const std::uint32_t prefix = dst >> 8;
     if (prefix < first_prefix_ || prefix - first_prefix_ >= num_prefixes_) {
-      return;
+      return false;
     }
     Lane& lane = *lanes_[(prefix - first_prefix_) / lane_size_];
 
@@ -75,6 +77,12 @@ class RealTimeSimWire final : public core::Wire {
     const util::Nanos send_time =
         std::max(now - lane.epoch, lane.last_send_time);
     lane.last_send_time = send_time;
+    // Transient local send failure (fault plane), drawn on the lane's
+    // virtual send time like SimScanRuntime does.
+    if (FaultPlane* plane = lane.network.fault_plane();
+        plane != nullptr && plane->fail_send(send_time)) {
+      return false;
+    }
     // Responses are encoded straight into a recycled per-lane pool slot; the
     // pending list carries only {due, slot, size} (see sim/response_pool.h).
     const ResponsePool::Slot slot = lane.pool.acquire();
@@ -82,9 +90,18 @@ class RealTimeSimWire final : public core::Wire {
             lane.network.process_into(packet, send_time, lane.pool.buffer(slot))) {
       lane.pending.push_back({lane.epoch + response->arrival, slot,
                               static_cast<std::uint32_t>(response->size)});
+      if (response->duplicate_arrival > 0) {
+        // Fault-plane duplication: a second pooled copy at its own due time.
+        const ResponsePool::Slot copy = lane.pool.acquire();
+        std::memcpy(lane.pool.buffer(copy).data(),
+                    lane.pool.buffer(slot).data(), response->size);
+        lane.pending.push_back({lane.epoch + response->duplicate_arrival, copy,
+                                static_cast<std::uint32_t>(response->size)});
+      }
     } else {
       lane.pool.release(slot);
     }
+    return true;
   }
 
   std::size_t receive_into(std::span<std::byte> buffer,

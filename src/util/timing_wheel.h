@@ -1,0 +1,172 @@
+// Deterministic hashed timing wheel for virtual-time deadlines.
+//
+// Two engines need per-probe deadlines: the Tracer's retransmission layer
+// (re-send a main-phase probe whose response missed its window) and the
+// Scamper baseline's per-probe timeouts.  Both schedule deadlines of the
+// form `now + constant timeout`, expire them in batches, and need the
+// earliest pending deadline to pace their idling.  A std::priority_queue
+// serves one engine; this wheel serves both, with a property the heap
+// lacks: expiry happens in (deadline, insertion-sequence) order — a total
+// order independent of container internals — so virtual-time replays are
+// byte-identical across runs, shard decompositions, and resumes.
+//
+// Layout: 2^slot_bits slots of `tick` nanoseconds each.  An entry parks in
+// slot (deadline / tick) mod slots; the cursor advances one tick at a time
+// and drains each slot it passes.  Entries whose rotation has not come
+// around yet (deadline more than one rotation ahead) stay parked in their
+// slot until it does.  Steady state allocates nothing: slot vectors and
+// the expiry batch keep their high-water capacity across reuse.
+//
+// The wheel is externally synchronized (owned per engine, like the DCB
+// ring).  expire_due must not be re-entered from its callback; scheduling
+// new entries from the callback is fine (retransmission chains), but they
+// fire no earlier than the next expire_due call.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/clock.h"
+
+namespace flashroute::util {
+
+template <typename Payload>
+class TimingWheel {
+ public:
+  /// `tick` is the slot granularity; one rotation spans tick << slot_bits
+  /// of virtual time.  Pick tick so the common timeout sits well inside a
+  /// rotation (e.g. timeout / 32 with the default 7 slot bits).
+  explicit TimingWheel(Nanos tick, int slot_bits = 7)
+      : tick_(tick > 0 ? tick : 1),
+        mask_((std::size_t{1} << slot_bits) - 1),
+        slots_(std::size_t{1} << slot_bits) {}
+
+  [[nodiscard]] FR_HOT bool empty() const noexcept { return size_ == 0; }
+  FR_HOT std::size_t size() const noexcept { return size_; }
+
+  /// Schedules `payload` to expire at `deadline`.  Deadlines at or before
+  /// the cursor land in the next expire_due batch.
+  FR_HOT void schedule(Nanos deadline, const Payload& payload) {
+    const std::int64_t tick_index = std::max(deadline / tick_, cursor_);
+    // fr-lint: allow(hot-banned): slot vectors keep their capacity across
+    // expiry (shrunk with pop_back, never deallocated), so steady state
+    // stops reallocating once each slot has seen its high-water occupancy.
+    slots_[static_cast<std::size_t>(tick_index) & mask_].push_back(
+        Entry{deadline, seq_++, tick_index, payload});
+    ++size_;
+  }
+
+  /// Earliest pending deadline, or nullopt when the wheel is empty.
+  /// Exact: the first slot within one rotation of the cursor that holds an
+  /// in-rotation entry bounds the minimum (later in-rotation slots hold
+  /// strictly later ticks); when every pending entry is parked beyond the
+  /// horizon, falls back to a full scan.
+  [[nodiscard]] FR_HOT std::optional<Nanos> next_deadline() const noexcept {
+    if (size_ == 0) return std::nullopt;
+    const auto rotation = static_cast<std::int64_t>(mask_ + 1);
+    for (std::int64_t t = cursor_; t < cursor_ + rotation; ++t) {
+      const auto& slot = slots_[static_cast<std::size_t>(t) & mask_];
+      bool found = false;
+      Nanos best = 0;
+      for (const Entry& entry : slot) {
+        if (entry.tick_index == t && (!found || entry.deadline < best)) {
+          best = entry.deadline;
+          found = true;
+        }
+      }
+      if (found) return best;
+    }
+    bool found = false;
+    Nanos best = 0;
+    for (const auto& slot : slots_) {
+      for (const Entry& entry : slot) {
+        if (!found || entry.deadline < best) {
+          best = entry.deadline;
+          found = true;
+        }
+      }
+    }
+    return found ? std::optional<Nanos>(best) : std::nullopt;
+  }
+
+  /// Expires every entry with deadline <= now, invoking fn(payload) in
+  /// (deadline, seq) order.  `now` must be non-decreasing across calls.
+  template <typename Fn>
+  FR_HOT void expire_due(Nanos now, Fn&& fn) {
+    const std::int64_t target = now / tick_;
+    if (target < cursor_) return;
+    if (size_ == 0) {
+      cursor_ = target;
+      return;
+    }
+    while (cursor_ <= target) {
+      expire_slot(now, fn);
+      if (size_ == 0) {
+        cursor_ = target;
+        return;
+      }
+      if (cursor_ == target) return;
+      ++cursor_;
+    }
+  }
+
+ private:
+  struct Entry {
+    Nanos deadline;
+    std::uint64_t seq;
+    std::int64_t tick_index;  // the slot rotation this entry belongs to
+    Payload payload;
+  };
+
+  template <typename Fn>
+  FR_HOT void expire_slot(Nanos now, Fn&& fn) {
+    auto& slot = slots_[static_cast<std::size_t>(cursor_) & mask_];
+    if (slot.empty()) return;
+    // Partition due entries into the scratch batch first, so the callback
+    // may schedule new entries (even into this very slot) without
+    // invalidating the iteration.
+    batch_.clear();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < slot.size(); ++i) {
+      if (slot[i].tick_index == cursor_ && slot[i].deadline <= now) {
+        // fr-lint: allow(hot-banned): batch_ keeps its high-water capacity
+        // across expiry batches; steady state never reallocates.
+        batch_.push_back(slot[i]);
+      } else {
+        slot[kept] = slot[i];
+        ++kept;
+      }
+    }
+    while (slot.size() > kept) slot.pop_back();
+    if (batch_.empty()) return;
+    size_ -= batch_.size();
+    // fr-lint: allow(hot-call): in-place sort of the (small) due batch —
+    // no allocation; establishes the deterministic (deadline, seq) order.
+    std::sort(batch_.begin(), batch_.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.deadline != b.deadline ? a.deadline < b.deadline
+                                                : a.seq < b.seq;
+              });
+    for (const Entry& entry : batch_) {
+      // fr-lint: allow(hot-call): caller-supplied expiry action; both users
+      // (Tracer retransmission, Scamper timeout advance) are hot-path
+      // members of their engines.
+      fn(entry.payload);
+    }
+  }
+
+  Nanos tick_;
+  std::size_t mask_;
+  std::vector<std::vector<Entry>> slots_;
+  std::vector<Entry> batch_;  // scratch for the current expiry batch
+  std::int64_t cursor_ = 0;   // next tick index to drain
+  std::uint64_t seq_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace flashroute::util

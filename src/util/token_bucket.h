@@ -47,6 +47,14 @@ class TokenBucket {
   double rate() const noexcept { return rate_; }
   double burst() const noexcept { return burst_; }
 
+  /// Changes the refill rate at time `t` (adaptive backoff).  Tokens
+  /// accrued under the old rate are settled first, so the switch is exact:
+  /// the bucket behaves as if the rate changed precisely at `t`.
+  void set_rate(double rate_per_second, Nanos t) noexcept {
+    refill(t);
+    rate_ = rate_per_second;
+  }
+
  private:
   FR_HOT void refill(Nanos t) noexcept {
     if (t <= last_) return;

@@ -181,5 +181,54 @@ TEST(Scamper, WindowLimitsConcurrency) {
   }
 }
 
+core::ScanResult run_scamper_faulted(const sim::Topology& topology,
+                                     const ScamperConfig& config,
+                                     const sim::FaultParams& faults) {
+  sim::SimNetwork network(topology, faults);
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  Scamper scamper(config, runtime);
+  return scamper.run();
+}
+
+TEST(Scamper, RetryBudgetRecoversLoss) {
+  // Scamper's `-q`-style retry budget: with max_retries > 0 each timed-out
+  // hop is re-probed before the trace advances, buying back discovery that
+  // the no-retry paper configuration loses under probe loss.
+  const sim::Topology topology(world_params());
+  sim::FaultParams faults;
+  faults.probe_loss = 0.25;
+  faults.response_loss = 0.2;
+
+  auto config = base_config(topology.params());
+  const auto no_retry = run_scamper_faulted(topology, config, faults);
+  EXPECT_EQ(no_retry.retransmits, 0u);
+
+  config.max_retries = 1;
+  const auto with_retry = run_scamper_faulted(topology, config, faults);
+  EXPECT_GT(with_retry.retransmits, 0u);
+  EXPECT_GT(with_retry.probes_sent, no_retry.probes_sent);
+  EXPECT_GE(with_retry.interfaces.size(), no_retry.interfaces.size());
+  // The budget bounds the overhead: at most (1 + retries) probes per hop.
+  EXPECT_LE(with_retry.probes_sent, 2 * no_retry.probes_sent);
+}
+
+TEST(Scamper, DeterministicUnderFaults) {
+  const sim::Topology topology(world_params());
+  sim::FaultParams faults;
+  faults.probe_loss = 0.2;
+  faults.response_loss = 0.15;
+  faults.send_fail_prob = 0.05;
+
+  auto config = base_config(topology.params());
+  config.max_retries = 2;
+  const auto a = run_scamper_faulted(topology, config, faults);
+  const auto b = run_scamper_faulted(topology, config, faults);
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.interfaces, b.interfaces);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.send_failures, b.send_failures);
+  EXPECT_EQ(a.scan_time, b.scan_time);
+}
+
 }  // namespace
 }  // namespace flashroute::baselines

@@ -1,0 +1,285 @@
+// Tests for checkpoint/resume (io/checkpoint.h + core::Tracer resume):
+// FRCK round-trips, kill-at-checkpoint resume equivalence under an active
+// fault plane, config-digest validation, and the sharded checkpoint-set
+// fan-out.
+//
+// The equivalence contract (DESIGN.md §9): a checkpointing scan quiesces at
+// every checkpoint barrier, so the reference for a killed-and-resumed scan
+// is the *same checkpointing scan left uninterrupted* — both follow one
+// timeline, and the resumed run must reproduce its results exactly.
+
+#include "io/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+#include "core/sharded_tracer.h"
+#include "core/tracer.h"
+#include "sim/network.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+
+namespace flashroute::core {
+namespace {
+
+sim::SimParams world_params() {
+  sim::SimParams params;
+  params.prefix_bits = 8;
+  params.seed = 12;
+  params.faults.probe_loss = 0.2;
+  params.faults.response_loss = 0.15;
+  return params;
+}
+
+TracerConfig checkpointing_config(const sim::SimParams& params) {
+  TracerConfig config;
+  config.first_prefix = params.first_prefix;
+  config.prefix_bits = params.prefix_bits;
+  config.vantage = net::Ipv4Address(params.vantage_address);
+  config.probes_per_second = 20'000.0;
+  config.preprobe = PreprobeMode::kNone;
+  config.min_round_duration = 50 * util::kMillisecond;
+  config.max_retransmits = 2;
+  config.checkpoint_interval = 200 * util::kMillisecond;
+  return config;
+}
+
+ScanResult run_once(const sim::Topology& topology, TracerConfig config,
+                    util::Nanos start_time = 0) {
+  sim::SimNetwork network(topology);
+  sim::SimScanRuntime runtime(network, config.probes_per_second, start_time);
+  Tracer tracer(config, runtime);
+  return tracer.run();
+}
+
+void expect_equal_results(const ScanResult& a, const ScanResult& b) {
+  EXPECT_EQ(a.interfaces, b.interfaces);
+  EXPECT_EQ(a.routes, b.routes);
+  EXPECT_EQ(a.destination_distance, b.destination_distance);
+  EXPECT_EQ(a.trigger_ttl, b.trigger_ttl);
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.responses, b.responses);
+  EXPECT_EQ(a.destinations_reached, b.destinations_reached);
+  EXPECT_EQ(a.convergence_stops, b.convergence_stops);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.probe_timeouts, b.probe_timeouts);
+  EXPECT_EQ(a.send_failures, b.send_failures);
+  EXPECT_EQ(a.scan_time, b.scan_time);
+}
+
+TEST(Checkpoint, RoundTripsThroughBytes) {
+  io::ScanCheckpoint cp;
+  cp.header = {0x010000, 8, 42};
+  cp.config_digest = 0xDEADBEEFCAFEull;
+  cp.virtual_now = 123456789;
+  cp.scan_elapsed = 987654321;
+  cp.rounds_completed = 17;
+  cp.backoff_level = 2;
+  cp.ring_head = 7;
+  cp.next_backward = {1, 2, 3, 0};
+  cp.next_forward = {17, 18, 19, 20};
+  cp.forward_horizon = {21, 22, 0, 24};
+  cp.dcb_flags = {0, 1, 2, 3};
+  cp.retransmit_left = {2, 2, 0, 1};
+  cp.result.probes_sent = 1000;
+  cp.result.responses = 900;
+  cp.result.retransmits = 55;
+  cp.result.probe_timeouts = 44;
+  cp.result.send_failures = 3;
+  cp.result.rate_backoffs = 1;
+  cp.result.interfaces = {10, 20, 30};
+  cp.result.destination_distance = {4, 0, 9, 0};
+  cp.result.trigger_ttl = {1, 0, 2, 0};
+  cp.result.routes = {{{0xAABB, 3, 0}}, {}, {{0xCCDD, 5, 1}}, {}};
+  cp.result.probe_log = {{100, 0x01000001, 8, false},
+                         {200, 0x01000102, 9, true}};
+
+  std::stringstream stream;
+  io::write_checkpoint(cp, stream);
+  const auto loaded = io::read_checkpoint(stream);
+  ASSERT_TRUE(loaded.has_value());
+
+  EXPECT_EQ(loaded->header.first_prefix, cp.header.first_prefix);
+  EXPECT_EQ(loaded->header.prefix_bits, cp.header.prefix_bits);
+  EXPECT_EQ(loaded->header.seed, cp.header.seed);
+  EXPECT_EQ(loaded->config_digest, cp.config_digest);
+  EXPECT_EQ(loaded->virtual_now, cp.virtual_now);
+  EXPECT_EQ(loaded->scan_elapsed, cp.scan_elapsed);
+  EXPECT_EQ(loaded->rounds_completed, cp.rounds_completed);
+  EXPECT_EQ(loaded->backoff_level, cp.backoff_level);
+  EXPECT_EQ(loaded->ring_head, cp.ring_head);
+  EXPECT_EQ(loaded->next_backward, cp.next_backward);
+  EXPECT_EQ(loaded->next_forward, cp.next_forward);
+  EXPECT_EQ(loaded->forward_horizon, cp.forward_horizon);
+  EXPECT_EQ(loaded->dcb_flags, cp.dcb_flags);
+  EXPECT_EQ(loaded->retransmit_left, cp.retransmit_left);
+  EXPECT_EQ(loaded->result.probes_sent, cp.result.probes_sent);
+  EXPECT_EQ(loaded->result.retransmits, cp.result.retransmits);
+  EXPECT_EQ(loaded->result.probe_timeouts, cp.result.probe_timeouts);
+  EXPECT_EQ(loaded->result.send_failures, cp.result.send_failures);
+  EXPECT_EQ(loaded->result.rate_backoffs, cp.result.rate_backoffs);
+  EXPECT_EQ(loaded->result.interfaces, cp.result.interfaces);
+  EXPECT_EQ(loaded->result.routes, cp.result.routes);
+  EXPECT_EQ(loaded->result.probe_log, cp.result.probe_log);
+}
+
+TEST(Checkpoint, RejectsGarbage) {
+  std::stringstream stream("not a checkpoint at all");
+  EXPECT_FALSE(io::read_checkpoint(stream).has_value());
+}
+
+TEST(Checkpoint, SetRoundTrips) {
+  std::vector<io::ScanCheckpoint> set(3);
+  set[0].virtual_now = 1;
+  set[1].virtual_now = 2;
+  set[1].next_backward = {9, 9};
+  set[2].result.probes_sent = 77;
+
+  std::stringstream stream;
+  io::write_checkpoint_set(set, stream);
+  const auto loaded = io::read_checkpoint_set(stream);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0].virtual_now, 1);
+  EXPECT_EQ((*loaded)[1].next_backward, (std::vector<std::uint8_t>{9, 9}));
+  EXPECT_EQ((*loaded)[2].result.probes_sent, 77u);
+}
+
+TEST(Checkpoint, KillAndResumeReproducesTheUninterruptedScan) {
+  const sim::SimParams params = world_params();
+  const sim::Topology topology(params);
+
+  // Reference: the checkpointing scan runs to completion, capturing every
+  // checkpoint it takes along the way.
+  std::vector<io::ScanCheckpoint> taken;
+  TracerConfig config = checkpointing_config(params);
+  config.checkpoint_sink = [&taken](const io::ScanCheckpoint& cp) {
+    taken.push_back(cp);
+    return true;
+  };
+  const ScanResult reference = run_once(topology, config);
+  ASSERT_GE(taken.size(), 3u) << "scan too short to exercise checkpoints";
+
+  // Kill the scan at several checkpoints, resume from the captured state,
+  // and require the merged outcome to match the uninterrupted run exactly.
+  for (const std::size_t kill_at : {std::size_t{0}, taken.size() / 2,
+                                    taken.size() - 1}) {
+    std::size_t seen = 0;
+    TracerConfig killed = checkpointing_config(params);
+    io::ScanCheckpoint at_kill;
+    killed.checkpoint_sink = [&](const io::ScanCheckpoint& cp) {
+      if (seen++ == kill_at) {
+        at_kill = cp;
+        return false;  // simulate the process dying at this barrier
+      }
+      return true;
+    };
+    const ScanResult partial = run_once(topology, killed);
+    // The last barrier can fall after the final probe of the scan, so only
+    // an early kill is guaranteed to truncate the probe stream.
+    if (kill_at == 0) {
+      EXPECT_LT(partial.probes_sent, reference.probes_sent)
+          << "kill at checkpoint " << kill_at << " aborted nothing";
+    }
+
+    // Serialize through bytes, as a real resume would.
+    std::stringstream stream;
+    io::write_checkpoint(at_kill, stream);
+    const auto loaded = io::read_checkpoint(stream);
+    ASSERT_TRUE(loaded.has_value());
+
+    TracerConfig resumed = checkpointing_config(params);
+    resumed.resume_from = &*loaded;
+    resumed.checkpoint_sink = [](const io::ScanCheckpoint&) { return true; };
+    const ScanResult completed =
+        run_once(topology, resumed, loaded->virtual_now);
+    expect_equal_results(completed, reference);
+  }
+}
+
+TEST(Checkpoint, DigestMismatchStartsFresh) {
+  const sim::SimParams params = world_params();
+  const sim::Topology topology(params);
+
+  std::vector<io::ScanCheckpoint> taken;
+  TracerConfig config = checkpointing_config(params);
+  config.checkpoint_sink = [&taken](const io::ScanCheckpoint& cp) {
+    taken.push_back(cp);
+    return false;  // stop at the first checkpoint
+  };
+  (void)run_once(topology, config);
+  ASSERT_EQ(taken.size(), 1u);
+
+  // A config with a different gap limit must not resume from this state.
+  TracerConfig other = checkpointing_config(params);
+  other.gap_limit = 7;
+  other.checkpoint_interval = 0;
+  other.resume_from = &taken.front();
+  const ScanResult resumed = run_once(topology, other);
+
+  TracerConfig fresh = checkpointing_config(params);
+  fresh.gap_limit = 7;
+  fresh.checkpoint_interval = 0;
+  const ScanResult from_scratch = run_once(topology, fresh);
+  expect_equal_results(resumed, from_scratch);
+}
+
+TEST(Checkpoint, ShardedCheckpointSetResumesEveryShard) {
+  sim::SimParams params = world_params();
+  params.prefix_bits = 9;
+  const sim::Topology topology(params);
+
+  ShardedTracerConfig config;
+  config.base = checkpointing_config(params);
+  config.shard_prefix_bits = config.base.prefix_bits - 2;  // 4 shards
+  const int num_shards = config.num_shards();
+
+  // Reference: all shards checkpoint and run to completion.
+  std::mutex mutex;
+  std::vector<io::ScanCheckpoint> latest(
+      static_cast<std::size_t>(num_shards));
+  config.checkpoint_sink = [&](std::size_t shard,
+                               const io::ScanCheckpoint& cp) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    latest[shard] = cp;
+    return true;
+  };
+  config.num_workers = 2;
+  ScanResult reference;
+  {
+    sim::SimShardRuntimeProvider provider(topology, config);
+    ShardedTracer tracer(config, provider);
+    reference = tracer.run();
+  }
+  std::size_t with_state = 0;
+  for (const auto& cp : latest) {
+    if (!cp.next_backward.empty()) ++with_state;
+  }
+  ASSERT_GT(with_state, 0u);
+
+  // Resume every shard from its captured last checkpoint; shards that never
+  // checkpointed (empty per-DCB state) restart from scratch.  The merged
+  // result must match the uninterrupted run.
+  ShardedTracerConfig resumed = config;
+  resumed.checkpoint_sink = nullptr;
+  resumed.base.checkpoint_sink = nullptr;
+  resumed.resume_from = &latest;
+  std::vector<util::Nanos> start_times;
+  for (const auto& cp : latest) {
+    start_times.push_back(cp.next_backward.empty() ? 0 : cp.virtual_now);
+  }
+  ScanResult rerun;
+  {
+    sim::SimShardRuntimeProvider provider(topology, resumed, start_times);
+    ShardedTracer tracer(resumed, provider);
+    rerun = tracer.run();
+  }
+  expect_equal_results(rerun, reference);
+}
+
+}  // namespace
+}  // namespace flashroute::core

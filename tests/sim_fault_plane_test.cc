@@ -1,0 +1,252 @@
+// Tests for the fault-injection plane (sim/fault_plane.h): seed
+// determinism, zero-config transparency, and the observable effect of each
+// fault kind on a simulated scan.
+
+#include "sim/fault_plane.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/probe_codec.h"
+#include "core/tracer.h"
+#include "net/icmp.h"
+#include "sim/network.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+
+namespace flashroute::sim {
+namespace {
+
+SimParams small_params() {
+  SimParams params;
+  params.prefix_bits = 8;
+  params.seed = 5;
+  return params;
+}
+
+core::TracerConfig tracer_config(const SimParams& params) {
+  core::TracerConfig config;
+  config.first_prefix = params.first_prefix;
+  config.prefix_bits = params.prefix_bits;
+  config.vantage = net::Ipv4Address(params.vantage_address);
+  config.probes_per_second = 20'000.0;
+  config.preprobe = core::PreprobeMode::kNone;
+  config.min_round_duration = 50 * util::kMillisecond;
+  return config;
+}
+
+core::ScanResult scan(const Topology& topology, const FaultParams& faults,
+                      const core::TracerConfig& config) {
+  SimNetwork network(topology, faults);
+  SimScanRuntime runtime(network, config.probes_per_second);
+  core::Tracer tracer(config, runtime);
+  return tracer.run();
+}
+
+TEST(FaultPlane, SameSeedSameSchedule) {
+  FaultParams faults;
+  faults.probe_loss = 0.3;
+  faults.response_loss = 0.2;
+  faults.duplicate_prob = 0.1;
+  faults.send_fail_prob = 0.15;
+  FaultPlane a(faults, /*topology_seed=*/7);
+  FaultPlane b(faults, 7);
+
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    const std::uint32_t destination = 0x01000000u + i * 257;
+    const auto ttl = static_cast<std::uint8_t>(1 + i % 32);
+    const util::Nanos when = static_cast<util::Nanos>(i) * 1000;
+    EXPECT_EQ(a.drop_probe(destination, ttl, when),
+              b.drop_probe(destination, ttl, when));
+    EXPECT_EQ(a.drop_response(destination, ttl, when),
+              b.drop_response(destination, ttl, when));
+    EXPECT_EQ(a.duplicate_lag(destination, ttl, when),
+              b.duplicate_lag(destination, ttl, when));
+    EXPECT_EQ(a.fail_send(when), b.fail_send(when));
+  }
+  EXPECT_EQ(a.stats().total(), b.stats().total());
+  EXPECT_GT(a.stats().probes_lost, 0u);
+  EXPECT_GT(a.stats().responses_lost, 0u);
+  EXPECT_GT(a.stats().sends_failed, 0u);
+}
+
+TEST(FaultPlane, StatelessDrawsIgnoreCallOrder) {
+  FaultParams faults;
+  faults.probe_loss = 0.4;
+  FaultPlane forward(faults, 3);
+  FaultPlane backward(faults, 3);
+
+  std::vector<bool> a, b;
+  for (int i = 0; i < 500; ++i) {
+    a.push_back(forward.drop_probe(0x01000100u + static_cast<std::uint32_t>(i),
+                                   8, i * 10));
+  }
+  for (int i = 499; i >= 0; --i) {
+    b.push_back(backward.drop_probe(
+        0x01000100u + static_cast<std::uint32_t>(i), 8, i * 10));
+  }
+  std::reverse(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultPlane, ZeroConfigIsTransparent) {
+  const SimParams params = small_params();
+  EXPECT_FALSE(params.faults.any());
+  const Topology topology(params);
+
+  // A default-constructed network builds no plane at all.
+  SimNetwork plain(topology);
+  EXPECT_EQ(plain.fault_plane(), nullptr);
+
+  // And a scan through the explicit zero-fault overload is byte-identical
+  // to the plain path.
+  const core::TracerConfig config = tracer_config(params);
+  const core::ScanResult a = scan(topology, FaultParams{}, config);
+
+  SimScanRuntime runtime(plain, config.probes_per_second);
+  core::Tracer tracer(config, runtime);
+  const core::ScanResult b = tracer.run();
+
+  EXPECT_EQ(a.interfaces, b.interfaces);
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.responses, b.responses);
+  EXPECT_EQ(a.routes, b.routes);
+  EXPECT_EQ(a.scan_time, b.scan_time);
+  EXPECT_EQ(a.send_failures, 0u);
+  EXPECT_EQ(a.retransmits, 0u);
+}
+
+TEST(FaultPlane, ProbeLossReducesDiscovery) {
+  const SimParams params = small_params();
+  const Topology topology(params);
+  const core::TracerConfig config = tracer_config(params);
+
+  const core::ScanResult clean = scan(topology, FaultParams{}, config);
+  FaultParams faults;
+  faults.probe_loss = 0.4;
+  faults.response_loss = 0.4;
+  const core::ScanResult lossy = scan(topology, faults, config);
+
+  EXPECT_LT(lossy.interfaces.size(), clean.interfaces.size());
+  EXPECT_LT(lossy.responses, clean.responses);
+}
+
+TEST(FaultPlane, BlackholedPrefixStaysBlackholed) {
+  FaultParams faults;
+  faults.blackhole_fraction = 0.3;
+  FaultPlane plane(faults, 11);
+
+  // Find a blackholed destination, then verify the fate is persistent
+  // across TTLs and send times.
+  std::uint32_t victim = 0;
+  for (std::uint32_t d = 0x01000001u; d < 0x01010001u; d += 256) {
+    if (plane.drop_probe(d, 1, 0)) {
+      victim = d;
+      break;
+    }
+  }
+  ASSERT_NE(victim, 0u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_TRUE(plane.drop_probe(victim, static_cast<std::uint8_t>(1 + i % 32),
+                                 i * util::kSecond));
+  }
+}
+
+TEST(FaultPlane, FlappingLinkIsPeriodic) {
+  FaultParams faults;
+  faults.flap_fraction = 1.0;  // every prefix flaps
+  faults.flap_period = 10 * util::kSecond;
+  faults.flap_down_share = 0.5;
+  FaultPlane plane(faults, 2);
+
+  const std::uint32_t destination = 0x01000201u;
+  int down = 0;
+  const int samples = 100;
+  for (int i = 0; i < samples; ++i) {
+    const util::Nanos when = i * (faults.flap_period / samples);
+    const bool dropped = plane.drop_probe(destination, 8, when);
+    // One full period later the link is in the same phase.
+    EXPECT_EQ(dropped,
+              plane.drop_probe(destination, 8, when + faults.flap_period));
+    down += dropped ? 1 : 0;
+  }
+  // Down for roughly half of each period.
+  EXPECT_GT(down, samples / 4);
+  EXPECT_LT(down, 3 * samples / 4);
+}
+
+TEST(FaultPlane, CorruptionFlipsDeliveredBytes) {
+  FaultParams faults;
+  faults.corrupt_prob = 1.0;
+  FaultPlane plane(faults, 9);
+
+  std::vector<std::byte> packet(64, std::byte{0});
+  const std::vector<std::byte> original = packet;
+  EXPECT_TRUE(plane.corrupt_response(0x01000001u, 4, 100, packet));
+  EXPECT_NE(packet, original);
+  EXPECT_EQ(plane.stats().responses_corrupted, 1u);
+}
+
+TEST(FaultPlane, DuplicateDeliversTwoCopies) {
+  const SimParams params = small_params();
+  const Topology topology(params);
+  FaultParams faults;
+  faults.duplicate_prob = 1.0;
+  SimNetwork network(topology, faults);
+  const core::ProbeCodec codec(net::Ipv4Address(params.vantage_address));
+
+  // Every response the network generates must carry a second, strictly
+  // later arrival for its duplicate copy, and the plane must tally each.
+  std::uint64_t responses = 0;
+  std::array<std::byte, core::ProbeCodec::kMaxProbeSize> probe;
+  std::array<std::byte, net::kMaxResponseSize> out;
+  for (std::uint32_t i = 0; i < params.num_prefixes(); ++i) {
+    const net::Ipv4Address dest(((params.first_prefix + i) << 8) | 1);
+    const util::Nanos when = static_cast<util::Nanos>(i) * util::kMillisecond;
+    const std::size_t size = codec.encode_udp(dest, 8, false, when, probe);
+    ASSERT_GT(size, 0u);
+    const auto response = network.process_into(
+        std::span<const std::byte>(probe.data(), size), when, out);
+    if (!response.has_value()) continue;
+    ++responses;
+    EXPECT_GT(response->duplicate_arrival, response->arrival);
+  }
+  EXPECT_GT(responses, 0u);
+  ASSERT_NE(network.fault_plane(), nullptr);
+  EXPECT_EQ(network.fault_plane()->stats().responses_duplicated, responses);
+}
+
+TEST(FaultPlane, FaultyScanIsDeterministic) {
+  const SimParams params = small_params();
+  const Topology topology(params);
+  core::TracerConfig config = tracer_config(params);
+  config.max_retransmits = 2;
+
+  FaultParams faults;
+  faults.probe_loss = 0.2;
+  faults.response_loss = 0.1;
+  faults.duplicate_prob = 0.05;
+  faults.reorder_prob = 0.1;
+  faults.blackhole_fraction = 0.05;
+  faults.flap_fraction = 0.1;
+  faults.send_fail_prob = 0.05;
+
+  const core::ScanResult a = scan(topology, faults, config);
+  const core::ScanResult b = scan(topology, faults, config);
+  EXPECT_EQ(a.interfaces, b.interfaces);
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.responses, b.responses);
+  EXPECT_EQ(a.routes, b.routes);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.send_failures, b.send_failures);
+  EXPECT_EQ(a.probe_timeouts, b.probe_timeouts);
+  EXPECT_EQ(a.scan_time, b.scan_time);
+}
+
+}  // namespace
+}  // namespace flashroute::sim
