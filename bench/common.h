@@ -35,6 +35,21 @@ inline int env_int(const char* name, int fallback) {
   return value != nullptr ? std::atoi(value) : fallback;
 }
 
+/// Peak resident set size (VmHWM) of this process in kB, parsed from
+/// /proc/self/status; 0 when unavailable (non-Linux).  The kernel counter is
+/// monotone, so benches must measure small configurations before large ones.
+inline std::uint64_t peak_rss_kb() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return 0;
+  char line[256];
+  unsigned long long kb = 0;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %llu kB", &kb) == 1) break;
+  }
+  std::fclose(status);
+  return kb;
+}
+
 /// The simulated world shared by one bench run.
 struct World {
   sim::SimParams params;

@@ -1,0 +1,287 @@
+// Full-IPv4-scale gate: peak RSS and probes/sec at 2^20 and 2^24 prefixes.
+//
+// The paper scans every routed /24 of IPv4 — 2^24 destination slots — and
+// reports ~900 MB of control state for the DCB array plus bookkeeping
+// (§3.4).  This bench proves the reproduction reaches the same scale on one
+// machine: the succinct topology mode (sim/topology.h) derives the world
+// on demand instead of materializing per-prefix tables, the packed 11-byte
+// DCB (core/dcb.h) undercuts the paper's mutex-based DCB by an order of
+// magnitude, and the trie-backed exclusion pass marks skipped prefixes in
+// one DFS.  Stages run smallest-first because VmHWM is monotone; the final
+// stage hard-fails when peak RSS exceeds the configured ceiling.
+//
+// Results land in BENCH_full_scale.json next to the paper's reference
+// numbers.  CI runs a scaled-down smoke (FR_FULL_BITS=20) against the
+// committed budget; the full 2^24 run is the local acceptance gate.
+//
+// Environment overrides:
+//   FR_BASE_BITS     baseline universe exponent            (default 16)
+//   FR_MID_BITS      mid-scale exponent                    (default 20)
+//   FR_FULL_BITS     full-scale exponent                   (default 24)
+//   FR_RSS_LIMIT_MB  hard peak-RSS ceiling for the run     (default 1800)
+//   FR_PROBES        pipeline probes per measured pass     (default 2,000,000)
+//   FR_FULL_SCAN     also run a real scan at FR_FULL_BITS  (default 1)
+//   FR_SEED          topology seed                         (default 1)
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/common.h"
+#include "core/dcb_array.h"
+#include "core/probe_codec.h"
+#include "core/tracer.h"
+#include "util/clock.h"
+#include "util/permutation.h"
+
+namespace flashroute {
+namespace {
+
+using bench::env_int;
+
+constexpr std::uint8_t kMaxTtl = 16;
+
+sim::SimParams world_params(int bits, std::uint64_t seed) {
+  sim::SimParams params;
+  params.prefix_bits = bits;
+  params.seed = seed;
+  params.topology_mode = sim::TopologyMode::kSuccinct;
+  // Keep the universe inside IPv4 space; at 2^24 it IS IPv4 space
+  // (first_prefix 0, the paper's configuration).
+  params.first_prefix = std::min(
+      params.first_prefix,
+      static_cast<std::uint32_t>((std::uint64_t{1} << 24) -
+                                 params.num_prefixes()));
+  return params;
+}
+
+/// Destination-major TTL sweeps through SimNetwork::process_into — the same
+/// probe stream bench/hotpath times, here to show throughput holds as the
+/// universe grows past any cache level.
+double pipeline_pps(const sim::Topology& topology,
+                    const core::ProbeCodec& codec, std::uint64_t num_probes) {
+  sim::SimNetwork network(topology);
+  const sim::SimParams& params = topology.params();
+  std::array<std::byte, core::ProbeCodec::kMaxProbeSize> probe;
+  std::array<std::byte, net::kMaxResponseSize> response;
+  util::Nanos when = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+
+  util::MonotonicClock clock;
+  const util::Nanos start = clock.now();
+  while (sent < num_probes) {
+    for (std::uint32_t block = 0;
+         block < params.num_prefixes() && sent < num_probes; ++block) {
+      const net::Ipv4Address dst(((params.first_prefix + block) << 8) | 0x64);
+      for (std::uint8_t ttl = 1; ttl <= kMaxTtl && sent < num_probes; ++ttl) {
+        const std::size_t size = codec.encode_udp(dst, ttl, false, when, probe);
+        if (network.process_into(
+                std::span<const std::byte>(probe.data(), size), when,
+                response)) {
+          ++delivered;
+        }
+        when += 1000;
+        ++sent;
+      }
+    }
+  }
+  const util::Nanos elapsed = clock.now() - start;
+  if (delivered == 0) {
+    std::fprintf(stderr, "pipeline produced no responses\n");
+    std::exit(1);
+  }
+  return static_cast<double>(sent) * util::kSecond /
+         static_cast<double>(elapsed);
+}
+
+struct ScanStage {
+  std::uint64_t probes = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t interfaces = 0;
+
+  double pps() const {
+    return static_cast<double>(probes) / wall_seconds;
+  }
+};
+
+/// A real end-to-end scan: DCB ring, Doubletree sets, exclusion bitmap —
+/// everything the engine allocates at scale, with route collection off so
+/// the control state dominates (the paper's configuration).
+ScanStage real_scan(const sim::Topology& topology) {
+  core::TracerConfig config;
+  config.first_prefix = topology.params().first_prefix;
+  config.prefix_bits = topology.params().prefix_bits;
+  config.vantage = net::Ipv4Address(topology.params().vantage_address);
+  config.probes_per_second =
+      sim::scaled_probe_rate(100'000.0, topology.params().prefix_bits);
+  config.preprobe = core::PreprobeMode::kNone;
+  config.collect_routes = false;
+
+  sim::SimNetwork network(topology);
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  core::Tracer tracer(config, runtime);
+
+  util::MonotonicClock clock;
+  const util::Nanos start = clock.now();
+  const core::ScanResult result = tracer.run();
+  const util::Nanos elapsed = clock.now() - start;
+
+  ScanStage stage;
+  stage.probes = result.probes_sent;
+  stage.wall_seconds = static_cast<double>(elapsed) / util::kSecond;
+  stage.interfaces = result.interfaces.size();
+  return stage;
+}
+
+struct StageReport {
+  int bits = 0;
+  double pipeline = 0.0;
+  std::uint64_t rss_kb = 0;
+  ScanStage scan;
+  bool scanned = false;
+};
+
+StageReport run_stage(int bits, std::uint64_t seed,
+                      const core::ProbeCodec& codec, std::uint64_t num_probes,
+                      bool with_scan) {
+  StageReport report;
+  report.bits = bits;
+  const sim::Topology topology(world_params(bits, seed));
+  report.pipeline = pipeline_pps(topology, codec, num_probes);
+  if (with_scan) {
+    report.scan = real_scan(topology);
+    report.scanned = true;
+  }
+  report.rss_kb = bench::peak_rss_kb();
+  return report;
+}
+
+void print_stage(const StageReport& report) {
+  std::printf("2^%-2d prefixes: pipeline %11.0f probes/s, peak RSS %7.1f MiB",
+              report.bits, report.pipeline,
+              static_cast<double>(report.rss_kb) / 1024.0);
+  if (report.scanned) {
+    std::printf(", scan %.0f probes/s (%llu probes, %llu interfaces)",
+                report.scan.pps(),
+                static_cast<unsigned long long>(report.scan.probes),
+                static_cast<unsigned long long>(report.scan.interfaces));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace flashroute
+
+int main() {
+  using namespace flashroute;
+
+  const int base_bits = env_int("FR_BASE_BITS", 16);
+  const int mid_bits = env_int("FR_MID_BITS", 20);
+  const int full_bits = env_int("FR_FULL_BITS", 24);
+  const int rss_limit_mb = env_int("FR_RSS_LIMIT_MB", 1800);
+  const auto num_probes =
+      static_cast<std::uint64_t>(env_int("FR_PROBES", 2'000'000));
+  const bool full_scan = env_int("FR_FULL_SCAN", 1) != 0;
+  const auto seed = static_cast<std::uint64_t>(env_int("FR_SEED", 1));
+
+  std::printf("=== full scale: RSS and throughput up to 2^%d prefixes ===\n",
+              full_bits);
+  std::printf("paper (§3.4): ~900 MB control state at 2^24; "
+              "ceiling here: %d MiB\n\n", rss_limit_mb);
+
+  sim::SimParams probe_params = world_params(base_bits, seed);
+  const net::Ipv4Address vantage(probe_params.vantage_address);
+  const core::ProbeCodec codec(vantage);
+
+  // Smallest first: VmHWM only ever grows, so each stage's reading is the
+  // high-water mark up to and including that stage.
+  const StageReport base = run_stage(base_bits, seed, codec, num_probes,
+                                     /*with_scan=*/false);
+  print_stage(base);
+  const StageReport mid = run_stage(mid_bits, seed, codec, num_probes,
+                                    /*with_scan=*/true);
+  print_stage(mid);
+  const StageReport full = run_stage(full_bits, seed, codec, num_probes,
+                                     /*with_scan=*/full_scan);
+  print_stage(full);
+
+  // The §3.4 control state itself, allocated for real at full scale.
+  const std::uint64_t slots = std::uint64_t{1} << full_bits;
+  core::DcbArray array(static_cast<std::uint32_t>(slots));
+  const util::RandomPermutation permutation(
+      static_cast<std::uint32_t>(slots), seed);
+  const auto ring =
+      array.build_ring(permutation, [](std::uint32_t) { return true; });
+  const std::uint64_t final_rss_kb = bench::peak_rss_kb();
+  std::printf("\nDCB array at 2^%d: %.1f MiB (%zu B/slot), ring of %u; "
+              "final peak RSS %.1f MiB\n",
+              full_bits,
+              static_cast<double>(array.memory_bytes()) / (1024.0 * 1024.0),
+              sizeof(core::Dcb), ring,
+              static_cast<double>(final_rss_kb) / 1024.0);
+
+  const double mid_vs_base = mid.pipeline / base.pipeline;
+  std::printf("pipeline at 2^%d runs at %.1f%% of the 2^%d rate\n",
+              mid_bits, 100.0 * mid_vs_base, base_bits);
+
+  const bool rss_ok =
+      final_rss_kb <= static_cast<std::uint64_t>(rss_limit_mb) * 1024;
+
+  const char* path = "BENCH_full_scale.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"seed\": %llu,\n"
+      "  \"probes_per_pass\": %llu,\n"
+      "  \"base_bits\": %d,\n"
+      "  \"base_pipeline_pps\": %.1f,\n"
+      "  \"base_rss_kb\": %llu,\n"
+      "  \"mid_bits\": %d,\n"
+      "  \"mid_pipeline_pps\": %.1f,\n"
+      "  \"mid_scan_pps\": %.1f,\n"
+      "  \"mid_scan_probes\": %llu,\n"
+      "  \"mid_rss_kb\": %llu,\n"
+      "  \"mid_vs_base_pipeline\": %.4f,\n"
+      "  \"full_bits\": %d,\n"
+      "  \"full_pipeline_pps\": %.1f,\n"
+      "  \"full_scan\": %s,\n"
+      "  \"full_scan_pps\": %.1f,\n"
+      "  \"full_scan_probes\": %llu,\n"
+      "  \"dcb_bytes_per_slot\": %zu,\n"
+      "  \"dcb_array_mib\": %.1f,\n"
+      "  \"peak_rss_kb\": %llu,\n"
+      "  \"rss_limit_mb\": %d,\n"
+      "  \"paper_sec34_mb\": 900,\n"
+      "  \"rss_within_limit\": %s\n"
+      "}\n",
+      static_cast<unsigned long long>(seed),
+      static_cast<unsigned long long>(num_probes), base.bits, base.pipeline,
+      static_cast<unsigned long long>(base.rss_kb), mid.bits, mid.pipeline,
+      mid.scan.pps(), static_cast<unsigned long long>(mid.scan.probes),
+      static_cast<unsigned long long>(mid.rss_kb), mid_vs_base, full.bits,
+      full.pipeline, full.scanned ? "true" : "false",
+      full.scanned ? full.scan.pps() : 0.0,
+      static_cast<unsigned long long>(full.scanned ? full.scan.probes : 0),
+      sizeof(core::Dcb),
+      static_cast<double>(array.memory_bytes()) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(final_rss_kb), rss_limit_mb,
+      rss_ok ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+
+  if (!rss_ok) {
+    std::fprintf(stderr,
+                 "FAIL: peak RSS %.1f MiB exceeds the %d MiB ceiling\n",
+                 static_cast<double>(final_rss_kb) / 1024.0, rss_limit_mb);
+    return 1;
+  }
+  std::printf("PASS: peak RSS under the %d MiB ceiling\n", rss_limit_mb);
+  return 0;
+}

@@ -7,6 +7,17 @@
 // range); the overlaid ring lets the sending thread cycle through the
 // not-yet-finished destinations in shuffled order and unlink completed ones
 // in O(1).  "Prefixes excluded from the scan still occupy their slots."
+//
+// The array is templated on the DCB layout: `DcbArray` uses the packed
+// 11-byte `Dcb` (24-bit links — exactly enough for 2^24 slots, so the array
+// itself enforces the full-IPv4 bound), `MutexDcbArray` the paper-faithful
+// padded `MutexDcb` for the §3.4 memory-footprint reproduction.
+//
+// NUMA note: the vector is only default-constructed here; pages are
+// first-touched by build_ring/initialize on whichever thread drives the
+// scan.  ShardedTracer constructs each shard's Tracer (and therefore its
+// DcbArray) inside the owning worker thread, so per-shard DCB segments are
+// placed on the worker's local node without any explicit binding.
 
 #pragma once
 
@@ -19,10 +30,10 @@
 
 namespace flashroute::core {
 
-template <typename Lock>
+template <typename DcbT>
 class BasicDcbArray {
  public:
-  using DcbType = BasicDcb<Lock>;
+  using DcbType = DcbT;
   static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
 
   explicit BasicDcbArray(std::uint32_t size) : dcbs_(size) {}
@@ -58,18 +69,19 @@ class BasicDcbArray {
       const auto index = static_cast<std::uint32_t>(permutation(rank));
       DcbType& dcb = dcbs_[index];
       if (!include(index)) {
-        dcb.flags |= DcbType::kRemoved;
+        dcb.set_flag(DcbType::kRemoved);
         continue;
       }
-      dcb.flags &= static_cast<std::uint8_t>(~DcbType::kRemoved);
+      dcb.clear_flag(DcbType::kRemoved);
       if (head_ == kNone) {
         head_ = tail = index;
-        dcb.next_index = dcb.previous_index = index;
+        dcb.set_next_index(index);
+        dcb.set_previous_index(index);
       } else {
-        dcb.previous_index = tail;
-        dcb.next_index = head_;
-        dcbs_[tail].next_index = index;
-        dcbs_[head_].previous_index = index;
+        dcb.set_previous_index(tail);
+        dcb.set_next_index(head_);
+        dcbs_[tail].set_next_index(index);
+        dcbs_[head_].set_previous_index(index);
         tail = index;
       }
       ++ring_size_;
@@ -80,10 +92,10 @@ class BasicDcbArray {
   FR_HOT std::uint32_t head() const noexcept { return head_; }
   FR_HOT std::uint32_t ring_size() const noexcept { return ring_size_; }
   FR_HOT std::uint32_t next(std::uint32_t index) const noexcept {
-    return dcbs_[index].next_index;
+    return dcbs_[index].next_index();
   }
   bool in_ring(std::uint32_t index) const noexcept {
-    return (dcbs_[index].flags & DcbType::kRemoved) == 0 && ring_size_ > 0;
+    return (dcbs_[index].flags() & DcbType::kRemoved) == 0 && ring_size_ > 0;
   }
 
   /// Repositions the ring cursor (checkpoint resume: the head drifts away
@@ -91,7 +103,7 @@ class BasicDcbArray {
   /// must restore the exact cursor, not the rebuilt ring's first member).
   /// `index` must be a current ring member; kNone empties the cursor.
   void set_head(std::uint32_t index) noexcept {
-    if (index != kNone && (dcbs_[index].flags & DcbType::kRemoved) != 0) {
+    if (index != kNone && (dcbs_[index].flags() & DcbType::kRemoved) != 0) {
       return;
     }
     head_ = index;
@@ -100,14 +112,14 @@ class BasicDcbArray {
   /// Unlinks a completed destination from future rounds (sender-side only).
   FR_HOT void remove(std::uint32_t index) noexcept {
     DcbType& dcb = dcbs_[index];
-    if (dcb.flags & DcbType::kRemoved) return;
-    dcb.flags |= DcbType::kRemoved;
+    if ((dcb.flags() & DcbType::kRemoved) != 0) return;
+    dcb.set_flag(DcbType::kRemoved);
     if (ring_size_ == 1) {
       head_ = kNone;
     } else {
-      dcbs_[dcb.previous_index].next_index = dcb.next_index;
-      dcbs_[dcb.next_index].previous_index = dcb.previous_index;
-      if (head_ == index) head_ = dcb.next_index;
+      dcbs_[dcb.previous_index()].set_next_index(dcb.next_index());
+      dcbs_[dcb.next_index()].set_previous_index(dcb.previous_index());
+      if (head_ == index) head_ = dcb.next_index();
     }
     --ring_size_;
   }
@@ -123,7 +135,7 @@ class BasicDcbArray {
   std::uint32_t ring_size_ = 0;
 };
 
-using DcbArray = BasicDcbArray<SpinLock>;
-using MutexDcbArray = BasicDcbArray<std::mutex>;
+using DcbArray = BasicDcbArray<Dcb>;
+using MutexDcbArray = BasicDcbArray<MutexDcb>;
 
 }  // namespace flashroute::core

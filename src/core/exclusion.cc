@@ -1,6 +1,7 @@
 #include "core/exclusion.h"
 
 #include <algorithm>
+#include <bit>
 #include <charconv>
 
 namespace flashroute::core {
@@ -75,45 +76,73 @@ std::optional<std::size_t> ExclusionList::load(std::istream& input) {
   return added;
 }
 
+void ExclusionList::add_reserved_defaults() {
+  // The bogon set of the real repo's bogon filter — mirrors
+  // net::is_probe_excluded so either layer enforces the same policy.
+  add(net::Ipv4Address(0x00000000), 8);   // 0.0.0.0/8 "this network"
+  add(net::Ipv4Address(0x0A000000), 8);   // 10.0.0.0/8 RFC 1918
+  add(net::Ipv4Address(0x64400000), 10);  // 100.64.0.0/10 CGN
+  add(net::Ipv4Address(0x7F000000), 8);   // 127.0.0.0/8 loopback
+  add(net::Ipv4Address(0xA9FE0000), 16);  // 169.254.0.0/16 link-local
+  add(net::Ipv4Address(0xAC100000), 12);  // 172.16.0.0/12 RFC 1918
+  add(net::Ipv4Address(0xC0A80000), 16);  // 192.168.0.0/16 RFC 1918
+  add(net::Ipv4Address(0xE0000000), 4);   // 224.0.0.0/4 multicast
+  add(net::Ipv4Address(0xF0000000), 4);   // 240.0.0.0/4 class E + broadcast
+}
+
 void ExclusionList::normalize() const {
   if (!dirty_) return;
   std::sort(ranges_.begin(), ranges_.end());
   std::vector<Range> merged;
   for (const Range& range : ranges_) {
-    if (!merged.empty() && range.first <= merged.back().last + 1 &&
-        merged.back().last != ~std::uint32_t{0}) {
+    // Merge overlapping and adjacent ranges.  The adjacency test runs in
+    // 64 bits: with back().last == 255.255.255.255 the 32-bit `last + 1`
+    // wraps to 0 and a saturated range would stop absorbing its successors.
+    if (!merged.empty() &&
+        std::uint64_t{range.first} <= std::uint64_t{merged.back().last} + 1) {
       merged.back().last = std::max(merged.back().last, range.last);
-    } else if (!merged.empty() && range.first <= merged.back().last) {
-      // covers the wrap-guard case where back().last is the max address
     } else {
       merged.push_back(range);
     }
   }
   ranges_ = std::move(merged);
+
+  // Rebuild the trie from the merged ranges via greedy range → CIDR
+  // decomposition: repeatedly take the largest block aligned at the cursor
+  // that still fits in the remainder.
+  trie_.clear();
+  for (const Range& range : ranges_) {
+    std::uint64_t cursor = range.first;
+    const std::uint64_t end = std::uint64_t{range.last} + 1;
+    while (cursor < end) {
+      const auto base = static_cast<std::uint32_t>(cursor);
+      const int align_len = base == 0 ? 0 : 32 - std::countr_zero(base);
+      const std::uint64_t remaining = end - cursor;
+      const int size_len =
+          32 - (63 - std::countl_zero(remaining));  // floor(log2(remaining))
+      const int len = std::max(align_len, size_len);
+      trie_.insert(base, len);
+      cursor += std::uint64_t{1} << (32 - len);
+    }
+  }
   dirty_ = false;
 }
 
 bool ExclusionList::contains(net::Ipv4Address address) const {
   normalize();
-  const std::uint32_t value = address.value();
-  auto it = std::upper_bound(
-      ranges_.begin(), ranges_.end(), Range{value, value},
-      [](const Range& a, const Range& b) { return a.first < b.first; });
-  if (it == ranges_.begin()) return false;
-  --it;
-  return value >= it->first && value <= it->last;
+  return trie_.contains(address.value());
 }
 
 bool ExclusionList::excludes_prefix24(std::uint32_t prefix_index) const {
   normalize();
-  const std::uint32_t first = prefix_index << 8;
-  const std::uint32_t last = first | 0xFF;
-  auto it = std::upper_bound(
-      ranges_.begin(), ranges_.end(), Range{last, last},
-      [](const Range& a, const Range& b) { return a.first < b.first; });
-  if (it == ranges_.begin()) return false;
-  --it;
-  return it->last >= first;
+  return trie_.intersects_prefix24(prefix_index);
+}
+
+void ExclusionList::mark_excluded_prefix24(
+    std::uint32_t first_prefix, std::uint32_t count,
+    std::vector<std::uint64_t>& bitmap) const {
+  normalize();
+  trie_.mark_prefix24(first_prefix, count, bitmap);
 }
 
 std::optional<std::vector<std::uint32_t>> load_target_list(

@@ -23,11 +23,15 @@
 #include <string_view>
 #include <vector>
 
+#include "core/prefix_trie.h"
 #include "net/ipv4.h"
 
 namespace flashroute::core {
 
-/// A set of CIDR ranges with O(log n) membership checks.
+/// A set of CIDR ranges.  Mutations stage plain [first, last] ranges;
+/// queries lazily merge them and rebuild a patricia trie (PrefixTrie), so
+/// membership is O(32) independent of the range count and the full set of
+/// excluded /24s comes out of one bulk DFS at DCB-array construction.
 class ExclusionList {
  public:
   /// Adds one CIDR range (prefix length 0..32).
@@ -36,18 +40,30 @@ class ExclusionList {
   /// Parses one `a.b.c.d[/len]` entry; returns false on malformed input.
   bool add_entry(std::string_view entry);
 
+  /// Installs the bogon/reserved-range defaults the real FlashRoute's bogon
+  /// filter ships with (RFC 1918, loopback, link-local, CGN, multicast,
+  /// class E, this-network, broadcast) — the same set net::is_probe_excluded
+  /// hard-codes, unified here so a standalone list can enforce it.
+  void add_reserved_defaults();
+
   /// Loads entries from a stream; returns the number of ranges added, or
   /// nullopt if any line was malformed (nothing is partially applied).
   std::optional<std::size_t> load(std::istream& input);
 
   /// True when `address` falls inside any excluded range.  (Lazily merges
-  /// the ranges on first query after a mutation.)
+  /// the ranges and rebuilds the trie on first query after a mutation.)
   bool contains(net::Ipv4Address address) const;
 
   /// True when any address of the /24 block is excluded — the granularity
   /// at which the scanner skips targets (an excluded host excludes its
   /// whole block, the conservative reading of an opt-out).
   bool excludes_prefix24(std::uint32_t prefix_index) const;
+
+  /// Bulk form of excludes_prefix24: ORs bit (p - first_prefix) into
+  /// `bitmap` for every excluded /24 prefix p in the window.  One trie DFS —
+  /// O(1) amortized per prefix; used at DCB-array construction.
+  void mark_excluded_prefix24(std::uint32_t first_prefix, std::uint32_t count,
+                              std::vector<std::uint64_t>& bitmap) const;
 
   std::size_t size() const noexcept { return ranges_.size(); }
   bool empty() const noexcept { return ranges_.empty(); }
@@ -62,10 +78,12 @@ class ExclusionList {
     }
   };
 
-  /// Merged, sorted, non-overlapping after normalize().
+  /// Merged, sorted, non-overlapping after normalize(); the trie mirrors
+  /// the merged ranges.
   void normalize() const;
 
   mutable std::vector<Range> ranges_;
+  mutable PrefixTrie trie_;
   mutable bool dirty_ = false;
 };
 

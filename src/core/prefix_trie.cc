@@ -1,0 +1,73 @@
+#include "core/prefix_trie.h"
+
+#include <algorithm>
+
+namespace flashroute::core {
+
+void PrefixTrie::insert(std::uint32_t base, int prefix_length) {
+  prefix_length = std::clamp(prefix_length, 0, 32);
+  const std::uint32_t mask =
+      prefix_length == 0 ? 0u : ~std::uint32_t{0} << (32 - prefix_length);
+  base &= mask;
+  std::int32_t node = 0;
+  for (int depth = 0; depth < prefix_length; ++depth) {
+    if (nodes_[static_cast<std::size_t>(node)].terminal) {
+      return;  // subsumed by a shorter prefix already present
+    }
+    const int bit = (base >> (31 - depth)) & 1;
+    std::int32_t next = nodes_[static_cast<std::size_t>(node)].child[bit];
+    if (next < 0) {
+      next = static_cast<std::int32_t>(nodes_.size());
+      nodes_[static_cast<std::size_t>(node)].child[bit] = next;
+      nodes_.push_back({});
+    }
+    node = next;
+  }
+  Node& n = nodes_[static_cast<std::size_t>(node)];
+  n.terminal = true;
+  // Subsumption: the whole subtree is covered now; pruning the links keeps
+  // the invariant that every reachable node leads to a terminal.  (Orphaned
+  // nodes stay in the vector — ExclusionList rebuilds from merged ranges,
+  // so they never accumulate.)
+  n.child[0] = n.child[1] = -1;
+}
+
+void PrefixTrie::mark_node(std::int32_t node, int depth, std::uint32_t path,
+                           std::uint32_t first_prefix, std::uint32_t count,
+                           std::vector<std::uint64_t>& bitmap) const {
+  const Node& n = nodes_[static_cast<std::size_t>(node)];
+  if (n.terminal || depth == 24) {
+    // This subtree covers (part of) the /24 span
+    // [path << (24 - depth), path << (24 - depth) + 2^(24 - depth)).
+    const std::uint64_t span_first = std::uint64_t{path} << (24 - depth);
+    const std::uint64_t span_last =
+        span_first + (std::uint64_t{1} << (24 - depth)) - 1;
+    const std::uint64_t window_first = first_prefix;
+    const std::uint64_t window_last =
+        std::uint64_t{first_prefix} + count - 1;
+    const std::uint64_t lo = std::max(span_first, window_first);
+    const std::uint64_t hi = std::min(span_last, window_last);
+    for (std::uint64_t p = lo; p <= hi; ++p) {
+      const std::uint64_t offset = p - first_prefix;
+      bitmap[offset >> 6] |= std::uint64_t{1} << (offset & 63);
+    }
+    return;
+  }
+  for (int bit = 0; bit < 2; ++bit) {
+    const std::int32_t child = n.child[bit];
+    if (child >= 0) {
+      mark_node(child, depth + 1,
+                (path << 1) | static_cast<std::uint32_t>(bit), first_prefix,
+                count, bitmap);
+    }
+  }
+}
+
+void PrefixTrie::mark_prefix24(std::uint32_t first_prefix,
+                               std::uint32_t count,
+                               std::vector<std::uint64_t>& bitmap) const {
+  if (count == 0) return;
+  mark_node(0, 0, 0, first_prefix, count, bitmap);
+}
+
+}  // namespace flashroute::core

@@ -135,6 +135,10 @@ ScanResult ShardedTracer::run() {
     threads.emplace_back([this, w, &shards, &results] {
       for (const ShardInfo& shard : shards) {
         if (shard.worker != w) continue;
+        // The Tracer — and with it the shard's DCB segment — is constructed
+        // *inside* the owning worker, so first-touch places each segment on
+        // the worker's NUMA node and ring walks stay node-local
+        // (DESIGN.md §10).
         Tracer tracer(shard_config(shard), provider_.runtime_for(shard));
         results[static_cast<std::size_t>(shard.index)] = tracer.run();
       }

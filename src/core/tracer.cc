@@ -55,10 +55,10 @@ FR_HOT bool Tracer::fold_mode() const noexcept {
 }
 
 bool Tracer::include_in_scan(std::uint32_t index) const {
-  const net::Ipv4Address target(dcbs_[index].destination);
+  const net::Ipv4Address target(destination_of(index));
   if (net::is_probe_excluded(target)) return false;
-  if (config_.exclusions != nullptr &&
-      config_.exclusions->excludes_prefix24(net::prefix24_index(target))) {
+  if (!excluded_bitmap_.empty() &&
+      ((excluded_bitmap_[index >> 6] >> (index & 63)) & 1) != 0) {
     return false;  // operator opt-out: skip the whole /24
   }
   return true;
@@ -85,7 +85,13 @@ ScanResult Tracer::run() {
   // Initialize DCBs and thread the ring in random permutation order;
   // private/multicast/reserved targets keep their slots but stay out (§3.4).
   for (std::uint32_t i = 0; i < n; ++i) {
-    dcbs_[i].destination = target_of(i);
+    dcbs_[i].set_dest_octet(static_cast<std::uint8_t>(target_of(i)));
+  }
+  excluded_bitmap_.clear();
+  if (config_.exclusions != nullptr) {
+    excluded_bitmap_.assign((n + 63) / 64, 0);
+    config_.exclusions->mark_excluded_prefix24(config_.first_prefix, n,
+                                               excluded_bitmap_);
   }
   dcbs_.build_ring(config_.seed, [this](std::uint32_t index) {
     return include_in_scan(index);
@@ -195,7 +201,7 @@ FR_HOT void Tracer::process_retransmits() {
       if (tel.ids.resilience) tel.count(tel.ids.retransmits);
       // The re-sent probe carries a fresh send time, so the fault plane
       // draws an independent loss decision for it.
-      send_probe(*active_codec_, probe.index, dcbs_[probe.index].destination,
+      send_probe(*active_codec_, probe.index, destination_of(probe.index),
                  probe.ttl, false);
     } else {
       ++result_.probe_timeouts;
@@ -223,7 +229,7 @@ void Tracer::preprobe_phase() {
   std::uint32_t index = dcbs_.head();
   const std::uint32_t count = dcbs_.ring_size();
   for (std::uint32_t i = 0; i < count; ++i, index = dcbs_.next(index)) {
-    std::uint32_t target = dcbs_[index].destination;
+    std::uint32_t target = destination_of(index);
     if (config_.preprobe == PreprobeMode::kHitlist &&
         config_.hitlist != nullptr && index < config_.hitlist->size() &&
         (*config_.hitlist)[index] != 0) {
@@ -275,12 +281,12 @@ void Tracer::initialize_dcbs() {
       split = result_.predicted_distance[index];
     }
     split = std::clamp(split, 1, static_cast<int>(config_.max_ttl));
-    dcb.next_backward_hop = static_cast<std::uint8_t>(split);
-    dcb.next_forward_hop = static_cast<std::uint8_t>(
-        std::min(split + 1, static_cast<int>(config_.max_ttl) + 1));
-    dcb.forward_horizon = static_cast<std::uint8_t>(
-        std::min(split + config_.gap_limit, 255));
-    dcb.flags &= Dcb::kRemoved;  // clear everything but ring membership
+    dcb.set_next_backward_hop(static_cast<std::uint8_t>(split));
+    dcb.set_next_forward_hop(static_cast<std::uint8_t>(
+        std::min(split + 1, static_cast<int>(config_.max_ttl) + 1)));
+    dcb.set_forward_horizon(static_cast<std::uint8_t>(
+        std::min(split + config_.gap_limit, 255)));
+    dcb.retain_flags(Dcb::kRemoved);  // clear everything but ring membership
   }
 }
 
@@ -312,25 +318,30 @@ FR_HOT void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
       std::uint8_t last_forward = 0;
       std::uint8_t horizon = 0;
       {
-        const std::lock_guard guard(dcb.lock);
+        const std::lock_guard guard(dcb);
         const bool forward_active =
-            config_.forward_probing && (dcb.flags & Dcb::kDestReached) == 0 &&
-            dcb.next_forward_hop <= dcb.forward_horizon &&
-            dcb.next_forward_hop <= config_.max_ttl;
-        if (dcb.next_backward_hop == 0 && !forward_active) {
+            config_.forward_probing &&
+            (dcb.flags() & Dcb::kDestReached) == 0 &&
+            dcb.next_forward_hop() <= dcb.forward_horizon() &&
+            dcb.next_forward_hop() <= config_.max_ttl;
+        if (dcb.next_backward_hop() == 0 && !forward_active) {
           done = true;
-          dest_reached = (dcb.flags & Dcb::kDestReached) != 0;
-          last_forward = dcb.next_forward_hop > 0
-                             ? static_cast<std::uint8_t>(dcb.next_forward_hop -
-                                                         1)
-                             : std::uint8_t{0};
-          horizon = dcb.forward_horizon;
+          dest_reached = (dcb.flags() & Dcb::kDestReached) != 0;
+          last_forward =
+              dcb.next_forward_hop() > 0
+                  ? static_cast<std::uint8_t>(dcb.next_forward_hop() - 1)
+                  : std::uint8_t{0};
+          horizon = dcb.forward_horizon();
         } else {
-          if (dcb.next_backward_hop > 0) {
-            backward_ttl = dcb.next_backward_hop--;
+          if (dcb.next_backward_hop() > 0) {
+            backward_ttl = dcb.next_backward_hop();
+            dcb.set_next_backward_hop(
+                static_cast<std::uint8_t>(backward_ttl - 1));
           }
           if (forward_active) {
-            forward_ttl = dcb.next_forward_hop++;
+            forward_ttl = dcb.next_forward_hop();
+            dcb.set_next_forward_hop(
+                static_cast<std::uint8_t>(forward_ttl + 1));
           }
         }
       }
@@ -353,11 +364,12 @@ FR_HOT void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
         continue;
       }
       if (backward_ttl != 0) {
-        send_probe(codec, current, dcb.destination, backward_ttl,
+        send_probe(codec, current, destination_of(current), backward_ttl,
                    flag_first_round && first_round);
       }
       if (forward_ttl != 0) {
-        send_probe(codec, current, dcb.destination, forward_ttl, false);
+        send_probe(codec, current, destination_of(current), forward_ttl,
+                   false);
       }
       runtime_.drain(sink_);
       process_retransmits();
@@ -459,10 +471,10 @@ io::ScanCheckpoint Tracer::capture_checkpoint() {
   checkpoint.dcb_flags.resize(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     const Dcb& dcb = dcbs_[i];
-    checkpoint.next_backward[i] = dcb.next_backward_hop;
-    checkpoint.next_forward[i] = dcb.next_forward_hop;
-    checkpoint.forward_horizon[i] = dcb.forward_horizon;
-    checkpoint.dcb_flags[i] = dcb.flags;
+    checkpoint.next_backward[i] = dcb.next_backward_hop();
+    checkpoint.next_forward[i] = dcb.next_forward_hop();
+    checkpoint.forward_horizon[i] = dcb.forward_horizon();
+    checkpoint.dcb_flags[i] = dcb.flags();
   }
   checkpoint.retransmit_left = retransmit_left_;
   checkpoint.result = result_;
@@ -479,10 +491,10 @@ void Tracer::restore_checkpoint(const io::ScanCheckpoint& checkpoint) {
   if (checkpoint.next_backward.size() == n) {
     for (std::uint32_t i = 0; i < n; ++i) {
       Dcb& dcb = dcbs_[i];
-      dcb.next_backward_hop = checkpoint.next_backward[i];
-      dcb.next_forward_hop = checkpoint.next_forward[i];
-      dcb.forward_horizon = checkpoint.forward_horizon[i];
-      dcb.flags = checkpoint.dcb_flags[i];
+      dcb.set_next_backward_hop(checkpoint.next_backward[i]);
+      dcb.set_next_forward_hop(checkpoint.next_forward[i]);
+      dcb.set_forward_horizon(checkpoint.forward_horizon[i]);
+      dcb.store_flags(checkpoint.dcb_flags[i]);
     }
     // Rebuild the ring over the surviving membership.  Removing members
     // from the circular list preserves the permutation's relative order,
@@ -528,8 +540,10 @@ void Tracer::apply_fold_predictions() {
     const std::uint8_t predicted = result_.predicted_distance[index];
     if (predicted == 0) continue;
     Dcb& dcb = dcbs_[index];
-    const std::lock_guard guard(dcb.lock);
-    if (predicted < dcb.next_backward_hop) dcb.next_backward_hop = predicted;
+    const std::lock_guard guard(dcb);
+    if (predicted < dcb.next_backward_hop()) {
+      dcb.set_next_backward_hop(predicted);
+    }
   }
 }
 
@@ -549,8 +563,8 @@ void Tracer::run_extra_scans() {
       const std::uint64_t pass_target_seed =
           util::hash_combine(config_.target_seed, 0x76617279, pass);
       for (std::uint32_t i = 0; i < config_.num_prefixes(); ++i) {
-        dcbs_[i].destination =
-            random_target(pass_target_seed, config_.first_prefix + i);
+        dcbs_[i].set_dest_octet(static_cast<std::uint8_t>(
+            random_target(pass_target_seed, config_.first_prefix + i)));
       }
     }
     dcbs_.build_ring(permutation, [this](std::uint32_t index) {
@@ -578,12 +592,12 @@ void Tracer::run_extra_scans() {
           start_range = std::min<int>(config_.max_ttl, route_length + 5);
         }
       }
-      dcb.next_backward_hop = static_cast<std::uint8_t>(
-          1 + util::stable_bounded(pass_seed, dcb.destination,
-                                   static_cast<std::uint64_t>(start_range)));
-      dcb.next_forward_hop = config_.max_ttl + 1;
-      dcb.forward_horizon = 0;
-      dcb.flags &= Dcb::kRemoved;
+      dcb.set_next_backward_hop(static_cast<std::uint8_t>(
+          1 + util::stable_bounded(pass_seed, destination_of(index),
+                                   static_cast<std::uint64_t>(start_range))));
+      dcb.set_next_forward_hop(config_.max_ttl + 1);
+      dcb.set_forward_horizon(0);
+      dcb.retain_flags(Dcb::kRemoved);
     }
     main_rounds(extra_codec, false, RouteHop::kExtraScan);
   }
@@ -689,21 +703,21 @@ FR_HOT void Tracer::handle_main_response(std::uint32_t index,
                current_hop_flags_ |
                    (probe.preprobe ? RouteHop::kPreprobe : std::uint8_t{0}));
 
-    const std::lock_guard guard(dcb.lock);
+    const std::lock_guard guard(dcb);
     // Horizon: farthest responding hop + GapLimit (§3.4).
     const int horizon =
         std::min(static_cast<int>(hop_ttl) + config_.gap_limit, 255);
-    if (horizon > dcb.forward_horizon) {
-      dcb.forward_horizon = static_cast<std::uint8_t>(horizon);
+    if (horizon > dcb.forward_horizon()) {
+      dcb.set_forward_horizon(static_cast<std::uint8_t>(horizon));
     }
     // Backward termination: the response came from the backward segment and
     // hit either TTL 1 or a previously discovered hop (§3.2).
-    if (dcb.next_backward_hop > 0 &&
-        hop_ttl <= dcb.next_backward_hop + 1) {
+    if (dcb.next_backward_hop() > 0 &&
+        hop_ttl <= dcb.next_backward_hop() + 1) {
       if (hop_ttl == 1) {
-        dcb.next_backward_hop = 0;
+        dcb.set_next_backward_hop(0);
       } else if (config_.redundancy_removal && was_known) {
-        dcb.next_backward_hop = 0;
+        dcb.set_next_backward_hop(0);
         ++result_.convergence_stops;
         config_.telemetry.count(config_.telemetry.ids.convergence_stops);
       }
@@ -734,9 +748,9 @@ FR_HOT void Tracer::handle_main_response(std::uint32_t index,
     result_.trigger_ttl[index] = probe.initial_ttl;
   }
 
-  const std::lock_guard guard(dcb.lock);
-  if ((dcb.flags & Dcb::kDestReached) == 0) {
-    dcb.flags |= Dcb::kDestReached;  // stops forward probing (§3.2)
+  const std::lock_guard guard(dcb);
+  if ((dcb.flags() & Dcb::kDestReached) == 0) {
+    dcb.set_flag(Dcb::kDestReached);  // stops forward probing (§3.2)
     ++result_.destinations_reached;
     config_.telemetry.count(config_.telemetry.ids.destinations_reached);
   }
@@ -749,7 +763,7 @@ FR_HOT void Tracer::handle_main_response(std::uint32_t index,
     }
     const auto below = static_cast<std::uint8_t>(distance > 1 ? distance - 1
                                                               : 0);
-    if (below < dcb.next_backward_hop) dcb.next_backward_hop = below;
+    if (below < dcb.next_backward_hop()) dcb.set_next_backward_hop(below);
   }
 }
 

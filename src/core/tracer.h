@@ -219,6 +219,13 @@ class Tracer {
                          std::uint8_t ttl, std::uint8_t flags);
   FR_HOT bool fold_mode() const noexcept;
   bool include_in_scan(std::uint32_t index) const;
+  /// The full 32-bit address currently probed for a prefix offset: the /24
+  /// prefix is the DCB array index, the packed DCB stores only the host
+  /// octet (§3.4 at full scale).
+  FR_HOT std::uint32_t destination_of(std::uint32_t index) const noexcept {
+    return ((config_.first_prefix + index) << 8) |
+           dcbs_[index].dest_octet();
+  }
 
   TracerConfig config_;
   ScanRuntime& runtime_;
@@ -229,6 +236,10 @@ class Tracer {
   ScanRuntime::Sink sink_;
   std::uint8_t current_hop_flags_ = 0;
   std::uint64_t target_seed_;
+  /// Bit per prefix offset: set = the operator exclusion list covers part of
+  /// this /24.  Filled once per scan by the trie's bulk pass, so ring
+  /// construction pays O(1) per prefix instead of a range query each.
+  std::vector<std::uint64_t> excluded_bitmap_;
 
   // --- Resilience state (DESIGN.md §9) ------------------------------------
   /// Virtual-time deadlines of outstanding main-phase probes.

@@ -22,6 +22,12 @@ enum SeedTag : std::uint64_t {
   kTagLoop = 0x6c6f6f70,
   kTagHitlist = 0x686974,
   kTagInternal = 0x696e74,
+  kTagBlock = 0x626c6f63,
+  kTagRouted = 0x726f7574,
+  kTagAssign = 0x61736767,
+  kTagDarkProv = 0x64707276,
+  kTagDarkBack = 0x6462636b,
+  kTagDarkLoop = 0x646c6f70,
 };
 
 constexpr std::uint8_t kApplianceOctet = 1;
@@ -40,7 +46,13 @@ Topology::Topology(const SimParams& params)
       seed_dyn_(util::hash_combine(params.seed, kTagDyn)),
       seed_loop_(util::hash_combine(params.seed, kTagLoop)),
       seed_hitlist_(util::hash_combine(params.seed, kTagHitlist)),
-      seed_internal_(util::hash_combine(params.seed, kTagInternal)) {
+      seed_internal_(util::hash_combine(params.seed, kTagInternal)),
+      seed_block_(util::hash_combine(params.seed, kTagBlock)),
+      seed_routed_(util::hash_combine(params.seed, kTagRouted)),
+      seed_assign_(util::hash_combine(params.seed, kTagAssign)),
+      seed_dark_prov_(util::hash_combine(params.seed, kTagDarkProv)),
+      seed_dark_back_(util::hash_combine(params.seed, kTagDarkBack)),
+      seed_dark_loop_(util::hash_combine(params.seed, kTagDarkLoop)) {
   if (params_.prefix_bits < 1 || params_.prefix_bits > 24) {
     throw std::invalid_argument("prefix_bits must be in [1, 24]");
   }
@@ -53,11 +65,15 @@ Topology::Topology(const SimParams& params)
     throw std::invalid_argument("destination universe overflows IPv4 space");
   }
   // The interface pool must not overlap the destination universe: pool IPs
-  // are "provider" addresses, universe IPs are scan targets.
+  // are "provider" addresses, universe IPs are scan targets.  The one
+  // exception is the full-IPv4 universe (prefix_bits == 24), where the pool
+  // has nowhere else to live — as on the real Internet, router interfaces
+  // are then themselves members of scanned /24s.
   const std::uint64_t pool_first = params_.interface_pool_base;
   const std::uint64_t pool_last =
       pool_first + (std::uint64_t{1} << 24);  // generous upper bound
-  if (pool_first <= universe_last && universe_first <= pool_last) {
+  if (params_.prefix_bits < 24 && pool_first <= universe_last &&
+      universe_first <= pool_last) {
     throw std::invalid_argument(
         "interface pool overlaps the destination universe");
   }
@@ -106,8 +122,88 @@ Topology::Topology(const SimParams& params)
     }
   }
 
-  // --- Carve the universe into advertised blocks -------------------------
+  // Builds one stub with the legacy draw order (path off the core tree,
+  // access chain, multihoming, spine, middleboxes, filtered tail) — shared
+  // between the per-block materialized build and the succinct template pool.
+  const auto build_stub = [&](util::Xoshiro256& r) {
+    Stub stub;
+
+    // Provider path: root .. attachment router, expanded edge templates.
+    const auto attach = static_cast<std::int32_t>(
+        r.bounded(static_cast<std::uint64_t>(num_core)));
+    std::vector<std::int32_t> ancestry;
+    for (std::int32_t router = attach; router >= 0;
+         router = parent[static_cast<std::size_t>(router)]) {
+      ancestry.push_back(router);
+    }
+    for (auto it = ancestry.rbegin(); it != ancestry.rend(); ++it) {
+      const auto& hops = edge_hops[static_cast<std::size_t>(*it)];
+      stub.path.insert(stub.path.end(), hops.begin(), hops.end());
+    }
+
+    // Access chain between the core and the gateway, then the gateway.
+    const int chain =
+        1 + static_cast<int>(r.bounded(
+                static_cast<std::uint64_t>(params_.max_access_chain)));
+    for (int i = 0; i < chain - 1; ++i) {
+      stub.path.push_back({alloc_pool_ip(), 0, 0});
+    }
+    if (r.chance(params_.stub_multihome_prob)) {
+      // Multihomed stub: a wide per-flow ECMP fan feeds the gateway (§5.2).
+      const auto width = static_cast<std::uint8_t>(
+          params_.multihome_min_width +
+          static_cast<int>(r.bounded(static_cast<std::uint64_t>(
+              params_.multihome_max_width - params_.multihome_min_width + 1))));
+      const std::uint64_t edge_key = r();
+      const std::uint32_t mid_base = next_pool_ip_;
+      next_pool_ip_ += width;
+      const std::uint32_t child_base = next_pool_ip_;
+      next_pool_ip_ += width;
+      stub.path.push_back({mid_base, width, edge_key});
+      stub.path.push_back({child_base, width, edge_key});
+    } else {
+      stub.path.push_back({alloc_pool_ip(), 0, 0});
+    }
+    stub.path.push_back({alloc_pool_ip(), 0, 0});  // gateway in-interface
+
+    stub.spine_base = static_cast<std::uint8_t>(
+        r.bounded(static_cast<std::uint64_t>(params_.max_spine + 1)));
+    for (auto& ip : stub.spine_ips) ip = alloc_pool_ip();
+
+    if (r.chance(params_.ttl_reset_middlebox_prob)) {
+      stub.mbox_reset =
+          r.chance(0.5) ? params_.ttl_reset_low : params_.ttl_reset_high;
+    }
+    stub.rewrite = r.chance(params_.rewrite_middlebox_prob);
+
+    apply_filtered_tail(stub, r);
+    return stub;
+  };
+
   const std::uint32_t num_prefixes = params_.num_prefixes();
+
+  if (params_.topology_mode != TopologyMode::kMaterialized) {
+    // --- Succinct modes: a fixed pool of shared path templates -------------
+    // Every per-prefix attribute (block carve, routed/dark, template
+    // assignment, dark-tail shape) is derived on demand from the seeds —
+    // see derive_entry().  kSuccinctMaterialized additionally expands the
+    // derivation into per-prefix tables to prove bit-equality.
+    const int pool_bits = std::clamp(params_.template_pool_bits, 0, 16);
+    const std::uint32_t pool = std::uint32_t{1} << pool_bits;
+    stubs_.reserve(pool);
+    for (std::uint32_t i = 0; i < pool; ++i) {
+      stubs_.push_back(build_stub(rng));
+    }
+    if (params_.topology_mode == TopologyMode::kSuccinctMaterialized) {
+      materialized_entries_.resize(num_prefixes);
+      for (std::uint32_t offset = 0; offset < num_prefixes; ++offset) {
+        materialized_entries_[offset] = derive_entry(offset);
+      }
+    }
+    return;
+  }
+
+  // --- Carve the universe into advertised blocks -------------------------
   prefix_map_.assign(num_prefixes, kUnmapped);
 
   struct PendingBlock {
@@ -134,60 +230,8 @@ Topology::Topology(const SimParams& params)
   // --- Build stubs ----------------------------------------------------------
   for (const auto& block : blocks) {
     if (!block.routed) continue;
-    Stub stub;
-
-    // Provider path: root .. attachment router, expanded edge templates.
-    const auto attach = static_cast<std::int32_t>(
-        rng.bounded(static_cast<std::uint64_t>(num_core)));
-    std::vector<std::int32_t> ancestry;
-    for (std::int32_t r = attach; r >= 0;
-         r = parent[static_cast<std::size_t>(r)]) {
-      ancestry.push_back(r);
-    }
-    for (auto it = ancestry.rbegin(); it != ancestry.rend(); ++it) {
-      const auto& hops = edge_hops[static_cast<std::size_t>(*it)];
-      stub.path.insert(stub.path.end(), hops.begin(), hops.end());
-    }
-
-    // Access chain between the core and the gateway, then the gateway.
-    const int chain =
-        1 + static_cast<int>(rng.bounded(
-                static_cast<std::uint64_t>(params_.max_access_chain)));
-    for (int i = 0; i < chain - 1; ++i) {
-      stub.path.push_back({alloc_pool_ip(), 0, 0});
-    }
-    if (rng.chance(params_.stub_multihome_prob)) {
-      // Multihomed stub: a wide per-flow ECMP fan feeds the gateway (§5.2).
-      const auto width = static_cast<std::uint8_t>(
-          params_.multihome_min_width +
-          static_cast<int>(rng.bounded(static_cast<std::uint64_t>(
-              params_.multihome_max_width - params_.multihome_min_width + 1))));
-      const std::uint64_t edge_key = rng();
-      const std::uint32_t mid_base = next_pool_ip_;
-      next_pool_ip_ += width;
-      const std::uint32_t child_base = next_pool_ip_;
-      next_pool_ip_ += width;
-      stub.path.push_back({mid_base, width, edge_key});
-      stub.path.push_back({child_base, width, edge_key});
-    } else {
-      stub.path.push_back({alloc_pool_ip(), 0, 0});
-    }
-    stub.path.push_back({alloc_pool_ip(), 0, 0});  // gateway in-interface
-
-    stub.spine_base = static_cast<std::uint8_t>(
-        rng.bounded(static_cast<std::uint64_t>(params_.max_spine + 1)));
-    for (auto& ip : stub.spine_ips) ip = alloc_pool_ip();
-
-    if (rng.chance(params_.ttl_reset_middlebox_prob)) {
-      stub.mbox_reset =
-          rng.chance(0.5) ? params_.ttl_reset_low : params_.ttl_reset_high;
-    }
-    stub.rewrite = rng.chance(params_.rewrite_middlebox_prob);
-
-    apply_filtered_tail(stub, rng);
-
     const auto stub_id = static_cast<std::int32_t>(stubs_.size());
-    stubs_.push_back(std::move(stub));
+    stubs_.push_back(build_stub(rng));
     for (std::uint32_t p = block.start; p < block.start + block.size; ++p) {
       prefix_map_[p] = stub_id;
     }
@@ -207,6 +251,46 @@ Topology::Topology(const SimParams& params)
       prefix_map_[p] = -dark_id - 2;
     }
   }
+}
+
+FR_HOT Topology::SuccinctEntry Topology::derive_entry(
+    std::uint32_t offset) const noexcept {
+  // Superblock-hashed carve: every superblock of 2^max_block_bits prefixes
+  // is split into equal aligned blocks of 2^bits, bits drawn per superblock.
+  // Alignment makes the block start derivable from the offset alone — the
+  // whole carve costs zero storage.
+  const std::uint32_t superblock =
+      offset >> static_cast<unsigned>(params_.max_block_bits);
+  const auto bits = static_cast<unsigned>(util::stable_bounded(
+      seed_block_, superblock,
+      static_cast<std::uint64_t>(params_.max_block_bits + 1)));
+  const std::uint32_t block_start = offset & ~((std::uint32_t{1} << bits) - 1);
+
+  SuccinctEntry entry;
+  entry.block_key = block_start;
+  entry.routed =
+      util::stable_chance(seed_routed_, block_start, params_.routed_fraction);
+  const auto pool = static_cast<std::uint64_t>(stubs_.size());
+  if (entry.routed) {
+    entry.stub = static_cast<std::uint32_t>(
+        util::stable_bounded(seed_assign_, block_start, pool));
+  } else {
+    entry.stub = static_cast<std::uint32_t>(
+        util::stable_bounded(seed_dark_prov_, block_start, pool));
+    entry.drop_back = static_cast<std::uint8_t>(
+        util::stable_bounded(seed_dark_back_, block_start, 3));
+    entry.dark_loop = util::stable_chance(seed_dark_loop_, block_start,
+                                          params_.dark_loop_prob);
+  }
+  return entry;
+}
+
+FR_HOT Topology::SuccinctEntry Topology::entry_at(
+    std::uint32_t offset) const noexcept {
+  if (params_.topology_mode == TopologyMode::kSuccinctMaterialized) {
+    return materialized_entries_[offset];
+  }
+  return derive_entry(offset);
 }
 
 void Topology::apply_filtered_tail(const Stub& stub, util::Xoshiro256& rng) {
@@ -265,7 +349,11 @@ FR_HOT bool Topology::prefix_routed(std::uint32_t prefix_index) const noexcept {
       prefix_index > params_.last_prefix()) {
     return false;
   }
-  return prefix_map_[prefix_index - params_.first_prefix] >= 0;
+  const std::uint32_t offset = prefix_index - params_.first_prefix;
+  if (params_.topology_mode == TopologyMode::kMaterialized) {
+    return prefix_map_[offset] >= 0;
+  }
+  return entry_at(offset).routed;
 }
 
 FR_HOT std::uint32_t Topology::appliance_address(
@@ -273,18 +361,24 @@ FR_HOT std::uint32_t Topology::appliance_address(
   return (prefix_index << 8) | kApplianceOctet;
 }
 
-FR_HOT int Topology::spine_length(std::uint32_t stub_id,
-                           std::int64_t epoch) const noexcept {
-  const auto& stub = stubs_[stub_id];
-  int length = stub.spine_base;
+FR_HOT int Topology::spine_length_keyed(int spine_base, std::uint64_t key_id,
+                                        std::int64_t epoch) const noexcept {
+  int length = spine_base;
   const std::uint64_t key =
-      util::hash_combine(stub_id, static_cast<std::uint64_t>(epoch));
+      util::hash_combine(key_id, static_cast<std::uint64_t>(epoch));
   if (util::stable_chance(seed_dyn_, key, params_.route_dynamics_prob)) {
     const bool up = (util::hash_combine(seed_dyn_, key) & 1) != 0;
     length += up ? 1 : -1;
   }
-  return std::clamp(length, 0,
-                    static_cast<int>(stubs_[stub_id].spine_ips.size()));
+  // Upper bound is the fixed Stub::spine_ips capacity.
+  return std::clamp(length, 0, 4);
+}
+
+FR_HOT int Topology::spine_length(std::uint32_t stub_id,
+                           std::int64_t epoch) const noexcept {
+  // Legacy dynamics key: the stub index itself.  Succinct modes key by the
+  // block start instead (templates are shared) — see resolve().
+  return spine_length_keyed(stubs_[stub_id].spine_base, stub_id, epoch);
 }
 
 FR_HOT std::uint8_t Topology::internal_octet(std::uint32_t prefix_index,
@@ -300,10 +394,20 @@ FR_HOT bool Topology::stub_is_responsive(std::uint32_t prefix_index) const noexc
       prefix_index > params_.last_prefix()) {
     return false;
   }
-  const std::int32_t entry = prefix_map_[prefix_index - params_.first_prefix];
-  if (entry < 0) return false;
+  const std::uint32_t offset = prefix_index - params_.first_prefix;
+  if (params_.topology_mode == TopologyMode::kMaterialized) {
+    const std::int32_t entry = prefix_map_[offset];
+    if (entry < 0) return false;
+    return util::stable_chance(util::hash_combine(seed_host_, 0x636c7573),
+                               static_cast<std::uint64_t>(entry),
+                               params_.stub_responsive_prob);
+  }
+  // Succinct modes: responsiveness belongs to the advertised block, not the
+  // shared template, so key on the block start.
+  const SuccinctEntry e = entry_at(offset);
+  if (!e.routed) return false;
   return util::stable_chance(util::hash_combine(seed_host_, 0x636c7573),
-                             static_cast<std::uint64_t>(entry),
+                             static_cast<std::uint64_t>(e.block_key),
                              params_.stub_responsive_prob);
 }
 
@@ -369,18 +473,49 @@ FR_HOT bool Topology::resolve(net::Ipv4Address destination, std::uint64_t flow,
                        std::int64_t epoch, Route& route) const noexcept {
   if (!in_universe(destination)) return false;
   const std::uint32_t prefix = net::prefix24_index(destination);
-  const std::int32_t entry = prefix_map_[prefix - params_.first_prefix];
+  const std::uint32_t offset = prefix - params_.first_prefix;
   route.reset();
 
-  if (entry <= -2) {
+  // Owner extraction: which path template serves this prefix, whether the
+  // block is routed or dark, and the dynamics key.  kMaterialized reads the
+  // per-prefix tables (legacy, bit-identical); succinct modes derive the same
+  // shape from (offset, seeds) with zero per-prefix storage.
+  const Stub* stub_ptr;
+  bool routed;
+  std::uint8_t drop_back = 0;
+  bool dark_loop = false;
+  std::uint64_t dyn_key = 0;
+  if (params_.topology_mode == TopologyMode::kMaterialized) {
+    const std::int32_t entry = prefix_map_[offset];
+    if (entry <= -2) {
+      const DarkBlock& dark =
+          dark_blocks_[static_cast<std::size_t>(-entry - 2)];
+      stub_ptr = &stubs_[dark.provider_stub];
+      routed = false;
+      drop_back = dark.drop_back;
+      dark_loop = dark.loop;
+    } else {
+      stub_ptr = &stubs_[static_cast<std::size_t>(entry)];
+      routed = true;
+      dyn_key = static_cast<std::uint64_t>(entry);
+    }
+  } else {
+    const SuccinctEntry e = entry_at(offset);
+    stub_ptr = &stubs_[e.stub];
+    routed = e.routed;
+    drop_back = e.drop_back;
+    dark_loop = e.dark_loop;
+    dyn_key = e.block_key;
+  }
+
+  if (!routed) {
     // Dark space: the path follows the provider of a nearby stub and dies
     // drop_back hops before that stub's gateway.
-    const DarkBlock& dark = dark_blocks_[static_cast<std::size_t>(-entry - 2)];
-    const Stub& provider = stubs_[dark.provider_stub];
+    const Stub& provider = *stub_ptr;
     const int full = static_cast<int>(provider.path.size());
-    const int drop_at = std::max(1, full - dark.drop_back);
+    const int drop_at = std::max(1, full - drop_back);
     route.num_hops = expand_template(provider, flow, drop_at, route.hops);
-    if (dark.loop && route.num_hops >= 2) {
+    if (dark_loop && route.num_hops >= 2) {
       route.loops = true;
       route.loop_a = route.hops[static_cast<std::size_t>(route.num_hops - 1)];
       route.loop_b = route.hops[static_cast<std::size_t>(route.num_hops - 2)];
@@ -388,7 +523,7 @@ FR_HOT bool Topology::resolve(net::Ipv4Address destination, std::uint64_t flow,
     return true;
   }
 
-  const Stub& stub = stubs_[static_cast<std::size_t>(entry)];
+  const Stub& stub = *stub_ptr;
   const int gateway_pos =
       expand_template(stub, flow, Route::kMaxHops, route.hops);
   if (stub.mbox_reset != 0) {
@@ -404,7 +539,7 @@ FR_HOT bool Topology::resolve(net::Ipv4Address destination, std::uint64_t flow,
     // A NAT-ish middlebox at the gateway rewrites every inbound destination
     // to the segment appliance (§5.3).
     int pos = gateway_pos;
-    const int spine = spine_length(static_cast<std::uint32_t>(entry), epoch);
+    const int spine = spine_length_keyed(stub.spine_base, dyn_key, epoch);
     for (int j = 0; j < spine && pos < Route::kMaxHops; ++j) {
       route.hops[static_cast<std::size_t>(pos++)] = stub.spine_ips[
           static_cast<std::size_t>(j)];
@@ -426,7 +561,7 @@ FR_HOT bool Topology::resolve(net::Ipv4Address destination, std::uint64_t flow,
       // *longer* than the route to the prefix's appliance (§5.1).
       int pos = gateway_pos;
       const int spine =
-          spine_length(static_cast<std::uint32_t>(entry), epoch);
+          spine_length_keyed(stub.spine_base, dyn_key, epoch);
       for (int j = 0; j < spine && pos < Route::kMaxHops; ++j) {
         route.hops[static_cast<std::size_t>(pos++)] =
             stub.spine_ips[static_cast<std::size_t>(j)];
@@ -451,7 +586,7 @@ FR_HOT bool Topology::resolve(net::Ipv4Address destination, std::uint64_t flow,
   }
 
   int pos = gateway_pos;
-  const int spine = spine_length(static_cast<std::uint32_t>(entry), epoch);
+  const int spine = spine_length_keyed(stub.spine_base, dyn_key, epoch);
   for (int j = 0; j < spine && pos < Route::kMaxHops; ++j) {
     route.hops[static_cast<std::size_t>(pos++)] =
         stub.spine_ips[static_cast<std::size_t>(j)];
@@ -506,7 +641,7 @@ std::vector<std::uint32_t> Topology::generate_hitlist() const {
   std::vector<std::uint32_t> hitlist(num_prefixes, 0);
   for (std::uint32_t i = 0; i < num_prefixes; ++i) {
     const std::uint32_t prefix = params_.first_prefix + i;
-    if (prefix_map_[i] < 0) continue;  // census finds nothing in dark space
+    if (!prefix_routed(prefix)) continue;  // census skips dark space
     const double present_prob = stub_is_responsive(prefix)
                                     ? params_.hitlist_present_responsive
                                     : params_.hitlist_present_quiet;

@@ -192,6 +192,17 @@ class Topology {
     bool loop = false;
   };
 
+  /// Per-prefix topology state of the succinct modes, derived statelessly
+  /// from (prefix offset, seeds) — never stored in kSuccinct, expanded into
+  /// `materialized_entries_` in kSuccinctMaterialized.
+  struct SuccinctEntry {
+    std::uint32_t block_key = 0;  ///< first offset of the advertised block
+    std::uint32_t stub = 0;       ///< template index (routed) / provider (dark)
+    std::uint8_t drop_back = 0;
+    bool routed = false;
+    bool dark_loop = false;
+  };
+
   static constexpr std::int32_t kUnmapped = -1;
 
   std::uint32_t alloc_pool_ip() noexcept { return next_pool_ip_++; }
@@ -202,15 +213,27 @@ class Topology {
                                        std::uint64_t flow) const noexcept;
   FR_HOT std::uint8_t internal_octet(std::uint32_t prefix_index,
                                      int level) const noexcept;
+  /// Stateless succinct derivation: superblock-hashed block size, aligned
+  /// block start, routed/dark draw, template assignment — all from the
+  /// derived seeds, O(1) per prefix, no per-prefix storage.
+  FR_HOT SuccinctEntry derive_entry(std::uint32_t offset) const noexcept;
+  /// Mode dispatch: materialized table lookup or on-demand derivation.
+  FR_HOT SuccinctEntry entry_at(std::uint32_t offset) const noexcept;
+  FR_HOT int spine_length_keyed(int spine_base, std::uint64_t key_id,
+                                std::int64_t epoch) const noexcept;
 
   SimParams params_;
   std::uint32_t next_pool_ip_;
 
-  /// Per-prefix mapping: >= 0 stub index; <= -2 dark block index (-(v)-2);
-  /// kUnmapped never occurs after construction.
+  /// Per-prefix mapping (kMaterialized only): >= 0 stub index; <= -2 dark
+  /// block index (-(v)-2); kUnmapped never occurs after construction.
   std::vector<std::int32_t> prefix_map_;
+  /// kMaterialized: one stub per advertised routed block.  Succinct modes:
+  /// the fixed template pool (2^template_pool_bits entries).
   std::vector<Stub> stubs_;
   std::vector<DarkBlock> dark_blocks_;
+  /// kSuccinctMaterialized only: derive_entry() expanded per prefix.
+  std::vector<SuccinctEntry> materialized_entries_;
   /// Interfaces silenced by a filtered stub tail (Fig 6's silent stretches).
   std::unordered_set<std::uint32_t> forced_silent_;
 
@@ -225,6 +248,13 @@ class Topology {
   std::uint64_t seed_loop_;
   std::uint64_t seed_hitlist_;
   std::uint64_t seed_internal_;
+  // Succinct-mode derivation seeds (unused by kMaterialized).
+  std::uint64_t seed_block_;
+  std::uint64_t seed_routed_;
+  std::uint64_t seed_assign_;
+  std::uint64_t seed_dark_prov_;
+  std::uint64_t seed_dark_back_;
+  std::uint64_t seed_dark_loop_;
 };
 
 }  // namespace flashroute::sim

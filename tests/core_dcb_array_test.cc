@@ -42,8 +42,8 @@ TEST(DcbArray, RingIsCircularBothWays) {
   // Forward walk returns to head; backward pointers mirror forward ones.
   std::uint32_t index = array.head();
   for (int i = 0; i < 8; ++i) {
-    const std::uint32_t next = array[index].next_index;
-    EXPECT_EQ(array[next].previous_index, index);
+    const std::uint32_t next = array[index].next_index();
+    EXPECT_EQ(array[next].previous_index(), index);
     index = next;
   }
   EXPECT_EQ(index, array.head());
@@ -138,13 +138,15 @@ TEST(DcbArray, RebuildAfterRemovalRestoresRing) {
 }
 
 TEST(DcbArray, MemoryAccountingMatchesPaper) {
-  // §3.4: ~900 MB for 2^24 DCBs with mutexes; the spinlock variant is the
-  // suggested optimization.  (Small arrays here; the full-size accounting
-  // runs in bench/sec34_memory_footprint.)
+  // §3.4: ~900 MB for 2^24 DCBs with mutexes; the packed layout (host octet
+  // only, 24-bit links, spinlock folded into the flags byte) is the
+  // full-scale variant.  (Small arrays here; the full-size accounting runs
+  // in bench/sec34_memory_footprint.)
   EXPECT_EQ(DcbArray(1000).memory_bytes(), 1000 * sizeof(Dcb));
   EXPECT_EQ(MutexDcbArray(1000).memory_bytes(), 1000 * sizeof(MutexDcb));
-  EXPECT_LT(sizeof(Dcb), sizeof(MutexDcb));
-  EXPECT_LE(sizeof(Dcb), 24u);  // destination + 4 bytes state + links + lock
+  EXPECT_LT(sizeof(Dcb), sizeof(PaddedDcb));
+  EXPECT_LT(sizeof(PaddedDcb), sizeof(MutexDcb));
+  EXPECT_LE(sizeof(Dcb), 12u);  // octet + 3 bytes state + 2x24-bit links + flags
 }
 
 TEST(SpinLock, MutualExclusionUnderContention) {
@@ -167,16 +169,18 @@ TEST(SpinLock, MutualExclusionUnderContention) {
 TEST(Dcb, PaperFieldsPresent) {
   // Listing 1's layout: destination, backward/forward hops, horizon, links.
   Dcb dcb;
-  dcb.destination = 0x01020304;
-  dcb.next_backward_hop = 16;
-  dcb.next_forward_hop = 17;
-  dcb.forward_horizon = 21;
-  dcb.next_index = 1;
-  dcb.previous_index = 2;
-  EXPECT_EQ(dcb.destination, 0x01020304u);
-  EXPECT_EQ(dcb.next_backward_hop, 16);
-  EXPECT_EQ(dcb.next_forward_hop, 17);
-  EXPECT_EQ(dcb.forward_horizon, 21);
+  dcb.set_dest_octet(0x04);
+  dcb.set_next_backward_hop(16);
+  dcb.set_next_forward_hop(17);
+  dcb.set_forward_horizon(21);
+  dcb.set_next_index(1);
+  dcb.set_previous_index(2);
+  EXPECT_EQ(dcb.dest_octet(), 0x04);
+  EXPECT_EQ(dcb.next_backward_hop(), 16);
+  EXPECT_EQ(dcb.next_forward_hop(), 17);
+  EXPECT_EQ(dcb.forward_horizon(), 21);
+  EXPECT_EQ(dcb.next_index(), 1u);
+  EXPECT_EQ(dcb.previous_index(), 2u);
 }
 
 }  // namespace

@@ -1,0 +1,118 @@
+// Tests for the packed full-scale DCB layout (ISSUE 6): the ≤12-byte size
+// budget, 24-bit ring links at sizes straddling 2^16, and the spinlock
+// folded into the flags byte (exercised under TSan in CI).
+
+#include "core/dcb.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/dcb_array.h"
+#include "util/rng.h"
+
+namespace flashroute::core {
+namespace {
+
+static_assert(sizeof(Dcb) <= 12,
+              "packed DCB must stay within the full-scale budget");
+static_assert(sizeof(Dcb) < sizeof(PaddedDcb));
+static_assert(sizeof(PaddedDcb) < sizeof(MutexDcb));
+
+TEST(PackedDcb, LinkAccessorsRoundTrip24Bits) {
+  Dcb dcb;
+  for (const std::uint32_t index :
+       {0u, 1u, 0xFFu, 0x100u, 0xFFFFu, 0x10000u, 0xABCDEFu, 0xFFFFFFu}) {
+    dcb.set_next_index(index);
+    dcb.set_previous_index(0xFFFFFFu - index);
+    EXPECT_EQ(dcb.next_index(), index);
+    EXPECT_EQ(dcb.previous_index(), 0xFFFFFFu - index);
+  }
+}
+
+TEST(PackedDcb, FlagOpsNeverTouchTheLockBit) {
+  Dcb dcb;
+  dcb.lock();
+  dcb.set_flag(Dcb::kDestReached);
+  dcb.set_flag(Dcb::kRemoved);
+  EXPECT_EQ(dcb.flags(), Dcb::kDestReached | Dcb::kRemoved);
+  dcb.store_flags(0xFF);  // must not forge the lock bit either
+  EXPECT_EQ(dcb.flags() & Dcb::kLocked, 0);
+  dcb.retain_flags(Dcb::kRemoved);
+  EXPECT_EQ(dcb.flags(), Dcb::kRemoved);
+  dcb.clear_flag(Dcb::kRemoved);
+  EXPECT_EQ(dcb.flags(), 0);
+  dcb.unlock();  // the lock survived every flag mutation above
+  dcb.lock();    // would deadlock if unlock had been clobbered
+  dcb.unlock();
+}
+
+TEST(PackedDcb, SpinlockInFlagsMutualExclusion) {
+  // The §3.4 contention scenario: sender and receiver threads hammering the
+  // same DCB.  The flag churn rides along to prove lock and flag bits
+  // coexist in the one atomic byte.
+  Dcb dcb;
+  std::uint32_t counter = 0;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&dcb, &counter] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::lock_guard guard(dcb);
+        ++counter;
+        dcb.set_flag(Dcb::kDestReached);
+        dcb.clear_flag(Dcb::kDestReached);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter, 4u * kPerThread);
+  EXPECT_EQ(dcb.flags(), 0);
+}
+
+// Ring integrity fuzz at sizes straddling the 16-bit boundary: 24-bit links
+// must thread, walk, and unlink correctly where 16-bit arithmetic would
+// truncate.
+class PackedRingFuzz : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(PackedRingFuzz, LinkUnlinkKeepsRingConsistent) {
+  const std::uint32_t n = GetParam();
+  DcbArray array(n);
+  const util::RandomPermutation perm(n, /*seed=*/n);
+  array.build_ring(perm, [](std::uint32_t) { return true; });
+  ASSERT_EQ(array.ring_size(), n);
+
+  // Walk the full ring once: every link must round-trip above 2^16.
+  std::uint32_t index = array.head();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t next = array[index].next_index();
+    ASSERT_LT(next, n);
+    ASSERT_EQ(array[next].previous_index(), index);
+    index = next;
+  }
+  ASSERT_EQ(index, array.head());
+
+  // Remove a deterministic pseudo-random half and spot-check consistency.
+  util::Xoshiro256 rng(n * 2654435761u);
+  for (std::uint32_t i = 0; i < n / 2; ++i) {
+    array.remove(static_cast<std::uint32_t>(rng.bounded(n)));
+  }
+  const std::uint32_t remaining = array.ring_size();
+  ASSERT_GT(remaining, 0u);
+  index = array.head();
+  for (std::uint32_t i = 0; i < remaining; ++i) {
+    ASSERT_TRUE(array.in_ring(index));
+    ASSERT_EQ(array[array[index].next_index()].previous_index(), index);
+    index = array.next(index);
+  }
+  ASSERT_EQ(index, array.head());
+}
+
+INSTANTIATE_TEST_SUITE_P(StraddlingSixteenBits, PackedRingFuzz,
+                         ::testing::Values(0xFFFFu, 0x10000u, 0x10001u,
+                                           0x18000u));
+
+}  // namespace
+}  // namespace flashroute::core

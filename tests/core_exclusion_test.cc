@@ -80,6 +80,96 @@ TEST(ExclusionList, Prefix24Overlap) {
   EXPECT_FALSE(list.excludes_prefix24(0x140400)); // 20.4.0.0/24
 }
 
+TEST(ExclusionList, SlashZeroAbsorbsLaterRanges) {
+  // Regression (ISSUE 6): after a saturated range (last == 255.255.255.255)
+  // the merge in normalize() must keep absorbing later ranges, and every
+  // query must stay covered.
+  ExclusionList list;
+  EXPECT_TRUE(list.add_entry("0.0.0.0/0"));
+  EXPECT_TRUE(list.add_entry("1.2.3.0/24"));
+  EXPECT_TRUE(list.add_entry("200.0.0.0/8"));
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("1.2.3.4")));
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("199.9.9.9")));
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("255.255.255.255")));
+  EXPECT_TRUE(list.excludes_prefix24(0x000000));
+  EXPECT_TRUE(list.excludes_prefix24(0xFFFFFF));
+}
+
+TEST(ExclusionList, SaturatedEndStillMergesAdjacent) {
+  // Two ranges meeting exactly at the top of the address space.
+  ExclusionList list;
+  EXPECT_TRUE(list.add_entry("255.255.254.0/24"));
+  EXPECT_TRUE(list.add_entry("255.255.255.0/24"));
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("255.255.254.1")));
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("255.255.255.255")));
+  EXPECT_FALSE(list.contains(*net::Ipv4Address::parse("255.255.253.255")));
+  EXPECT_TRUE(list.excludes_prefix24(0xFFFFFE));
+  EXPECT_TRUE(list.excludes_prefix24(0xFFFFFF));
+  EXPECT_FALSE(list.excludes_prefix24(0xFFFFFD));
+}
+
+TEST(ExclusionList, AdjacentRangesMergeAcrossPrefixBoundary) {
+  // 1.0.0.0/24 + 1.0.1.0/24 are adjacent, not overlapping: they must merge
+  // into one span so the /23 between them reads as fully covered.
+  ExclusionList list;
+  EXPECT_TRUE(list.add_entry("1.0.0.0/24"));
+  EXPECT_TRUE(list.add_entry("1.0.1.0/24"));
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("1.0.0.255")));
+  EXPECT_TRUE(list.contains(*net::Ipv4Address::parse("1.0.1.0")));
+  EXPECT_FALSE(list.contains(*net::Ipv4Address::parse("1.0.2.0")));
+  EXPECT_TRUE(list.excludes_prefix24(0x010000));
+  EXPECT_TRUE(list.excludes_prefix24(0x010001));
+  EXPECT_FALSE(list.excludes_prefix24(0x010002));
+}
+
+TEST(ExclusionList, Slash32AtPrefix24BoundaryExcludesExactlyOneBlock) {
+  // A single host at x.y.z.0 (the /24's first address) must exclude only
+  // its own block, not the neighbour below it.
+  ExclusionList list;
+  EXPECT_TRUE(list.add_entry("9.9.9.0/32"));
+  EXPECT_TRUE(list.excludes_prefix24(0x090909));
+  EXPECT_FALSE(list.excludes_prefix24(0x090908));
+  EXPECT_FALSE(list.excludes_prefix24(0x09090A));
+  // ...and at x.y.z.255 (the /24's last address) likewise.
+  ExclusionList top;
+  EXPECT_TRUE(top.add_entry("9.9.9.255/32"));
+  EXPECT_TRUE(top.excludes_prefix24(0x090909));
+  EXPECT_FALSE(top.excludes_prefix24(0x090908));
+  EXPECT_FALSE(top.excludes_prefix24(0x09090A));
+}
+
+TEST(ExclusionList, ReservedDefaultsMatchProbeExclusions) {
+  // The bogon defaults must agree with net::is_probe_excluded everywhere.
+  ExclusionList list;
+  list.add_reserved_defaults();
+  for (const std::uint32_t value :
+       {0x00000001u, 0x0A000001u, 0x64400001u, 0x7F000001u, 0xA9FE0001u,
+        0xAC100001u, 0xC0A80001u, 0xE0000001u, 0xF0000001u, 0xFFFFFFFFu,
+        0x01020304u, 0x08080808u, 0xCB007101u}) {
+    const net::Ipv4Address address(value);
+    EXPECT_EQ(list.contains(address), net::is_probe_excluded(address))
+        << address.to_string();
+  }
+}
+
+TEST(ExclusionList, BulkBitmapMatchesPerPrefixQueries) {
+  // The trie's one-pass DFS must agree bit-for-bit with excludes_prefix24.
+  ExclusionList list;
+  ASSERT_TRUE(list.add_entry("1.0.3.7"));          // single host
+  ASSERT_TRUE(list.add_entry("1.0.16.0/20"));      // spans 16 /24s
+  ASSERT_TRUE(list.add_entry("1.0.64.0/18"));      // spans 64 /24s
+  ASSERT_TRUE(list.add_entry("0.255.255.0/24"));   // just below the window
+  ASSERT_TRUE(list.add_entry("1.1.0.0/24"));       // just above the window
+  const std::uint32_t first = 0x010000;
+  const std::uint32_t count = 256;
+  std::vector<std::uint64_t> bitmap((count + 63) / 64, 0);
+  list.mark_excluded_prefix24(first, count, bitmap);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const bool bit = ((bitmap[i >> 6] >> (i & 63)) & 1) != 0;
+    EXPECT_EQ(bit, list.excludes_prefix24(first + i)) << i;
+  }
+}
+
 TEST(ExclusionList, LoadWithCommentsAndBlanks) {
   ExclusionList list;
   std::istringstream input(
