@@ -21,6 +21,10 @@
 //   FR_RSS_LIMIT_MB  hard peak-RSS ceiling for the run     (default 1800)
 //   FR_PROBES        pipeline probes per measured pass     (default 2,000,000)
 //   FR_FULL_SCAN     also run a real scan at FR_FULL_BITS  (default 1)
+//   FR_SHARDED_SCAN  also run the sharded scan stage       (default FR_FULL_SCAN)
+//   FR_WORKERS       worker threads for the sharded stage  (default 1)
+//   FR_SCAN_PPS_FLOOR         hard floor on full_scan_pps    (default 0 = off)
+//   FR_SHARDED_PPS_FLOOR      hard floor on sharded_scan_pps (default 0 = off)
 //   FR_SEED          topology seed                         (default 1)
 
 #include <algorithm>
@@ -31,7 +35,10 @@
 #include "bench/common.h"
 #include "core/dcb_array.h"
 #include "core/probe_codec.h"
+#include "core/sharded_tracer.h"
 #include "core/tracer.h"
+#include "obs/cycle_ledger.h"
+#include "sim/runtime.h"
 #include "util/clock.h"
 #include "util/permutation.h"
 
@@ -100,16 +107,19 @@ struct ScanStage {
   std::uint64_t probes = 0;
   double wall_seconds = 0.0;
   std::uint64_t interfaces = 0;
+  double route_cache_hit_rate = 0.0;
+  /// Per-stage cycle attribution (ns/unit), obs/cycle_ledger.h stages.
+  double encode_ns = 0.0;
+  double send_ns = 0.0;
+  double deliver_ns = 0.0;
+  double process_ns = 0.0;
 
   double pps() const {
     return static_cast<double>(probes) / wall_seconds;
   }
 };
 
-/// A real end-to-end scan: DCB ring, Doubletree sets, exclusion bitmap —
-/// everything the engine allocates at scale, with route collection off so
-/// the control state dominates (the paper's configuration).
-ScanStage real_scan(const sim::Topology& topology) {
+core::TracerConfig scan_config(const sim::Topology& topology) {
   core::TracerConfig config;
   config.first_prefix = topology.params().first_prefix;
   config.prefix_bits = topology.params().prefix_bits;
@@ -118,9 +128,34 @@ ScanStage real_scan(const sim::Topology& topology) {
       sim::scaled_probe_rate(100'000.0, topology.params().prefix_bits);
   config.preprobe = core::PreprobeMode::kNone;
   config.collect_routes = false;
+  return config;
+}
+
+double hit_rate(const sim::NetworkStats& stats) {
+  const std::uint64_t lookups =
+      stats.route_cache_hits + stats.route_cache_misses;
+  return lookups == 0 ? 0.0
+                      : static_cast<double>(stats.route_cache_hits) /
+                            static_cast<double>(lookups);
+}
+
+/// A real end-to-end scan: DCB ring, Doubletree sets, exclusion bitmap —
+/// everything the engine allocates at scale, with route collection off so
+/// the control state dominates (the paper's configuration).  Runs the
+/// batched pipeline (the default).  `attribute` attaches the per-stage
+/// cycle ledger — only at the mid stage: the two clock reads per stage per
+/// batch cost ~5% (steady-state batches run 1-2 probes), which doesn't
+/// belong in the throughput-gated full-scale number.
+ScanStage real_scan(const sim::Topology& topology, bool attribute) {
+  core::TracerConfig config = scan_config(topology);
+  obs::CycleLedger cycles;
 
   sim::SimNetwork network(topology);
   sim::SimScanRuntime runtime(network, config.probes_per_second);
+  if (attribute) {
+    config.cycles = &cycles;
+    runtime.set_cycle_ledger(&cycles);
+  }
   core::Tracer tracer(config, runtime);
 
   util::MonotonicClock clock;
@@ -132,6 +167,39 @@ ScanStage real_scan(const sim::Topology& topology) {
   stage.probes = result.probes_sent;
   stage.wall_seconds = static_cast<double>(elapsed) / util::kSecond;
   stage.interfaces = result.interfaces.size();
+  stage.route_cache_hit_rate = hit_rate(network.stats());
+  using Stage = obs::CycleLedger::Stage;
+  stage.encode_ns = cycles.nanos_per_unit(Stage::kEncode);
+  stage.send_ns = cycles.nanos_per_unit(Stage::kSend);
+  stage.deliver_ns = cycles.nanos_per_unit(Stage::kDeliver);
+  stage.process_ns = cycles.nanos_per_unit(Stage::kProcess);
+  return stage;
+}
+
+/// The same full-scale scan through the sharded engine: the universe splits
+/// into 2^3 logical shards, each a virtual-time sub-scan with its own DCB
+/// ring, route cache, and delivery wheel.  Even on one core this buys
+/// per-shard locality (a 2^21-slot working set instead of 2^24); on real
+/// hardware the workers overlap round-barrier waits too.
+ScanStage sharded_scan(const sim::Topology& topology, int workers) {
+  core::ShardedTracerConfig config;
+  config.base = scan_config(topology);
+  config.shard_prefix_bits = topology.params().prefix_bits - 3;
+  config.num_workers = workers;
+
+  sim::SimShardRuntimeProvider provider(topology, config);
+  core::ShardedTracer tracer(config, provider);
+
+  util::MonotonicClock clock;
+  const util::Nanos start = clock.now();
+  const core::ScanResult result = tracer.run();
+  const util::Nanos elapsed = clock.now() - start;
+
+  ScanStage stage;
+  stage.probes = result.probes_sent;
+  stage.wall_seconds = static_cast<double>(elapsed) / util::kSecond;
+  stage.interfaces = result.interfaces.size();
+  stage.route_cache_hit_rate = hit_rate(provider.stats());
   return stage;
 }
 
@@ -145,13 +213,13 @@ struct StageReport {
 
 StageReport run_stage(int bits, std::uint64_t seed,
                       const core::ProbeCodec& codec, std::uint64_t num_probes,
-                      bool with_scan) {
+                      bool with_scan, bool attribute) {
   StageReport report;
   report.bits = bits;
   const sim::Topology topology(world_params(bits, seed));
   report.pipeline = pipeline_pps(topology, codec, num_probes);
   if (with_scan) {
-    report.scan = real_scan(topology);
+    report.scan = real_scan(topology, attribute);
     report.scanned = true;
   }
   report.rss_kb = bench::peak_rss_kb();
@@ -163,12 +231,20 @@ void print_stage(const StageReport& report) {
               report.bits, report.pipeline,
               static_cast<double>(report.rss_kb) / 1024.0);
   if (report.scanned) {
-    std::printf(", scan %.0f probes/s (%llu probes, %llu interfaces)",
+    std::printf(", scan %.0f probes/s (%llu probes, %llu interfaces, "
+                "hit rate %.3f)",
                 report.scan.pps(),
                 static_cast<unsigned long long>(report.scan.probes),
-                static_cast<unsigned long long>(report.scan.interfaces));
+                static_cast<unsigned long long>(report.scan.interfaces),
+                report.scan.route_cache_hit_rate);
   }
   std::printf("\n");
+  if (report.scanned && report.scan.send_ns > 0.0) {
+    std::printf("      cycles/probe: encode %.0f ns, submit %.0f ns "
+                "(process %.0f ns), deliver %.0f ns/resp\n",
+                report.scan.encode_ns, report.scan.send_ns,
+                report.scan.process_ns, report.scan.deliver_ns);
+  }
 }
 
 }  // namespace
@@ -184,6 +260,13 @@ int main() {
   const auto num_probes =
       static_cast<std::uint64_t>(env_int("FR_PROBES", 2'000'000));
   const bool full_scan = env_int("FR_FULL_SCAN", 1) != 0;
+  const bool with_sharded =
+      env_int("FR_SHARDED_SCAN", full_scan ? 1 : 0) != 0;
+  const int workers = env_int("FR_WORKERS", 1);
+  const double scan_pps_floor =
+      static_cast<double>(env_int("FR_SCAN_PPS_FLOOR", 0));
+  const double sharded_pps_floor =
+      static_cast<double>(env_int("FR_SHARDED_PPS_FLOOR", 0));
   const auto seed = static_cast<std::uint64_t>(env_int("FR_SEED", 1));
 
   std::printf("=== full scale: RSS and throughput up to 2^%d prefixes ===\n",
@@ -198,14 +281,29 @@ int main() {
   // Smallest first: VmHWM only ever grows, so each stage's reading is the
   // high-water mark up to and including that stage.
   const StageReport base = run_stage(base_bits, seed, codec, num_probes,
-                                     /*with_scan=*/false);
+                                     /*with_scan=*/false, /*attribute=*/false);
   print_stage(base);
   const StageReport mid = run_stage(mid_bits, seed, codec, num_probes,
-                                    /*with_scan=*/true);
+                                    /*with_scan=*/true, /*attribute=*/true);
   print_stage(mid);
   const StageReport full = run_stage(full_bits, seed, codec, num_probes,
-                                     /*with_scan=*/full_scan);
+                                     /*with_scan=*/full_scan,
+                                     /*attribute=*/false);
   print_stage(full);
+
+  // The sharded engine over the same universe: identical probes per shard
+  // decomposition, aggregated probes/sec across workers.
+  ScanStage sharded;
+  if (with_sharded) {
+    const sim::Topology topology(world_params(full_bits, seed));
+    sharded = sharded_scan(topology, workers);
+    std::printf("2^%-2d sharded  : scan %.0f probes/s (%llu probes, %llu "
+                "interfaces, hit rate %.3f, %d workers)\n",
+                full_bits, sharded.pps(),
+                static_cast<unsigned long long>(sharded.probes),
+                static_cast<unsigned long long>(sharded.interfaces),
+                sharded.route_cache_hit_rate, workers);
+  }
 
   // The §3.4 control state itself, allocated for real at full scale.
   const std::uint64_t slots = std::uint64_t{1} << full_bits;
@@ -254,6 +352,16 @@ int main() {
       "  \"full_scan\": %s,\n"
       "  \"full_scan_pps\": %.1f,\n"
       "  \"full_scan_probes\": %llu,\n"
+      "  \"full_scan_route_cache_hit_rate\": %.4f,\n"
+      "  \"mid_scan_cycles_ns\": {\"encode\": %.1f, \"submit\": %.1f, "
+      "\"process\": %.1f, \"deliver\": %.1f},\n"
+      "  \"sharded_scan\": %s,\n"
+      "  \"sharded_scan_pps\": %.1f,\n"
+      "  \"sharded_scan_probes\": %llu,\n"
+      "  \"sharded_scan_route_cache_hit_rate\": %.4f,\n"
+      "  \"sharded_workers\": %d,\n"
+      "  \"scan_pps_floor\": %.1f,\n"
+      "  \"sharded_pps_floor\": %.1f,\n"
       "  \"dcb_bytes_per_slot\": %zu,\n"
       "  \"dcb_array_mib\": %.1f,\n"
       "  \"peak_rss_kb\": %llu,\n"
@@ -269,19 +377,47 @@ int main() {
       full.pipeline, full.scanned ? "true" : "false",
       full.scanned ? full.scan.pps() : 0.0,
       static_cast<unsigned long long>(full.scanned ? full.scan.probes : 0),
-      sizeof(core::Dcb),
+      full.scanned ? full.scan.route_cache_hit_rate : 0.0,
+      mid.scan.encode_ns, mid.scan.send_ns, mid.scan.process_ns,
+      mid.scan.deliver_ns,
+      with_sharded ? "true" : "false", with_sharded ? sharded.pps() : 0.0,
+      static_cast<unsigned long long>(with_sharded ? sharded.probes : 0),
+      with_sharded ? sharded.route_cache_hit_rate : 0.0, workers,
+      scan_pps_floor, sharded_pps_floor, sizeof(core::Dcb),
       static_cast<double>(array.memory_bytes()) / (1024.0 * 1024.0),
       static_cast<unsigned long long>(final_rss_kb), rss_limit_mb,
       rss_ok ? "true" : "false");
   std::fclose(out);
   std::printf("wrote %s\n", path);
 
+  bool ok = true;
   if (!rss_ok) {
     std::fprintf(stderr,
                  "FAIL: peak RSS %.1f MiB exceeds the %d MiB ceiling\n",
                  static_cast<double>(final_rss_kb) / 1024.0, rss_limit_mb);
-    return 1;
+    ok = false;
+  } else {
+    std::printf("PASS: peak RSS under the %d MiB ceiling\n", rss_limit_mb);
   }
-  std::printf("PASS: peak RSS under the %d MiB ceiling\n", rss_limit_mb);
-  return 0;
+  if (full.scanned && scan_pps_floor > 0.0) {
+    if (full.scan.pps() < scan_pps_floor) {
+      std::fprintf(stderr, "FAIL: full_scan_pps %.0f below floor %.0f\n",
+                   full.scan.pps(), scan_pps_floor);
+      ok = false;
+    } else {
+      std::printf("PASS: full_scan_pps %.0f over floor %.0f\n",
+                  full.scan.pps(), scan_pps_floor);
+    }
+  }
+  if (with_sharded && sharded_pps_floor > 0.0) {
+    if (sharded.pps() < sharded_pps_floor) {
+      std::fprintf(stderr, "FAIL: sharded_scan_pps %.0f below floor %.0f\n",
+                   sharded.pps(), sharded_pps_floor);
+      ok = false;
+    } else {
+      std::printf("PASS: sharded_scan_pps %.0f over floor %.0f\n",
+                  sharded.pps(), sharded_pps_floor);
+    }
+  }
+  return ok ? 0 : 1;
 }

@@ -60,6 +60,13 @@ struct ScamperConfig {
   std::uint64_t target_seed = 42;
   bool collect_routes = true;
   bool collect_probe_log = false;
+
+  /// Accepted for API symmetry with Tracer/Yarrp (DESIGN.md §11) but a
+  /// no-op: Scamper's state machine has at most one outstanding probe per
+  /// destination and every send is gated on the previous response or
+  /// timeout, so there is never a second probe to gather into a batch.
+  /// The engine always runs the scalar cadence regardless of this flag.
+  bool batch_probes = true;
   const std::vector<std::uint32_t>* target_override = nullptr;
 
   /// Scan telemetry (DESIGN.md §7); default-disabled.  Scamper's windowed

@@ -1,6 +1,7 @@
 #include "baselines/yarrp.h"
 
 #include <array>
+#include <bit>
 
 #include "core/targets.h"
 #include "net/checksum.h"
@@ -55,6 +56,51 @@ void Yarrp::send_probe(std::uint32_t destination, std::uint8_t ttl) {
   }
 }
 
+// Template-encodes one probe into the gather batch.  The encode timestamp
+// is send_time_of(k) — the instant a scalar loop's pre-send now() would
+// read for the k-th staged probe — so batched packets are byte-identical
+// to their scalar twins; the telemetry tick is replayed at flush with the
+// post-send instant send_time_of(k+1), matching the scalar stream.
+void Yarrp::stage_probe(std::uint32_t destination, std::uint8_t ttl) {
+  const std::uint32_t k = batch_.count();
+  std::size_t size = 0;
+  if (config_.probe_type == YarrpConfig::ProbeType::kTcpAck) {
+    size = codec_.encode_tcp(net::Ipv4Address(destination), ttl,
+                             runtime_.send_time_of(k), batch_.slot());
+  } else {
+    size = codec_.encode_udp(net::Ipv4Address(destination), ttl,
+                             /*preprobe=*/false, runtime_.send_time_of(k),
+                             batch_.slot());
+  }
+  if (size == 0) return;
+  batch_ticks_[k] = runtime_.send_time_of(k + 1);
+  batch_.commit(size);
+}
+
+// Submits the gathered block, replays the per-probe bookkeeping a scalar
+// loop would have interleaved (counters and telemetry ticks in send order),
+// and drains the responses that came due across the block.  The batch
+// budget guarantees every drain a scalar loop would have run between these
+// probes was empty, so the replayed stream is byte-identical.
+void Yarrp::flush_batch() {
+  if (batch_.empty()) return;
+  const std::uint64_t ok = runtime_.try_send_batch(batch_);
+  const obs::ScanTelemetry& tel = config_.telemetry;
+  const auto sent = static_cast<std::uint64_t>(std::popcount(ok));
+  result_.probes_sent += sent;
+  result_.send_failures += batch_.count() - sent;
+  for (std::uint32_t k = 0; k < batch_.count(); ++k) {
+    if ((ok >> k) & 1) {
+      tel.count(tel.ids.probes_sent);
+    } else if (tel.ids.resilience) {
+      tel.count(tel.ids.send_failures);
+    }
+    if (tel.tracer != nullptr) tel.tick(batch_ticks_[k]);
+  }
+  batch_.clear();
+  runtime_.drain_batch(sink_);
+}
+
 core::ScanResult Yarrp::run() {
   const std::uint32_t n = config_.num_prefixes();
   result_ = core::ScanResult{};
@@ -67,6 +113,12 @@ core::ScanResult Yarrp::run() {
 
   const util::Nanos start = runtime_.now();
   config_.telemetry.begin_phase(obs::ScanPhase::kMain, start);
+
+  // Pure stateless mode batches; fill mode and neighborhood protection
+  // consume response feedback mid-walk, so they keep the scalar cadence.
+  batch_mode_ = config_.batch_probes && config_.protected_hops == 0 &&
+                !config_.fill_mode && !config_.collect_probe_log;
+  batch_.clear();
 
   // The ZMap-inspired walk: a keyed bijection over every (prefix, TTL)
   // combination, generated on the fly — no target list in memory (§2).
@@ -83,6 +135,17 @@ core::ScanResult Yarrp::run() {
     const std::uint32_t destination = target_of(prefix_offset);
     if (net::is_probe_excluded(net::Ipv4Address(destination))) continue;
 
+    if (batch_mode_) {
+      // Yarrp drains after every probe, so the flush threshold is exactly
+      // the runtime's budget: every scalar drain the batch skips is
+      // provably empty (no pending arrival, no intra-batch response can
+      // come due inside the window).
+      if (!batch_.empty() && batch_.count() >= batch_budget_) flush_batch();
+      if (batch_.empty()) batch_budget_ = runtime_.batch_budget();
+      stage_probe(destination, ttl);
+      continue;
+    }
+
     if (config_.protected_hops > 0 && ttl <= config_.protected_hops &&
         runtime_.now() - last_new_interface_[ttl] >
             config_.protection_window) {
@@ -93,6 +156,7 @@ core::ScanResult Yarrp::run() {
     runtime_.drain(sink_);
     flush_fill_queue();
   }
+  if (batch_mode_) flush_batch();
 
   // Let the tail of responses land (and drive any remaining fill chains).
   for (int grace = 0; grace < 3; ++grace) {

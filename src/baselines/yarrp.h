@@ -19,6 +19,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "core/runtime.h"
 #include "net/ipv4.h"
 #include "obs/scan_metrics.h"
+#include "util/annotations.h"
 
 namespace flashroute::baselines {
 
@@ -55,6 +57,14 @@ struct YarrpConfig {
   std::uint64_t target_seed = 42;
   bool collect_routes = true;
   bool collect_probe_log = false;
+
+  /// Gather probes into ProbeBatch blocks and submit through
+  /// ScanRuntime::try_send_batch (DESIGN.md §11).  Only Yarrp's pure
+  /// stateless mode batches — fill mode and neighborhood protection feed
+  /// responses back into the walk, so those configurations stay scalar and
+  /// the flag is ignored.  Batched walks are byte-identical to scalar
+  /// same-seed walks (same packets, same telemetry stream).
+  bool batch_probes = true;
   const std::vector<std::uint32_t>* target_override = nullptr;
 
   /// Scan telemetry (DESIGN.md §7); default-disabled.  Yarrp is a
@@ -80,6 +90,8 @@ class Yarrp {
 
   std::uint32_t target_of(std::uint32_t prefix_offset) const noexcept;
   void send_probe(std::uint32_t destination, std::uint8_t ttl);
+  FR_HOT void stage_probe(std::uint32_t destination, std::uint8_t ttl);
+  FR_HOT void flush_batch();
   void on_packet(std::span<const std::byte> packet, util::Nanos arrival);
   void flush_fill_queue();
 
@@ -92,6 +104,11 @@ class Yarrp {
   /// last time a *new* interface appeared at hop h (1-based, protection).
   std::vector<util::Nanos> last_new_interface_;
   std::vector<bool> dest_done_;  ///< target answered (stops fill chains)
+  /// Batched-submit state (pure mode only; see YarrpConfig::batch_probes).
+  core::ProbeBatch batch_;
+  std::array<util::Nanos, core::ProbeBatch::kMaxPackets> batch_ticks_{};
+  std::uint32_t batch_budget_ = 1;
+  bool batch_mode_ = false;
 };
 
 }  // namespace flashroute::baselines

@@ -18,7 +18,9 @@
 
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 
@@ -26,6 +28,45 @@
 #include "util/clock.h"
 
 namespace flashroute::core {
+
+/// A block of encoded probes submitted in one runtime call — the sim-side
+/// analogue of a sendmmsg() iovec array.  Packets live in a fixed-stride
+/// reusable buffer owned by the batch, so a gather loop can template-encode
+/// directly into `slot(i)` without per-probe allocation; `commit(i, size)`
+/// records the encoded length and advances `count`.
+class ProbeBatch {
+ public:
+  static constexpr std::uint32_t kMaxPackets = 64;
+  static constexpr std::size_t kStride = 96;
+
+  FR_HOT std::uint32_t count() const noexcept { return count_; }
+  FR_HOT bool empty() const noexcept { return count_ == 0; }
+  FR_HOT bool full() const noexcept { return count_ == kMaxPackets; }
+  FR_HOT void clear() noexcept { count_ = 0; }
+
+  /// Writable backing slot for the next packet to encode.  Valid while
+  /// count() < kMaxPackets.
+  FR_HOT std::span<std::byte, kStride> slot() noexcept {
+    return std::span<std::byte, kStride>(bytes_.data() + count_ * kStride,
+                                         kStride);
+  }
+
+  /// Seals the packet just encoded into slot() at `size` bytes.
+  FR_HOT void commit(std::size_t size) noexcept {
+    sizes_[count_] = static_cast<std::uint16_t>(size);
+    ++count_;
+  }
+
+  /// i-th committed packet, as the runtime sees it on submit.
+  FR_HOT std::span<const std::byte> packet(std::uint32_t i) const noexcept {
+    return {bytes_.data() + i * kStride, sizes_[i]};
+  }
+
+ private:
+  alignas(64) std::array<std::byte, kMaxPackets * kStride> bytes_;
+  std::array<std::uint16_t, kMaxPackets> sizes_{};
+  std::uint32_t count_ = 0;
+};
 
 class ScanRuntime {
  public:
@@ -53,6 +94,40 @@ class ScanRuntime {
   /// rather than surfaced per call.
   FR_HOT void send(std::span<const std::byte> packet) {
     if (!try_send(packet)) ++send_failures_;
+  }
+
+  /// Submits a whole batch of encoded probes, consuming one pacing slot per
+  /// packet (the real-world analogue is sendmmsg).  Returns a bitmask with
+  /// bit k set when packet k transmitted; callers tally failures from the
+  /// mask.  The default is a compat shim that loops try_send, so scalar-only
+  /// runtimes participate in the batch protocol unchanged.
+  [[nodiscard]] FR_HOT virtual std::uint64_t try_send_batch(
+      const ProbeBatch& batch) {
+    std::uint64_t ok = 0;
+    for (std::uint32_t k = 0; k < batch.count(); ++k) {
+      if (try_send(batch.packet(k))) ok |= std::uint64_t{1} << k;
+    }
+    return ok;
+  }
+
+  /// Delivers every response available after a batch submit (recvmmsg
+  /// analogue).  Default: plain drain.
+  FR_HOT virtual void drain_batch(const Sink& sink) { drain(sink); }
+
+  /// How many probes the engine may gather before the next submit without
+  /// changing observable behaviour versus scalar sends.  Real-time runtimes
+  /// return kMaxPackets; the deterministic sim runtime bounds this by the
+  /// first pending response so batched scans stay byte-identical to scalar
+  /// same-seed scans.  Default 1 keeps unaware runtimes effectively scalar.
+  FR_HOT virtual std::uint32_t batch_budget() const noexcept { return 1; }
+
+  /// The timestamp the k-th packet (0-based) of the *next* batch submit will
+  /// carry as its send time — what a scalar loop would have read from now()
+  /// when encoding that probe.  Virtual-time runtimes advance the clock one
+  /// probe slot per packet, so this is now() + k * interval; real-time
+  /// runtimes just return now().
+  FR_HOT virtual util::Nanos send_time_of(std::uint32_t /*k*/) const noexcept {
+    return now();
   }
 
   /// Adjusts the pacing rate mid-scan (the Tracer's adaptive backoff).
@@ -95,6 +170,15 @@ class NullRuntime final : public ScanRuntime {
   [[nodiscard]] FR_HOT bool try_send(std::span<const std::byte>) override {
     ++packets_sent_;
     return true;
+  }
+  [[nodiscard]] FR_HOT std::uint64_t try_send_batch(
+      const ProbeBatch& batch) override {
+    packets_sent_ += batch.count();
+    return batch.count() == 64 ? ~std::uint64_t{0}
+                               : (std::uint64_t{1} << batch.count()) - 1;
+  }
+  FR_HOT std::uint32_t batch_budget() const noexcept override {
+    return ProbeBatch::kMaxPackets;
   }
   FR_HOT void drain(const Sink&) override {}
   FR_HOT void idle_until(util::Nanos, const Sink&) override {}

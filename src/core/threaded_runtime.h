@@ -115,6 +115,32 @@ class ThreadedRuntime final : public ScanRuntime {
     return true;
   }
 
+  /// Batched submit (the sendmmsg analogue): one virtual call pushes the
+  /// whole block through the throttle and onto the wire.  Each packet still
+  /// consumes its own pacing token, so a batch respects the same rate
+  /// budget as a scalar loop.
+  [[nodiscard]] FR_HOT std::uint64_t try_send_batch(
+      const ProbeBatch& batch) override {
+    std::uint64_t ok = 0;
+    for (std::uint32_t k = 0; k < batch.count(); ++k) {
+      while (!throttle_.try_consume(clock_.now())) {
+        std::this_thread::yield();
+      }
+      if (wire_.try_transmit(batch.packet(k))) {
+        ok |= std::uint64_t{1} << k;
+        ++packets_sent_;
+      }
+    }
+    return ok;
+  }
+
+  /// Real-time responses park in the receive ring until the engine drains
+  /// them, whatever the batch size — a full batch only coarsens the drain
+  /// cadence, which the ring's depth absorbs.
+  FR_HOT std::uint32_t batch_budget() const noexcept override {
+    return ProbeBatch::kMaxPackets;
+  }
+
   /// Adaptive-backoff hook: called from the engine thread (the only thread
   /// touching the throttle), settles accrued tokens before switching.
   void set_rate(double probes_per_second) override {
@@ -257,6 +283,27 @@ class ShardedThreadedRuntime final : public ShardRuntimeProvider {
       if (!owner_.wire_.try_transmit(packet)) return false;
       ++packets_sent_;
       return true;
+    }
+
+    /// Batched submit, same contract as ThreadedRuntime::try_send_batch:
+    /// per-packet pacing tokens, one virtual call per block.
+    [[nodiscard]] FR_HOT std::uint64_t try_send_batch(
+        const ProbeBatch& batch) override {
+      std::uint64_t ok = 0;
+      for (std::uint32_t k = 0; k < batch.count(); ++k) {
+        while (!throttle_.try_consume(owner_.clock_.now())) {
+          std::this_thread::yield();
+        }
+        if (owner_.wire_.try_transmit(batch.packet(k))) {
+          ok |= std::uint64_t{1} << k;
+          ++packets_sent_;
+        }
+      }
+      return ok;
+    }
+
+    FR_HOT std::uint32_t batch_budget() const noexcept override {
+      return ProbeBatch::kMaxPackets;
     }
 
     // set_rate stays the base-class no-op here: this throttle paces the sum

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <bit>
 #include <mutex>
 
 #include "core/targets.h"
@@ -186,6 +187,63 @@ FR_HOT void Tracer::send_probe(const ProbeCodec& codec, std::uint32_t index,
   }
 }
 
+FR_HOT void Tracer::stage_probe(const ProbeCodec& codec,
+                                std::uint32_t destination, std::uint8_t ttl,
+                                bool preprobe_flag) {
+  // Scalar ordering: probe k of a batch is encoded at now() + k slots
+  // (before its send) and its post-send telemetry tick reads
+  // now() + (k + 1) slots.  send_time_of reproduces both instants while
+  // the clock still sits at the gather point.
+  const std::uint32_t k = batch_.count();
+  if (config_.cycles != nullptr && batch_.empty()) {
+    batch_gather_start_ = cycle_clock_.now();
+  }
+  const std::size_t size =
+      codec.encode_udp(net::Ipv4Address(destination), ttl, preprobe_flag,
+                       runtime_.send_time_of(k), batch_.slot());
+  if (size == 0) return;
+  batch_ticks_[k] = runtime_.send_time_of(k + 1);
+  batch_.commit(size);
+}
+
+FR_HOT void Tracer::flush_batch() {
+  if (batch_.empty()) return;
+  const obs::ScanTelemetry& tel = config_.telemetry;
+  obs::CycleLedger* cycles = config_.cycles;
+  util::Nanos submit_start = 0;
+  if (cycles != nullptr) {
+    submit_start = cycle_clock_.now();
+    cycles->add(obs::CycleLedger::kEncode, submit_start - batch_gather_start_,
+                batch_.count());
+  }
+  const std::uint64_t ok = runtime_.try_send_batch(batch_);
+  if (cycles != nullptr) {
+    cycles->add(obs::CycleLedger::kSend, cycle_clock_.now() - submit_start,
+                batch_.count());
+  }
+  const auto sent = static_cast<std::uint32_t>(std::popcount(ok));
+  result_.probes_sent += sent;
+  result_.send_failures += batch_.count() - sent;
+  for (std::uint32_t k = 0; k < batch_.count(); ++k) {
+    if (((ok >> k) & 1) != 0) {
+      tel.count(tel.ids.probes_sent);
+    } else if (tel.ids.resilience) {
+      tel.count(tel.ids.send_failures);
+    }
+    if (tel.tracer != nullptr) tel.tick(batch_ticks_[k]);
+  }
+  const std::uint32_t delivered_before = batch_.count();
+  batch_.clear();
+  if (cycles != nullptr) {
+    const util::Nanos deliver_start = cycle_clock_.now();
+    runtime_.drain_batch(sink_);
+    cycles->add(obs::CycleLedger::kDeliver, cycle_clock_.now() - deliver_start,
+                delivered_before);
+  } else {
+    runtime_.drain_batch(sink_);
+  }
+}
+
 FR_HOT void Tracer::process_retransmits() {
   if (!retransmit_active_ || wheel_.empty()) return;
   wheel_.expire_due(runtime_.now(), [this](const Outstanding& probe) {
@@ -301,6 +359,13 @@ FR_HOT void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
   retransmit_active_ = hop_flags == 0 && resilience_enabled();
   round_probes_ = 0;
   round_loss_events_ = 0;
+  // Batched sending covers the pure hot path only: retransmission tracking
+  // and the probe log need per-probe bookkeeping at send time, so they keep
+  // the scalar loop.  The budget handshake with the runtime keeps batched
+  // output byte-identical to the scalar path (see flush_batch).
+  batch_mode_ = config_.batch_probes && !retransmit_active_ &&
+                !config_.collect_probe_log;
+  batch_.clear();
 
   while (dcbs_.ring_size() > 0) {
     const util::Nanos round_start = runtime_.now();
@@ -310,6 +375,20 @@ FR_HOT void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
     for (std::uint32_t i = 0; i < count; ++i) {
       const std::uint32_t next = dcbs_.next(current);
       Dcb& dcb = dcbs_[current];
+
+      if (batch_mode_ && !batch_.empty() &&
+          (batch_.count() >= batch_budget_ ||
+           batch_.count() + 2 > ProbeBatch::kMaxPackets)) {
+        // Destination-granular flush: a scalar loop never drains between
+        // the two probes of one destination, so a batch may always finish
+        // the destination it started — but must flush before opening a new
+        // one once the budget (or the buffer) is spent.  The flush must
+        // come *before* this destination's DCB decision: scalar drains at
+        // the end of every destination's sends, so its decisions always
+        // see every response due by now — including stragglers addressed
+        // to the destination about to be decided.
+        flush_batch();
+      }
 
       std::uint8_t backward_ttl = 0;
       std::uint8_t forward_ttl = 0;
@@ -363,6 +442,18 @@ FR_HOT void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
         current = next;
         continue;
       }
+      if (batch_mode_) {
+        if (batch_.empty()) batch_budget_ = runtime_.batch_budget();
+        if (backward_ttl != 0) {
+          stage_probe(codec, destination_of(current), backward_ttl,
+                      flag_first_round && first_round);
+        }
+        if (forward_ttl != 0) {
+          stage_probe(codec, destination_of(current), forward_ttl, false);
+        }
+        current = next;
+        continue;
+      }
       if (backward_ttl != 0) {
         send_probe(codec, current, destination_of(current), backward_ttl,
                    flag_first_round && first_round);
@@ -375,6 +466,7 @@ FR_HOT void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
       process_retransmits();
       current = next;
     }
+    if (batch_mode_) flush_batch();
 
     const util::Nanos barrier = round_start + config_.min_round_duration;
     if (runtime_.now() < barrier) {

@@ -26,6 +26,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -37,6 +38,7 @@
 #include "core/runtime.h"
 #include "io/checkpoint.h"
 #include "net/ipv4.h"
+#include "obs/cycle_ledger.h"
 #include "obs/scan_metrics.h"
 #include "util/annotations.h"
 #include "util/timing_wheel.h"
@@ -106,6 +108,20 @@ struct TracerConfig {
 
   bool collect_routes = true;
   bool collect_probe_log = false;
+
+  /// Batched sending (sendmmsg-style): the main-phase loop gathers a block
+  /// of due destinations from the DCB ring, template-encodes them into a
+  /// reusable ProbeBatch, and submits them in one runtime call, draining
+  /// responses at batch rather than destination granularity.  The runtime's
+  /// batch_budget() bounds each batch so batched scans stay byte-identical
+  /// to scalar same-seed scans; the engine falls back to scalar sending
+  /// whenever a per-probe feature needs it (retransmission tracking, the
+  /// probe log).  Off forces the scalar path everywhere.
+  bool batch_probes = true;
+
+  /// Per-stage cycle attribution (DESIGN.md §11); null = no attribution,
+  /// one branch per batch.  Must outlive the scan.
+  obs::CycleLedger* cycles = nullptr;
 
   /// Hitlist addresses per prefix offset (0 = no entry); required when
   /// preprobe == kHitlist.  Prefixes without entries fall back to the main
@@ -197,6 +213,13 @@ class Tracer {
   FR_HOT void send_probe(const ProbeCodec& codec, std::uint32_t index,
                          std::uint32_t destination, std::uint8_t ttl,
                          bool preprobe_flag);
+  /// Template-encodes one probe into the batch buffer, stamped with the
+  /// exact virtual instant a scalar loop would have used.
+  FR_HOT void stage_probe(const ProbeCodec& codec, std::uint32_t destination,
+                          std::uint8_t ttl, bool preprobe_flag);
+  /// Submits the staged batch, tallies successes/failures from the result
+  /// mask, replays the per-probe telemetry ticks, and drains responses.
+  FR_HOT void flush_batch();
   FR_HOT void process_retransmits();
   FR_HOT void drain_wheel();
   FR_HOT bool resilience_enabled() const noexcept {
@@ -236,6 +259,22 @@ class Tracer {
   ScanRuntime::Sink sink_;
   std::uint8_t current_hop_flags_ = 0;
   std::uint64_t target_seed_;
+
+  // --- Batched sending state ----------------------------------------------
+  /// Reusable gather buffer for the batched main-phase sending loop.
+  ProbeBatch batch_;
+  /// Post-send telemetry tick instant per staged packet (what a scalar
+  /// loop's runtime_.now() would have read after that send).
+  std::array<util::Nanos, ProbeBatch::kMaxPackets> batch_ticks_{};
+  /// Probe allowance of the current batch, from runtime_.batch_budget().
+  std::uint32_t batch_budget_ = 1;
+  /// True while main_rounds may gather (batch_probes on, no per-probe
+  /// feature active).
+  bool batch_mode_ = false;
+  /// Cycle attribution: monotonic instant the current batch began
+  /// gathering (kEncode spans gather start to submit).
+  util::Nanos batch_gather_start_ = 0;
+  util::MonotonicClock cycle_clock_;
   /// Bit per prefix offset: set = the operator exclusion list covers part of
   /// this /24.  Filled once per scan by the trie's bulk pass, so ring
   /// construction pays O(1) per prefix instead of a range query each.

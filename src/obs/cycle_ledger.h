@@ -1,0 +1,83 @@
+// Per-stage cycle attribution for the batched probe pipeline.
+//
+// The full-scale bench showed a ~10x gap between the process-pipeline
+// microbenchmark and the end-to-end scan; closing it requires knowing where
+// each probe's cycle budget goes, not guessing.  The ledger splits the
+// batched pipeline into its four stages — gather/encode, batch submit,
+// response delivery, and the sim network's per-probe processing — and
+// accumulates wall time per stage at *batch* granularity: two
+// MonotonicClock reads bracket a whole up-to-64-probe stage, so attribution
+// costs a couple of nanoseconds per probe.  A null ledger pointer (the
+// default everywhere) reduces every hook to one branch.
+//
+// Counters are relaxed atomics so the sharded engine's workers can share a
+// single ledger; totals are read after the scan joins its workers.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "util/annotations.h"
+#include "util/clock.h"
+
+namespace flashroute::obs {
+
+class CycleLedger {
+ public:
+  enum Stage : int {
+    /// DCB-ring gather + template-encode into the reusable batch buffer.
+    kEncode = 0,
+    /// try_send_batch, end to end.  When the sim runtime also attributes
+    /// kProcess, this stage *includes* that time — report send-only cost as
+    /// kSend minus kProcess.
+    kSend = 1,
+    /// drain_batch: delivery-structure expiry plus sink dispatch.
+    kDeliver = 2,
+    /// SimNetwork::process_batch — route resolution, silence draws, and
+    /// response synthesis (sim runtimes only).
+    kProcess = 3,
+    kStages = 4,
+  };
+
+  FR_HOT void add(Stage stage, util::Nanos elapsed,
+                  std::uint64_t units) noexcept {
+    const auto i = static_cast<std::size_t>(stage);
+    nanos_[i].fetch_add(static_cast<std::uint64_t>(elapsed),
+                        std::memory_order_relaxed);
+    units_[i].fetch_add(units, std::memory_order_relaxed);
+  }
+
+  std::uint64_t nanos(Stage stage) const noexcept {
+    return nanos_[static_cast<std::size_t>(stage)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Probes (kEncode/kSend/kProcess) or delivered responses (kDeliver)
+  /// attributed to the stage.
+  std::uint64_t units(Stage stage) const noexcept {
+    return units_[static_cast<std::size_t>(stage)].load(
+        std::memory_order_relaxed);
+  }
+
+  double nanos_per_unit(Stage stage) const noexcept {
+    const std::uint64_t n = units(stage);
+    return n == 0 ? 0.0
+                  : static_cast<double>(nanos(stage)) / static_cast<double>(n);
+  }
+
+  void reset() noexcept {
+    for (auto& c : nanos_) c.store(0, std::memory_order_relaxed);
+    for (auto& c : units_) c.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // fr-atomic: relaxed per-stage accumulators shared by sharded workers;
+  // totals read after the scan joins.
+  std::array<std::atomic<std::uint64_t>, kStages> nanos_{};
+  // fr-atomic: relaxed per-stage unit counts, same discipline as nanos_.
+  std::array<std::atomic<std::uint64_t>, kStages> units_{};
+};
+
+}  // namespace flashroute::obs

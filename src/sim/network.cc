@@ -1,5 +1,7 @@
 #include "sim/network.h"
 
+#include <cstring>
+
 #include "net/checksum.h"
 #include "net/headers.h"
 #include "net/packet.h"
@@ -136,9 +138,9 @@ FR_HOT std::optional<ProcessedResponse> SimNetwork::process_into(
   const std::int64_t epoch = current_epoch_;
 
   const Route* route;
-  const RouteSilence* silence;
+  RouteSilence* silence;
   if (route_cache_) {
-    const RouteCache::Entry* entry =
+    RouteCache::Entry* entry =
         route_cache_->find(dst_address, flow, epoch, protocol);
     if (entry != nullptr) {
       ++stats_.route_cache_hits;
@@ -158,7 +160,7 @@ FR_HOT std::optional<ProcessedResponse> SimNetwork::process_into(
       ++stats_.out_of_universe;
       return std::nullopt;
     }
-    topology_.annotate_silence(scratch_route_, protocol, scratch_silence_);
+    scratch_silence_.reset_lazy();
     route = &scratch_route_;
     silence = &scratch_silence_;
   }
@@ -203,13 +205,7 @@ FR_HOT std::optional<ProcessedResponse> SimNetwork::process_into(
   }
 
   if (expire_pos != 0) {
-    const bool hop_silent =
-        expire_pos <= route->num_hops
-            ? ((silence->hop_silent >> (expire_pos - 1)) & 1) != 0
-            : ((expire_pos - route->num_hops) % 2 == 1
-                   ? silence->loop_a_silent
-                   : silence->loop_b_silent);
-    if (hop_silent) {
+    if (topology_.hop_silent_at(*route, expire_pos, protocol, *silence)) {
       ++stats_.silent_interface;
       return std::nullopt;
     }
@@ -232,7 +228,7 @@ FR_HOT std::optional<ProcessedResponse> SimNetwork::process_into(
 
   // Delivered to a host: `residual` is the TTL it arrives with.
   const net::Ipv4Address host(route->delivered_address);
-  if (!silence->host_answers) {
+  if (!topology_.host_answers_lazy(*route, protocol, *silence)) {
     ++stats_.silent_host;
     return std::nullopt;
   }
@@ -273,6 +269,36 @@ FR_HOT std::optional<ProcessedResponse> SimNetwork::finish_response(
   arrival += plane.reorder_delay(dst_value, ttl, send_time);
   const util::Nanos lag = plane.duplicate_lag(dst_value, ttl, send_time);
   return ProcessedResponse{arrival, size, lag > 0 ? arrival + lag : 0};
+}
+
+FR_HOT std::uint32_t SimNetwork::process_batch(
+    const core::ProbeBatch& batch, std::uint64_t sent_mask,
+    util::Nanos first_send_time, util::Nanos interval, ResponsePool& pool,
+    BatchDelivery* out) {
+  std::uint32_t produced = 0;
+  util::Nanos send_time = first_send_time;
+  for (std::uint32_t k = 0; k < batch.count(); ++k) {
+    send_time += interval;
+    if (((sent_mask >> k) & 1) == 0) continue;
+    const ResponsePool::Slot slot = pool.acquire();
+    const auto response =
+        process_into(batch.packet(k), send_time, pool.buffer(slot));
+    if (!response) {
+      pool.release(slot);
+      continue;
+    }
+    out[produced++] = BatchDelivery{
+        response->arrival, slot, static_cast<std::uint32_t>(response->size)};
+    if (response->duplicate_arrival > 0) {
+      const ResponsePool::Slot copy = pool.acquire();
+      std::memcpy(pool.buffer(copy).data(), pool.buffer(slot).data(),
+                  response->size);
+      out[produced++] =
+          BatchDelivery{response->duplicate_arrival, copy,
+                        static_cast<std::uint32_t>(response->size)};
+    }
+  }
+  return produced;
 }
 
 std::optional<Delivery> SimNetwork::process(std::span<const std::byte> probe,

@@ -28,9 +28,11 @@
 #include <utility>
 #include <vector>
 
+#include "core/runtime.h"
 #include "net/icmp.h"
 #include "sim/fault_plane.h"
 #include "sim/rate_limit_table.h"
+#include "sim/response_pool.h"
 #include "sim/route_cache.h"
 #include "sim/topology.h"
 #include "util/annotations.h"
@@ -73,6 +75,14 @@ struct Delivery {
   std::vector<std::byte> packet;
 };
 
+/// One response produced by process_batch: payload already encoded into the
+/// caller's pool slot, to be scheduled for delivery at `arrival`.
+struct BatchDelivery {
+  util::Nanos arrival;
+  ResponsePool::Slot slot;
+  std::uint32_t size;
+};
+
 class SimNetwork {
  public:
   explicit SimNetwork(const Topology& topology);
@@ -93,6 +103,22 @@ class SimNetwork {
   /// Allocating wrapper over process_into (tests, tools).
   [[nodiscard]] std::optional<Delivery> process(std::span<const std::byte> probe,
                                   util::Nanos send_time);
+
+  /// Batched process_into over a whole ProbeBatch submit: packet k was sent
+  /// at `first_send_time + (k+1) * interval` (the virtual-clock instant a
+  /// scalar send loop would have stamped), packets absent from `sent_mask`
+  /// never reached the network (local send faults).  Responses are encoded
+  /// into freshly claimed `pool` slots and appended to `out` — fault-plane
+  /// duplicates directly after their original, exactly the scalar claim
+  /// order — and the count written is returned (`out` must hold at least
+  /// 2 * ProbeBatch::kMaxPackets entries).  One call replaces up to 64
+  /// virtual per-probe dispatches; dest-adjacent batch probes reuse the
+  /// same hot route-cache line, and the pool claim/duplicate-copy handling
+  /// is centralized here instead of per send.
+  [[nodiscard]] FR_HOT std::uint32_t process_batch(
+      const core::ProbeBatch& batch, std::uint64_t sent_mask,
+      util::Nanos first_send_time, util::Nanos interval, ResponsePool& pool,
+      BatchDelivery* out);
 
   const NetworkStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = NetworkStats{}; }

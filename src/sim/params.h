@@ -249,9 +249,17 @@ struct SimParams {
   // --- Simulator hot path ----------------------------------------------------
   /// Route-cache size, as log2 of the entry count, for SimNetwork's
   /// direct-mapped memoization of Topology::resolve (sim/route_cache.h).
-  /// 0 bypasses the cache entirely (every probe re-resolves — the seed
-  /// behaviour; results are bit-identical either way).  -1 sizes it
-  /// automatically from the universe: prefix_bits - 2, clamped to [8, 14].
+  /// 0 bypasses the cache entirely (every probe re-resolves; results are
+  /// bit-identical either way).  -1 sizes it automatically from the
+  /// universe: prefix_bits - 2, clamped to [8, 14], for scans below 2^20 —
+  /// and *disables* it at prefix_bits >= 20.  At scale the hit rate is
+  /// structurally capped by backward+forward pair reuse (~0.30 at 2^24,
+  /// identical for 16- and 17-bit tables: the ring walk cycles the whole
+  /// universe between revisits, so no feasible table captures more), and
+  /// with the single-derivation resolve path a miss is cheap enough that
+  /// the lookup+insert paid on the other ~70% of probes costs more than
+  /// the hits save — measured 1.98 Mpps cache-off vs 1.67 Mpps with a
+  /// 16-bit cache at 2^24, and 1.90 vs 1.58 at 2^20 (DESIGN.md §11).
   int route_cache_bits = -1;
 
   // --- Fault injection -------------------------------------------------------
@@ -274,6 +282,7 @@ struct SimParams {
   }
   int effective_route_cache_bits() const noexcept {
     if (route_cache_bits >= 0) return route_cache_bits;
+    if (prefix_bits >= 20) return 0;  // net-negative at scale; see above
     const int auto_bits = prefix_bits - 2;
     return auto_bits < 8 ? 8 : (auto_bits > 14 ? 14 : auto_bits);
   }

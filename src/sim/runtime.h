@@ -10,6 +10,8 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cstring>
 #include <memory>
 #include <utility>
@@ -17,11 +19,13 @@
 
 #include "core/runtime.h"
 #include "core/sharded_tracer.h"
+#include "obs/cycle_ledger.h"
 #include "obs/metrics.h"
 #include "sim/network.h"
 #include "sim/response_pool.h"
 #include "util/annotations.h"
 #include "util/clock.h"
+#include "util/timing_wheel.h"
 
 namespace flashroute::sim {
 
@@ -32,7 +36,9 @@ class SimScanRuntime final : public core::ScanRuntime {
       : network_(network),
         clock_(start_time),
         probe_interval_(static_cast<util::Nanos>(
-            static_cast<double>(util::kSecond) / probes_per_second)) {}
+            static_cast<double>(util::kSecond) / probes_per_second)),
+        min_response_latency_(network.topology().params().rtt_base),
+        wheel_(wheel_tick(network, probe_interval_), kWheelSlotBits) {}
 
   FR_HOT util::Nanos now() const noexcept override { return clock_.now(); }
 
@@ -67,6 +73,81 @@ class SimScanRuntime final : public core::ScanRuntime {
       pool_.release(slot);
     }
     return true;
+  }
+
+  /// Batched submit: the scalar try_send loop with its per-probe virtual
+  /// dispatch, clock bump, and pool bookkeeping hoisted out.  Packet k is
+  /// stamped with send time now() + (k+1) * interval — exactly the instants
+  /// a scalar loop would have produced — the fault plane's fail_send draws
+  /// run against those same instants, and SimNetwork::process_batch emits
+  /// responses in scalar claim order, so a batched scan is byte-identical
+  /// to the scalar same-seed scan.
+  [[nodiscard]] FR_HOT std::uint64_t try_send_batch(
+      const core::ProbeBatch& batch) override {
+    const util::Nanos first = clock_.now();
+    std::uint64_t ok =
+        batch.count() >= 64 ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << batch.count()) - 1;
+    if (FaultPlane* plane = network_.fault_plane()) {
+      for (std::uint32_t k = 0; k < batch.count(); ++k) {
+        if (plane->fail_send(first + (k + 1) * probe_interval_)) {
+          ok &= ~(std::uint64_t{1} << k);
+        }
+      }
+    }
+    clock_.advance(batch.count() * probe_interval_);
+    packets_sent_ += static_cast<std::uint64_t>(std::popcount(ok));
+    const util::Nanos process_start =
+        cycles_ != nullptr ? cycle_clock_.now() : 0;
+    const std::uint32_t produced = network_.process_batch(
+        batch, ok, first, probe_interval_, pool_, batch_out_.data());
+    if (cycles_ != nullptr) {
+      cycles_->add(obs::CycleLedger::kProcess,
+                   cycle_clock_.now() - process_start, batch.count());
+    }
+    for (std::uint32_t i = 0; i < produced; ++i) {
+      const BatchDelivery& d = batch_out_[i];
+      wheel_.schedule(d.arrival, InFlight{d.arrival, d.slot, d.size});
+    }
+    return ok;
+  }
+
+  /// Attaches a per-stage cycle ledger (obs/cycle_ledger.h): try_send_batch
+  /// brackets SimNetwork::process_batch as the kProcess stage, letting the
+  /// bench split the engine's kSend total into submit vs network cost.
+  void set_cycle_ledger(obs::CycleLedger* cycles) noexcept {
+    cycles_ = cycles;
+  }
+
+  /// How many probes a gather loop may stage before the next submit without
+  /// perturbing determinism: bounded by the earliest pending arrival (no
+  /// response may come due at a destination boundary the batch skips) and
+  /// by the minimum response latency (no intra-batch response may land
+  /// inside the batch's own window).  Both bounds leave the final
+  /// destination of a batch free to exceed the budget by one probe — the
+  /// same slack a scalar loop has between the two probes of a destination.
+  FR_HOT std::uint32_t batch_budget() const noexcept override {
+    // Clamp the interval for the bound arithmetic only: a sub-nanosecond
+    // pacing interval (unthrottled tests) truncates to 0, and claiming 1 ns
+    // instead only makes both bounds more conservative.
+    const util::Nanos interval = std::max<util::Nanos>(probe_interval_, 1);
+    std::int64_t budget = core::ProbeBatch::kMaxPackets;
+    budget =
+        std::min<std::int64_t>(budget, min_response_latency_ / interval + 1);
+    if (const auto next = wheel_.next_deadline()) {
+      const util::Nanos delta = *next - clock_.now();
+      if (delta <= 0) return 1;
+      budget =
+          std::min<std::int64_t>(budget, (delta + interval - 1) / interval);
+    }
+    return static_cast<std::uint32_t>(std::max<std::int64_t>(budget, 1));
+  }
+
+  /// Virtual-clock instant the k-th packet of the next batch will carry as
+  /// its encode timestamp: a scalar loop encodes each probe *before* the
+  /// send that advances the clock, so packet k sees k elapsed probe slots.
+  FR_HOT util::Nanos send_time_of(std::uint32_t k) const noexcept override {
+    return clock_.now() + static_cast<util::Nanos>(k) * probe_interval_;
   }
 
   /// Adaptive-backoff hook: subsequent sends pace at the new rate.
@@ -113,12 +194,12 @@ class SimScanRuntime final : public core::ScanRuntime {
                                 static_cast<double>(lookups);
     });
     const ResponsePool* pool = &pool_;
-    const std::vector<Pending>* pending = &pending_;
+    const util::TimingWheel<InFlight>* wheel = &wheel_;
     registry.add_gauge("sim.response_pool_slots", lane, [pool] {
       return static_cast<double>(pool->capacity());
     });
-    registry.add_gauge("sim.responses_in_flight", lane, [pending] {
-      return static_cast<double>(pending->size());
+    registry.add_gauge("sim.responses_in_flight", lane, [wheel] {
+      return static_cast<double>(wheel->size());
     });
     // Fault-plane tallies, registered only when the plane is active so
     // zero-fault telemetry streams stay byte-identical to pre-fault builds.
@@ -141,49 +222,64 @@ class SimScanRuntime final : public core::ScanRuntime {
   }
 
  private:
-  struct Pending {
+  /// One in-flight response parked on the delivery wheel; payload bytes
+  /// live in pool_, recycled after the sink call.
+  struct InFlight {
     util::Nanos arrival;
-    std::uint64_t seq;  // FIFO tiebreak for simultaneous arrivals
-    ResponsePool::Slot slot;  // payload lives in pool_, recycled after sink
+    ResponsePool::Slot slot;
     std::uint32_t size;
-
-    FR_HOT bool operator>(const Pending& other) const noexcept {
-      if (arrival != other.arrival) return arrival > other.arrival;
-      return seq > other.seq;
-    }
   };
+
+  /// Delivery wheel geometry: enough slots that the common in-flight span
+  /// (base RTT + a typical route's per-hop latency + jitter + fault reorder
+  /// delay) fits inside one rotation with sparse slots, and a tick coarse
+  /// enough that a drain-per-destination cadence advances the cursor only
+  /// every few drains.  Entries beyond one rotation stay parked (correct,
+  /// just revisited once per rotation), so these are tuning knobs, not
+  /// correctness bounds.
+  static constexpr int kWheelSlotBits = 11;
+  static util::Nanos wheel_tick(const SimNetwork& network,
+                                util::Nanos probe_interval) noexcept {
+    const SimParams& p = network.topology().params();
+    const util::Nanos horizon = p.rtt_base + 16 * p.rtt_per_hop +
+                                p.rtt_jitter + p.faults.reorder_max_delay;
+    return std::max<util::Nanos>(
+        {8 * probe_interval, 2 * horizon >> kWheelSlotBits, 1});
+  }
 
   FR_HOT void push_pending(util::Nanos arrival, ResponsePool::Slot slot,
                            std::uint32_t size) {
-    // fr-lint: allow(hot-banned): in-flight heap entries are 24-byte PODs;
-    // capacity reaches the max outstanding-response count early in the scan
-    // and is never shrunk, so steady state re-uses it
-    pending_.push_back(Pending{arrival, next_seq_++, slot, size});
-    std::push_heap(pending_.begin(), pending_.end(), std::greater<>{});
+    wheel_.schedule(arrival, InFlight{arrival, slot, size});
   }
 
   FR_HOT void deliver_due(util::Nanos deadline, const Sink& sink) {
-    // An explicit binary heap instead of std::priority_queue: pop_heap moves
-    // the minimum to the back where it can be consumed — top() is const on
-    // priority_queue.  Entries are 24-byte PODs; payloads stay in the pool.
-    while (!pending_.empty() && pending_.front().arrival <= deadline) {
-      std::pop_heap(pending_.begin(), pending_.end(), std::greater<>{});
-      const Pending item = pending_.back();
-      pending_.pop_back();
+    // The hashed wheel expires in (deadline, insertion-seq) order — the
+    // same total order the former binary heap produced on (arrival, seq),
+    // since entries are scheduled in exactly the order the heap pushed
+    // them — at O(1) amortized per response instead of O(log n).
+    wheel_.expire_due(deadline, [this, &sink](const InFlight& item) {
       clock_.advance_to(item.arrival);
       sink(pool_.buffer(item.slot).first(item.size), item.arrival);
       pool_.release(item.slot);
-    }
+    });
   }
 
   SimNetwork& network_;
   util::SimClock clock_;
   util::Nanos probe_interval_;
-  std::uint64_t next_seq_ = 0;
-  /// Min-heap on (arrival, seq) maintained with std::push_heap/pop_heap.
-  std::vector<Pending> pending_;
+  /// Cached topology rtt_base: no response arrives sooner than this after
+  /// its probe's send (jitter, per-hop latency, and reorder delay are all
+  /// non-negative), so it lower-bounds the intra-batch response window.
+  util::Nanos min_response_latency_;
+  /// In-flight responses keyed by arrival time (calendar-queue delivery).
+  util::TimingWheel<InFlight> wheel_;
   /// Fixed-slot storage for in-flight response payloads.
   ResponsePool pool_;
+  /// Scratch for process_batch outcomes (originals + possible duplicates).
+  std::array<BatchDelivery, 2 * core::ProbeBatch::kMaxPackets> batch_out_;
+  /// Optional per-stage attribution (kProcess); null = no-op.
+  obs::CycleLedger* cycles_ = nullptr;
+  util::MonotonicClock cycle_clock_;
 };
 
 /// Virtual-time ShardRuntimeProvider: one (SimNetwork, SimScanRuntime) lane

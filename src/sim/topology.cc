@@ -424,6 +424,21 @@ FR_HOT bool Topology::host_exists(net::Ipv4Address address) const noexcept {
 FR_HOT bool Topology::host_responds(net::Ipv4Address address,
                              std::uint8_t protocol) const noexcept {
   if (!host_exists(address)) return false;
+  return host_responds_delivered(address, protocol);
+}
+
+FR_HOT bool Topology::host_exists_routed(net::Ipv4Address address,
+                                         std::uint64_t dyn_key) const noexcept {
+  const bool responsive =
+      util::stable_chance(util::hash_combine(seed_host_, 0x636c7573), dyn_key,
+                          params_.stub_responsive_prob);
+  const double exist_prob = responsive ? params_.host_exist_prob_responsive
+                                       : params_.host_exist_prob_quiet;
+  return util::stable_chance(seed_host_, address.value(), exist_prob);
+}
+
+FR_HOT bool Topology::host_responds_delivered(
+    net::Ipv4Address address, std::uint8_t protocol) const noexcept {
   const bool is_appliance = (address.value() & 0xFF) == kApplianceOctet;
   if (protocol == net::kProtoTcp) {
     const double p = is_appliance ? params_.appliance_tcp_response_prob
@@ -460,13 +475,57 @@ FR_HOT void Topology::annotate_silence(const Route& route, std::uint8_t protocol
     }
   }
   out.hop_silent = mask;
+  out.hop_known = route.num_hops >= 64
+                      ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << route.num_hops) - 1;
   out.loop_a_silent =
       route.loops && !interface_responds(route.loop_a, protocol);
   out.loop_b_silent =
       route.loops && !interface_responds(route.loop_b, protocol);
+  out.loop_known = true;
   out.host_answers =
       route.delivers &&
-      host_responds(net::Ipv4Address(route.delivered_address), protocol);
+      host_responds_delivered(net::Ipv4Address(route.delivered_address),
+                              protocol);
+  out.host_known = true;
+}
+
+FR_HOT bool Topology::hop_silent_at(const Route& route, int pos,
+                                    std::uint8_t protocol,
+                                    RouteSilence& plan) const noexcept {
+  if (pos <= route.num_hops) {
+    const std::uint64_t bit = std::uint64_t{1} << (pos - 1);
+    if ((plan.hop_known & bit) == 0) {
+      if (!interface_responds(route.hops[static_cast<std::size_t>(pos - 1)],
+                              protocol)) {
+        plan.hop_silent |= bit;
+      }
+      plan.hop_known |= bit;
+    }
+    return (plan.hop_silent & bit) != 0;
+  }
+  if (!plan.loop_known) {
+    plan.loop_a_silent =
+        route.loops && !interface_responds(route.loop_a, protocol);
+    plan.loop_b_silent =
+        route.loops && !interface_responds(route.loop_b, protocol);
+    plan.loop_known = true;
+  }
+  return ((pos - route.num_hops) % 2 == 1) ? plan.loop_a_silent
+                                           : plan.loop_b_silent;
+}
+
+FR_HOT bool Topology::host_answers_lazy(const Route& route,
+                                        std::uint8_t protocol,
+                                        RouteSilence& plan) const noexcept {
+  if (!plan.host_known) {
+    plan.host_answers =
+        route.delivers &&
+        host_responds_delivered(net::Ipv4Address(route.delivered_address),
+                                protocol);
+    plan.host_known = true;
+  }
+  return plan.host_answers;
 }
 
 FR_HOT bool Topology::resolve(net::Ipv4Address destination, std::uint64_t flow,
@@ -551,7 +610,8 @@ FR_HOT bool Topology::resolve(net::Ipv4Address destination, std::uint64_t flow,
     return true;
   }
 
-  if (host_octet != kApplianceOctet && !host_exists(destination)) {
+  if (host_octet != kApplianceOctet &&
+      !host_exists_routed(destination, dyn_key)) {
     // Unassigned address in a routed prefix.
     if (util::stable_chance(util::hash_combine(seed_loop_, 0x6c616e),
                             destination.value(),

@@ -91,9 +91,26 @@ struct Route {
 /// question without touching the Topology again (DESIGN.md §6).
 struct RouteSilence {
   std::uint64_t hop_silent = 0;  ///< bit i set: hops[i] never answers
+  /// Lazily-filled plans track which answers have been computed: bit i of
+  /// hop_known validates bit i of hop_silent, and the loop/host answers
+  /// carry their own known flags.  A scan probes only 1-2 TTLs of a route
+  /// per cache fill, so computing all ~20-30 hop draws eagerly was the
+  /// dominant cache-miss cost; the draws are pure over (ip, protocol), so
+  /// on-demand evaluation is bit-identical to the eager plan.
+  std::uint64_t hop_known = 0;
   bool loop_a_silent = false;
   bool loop_b_silent = false;
   bool host_answers = false;
+  bool loop_known = false;
+  bool host_known = false;
+
+  /// Empties the plan for a fresh (route, protocol) pairing.
+  FR_HOT void reset_lazy() noexcept {
+    hop_silent = 0;
+    hop_known = 0;
+    loop_known = false;
+    host_known = false;
+  }
 };
 
 class Topology {
@@ -134,6 +151,18 @@ class Topology {
   /// toward the same (destination, flow, epoch).
   FR_HOT void annotate_silence(const Route& route, std::uint8_t protocol,
                                RouteSilence& out) const noexcept;
+
+  /// Lazy per-position variant of annotate_silence: answers whether the
+  /// interface at 1-based position `pos` (beyond num_hops: the loop tail)
+  /// stays silent, computing and memoizing the draw in `plan` on first use.
+  /// Querying the same plan eagerly or lazily yields identical bits.
+  FR_HOT bool hop_silent_at(const Route& route, int pos,
+                            std::uint8_t protocol,
+                            RouteSilence& plan) const noexcept;
+
+  /// Lazy host-answer query, memoized in `plan` like hop_silent_at.
+  FR_HOT bool host_answers_lazy(const Route& route, std::uint8_t protocol,
+                                RouteSilence& plan) const noexcept;
 
   // --- Metadata --------------------------------------------------------------
   FR_HOT const SimParams& params() const noexcept { return params_; }
@@ -221,6 +250,19 @@ class Topology {
   FR_HOT SuccinctEntry entry_at(std::uint32_t offset) const noexcept;
   FR_HOT int spine_length_keyed(int spine_base, std::uint64_t key_id,
                                 std::int64_t epoch) const noexcept;
+  /// host_exists() for an address known to sit in a routed prefix whose
+  /// dynamics key is already in hand (resolve() extracted it for the route
+  /// walk).  Skips the two entry_at() re-derivations the public query pays —
+  /// the responsiveness and existence draws are identical, so the answer is
+  /// bit-for-bit the same.
+  FR_HOT bool host_exists_routed(net::Ipv4Address address,
+                                 std::uint64_t dyn_key) const noexcept;
+  /// host_responds() for the delivered address of a resolved route.  Every
+  /// route with `delivers` set has host_exists(delivered_address) true by
+  /// construction (resolve() either verified the draw or delivered to the
+  /// always-assigned appliance), so only the protocol draw remains.
+  FR_HOT bool host_responds_delivered(net::Ipv4Address address,
+                                      std::uint8_t protocol) const noexcept;
 
   SimParams params_;
   std::uint32_t next_pool_ip_;

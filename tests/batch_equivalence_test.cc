@@ -1,0 +1,306 @@
+// Batched-pipeline equivalence (DESIGN.md §11): a scan submitted through
+// ProbeBatch / try_send_batch must be byte-identical to the same-seed
+// scalar scan — same probes at the same virtual instants, same responses in
+// the same order, same result bytes.  Covered engines: the FlashRoute
+// Tracer (including fault-plane adversity and the sharded decomposition),
+// the Yarrp baseline in its pure stateless mode, and the Scamper baseline
+// (whose flag is a documented no-op).  The batch budget math is what makes
+// these pass: every scalar drain the batch skips is provably empty.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "baselines/scamper.h"
+#include "baselines/yarrp.h"
+#include "core/runtime.h"
+#include "core/sharded_tracer.h"
+#include "core/tracer.h"
+#include "sim/network.h"
+#include "sim/params.h"
+#include "sim/runtime.h"
+#include "sim/topology.h"
+
+namespace flashroute {
+namespace {
+
+sim::SimParams world_params(int bits, std::uint64_t seed) {
+  sim::SimParams params;
+  params.prefix_bits = bits;
+  params.seed = seed;
+  return params;
+}
+
+sim::FaultParams adversity() {
+  sim::FaultParams faults;
+  faults.probe_loss = 0.2;
+  faults.response_loss = 0.15;
+  faults.duplicate_prob = 0.1;
+  faults.reorder_prob = 0.1;
+  faults.send_fail_prob = 0.1;
+  faults.blackhole_fraction = 0.05;
+  return faults;
+}
+
+void expect_identical(const core::ScanResult& a, const core::ScanResult& b) {
+  EXPECT_EQ(a.interfaces, b.interfaces);
+  EXPECT_EQ(a.destination_distance, b.destination_distance);
+  EXPECT_EQ(a.trigger_ttl, b.trigger_ttl);
+  EXPECT_EQ(a.measured_distance, b.measured_distance);
+  EXPECT_EQ(a.predicted_distance, b.predicted_distance);
+
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  for (std::size_t i = 0; i < a.routes.size(); ++i) {
+    ASSERT_EQ(a.routes[i].size(), b.routes[i].size()) << "prefix " << i;
+    for (std::size_t h = 0; h < a.routes[i].size(); ++h) {
+      EXPECT_EQ(a.routes[i][h].ip, b.routes[i][h].ip);
+      EXPECT_EQ(a.routes[i][h].ttl, b.routes[i][h].ttl);
+      EXPECT_EQ(a.routes[i][h].flags, b.routes[i][h].flags);
+    }
+  }
+
+  EXPECT_EQ(a.probes_sent, b.probes_sent);
+  EXPECT_EQ(a.preprobe_probes, b.preprobe_probes);
+  EXPECT_EQ(a.send_failures, b.send_failures);
+  EXPECT_EQ(a.responses, b.responses);
+  EXPECT_EQ(a.mismatches, b.mismatches);
+  EXPECT_EQ(a.destinations_reached, b.destinations_reached);
+  EXPECT_EQ(a.distances_measured, b.distances_measured);
+  EXPECT_EQ(a.distances_predicted, b.distances_predicted);
+  EXPECT_EQ(a.convergence_stops, b.convergence_stops);
+  // Virtual time: batching must not move a single send or delivery instant.
+  EXPECT_EQ(a.scan_time, b.scan_time);
+}
+
+// --- Tracer ----------------------------------------------------------------
+
+core::TracerConfig tracer_config(const sim::Topology& topology) {
+  core::TracerConfig config;
+  config.first_prefix = topology.params().first_prefix;
+  config.prefix_bits = topology.params().prefix_bits;
+  config.vantage = net::Ipv4Address(topology.params().vantage_address);
+  config.probes_per_second =
+      sim::scaled_probe_rate(100'000.0, topology.params().prefix_bits);
+  config.collect_routes = true;
+  return config;
+}
+
+core::ScanResult run_tracer(const sim::Topology& topology,
+                            core::TracerConfig config, bool batch) {
+  config.batch_probes = batch;
+  sim::SimNetwork network(topology);
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  core::Tracer tracer(config, runtime);
+  return tracer.run();
+}
+
+TEST(BatchEquivalence, TracerBatchedScanIsBitIdenticalToScalar) {
+  const sim::Topology topology(world_params(9, 77));
+  const core::TracerConfig config = tracer_config(topology);
+  expect_identical(run_tracer(topology, config, true),
+                   run_tracer(topology, config, false));
+}
+
+TEST(BatchEquivalence, TracerBatchedScanWithPreprobeAndExtraScans) {
+  const sim::Topology topology(world_params(8, 21));
+  core::TracerConfig config = tracer_config(topology);
+  config.preprobe = core::PreprobeMode::kRandom;
+  config.extra_scans = 2;
+  expect_identical(run_tracer(topology, config, true),
+                   run_tracer(topology, config, false));
+}
+
+TEST(BatchEquivalence, TracerBatchedScanUnderFaultPlane) {
+  sim::SimParams params = world_params(9, 5);
+  params.faults = adversity();
+  const sim::Topology topology(params);
+  const core::TracerConfig config = tracer_config(topology);
+  expect_identical(run_tracer(topology, config, true),
+                   run_tracer(topology, config, false));
+}
+
+TEST(BatchEquivalence, TracerUnthrottledBatchedScanMatchesScalar) {
+  // Sub-nanosecond pacing truncates the probe interval to 0; the budget
+  // arithmetic clamps it to 1 ns, which must stay conservative.
+  const sim::Topology topology(world_params(8, 13));
+  core::TracerConfig config = tracer_config(topology);
+  config.probes_per_second = 1e9;
+  expect_identical(run_tracer(topology, config, true),
+                   run_tracer(topology, config, false));
+}
+
+// --- Sharded Tracer --------------------------------------------------------
+
+core::ScanResult run_sharded(const sim::Topology& topology, bool batch,
+                             int workers) {
+  core::ShardedTracerConfig config;
+  config.base = tracer_config(topology);
+  config.base.batch_probes = batch;
+  config.shard_prefix_bits = topology.params().prefix_bits - 2;
+  config.num_workers = workers;
+  sim::SimShardRuntimeProvider provider(topology, config);
+  core::ShardedTracer tracer(config, provider);
+  return tracer.run();
+}
+
+TEST(BatchEquivalenceSharded, ShardedBatchedScanIsBitIdenticalToScalar) {
+  const sim::Topology topology(world_params(8, 41));
+  const core::ScanResult batched = run_sharded(topology, true, 2);
+  const core::ScanResult scalar = run_sharded(topology, false, 2);
+  // scan_time reflects the parallel makespan — compare everything else.
+  EXPECT_EQ(batched.interfaces, scalar.interfaces);
+  EXPECT_EQ(batched.destination_distance, scalar.destination_distance);
+  EXPECT_EQ(batched.trigger_ttl, scalar.trigger_ttl);
+  EXPECT_EQ(batched.probes_sent, scalar.probes_sent);
+  EXPECT_EQ(batched.responses, scalar.responses);
+  EXPECT_EQ(batched.destinations_reached, scalar.destinations_reached);
+  ASSERT_EQ(batched.routes.size(), scalar.routes.size());
+  for (std::size_t i = 0; i < batched.routes.size(); ++i) {
+    ASSERT_EQ(batched.routes[i].size(), scalar.routes[i].size());
+    for (std::size_t h = 0; h < batched.routes[i].size(); ++h) {
+      EXPECT_EQ(batched.routes[i][h].ip, scalar.routes[i][h].ip);
+      EXPECT_EQ(batched.routes[i][h].ttl, scalar.routes[i][h].ttl);
+    }
+  }
+}
+
+TEST(BatchEquivalenceSharded, ShardedBatchedScanUnderFaultPlane) {
+  sim::SimParams params = world_params(8, 29);
+  params.faults = adversity();
+  const sim::Topology topology(params);
+  const core::ScanResult batched = run_sharded(topology, true, 2);
+  const core::ScanResult scalar = run_sharded(topology, false, 2);
+  EXPECT_EQ(batched.interfaces, scalar.interfaces);
+  EXPECT_EQ(batched.probes_sent, scalar.probes_sent);
+  EXPECT_EQ(batched.send_failures, scalar.send_failures);
+  EXPECT_EQ(batched.responses, scalar.responses);
+  EXPECT_EQ(batched.destination_distance, scalar.destination_distance);
+}
+
+// --- Yarrp -----------------------------------------------------------------
+
+core::ScanResult run_yarrp(const sim::Topology& topology,
+                           baselines::YarrpConfig config, bool batch) {
+  config.batch_probes = batch;
+  sim::SimNetwork network(topology);
+  sim::SimScanRuntime runtime(network, config.probes_per_second);
+  baselines::Yarrp yarrp(config, runtime);
+  return yarrp.run();
+}
+
+baselines::YarrpConfig yarrp_config(const sim::Topology& topology) {
+  baselines::YarrpConfig config;
+  config.first_prefix = topology.params().first_prefix;
+  config.prefix_bits = topology.params().prefix_bits;
+  config.vantage = net::Ipv4Address(topology.params().vantage_address);
+  config.probes_per_second =
+      sim::scaled_probe_rate(100'000.0, topology.params().prefix_bits);
+  config.exhaustive_ttl = 12;
+  return config;
+}
+
+TEST(BatchEquivalence, YarrpBatchedWalkIsBitIdenticalToScalarTcp) {
+  const sim::Topology topology(world_params(8, 61));
+  const baselines::YarrpConfig config = yarrp_config(topology);
+  expect_identical(run_yarrp(topology, config, true),
+                   run_yarrp(topology, config, false));
+}
+
+TEST(BatchEquivalence, YarrpBatchedWalkIsBitIdenticalToScalarUdp) {
+  const sim::Topology topology(world_params(8, 62));
+  baselines::YarrpConfig config = yarrp_config(topology);
+  config.probe_type = baselines::YarrpConfig::ProbeType::kUdp;
+  expect_identical(run_yarrp(topology, config, true),
+                   run_yarrp(topology, config, false));
+}
+
+TEST(BatchEquivalence, YarrpBatchedWalkUnderFaultPlane) {
+  sim::SimParams params = world_params(8, 63);
+  params.faults = adversity();
+  const sim::Topology topology(params);
+  const baselines::YarrpConfig config = yarrp_config(topology);
+  expect_identical(run_yarrp(topology, config, true),
+                   run_yarrp(topology, config, false));
+}
+
+TEST(BatchEquivalence, YarrpFillModeStaysScalarAndUnchanged) {
+  // Fill mode consumes response feedback, so batch_probes must be ignored:
+  // both flag settings take the scalar path and agree exactly.
+  const sim::Topology topology(world_params(8, 64));
+  baselines::YarrpConfig config = yarrp_config(topology);
+  config.fill_mode = true;
+  config.exhaustive_ttl = 8;
+  config.fill_max_ttl = 16;
+  expect_identical(run_yarrp(topology, config, true),
+                   run_yarrp(topology, config, false));
+}
+
+// --- Scamper ---------------------------------------------------------------
+
+TEST(BatchEquivalence, ScamperBatchFlagIsANoOp) {
+  const sim::Topology topology(world_params(8, 91));
+  baselines::ScamperConfig config;
+  config.first_prefix = topology.params().first_prefix;
+  config.prefix_bits = topology.params().prefix_bits;
+  config.vantage = net::Ipv4Address(topology.params().vantage_address);
+  config.window = 256;
+  core::ScanResult results[2];
+  for (int i = 0; i < 2; ++i) {
+    config.batch_probes = i == 0;
+    sim::SimNetwork network(topology);
+    sim::SimScanRuntime runtime(network, config.probes_per_second);
+    baselines::Scamper scamper(config, runtime);
+    results[i] = scamper.run();
+  }
+  expect_identical(results[0], results[1]);
+}
+
+// --- ProbeBatch / runtime contract ----------------------------------------
+
+TEST(ProbeBatch, SlotCommitPacketRoundTrip) {
+  core::ProbeBatch batch;
+  EXPECT_TRUE(batch.empty());
+  for (std::uint32_t k = 0; k < core::ProbeBatch::kMaxPackets; ++k) {
+    auto slot = batch.slot();
+    slot[0] = static_cast<std::byte>(k);
+    batch.commit(k % core::ProbeBatch::kStride + 1);
+  }
+  EXPECT_TRUE(batch.full());
+  for (std::uint32_t k = 0; k < core::ProbeBatch::kMaxPackets; ++k) {
+    const auto packet = batch.packet(k);
+    EXPECT_EQ(packet.size(), k % core::ProbeBatch::kStride + 1);
+    EXPECT_EQ(packet[0], static_cast<std::byte>(k));
+  }
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(ProbeBatch, DefaultShimMatchesScalarSends) {
+  // The base-class try_send_batch loops try_send: a runtime that never
+  // overrides it still accepts batched engines.
+  class CountingRuntime final : public core::ScanRuntime {
+   public:
+    util::Nanos now() const noexcept override { return 0; }
+    [[nodiscard]] bool try_send(std::span<const std::byte> packet) override {
+      sizes.push_back(packet.size());
+      return sizes.size() % 2 == 1;  // alternate success/failure
+    }
+    void drain(const Sink&) override {}
+    void idle_until(util::Nanos, const Sink&) override {}
+    std::vector<std::size_t> sizes;
+  };
+  CountingRuntime runtime;
+  core::ProbeBatch batch;
+  for (int k = 0; k < 5; ++k) batch.commit(10 + static_cast<std::size_t>(k));
+  const std::uint64_t ok = runtime.try_send_batch(batch);
+  EXPECT_EQ(ok, 0b10101u);
+  ASSERT_EQ(runtime.sizes.size(), 5u);
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(runtime.sizes[static_cast<std::size_t>(k)],
+              10 + static_cast<std::size_t>(k));
+  }
+  EXPECT_EQ(runtime.batch_budget(), 1u);
+}
+
+}  // namespace
+}  // namespace flashroute
