@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -30,9 +31,34 @@
 
 namespace flashroute::bench {
 
-inline int env_int(const char* name, int fallback) {
+/// Parses the FR_* environment override `name` as a number of type T,
+/// validating both the syntax (the whole string must parse) and the
+/// inclusive [lo, hi] range.  A malformed or out-of-range value terminates
+/// the bench with a diagnostic and exit code 2 — a perf gate run with a
+/// silently mis-parsed knob (the old atoi behaviour: "FR_WORKERS=four" → 0)
+/// would otherwise measure the wrong configuration and pass or fail for the
+/// wrong reason.  Unset / empty returns `fallback` unchecked.
+template <typename T>
+inline T env_or(const char* name, T fallback, T lo, T hi) {
   const char* value = std::getenv(name);
-  return value != nullptr ? std::atoi(value) : fallback;
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "bench: %s='%s' is not a number\n", name, value);
+    std::exit(2);
+  }
+  if (parsed < static_cast<double>(lo) || parsed > static_cast<double>(hi)) {
+    std::fprintf(stderr, "bench: %s=%s out of range [%g, %g]\n", name, value,
+                 static_cast<double>(lo), static_cast<double>(hi));
+    std::exit(2);
+  }
+  return static_cast<T>(parsed);
+}
+
+inline int env_int(const char* name, int fallback) {
+  return env_or<int>(name, fallback, std::numeric_limits<int>::min(),
+                     std::numeric_limits<int>::max());
 }
 
 /// Peak resident set size (VmHWM) of this process in kB, parsed from
@@ -63,8 +89,9 @@ struct World {
 
 inline World make_world(int default_bits = 16) {
   World world;
-  world.params.prefix_bits = env_int("FR_PREFIX_BITS", default_bits);
-  world.params.seed = static_cast<std::uint64_t>(env_int("FR_SEED", 1));
+  world.params.prefix_bits = env_or<int>("FR_PREFIX_BITS", default_bits, 1, 24);
+  world.params.seed =
+      env_or<std::uint64_t>("FR_SEED", 1, 0, 1'000'000'000'000ULL);
   world.topology = std::make_unique<sim::Topology>(world.params);
   world.hitlist = world.topology->generate_hitlist();
   return world;

@@ -45,7 +45,7 @@
 namespace flashroute {
 namespace {
 
-using bench::env_int;
+using bench::env_or;
 
 constexpr std::uint8_t kMaxTtl = 16;
 
@@ -253,21 +253,22 @@ void print_stage(const StageReport& report) {
 int main() {
   using namespace flashroute;
 
-  const int base_bits = env_int("FR_BASE_BITS", 16);
-  const int mid_bits = env_int("FR_MID_BITS", 20);
-  const int full_bits = env_int("FR_FULL_BITS", 24);
-  const int rss_limit_mb = env_int("FR_RSS_LIMIT_MB", 1800);
-  const auto num_probes =
-      static_cast<std::uint64_t>(env_int("FR_PROBES", 2'000'000));
-  const bool full_scan = env_int("FR_FULL_SCAN", 1) != 0;
+  const int base_bits = env_or<int>("FR_BASE_BITS", 16, 1, 24);
+  const int mid_bits = env_or<int>("FR_MID_BITS", 20, 1, 24);
+  const int full_bits = env_or<int>("FR_FULL_BITS", 24, 1, 24);
+  const int rss_limit_mb = env_or<int>("FR_RSS_LIMIT_MB", 1800, 1, 1 << 20);
+  const auto num_probes = env_or<std::uint64_t>("FR_PROBES", 2'000'000, 1,
+                                                1'000'000'000'000ULL);
+  const bool full_scan = env_or<int>("FR_FULL_SCAN", 1, 0, 1) != 0;
   const bool with_sharded =
-      env_int("FR_SHARDED_SCAN", full_scan ? 1 : 0) != 0;
-  const int workers = env_int("FR_WORKERS", 1);
+      env_or<int>("FR_SHARDED_SCAN", full_scan ? 1 : 0, 0, 1) != 0;
+  const int workers = env_or<int>("FR_WORKERS", 1, 1, 256);
   const double scan_pps_floor =
-      static_cast<double>(env_int("FR_SCAN_PPS_FLOOR", 0));
+      env_or<double>("FR_SCAN_PPS_FLOOR", 0, 0, 1e9);
   const double sharded_pps_floor =
-      static_cast<double>(env_int("FR_SHARDED_PPS_FLOOR", 0));
-  const auto seed = static_cast<std::uint64_t>(env_int("FR_SEED", 1));
+      env_or<double>("FR_SHARDED_PPS_FLOOR", 0, 0, 1e9);
+  const auto seed =
+      env_or<std::uint64_t>("FR_SEED", 1, 0, 1'000'000'000'000ULL);
 
   std::printf("=== full scale: RSS and throughput up to 2^%d prefixes ===\n",
               full_bits);

@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common.h"
 #include "core/sharded_tracer.h"
 #include "core/threaded_runtime.h"
 #include "sim/runtime.h"
@@ -42,11 +43,6 @@
 
 namespace flashroute {
 namespace {
-
-int env_int(const char* name, int fallback) {
-  const char* value = std::getenv(name);
-  return value != nullptr ? std::atoi(value) : fallback;
-}
 
 struct Run {
   int workers = 0;
@@ -115,8 +111,10 @@ int main() {
   using namespace flashroute;
 
   sim::SimParams params;
-  params.prefix_bits = env_int("FR_PREFIX_BITS", 7);
-  params.seed = static_cast<std::uint64_t>(env_int("FR_SEED", 1));
+  params.prefix_bits = bench::env_or<int>("FR_PREFIX_BITS", 7, 1, 24);
+  params.seed =
+      bench::env_or<std::uint64_t>("FR_SEED", 1, 0, 1'000'000'000'000ULL);
+  const int round_ms = bench::env_or<int>("FR_ROUND_MS", 20, 1, 60'000);
   // Short RTTs: responses land well inside the round barrier, so the barrier
   // (not response loss) sets the pace, as on a low-latency uplink.
   params.rtt_base = 200'000;     // 0.2 ms
@@ -131,16 +129,14 @@ int main() {
   config.base.preprobe = core::PreprobeMode::kNone;
   config.base.collect_routes = false;
   config.base.min_round_duration =
-      static_cast<util::Nanos>(env_int("FR_ROUND_MS", 20)) *
-      util::kMillisecond;
+      static_cast<util::Nanos>(round_ms) * util::kMillisecond;
   // A generous budget: the throttle never binds, isolating the waiting time.
   config.base.probes_per_second = 200'000.0;
   config.shard_prefix_bits = config.base.prefix_bits - 3;  // 8 logical shards
 
   const auto shards = core::ShardedTracer::plan(config);
   std::printf("shard_scaling: 2^%d /24s in %zu logical shards, round %d ms\n",
-              params.prefix_bits, shards.size(),
-              env_int("FR_ROUND_MS", 20));
+              params.prefix_bits, shards.size(), round_ms);
 
   std::vector<Run> runs;
   for (const int workers : {1, 2, 4, 8}) {
@@ -186,7 +182,7 @@ int main() {
   // Engine-bound mode: what the sharded pipeline sustains when nothing
   // throttles it.
   std::vector<EngineRun> engine_runs;
-  if (env_int("FR_UNTHROTTLED", 1) != 0) {
+  if (bench::env_or<int>("FR_UNTHROTTLED", 1, 0, 1) != 0) {
     std::printf("\nunthrottled engine throughput (virtual-time lanes):\n");
     for (const int bits : {16, 20}) {
       for (const int workers : {1, 2}) {
@@ -216,7 +212,7 @@ int main() {
                "  \"round_ms\": %d,\n"
                "  \"probes_per_second_budget\": %.0f,\n"
                "  \"runs\": [\n",
-               params.prefix_bits, shards.size(), env_int("FR_ROUND_MS", 20),
+               params.prefix_bits, shards.size(), round_ms,
                config.base.probes_per_second);
   for (std::size_t i = 0; i < runs.size(); ++i) {
     const Run& run = runs[i];

@@ -1,0 +1,266 @@
+// frctl — control client for the frd continuous-scanning daemon.
+//
+// Subcommands (all take --socket=PATH, default /tmp/frd.sock):
+//
+//   submit [spec flags]   submit a scan job; prints "submitted id=N ..."
+//                         exit 0 admitted, 3 rejected, 1 transport error
+//   status <id>           one job's state and progress
+//   list                  every job the daemon knows
+//   wait <id>             block until the job is terminal
+//   wait-all              block until every job is terminal
+//   cancel <id>           cancel a job (waiting: immediate; running: at its
+//                         next round barrier)
+//   diff <before> <after> churn report between two archived snapshots
+//   verify <id>           size + FNV-1a digest of a job's archived payload
+//   shutdown              drain and stop the daemon
+//
+// Output is line-oriented key=value, so shell scripts (and the CI smoke)
+// can grep it without a JSON parser.
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/client.h"
+#include "util/clock.h"
+
+using namespace flashroute;
+
+namespace {
+
+void print_usage() {
+  std::puts(
+      "frctl — frd control client\n"
+      "\n"
+      "  frctl [--socket=PATH] [--connect-timeout-ms=N] COMMAND ...\n"
+      "\n"
+      "commands:\n"
+      "  submit [--name=S] [--prefix-bits=N] [--first-prefix=HEX]\n"
+      "         [--pps=R] [--priority=N] [--weight=X]\n"
+      "         [--topology-seed=N] [--scan-seed=N] [--target-seed=N]\n"
+      "         [--split-ttl=N] [--gap-limit=N] [--max-ttl=N]\n"
+      "         [--checkpoint-interval-ms=X] [--min-round-ms=X]\n"
+      "         [--preprobe-random] [--no-routes]\n"
+      "  status <id> | list | wait <id> | wait-all | cancel <id>\n"
+      "  diff <before-id> <after-id> | verify <id> | shutdown");
+}
+
+void print_view(const svc::JobView& view) {
+  std::printf(
+      "job=%llu state=%s name=%s priority=%d pps=%.0f probes=%llu "
+      "slices=%llu checkpoint=%d detail=%s\n",
+      static_cast<unsigned long long>(view.id),
+      svc::job_state_name(view.state), view.name.c_str(), view.priority,
+      view.probes_per_second, static_cast<unsigned long long>(view.probes),
+      static_cast<unsigned long long>(view.slices),
+      view.has_checkpoint ? 1 : 0, view.detail.c_str());
+}
+
+int transport_error() {
+  std::fprintf(stderr, "frctl: daemon unreachable or protocol error\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/frd.sock";
+  int connect_timeout_ms = 5000;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+    } else if (arg.rfind("--connect-timeout-ms=", 0) == 0) {
+      connect_timeout_ms = std::stoi(arg.substr(21));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) {
+    print_usage();
+    return 2;
+  }
+  const std::string& command = args[0];
+
+  auto client = svc::Client::connect(socket_path, connect_timeout_ms);
+  if (!client.has_value()) {
+    std::fprintf(stderr, "frctl: cannot connect to %s\n", socket_path.c_str());
+    return 1;
+  }
+
+  if (command == "submit") {
+    svc::JobSpec spec;
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const std::string& arg = args[i];
+      std::optional<std::string> v;
+      const auto value_of =
+          [&](const char* name) -> std::optional<std::string> {
+        const std::string prefix = std::string(name) + "=";
+        if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+        return std::nullopt;
+      };
+      if ((v = value_of("--name"))) {
+        spec.name = *v;
+      } else if ((v = value_of("--prefix-bits"))) {
+        spec.prefix_bits = std::stoi(*v);
+      } else if ((v = value_of("--first-prefix"))) {
+        spec.first_prefix =
+            static_cast<std::uint32_t>(std::stoul(*v, nullptr, 0));
+      } else if ((v = value_of("--pps"))) {
+        spec.probes_per_second = std::stod(*v);
+      } else if ((v = value_of("--priority"))) {
+        spec.priority = std::stoi(*v);
+      } else if ((v = value_of("--weight"))) {
+        spec.weight = std::stod(*v);
+      } else if ((v = value_of("--topology-seed"))) {
+        spec.topology_seed = std::stoull(*v);
+      } else if ((v = value_of("--scan-seed"))) {
+        spec.scan_seed = std::stoull(*v);
+      } else if ((v = value_of("--target-seed"))) {
+        spec.target_seed = std::stoull(*v);
+      } else if ((v = value_of("--split-ttl"))) {
+        spec.split_ttl = static_cast<std::uint8_t>(std::stoi(*v));
+      } else if ((v = value_of("--gap-limit"))) {
+        spec.gap_limit = static_cast<std::uint8_t>(std::stoi(*v));
+      } else if ((v = value_of("--max-ttl"))) {
+        spec.max_ttl = static_cast<std::uint8_t>(std::stoi(*v));
+      } else if ((v = value_of("--checkpoint-interval-ms"))) {
+        spec.checkpoint_interval =
+            static_cast<util::Nanos>(std::stod(*v) * util::kMillisecond);
+      } else if ((v = value_of("--min-round-ms"))) {
+        spec.min_round_duration =
+            static_cast<util::Nanos>(std::stod(*v) * util::kMillisecond);
+      } else if (arg == "--preprobe-random") {
+        spec.preprobe_random = true;
+      } else if (arg == "--no-routes") {
+        spec.collect_routes = false;
+      } else {
+        std::fprintf(stderr, "unknown submit flag: %s\n", arg.c_str());
+        return 2;
+      }
+    }
+    const auto submission = client->submit(spec);
+    if (!submission.has_value()) return transport_error();
+    std::printf("submitted id=%llu admitted=%d reason=%s detail=%s\n",
+                static_cast<unsigned long long>(submission->job_id),
+                submission->admitted ? 1 : 0, submission->reason.c_str(),
+                submission->detail.c_str());
+    return submission->admitted ? 0 : 3;
+  }
+
+  if (command == "status" || command == "wait") {
+    if (args.size() != 2) {
+      print_usage();
+      return 2;
+    }
+    const std::uint64_t id = std::stoull(args[1]);
+    const auto view =
+        command == "wait" ? client->wait_job(id) : client->status(id);
+    if (!view.has_value()) {
+      std::fprintf(stderr, "frctl: no such job %llu (or daemon gone)\n",
+                   static_cast<unsigned long long>(id));
+      return 1;
+    }
+    print_view(*view);
+    return 0;
+  }
+
+  if (command == "list") {
+    const auto views = client->list();
+    if (!views.has_value()) return transport_error();
+    for (const svc::JobView& view : *views) print_view(view);
+    return 0;
+  }
+
+  if (command == "wait-all") {
+    if (!client->wait_all()) return transport_error();
+    std::printf("all jobs terminal\n");
+    return 0;
+  }
+
+  if (command == "cancel") {
+    if (args.size() != 2) {
+      print_usage();
+      return 2;
+    }
+    const auto outcome = client->cancel(std::stoull(args[1]));
+    if (!outcome.has_value()) return transport_error();
+    const char* text = "not_found";
+    switch (*outcome) {
+      case svc::CancelOutcome::kNotFound:
+        text = "not_found";
+        break;
+      case svc::CancelOutcome::kAlreadyTerminal:
+        text = "already_terminal";
+        break;
+      case svc::CancelOutcome::kCancelled:
+        text = "cancelled";
+        break;
+      case svc::CancelOutcome::kSignalled:
+        text = "signalled";
+        break;
+    }
+    std::printf("cancel outcome=%s\n", text);
+    return *outcome == svc::CancelOutcome::kNotFound ? 1 : 0;
+  }
+
+  if (command == "diff") {
+    if (args.size() != 3) {
+      print_usage();
+      return 2;
+    }
+    const auto diff =
+        client->diff(std::stoull(args[1]), std::stoull(args[2]));
+    if (!diff.has_value()) return transport_error();
+    if (!diff->ok) {
+      std::fprintf(stderr, "frctl: diff failed: %s\n", diff->error.c_str());
+      return 1;
+    }
+    std::printf(
+        "diff interfaces_before=%llu interfaces_after=%llu appeared=%llu "
+        "vanished=%llu routes_compared=%llu changed_hops=%llu "
+        "changed_length=%llu\n",
+        static_cast<unsigned long long>(diff->interfaces_before),
+        static_cast<unsigned long long>(diff->interfaces_after),
+        static_cast<unsigned long long>(diff->interfaces_appeared),
+        static_cast<unsigned long long>(diff->interfaces_vanished),
+        static_cast<unsigned long long>(diff->routes_compared),
+        static_cast<unsigned long long>(diff->routes_changed_hops),
+        static_cast<unsigned long long>(diff->routes_changed_length));
+    return 0;
+  }
+
+  if (command == "verify") {
+    if (args.size() != 2) {
+      print_usage();
+      return 2;
+    }
+    const auto verify = client->verify(std::stoull(args[1]));
+    if (!verify.has_value()) return transport_error();
+    if (!verify->found) {
+      std::fprintf(stderr, "frctl: job has no archived payload\n");
+      return 1;
+    }
+    std::printf("verify size=%llu fnv1a=0x%016llx\n",
+                static_cast<unsigned long long>(verify->payload_size),
+                static_cast<unsigned long long>(verify->payload_fnv1a));
+    return 0;
+  }
+
+  if (command == "shutdown") {
+    if (!client->shutdown()) return transport_error();
+    std::printf("shutdown acknowledged\n");
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  print_usage();
+  return 2;
+}

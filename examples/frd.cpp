@@ -1,0 +1,143 @@
+// frd — the FlashRoute continuous-scanning daemon (DESIGN.md §12).
+//
+// Listens on an AF_UNIX socket for frctl clients, multiplexes their scan
+// jobs onto a shared worker pool under a global probes-per-second budget,
+// streams finished snapshots into a multi-job scan archive, and answers
+// archive-backed diff queries.  Stop it with `frctl shutdown` — the daemon
+// drains (rejecting new work, preempting running jobs at their next
+// checkpoint barrier), cancels whatever never finished, and writes the
+// job_summary line.  A daemon killed outright instead leaves an archive the
+// next start recovers by truncating the torn tail.
+//
+// Examples:
+//   frd --socket=/tmp/frd.sock --archive=/tmp/frd.bin --workers=2
+//       --events=/tmp/frd_events.jsonl   (one command line)
+//   frctl --socket=/tmp/frd.sock submit --name=morning --prefix-bits=8
+//   frctl --socket=/tmp/frd.sock shutdown
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "svc/daemon.h"
+
+using namespace flashroute;
+
+namespace {
+
+struct FrdOptions {
+  std::string socket_path = "/tmp/frd.sock";
+  std::string archive_path = "frd_archive.bin";
+  std::string events_path;  // empty = no event stream
+  int workers = 2;
+  double budget_pps = 100'000.0;
+  int max_queued = 8;
+  double rate_multiplier = 0.0;
+  std::uint64_t fair_slack = 0;
+  bool help = false;
+};
+
+void print_usage() {
+  std::puts(
+      "frd — continuous-scanning daemon (FlashRoute reproduction)\n"
+      "\n"
+      "  --socket=PATH         AF_UNIX listening socket (default /tmp/frd.sock)\n"
+      "  --archive=PATH        multi-job scan archive (default frd_archive.bin)\n"
+      "  --events=PATH         JSONL job-event stream ('-' = stdout)\n"
+      "  --workers=N           concurrent scan workers (default 2)\n"
+      "  --budget=PPS          global probes-per-second budget (default 100000)\n"
+      "  --max-queued=N        admission queue bound (default 8)\n"
+      "  --rate-multiplier=X   wall-credit multiplier for per-job budgets\n"
+      "                        (default 0 = unmetered, fair-share only)\n"
+      "  --fair-slack=N        fair-share hysteresis in probes (default 0)\n"
+      "\n"
+      "Stop with: frctl --socket=PATH shutdown");
+}
+
+std::optional<FrdOptions> parse_args(int argc, char** argv) {
+  FrdOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::optional<std::string> v;
+    const auto value_of = [&](const char* name) -> std::optional<std::string> {
+      const std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if ((v = value_of("--socket"))) {
+      options.socket_path = *v;
+    } else if ((v = value_of("--archive"))) {
+      options.archive_path = *v;
+    } else if ((v = value_of("--events"))) {
+      options.events_path = *v;
+    } else if ((v = value_of("--workers"))) {
+      options.workers = std::stoi(*v);
+    } else if ((v = value_of("--budget"))) {
+      options.budget_pps = std::stod(*v);
+    } else if ((v = value_of("--max-queued"))) {
+      options.max_queued = std::stoi(*v);
+    } else if ((v = value_of("--rate-multiplier"))) {
+      options.rate_multiplier = std::stod(*v);
+    } else if ((v = value_of("--fair-slack"))) {
+      options.fair_slack = std::stoull(*v);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = parse_args(argc, argv);
+  if (!options) return 2;
+  if (options->help) {
+    print_usage();
+    return 0;
+  }
+
+  std::ofstream events_file;
+  std::ostream* events = nullptr;
+  if (options->events_path == "-") {
+    events = &std::cout;
+  } else if (!options->events_path.empty()) {
+    events_file.open(options->events_path, std::ios::trunc);
+    if (!events_file) {
+      std::fprintf(stderr, "frd: cannot open events file %s\n",
+                   options->events_path.c_str());
+      return 2;
+    }
+    events = &events_file;
+  }
+
+  svc::DaemonOptions daemon_options;
+  daemon_options.socket_path = options->socket_path;
+  daemon_options.archive_path = options->archive_path;
+  daemon_options.events = events;
+  daemon_options.scheduler.num_workers = options->workers;
+  daemon_options.scheduler.global_pps_budget = options->budget_pps;
+  daemon_options.scheduler.max_queued = options->max_queued;
+  daemon_options.scheduler.rate_multiplier = options->rate_multiplier;
+  daemon_options.scheduler.fair_share_slack = options->fair_slack;
+
+  svc::Daemon daemon(daemon_options);
+  if (!daemon.start()) {
+    std::fprintf(stderr, "frd: failed to bind %s or open %s\n",
+                 options->socket_path.c_str(), options->archive_path.c_str());
+    return 1;
+  }
+  std::printf("frd: listening on %s (workers=%d budget=%.0f pps)\n",
+              options->socket_path.c_str(), options->workers,
+              options->budget_pps);
+  std::fflush(stdout);
+
+  daemon.wait();
+  std::printf("frd: clean shutdown\n");
+  return 0;
+}

@@ -1,11 +1,25 @@
 #!/usr/bin/env python3
-"""Validates a FlashRoute telemetry JSONL stream (DESIGN.md §7).
+"""Validates a FlashRoute telemetry JSONL stream (DESIGN.md §7, §12).
 
 Usage: check_metrics_schema.py [--require-counters a,b,c] METRICS.jsonl
+       check_metrics_schema.py --job-events EVENTS.jsonl
 
 With --require-counters, additionally fails unless every named counter is
 present in the summary (used by CI to pin the resilience counters of
 DESIGN.md §9 — e.g. scan.retransmits — into the exported stream).
+
+With --job-events, the input is an frd job-event stream (DESIGN.md §12)
+instead: "job_event" records closed by one "job_summary".  Checks:
+  * seq increases by exactly 1 from 1 (nothing dropped or reordered) and
+    t_ns is monotone non-decreasing;
+  * every job's lifecycle follows the legal state machine
+    (submitted -> admitted | rejected; admitted -> running | cancelled;
+    running -> preempted | completed | failed | cancelled;
+    preempted -> resumed | cancelled; resumed behaves like running —
+    shutdown may cancel a job that never got to run);
+  * rejected events carry a machine-readable reason;
+  * the summary's per-event counts equal the observed counts, and the
+    embedded svc.* counters agree with the event stream.
 
 Checks, using only the standard library:
   * every line is a standalone JSON object with "type" of "interval" or
@@ -143,9 +157,133 @@ def check_summary(line_no, record, last_t_by_lane, delta_sums):
             fail(line_no, f"bad gauge entry: {entry!r}")
 
 
+# Job lifecycle (svc/job.h): state after each event, and the events legal
+# from each state.  "admitted" may go straight to "cancelled" — a client
+# cancel or a daemon shutdown can reap a job that never reached a worker.
+JOB_EVENT_NEXT = {
+    None: {"submitted"},
+    "submitted": {"admitted", "rejected"},
+    "admitted": {"running", "cancelled"},
+    "running": {"preempted", "completed", "failed", "cancelled"},
+    "preempted": {"resumed", "cancelled"},
+    "resumed": {"preempted", "completed", "failed", "cancelled"},
+    "rejected": set(),
+    "completed": set(),
+    "failed": set(),
+    "cancelled": set(),
+}
+
+# svc.* counter in the summary -> event name it must agree with.
+JOB_COUNTER_EVENTS = {
+    "svc.jobs_submitted": "submitted",
+    "svc.jobs_admitted": "admitted",
+    "svc.jobs_rejected": "rejected",
+    "svc.jobs_preempted": "preempted",
+    "svc.jobs_resumed": "resumed",
+    "svc.jobs_completed": "completed",
+    "svc.jobs_failed": "failed",
+    "svc.jobs_cancelled": "cancelled",
+}
+
+
+def check_job_event(line_no, record, state_by_job, event_counts):
+    job = record.get("job")
+    if not isinstance(job, int) or job < 1:
+        fail(line_no, f"bad job id: {job!r}")
+    event = record.get("event")
+    if event not in JOB_EVENT_NEXT:
+        fail(line_no, f"unknown event: {event!r}")
+    state = state_by_job.get(job)
+    if event not in JOB_EVENT_NEXT[state]:
+        fail(line_no, f"job {job}: illegal transition {state!r} -> {event!r}")
+    state_by_job[job] = event
+    event_counts[event] = event_counts.get(event, 0) + 1
+    if event == "rejected" and not record.get("reason"):
+        fail(line_no, "rejected event without a machine-readable reason")
+    worker = record.get("worker")
+    if worker is not None and (not isinstance(worker, int) or worker < 0):
+        fail(line_no, f"bad worker: {worker!r}")
+
+
+def check_job_summary(line_no, record, event_counts):
+    for field in ("drained", "clean_shutdown"):
+        if not isinstance(record.get(field), bool):
+            fail(line_no, f"bad {field}: {record.get(field)!r}")
+    events = record.get("events")
+    if not isinstance(events, dict):
+        fail(line_no, "events is not an object")
+    if events != event_counts:
+        fail(line_no, f"summary event counts {events} != observed "
+                      f"{event_counts}")
+    counters = record.get("counters")
+    if not isinstance(counters, dict):
+        fail(line_no, "counters is not an object")
+    for name, value in counters.items():
+        if not isinstance(value, int) or value < 0:
+            fail(line_no, f"counter {name!r} must be a non-negative int")
+    for name, event in JOB_COUNTER_EVENTS.items():
+        if name not in counters:
+            fail(line_no, f"summary is missing counter {name!r}")
+        if counters[name] != event_counts.get(event, 0):
+            fail(line_no, f"counter {name!r} = {counters[name]} but the "
+                          f"stream has {event_counts.get(event, 0)} "
+                          f"{event!r} event(s)")
+
+
+def check_job_stream(path):
+    state_by_job = {}
+    event_counts = {}
+    last_seq = 0
+    last_t = -1
+    summary_line = None
+
+    with open(path, encoding="utf-8") as stream:
+        for line_no, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                fail(line_no, "blank line in JSONL stream")
+            if summary_line is not None:
+                fail(line_no, f"record after the summary (line {summary_line})")
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(line_no, f"invalid JSON: {error}")
+            if not isinstance(record, dict):
+                fail(line_no, "record is not a JSON object")
+            seq = record.get("seq")
+            if seq != last_seq + 1:
+                fail(line_no, f"seq {seq!r} does not follow {last_seq}")
+            last_seq = seq
+            t_ns = record.get("t_ns")
+            if not isinstance(t_ns, int) or t_ns < 0:
+                fail(line_no, f"bad t_ns: {t_ns!r}")
+            if t_ns < last_t:
+                fail(line_no, f"t_ns {t_ns} went backwards from {last_t}")
+            last_t = t_ns
+            kind = record.get("type")
+            if kind == "job_event":
+                check_job_event(line_no, record, state_by_job, event_counts)
+            elif kind == "job_summary":
+                summary_line = line_no
+                check_job_summary(line_no, record, event_counts)
+            else:
+                fail(line_no, f"unknown record type: {kind!r}")
+
+    if summary_line is None:
+        fail(0, "stream has no job_summary record")
+    print(f"check_metrics_schema: OK — {last_seq - 1} job event(s) across "
+          f"{len(state_by_job)} job(s), summary on line {summary_line}")
+    return 0
+
+
 def main():
     argv = sys.argv[1:]
     required = []
+    if argv and argv[0] == "--job-events":
+        if len(argv) != 2:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        return check_job_stream(argv[1])
     if argv and argv[0] == "--require-counters":
         if len(argv) < 2:
             print(__doc__.strip(), file=sys.stderr)

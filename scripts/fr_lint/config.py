@@ -153,7 +153,23 @@ LAYERING: dict[str, tuple[frozenset[str], bool]] = {
         frozenset({"analysis", "core", "net", "util", "obs", "io"}),
         False,
     ),
+    # The scan-job service orchestrates everything below it: engines (core),
+    # simulated worlds (sim), persistence (io), churn queries (analysis).
+    "svc": (
+        frozenset({"svc", "core", "net", "util", "obs", "io", "sim",
+                   "analysis"}),
+        False,
+    ),
 }
+
+# The service's documented syscall boundary (DESIGN.md §12): every socket /
+# poll / pipe call in src/svc lives in these two files and nowhere else.
+# Blocking I/O is their whole purpose, so a hot-path annotation inside them
+# is a contradiction — the engine flags FR_HOT there as hot-banned.
+SVC_IO_BOUNDARY_FILES = frozenset({
+    "src/svc/socket.h",
+    "src/svc/socket.cc",
+})
 
 # --- scan scope --------------------------------------------------------------
 

@@ -132,6 +132,7 @@ class FallbackEngine:
                     src, "det-wallclock", config.DET_WALLCLOCK_TOKENS
                 )
             self._check_ptr_iter(src)
+            self._check_svc_boundary(src)
             self._check_layering(src)
         return sorted(
             self.findings, key=lambda f: (f.path, f.line, f.rule)
@@ -319,6 +320,21 @@ class FallbackEngine:
                 "det-ptr-iter", src, line,
                 "pointer-keyed unordered container: iteration order depends "
                 "on the allocator and breaks run-to-run determinism",
+            )
+
+    # -- service I/O boundary ------------------------------------------------
+
+    def _check_svc_boundary(self, src: ScrubbedSource) -> None:
+        """The svc socket files are the service's sanctioned blocking-syscall
+        site (config.SVC_IO_BOUNDARY_FILES); FR_HOT inside them would claim
+        a blocking I/O path is allocation- and wait-free."""
+        if src.path not in config.SVC_IO_BOUNDARY_FILES:
+            return
+        for m in _HOT_TOKEN_RE.finditer(src.text):
+            self._emit(
+                "hot-banned", src, src.line_of(m.start()),
+                f"FR_HOT inside the svc I/O boundary ({src.path} is the "
+                "documented blocking-syscall site and must stay cold)",
             )
 
     # -- layering ------------------------------------------------------------

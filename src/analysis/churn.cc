@@ -55,4 +55,16 @@ ChurnReport compare_snapshots(const core::ScanResult& before,
   return report;
 }
 
+std::optional<ChurnReport> diff_snapshots(const io::LoadedArchive& before,
+                                          const io::LoadedArchive& after) {
+  if (before.header.first_prefix != after.header.first_prefix ||
+      before.header.prefix_bits != after.header.prefix_bits) {
+    return std::nullopt;  // different universes — the diff is meaningless
+  }
+  if (before.result.routes.empty() || after.result.routes.empty()) {
+    return std::nullopt;  // at least one scan ran without route collection
+  }
+  return compare_snapshots(before.result, after.result);
+}
+
 }  // namespace flashroute::analysis

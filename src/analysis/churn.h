@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "core/result.h"
+#include "io/scan_archive.h"
 
 namespace flashroute::analysis {
 
@@ -46,5 +48,12 @@ struct ChurnReport {
 /// both must have routes collected).
 ChurnReport compare_snapshots(const core::ScanResult& before,
                               const core::ScanResult& after);
+
+/// Archive-level diff — the entry point the scan-job service's diff queries
+/// go through (DESIGN.md §12).  Validates that the two archives cover the
+/// same universe (matching first_prefix and prefix_bits) and that both
+/// collected routes; returns nullopt when the snapshots are not comparable.
+std::optional<ChurnReport> diff_snapshots(const io::LoadedArchive& before,
+                                          const io::LoadedArchive& after);
 
 }  // namespace flashroute::analysis

@@ -490,6 +490,14 @@ FR_HOT void Tracer::main_rounds(const ProbeCodec& codec, bool flag_first_round,
       // fr-lint: allow(hot-call): once per round, at the barrier
       update_backoff();
     }
+    // Cooperative cancellation: checked at the barrier (a probe-free
+    // instant) so a cancelled scan never leaves a half-processed batch.
+    if (config_.cancel != nullptr &&
+        config_.cancel->load(std::memory_order_relaxed)) {
+      aborted_ = true;
+      retransmit_active_ = false;
+      return;
+    }
     if (current_hop_flags_ == 0 && config_.checkpoint_interval > 0) {
       // fr-lint: allow(hot-call): once per round, at the barrier
       maybe_checkpoint();
@@ -692,6 +700,7 @@ void Tracer::run_extra_scans() {
       dcb.retain_flags(Dcb::kRemoved);
     }
     main_rounds(extra_codec, false, RouteHop::kExtraScan);
+    if (aborted_) return;  // cancel flag fired during this pass
   }
 }
 

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -171,6 +172,16 @@ struct TracerConfig {
   /// is skipped — the checkpoint captured post-initialization state.
   const io::ScanCheckpoint* resume_from = nullptr;
 
+  /// Cooperative cancellation (job-granular pause/stop for the svc layer):
+  /// when set and the pointee becomes true, the scan stops at the next
+  /// main-phase round barrier *without* checkpointing; run() returns the
+  /// partial result and aborted() reports true.  Not part of
+  /// checkpoint_digest(): cancellation is a control-plane input, not scan
+  /// state.  Null = never cancelled.
+  // fr-atomic: cancel flag — written by a controlling thread, polled
+  // (relaxed) by the scan thread once per round at the barrier.
+  const std::atomic<bool>* cancel = nullptr;
+
   /// Scan telemetry (DESIGN.md §7).  Default-disabled: every hook in the
   /// hot path is then a single branch, no atomics.  The registry, tracer
   /// and lane referenced here must outlive the scan.
@@ -195,6 +206,11 @@ class Tracer {
   /// Digest of the resume-relevant config fields; a checkpoint resumes only
   /// into a tracer whose digest matches its config_digest.
   std::uint64_t checkpoint_digest() const noexcept;
+
+  /// True when the last run() stopped early — the checkpoint sink returned
+  /// false (preemption) or the cancel flag fired.  A completed scan (even a
+  /// resumed one) reports false.
+  bool aborted() const noexcept { return aborted_; }
 
  private:
   /// A main-phase probe awaiting its response on the retransmission wheel.

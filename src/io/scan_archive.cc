@@ -1,6 +1,9 @@
 #include "io/scan_archive.h"
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
 #include <vector>
 
 #include "io/varint.h"
@@ -217,6 +220,179 @@ std::optional<LoadedArchive> read_archive(std::istream& in) {
     }
   }
   return loaded;
+}
+
+// --- JobArchive --------------------------------------------------------------
+
+namespace {
+
+constexpr char kRecordMagic[4] = {'F', 'R', 'S', 'J'};
+constexpr char kRecordTrailer[4] = {'J', 'E', 'N', 'D'};
+// magic + u32 size + u64 job id before the payload; trailer after it.
+constexpr std::uint64_t kRecordHeaderBytes = 4 + 4 + 8;
+constexpr std::uint64_t kRecordTrailerBytes = 4;
+// A sanity bound far above any real single-job payload (full-universe
+// archives are tens of megabytes); recovery treats larger sizes as damage.
+constexpr std::uint64_t kMaxPayloadBytes = std::uint64_t{1} << 32;
+
+void put_u32_le(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64_le(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint64_t read_le(const char* bytes, int n) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < n; ++i) {
+    value |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+JobArchive::JobArchive(std::string path) : path_(std::move(path)) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  {
+    // Create the file if absent without clobbering an existing one.
+    std::ofstream create(path_, std::ios::binary | std::ios::app);
+    if (!create) return;
+  }
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return;
+  in.seekg(0, std::ios::end);
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+
+  // Walk the frames; stop (and truncate) at the first damaged record — a
+  // crash mid-append leaves only a partial tail, never a hole.
+  std::uint64_t offset = 0;
+  while (offset + kRecordHeaderBytes + kRecordTrailerBytes <= file_size) {
+    char header[kRecordHeaderBytes];
+    in.seekg(static_cast<std::streamoff>(offset));
+    in.read(header, sizeof header);
+    if (!in || !std::equal(header, header + 4, kRecordMagic)) break;
+    const std::uint64_t payload_size = read_le(header + 4, 4);
+    const std::uint64_t job_id = read_le(header + 8, 8);
+    if (payload_size > kMaxPayloadBytes) break;
+    const std::uint64_t record_end = offset + kRecordHeaderBytes +
+                                     payload_size + kRecordTrailerBytes + 4;
+    if (record_end > file_size) break;
+    char trailer[kRecordTrailerBytes + 4];
+    in.seekg(static_cast<std::streamoff>(offset + kRecordHeaderBytes +
+                                         payload_size));
+    in.read(trailer, sizeof trailer);
+    if (!in || !std::equal(trailer, trailer + 4, kRecordTrailer) ||
+        read_le(trailer + 4, 4) != payload_size) {
+      break;
+    }
+    index_.push_back({job_id, offset + kRecordHeaderBytes, payload_size});
+    offset = record_end;
+  }
+  dropped_ = file_size - offset;
+  end_offset_ = offset;
+  if (dropped_ > 0) {
+    in.close();
+    // Rewrite the valid prefix: portable truncation without <unistd.h>.
+    std::string prefix(static_cast<std::size_t>(offset), '\0');
+    if (offset > 0) {
+      std::ifstream reread(path_, std::ios::binary);
+      reread.read(prefix.data(), static_cast<std::streamsize>(offset));
+      if (!reread) return;
+    }
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out.write(prefix.data(), static_cast<std::streamsize>(offset));
+    out.flush();
+    if (!out) return;
+  }
+  ok_ = true;
+}
+
+bool JobArchive::ok() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ok_;
+}
+
+std::uint64_t JobArchive::recovered_bytes_dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+bool JobArchive::append(std::uint64_t job_id, const core::ScanResult& result,
+                        const ArchiveHeader& header) {
+  std::ostringstream payload_stream;
+  write_archive(result, header, payload_stream);
+  const std::string payload = payload_stream.str();
+
+  std::string record;
+  record.reserve(kRecordHeaderBytes + payload.size() + kRecordTrailerBytes +
+                 4);
+  record.append(kRecordMagic, sizeof kRecordMagic);
+  put_u32_le(record, static_cast<std::uint32_t>(payload.size()));
+  put_u64_le(record, job_id);
+  record.append(payload);
+  record.append(kRecordTrailer, sizeof kRecordTrailer);
+  put_u32_le(record, static_cast<std::uint32_t>(payload.size()));
+
+  // One locked write+flush per record: concurrent jobs serialize here, so
+  // records can never interleave.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!ok_) return false;
+  std::ofstream out(path_, std::ios::binary | std::ios::in | std::ios::ate);
+  if (!out) return false;
+  out.seekp(static_cast<std::streamoff>(end_offset_));
+  out.write(record.data(), static_cast<std::streamsize>(record.size()));
+  out.flush();
+  if (!out) return false;
+  index_.push_back(
+      {job_id, end_offset_ + kRecordHeaderBytes, payload.size()});
+  end_offset_ += record.size();
+  return true;
+}
+
+std::vector<JobArchive::Entry> JobArchive::index() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_;
+}
+
+bool JobArchive::find_latest(std::uint64_t job_id, Entry& entry) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool found = false;
+  for (const Entry& candidate : index_) {
+    if (candidate.job_id == job_id) {
+      entry = candidate;
+      found = true;
+    }
+  }
+  return found;
+}
+
+std::optional<std::string> JobArchive::payload_bytes(
+    std::uint64_t job_id) const {
+  Entry entry;
+  if (!find_latest(job_id, entry)) return std::nullopt;
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return std::nullopt;
+  in.seekg(static_cast<std::streamoff>(entry.payload_offset));
+  std::string payload(static_cast<std::size_t>(entry.payload_size), '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!in) return std::nullopt;
+  return payload;
+}
+
+std::optional<LoadedArchive> JobArchive::load(std::uint64_t job_id) const {
+  const auto payload = payload_bytes(job_id);
+  if (!payload) return std::nullopt;
+  std::istringstream in(*payload);
+  return read_archive(in);
 }
 
 }  // namespace flashroute::io

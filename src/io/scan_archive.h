@@ -15,9 +15,11 @@
 #include <cstdint>
 #include <functional>
 #include <istream>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "core/result.h"
 
@@ -58,5 +60,65 @@ struct LoadedArchive {
 /// Reads an archive; returns nullopt on a bad magic, unsupported version,
 /// or truncated/corrupt input.
 std::optional<LoadedArchive> read_archive(std::istream& in);
+
+/// Multi-job archive file: many FRSC payloads appended by concurrent scan
+/// jobs into one file (DESIGN.md §12).
+///
+/// Two jobs finishing at once must not interleave their records, and a
+/// daemon killed mid-append must not poison the file for every later job.
+/// Hence:
+///
+///  * every append is framed — "FRSJ" magic, little-endian u32 payload
+///    size, little-endian u64 job id, the (frozen) FRSC v1 payload, then a
+///    "JEND" trailer echoing the size — and serialized under an internal
+///    lock, written as one buffer and flushed before the lock drops;
+///  * opening scans the frames in order and truncates the file at the
+///    first damaged or incomplete record (crash-mid-append recovery), so a
+///    reopened archive always ends on a record boundary and the next
+///    append lands cleanly.
+///
+/// All methods are thread-safe.
+class JobArchive {
+ public:
+  struct Entry {
+    std::uint64_t job_id = 0;
+    std::uint64_t payload_offset = 0;  ///< file offset of the FRSC bytes
+    std::uint64_t payload_size = 0;
+  };
+
+  /// Opens (creating if absent) and recovers `path`.
+  explicit JobArchive(std::string path);
+
+  /// False when the file could not be opened or created.
+  bool ok() const;
+
+  /// Bytes dropped by truncation recovery when the archive was opened
+  /// (0 = the file ended on a record boundary).
+  std::uint64_t recovered_bytes_dropped() const;
+
+  /// Appends one job's result as a framed FRSC record; false on I/O error.
+  bool append(std::uint64_t job_id, const core::ScanResult& result,
+              const ArchiveHeader& header);
+
+  /// Snapshot of the record index, in file order.
+  std::vector<Entry> index() const;
+
+  /// Loads the latest record for `job_id`; nullopt when absent or corrupt.
+  std::optional<LoadedArchive> load(std::uint64_t job_id) const;
+
+  /// Raw FRSC payload bytes of the latest record for `job_id` — the
+  /// byte-identity currency of the preemption equivalence gates.
+  std::optional<std::string> payload_bytes(std::uint64_t job_id) const;
+
+ private:
+  bool find_latest(std::uint64_t job_id, Entry& entry) const;
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::vector<Entry> index_;
+  std::uint64_t end_offset_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool ok_ = false;
+};
 
 }  // namespace flashroute::io

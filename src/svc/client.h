@@ -1,0 +1,72 @@
+// frctl's client side of the frd wire protocol (DESIGN.md §12).
+//
+// A thin synchronous RPC wrapper: every call sends one frame and blocks for
+// the reply on the same connection.  connect() retries until its deadline
+// so a client racing a booting daemon (the CI smoke does exactly that)
+// settles without shell-side sleep loops.  All socket I/O goes through
+// svc/socket.h; this layer only assembles and parses wire.h payloads.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "svc/job.h"
+#include "svc/scheduler.h"
+#include "svc/socket.h"
+
+namespace flashroute::svc {
+
+struct DiffReply {
+  bool ok = false;
+  std::string error;  ///< set when !ok
+  std::uint64_t interfaces_before = 0;
+  std::uint64_t interfaces_after = 0;
+  std::uint64_t interfaces_appeared = 0;
+  std::uint64_t interfaces_vanished = 0;
+  std::uint64_t routes_compared = 0;
+  std::uint64_t routes_changed_hops = 0;
+  std::uint64_t routes_changed_length = 0;
+};
+
+struct VerifyReply {
+  bool found = false;
+  std::uint64_t payload_size = 0;
+  std::uint64_t payload_fnv1a = 0;
+};
+
+class Client {
+ public:
+  /// Connects to a daemon socket, retrying for up to `timeout_ms` (the
+  /// daemon may still be binding).  nullopt on timeout.
+  static std::optional<Client> connect(const std::string& socket_path,
+                                       int timeout_ms = 5000);
+
+  /// nullopt on a transport or protocol error (daemon gone).
+  std::optional<Submission> submit(const JobSpec& spec);
+  std::optional<JobView> status(std::uint64_t job_id);
+  std::optional<std::vector<JobView>> list();
+  std::optional<CancelOutcome> cancel(std::uint64_t job_id);
+  std::optional<DiffReply> diff(std::uint64_t before_id,
+                                std::uint64_t after_id);
+  std::optional<VerifyReply> verify(std::uint64_t job_id);
+  bool shutdown();
+
+  /// Polls status until the job reaches a terminal state.
+  std::optional<JobView> wait_job(std::uint64_t job_id, int poll_ms = 20);
+  /// Polls list() until every job is terminal; false on transport error.
+  bool wait_all(int poll_ms = 20);
+
+ private:
+  explicit Client(Connection connection)
+      : connection_(std::move(connection)) {}
+
+  /// One request/reply exchange; nullopt when the daemon is gone.
+  std::optional<std::string> roundtrip(const std::string& request);
+
+  Connection connection_;
+};
+
+}  // namespace flashroute::svc

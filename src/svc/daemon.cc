@@ -1,0 +1,411 @@
+#include "svc/daemon.h"
+
+#include <utility>
+
+#include "analysis/churn.h"
+
+namespace flashroute::svc {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+std::string error_reply(const char* message) {
+  Writer w(MsgType::kError);
+  w.put_string(message);
+  return w.bytes();
+}
+
+}  // namespace
+
+Daemon::Daemon(const DaemonOptions& options)
+    : options_(options), scheduler_(([&options] {
+        SchedulerConfig config = options.scheduler;
+        if (config.num_workers < 1) config.num_workers = 1;
+        return config;
+      })()) {
+  if (options_.scheduler.num_workers < 1) options_.scheduler.num_workers = 1;
+  ids_ = obs::register_job_metrics(registry_);
+  registry_.freeze(1 + options_.scheduler.num_workers);
+  for (int i = 0; i < registry_.num_lanes(); ++i) {
+    lanes_.push_back(registry_.lane(i));
+  }
+}
+
+Daemon::~Daemon() {
+  if (started_) {
+    request_shutdown();
+    wait();
+  }
+}
+
+bool Daemon::start() {
+  archive_ = std::make_unique<io::JobArchive>(options_.archive_path);
+  if (!archive_->ok()) return false;
+  auto listener = ListenSocket::bind_and_listen(options_.socket_path);
+  if (!listener.has_value() || !wake_.valid()) return false;
+  listener_ = std::move(*listener);
+  epoch_ = clock_.now();
+  JobEventLog::NowFn event_clock = options_.event_clock;
+  if (!event_clock) {
+    event_clock = [this] { return static_cast<std::uint64_t>(now()); };
+  }
+  events_ = std::make_unique<JobEventLog>(options_.events, event_clock);
+  io_thread_ = std::thread(&Daemon::io_loop, this);
+  workers_.reserve(static_cast<std::size_t>(options_.scheduler.num_workers));
+  for (int i = 0; i < options_.scheduler.num_workers; ++i) {
+    workers_.emplace_back(&Daemon::worker_loop, this, i);
+  }
+  started_ = true;
+  return true;
+}
+
+void Daemon::request_shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_requested_ = true;
+    scheduler_.drain();
+  }
+  cv_.notify_all();
+  wake_.wake();
+}
+
+void Daemon::wait() {
+  if (!started_) return;
+  if (io_thread_.joinable()) io_thread_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  if (summary_written_) return;
+  summary_written_ = true;
+  const obs::MetricsSnapshot snapshot = registry_.snapshot();
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  counters.reserve(snapshot.counter_names.size());
+  for (std::size_t i = 0; i < snapshot.counter_names.size(); ++i) {
+    counters.emplace_back(snapshot.counter_names[i], snapshot.counters[i]);
+  }
+  events_->summary(scheduler_.draining(), /*clean_shutdown=*/true, counters);
+}
+
+bool Daemon::reap_for_shutdown() {
+  for (const JobView& view : scheduler_.views()) {
+    if (job_state_terminal(view.state) || view.state == JobState::kRunning) {
+      continue;
+    }
+    if (scheduler_.cancel(view.id) == CancelOutcome::kCancelled) {
+      lanes_[0].inc(ids_.jobs_cancelled);
+      JobEvent event;
+      event.job_id = view.id;
+      event.event = "cancelled";
+      event.detail = "daemon shutdown";
+      events_->emit(event);
+    }
+  }
+  return scheduler_.running_count() == 0;
+}
+
+void Daemon::io_loop() {
+  std::vector<Connection> clients;
+  std::string payload;
+  while (true) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (shutdown_requested_ && reap_for_shutdown()) {
+        stop_workers_ = true;
+        break;
+      }
+    }
+    std::vector<int> fds;
+    fds.reserve(clients.size() + 2);
+    fds.push_back(listener_.fd());
+    fds.push_back(wake_.read_fd());
+    for (const Connection& client : clients) fds.push_back(client.fd());
+    const std::vector<int> ready = wait_readable(fds, 100);
+
+    for (const int fd : ready) {
+      if (fd == wake_.read_fd()) {
+        wake_.drain();
+      } else if (fd == listener_.fd()) {
+        if (auto client = listener_.accept_client(); client.has_value()) {
+          clients.push_back(std::move(*client));
+        }
+      }
+    }
+    for (Connection& client : clients) {
+      bool alive = client.valid();
+      for (const int fd : ready) {
+        if (alive && fd == client.fd()) {
+          if (client.read_frame(payload)) {
+            const std::string reply = handle_request(payload);
+            alive = !reply.empty() && client.write_frame(reply);
+          } else {
+            alive = false;
+          }
+        }
+      }
+      if (!alive) client.close();
+    }
+    std::erase_if(clients,
+                  [](const Connection& client) { return !client.valid(); });
+  }
+  cv_.notify_all();
+}
+
+std::string Daemon::handle_request(std::string_view payload) {
+  const std::optional<MsgType> type = peek_type(payload);
+  if (!type.has_value()) return error_reply("unknown message type");
+  Reader reader(payload);
+  reader.u8();  // consume the type byte
+  switch (*type) {
+    case MsgType::kSubmit:
+      return handle_submit(reader);
+    case MsgType::kStatus:
+      return handle_status(reader);
+    case MsgType::kList:
+      return handle_list();
+    case MsgType::kCancel:
+      return handle_cancel(reader);
+    case MsgType::kDiff:
+      return handle_diff(reader);
+    case MsgType::kVerify:
+      return handle_verify(reader);
+    case MsgType::kShutdown: {
+      request_shutdown();
+      Writer w(MsgType::kOk);
+      return w.bytes();
+    }
+    default:
+      return error_reply("unexpected message type");
+  }
+}
+
+std::string Daemon::handle_submit(Reader& reader) {
+  const std::optional<JobSpec> spec = decode_spec(reader);
+  if (!spec.has_value()) return error_reply("malformed submit");
+
+  Submission submission;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    submission = scheduler_.submit(*spec, now());
+    runners_.push_back(submission.admitted
+                           ? std::make_unique<JobRunner>(*spec)
+                           : nullptr);
+    lanes_[0].inc(ids_.jobs_submitted);
+    JobEvent event;
+    event.job_id = submission.job_id;
+    event.event = "submitted";
+    event.name = spec->name;
+    event.has_priority = true;
+    event.priority = spec->priority;
+    events_->emit(event);
+    JobEvent verdict;
+    verdict.job_id = submission.job_id;
+    if (submission.admitted) {
+      lanes_[0].inc(ids_.jobs_admitted);
+      verdict.event = "admitted";
+    } else {
+      lanes_[0].inc(ids_.jobs_rejected);
+      verdict.event = "rejected";
+      verdict.reason = submission.reason;
+      verdict.detail = submission.detail;
+    }
+    events_->emit(verdict);
+  }
+  cv_.notify_all();
+
+  Writer w(MsgType::kSubmitReply);
+  w.put_bool(submission.admitted);
+  w.put_u64(submission.job_id);
+  w.put_string(submission.reason);
+  w.put_string(submission.detail);
+  return w.bytes();
+}
+
+std::string Daemon::handle_status(Reader& reader) {
+  const std::uint64_t job_id = reader.u64();
+  if (!reader.ok()) return error_reply("malformed status");
+  std::optional<JobView> view;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    view = scheduler_.view(job_id);
+  }
+  Writer w(MsgType::kStatusReply);
+  w.put_bool(view.has_value());
+  if (view.has_value()) encode_view(w, *view);
+  return w.bytes();
+}
+
+std::string Daemon::handle_list() {
+  std::vector<JobView> views;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    views = scheduler_.views();
+  }
+  Writer w(MsgType::kListReply);
+  w.put_varint(views.size());
+  for (const JobView& view : views) encode_view(w, view);
+  return w.bytes();
+}
+
+std::string Daemon::handle_cancel(Reader& reader) {
+  const std::uint64_t job_id = reader.u64();
+  if (!reader.ok()) return error_reply("malformed cancel");
+  CancelOutcome outcome = CancelOutcome::kNotFound;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    outcome = scheduler_.cancel(job_id);
+    if (outcome == CancelOutcome::kSignalled) {
+      JobRunner* runner = runners_[job_id - 1].get();
+      if (runner != nullptr) runner->request_cancel();
+    } else if (outcome == CancelOutcome::kCancelled) {
+      lanes_[0].inc(ids_.jobs_cancelled);
+      JobEvent event;
+      event.job_id = job_id;
+      event.event = "cancelled";
+      event.detail = "cancelled before running";
+      events_->emit(event);
+    }
+  }
+  Writer w(MsgType::kCancelReply);
+  w.put_u8(static_cast<std::uint8_t>(outcome));
+  return w.bytes();
+}
+
+std::string Daemon::handle_diff(Reader& reader) {
+  const std::uint64_t before_id = reader.u64();
+  const std::uint64_t after_id = reader.u64();
+  if (!reader.ok()) return error_reply("malformed diff");
+  // Archive reads take the archive's own lock, not the daemon's — a diff
+  // of two large snapshots must not stall admissions.
+  const std::optional<io::LoadedArchive> before = archive_->load(before_id);
+  const std::optional<io::LoadedArchive> after = archive_->load(after_id);
+  Writer w(MsgType::kDiffReply);
+  if (!before.has_value() || !after.has_value()) {
+    w.put_bool(false);
+    w.put_string("job has no archived result");
+    return w.bytes();
+  }
+  const std::optional<analysis::ChurnReport> report =
+      analysis::diff_snapshots(*before, *after);
+  if (!report.has_value()) {
+    w.put_bool(false);
+    w.put_string("snapshots are not comparable");
+    return w.bytes();
+  }
+  w.put_bool(true);
+  w.put_u64(report->interfaces_before);
+  w.put_u64(report->interfaces_after);
+  w.put_u64(report->interfaces_appeared);
+  w.put_u64(report->interfaces_vanished);
+  w.put_u64(report->routes_compared);
+  w.put_u64(report->routes_changed_hops);
+  w.put_u64(report->routes_changed_length);
+  return w.bytes();
+}
+
+std::string Daemon::handle_verify(Reader& reader) {
+  const std::uint64_t job_id = reader.u64();
+  if (!reader.ok()) return error_reply("malformed verify");
+  const std::optional<std::string> payload = archive_->payload_bytes(job_id);
+  Writer w(MsgType::kVerifyReply);
+  w.put_bool(payload.has_value());
+  if (payload.has_value()) {
+    w.put_u64(payload->size());
+    w.put_u64(fnv1a(*payload));
+  }
+  return w.bytes();
+}
+
+void Daemon::worker_loop(int worker_index) {
+  const obs::MetricsLane lane =
+      lanes_[static_cast<std::size_t>(1 + worker_index)];
+  while (true) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] {
+      return stop_workers_ || scheduler_.has_dispatchable(now());
+    });
+    if (stop_workers_) return;
+    const std::optional<std::uint64_t> id = scheduler_.acquire(now());
+    if (!id.has_value()) continue;
+
+    std::optional<io::ScanCheckpoint> checkpoint =
+        scheduler_.take_checkpoint(*id);
+    JobRunner* runner = runners_[*id - 1].get();
+    const bool resumed = checkpoint.has_value();
+    const std::uint64_t base_probes =
+        resumed ? checkpoint->result.probes_sent : 0;
+    const std::uint64_t slice_no = scheduler_.view(*id)->slices;
+    lane.inc(ids_.slices_dispatched);
+    if (resumed) lane.inc(ids_.jobs_resumed);
+    {
+      JobEvent event;
+      event.job_id = *id;
+      event.event = resumed ? "resumed" : "running";
+      event.worker = worker_index;
+      event.slice = slice_no;
+      event.probes = base_probes;
+      events_->emit(event);
+    }
+    lock.unlock();
+
+    SliceResult slice = runner->run_slice(
+        checkpoint, [&](const io::ScanCheckpoint& barrier_checkpoint) {
+          const std::lock_guard<std::mutex> barrier_lock(mutex_);
+          return scheduler_.on_barrier(
+              *id, barrier_checkpoint.result.probes_sent, now());
+        });
+
+    std::string fail_detail;
+    if (slice.outcome == SliceOutcome::kCompleted &&
+        !archive_->append(*id, slice.result, runner->archive_header())) {
+      fail_detail = "archive append failed";
+    }
+
+    lock.lock();
+    lane.inc(ids_.probes_executed, slice.probes_total > base_probes
+                                       ? slice.probes_total - base_probes
+                                       : 0);
+    JobEvent done;
+    done.job_id = *id;
+    done.worker = worker_index;
+    done.slice = slice_no;
+    done.probes = slice.probes_total;
+    switch (slice.outcome) {
+      case SliceOutcome::kCompleted:
+        if (fail_detail.empty()) {
+          scheduler_.release_completed(*id, slice.probes_total, now());
+          lane.inc(ids_.jobs_completed);
+          done.event = "completed";
+        } else {
+          scheduler_.release_failed(*id, fail_detail);
+          lane.inc(ids_.jobs_failed);
+          done.event = "failed";
+          done.detail = fail_detail;
+        }
+        break;
+      case SliceOutcome::kPreempted:
+        scheduler_.release_preempted(*id, std::move(*slice.checkpoint));
+        lane.inc(ids_.jobs_preempted);
+        done.event = "preempted";
+        break;
+      case SliceOutcome::kCancelled:
+        scheduler_.release_cancelled(*id);
+        lane.inc(ids_.jobs_cancelled);
+        done.event = "cancelled";
+        break;
+    }
+    events_->emit(done);
+    lock.unlock();
+    cv_.notify_all();
+    wake_.wake();  // let the I/O loop re-evaluate drain progress
+  }
+}
+
+}  // namespace flashroute::svc

@@ -1,0 +1,131 @@
+// frd — the continuous-scanning daemon (DESIGN.md §12).
+//
+// Threads:
+//   * one I/O thread runs a poll(2) loop over the AF_UNIX listener, the
+//     connected clients, and a self-pipe; it decodes frames (wire.h),
+//     serves control-plane requests under the daemon mutex, and never
+//     touches a scan;
+//   * `num_workers` worker threads sleep on a condition variable and, when
+//     the scheduler has a dispatchable job, run one slice of it
+//     (job_runner.h), consulting the scheduler at every checkpoint barrier.
+//
+// The scheduler itself is unsynchronized; every access happens under
+// `mutex_`.  Scan slices run outside the lock — a barrier decision is the
+// only moment a running scan synchronizes with the control plane.
+//
+// Completed jobs append their FRSC payload to a shared io::JobArchive;
+// diff queries load two jobs' snapshots from it and run
+// analysis::diff_snapshots.  Every lifecycle transition is emitted to the
+// JSONL job-event stream (event_log.h) and mirrored in the svc.* metrics
+// lanes: lane 0 belongs to the I/O thread (admission events), lane 1+i to
+// worker i (execution events) — the PR 3 single-writer discipline.
+//
+// Shutdown: drain (reject new work, preempt running jobs at their next
+// barrier), cancel whatever never got to finish, join the workers, then
+// write the "job_summary" line.  A daemon killed between those steps leaves
+// a truncated-but-recoverable archive (JobArchive's crash contract).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/scan_archive.h"
+#include "obs/job_metrics.h"
+#include "obs/metrics.h"
+#include "svc/event_log.h"
+#include "svc/job_runner.h"
+#include "svc/scheduler.h"
+#include "svc/socket.h"
+#include "svc/wire.h"
+#include "util/clock.h"
+
+namespace flashroute::svc {
+
+struct DaemonOptions {
+  std::string socket_path = "/tmp/frd.sock";
+  std::string archive_path = "frd_archive.bin";
+  SchedulerConfig scheduler;
+  /// JSONL job-event sink; null = events are counted but not written.
+  std::ostream* events = nullptr;
+  /// Timestamp supplier for the event stream; null = monotonic nanoseconds
+  /// since daemon start.  Tests inject a deterministic clock here.
+  JobEventLog::NowFn event_clock;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(const DaemonOptions& options);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Binds the socket, opens the archive, spawns the threads.  False when
+  /// the socket or archive could not be set up.
+  [[nodiscard]] bool start();
+
+  /// Blocks until shutdown (a kShutdown frame or request_shutdown())
+  /// completes, then writes the job_summary line.
+  void wait();
+
+  /// Programmatic equivalent of a kShutdown frame (signal handlers, tests).
+  void request_shutdown();
+
+  const std::string& socket_path() const noexcept {
+    return options_.socket_path;
+  }
+  obs::MetricsSnapshot metrics_snapshot() const {
+    return registry_.snapshot();
+  }
+
+ private:
+  void io_loop();
+  void worker_loop(int worker_index);
+  /// Serves one request frame; returns the reply payload ("" = drop peer).
+  std::string handle_request(std::string_view payload);
+  std::string handle_submit(Reader& reader);
+  std::string handle_status(Reader& reader);
+  std::string handle_list();
+  std::string handle_cancel(Reader& reader);
+  std::string handle_diff(Reader& reader);
+  std::string handle_verify(Reader& reader);
+  /// Cancels jobs that will never run again under drain; true when every
+  /// job is terminal and no worker holds one.
+  bool reap_for_shutdown();
+  util::Nanos now() const noexcept { return clock_.now() - epoch_; }
+
+  DaemonOptions options_;
+  util::MonotonicClock clock_;
+  util::Nanos epoch_ = 0;
+
+  obs::MetricsRegistry registry_;
+  obs::JobMetricIds ids_;
+  std::vector<obs::MetricsLane> lanes_;  ///< [0] control, [1+i] worker i
+
+  std::unique_ptr<JobEventLog> events_;
+  std::unique_ptr<io::JobArchive> archive_;
+  ListenSocket listener_;
+  WakePipe wake_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  Scheduler scheduler_;
+  /// runners_[id - 1]; null for rejected jobs.  Grows under mutex_ only.
+  std::vector<std::unique_ptr<JobRunner>> runners_;
+  bool shutdown_requested_ = false;
+  bool stop_workers_ = false;
+
+  std::thread io_thread_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool summary_written_ = false;
+};
+
+}  // namespace flashroute::svc

@@ -1,0 +1,132 @@
+// Scan jobs: the unit of work of the continuous-scanning service
+// (DESIGN.md §12).
+//
+// A JobSpec describes one sim-backed scan — universe, seeds, engine knobs,
+// and the scheduling inputs (priority, fair-share weight, rate budget).
+// checkpoint_interval doubles as the preemption granularity: the scheduler
+// may only stop a job at the deterministic virtual-time checkpoint barriers
+// the spec itself defines, which is what makes a preempted-then-resumed
+// job's output byte-identical to its uncontended run (the PR 5 equivalence
+// contract: the quiesce at every barrier happens whether or not the job is
+// preempted there).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.h"
+
+namespace flashroute::svc {
+
+/// Job lifecycle states.  Legal transitions (mirrored by the JSONL event
+/// stream and validated by scripts/check_metrics_schema.py --job-events):
+///
+///   submitted → queued | rejected
+///   queued    → running | cancelled
+///   running   → preempted | completed | failed | cancelled
+///   preempted → running | cancelled
+///
+/// rejected / completed / failed / cancelled are terminal.
+enum class JobState : std::uint8_t {
+  kQueued,
+  kRunning,
+  kPreempted,
+  kCompleted,
+  kFailed,
+  kCancelled,
+  kRejected,
+};
+
+inline const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kPreempted:
+      return "preempted";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+inline bool job_state_terminal(JobState state) {
+  return state == JobState::kCompleted || state == JobState::kFailed ||
+         state == JobState::kCancelled || state == JobState::kRejected;
+}
+
+// Machine-readable admission-rejection reasons (carried verbatim on the
+// wire and in the "rejected" job event).
+inline constexpr char kRejectRateExceedsGlobalBudget[] =
+    "rate_exceeds_global_budget";
+inline constexpr char kRejectQueueFull[] = "queue_full";
+inline constexpr char kRejectBadSpec[] = "bad_spec";
+inline constexpr char kRejectDraining[] = "draining";
+
+/// One scan job.  Every field participates in the scan's determinism: two
+/// jobs with equal specs produce byte-identical archive payloads no matter
+/// how the scheduler slices them.
+struct JobSpec {
+  std::string name;  ///< client label, echoed in events (not semantic)
+
+  // Universe + seeds.
+  int prefix_bits = 8;
+  std::uint32_t first_prefix = 0x010000;
+  std::uint64_t topology_seed = 1;
+  std::uint64_t scan_seed = 7;
+  std::uint64_t target_seed = 42;
+
+  // Engine knobs.
+  double probes_per_second = 20'000.0;  ///< virtual rate; admission input
+  std::uint8_t split_ttl = 16;
+  std::uint8_t gap_limit = 5;
+  std::uint8_t max_ttl = 32;
+  bool preprobe_random = false;  ///< kRandom preprobing (kNone otherwise)
+  bool collect_routes = true;
+  std::uint8_t max_retransmits = 0;
+  bool adaptive_backoff = false;
+  util::Nanos min_round_duration = 50 * util::kMillisecond;
+
+  // Scheduling inputs.
+  int priority = 0;     ///< higher dispatches first
+  double weight = 1.0;  ///< fair-share weight within a priority class
+  /// Virtual-time distance between checkpoint barriers — the preemption
+  /// granularity.  Must be > 0: a job without barriers cannot be preempted
+  /// or resumed, so the service refuses it.
+  util::Nanos checkpoint_interval = 100 * util::kMillisecond;
+};
+
+/// Validates a spec for admission; returns nullptr when acceptable, else a
+/// short human-readable detail (the wire reason stays kRejectBadSpec).
+inline const char* validate_spec(const JobSpec& spec) {
+  if (spec.prefix_bits < 1 || spec.prefix_bits > 20) {
+    return "prefix_bits out of [1, 20]";
+  }
+  if (!(spec.probes_per_second > 0.0) ||
+      spec.probes_per_second > 1'000'000'000.0) {
+    return "probes_per_second out of (0, 1e9]";
+  }
+  if (!(spec.weight > 0.0)) return "weight must be positive";
+  if (spec.checkpoint_interval <= 0) {
+    return "checkpoint_interval must be positive (preemption granularity)";
+  }
+  if (spec.min_round_duration <= 0) {
+    return "min_round_duration must be positive";
+  }
+  if (spec.split_ttl < 1 || spec.split_ttl > spec.max_ttl) {
+    return "split_ttl out of [1, max_ttl]";
+  }
+  if (spec.gap_limit < 1) return "gap_limit must be >= 1";
+  if (spec.name.size() > 128) return "name longer than 128 bytes";
+  return nullptr;
+}
+
+}  // namespace flashroute::svc

@@ -1,0 +1,282 @@
+#include "svc/scheduler.h"
+
+#include <utility>
+
+namespace flashroute::svc {
+
+namespace {
+
+// Tolerance for the budget comparison: admitting N jobs whose rates sum to
+// exactly the global budget must not founder on floating-point dust.
+constexpr double kBudgetEpsilon = 1e-6;
+
+util::TokenBucket make_bucket(const JobSpec& spec,
+                              const SchedulerConfig& config, util::Nanos now) {
+  const double rate = spec.probes_per_second > 0.0 ? spec.probes_per_second
+                                                   : 1.0;  // rejected anyway
+  const double scaled =
+      rate * (config.rate_multiplier > 0.0 ? config.rate_multiplier : 1.0);
+  const double burst =
+      scaled * (config.burst_seconds > 0.0 ? config.burst_seconds : 0.25);
+  return util::TokenBucket(scaled, burst < 1.0 ? 1.0 : burst, now);
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const SchedulerConfig& config) : config_(config) {}
+
+Submission Scheduler::submit(const JobSpec& spec, util::Nanos now) {
+  Submission submission;
+  submission.job_id = jobs_.size() + 1;
+
+  const char* reject = nullptr;
+  const char* detail = nullptr;
+  if (draining_) {
+    reject = kRejectDraining;
+    detail = "daemon is shutting down";
+  } else if (const char* bad = validate_spec(spec); bad != nullptr) {
+    reject = kRejectBadSpec;
+    detail = bad;
+  } else if (spec.probes_per_second >
+             config_.global_pps_budget * (1.0 + kBudgetEpsilon)) {
+    reject = kRejectRateExceedsGlobalBudget;
+    detail = "spec rate alone exceeds the global pps budget";
+  } else if (queue_depth() >= config_.max_queued) {
+    reject = kRejectQueueFull;
+    detail = "admission queue is full";
+  }
+
+  Entry entry(submission.job_id, spec, make_bucket(spec, config_, now));
+  entry.metered = config_.rate_multiplier > 0.0;
+  if (reject != nullptr) {
+    entry.state = JobState::kRejected;
+    entry.detail = detail;
+    submission.admitted = false;
+    submission.reason = reject;
+    submission.detail = detail;
+  } else {
+    entry.state = JobState::kQueued;
+    submission.admitted = true;
+  }
+  jobs_.push_back(std::move(entry));
+  return submission;
+}
+
+std::optional<std::uint64_t> Scheduler::acquire(util::Nanos now) {
+  if (draining_ || running_count_ >= config_.num_workers) return std::nullopt;
+  const int index = pick_index(now, nullptr);
+  if (index < 0) return std::nullopt;
+  Entry& entry = jobs_[static_cast<std::size_t>(index)];
+  entry.state = JobState::kRunning;
+  entry.slices += 1;
+  running_pps_ += entry.spec.probes_per_second;
+  running_count_ += 1;
+  return entry.id;
+}
+
+std::optional<io::ScanCheckpoint> Scheduler::take_checkpoint(
+    std::uint64_t job_id) {
+  Entry* entry = find(job_id);
+  if (entry == nullptr || !entry->checkpoint.has_value()) return std::nullopt;
+  std::optional<io::ScanCheckpoint> checkpoint = std::move(entry->checkpoint);
+  entry->checkpoint.reset();
+  return checkpoint;
+}
+
+BarrierDecision Scheduler::on_barrier(std::uint64_t job_id,
+                                      std::uint64_t probes_total,
+                                      util::Nanos now) {
+  Entry* entry = find(job_id);
+  if (entry == nullptr || entry->state != JobState::kRunning) {
+    return BarrierDecision::kCancel;  // defensive: unknown job must stop
+  }
+  const std::uint64_t delta =
+      probes_total > entry->probes ? probes_total - entry->probes : 0;
+  entry->probes = probes_total > entry->probes ? probes_total : entry->probes;
+  if (entry->metered && delta > 0) {
+    entry->bucket.charge(static_cast<double>(delta), now);
+  }
+
+  if (draining_) return BarrierDecision::kPreempt;
+  if (entry->cancel_requested) return BarrierDecision::kCancel;
+
+  // Would some waiter win this slot if we yielded it?
+  const int index = pick_index(now, entry);
+  if (index < 0) {
+    return BarrierDecision::kContinue;  // work-conserving even in debt
+  }
+  if (entry->metered && !entry->bucket.in_credit(now)) {
+    return BarrierDecision::kPreempt;  // out of budget and a peer waits
+  }
+  const Entry& waiter = jobs_[static_cast<std::size_t>(index)];
+  if (waiter.spec.priority > entry->spec.priority) {
+    return BarrierDecision::kPreempt;
+  }
+  if (waiter.spec.priority == entry->spec.priority &&
+      waiter.progress() +
+              static_cast<double>(config_.fair_share_slack) / entry->spec.weight <
+          entry->progress()) {
+    return BarrierDecision::kPreempt;  // fair-share: let the laggard catch up
+  }
+  return BarrierDecision::kContinue;
+}
+
+void Scheduler::release_running(Entry& entry) {
+  running_pps_ -= entry.spec.probes_per_second;
+  if (running_pps_ < 0.0) running_pps_ = 0.0;
+  running_count_ -= 1;
+}
+
+void Scheduler::release_preempted(std::uint64_t job_id,
+                                  io::ScanCheckpoint checkpoint) {
+  Entry* entry = find(job_id);
+  if (entry == nullptr || entry->state != JobState::kRunning) return;
+  release_running(*entry);
+  entry->state = JobState::kPreempted;
+  entry->checkpoint = std::move(checkpoint);
+}
+
+void Scheduler::release_completed(std::uint64_t job_id,
+                                  std::uint64_t probes_total,
+                                  util::Nanos now) {
+  Entry* entry = find(job_id);
+  if (entry == nullptr || entry->state != JobState::kRunning) return;
+  const std::uint64_t delta =
+      probes_total > entry->probes ? probes_total - entry->probes : 0;
+  entry->probes = probes_total > entry->probes ? probes_total : entry->probes;
+  if (entry->metered && delta > 0) {
+    entry->bucket.charge(static_cast<double>(delta), now);
+  }
+  release_running(*entry);
+  entry->state = JobState::kCompleted;
+}
+
+void Scheduler::release_failed(std::uint64_t job_id, std::string detail) {
+  Entry* entry = find(job_id);
+  if (entry == nullptr || entry->state != JobState::kRunning) return;
+  release_running(*entry);
+  entry->state = JobState::kFailed;
+  entry->detail = std::move(detail);
+}
+
+void Scheduler::release_cancelled(std::uint64_t job_id) {
+  Entry* entry = find(job_id);
+  if (entry == nullptr || entry->state != JobState::kRunning) return;
+  release_running(*entry);
+  entry->state = JobState::kCancelled;
+  entry->checkpoint.reset();
+}
+
+CancelOutcome Scheduler::cancel(std::uint64_t job_id) {
+  Entry* entry = find(job_id);
+  if (entry == nullptr) return CancelOutcome::kNotFound;
+  if (job_state_terminal(entry->state)) return CancelOutcome::kAlreadyTerminal;
+  if (entry->state == JobState::kRunning) {
+    entry->cancel_requested = true;
+    return CancelOutcome::kSignalled;
+  }
+  // Queued or preempted: cancel immediately, the job holds no worker.
+  entry->state = JobState::kCancelled;
+  entry->checkpoint.reset();
+  return CancelOutcome::kCancelled;
+}
+
+void Scheduler::drain() { draining_ = true; }
+
+bool Scheduler::has_dispatchable(util::Nanos now) {
+  return !draining_ && running_count_ < config_.num_workers &&
+         pick_index(now, nullptr) >= 0;
+}
+
+bool Scheduler::idle() const {
+  for (const Entry& entry : jobs_) {
+    if (!job_state_terminal(entry.state)) return false;
+  }
+  return true;
+}
+
+bool Scheduler::all_terminal() const { return idle(); }
+
+int Scheduler::queue_depth() const {
+  int depth = 0;
+  for (const Entry& entry : jobs_) {
+    if (entry.state == JobState::kQueued) ++depth;
+  }
+  return depth;
+}
+
+std::optional<JobView> Scheduler::view(std::uint64_t job_id) const {
+  const Entry* entry = find(job_id);
+  if (entry == nullptr) return std::nullopt;
+  return view_of(*entry);
+}
+
+std::vector<JobView> Scheduler::views() const {
+  std::vector<JobView> result;
+  result.reserve(jobs_.size());
+  for (const Entry& entry : jobs_) result.push_back(view_of(entry));
+  return result;
+}
+
+Scheduler::Entry* Scheduler::find(std::uint64_t job_id) {
+  if (job_id == 0 || job_id > jobs_.size()) return nullptr;
+  return &jobs_[static_cast<std::size_t>(job_id - 1)];
+}
+
+const Scheduler::Entry* Scheduler::find(std::uint64_t job_id) const {
+  if (job_id == 0 || job_id > jobs_.size()) return nullptr;
+  return &jobs_[static_cast<std::size_t>(job_id - 1)];
+}
+
+JobView Scheduler::view_of(const Entry& entry) {
+  JobView view;
+  view.id = entry.id;
+  view.state = entry.state;
+  view.name = entry.spec.name;
+  view.priority = entry.spec.priority;
+  view.probes_per_second = entry.spec.probes_per_second;
+  view.probes = entry.probes;
+  view.slices = entry.slices;
+  view.has_checkpoint = entry.checkpoint.has_value();
+  view.detail = entry.detail;
+  return view;
+}
+
+FR_HOT int Scheduler::pick_index(util::Nanos now,
+                                 const Entry* yielding) noexcept {
+  double reserved = running_pps_;
+  if (yielding != nullptr) reserved -= yielding->spec.probes_per_second;
+  if (reserved < 0.0) reserved = 0.0;
+  int best = -1;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    Entry& entry = jobs_[i];
+    if (!entry.waiting() || entry.cancel_requested) continue;
+    if (&entry == yielding) continue;
+    if (!dispatchable(entry, reserved, now)) continue;
+    if (best < 0 || wins(entry, jobs_[static_cast<std::size_t>(best)])) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+FR_HOT bool Scheduler::dispatchable(Entry& entry, double reserved_pps,
+                                    util::Nanos now) noexcept {
+  if (reserved_pps + entry.spec.probes_per_second >
+      config_.global_pps_budget * (1.0 + 1e-6)) {
+    return false;
+  }
+  return !entry.metered || entry.bucket.in_credit(now);
+}
+
+FR_HOT bool Scheduler::wins(const Entry& a, const Entry& b) noexcept {
+  if (a.spec.priority != b.spec.priority) {
+    return a.spec.priority > b.spec.priority;
+  }
+  const double pa = a.progress();
+  const double pb = b.progress();
+  if (pa != pb) return pa < pb;
+  return a.id < b.id;
+}
+
+}  // namespace flashroute::svc

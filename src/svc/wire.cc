@@ -1,0 +1,188 @@
+#include "svc/wire.h"
+
+#include <cstring>
+
+namespace flashroute::svc {
+
+void Writer::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    put_u8(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Writer::put_u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    put_u8(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void Writer::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    put_u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  put_u8(static_cast<std::uint8_t>(v));
+}
+
+void Writer::put_f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(bits);
+}
+
+void Writer::put_string(std::string_view v) {
+  put_varint(v.size());
+  buffer_.append(v.data(), v.size());
+}
+
+bool Reader::need(std::size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t Reader::u8() {
+  if (!need(1)) return 0;
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint32_t Reader::u32() {
+  if (!need(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  if (!need(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_++]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (!need(1) || shift > 63) {
+      ok_ = false;
+      return 0;
+    }
+    const auto byte = static_cast<std::uint8_t>(data_[pos_++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  return v;
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Reader::string() {
+  const std::uint64_t n = varint();
+  if (n > kMaxFrame || !need(static_cast<std::size_t>(n))) {
+    ok_ = false;
+    return {};
+  }
+  std::string s(data_.substr(pos_, static_cast<std::size_t>(n)));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+std::optional<MsgType> peek_type(std::string_view payload) {
+  if (payload.empty()) return std::nullopt;
+  const auto raw = static_cast<std::uint8_t>(payload[0]);
+  if (raw < static_cast<std::uint8_t>(MsgType::kSubmit) ||
+      raw > static_cast<std::uint8_t>(MsgType::kError)) {
+    return std::nullopt;
+  }
+  return static_cast<MsgType>(raw);
+}
+
+void encode_spec(Writer& w, const JobSpec& spec) {
+  w.put_string(spec.name);
+  w.put_u32(static_cast<std::uint32_t>(spec.prefix_bits));
+  w.put_u32(spec.first_prefix);
+  w.put_u64(spec.topology_seed);
+  w.put_u64(spec.scan_seed);
+  w.put_u64(spec.target_seed);
+  w.put_f64(spec.probes_per_second);
+  w.put_u8(spec.split_ttl);
+  w.put_u8(spec.gap_limit);
+  w.put_u8(spec.max_ttl);
+  w.put_bool(spec.preprobe_random);
+  w.put_bool(spec.collect_routes);
+  w.put_u8(spec.max_retransmits);
+  w.put_bool(spec.adaptive_backoff);
+  w.put_u64(static_cast<std::uint64_t>(spec.min_round_duration));
+  w.put_u32(static_cast<std::uint32_t>(spec.priority));
+  w.put_f64(spec.weight);
+  w.put_u64(static_cast<std::uint64_t>(spec.checkpoint_interval));
+}
+
+std::optional<JobSpec> decode_spec(Reader& r) {
+  JobSpec spec;
+  spec.name = r.string();
+  spec.prefix_bits = static_cast<int>(r.u32());
+  spec.first_prefix = r.u32();
+  spec.topology_seed = r.u64();
+  spec.scan_seed = r.u64();
+  spec.target_seed = r.u64();
+  spec.probes_per_second = r.f64();
+  spec.split_ttl = r.u8();
+  spec.gap_limit = r.u8();
+  spec.max_ttl = r.u8();
+  spec.preprobe_random = r.boolean();
+  spec.collect_routes = r.boolean();
+  spec.max_retransmits = r.u8();
+  spec.adaptive_backoff = r.boolean();
+  spec.min_round_duration = static_cast<util::Nanos>(r.u64());
+  spec.priority = static_cast<int>(r.u32());
+  spec.weight = r.f64();
+  spec.checkpoint_interval = static_cast<util::Nanos>(r.u64());
+  if (!r.ok()) return std::nullopt;
+  return spec;
+}
+
+void encode_view(Writer& w, const JobView& view) {
+  w.put_u64(view.id);
+  w.put_u8(static_cast<std::uint8_t>(view.state));
+  w.put_string(view.name);
+  w.put_u32(static_cast<std::uint32_t>(view.priority));
+  w.put_f64(view.probes_per_second);
+  w.put_u64(view.probes);
+  w.put_u64(view.slices);
+  w.put_bool(view.has_checkpoint);
+  w.put_string(view.detail);
+}
+
+std::optional<JobView> decode_view(Reader& r) {
+  JobView view;
+  view.id = r.u64();
+  view.state = static_cast<JobState>(r.u8());
+  view.name = r.string();
+  view.priority = static_cast<int>(r.u32());
+  view.probes_per_second = r.f64();
+  view.probes = r.u64();
+  view.slices = r.u64();
+  view.has_checkpoint = r.boolean();
+  view.detail = r.string();
+  if (!r.ok()) return std::nullopt;
+  return view;
+}
+
+}  // namespace flashroute::svc

@@ -8,6 +8,12 @@
 //
 // The bucket is defined in virtual time (util::Nanos), so the same code
 // serves both the simulator and the real runner.
+//
+// A third user, the scan-job scheduler (src/svc/), meters whole probe
+// *slices* rather than single events: charge() debits N tokens at once and
+// may drive the balance negative (debt), and in_credit() asks whether the
+// job has worked off its debt.  try_consume() is unaffected — it still
+// requires a full token.
 
 #pragma once
 
@@ -42,6 +48,20 @@ class TokenBucket {
   double available(Nanos t) noexcept {
     refill(t);
     return tokens_;
+  }
+
+  /// Debits `n` tokens at time `t`, allowing the balance to go negative —
+  /// the debt model of the svc per-job rate budgets, where a slice's probe
+  /// count is only known after the slice ran.
+  FR_HOT void charge(double n, Nanos t) noexcept {
+    refill(t);
+    tokens_ -= n;
+  }
+
+  /// True when the balance is non-negative at `t` (any debt worked off).
+  [[nodiscard]] FR_HOT bool in_credit(Nanos t) noexcept {
+    refill(t);
+    return tokens_ >= 0.0;
   }
 
   double rate() const noexcept { return rate_; }

@@ -1,0 +1,205 @@
+// Tests for the multi-job archive (io::JobArchive): framed append +
+// round-trip, latest-record-wins lookups, concurrent appends from many
+// threads, and crash-mid-append truncation recovery on reopen.
+
+#include "io/scan_archive.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace flashroute::io {
+namespace {
+
+std::string temp_path(const char* tag) {
+  return "/tmp/fr_job_archive_" + std::string(tag) + "_" +
+         std::to_string(static_cast<long>(::getpid())) + ".bin";
+}
+
+core::ScanResult sample_result(std::uint64_t salt) {
+  core::ScanResult result;
+  result.probes_sent = 100 + salt;
+  result.responses = 50 + salt;
+  result.interfaces.insert(static_cast<std::uint32_t>(0x0A000001 + salt));
+  result.interfaces.insert(static_cast<std::uint32_t>(0x0A000100 + salt));
+  result.destination_distance.assign(4, static_cast<std::uint8_t>(salt % 30));
+  return result;
+}
+
+ArchiveHeader sample_header() {
+  ArchiveHeader header;
+  header.first_prefix = 0x010000;
+  header.prefix_bits = 2;
+  header.seed = 7;
+  return header;
+}
+
+TEST(JobArchive, AppendsAndLoadsFramedRecords) {
+  const std::string path = temp_path("roundtrip");
+  std::remove(path.c_str());
+  {
+    JobArchive archive(path);
+    ASSERT_TRUE(archive.ok());
+    EXPECT_EQ(archive.recovered_bytes_dropped(), 0u);
+    EXPECT_TRUE(archive.index().empty());
+    EXPECT_FALSE(archive.load(1).has_value());
+
+    ASSERT_TRUE(archive.append(1, sample_result(1), sample_header()));
+    ASSERT_TRUE(archive.append(2, sample_result(2), sample_header()));
+
+    const auto index = archive.index();
+    ASSERT_EQ(index.size(), 2u);
+    EXPECT_EQ(index[0].job_id, 1u);
+    EXPECT_EQ(index[1].job_id, 2u);
+
+    const auto loaded = archive.load(2);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->result.probes_sent, 102u);
+    EXPECT_EQ(loaded->header.first_prefix, 0x010000u);
+
+    // The stored payload is exactly the standalone FRSC encoding.
+    std::ostringstream expected;
+    write_archive(sample_result(1), sample_header(), expected);
+    const auto payload = archive.payload_bytes(1);
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_EQ(*payload, expected.str());
+  }
+  // Reopen: the index is rebuilt from the frames on disk.
+  {
+    JobArchive archive(path);
+    ASSERT_TRUE(archive.ok());
+    EXPECT_EQ(archive.recovered_bytes_dropped(), 0u);
+    EXPECT_EQ(archive.index().size(), 2u);
+    EXPECT_TRUE(archive.load(1).has_value());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JobArchive, LatestRecordWinsForARepeatedJobId) {
+  const std::string path = temp_path("latest");
+  std::remove(path.c_str());
+  JobArchive archive(path);
+  ASSERT_TRUE(archive.ok());
+  ASSERT_TRUE(archive.append(5, sample_result(1), sample_header()));
+  ASSERT_TRUE(archive.append(5, sample_result(9), sample_header()));
+  const auto loaded = archive.load(5);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->result.probes_sent, 109u);
+  std::remove(path.c_str());
+}
+
+TEST(JobArchive, ConcurrentAppendsNeverInterleave) {
+  const std::string path = temp_path("concurrent");
+  std::remove(path.c_str());
+  {
+    JobArchive archive(path);
+    ASSERT_TRUE(archive.ok());
+
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 16;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&archive, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const auto job =
+              static_cast<std::uint64_t>(t * kPerThread + i + 1);
+          ASSERT_TRUE(archive.append(job, sample_result(job),
+                                     sample_header()));
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+
+    const auto index = archive.index();
+    ASSERT_EQ(index.size(),
+              static_cast<std::size_t>(kThreads * kPerThread));
+    // Every record is intact and attributed to the right job.
+    for (std::uint64_t job = 1; job <= kThreads * kPerThread; ++job) {
+      const auto loaded = archive.load(job);
+      ASSERT_TRUE(loaded.has_value()) << "job " << job;
+      EXPECT_EQ(loaded->result.probes_sent, 100 + job);
+    }
+  }
+  // The file on disk is frame-clean: a reopen recovers nothing.
+  {
+    JobArchive archive(path);
+    ASSERT_TRUE(archive.ok());
+    EXPECT_EQ(archive.recovered_bytes_dropped(), 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JobArchive, TruncationRecoveryDropsOnlyTheTornTail) {
+  const std::string path = temp_path("torn");
+  std::remove(path.c_str());
+  std::uint64_t full_size = 0;
+  std::uint64_t first_record_end = 0;
+  {
+    JobArchive archive(path);
+    ASSERT_TRUE(archive.ok());
+    ASSERT_TRUE(archive.append(1, sample_result(1), sample_header()));
+    const auto index = archive.index();
+    ASSERT_EQ(index.size(), 1u);
+    // payload end + "JEND" trailer + size echo
+    first_record_end = index[0].payload_offset + index[0].payload_size + 8;
+    ASSERT_TRUE(archive.append(2, sample_result(2), sample_header()));
+  }
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    full_size = static_cast<std::uint64_t>(in.tellg());
+  }
+  ASSERT_GT(full_size, first_record_end);
+
+  // Tear the second record: keep its header but drop its tail, as a crash
+  // mid-append would.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes(static_cast<std::size_t>(full_size), '\0');
+    in.read(bytes.data(), static_cast<std::streamsize>(full_size));
+    bytes.resize(static_cast<std::size_t>(full_size - 5));
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  {
+    JobArchive archive(path);
+    ASSERT_TRUE(archive.ok());
+    EXPECT_GT(archive.recovered_bytes_dropped(), 0u);
+    const auto index = archive.index();
+    ASSERT_EQ(index.size(), 1u);  // the torn record is gone
+    EXPECT_EQ(index[0].job_id, 1u);
+    EXPECT_TRUE(archive.load(1).has_value());
+    EXPECT_FALSE(archive.load(2).has_value());
+
+    // The next append lands cleanly on the recovered boundary.
+    ASSERT_TRUE(archive.append(3, sample_result(3), sample_header()));
+    EXPECT_EQ(archive.index().size(), 2u);
+    EXPECT_TRUE(archive.load(3).has_value());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JobArchive, GarbageFileIsTruncatedToEmpty) {
+  const std::string path = temp_path("garbage");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "this is not an archive at all";
+  }
+  JobArchive archive(path);
+  ASSERT_TRUE(archive.ok());
+  EXPECT_GT(archive.recovered_bytes_dropped(), 0u);
+  EXPECT_TRUE(archive.index().empty());
+  ASSERT_TRUE(archive.append(1, sample_result(1), sample_header()));
+  EXPECT_TRUE(archive.load(1).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace flashroute::io

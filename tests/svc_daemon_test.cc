@@ -1,0 +1,235 @@
+// End-to-end tests for the frd daemon (svc/daemon.h) over its real AF_UNIX
+// socket: submit/status/list/wait, admission rejection on the wire, cancel,
+// archive-backed diff and verify queries, clean shutdown, and the JSONL
+// event stream's structural invariants.  These run the daemon's actual
+// thread structure (I/O poll loop + worker pool), so they are also the
+// TSan coverage for the svc locking discipline.
+
+#include "svc/daemon.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "svc/client.h"
+#include "svc/job.h"
+
+namespace flashroute::svc {
+namespace {
+
+struct DaemonFixture {
+  std::string socket_path;
+  std::string archive_path;
+  std::ostringstream events;
+  std::unique_ptr<Daemon> daemon;
+
+  explicit DaemonFixture(const char* tag, int workers = 2,
+                         double budget = 1e6, int max_queued = 8) {
+    const std::string suffix = std::string(tag) + "_" +
+                               std::to_string(static_cast<long>(::getpid()));
+    socket_path = "/tmp/fr_svc_test_" + suffix + ".sock";
+    archive_path = "/tmp/fr_svc_test_" + suffix + ".bin";
+    std::remove(archive_path.c_str());
+    DaemonOptions options;
+    options.socket_path = socket_path;
+    options.archive_path = archive_path;
+    options.events = &events;
+    options.scheduler.num_workers = workers;
+    options.scheduler.global_pps_budget = budget;
+    options.scheduler.max_queued = max_queued;
+    daemon = std::make_unique<Daemon>(options);
+  }
+
+  ~DaemonFixture() {
+    daemon.reset();  // request_shutdown + wait
+    std::remove(archive_path.c_str());
+  }
+
+  Client connect() {
+    auto client = Client::connect(socket_path);
+    EXPECT_TRUE(client.has_value());
+    return std::move(*client);
+  }
+};
+
+JobSpec quick_spec(const std::string& name, std::uint64_t scan_seed = 7) {
+  JobSpec spec;
+  spec.name = name;
+  spec.prefix_bits = 6;
+  spec.scan_seed = scan_seed;
+  return spec;
+}
+
+TEST(SvcDaemon, SubmitRunsToCompletionAndAnswersQueries) {
+  DaemonFixture fixture("basic");
+  ASSERT_TRUE(fixture.daemon->start());
+  Client client = fixture.connect();
+
+  const auto first = client.submit(quick_spec("first", 7));
+  const auto second = client.submit(quick_spec("second", 8));
+  ASSERT_TRUE(first.has_value() && first->admitted);
+  ASSERT_TRUE(second.has_value() && second->admitted);
+  EXPECT_NE(first->job_id, second->job_id);
+
+  ASSERT_TRUE(client.wait_all(2));
+  const auto views = client.list();
+  ASSERT_TRUE(views.has_value());
+  ASSERT_EQ(views->size(), 2u);
+  for (const JobView& view : *views) {
+    EXPECT_EQ(view.state, JobState::kCompleted);
+    EXPECT_GT(view.probes, 0u);
+    EXPECT_GE(view.slices, 1u);
+  }
+
+  const auto status = client.status(first->job_id);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->name, "first");
+
+  // Both results are archived; same-universe snapshots diff cleanly.
+  const auto verify = client.verify(first->job_id);
+  ASSERT_TRUE(verify.has_value());
+  EXPECT_TRUE(verify->found);
+  EXPECT_GT(verify->payload_size, 0u);
+
+  const auto diff = client.diff(first->job_id, second->job_id);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_TRUE(diff->ok) << diff->error;
+  EXPECT_GT(diff->routes_compared, 0u);
+
+  EXPECT_TRUE(client.shutdown());
+  fixture.daemon->wait();
+
+  const std::string stream = fixture.events.str();
+  EXPECT_NE(stream.find("\"event\":\"submitted\""), std::string::npos);
+  EXPECT_NE(stream.find("\"event\":\"completed\""), std::string::npos);
+  EXPECT_NE(stream.find("\"type\":\"job_summary\""), std::string::npos);
+  EXPECT_NE(stream.find("\"clean_shutdown\":true"), std::string::npos);
+}
+
+TEST(SvcDaemon, IdenticalSpecsArchiveIdenticalPayloads) {
+  DaemonFixture fixture("identical");
+  ASSERT_TRUE(fixture.daemon->start());
+  Client client = fixture.connect();
+
+  const auto a = client.submit(quick_spec("twin-a"));
+  const auto b = client.submit(quick_spec("twin-b"));
+  ASSERT_TRUE(a.has_value() && a->admitted);
+  ASSERT_TRUE(b.has_value() && b->admitted);
+  ASSERT_TRUE(client.wait_all(2));
+
+  const auto va = client.verify(a->job_id);
+  const auto vb = client.verify(b->job_id);
+  ASSERT_TRUE(va.has_value() && va->found);
+  ASSERT_TRUE(vb.has_value() && vb->found);
+  // Equal specs ⇒ equal bytes, however the two workers interleaved.
+  EXPECT_EQ(va->payload_size, vb->payload_size);
+  EXPECT_EQ(va->payload_fnv1a, vb->payload_fnv1a);
+}
+
+TEST(SvcDaemon, RejectionsAndMissingJobsOnTheWire) {
+  DaemonFixture fixture("reject", /*workers=*/1, /*budget=*/10'000.0);
+  ASSERT_TRUE(fixture.daemon->start());
+  Client client = fixture.connect();
+
+  JobSpec greedy = quick_spec("greedy");
+  greedy.probes_per_second = 20'000.0;
+  const auto rejected = client.submit(greedy);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_FALSE(rejected->admitted);
+  EXPECT_EQ(rejected->reason, kRejectRateExceedsGlobalBudget);
+
+  // Rejected jobs still answer status (terminal, with the detail).
+  const auto view = client.status(rejected->job_id);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->state, JobState::kRejected);
+
+  EXPECT_FALSE(client.status(999).has_value());
+  const auto cancel = client.cancel(999);
+  ASSERT_TRUE(cancel.has_value());
+  EXPECT_EQ(*cancel, CancelOutcome::kNotFound);
+
+  const auto diff = client.diff(rejected->job_id, rejected->job_id);
+  ASSERT_TRUE(diff.has_value());
+  EXPECT_FALSE(diff->ok);
+  EXPECT_FALSE(diff->error.empty());
+
+  const auto verify = client.verify(rejected->job_id);
+  ASSERT_TRUE(verify.has_value());
+  EXPECT_FALSE(verify->found);
+}
+
+TEST(SvcDaemon, CancelQueuedJobBeforeItRuns) {
+  // Zero workers is clamped to one; a long-running job pins it while the
+  // victim waits in the queue.
+  DaemonFixture fixture("cancel", /*workers=*/1);
+  ASSERT_TRUE(fixture.daemon->start());
+  Client client = fixture.connect();
+
+  JobSpec runner = quick_spec("runner");
+  runner.prefix_bits = 12;
+  const auto running = client.submit(runner);
+  ASSERT_TRUE(running.has_value() && running->admitted);
+  const auto queued = client.submit(quick_spec("victim"));
+  ASSERT_TRUE(queued.has_value() && queued->admitted);
+
+  const auto outcome = client.cancel(queued->job_id);
+  ASSERT_TRUE(outcome.has_value());
+  // Usually still queued (kCancelled); kSignalled if it slipped onto the
+  // worker first.  Either way it must reach a terminal state.
+  EXPECT_TRUE(*outcome == CancelOutcome::kCancelled ||
+              *outcome == CancelOutcome::kSignalled);
+  const auto view = client.wait_job(queued->job_id, 2);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(job_state_terminal(view->state));
+
+  ASSERT_TRUE(client.wait_all(2));
+  const auto final_runner = client.status(running->job_id);
+  ASSERT_TRUE(final_runner.has_value());
+  EXPECT_EQ(final_runner->state, JobState::kCompleted);
+}
+
+TEST(SvcDaemon, ShutdownCancelsQueuedWorkAndWritesSummary) {
+  DaemonFixture fixture("shutdown", /*workers=*/1);
+  ASSERT_TRUE(fixture.daemon->start());
+  Client client = fixture.connect();
+
+  JobSpec big = quick_spec("big");
+  big.prefix_bits = 12;
+  const auto a = client.submit(big);
+  const auto b = client.submit(quick_spec("stranded"));
+  ASSERT_TRUE(a.has_value() && a->admitted);
+  ASSERT_TRUE(b.has_value() && b->admitted);
+
+  EXPECT_TRUE(client.shutdown());
+  fixture.daemon->wait();
+
+  const std::string stream = fixture.events.str();
+  EXPECT_NE(stream.find("\"type\":\"job_summary\""), std::string::npos);
+  EXPECT_NE(stream.find("\"drained\":true"), std::string::npos);
+  // Whatever never finished was explicitly cancelled, not dropped.
+  const bool all_resolved =
+      stream.find("\"event\":\"cancelled\"") != std::string::npos ||
+      (stream.find("\"job\":1,\"event\":\"completed\"") !=
+           std::string::npos &&
+       stream.find("\"job\":2,\"event\":\"completed\"") !=
+           std::string::npos);
+  EXPECT_TRUE(all_resolved) << stream;
+}
+
+TEST(SvcDaemon, StartFailsOnUnbindablePath) {
+  DaemonOptions options;
+  options.socket_path = "/nonexistent-dir/frd.sock";
+  options.archive_path = "/tmp/fr_svc_test_unbindable_" +
+                         std::to_string(static_cast<long>(::getpid())) +
+                         ".bin";
+  Daemon daemon(options);
+  EXPECT_FALSE(daemon.start());
+  std::remove(options.archive_path.c_str());
+}
+
+}  // namespace
+}  // namespace flashroute::svc
