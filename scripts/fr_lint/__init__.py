@@ -6,6 +6,8 @@ Enforces the invariants DESIGN.md §8 documents:
   * atomics discipline (rules single-writer, atomic-member)
   * determinism        (rules det-random, det-wallclock, det-ptr-iter)
   * include layering   (rule layering)
+  * lock discipline    (rules guarded-member, lock-order, cap-boundary;
+                        DESIGN.md §13)
 
 Two engines produce findings: a libclang engine over the CMake-exported
 compile_commands.json (engine=clang) and a pure-stdlib token-level engine
@@ -23,4 +25,7 @@ RULES = (
     "det-wallclock",
     "det-ptr-iter",
     "layering",
+    "guarded-member",
+    "lock-order",
+    "cap-boundary",
 )

@@ -171,6 +171,38 @@ SVC_IO_BOUNDARY_FILES = frozenset({
     "src/svc/socket.cc",
 })
 
+# --- lock discipline (DESIGN.md §13) -----------------------------------------
+
+# Type names that make a class "mutex-owning" when held by value: every
+# other mutable field of such a class must carry FR_GUARDED_BY, an
+# `// fr-atomic: <role>` comment, or an explicit allow (rule guarded-member).
+MUTEX_TYPES = frozenset({
+    "std::mutex", "util::Mutex", "Mutex",
+})
+
+# RAII guard types whose declaration lexically acquires a capability for
+# the rest of the enclosing block (rules lock-order, cap-boundary).
+GUARD_TYPES = frozenset({
+    "lock_guard", "unique_lock", "scoped_lock", "MutexLock",
+})
+
+# Synchronization-primitive member types that are not "data" for the
+# guarded-member rule (they synchronize; nothing guards them).
+SYNC_MEMBER_TYPES = frozenset({
+    "std::mutex", "util::Mutex", "Mutex",
+    "std::condition_variable", "std::condition_variable_any",
+    "util::CondVar", "CondVar",
+})
+
+# The blocking entry points of the svc I/O boundary (socket.h): calling one
+# with any capability held parks a lock on peer behavior (rule
+# cap-boundary).  WakePipe::wake()/drain() are deliberately absent — both
+# are single-syscall, non-blocking, and documented as cross-thread-safe.
+CAP_BOUNDARY_CALLS = frozenset({
+    "read_frame", "write_frame", "accept_client", "wait_readable",
+    "connect_unix", "bind_and_listen",
+})
+
 # --- scan scope --------------------------------------------------------------
 
 SOURCE_DIRS = ("src",)

@@ -41,6 +41,179 @@ _NONRELAXED_ORDER_RE = re.compile(
 _ATOMIC_DECL_RE = re.compile(r"\bstd::atomic(?:_flag)?\b")
 _PTR_UNORDERED_RE = re.compile(r"\bunordered_(?:map|set)\s*<[^;{}()]*\*")
 
+# -- lock-discipline patterns (DESIGN.md §13) ---------------------------------
+
+_CLASS_KEY_RE = re.compile(r"\b(?:class|struct)\s+")
+# Name after `class`/`struct`, skipping capability macros / attributes.
+_CLASS_NAME_RE = re.compile(
+    r"(?:FR_[A-Z_]+\s*(?:\([^()]*\))?\s*|\[\[[^\]]*\]\]\s*"
+    r"|alignas\s*\([^()]*\)\s*)*([A-Za-z_]\w*)"
+)
+_MUTEX_MEMBER_RE = re.compile(
+    r"(?<![\w:])(?:mutable\s+)?("
+    + "|".join(sorted((re.escape(t) for t in config.MUTEX_TYPES),
+                      key=len, reverse=True))
+    + r")\s+([A-Za-z_]\w*)\s*;"
+)
+_GUARD_DECL_RE = re.compile(
+    r"\b(?:const\s+)?(?:std::|util::)?("
+    + "|".join(sorted(config.GUARD_TYPES))
+    + r")(?:\s*<[^;{}]*>)?\s+[A-Za-z_]\w*\s*\(([^;{}]*)\)"
+)
+_EXCLUDES_ANN_RE = re.compile(r"\bFR_EXCLUDES\s*\(([^()]*)\)")
+_REQUIRES_ANN_RE = re.compile(r"\bFR_REQUIRES\s*\(([^()]*)\)")
+_GUARDED_BY_ANN_RE = re.compile(r"\bFR_(?:PT_)?GUARDED_BY\s*\(")
+_FR_MACRO_ANY_RE = re.compile(r"\bFR_[A-Z_]+\s*(?:\([^()]*\))?")
+_ACCESS_SPEC_RE = re.compile(r"\b(?:public|protected|private)\s*:(?!:)")
+_METHOD_DEF_RE = re.compile(r"\b([A-Za-z_]\w*)::(~?[A-Za-z_]\w*)\s*\(")
+
+# First tokens that mark a class-body statement as not-a-data-member.
+_MEMBER_SKIP_FIRST = frozenset({
+    "public", "protected", "private", "using", "typedef", "friend",
+    "static", "template", "enum", "class", "struct", "operator",
+    "virtual", "explicit", "inline", "constexpr", "static_assert",
+})
+
+
+def _class_extents(text: str) -> list[tuple[str, int, int]]:
+    """(name, open_brace, end) for every class/struct *definition*."""
+    extents = []
+    for m in _CLASS_KEY_RE.finditer(text):
+        before = text[: m.start()].rstrip()
+        # `enum class`, `friend class`, and template parameter lists
+        # (`template <class T>`) introduce no new class body here.
+        if re.search(r"\benum$|\bfriend$", before) or before[-1:] in "<,":
+            continue
+        nm = _CLASS_NAME_RE.match(text, m.end())
+        if not nm or not nm.group(1):
+            continue
+        depth = 0
+        open_brace = None
+        for i in range(nm.end(), len(text)):
+            c = text[i]
+            if c in "(<":
+                depth += 1
+            elif c in ")>":
+                depth = max(0, depth - 1)
+            elif depth == 0 and c == "{":
+                open_brace = i
+                break
+            elif depth == 0 and c == ";":
+                break
+        if open_brace is not None:
+            extents.append(
+                (nm.group(1), open_brace, match_brace(text, open_brace))
+            )
+    return extents
+
+
+def _innermost(extents, pos: int) -> str | None:
+    best = None
+    for name, start, end in extents:
+        if start < pos < end and (best is None or end - start < best[1]):
+            best = (name, end - start)
+    return best[0] if best else None
+
+
+def _method_spans(text: str) -> list[tuple[str, int, int]]:
+    """(class, body_start, body_end) for out-of-class `Cls::name(...) {`
+    definitions — the context used to qualify bare `mutex_` in .cc files."""
+    spans = []
+    for m in _METHOD_DEF_RE.finditer(text):
+        body = _body_after_params(text, m.end() - 1)
+        if body is not None:
+            spans.append((m.group(1), body[0], body[1]))
+    return spans
+
+
+def _body_after_params(text: str, open_paren: int) -> tuple[int, int] | None:
+    """From the `(` of a parameter list, finds the `{...}` body that follows
+    it at paren depth 0 (skipping ctor init lists and trailing annotation
+    macros).  Returns None for declarations and call expressions."""
+    depth = 0
+    for i in range(open_paren, len(text)):
+        c = text[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth < 0:
+                return None  # call expression inside a larger paren
+        elif depth == 0:
+            if c == "{":
+                return i, match_brace(text, i)
+            if c == ";":
+                return None
+    return None
+
+
+def _brace_intervals(text: str) -> list[tuple[int, int]]:
+    stack: list[int] = []
+    intervals = []
+    for i, c in enumerate(text):
+        if c == "{":
+            stack.append(i)
+        elif c == "}" and stack:
+            intervals.append((stack.pop(), i))
+    return intervals
+
+
+def _enclosing_block_end(intervals, pos: int) -> int | None:
+    best = None
+    for start, end in intervals:
+        if start < pos <= end and (best is None or end - start < best[1]):
+            best = (end, end - start)
+    return best[0] if best else None
+
+
+def _split_args(args: str) -> list[str]:
+    """Splits an argument list on top-level commas."""
+    parts, depth, cur = [], 0, []
+    for c in args:
+        if c in "(<[":
+            depth += 1
+        elif c in ")>]":
+            depth = max(0, depth - 1)
+        if c == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    parts.append("".join(cur))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def _statements(body: str):
+    """Splits a class-body string into top-level statements, collapsing
+    nested brace groups (methods, nested classes, brace initializers) to
+    `{}`.  Yields (statement_text, offset_of_statement_start)."""
+    i, n, start, depth = 0, len(body), 0, 0
+    while i < n:
+        c = body[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth = max(0, depth - 1)
+        elif c == "{" and depth == 0:
+            group_end = match_brace(body, i)  # just past '}'
+            j = group_end
+            while j < n and body[j] in " \t\n":
+                j += 1
+            if j < n and body[j] == ";":
+                yield body[start:i] + "{};", start
+                i = j + 1
+            else:
+                yield body[start:i] + "{}", start
+                i = group_end
+            start = i
+            continue
+        elif c == ";" and depth == 0:
+            yield body[start:i + 1], start
+            i += 1
+            start = i
+            continue
+        i += 1
+
 # Tokens that, when found as the word immediately before a call-looking
 # identifier, mean "this is a call, not a declaration".
 _NOT_A_TYPE = frozenset({
@@ -134,6 +307,7 @@ class FallbackEngine:
             self._check_ptr_iter(src)
             self._check_svc_boundary(src)
             self._check_layering(src)
+        self._check_lock_rules()
         return sorted(
             self.findings, key=lambda f: (f.path, f.line, f.rule)
         )
@@ -370,3 +544,251 @@ class FallbackEngine:
                 + (", plus core interface headers" if core_interface else "")
                 + ")",
             )
+
+    # -- lock discipline (DESIGN.md §13) -------------------------------------
+    #
+    # Three rules over one shared model of the tree's locks:
+    #   guarded-member  every mutable field of a mutex-owning class carries
+    #                   FR_GUARDED_BY, an `// fr-atomic:` role, or an allow
+    #   lock-order      the cross-TU acquisition graph (lexical guard scopes
+    #                   + FR_EXCLUDES edges) must be acyclic
+    #   cap-boundary    no svc socket blocking call with a capability held
+    #
+    # The model is lexical and name-based, like the hot-path rules: a guard
+    # declaration holds its capability to the end of the enclosing block, and
+    # a call to a method annotated FR_EXCLUDES(m) counts as acquiring m.
+
+    def _check_lock_rules(self) -> None:
+        model = self._collect_lock_model()
+        edges: list[tuple[str, str, ScrubbedSource, int]] = []
+        for src in self.sources:
+            self._check_guarded_members(src, model)
+            self._scan_held_scopes(src, model, edges)
+        self._check_lock_cycles(edges)
+
+    def _collect_lock_model(self) -> dict:
+        model: dict = {
+            "extents": {}, "spans": {},
+            "class_mutexes": {}, "mutex_owners": {}, "extent_mutexes": {},
+            "excludes": {}, "linked_requires": {},
+        }
+        for src in self.sources:
+            extents = _class_extents(src.text)
+            model["extents"][src.path] = extents
+            model["spans"][src.path] = _method_spans(src.text)
+            for m in _MUTEX_MEMBER_RE.finditer(src.text):
+                member = m.group(2)
+                best = None
+                for name, start, end in extents:
+                    if start < m.start() < end and (
+                            best is None or end - start < best[2] - best[1]):
+                        best = (name, start, end)
+                if best is None:
+                    continue
+                cls = best[0]
+                model["class_mutexes"].setdefault(cls, set()).add(member)
+                model["mutex_owners"].setdefault(member, set()).add(cls)
+                # Ownership is per class *body*, not per name: two classes
+                # may share a name across TUs (sim has two `Lane`s).
+                model["extent_mutexes"].setdefault(
+                    (src.path, best[1]), set()).add(member)
+        for src in self.sources:
+            self._collect_annotated_methods(src, model)
+        return model
+
+    def _normalize_cap(self, arg: str, ctx: str | None, model: dict) -> str:
+        """Canonical `Class::member` key for a capability expression, so the
+        same lock names alike across translation units."""
+        arg = re.sub(r"^this->", "", arg.strip())
+        if re.fullmatch(r"[A-Za-z_]\w*", arg):
+            if ctx and arg in model["class_mutexes"].get(ctx, ()):
+                return f"{ctx}::{arg}"
+            owners = model["mutex_owners"].get(arg)
+            if owners and len(owners) == 1:
+                return f"{next(iter(owners))}::{arg}"
+            return arg
+        m = re.search(r"(?:\.|->)([A-Za-z_]\w*)\s*$", arg)
+        if m:
+            owners = model["mutex_owners"].get(m.group(1))
+            if owners and len(owners) == 1:
+                return f"{next(iter(owners))}::{m.group(1)}"
+            return m.group(1)
+        return arg
+
+    def _context_class(self, src: ScrubbedSource, pos: int,
+                       model: dict) -> str | None:
+        cls = _innermost(model["extents"][src.path], pos)
+        if cls is not None:
+            return cls
+        return _innermost(model["spans"][src.path], pos)
+
+    def _collect_annotated_methods(self, src: ScrubbedSource,
+                                   model: dict) -> None:
+        for ann_re, table in ((_EXCLUDES_ANN_RE, "excludes"),
+                              (_REQUIRES_ANN_RE, "linked_requires")):
+            for m in ann_re.finditer(src.text):
+                line_start = src.text.rfind("\n", 0, m.start()) + 1
+                if src.text[line_start: m.start()].lstrip().startswith("#"):
+                    continue  # the macro's own #define in annotations.h
+                stmt_start = max(
+                    src.text.rfind(t, 0, m.start()) for t in ";{}")
+                decl = src.text[stmt_start + 1: m.start()]
+                name = _declared_name(decl)
+                if name is None:
+                    continue
+                if table == "linked_requires":
+                    # A capability that names a *parameter* (CondVar::wait)
+                    # cannot be resolved by name at call sites; skip it.
+                    paren = _first_param_paren(decl)
+                    params = decl[paren:] if paren is not None else ""
+                    if any(re.search(rf"\b{re.escape(a)}\b", params)
+                           for a in _split_args(m.group(1))):
+                        continue
+                ctx = self._context_class(src, m.start(), model)
+                for arg in _split_args(m.group(1)):
+                    key = self._normalize_cap(arg, ctx, model)
+                    model[table].setdefault(name, set()).add(key)
+
+    # -- rule: guarded-member ------------------------------------------------
+
+    def _check_guarded_members(self, src: ScrubbedSource,
+                               model: dict) -> None:
+        for cls, open_brace, end in model["extents"][src.path]:
+            if not model["extent_mutexes"].get((src.path, open_brace)):
+                continue
+            base = open_brace + 1
+            body = _ACCESS_SPEC_RE.sub(
+                lambda m: " " * len(m.group(0)),
+                src.text[base: end - 1])
+            for stmt, offset in _statements(body):
+                lead = len(stmt) - len(stmt.lstrip())
+                line = src.line_of(base + offset + lead)
+                if self._member_needs_guard(stmt, src, line):
+                    self._emit(
+                        "guarded-member", src, line,
+                        f"mutable field of mutex-owning class '{cls}' has "
+                        "no FR_GUARDED_BY (annotate it, give it an "
+                        "`// fr-atomic:` role, or allow with a reason)",
+                    )
+
+    def _member_needs_guard(self, stmt: str, src: ScrubbedSource,
+                            line: int) -> bool:
+        if _GUARDED_BY_ANN_RE.search(stmt) or src.has_atomic_role(line):
+            return False
+        s = _FR_MACRO_ANY_RE.sub(" ", stmt)
+        s = re.sub(r"\balignas\s*\([^()]*\)|\[\[[^\]]*\]\]", " ", s).strip()
+        if not s.endswith(";") or s.startswith("#"):
+            return False
+        first = re.match(r"~?[A-Za-z_]\w*", s)
+        if not first or first.group(0) in _MEMBER_SKIP_FIRST:
+            return False
+        if "(" in s:
+            return False  # method, ctor, or paren-initialized — not a field
+        flat = s
+        for _ in range(4):  # drop template arguments (nested up to 4 deep)
+            flat = re.sub(r"<[^<>]*>", "", flat)
+        if re.search(r"\bconst\b", flat) or "&" in flat:
+            return False  # immutable or reference member
+        if _ATOMIC_DECL_RE.search(s):
+            return False  # the atomic-member rule owns atomics
+        if any(re.search(rf"(?<![\w:]){re.escape(t)}\b", s)
+               for t in config.SYNC_MEMBER_TYPES):
+            return False  # the synchronizer itself, not data
+        return True
+
+    # -- rules: lock-order, cap-boundary -------------------------------------
+
+    def _held_scopes(self, src: ScrubbedSource, model: dict):
+        """(capability, start, end, line) for every region of `src` that
+        lexically holds a lock: RAII guard declarations to end-of-block,
+        plus bodies of functions annotated FR_REQUIRES(member)."""
+        intervals = _brace_intervals(src.text)
+        scopes = []
+        for m in _GUARD_DECL_RE.finditer(src.text):
+            block_end = _enclosing_block_end(intervals, m.start())
+            if block_end is None:
+                continue
+            ctx = self._context_class(src, m.start(), model)
+            for arg in _split_args(m.group(2)):
+                scopes.append((self._normalize_cap(arg, ctx, model),
+                               m.end(), block_end,
+                               src.line_of(m.start())))
+        for name, caps in model["linked_requires"].items():
+            for dm in re.finditer(rf"\b{re.escape(name)}\s*\(", src.text):
+                body = _body_after_params(src.text, dm.end() - 1)
+                if body is None:
+                    continue
+                for key in caps:
+                    scopes.append((key, body[0] + 1, body[1] - 1,
+                                   src.line_of(body[0])))
+        return scopes
+
+    def _scan_held_scopes(self, src: ScrubbedSource, model: dict,
+                          edges: list) -> None:
+        scopes = self._held_scopes(src, model)
+        if not scopes:
+            return
+        excludes = model["excludes"]
+        call_res = []
+        if excludes:
+            call_res.append((re.compile(
+                r"\b(" + "|".join(sorted(map(re.escape, excludes)))
+                + r")\s*\("), "excludes"))
+        call_res.append((re.compile(
+            r"\b(" + "|".join(sorted(map(re.escape,
+                                         config.CAP_BOUNDARY_CALLS)))
+            + r")\s*\("), "boundary"))
+        for held, start, end, _hline in scopes:
+            for call_re, kind in call_res:
+                for m in call_re.finditer(src.text, start, end):
+                    name = m.group(1)
+                    line = src.line_of(m.start())
+                    if kind == "boundary":
+                        self._emit(
+                            "cap-boundary", src, line,
+                            f"blocking svc I/O call '{name}' while holding "
+                            f"'{held}' (the socket boundary parks the lock "
+                            "on peer behavior; release before blocking)",
+                        )
+                        continue
+                    for cap in excludes[name]:
+                        edges.append((held, cap, src, line))
+            # A guard declared while another guard's capability is held is
+            # a direct acquisition edge.
+            for other, ostart, _oe, oline in scopes:
+                if start < ostart < end:
+                    edges.append((held, other, src, oline))
+
+    def _check_lock_cycles(self, edges: list) -> None:
+        graph: dict[str, list] = {}
+        seen: set[tuple[str, str]] = set()
+        for held, target, src, line in sorted(
+                edges, key=lambda e: (e[0], e[1], e[2].path, e[3])):
+            if (held, target) in seen:
+                continue
+            seen.add((held, target))
+            graph.setdefault(held, []).append((target, src, line))
+        state: dict[str, int] = {}
+        stack: list[str] = []
+
+        def visit(node: str) -> None:
+            state[node] = 1
+            stack.append(node)
+            for target, src, line in graph.get(node, ()):
+                if state.get(target, 0) == 1:
+                    cycle = stack[stack.index(target):] + [target]
+                    self._emit(
+                        "lock-order", src, line,
+                        "lock acquisition cycle: "
+                        + " -> ".join(cycle)
+                        + " (threads taking these locks in different "
+                        "orders can deadlock)",
+                    )
+                elif state.get(target, 0) == 0:
+                    visit(target)
+            stack.pop()
+            state[node] = 2
+
+        for node in sorted(graph):
+            if state.get(node, 0) == 0:
+                visit(node)

@@ -1,0 +1,20 @@
+// fr-lint fixture: cap-boundary must FIRE.
+// A blocking socket-boundary call (read_frame) runs while the session
+// mutex is held: a stalled peer now parks every thread that wants the
+// lock.
+#include <fr_lint_fixture_prelude.h>
+
+class Session {
+ public:
+  void pump(Connection& connection) FR_EXCLUDES(mutex_);
+
+ private:
+  util::Mutex mutex_;
+  int frames_ FR_GUARDED_BY(mutex_) = 0;
+};
+
+void Session::pump(Connection& connection) {
+  const util::MutexLock lock(mutex_);
+  ++frames_;
+  connection.read_frame();  // blocks on the peer with mutex_ held
+}

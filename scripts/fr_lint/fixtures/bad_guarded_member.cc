@@ -1,0 +1,20 @@
+// fr-lint fixture: guarded-member must FIRE.
+// A class owning a mutex has mutable fields with no FR_GUARDED_BY, no
+// `// fr-atomic:` role, and no allow — nothing says what protects them.
+#include <fr_lint_fixture_prelude.h>
+
+class ProbeBudget {
+ public:
+  void spend(int probes) FR_EXCLUDES(mutex_);
+
+ private:
+  util::Mutex mutex_;
+  int remaining_ = 0;        // unguarded mutable state
+  long total_spent_ = 0;     // unguarded mutable state
+};
+
+void ProbeBudget::spend(int probes) {
+  const util::MutexLock lock(mutex_);
+  remaining_ -= probes;
+  total_spent_ += probes;
+}

@@ -1,0 +1,52 @@
+// fr-lint fixture: lock-order must FIRE.
+// Two classes acquire each other's locks in opposite orders: one thread
+// in Dispatcher::push_to_sink holds Dispatcher::mutex_ and takes
+// SinkQueue::mutex_; another in SinkQueue::pull_from_dispatcher does the
+// reverse.  The acquisition graph has the cycle
+// Dispatcher::mutex_ -> SinkQueue::mutex_ -> Dispatcher::mutex_.
+#include <fr_lint_fixture_prelude.h>
+
+class SinkQueue;
+class Dispatcher;
+
+class Dispatcher {
+ public:
+  void push_to_sink(SinkQueue& sink) FR_EXCLUDES(mutex_);
+  void enqueue(int probe) FR_EXCLUDES(mutex_);
+
+ private:
+  util::Mutex mutex_;
+  int pending_ FR_GUARDED_BY(mutex_) = 0;
+};
+
+class SinkQueue {
+ public:
+  void pull_from_dispatcher(Dispatcher& dispatcher) FR_EXCLUDES(mutex_);
+  void drain_one(int probe) FR_EXCLUDES(mutex_);
+
+ private:
+  util::Mutex mutex_;
+  int depth_ FR_GUARDED_BY(mutex_) = 0;
+};
+
+void Dispatcher::push_to_sink(SinkQueue& sink) {
+  const util::MutexLock lock(mutex_);
+  --pending_;
+  sink.drain_one(pending_);  // acquires SinkQueue::mutex_ under ours
+}
+
+void Dispatcher::enqueue(int probe) {
+  const util::MutexLock lock(mutex_);
+  pending_ += probe;
+}
+
+void SinkQueue::pull_from_dispatcher(Dispatcher& dispatcher) {
+  const util::MutexLock lock(mutex_);
+  ++depth_;
+  dispatcher.enqueue(depth_);  // acquires Dispatcher::mutex_ under ours
+}
+
+void SinkQueue::drain_one(int probe) {
+  const util::MutexLock lock(mutex_);
+  depth_ -= probe;
+}

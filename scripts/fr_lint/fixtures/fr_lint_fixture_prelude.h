@@ -1,13 +1,54 @@
-// Self-contained stand-in for src/util/annotations.h, so fixtures compile
-// under the libclang engine without reaching into src/.  Included with
-// angle brackets (selftest passes -I for this directory) so the layering
-// rule, which only inspects quoted includes, never sees it.
+// Self-contained stand-in for src/util/annotations.h (plus the util/sync.h
+// lock vocabulary), so fixtures compile under the libclang engine without
+// reaching into src/.  Included with angle brackets (selftest passes -I for
+// this directory) so the layering rule, which only inspects quoted
+// includes, never sees it.
 #pragma once
 
 #if defined(__clang__)
 #define FR_HOT [[clang::annotate("fr::hot")]]
 #define FR_SINGLE_WRITER [[clang::annotate("fr::single_writer")]]
+#define FR_THREAD_ANNOTATION(x) __attribute__((x))
 #else
 #define FR_HOT
 #define FR_SINGLE_WRITER
+#define FR_THREAD_ANNOTATION(x)
 #endif
+
+#define FR_CAPABILITY(name) FR_THREAD_ANNOTATION(capability(name))
+#define FR_SCOPED_CAPABILITY FR_THREAD_ANNOTATION(scoped_lockable)
+#define FR_GUARDED_BY(x) FR_THREAD_ANNOTATION(guarded_by(x))
+#define FR_PT_GUARDED_BY(x) FR_THREAD_ANNOTATION(pt_guarded_by(x))
+#define FR_REQUIRES(...) \
+  FR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FR_ACQUIRE(...) FR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FR_RELEASE(...) FR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FR_EXCLUDES(...) FR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Minimal mirrors of util::Mutex / util::MutexLock for the lock-discipline
+// fixtures (the fallback engine matches these by *name*, exactly as it
+// does in src/).
+namespace util {
+
+class FR_CAPABILITY("mutex") Mutex {
+ public:
+  void lock() FR_ACQUIRE();
+  void unlock() FR_RELEASE();
+};
+
+class FR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) FR_ACQUIRE(mutex);
+  ~MutexLock() FR_RELEASE();
+};
+
+}  // namespace util
+
+// Stand-in for the svc socket boundary (src/svc/socket.h): read_frame /
+// write_frame block on peer behavior, so the cap-boundary rule bans calling
+// them with any capability held.
+class Connection {
+ public:
+  bool read_frame();
+  bool write_frame();
+};

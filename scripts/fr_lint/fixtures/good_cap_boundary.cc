@@ -1,0 +1,21 @@
+// fr-lint fixture: cap-boundary must PASS.
+// The lock covers only the in-memory bookkeeping; the blocking
+// socket-boundary call happens after the guard's block closes.
+#include <fr_lint_fixture_prelude.h>
+
+class Session {
+ public:
+  void pump(Connection& connection) FR_EXCLUDES(mutex_);
+
+ private:
+  util::Mutex mutex_;
+  int frames_ FR_GUARDED_BY(mutex_) = 0;
+};
+
+void Session::pump(Connection& connection) {
+  {
+    const util::MutexLock lock(mutex_);
+    ++frames_;
+  }
+  connection.read_frame();  // lock released: blocking is now harmless
+}

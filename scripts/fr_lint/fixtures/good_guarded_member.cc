@@ -1,0 +1,25 @@
+// fr-lint fixture: guarded-member must PASS.
+// Every mutable field of the mutex-owning class states its protection:
+// FR_GUARDED_BY for lock-protected state, an explicit allow (with the
+// reason) for init-once state the lock never covers.
+#include <fr_lint_fixture_prelude.h>
+
+class ProbeBudget {
+ public:
+  explicit ProbeBudget(int limit) : limit_(limit) {}
+
+  void spend(int probes) FR_EXCLUDES(mutex_);
+
+ private:
+  util::Mutex mutex_;
+  int remaining_ FR_GUARDED_BY(mutex_) = 0;
+  long total_spent_ FR_GUARDED_BY(mutex_) = 0;
+  // fr-lint: allow(guarded-member): set in the constructor, read-only after
+  int limit_;
+};
+
+void ProbeBudget::spend(int probes) {
+  const util::MutexLock lock(mutex_);
+  remaining_ -= probes;
+  total_spent_ += probes;
+}

@@ -1,0 +1,42 @@
+// fr-lint fixture: lock-order must PASS.
+// The same two classes, but every thread acquires in the one documented
+// order (Dispatcher::mutex_ before SinkQueue::mutex_): the acquisition
+// graph has a single edge and no cycle.
+#include <fr_lint_fixture_prelude.h>
+
+class SinkQueue;
+
+class Dispatcher {
+ public:
+  void push_to_sink(SinkQueue& sink) FR_EXCLUDES(mutex_);
+  void enqueue(int probe) FR_EXCLUDES(mutex_);
+
+ private:
+  util::Mutex mutex_;
+  int pending_ FR_GUARDED_BY(mutex_) = 0;
+};
+
+class SinkQueue {
+ public:
+  void drain_one(int probe) FR_EXCLUDES(mutex_);
+
+ private:
+  util::Mutex mutex_;
+  int depth_ FR_GUARDED_BY(mutex_) = 0;
+};
+
+void Dispatcher::push_to_sink(SinkQueue& sink) {
+  const util::MutexLock lock(mutex_);
+  --pending_;
+  sink.drain_one(pending_);  // Dispatcher::mutex_ -> SinkQueue::mutex_ only
+}
+
+void Dispatcher::enqueue(int probe) {
+  const util::MutexLock lock(mutex_);
+  pending_ += probe;
+}
+
+void SinkQueue::drain_one(int probe) {
+  const util::MutexLock lock(mutex_);
+  depth_ -= probe;
+}

@@ -13,6 +13,10 @@ checked-in baseline, scripts/fr_lint/clang_tidy_baseline.txt:
 Findings are keyed as `path:check-name:message` — line numbers are left
 out so unrelated edits that shift code don't churn the baseline.
 
+Exception: `concurrency-*` findings are hard failures (DESIGN.md §13).
+They fail the run even if a matching line exists in the baseline, and
+--update-baseline refuses to record them.
+
 Usage:
   python3 scripts/fr_lint/run_clang_tidy.py --build-dir build
   python3 scripts/fr_lint/run_clang_tidy.py --build-dir build \
@@ -37,6 +41,16 @@ _FINDING_RE = re.compile(
 )
 
 BASELINE = pathlib.Path(__file__).resolve().parent / "clang_tidy_baseline.txt"
+
+# Check prefixes that may never be baselined: a finding here fails the run
+# even with --update-baseline (see main()).
+HARD_FAIL_CHECK_PREFIXES = ("concurrency-",)
+
+
+def _is_hard_fail(finding: str) -> bool:
+    """True if the `path:check:message` key names a hard-gated check."""
+    _, _, rest = finding.partition(":")
+    return rest.startswith(HARD_FAIL_CHECK_PREFIXES)
 
 
 def repo_root() -> pathlib.Path:
@@ -121,6 +135,19 @@ def main(argv: list[str] | None = None) -> int:
               "database", file=sys.stderr)
         return 2
     findings = run_tidy(tidy, build_dir, sources, max(1, args.jobs))
+
+    # concurrency-* findings are a hard gate (DESIGN.md §13): they can never
+    # be baselined as tolerated debt, and --update-baseline refuses to
+    # record them.  A concurrency finding means a real locking bug or a
+    # missing annotation — fix the code, not the baseline.
+    hard = [f for f in findings if _is_hard_fail(f)]
+    findings = [f for f in findings if not _is_hard_fail(f)]
+    if hard:
+        print(f"run_clang_tidy: {len(hard)} concurrency finding(s) — these "
+              "are hard failures and cannot be baselined:", file=sys.stderr)
+        for finding in hard:
+            print(f"  {finding}", file=sys.stderr)
+        return 1
 
     if args.update_baseline:
         BASELINE.write_text(

@@ -40,6 +40,11 @@ CASES = (
     ("det-ptr-iter", "bad_det_ptr_iter.cc", "good_det_ptr_iter.cc",
      "src/core"),
     ("layering", "bad_layering.h", "good_layering.h", "src/sim"),
+    ("guarded-member", "bad_guarded_member.cc", "good_guarded_member.cc",
+     "src/core"),
+    ("lock-order", "bad_lock_order.cc", "good_lock_order.cc", "src/core"),
+    ("cap-boundary", "bad_cap_boundary.cc", "good_cap_boundary.cc",
+     "src/core"),
 )
 
 

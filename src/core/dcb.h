@@ -36,7 +36,11 @@
 namespace flashroute::core {
 
 /// 1-byte test-and-set spinlock (the paper's suggested optimization).
-/// Meets BasicLockable, so std::lock_guard works.
+/// Meets BasicLockable, so std::lock_guard works.  Deliberately not an
+/// annotated capability: it only ever lives inside a BasicDcb, whose own
+/// FR_ACQUIRE/FR_RELEASE contract is the one capability per DCB the
+/// thread-safety analysis tracks (a second, nested capability would make
+/// every BasicDcb::lock body a false "capability still held" diagnostic).
 class SpinLock {
  public:
   FR_HOT void lock() noexcept {
@@ -54,7 +58,17 @@ class SpinLock {
 
 /// Packed full-scale DCB: 11 bytes, lock folded into the flags byte.
 /// Meets BasicLockable (std::lock_guard locks the DCB itself).
-class Dcb {
+///
+/// The DCB is itself an annotated capability (DESIGN.md §13): lock/unlock
+/// and try_lock carry acquire/release contracts the clang thread-safety
+/// analysis checks at every manual call site.  The data fields are
+/// deliberately *not* FR_GUARDED_BY the capability: outside the concurrent
+/// scan phase (setup, checkpoint restore, single-threaded result drains)
+/// they are legitimately accessed unlocked, and the §3.4 contract is
+/// "sender and receiver lock only when both may touch the same /24 at
+/// once", which the model litmus test (tests/model_dcb_test.cc) proves
+/// interleaving-exhaustively instead.
+class FR_CAPABILITY("dcb") Dcb {
  public:
   // Flag bits (the top bit is the spinlock; never visible through flags()).
   static constexpr std::uint8_t kDestReached = 0x01;  // got host unreachable
@@ -62,15 +76,20 @@ class Dcb {
   static constexpr std::uint8_t kLocked = 0x80;       // spinlock bit
 
   // --- BasicLockable: spinlock over the flags byte's top bit ---------------
-  FR_HOT void lock() noexcept {
+  FR_HOT void lock() noexcept FR_ACQUIRE() {
     while ((flags_.fetch_or(kLocked, std::memory_order_acquire) & kLocked) !=
            0) {
       // Spin: contention is "highly unlikely" (§3.4).
     }
   }
-  FR_HOT void unlock() noexcept {
+  FR_HOT void unlock() noexcept FR_RELEASE() {
     flags_.fetch_and(static_cast<std::uint8_t>(~kLocked),
                      std::memory_order_release);
+  }
+  /// Single-attempt claim: true iff the lock bit flipped 0→1 here.
+  [[nodiscard]] FR_HOT bool try_lock() noexcept FR_TRY_ACQUIRE(true) {
+    return (flags_.fetch_or(kLocked, std::memory_order_acquire) & kLocked) ==
+           0;
   }
 
   // --- Destination: host octet only; the /24 prefix is the array index -----
@@ -166,12 +185,15 @@ static_assert(sizeof(Dcb) <= 12,
 /// links, discrete lock member.  Offers the same accessor API as the packed
 /// `Dcb`, so `BasicDcbArray` threads rings through either.
 template <typename Lock>
-struct BasicDcb {
+struct FR_CAPABILITY("dcb") BasicDcb {
   static constexpr std::uint8_t kDestReached = 0x01;
   static constexpr std::uint8_t kRemoved = 0x02;
 
-  FR_HOT void lock() noexcept { mutex.lock(); }
-  FR_HOT void unlock() noexcept { mutex.unlock(); }
+  // Same capability contract as the packed Dcb; the discrete lock member
+  // (SpinLock or std::mutex) is unannotated, so the analysis sees exactly
+  // one capability per DCB — the DCB itself.
+  FR_HOT void lock() noexcept FR_ACQUIRE() { mutex.lock(); }
+  FR_HOT void unlock() noexcept FR_RELEASE() { mutex.unlock(); }
 
   FR_HOT std::uint8_t dest_octet() const noexcept {
     return static_cast<std::uint8_t>(destination & 0xFF);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "io/varint.h"
+#include "util/sync.h"
 #include "net/ipv4.h"
 
 namespace flashroute::io {
@@ -259,7 +260,7 @@ std::uint64_t read_le(const char* bytes, int n) {
 }  // namespace
 
 JobArchive::JobArchive(std::string path) : path_(std::move(path)) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   {
     // Create the file if absent without clobbering an existing one.
     std::ofstream create(path_, std::ios::binary | std::ios::app);
@@ -317,12 +318,12 @@ JobArchive::JobArchive(std::string path) : path_(std::move(path)) {
 }
 
 bool JobArchive::ok() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return ok_;
 }
 
 std::uint64_t JobArchive::recovered_bytes_dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return dropped_;
 }
 
@@ -344,7 +345,7 @@ bool JobArchive::append(std::uint64_t job_id, const core::ScanResult& result,
 
   // One locked write+flush per record: concurrent jobs serialize here, so
   // records can never interleave.
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (!ok_) return false;
   std::ofstream out(path_, std::ios::binary | std::ios::in | std::ios::ate);
   if (!out) return false;
@@ -359,12 +360,12 @@ bool JobArchive::append(std::uint64_t job_id, const core::ScanResult& result,
 }
 
 std::vector<JobArchive::Entry> JobArchive::index() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return index_;
 }
 
 bool JobArchive::find_latest(std::uint64_t job_id, Entry& entry) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   bool found = false;
   for (const Entry& candidate : index_) {
     if (candidate.job_id == job_id) {

@@ -15,13 +15,14 @@
 #include <cstdint>
 #include <functional>
 #include <istream>
-#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
 #include <vector>
 
 #include "core/result.h"
+#include "util/annotations.h"
+#include "util/sync.h"
 
 namespace flashroute::io {
 
@@ -90,35 +91,41 @@ class JobArchive {
   explicit JobArchive(std::string path);
 
   /// False when the file could not be opened or created.
-  bool ok() const;
+  bool ok() const FR_EXCLUDES(mutex_);
 
   /// Bytes dropped by truncation recovery when the archive was opened
   /// (0 = the file ended on a record boundary).
-  std::uint64_t recovered_bytes_dropped() const;
+  std::uint64_t recovered_bytes_dropped() const FR_EXCLUDES(mutex_);
 
   /// Appends one job's result as a framed FRSC record; false on I/O error.
   bool append(std::uint64_t job_id, const core::ScanResult& result,
-              const ArchiveHeader& header);
+              const ArchiveHeader& header) FR_EXCLUDES(mutex_);
 
   /// Snapshot of the record index, in file order.
-  std::vector<Entry> index() const;
+  std::vector<Entry> index() const FR_EXCLUDES(mutex_);
 
   /// Loads the latest record for `job_id`; nullopt when absent or corrupt.
-  std::optional<LoadedArchive> load(std::uint64_t job_id) const;
+  std::optional<LoadedArchive> load(std::uint64_t job_id) const
+      FR_EXCLUDES(mutex_);
 
   /// Raw FRSC payload bytes of the latest record for `job_id` — the
   /// byte-identity currency of the preemption equivalence gates.
-  std::optional<std::string> payload_bytes(std::uint64_t job_id) const;
+  std::optional<std::string> payload_bytes(std::uint64_t job_id) const
+      FR_EXCLUDES(mutex_);
 
  private:
-  bool find_latest(std::uint64_t job_id, Entry& entry) const;
+  /// Takes the archive lock itself (readers re-read the file unlocked
+  /// afterwards: records are immutable once indexed).
+  bool find_latest(std::uint64_t job_id, Entry& entry) const
+      FR_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
+  // fr-lint: allow(guarded-member): set in the constructor, read-only after
   std::string path_;
-  std::vector<Entry> index_;
-  std::uint64_t end_offset_ = 0;
-  std::uint64_t dropped_ = 0;
-  bool ok_ = false;
+  std::vector<Entry> index_ FR_GUARDED_BY(mutex_);
+  std::uint64_t end_offset_ FR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t dropped_ FR_GUARDED_BY(mutex_) = 0;
+  bool ok_ FR_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace flashroute::io

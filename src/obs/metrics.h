@@ -16,6 +16,11 @@
 //     (tests/obs_metrics_test.cc).
 //   * Registration (add_counter/add_histogram) happens before freeze();
 //     gauges may be registered any time before the first snapshot.
+//   * There is deliberately no mutex anywhere in this subsystem, so the
+//     capability annotations of DESIGN.md §13 have nothing to guard here;
+//     the write/snapshot linearization claim is instead proven
+//     interleaving-exhaustively by tests/model_metrics_test.cc (the
+//     fr_model litmus harness) on top of the FR_SINGLE_WRITER lint rule.
 //
 // Runtime toggle: telemetry off means no MetricsLane is handed to the
 // engine (a null pointer), so the hot path executes one predictable branch

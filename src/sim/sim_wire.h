@@ -23,7 +23,6 @@
 #include <chrono>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -31,7 +30,9 @@
 #include "sim/network.h"
 #include "sim/response_pool.h"
 #include "sim/topology.h"
+#include "util/annotations.h"
 #include "util/clock.h"
+#include "util/sync.h"
 
 namespace flashroute::sim {
 
@@ -69,7 +70,7 @@ class RealTimeSimWire final : public core::Wire {
     Lane& lane = *lanes_[(prefix - first_prefix_) / lane_size_];
 
     const util::Nanos now = clock_.now();
-    const std::lock_guard guard(lane.mutex);
+    const util::MutexLock guard(lane.mutex);
     // Rebase the simulator's virtual timeline onto the real clock.
     if (lane.epoch == 0) lane.epoch = now;
     // The lane's single sender reads the clock before locking, so times are
@@ -112,7 +113,7 @@ class RealTimeSimWire final : public core::Wire {
       // Round-robin over lanes from a rotating cursor so no lane starves.
       for (std::size_t i = 0; i < lanes_.size(); ++i) {
         Lane& lane = *lanes_[(cursor_ + i) % lanes_.size()];
-        const std::lock_guard guard(lane.mutex);
+        const util::MutexLock guard(lane.mutex);
         for (auto it = lane.pending.begin(); it != lane.pending.end(); ++it) {
           if (it->due > now) continue;
           const std::size_t size = it->size;
@@ -139,7 +140,7 @@ class RealTimeSimWire final : public core::Wire {
   NetworkStats stats() const {
     NetworkStats total;
     for (const auto& lane : lanes_) {
-      const std::lock_guard guard(lane->mutex);
+      const util::MutexLock guard(lane->mutex);
       const NetworkStats& s = lane->network.stats();
       total.probes += s.probes;
       total.malformed += s.malformed;
@@ -168,12 +169,12 @@ class RealTimeSimWire final : public core::Wire {
   struct Lane {
     explicit Lane(const Topology& topology) : network(topology) {}
 
-    mutable std::mutex mutex;
-    SimNetwork network;
-    std::vector<Pending> pending;
-    ResponsePool pool;  // guarded by mutex, like pending
-    util::Nanos epoch = 0;
-    util::Nanos last_send_time = 0;
+    mutable util::Mutex mutex;
+    SimNetwork network FR_GUARDED_BY(mutex);
+    std::vector<Pending> pending FR_GUARDED_BY(mutex);
+    ResponsePool pool FR_GUARDED_BY(mutex);
+    util::Nanos epoch FR_GUARDED_BY(mutex) = 0;
+    util::Nanos last_send_time FR_GUARDED_BY(mutex) = 0;
   };
 
   util::MonotonicClock clock_;

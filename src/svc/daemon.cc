@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "analysis/churn.h"
+#include "util/sync.h"
 
 namespace flashroute::svc {
 
@@ -69,7 +70,7 @@ bool Daemon::start() {
 
 void Daemon::request_shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     shutdown_requested_ = true;
     scheduler_.drain();
   }
@@ -91,7 +92,14 @@ void Daemon::wait() {
   for (std::size_t i = 0; i < snapshot.counter_names.size(); ++i) {
     counters.emplace_back(snapshot.counter_names[i], snapshot.counters[i]);
   }
-  events_->summary(scheduler_.draining(), /*clean_shutdown=*/true, counters);
+  bool drained = false;
+  {
+    // Every thread has been joined, but the capability contract is about
+    // access discipline, not liveness — take the lock like everyone else.
+    const util::MutexLock lock(mutex_);
+    drained = scheduler_.draining();
+  }
+  events_->summary(drained, /*clean_shutdown=*/true, counters);
 }
 
 bool Daemon::reap_for_shutdown() {
@@ -116,7 +124,7 @@ void Daemon::io_loop() {
   std::string payload;
   while (true) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       if (shutdown_requested_ && reap_for_shutdown()) {
         stop_workers_ = true;
         break;
@@ -192,7 +200,7 @@ std::string Daemon::handle_submit(Reader& reader) {
 
   Submission submission;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     submission = scheduler_.submit(*spec, now());
     runners_.push_back(submission.admitted
                            ? std::make_unique<JobRunner>(*spec)
@@ -233,7 +241,7 @@ std::string Daemon::handle_status(Reader& reader) {
   if (!reader.ok()) return error_reply("malformed status");
   std::optional<JobView> view;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     view = scheduler_.view(job_id);
   }
   Writer w(MsgType::kStatusReply);
@@ -245,7 +253,7 @@ std::string Daemon::handle_status(Reader& reader) {
 std::string Daemon::handle_list() {
   std::vector<JobView> views;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     views = scheduler_.views();
   }
   Writer w(MsgType::kListReply);
@@ -259,7 +267,7 @@ std::string Daemon::handle_cancel(Reader& reader) {
   if (!reader.ok()) return error_reply("malformed cancel");
   CancelOutcome outcome = CancelOutcome::kNotFound;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     outcome = scheduler_.cancel(job_id);
     if (outcome == CancelOutcome::kSignalled) {
       JobRunner* runner = runners_[job_id - 1].get();
@@ -327,24 +335,33 @@ void Daemon::worker_loop(int worker_index) {
   const obs::MetricsLane lane =
       lanes_[static_cast<std::size_t>(1 + worker_index)];
   while (true) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] {
-      return stop_workers_ || scheduler_.has_dispatchable(now());
-    });
-    if (stop_workers_) return;
-    const std::optional<std::uint64_t> id = scheduler_.acquire(now());
-    if (!id.has_value()) continue;
-
-    std::optional<io::ScanCheckpoint> checkpoint =
-        scheduler_.take_checkpoint(*id);
-    JobRunner* runner = runners_[*id - 1].get();
-    const bool resumed = checkpoint.has_value();
-    const std::uint64_t base_probes =
-        resumed ? checkpoint->result.probes_sent : 0;
-    const std::uint64_t slice_no = scheduler_.view(*id)->slices;
-    lane.inc(ids_.slices_dispatched);
-    if (resumed) lane.inc(ids_.jobs_resumed);
+    // Dispatch state carried from the locked acquire phase into the
+    // unlocked slice execution.  Two scoped MutexLock regions (acquire,
+    // release) instead of one unique_lock with manual unlock/relock: the
+    // thread-safety analysis — and a reader — sees exactly where the lock
+    // is held, and the scan slice provably runs outside it.
+    std::optional<std::uint64_t> id;
+    std::optional<io::ScanCheckpoint> checkpoint;
+    JobRunner* runner = nullptr;
+    bool resumed = false;
+    std::uint64_t base_probes = 0;
+    std::uint64_t slice_no = 0;
     {
+      const util::MutexLock lock(mutex_);
+      while (!stop_workers_ && !scheduler_.has_dispatchable(now())) {
+        cv_.wait(mutex_);
+      }
+      if (stop_workers_) return;
+      id = scheduler_.acquire(now());
+      if (!id.has_value()) continue;
+
+      checkpoint = scheduler_.take_checkpoint(*id);
+      runner = runners_[*id - 1].get();
+      resumed = checkpoint.has_value();
+      base_probes = resumed ? checkpoint->result.probes_sent : 0;
+      slice_no = scheduler_.view(*id)->slices;
+      lane.inc(ids_.slices_dispatched);
+      if (resumed) lane.inc(ids_.jobs_resumed);
       JobEvent event;
       event.job_id = *id;
       event.event = resumed ? "resumed" : "running";
@@ -353,56 +370,59 @@ void Daemon::worker_loop(int worker_index) {
       event.probes = base_probes;
       events_->emit(event);
     }
-    lock.unlock();
 
     SliceResult slice = runner->run_slice(
         checkpoint, [&](const io::ScanCheckpoint& barrier_checkpoint) {
-          const std::lock_guard<std::mutex> barrier_lock(mutex_);
+          const util::MutexLock barrier_lock(mutex_);
           return scheduler_.on_barrier(
               *id, barrier_checkpoint.result.probes_sent, now());
         });
 
+    // The archive append happens unlocked: JobArchive serializes itself,
+    // and holding the daemon lock across file I/O would stall admissions
+    // (and create a daemon→archive lock-order edge for no benefit).
     std::string fail_detail;
     if (slice.outcome == SliceOutcome::kCompleted &&
         !archive_->append(*id, slice.result, runner->archive_header())) {
       fail_detail = "archive append failed";
     }
 
-    lock.lock();
-    lane.inc(ids_.probes_executed, slice.probes_total > base_probes
-                                       ? slice.probes_total - base_probes
-                                       : 0);
-    JobEvent done;
-    done.job_id = *id;
-    done.worker = worker_index;
-    done.slice = slice_no;
-    done.probes = slice.probes_total;
-    switch (slice.outcome) {
-      case SliceOutcome::kCompleted:
-        if (fail_detail.empty()) {
-          scheduler_.release_completed(*id, slice.probes_total, now());
-          lane.inc(ids_.jobs_completed);
-          done.event = "completed";
-        } else {
-          scheduler_.release_failed(*id, fail_detail);
-          lane.inc(ids_.jobs_failed);
-          done.event = "failed";
-          done.detail = fail_detail;
-        }
-        break;
-      case SliceOutcome::kPreempted:
-        scheduler_.release_preempted(*id, std::move(*slice.checkpoint));
-        lane.inc(ids_.jobs_preempted);
-        done.event = "preempted";
-        break;
-      case SliceOutcome::kCancelled:
-        scheduler_.release_cancelled(*id);
-        lane.inc(ids_.jobs_cancelled);
-        done.event = "cancelled";
-        break;
+    {
+      const util::MutexLock lock(mutex_);
+      lane.inc(ids_.probes_executed, slice.probes_total > base_probes
+                                         ? slice.probes_total - base_probes
+                                         : 0);
+      JobEvent done;
+      done.job_id = *id;
+      done.worker = worker_index;
+      done.slice = slice_no;
+      done.probes = slice.probes_total;
+      switch (slice.outcome) {
+        case SliceOutcome::kCompleted:
+          if (fail_detail.empty()) {
+            scheduler_.release_completed(*id, slice.probes_total, now());
+            lane.inc(ids_.jobs_completed);
+            done.event = "completed";
+          } else {
+            scheduler_.release_failed(*id, fail_detail);
+            lane.inc(ids_.jobs_failed);
+            done.event = "failed";
+            done.detail = fail_detail;
+          }
+          break;
+        case SliceOutcome::kPreempted:
+          scheduler_.release_preempted(*id, std::move(*slice.checkpoint));
+          lane.inc(ids_.jobs_preempted);
+          done.event = "preempted";
+          break;
+        case SliceOutcome::kCancelled:
+          scheduler_.release_cancelled(*id);
+          lane.inc(ids_.jobs_cancelled);
+          done.event = "cancelled";
+          break;
+      }
+      events_->emit(done);
     }
-    events_->emit(done);
-    lock.unlock();
     cv_.notify_all();
     wake_.wake();  // let the I/O loop re-evaluate drain progress
   }

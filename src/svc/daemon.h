@@ -27,10 +27,8 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -45,7 +43,9 @@
 #include "svc/scheduler.h"
 #include "svc/socket.h"
 #include "svc/wire.h"
+#include "util/annotations.h"
 #include "util/clock.h"
+#include "util/sync.h"
 
 namespace flashroute::svc {
 
@@ -76,7 +76,7 @@ class Daemon {
   void wait();
 
   /// Programmatic equivalent of a kShutdown frame (signal handlers, tests).
-  void request_shutdown();
+  void request_shutdown() FR_EXCLUDES(mutex_);
 
   const std::string& socket_path() const noexcept {
     return options_.socket_path;
@@ -86,45 +86,62 @@ class Daemon {
   }
 
  private:
-  void io_loop();
-  void worker_loop(int worker_index);
+  void io_loop() FR_EXCLUDES(mutex_);
+  void worker_loop(int worker_index) FR_EXCLUDES(mutex_);
   /// Serves one request frame; returns the reply payload ("" = drop peer).
-  std::string handle_request(std::string_view payload);
-  std::string handle_submit(Reader& reader);
-  std::string handle_status(Reader& reader);
-  std::string handle_list();
-  std::string handle_cancel(Reader& reader);
-  std::string handle_diff(Reader& reader);
-  std::string handle_verify(Reader& reader);
+  /// Handlers lock internally, so the I/O thread must call them unlocked.
+  std::string handle_request(std::string_view payload) FR_EXCLUDES(mutex_);
+  std::string handle_submit(Reader& reader) FR_EXCLUDES(mutex_);
+  std::string handle_status(Reader& reader) FR_EXCLUDES(mutex_);
+  std::string handle_list() FR_EXCLUDES(mutex_);
+  std::string handle_cancel(Reader& reader) FR_EXCLUDES(mutex_);
+  std::string handle_diff(Reader& reader) FR_EXCLUDES(mutex_);
+  std::string handle_verify(Reader& reader) FR_EXCLUDES(mutex_);
   /// Cancels jobs that will never run again under drain; true when every
   /// job is terminal and no worker holds one.
-  bool reap_for_shutdown();
+  bool reap_for_shutdown() FR_REQUIRES(mutex_);
   util::Nanos now() const noexcept { return clock_.now() - epoch_; }
 
+  // fr-lint: allow(guarded-member): set in the constructor, read-only after
   DaemonOptions options_;
+  // fr-lint: allow(guarded-member): stateless monotonic-clock reader
   util::MonotonicClock clock_;
+  // fr-lint: allow(guarded-member): written once in start(), pre-thread
   util::Nanos epoch_ = 0;
 
+  // Metrics are the lock-free plane: the registry merges single-writer
+  // lanes on snapshot (DESIGN.md §7); ids/lanes are frozen in the ctor.
+  // fr-lint: allow(guarded-member): internally synchronized (PR 3 lanes)
   obs::MetricsRegistry registry_;
+  // fr-lint: allow(guarded-member): frozen in the constructor
   obs::JobMetricIds ids_;
+  // fr-lint: allow(guarded-member): frozen in the constructor
   std::vector<obs::MetricsLane> lanes_;  ///< [0] control, [1+i] worker i
 
+  // fr-lint: allow(guarded-member): set in start(); JobEventLog locks itself
   std::unique_ptr<JobEventLog> events_;
+  // fr-lint: allow(guarded-member): set in start(); JobArchive locks itself
   std::unique_ptr<io::JobArchive> archive_;
+  // fr-lint: allow(guarded-member): I/O-thread-only after start()
   ListenSocket listener_;
+  // fr-lint: allow(guarded-member): wake()/drain() are async-signal-safe
   WakePipe wake_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  Scheduler scheduler_;
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  Scheduler scheduler_ FR_GUARDED_BY(mutex_);
   /// runners_[id - 1]; null for rejected jobs.  Grows under mutex_ only.
-  std::vector<std::unique_ptr<JobRunner>> runners_;
-  bool shutdown_requested_ = false;
-  bool stop_workers_ = false;
+  std::vector<std::unique_ptr<JobRunner>> runners_ FR_GUARDED_BY(mutex_);
+  bool shutdown_requested_ FR_GUARDED_BY(mutex_) = false;
+  bool stop_workers_ FR_GUARDED_BY(mutex_) = false;
 
+  // fr-lint: allow(guarded-member): joined only by the thread calling wait()
   std::thread io_thread_;
+  // fr-lint: allow(guarded-member): joined only by the thread calling wait()
   std::vector<std::thread> workers_;
+  // fr-lint: allow(guarded-member): start()/wait() run on the owner thread
   bool started_ = false;
+  // fr-lint: allow(guarded-member): wait() runs after every join
   bool summary_written_ = false;
 };
 

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/sync.h"
+
 namespace flashroute::svc {
 
 std::string json_escape(const std::string& raw) {
@@ -42,7 +44,7 @@ JobEventLog::JobEventLog(std::ostream* out, NowFn now)
     : out_(out), now_(std::move(now)) {}
 
 void JobEventLog::emit(const JobEvent& event) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::uint64_t t = now_ ? now_() : 0;
   if (t < last_t_) t = last_t_;  // clamp: the stream must be monotone
   last_t_ = t;
@@ -82,7 +84,7 @@ void JobEventLog::emit(const JobEvent& event) {
 void JobEventLog::summary(
     bool drained, bool clean_shutdown,
     const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   if (out_ == nullptr) return;
   std::ostream& os = *out_;
   seq_ += 1;
@@ -108,7 +110,7 @@ void JobEventLog::summary(
 }
 
 std::uint64_t JobEventLog::events_emitted() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return seq_;
 }
 

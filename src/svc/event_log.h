@@ -22,10 +22,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "util/annotations.h"
+#include "util/sync.h"
 
 namespace flashroute::svc {
 
@@ -53,23 +55,28 @@ class JobEventLog {
   /// monotone.
   JobEventLog(std::ostream* out, NowFn now);
 
-  void emit(const JobEvent& event);
+  void emit(const JobEvent& event) FR_EXCLUDES(mutex_);
 
   /// Writes the final "job_summary" line.  `counters` is the merged svc.*
   /// snapshot from the metrics registry, emitted name → value.
   void summary(bool drained, bool clean_shutdown,
                const std::vector<std::pair<std::string, std::uint64_t>>&
-                   counters);
+                   counters) FR_EXCLUDES(mutex_);
 
-  std::uint64_t events_emitted() const;
+  std::uint64_t events_emitted() const FR_EXCLUDES(mutex_);
 
  private:
+  // Immutable after construction: the sink pointer and the timestamp
+  // supplier are set once and only ever read.
+  // fr-lint: allow(guarded-member): set in the constructor, read-only after
   std::ostream* out_;
+  // fr-lint: allow(guarded-member): set in the constructor, read-only after
   NowFn now_;
-  mutable std::mutex mutex_;
-  std::uint64_t seq_ = 0;
-  std::uint64_t last_t_ = 0;
-  std::vector<std::pair<std::string, std::uint64_t>> counts_;
+  mutable util::Mutex mutex_;
+  std::uint64_t seq_ FR_GUARDED_BY(mutex_) = 0;
+  std::uint64_t last_t_ FR_GUARDED_BY(mutex_) = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counts_
+      FR_GUARDED_BY(mutex_);
 };
 
 /// Escapes a string for embedding in a JSON double-quoted literal.

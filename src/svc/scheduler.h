@@ -6,6 +6,12 @@
 // virtual time single-threaded — the same property that makes the sim
 // engines testable makes the scheduler's decisions replayable.
 //
+// Because synchronization is external, the capability annotations live at
+// the owner: `Daemon::scheduler_` is FR_GUARDED_BY(Daemon::mutex_), so the
+// clang thread-safety build (DESIGN.md §13) rejects any daemon code path
+// that consults the scheduler without that lock.  Single-threaded owners
+// (tests, benches) need no lock and no annotation.
+//
 // Model:
 //  * Admission — a submission is rejected (machine-readable reason) when
 //    its spec is invalid, its rate alone exceeds the global pps budget,

@@ -12,6 +12,15 @@
 // at wire.h's kMaxFrame.  All reads and writes loop over partial transfers
 // and retry EINTR, so callers see whole frames or a closed connection —
 // nothing in between.
+//
+// Lock discipline (DESIGN.md §13): everything here can block indefinitely
+// on a peer, so no caller may hold a capability (any annotated mutex)
+// across a call into this boundary — a stalled client must never extend
+// into a held daemon or archive lock.  fr-lint's `cap-boundary` rule
+// enforces this lexically over every caller; the fd fields below are
+// immutable after construction/move and need no guard of their own
+// (WakePipe::wake()/drain() are the sanctioned cross-thread entry points,
+// both single-syscall and async-signal-safe).
 
 #pragma once
 

@@ -1,12 +1,14 @@
-// Machine-checked invariant annotations (DESIGN.md §8).
+// Machine-checked invariant annotations (DESIGN.md §8, §13).
 //
 // FlashRoute's throughput claims rest on invariants that code review alone
 // cannot hold at scale: the probe/response hot path must never allocate,
 // throw, take a mutex, or dispatch through a non-devirtualizable interface
-// (§3.2, DESIGN.md §6), and the telemetry lanes must stay single-writer
-// relaxed (DESIGN.md §7).  The annotations below make those invariants
-// visible to `scripts/fr_lint` (and, under clang, to any attribute-aware
-// tooling), which enforces them statically on every CI run.
+// (§3.2, DESIGN.md §6), the telemetry lanes must stay single-writer
+// relaxed (DESIGN.md §7), and every mutex-guarded field must only be
+// touched with its mutex held (DESIGN.md §13).  The annotations below make
+// those invariants visible to `scripts/fr_lint` (and, under clang, to the
+// thread-safety analysis and any attribute-aware tooling), which enforces
+// them statically on every CI run.
 //
 // FR_HOT — marks a function as hot-path.  fr-lint requires an FR_HOT
 //   function to call only other FR_HOT functions, allowlisted known-pure
@@ -27,17 +29,58 @@
 //   comment naming its synchronization role; fr-lint flags undocumented
 //   atomics (rule `atomic-member`).
 //
-// Under clang the macros expand to [[clang::annotate]] attributes, so the
-// libclang engine (and future clang plugins) see them in the AST; under
-// other compilers they expand to nothing.  The fallback engine matches the
-// macro tokens in source text, so enforcement does not depend on clang.
+// Thread-safety capabilities (clang -Wthread-safety; Hutchins et al.,
+// "C/C++ Thread Safety Analysis").  ANNOTATION REQUIREMENT: every class
+// that owns a mutex by value must annotate each of its mutable fields with
+// FR_GUARDED_BY(that mutex), an `// fr-atomic: <role>` comment, or an
+// explicit `// fr-lint: allow(guarded-member): <reason>` — fr-lint's
+// `guarded-member` rule enforces this even where clang is absent, and the
+// CI thread-safety job compiles src/ with -Wthread-safety -Werror so the
+// annotations are *checked*, not advisory.
+//
+// FR_CAPABILITY(name) — marks a class as a capability (a mutex in the TSA
+//   sense); its acquire/release members carry FR_ACQUIRE/FR_RELEASE.
+// FR_SCOPED_CAPABILITY — RAII lock holders (util::MutexLock).
+// FR_GUARDED_BY(mu) / FR_PT_GUARDED_BY(mu) — data (or pointee) may only be
+//   read or written with `mu` held.
+// FR_REQUIRES(mu) — the function may only be called with `mu` already held.
+// FR_ACQUIRE(mu) / FR_RELEASE(mu) — the function acquires/releases `mu`.
+// FR_TRY_ACQUIRE(result, mu) — acquires `mu` iff it returns `result`.
+// FR_EXCLUDES(mu) — the function must NOT be called with `mu` held (it
+//   takes the lock itself; calling it locked would self-deadlock).
+// FR_NO_THREAD_SAFETY_ANALYSIS — escape hatch; only for documented
+//   boundary code (lock implementations themselves).
+//
+// Under clang the macros expand to thread-safety attributes /
+// [[clang::annotate]] so the analysis and the libclang engine see them in
+// the AST; under other compilers they expand to nothing.  The fallback
+// engine matches the macro tokens in source text, so enforcement does not
+// depend on clang.
 
 #pragma once
 
 #if defined(__clang__)
 #define FR_HOT [[clang::annotate("fr::hot")]]
 #define FR_SINGLE_WRITER [[clang::annotate("fr::single_writer")]]
+#define FR_THREAD_ANNOTATION(x) __attribute__((x))
 #else
 #define FR_HOT
 #define FR_SINGLE_WRITER
+#define FR_THREAD_ANNOTATION(x)
 #endif
+
+#define FR_CAPABILITY(name) FR_THREAD_ANNOTATION(capability(name))
+#define FR_SCOPED_CAPABILITY FR_THREAD_ANNOTATION(scoped_lockable)
+#define FR_GUARDED_BY(x) FR_THREAD_ANNOTATION(guarded_by(x))
+#define FR_PT_GUARDED_BY(x) FR_THREAD_ANNOTATION(pt_guarded_by(x))
+#define FR_REQUIRES(...) \
+  FR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FR_ACQUIRE(...) \
+  FR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define FR_RELEASE(...) \
+  FR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define FR_TRY_ACQUIRE(...) \
+  FR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define FR_EXCLUDES(...) FR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define FR_NO_THREAD_SAFETY_ANALYSIS \
+  FR_THREAD_ANNOTATION(no_thread_safety_analysis)

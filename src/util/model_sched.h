@@ -1,0 +1,572 @@
+// fr_model: a deterministic interleaving-exploration harness for litmus
+// tests (DESIGN.md §13).
+//
+// The pieces:
+//   * model::Sched   — a cooperative scheduler.  Test threads run one
+//     *model operation* (a load, store, or RMW on a model::Atomic /
+//     model::Var) per scheduling step; between steps every thread is
+//     parked, so an execution is a sequence of deterministic choices.
+//   * model::Explorer — bounded DFS over those choices: it re-executes the
+//     test body under every reachable schedule (CHESS-style stateless
+//     exploration) and reports the first schedule whose post-execution
+//     check fails, as a replayable schedule string like "r0.r1.c0:2.r1".
+//   * model::Atomic<T> / model::Var<T> — drop-in stand-ins for
+//     std::atomic<T> / plain T whose operations are scheduling points.
+//
+// Weak memory: stores are not applied to shared memory immediately.  A
+// relaxed (or plain Var) store sits in the owning thread's store buffer
+// and becomes globally visible at a separately-scheduled *commit* step
+// ("c<thread>:<location>"), subject to per-location FIFO coherence —
+// commits to different locations may reorder (PSO), which is exactly the
+// reordering a missing release fence permits.  A release store commits
+// only once it is the oldest entry in its thread's buffer (everything
+// program-order-earlier is visible first).  RMWs and seq_cst accesses
+// flush the buffer and act on shared memory directly.  Loads see the
+// thread's own newest pending store, else shared memory; load reordering
+// is not modeled.
+//
+// Scope and limits: threads must be bounded (no spin-until-signal loops —
+// express backoff as bounded retries), model values are integers of at
+// most 8 bytes, and model objects must be constructed during Execution
+// setup (not from running threads), so location ids are identical across
+// schedules and replays.  One Explorer runs at a time per process.
+//
+// This is test infrastructure: nothing here is hot-path code, and the
+// scheduler itself uses the annotated util::Mutex/CondVar primitives.
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "util/annotations.h"
+#include "util/sync.h"
+
+namespace flashroute::util::model {
+
+class Sched;
+
+/// The scheduler of the currently running execution (one at a time).
+inline Sched*& active_sched() {
+  static Sched* current = nullptr;
+  return current;
+}
+
+/// Model thread index of the calling thread; -1 outside model threads
+/// (setup, post-check, and the explorer itself).
+inline int& thread_index() {
+  static thread_local int index = -1;
+  return index;
+}
+
+/// Cooperative scheduler and store-buffer memory model.  Test threads call
+/// the op_* entry points (via model::Atomic / model::Var); the Explorer
+/// calls parked_choices()/apply() to drive one execution.
+class Sched {
+ public:
+  /// One scheduling decision: run one op of a thread ("r2"), or commit a
+  /// thread's oldest pending store to one location ("c2:5").
+  struct Choice {
+    bool commit = false;
+    int thread = 0;
+    int location = 0;
+
+    bool operator==(const Choice& other) const {
+      return commit == other.commit && thread == other.thread &&
+             (!commit || location == other.location);
+    }
+  };
+
+  Sched() = default;
+  Sched(const Sched&) = delete;
+  Sched& operator=(const Sched&) = delete;
+
+  // --- model-object side (via Atomic/Var) --------------------------------
+
+  /// Registers a shared location with its initial value.  Only legal from
+  /// setup context: ids must not depend on the schedule.
+  int register_location(std::uint64_t initial) {
+    if (thread_index() >= 0) {
+      throw std::logic_error(
+          "fr_model: model objects must be constructed during Execution "
+          "setup, not from running model threads");
+    }
+    const util::MutexLock lock(mu_);
+    memory_.push_back(initial);
+    return static_cast<int>(memory_.size()) - 1;
+  }
+
+  std::uint64_t op_load(int location, std::memory_order /*order*/) {
+    gate();
+    const util::MutexLock lock(mu_);
+    const int self = thread_index();
+    if (self >= 0) {
+      const auto& buffer = threads_[self].buffer;
+      for (auto it = buffer.rbegin(); it != buffer.rend(); ++it) {
+        if (it->location == location) return it->value;  // own newest store
+      }
+    }
+    return memory_[static_cast<std::size_t>(location)];
+  }
+
+  void op_store(int location, std::uint64_t value, std::memory_order order) {
+    gate();
+    const util::MutexLock lock(mu_);
+    const int self = thread_index();
+    if (self < 0) {
+      memory_[static_cast<std::size_t>(location)] = value;
+      return;
+    }
+    if (order == std::memory_order_seq_cst) {
+      flush_locked(self);
+      memory_[static_cast<std::size_t>(location)] = value;
+      return;
+    }
+    threads_[self].buffer.push_back(
+        {location, value, order == std::memory_order_release});
+  }
+
+  /// Atomic read-modify-write: flushes the calling thread's buffer (RMWs
+  /// synchronize), applies `update` to shared memory, returns the old
+  /// value.
+  std::uint64_t op_rmw(
+      int location,
+      const std::function<std::uint64_t(std::uint64_t)>& update) {
+    gate();
+    const util::MutexLock lock(mu_);
+    const int self = thread_index();
+    if (self >= 0) flush_locked(self);
+    const std::uint64_t old = memory_[static_cast<std::size_t>(location)];
+    memory_[static_cast<std::size_t>(location)] = update(old);
+    return old;
+  }
+
+  // --- explorer side ------------------------------------------------------
+
+  /// Sizes the thread table; called after setup, before threads spawn.
+  void start(int num_threads) {
+    const util::MutexLock lock(mu_);
+    threads_.assign(static_cast<std::size_t>(num_threads), ThreadState{});
+  }
+
+  /// Called by the thread wrapper when its body returns.
+  void thread_done(int thread) {
+    const util::MutexLock lock(mu_);
+    threads_[static_cast<std::size_t>(thread)].done = true;
+    cv_.notify_all();
+  }
+
+  /// Waits until every live thread is parked at a gate, then returns the
+  /// full choice set.  Empty means the execution is complete (all threads
+  /// done, all buffers drained).
+  std::vector<Choice> parked_choices() {
+    const util::MutexLock lock(mu_);
+    while (!all_parked_locked()) cv_.wait(mu_);
+    std::vector<Choice> choices;
+    for (std::size_t t = 0; t < threads_.size(); ++t) {
+      if (!threads_[t].done) {
+        choices.push_back({false, static_cast<int>(t), 0});
+      }
+    }
+    for (std::size_t t = 0; t < threads_.size(); ++t) {
+      commit_choices_locked(static_cast<int>(t), choices);
+    }
+    return choices;
+  }
+
+  void apply(const Choice& choice) {
+    const util::MutexLock lock(mu_);
+    if (choice.commit) {
+      commit_locked(choice.thread, choice.location);
+      return;
+    }
+    auto& state = threads_[static_cast<std::size_t>(choice.thread)];
+    const std::uint64_t parks_before = state.parks;
+    granted_ = choice.thread;
+    cv_.notify_all();
+    // Wait for the thread to run one op and park again (or finish).  The
+    // parks counter distinguishes the *next* park from the current one.
+    while (threads_[static_cast<std::size_t>(choice.thread)].parks ==
+               parks_before &&
+           !threads_[static_cast<std::size_t>(choice.thread)].done) {
+      cv_.wait(mu_);
+    }
+  }
+
+ private:
+  struct PendingStore {
+    int location;
+    std::uint64_t value;
+    bool release;
+  };
+
+  struct ThreadState {
+    bool at_gate = false;
+    bool done = false;
+    std::uint64_t parks = 0;
+    std::vector<PendingStore> buffer;
+  };
+
+  /// Every model op starts here: park, wait for the scheduler's grant.
+  void gate() {
+    const int self = thread_index();
+    if (self < 0) return;  // setup / post-check context is unscheduled
+    const util::MutexLock lock(mu_);
+    auto& state = threads_[static_cast<std::size_t>(self)];
+    state.at_gate = true;
+    ++state.parks;
+    cv_.notify_all();
+    while (granted_ != self) cv_.wait(mu_);
+    granted_ = -1;
+    state.at_gate = false;
+  }
+
+  bool all_parked_locked() const FR_REQUIRES(mu_) {
+    for (const ThreadState& state : threads_) {
+      if (!state.done && !state.at_gate) return false;
+    }
+    return true;
+  }
+
+  /// A pending store may commit iff no program-order-earlier store to the
+  /// same location is pending (per-location FIFO), and — when it is a
+  /// release store — nothing at all is pending before it.
+  void commit_choices_locked(int thread, std::vector<Choice>& out) const
+      FR_REQUIRES(mu_) {
+    const auto& buffer = threads_[static_cast<std::size_t>(thread)].buffer;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      bool location_pending_earlier = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (buffer[j].location == buffer[i].location) {
+          location_pending_earlier = true;
+          break;
+        }
+      }
+      if (location_pending_earlier) continue;
+      if (buffer[i].release && i != 0) continue;
+      out.push_back({true, thread, buffer[i].location});
+    }
+  }
+
+  void commit_locked(int thread, int location) FR_REQUIRES(mu_) {
+    auto& buffer = threads_[static_cast<std::size_t>(thread)].buffer;
+    for (std::size_t i = 0; i < buffer.size(); ++i) {
+      if (buffer[i].location == location) {
+        memory_[static_cast<std::size_t>(location)] = buffer[i].value;
+        buffer.erase(buffer.begin() + static_cast<std::ptrdiff_t>(i));
+        return;
+      }
+    }
+    throw std::logic_error("fr_model: commit of a location with no "
+                           "pending store (corrupt schedule?)");
+  }
+
+  void flush_locked(int self) FR_REQUIRES(mu_) {
+    auto& buffer = threads_[static_cast<std::size_t>(self)].buffer;
+    for (const PendingStore& store : buffer) {
+      memory_[static_cast<std::size_t>(store.location)] = store.value;
+    }
+    buffer.clear();
+  }
+
+  mutable util::Mutex mu_;
+  util::CondVar cv_;
+  int granted_ FR_GUARDED_BY(mu_) = -1;
+  std::vector<ThreadState> threads_ FR_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> memory_ FR_GUARDED_BY(mu_);
+};
+
+/// Renders a trace as a replayable schedule string: "r0.r1.c0:2.r1".
+inline std::string format_schedule(const std::vector<Sched::Choice>& trace) {
+  std::string out;
+  for (const Sched::Choice& choice : trace) {
+    if (!out.empty()) out += '.';
+    if (choice.commit) {
+      out += 'c';
+      out += std::to_string(choice.thread);
+      out += ':';
+      out += std::to_string(choice.location);
+    } else {
+      out += 'r';
+      out += std::to_string(choice.thread);
+    }
+  }
+  return out;
+}
+
+inline std::vector<Sched::Choice> parse_schedule(const std::string& text) {
+  std::vector<Sched::Choice> choices;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('.', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string token = text.substr(pos, end - pos);
+    if (token.size() < 2 || (token[0] != 'r' && token[0] != 'c')) {
+      throw std::invalid_argument("fr_model: bad schedule token: " + token);
+    }
+    Sched::Choice choice;
+    if (token[0] == 'r') {
+      choice.commit = false;
+      choice.thread = std::stoi(token.substr(1));
+    } else {
+      const std::size_t colon = token.find(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("fr_model: bad commit token: " + token);
+      }
+      choice.commit = true;
+      choice.thread = std::stoi(token.substr(1, colon - 1));
+      choice.location = std::stoi(token.substr(colon + 1));
+    }
+    choices.push_back(choice);
+    pos = end + 1;
+  }
+  return choices;
+}
+
+/// One test instance: the thread bodies plus the invariant checked after
+/// the execution completes (all threads joined, all stores committed).
+struct Execution {
+  std::vector<std::function<void()>> threads;
+  std::function<bool()> check;
+};
+
+struct Result {
+  std::int64_t executions = 0;
+  bool failed = false;     ///< some schedule's check returned false
+  bool exhausted = false;  ///< hit max_executions before full coverage
+  std::string schedule;    ///< the failing schedule (replayable)
+};
+
+/// Bounded-DFS explorer: enumerates every schedule of the Execution that
+/// `make` builds (fresh state per run) and stops at the first failure.
+class Explorer {
+ public:
+  struct Options {
+    std::int64_t max_executions = std::int64_t{1} << 20;
+  };
+
+  Explorer() = default;
+  explicit Explorer(Options options) : options_(options) {}
+
+  Result explore(const std::function<Execution()>& make) {
+    Result result;
+    std::vector<std::vector<Sched::Choice>> pending;
+    pending.push_back({});
+    while (!pending.empty()) {
+      if (result.executions >= options_.max_executions) {
+        result.exhausted = true;
+        break;
+      }
+      const std::vector<Sched::Choice> prefix = std::move(pending.back());
+      pending.pop_back();
+      std::vector<Sched::Choice> trace;
+      const bool ok = run_one(make, prefix, trace, &pending);
+      ++result.executions;
+      if (!ok) {
+        result.failed = true;
+        result.schedule = format_schedule(trace);
+        break;
+      }
+    }
+    return result;
+  }
+
+  /// Re-runs one exact schedule (e.g. one printed by a failing test).
+  Result replay(const std::string& schedule,
+                const std::function<Execution()>& make) {
+    Result result;
+    std::vector<Sched::Choice> trace;
+    const bool ok = run_one(make, parse_schedule(schedule), trace, nullptr);
+    result.executions = 1;
+    result.failed = !ok;
+    result.schedule = format_schedule(trace);
+    return result;
+  }
+
+ private:
+  bool run_one(const std::function<Execution()>& make,
+               const std::vector<Sched::Choice>& prefix,
+               std::vector<Sched::Choice>& trace,
+               std::vector<std::vector<Sched::Choice>>* pending) {
+    Sched sched;
+    active_sched() = &sched;
+    Execution execution = make();  // registers locations, resets state
+    const int num_threads = static_cast<int>(execution.threads.size());
+    sched.start(num_threads);
+    std::vector<std::thread> workers;
+    workers.reserve(execution.threads.size());
+    for (int i = 0; i < num_threads; ++i) {
+      workers.emplace_back([&execution, &sched, i] {
+        thread_index() = i;
+        execution.threads[static_cast<std::size_t>(i)]();
+        sched.thread_done(i);
+      });
+    }
+    std::size_t step = 0;
+    while (true) {
+      const std::vector<Sched::Choice> choices = sched.parked_choices();
+      if (choices.empty()) break;  // all done, buffers drained
+      Sched::Choice choice;
+      if (step < prefix.size()) {
+        choice = prefix[step];
+        if (std::find(choices.begin(), choices.end(), choice) ==
+            choices.end()) {
+          // Unpark everything so the join below terminates, then report.
+          abandon(sched, execution, workers);
+          throw std::logic_error(
+              "fr_model: schedule prefix diverged at step " +
+              std::to_string(step) + " (stale schedule string?)");
+        }
+      } else {
+        choice = choices.front();
+        // Branch only while some thread is live: once every thread is
+        // done, the remaining commits drain to the same final memory in
+        // any order (per-location FIFO), so exploring them adds nothing.
+        const bool live = !choices.front().commit;
+        if (pending != nullptr && live) {
+          for (std::size_t i = 1; i < choices.size(); ++i) {
+            std::vector<Sched::Choice> alternative = trace;
+            alternative.push_back(choices[i]);
+            pending->push_back(std::move(alternative));
+          }
+        }
+      }
+      trace.push_back(choice);
+      sched.apply(choice);
+      ++step;
+    }
+    for (std::thread& worker : workers) worker.join();
+    // The post-check runs unscheduled but may still read model objects
+    // (direct memory access), so the scheduler stays active for it.
+    const bool ok = !execution.check || execution.check();
+    active_sched() = nullptr;
+    return ok;
+  }
+
+  // Error path: grant every thread until it finishes so join() returns.
+  void abandon(Sched& sched, Execution& execution,
+               std::vector<std::thread>& workers) {
+    for (std::size_t t = 0; t < execution.threads.size(); ++t) {
+      // Run each thread to completion, ignoring further choices.
+      while (true) {
+        const std::vector<Sched::Choice> choices = sched.parked_choices();
+        bool ran = false;
+        for (const Sched::Choice& choice : choices) {
+          if (!choice.commit &&
+              choice.thread == static_cast<int>(t)) {
+            sched.apply(choice);
+            ran = true;
+            break;
+          }
+        }
+        if (!ran) break;
+      }
+    }
+    for (std::thread& worker : workers) worker.join();
+    active_sched() = nullptr;
+  }
+
+  Options options_;
+};
+
+/// std::atomic<T> stand-in whose every operation is a scheduling point.
+/// Construct during Execution setup only.
+template <typename T>
+class Atomic {
+  static_assert(std::is_integral_v<T> && sizeof(T) <= 8,
+                "fr_model models integral values of at most 8 bytes");
+
+ public:
+  Atomic(T value = T{})  // NOLINT(google-explicit-constructor)
+      : location_(active_sched()->register_location(widen(value))) {}
+  Atomic(const Atomic&) = delete;
+  Atomic& operator=(const Atomic&) = delete;
+
+  T load(std::memory_order order = std::memory_order_seq_cst) const {
+    return narrow(active_sched()->op_load(location_, order));
+  }
+  void store(T value, std::memory_order order = std::memory_order_seq_cst) {
+    active_sched()->op_store(location_, widen(value), order);
+  }
+  T fetch_add(T value, std::memory_order = std::memory_order_seq_cst) {
+    return rmw([value](T old) { return static_cast<T>(old + value); });
+  }
+  T fetch_sub(T value, std::memory_order = std::memory_order_seq_cst) {
+    return rmw([value](T old) { return static_cast<T>(old - value); });
+  }
+  T fetch_or(T value, std::memory_order = std::memory_order_seq_cst) {
+    return rmw([value](T old) { return static_cast<T>(old | value); });
+  }
+  T fetch_and(T value, std::memory_order = std::memory_order_seq_cst) {
+    return rmw([value](T old) { return static_cast<T>(old & value); });
+  }
+  T exchange(T value, std::memory_order = std::memory_order_seq_cst) {
+    return rmw([value](T) { return value; });
+  }
+
+ private:
+  template <typename Fn>
+  T rmw(const Fn& update) {
+    return narrow(active_sched()->op_rmw(
+        location_, [&update](std::uint64_t old) {
+          return widen(update(narrow(old)));
+        }));
+  }
+  static std::uint64_t widen(T value) {
+    return static_cast<std::uint64_t>(
+        static_cast<std::make_unsigned_t<T>>(value));
+  }
+  static T narrow(std::uint64_t value) {
+    return static_cast<T>(
+        static_cast<std::make_unsigned_t<T>>(value));
+  }
+
+  int location_;
+};
+
+/// Plain-variable stand-in: reads and writes are relaxed model accesses
+/// (a plain store can reorder exactly like a relaxed atomic one — that is
+/// the reordering a missing release fence exposes).
+template <typename T>
+class Var {
+  static_assert(std::is_integral_v<T> && sizeof(T) <= 8,
+                "fr_model models integral values of at most 8 bytes");
+
+ public:
+  Var(T value = T{})  // NOLINT(google-explicit-constructor)
+      : location_(active_sched()->register_location(
+            static_cast<std::uint64_t>(
+                static_cast<std::make_unsigned_t<T>>(value)))) {}
+  Var(const Var& other) : Var(other.get()) {}
+
+  Var& operator=(T value) {
+    active_sched()->op_store(
+        location_,
+        static_cast<std::uint64_t>(static_cast<std::make_unsigned_t<T>>(value)),
+        std::memory_order_relaxed);
+    return *this;
+  }
+  Var& operator=(const Var& other) {
+    if (this != &other) *this = other.get();
+    return *this;
+  }
+
+  operator T() const { return get(); }  // NOLINT(google-explicit-constructor)
+
+  T get() const {
+    return static_cast<T>(static_cast<std::make_unsigned_t<T>>(
+        active_sched()->op_load(location_, std::memory_order_relaxed)));
+  }
+
+ private:
+  int location_;
+};
+
+}  // namespace flashroute::util::model

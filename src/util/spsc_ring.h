@@ -24,7 +24,11 @@
 
 namespace flashroute::util {
 
-template <typename T>
+// `Index` is the atomic index type: std::atomic<std::size_t> in production.
+// tests/model_spsc_test.cc instantiates it with model::Atomic<std::size_t>
+// to run the push/pop protocol under the fr_model interleaving scheduler
+// (util/model_sched.h) — same algorithm, every interleaving explored.
+template <typename T, typename Index = std::atomic<std::size_t>>
 class SpscRing {
  public:
   /// Capacity is rounded up to a power of two (minimum 2) so index wrapping
@@ -91,10 +95,10 @@ class SpscRing {
  private:
   // Indices are free-running counts; (head - tail) is the fill level even
   // across wraparound of the unsigned counters.
-  alignas(64) std::atomic<std::size_t> head_{0};  // fr-atomic: SPSC producer index, release-published
-  alignas(64) std::size_t cached_tail_ = 0;       // producer's view of tail_
-  alignas(64) std::atomic<std::size_t> tail_{0};  // fr-atomic: SPSC consumer index, release-published
-  alignas(64) std::size_t cached_head_ = 0;       // consumer's view of head_
+  alignas(64) Index head_{0};                // fr-atomic: SPSC producer index, release-published
+  alignas(64) std::size_t cached_tail_ = 0;  // producer's view of tail_
+  alignas(64) Index tail_{0};                // fr-atomic: SPSC consumer index, release-published
+  alignas(64) std::size_t cached_head_ = 0;  // consumer's view of head_
   std::size_t mask_ = 0;
   std::unique_ptr<T[]> slots_;
 };

@@ -1,0 +1,101 @@
+// Capability-annotated synchronization primitives (DESIGN.md §13).
+//
+// libstdc++'s std::mutex / std::lock_guard carry no thread-safety
+// attributes, so code using them is invisible to clang's -Wthread-safety
+// analysis.  These thin wrappers restore visibility: `util::Mutex` is an
+// annotated capability over std::mutex, `util::MutexLock` is the annotated
+// RAII holder (the absl::MutexLock shape: the *constructor* carries the
+// FR_ACQUIRE contract, so the analysis trusts it rather than re-deriving
+// it from the std::lock_guard instantiation it cannot see), and
+// `util::CondVar` wraps std::condition_variable_any with a wait() that
+// FR_REQUIRES the mutex — callers must already hold it, exactly the
+// std::condition_variable precondition.
+//
+// Every mutex-owning class in src/svc, src/io and src/sim uses these
+// types; the CI thread-safety job compiles the tree with
+// `-Wthread-safety -Werror`, making "field touched without its lock" a
+// build break, not a TSan roll of the dice.
+//
+// None of this is hot-path code: the hot path is lock-free by
+// construction (DESIGN.md §6) and fr-lint's hot-banned rule keeps mutexes
+// out of FR_HOT bodies entirely.
+
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.h"
+
+namespace flashroute::util {
+
+/// Annotated capability over std::mutex.  Member bodies forward to the
+/// (unannotated) std::mutex, so the analysis sees exactly one capability
+/// per lock — the wrapper — and trusts the contracts below.
+class FR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FR_ACQUIRE() { mutex_.lock(); }
+  void unlock() FR_RELEASE() { mutex_.unlock(); }
+  [[nodiscard]] bool try_lock() FR_TRY_ACQUIRE(true) {
+    return mutex_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mutex_;
+};
+
+/// RAII holder for a Mutex (the scoped-capability pattern): construction
+/// acquires, destruction releases.  Deliberately not a template and not
+/// movable — one lock, one scope, no relock/adoption states for the
+/// analysis (or a reader) to track.
+class FR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) FR_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() FR_RELEASE() { mutex_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable usable with util::Mutex.  wait() requires the mutex
+/// held (it unlocks/relocks internally, inside the std implementation the
+/// analysis does not look into); as always with condition variables,
+/// re-check the predicate in a loop around each wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) FR_REQUIRES(mutex) {
+    // condition_variable_any::wait needs an lvalue BasicLockable; a
+    // stack-local view over the wrapped std::mutex keeps the internal
+    // unlock/relock pair TSA-silent (it is the condvar's documented
+    // protocol, not a capability transfer the caller sees) and shares no
+    // state between concurrent waiters.
+    MutexRef ref{&mutex.mutex_};
+    cv_.wait(ref);
+  }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  struct MutexRef {
+    std::mutex* inner;
+    void lock() { inner->lock(); }
+    void unlock() { inner->unlock(); }
+  };
+
+  std::condition_variable_any cv_;
+};
+
+}  // namespace flashroute::util

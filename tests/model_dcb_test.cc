@@ -1,0 +1,125 @@
+// fr_model litmus for the PackedDcb flags-byte protocol (core/dcb.h): the
+// spinlock bit shares a byte with the flag bits, so *every* flag update
+// must be an atomic RMW — a plain load/modify/store from the sender can
+// erase the receiver's concurrent lock acquisition.  dcb.h states this
+// invariant in prose; here the fr_model scheduler proves it by exhaustive
+// interleaving, on a model::Atomic<uint8_t> mirror of the exact protocol
+// (PackedDcb hard-codes std::atomic, so the byte protocol is restated on
+// the model type; the constants and orderings match dcb.h line for line).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/model_sched.h"
+
+namespace model = flashroute::util::model;
+
+namespace {
+
+// Mirrors PackedDcb's flag/lock byte: top bit is the spinlock, low bits
+// are protocol flags (kFlagPreprobed etc.).
+constexpr std::uint8_t kLocked = 0x80;
+
+struct FlagsByte {
+  model::Atomic<std::uint8_t> bits{0};
+
+  // PackedDcb::try_lock: single fetch_or attempt, success iff 0 -> 1.
+  bool try_lock() {
+    return (bits.fetch_or(kLocked, std::memory_order_acquire) & kLocked) == 0;
+  }
+  // PackedDcb::unlock: fetch_and clearing only the lock bit.
+  void unlock() {
+    bits.fetch_and(static_cast<std::uint8_t>(~kLocked),
+                   std::memory_order_release);
+  }
+  // PackedDcb::set_flags: RMW, lock bit masked out of the argument.
+  void set_flags(std::uint8_t mask) {
+    bits.fetch_or(static_cast<std::uint8_t>(mask & ~kLocked),
+                  std::memory_order_relaxed);
+  }
+  std::uint8_t load() { return bits.load(std::memory_order_relaxed); }
+};
+
+// Receiver claims the DCB via try_lock (bounded retry), mutates guarded
+// state, unlocks.  Sender concurrently sets a flag bit *without* the lock
+// — legal precisely because set_flags is an RMW that spares the lock bit.
+model::Execution rmw_protocol_execution() {
+  auto flags = std::make_shared<FlagsByte>();
+  auto locked_ok = std::make_shared<bool>(false);
+  model::Execution execution;
+  execution.threads = {
+      [flags, locked_ok] {
+        for (int attempt = 0; attempt < 2; ++attempt) {
+          if (!flags->try_lock()) continue;
+          flags->set_flags(0x01);  // guarded mutation while holding the lock
+          flags->unlock();
+          *locked_ok = true;
+          break;
+        }
+      },
+      [flags] { flags->set_flags(0x02); },  // lock-free flag set (sender)
+  };
+  execution.check = [flags, locked_ok] {
+    const std::uint8_t value = flags->load();
+    // The sender's bit survives every schedule; the receiver's bit is set
+    // iff it won the lock; the lock bit never leaks past unlock.
+    if ((value & 0x02) == 0) return false;
+    if (*locked_ok != ((value & 0x01) != 0)) return false;
+    return (value & kLocked) == 0;
+  };
+  return execution;
+}
+
+TEST(ModelDcb, FlagRmwAndSpinlockComposeUnderEverySchedule) {
+  model::Explorer explorer;
+  const model::Result result = explorer.explore(rmw_protocol_execution);
+  EXPECT_FALSE(result.failed)
+      << "counterexample schedule: " << result.schedule;
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_GT(result.executions, 1);
+  std::cout << "dcb schedules explored: " << result.executions << "\n";
+}
+
+// The broken variant: the sender sets its flag with a plain
+// load-modify-store (what a non-atomic `flags_ |= mask` compiles to).
+// Interleaved with the receiver's fetch_or lock acquisition, the store
+// writes back a byte snapshotted before the lock bit was set — erasing
+// the receiver's lock.  This is the exact failure mode dcb.h's comment
+// warns about.
+model::Execution plain_store_execution() {
+  auto flags = std::make_shared<FlagsByte>();
+  auto got_lock = std::make_shared<bool>(false);
+  model::Execution execution;
+  execution.threads = {
+      [flags, got_lock] { *got_lock = flags->try_lock(); },  // never unlocks
+      [flags] {
+        // BUG: plain read-modify-write instead of fetch_or.
+        const std::uint8_t snapshot = flags->load();
+        flags->bits.store(static_cast<std::uint8_t>(snapshot | 0x02),
+                          std::memory_order_relaxed);
+      },
+  };
+  execution.check = [flags, got_lock] {
+    // If the receiver holds the lock, the lock bit must still be set.
+    return !*got_lock || (flags->load() & kLocked) != 0;
+  };
+  return execution;
+}
+
+TEST(ModelDcb, PlainStoreErasingLockBitIsCaughtWithReplayableSchedule) {
+  model::Explorer explorer;
+  const model::Result found = explorer.explore(plain_store_execution);
+  ASSERT_TRUE(found.failed)
+      << "lost lock bit not caught — RMW requirement not demonstrated";
+  ASSERT_FALSE(found.schedule.empty());
+  std::cout << "broken-dcb counterexample: " << found.schedule << "\n";
+
+  const model::Result replayed =
+      explorer.replay(found.schedule, plain_store_execution);
+  EXPECT_TRUE(replayed.failed) << "schedule did not replay";
+}
+
+}  // namespace

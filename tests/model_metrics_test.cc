@@ -1,0 +1,107 @@
+// fr_model litmus for the MetricsLane cell protocol (obs/metrics.h): each
+// counter cell has exactly one writer thread, so inc() is a relaxed
+// load + relaxed store — no RMW — and snapshot() reads the cell with a
+// relaxed load from another thread.  The claim proved here: under the
+// single-writer discipline every snapshot observes a monotone,
+// non-torn prefix of the increments, and the final drained value is
+// exact.  The broken variant drops the discipline (two writers, same
+// cell): the load/store increment loses updates, the explorer finds the
+// interleaving, and the schedule string is printed and replayed — this is
+// why the fr-lint `single-writer` rule and the FR_SINGLE_WRITER
+// annotation exist.
+//
+// (MetricsLane hard-codes std::atomic in its CellBlock, so the two-line
+// cell protocol is restated on model::Atomic; orderings match metrics.h.)
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/model_sched.h"
+
+namespace model = flashroute::util::model;
+
+namespace {
+
+// Mirrors one MetricsLane counter cell.
+struct Cell {
+  model::Atomic<std::uint64_t> value{0};
+
+  // MetricsLane::inc: single-writer relaxed load + store (no RMW).
+  void inc(std::uint64_t delta) {
+    value.store(value.load(std::memory_order_relaxed) + delta,
+                std::memory_order_relaxed);
+  }
+  // MetricsExporter snapshot path: relaxed load from another thread.
+  std::uint64_t read() { return value.load(std::memory_order_relaxed); }
+};
+
+constexpr std::uint64_t kIncrements = 3;
+
+model::Execution single_writer_execution() {
+  auto cell = std::make_shared<Cell>();
+  auto snapshots = std::make_shared<std::vector<std::uint64_t>>();
+  model::Execution execution;
+  execution.threads = {
+      [cell] {
+        for (std::uint64_t i = 0; i < kIncrements; ++i) cell->inc(1);
+      },
+      [cell, snapshots] {
+        snapshots->push_back(cell->read());
+        snapshots->push_back(cell->read());
+      },
+  };
+  execution.check = [cell, snapshots] {
+    // Snapshots are monotone and never overshoot (commits to one location
+    // are FIFO, and the writer's own reads forward from its buffer, so no
+    // increment is ever lost or observed out of order).
+    if ((*snapshots)[0] > (*snapshots)[1]) return false;
+    if ((*snapshots)[1] > kIncrements) return false;
+    // After the execution drains, the count is exact.
+    return cell->read() == kIncrements;
+  };
+  return execution;
+}
+
+TEST(ModelMetrics, SingleWriterSnapshotsLinearizeUnderEverySchedule) {
+  model::Explorer explorer;
+  const model::Result result = explorer.explore(single_writer_execution);
+  EXPECT_FALSE(result.failed)
+      << "counterexample schedule: " << result.schedule;
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_GT(result.executions, 10);
+  std::cout << "metrics schedules explored: " << result.executions << "\n";
+}
+
+// The broken variant: two threads incrementing the *same* cell with the
+// load/store protocol.  Both read 0, both store 1 — an update is lost.
+// This is exactly the bug class FR_SINGLE_WRITER ownership comments (and
+// the fr-lint single-writer rule) exclude statically.
+model::Execution two_writer_execution() {
+  auto cell = std::make_shared<Cell>();
+  model::Execution execution;
+  execution.threads = {
+      [cell] { cell->inc(1); },
+      [cell] { cell->inc(1); },
+  };
+  execution.check = [cell] { return cell->read() == 2; };
+  return execution;
+}
+
+TEST(ModelMetrics, TwoWritersLoseAnUpdateWithReplayableSchedule) {
+  model::Explorer explorer;
+  const model::Result found = explorer.explore(two_writer_execution);
+  ASSERT_TRUE(found.failed)
+      << "lost update not caught — single-writer requirement not shown";
+  ASSERT_FALSE(found.schedule.empty());
+  std::cout << "two-writer counterexample: " << found.schedule << "\n";
+
+  const model::Result replayed =
+      explorer.replay(found.schedule, two_writer_execution);
+  EXPECT_TRUE(replayed.failed) << "schedule did not replay";
+}
+
+}  // namespace

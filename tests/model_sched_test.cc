@@ -1,0 +1,193 @@
+// Unit tests for the fr_model interleaving harness itself
+// (util/model_sched.h): exact schedule counts, store-buffer forwarding,
+// the PSO reordering a missing release permits (and that a release
+// forbids), and schedule-string replay.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <utility>
+
+#include "util/model_sched.h"
+
+namespace model = flashroute::util::model;
+
+namespace {
+
+TEST(ModelSched, TwoThreadsTwoLoadsEnumerateAllSixInterleavings) {
+  // Loads buffer nothing, so schedules are exactly the interleavings of
+  // r0 r0 r1 r1: C(4,2) = 6.  This pins the enumeration itself.
+  model::Explorer explorer;
+  const model::Result result = explorer.explore([] {
+    auto x = std::make_shared<model::Atomic<int>>(0);
+    model::Execution execution;
+    execution.threads = {
+        [x] {
+          x->load(std::memory_order_relaxed);
+          x->load(std::memory_order_relaxed);
+        },
+        [x] {
+          x->load(std::memory_order_relaxed);
+          x->load(std::memory_order_relaxed);
+        },
+    };
+    execution.check = [] { return true; };
+    return execution;
+  });
+  EXPECT_FALSE(result.failed) << "schedule: " << result.schedule;
+  EXPECT_FALSE(result.exhausted);
+  EXPECT_EQ(result.executions, 6);
+}
+
+TEST(ModelSched, StoreForwardingAndCommitBranching) {
+  // One thread: buffered store then load.  The load must see the thread's
+  // own pending store (store-to-load forwarding), whether or not the
+  // commit has happened yet — and the explorer must branch on the commit
+  // while the thread is alive: schedules are
+  //   r0(store) r0(load) [drain]   and   r0(store) c0 r0(load),
+  // exactly 2 executions.
+  model::Explorer explorer;
+  const model::Result result = explorer.explore([] {
+    auto x = std::make_shared<model::Atomic<int>>(0);
+    auto seen = std::make_shared<int>(-1);
+    model::Execution execution;
+    execution.threads = {
+        [x, seen] {
+          x->store(42, std::memory_order_relaxed);
+          *seen = x->load(std::memory_order_relaxed);
+        },
+    };
+    execution.check = [x, seen] {
+      // Post-check runs unscheduled, after every store has drained.
+      return *seen == 42 && x->load() == 42;
+    };
+    return execution;
+  });
+  EXPECT_FALSE(result.failed) << "schedule: " << result.schedule;
+  EXPECT_EQ(result.executions, 2);
+}
+
+// Message-passing litmus: writer publishes data x then flag y; reader
+// polls y then reads x.  Returns the set of (flag, data) outcomes seen
+// across every schedule.
+std::set<std::pair<int, int>> mp_outcomes(std::memory_order publish_order) {
+  auto outcomes = std::make_shared<std::set<std::pair<int, int>>>();
+  model::Explorer explorer;
+  const model::Result result =
+      explorer.explore([outcomes, publish_order] {
+        auto x = std::make_shared<model::Atomic<int>>(0);
+        auto y = std::make_shared<model::Atomic<int>>(0);
+        auto flag = std::make_shared<int>(0);
+        auto data = std::make_shared<int>(0);
+        model::Execution execution;
+        execution.threads = {
+            [x, y, publish_order] {
+              x->store(1, std::memory_order_relaxed);
+              y->store(1, publish_order);
+            },
+            [x, y, flag, data] {
+              *flag = y->load(std::memory_order_acquire);
+              *data = x->load(std::memory_order_acquire);
+            },
+        };
+        execution.check = [outcomes, flag, data] {
+          outcomes->insert({*flag, *data});
+          return true;
+        };
+        return execution;
+      });
+  EXPECT_FALSE(result.failed);
+  EXPECT_FALSE(result.exhausted);
+  return *outcomes;
+}
+
+TEST(ModelSched, RelaxedPublishPermitsFlagBeforeData) {
+  // With a relaxed publish the two pending stores target different
+  // locations, so PSO lets the flag commit first: the reader can observe
+  // flag=1 with stale data=0.  This is the bug class the harness exists
+  // to catch — the model must be able to represent it.
+  const auto outcomes = mp_outcomes(std::memory_order_relaxed);
+  EXPECT_TRUE(outcomes.count({1, 0}))
+      << "PSO store reordering not reachable — model too strong";
+  EXPECT_TRUE(outcomes.count({0, 0}));
+  EXPECT_TRUE(outcomes.count({1, 1}));
+}
+
+TEST(ModelSched, ReleasePublishForbidsFlagBeforeData) {
+  // A release publish may commit only once every earlier pending store
+  // has: flag=1 implies data visible.  No schedule may show {1, 0}.
+  const auto outcomes = mp_outcomes(std::memory_order_release);
+  EXPECT_FALSE(outcomes.count({1, 0}))
+      << "release ordering violated by the model";
+  EXPECT_TRUE(outcomes.count({1, 1}));
+}
+
+// The MP litmus again, with the check *asserting* no reordering — under a
+// relaxed publish this must fail, yielding a replayable schedule.
+model::Execution mp_assert_no_reorder() {
+  auto x = std::make_shared<model::Atomic<int>>(0);
+  auto y = std::make_shared<model::Atomic<int>>(0);
+  auto flag = std::make_shared<int>(0);
+  auto data = std::make_shared<int>(0);
+  model::Execution execution;
+  execution.threads = {
+      [x, y] {
+        x->store(1, std::memory_order_relaxed);
+        y->store(1, std::memory_order_relaxed);  // bug: should be release
+      },
+      [x, y, flag, data] {
+        *flag = y->load(std::memory_order_acquire);
+        *data = x->load(std::memory_order_acquire);
+      },
+  };
+  execution.check = [flag, data] { return !(*flag == 1 && *data == 0); };
+  return execution;
+}
+
+TEST(ModelSched, FailureYieldsReplayableSchedule) {
+  model::Explorer explorer;
+  const model::Result found = explorer.explore(mp_assert_no_reorder);
+  ASSERT_TRUE(found.failed);
+  ASSERT_FALSE(found.schedule.empty());
+  std::cout << "counterexample schedule: " << found.schedule << "\n";
+
+  // Replaying the printed schedule reproduces the failure exactly.
+  const model::Result replayed =
+      explorer.replay(found.schedule, mp_assert_no_reorder);
+  EXPECT_TRUE(replayed.failed);
+  EXPECT_EQ(replayed.executions, 1);
+  EXPECT_EQ(replayed.schedule, found.schedule);
+}
+
+TEST(ModelSched, ScheduleStringsRoundTrip) {
+  const std::vector<model::Sched::Choice> trace = {
+      {false, 0, 0}, {false, 1, 0}, {true, 0, 2}, {true, 1, 17},
+  };
+  const std::string text = model::format_schedule(trace);
+  EXPECT_EQ(text, "r0.r1.c0:2.c1:17");
+  EXPECT_EQ(model::parse_schedule(text), trace);
+  EXPECT_THROW(model::parse_schedule("r0.zzz"), std::invalid_argument);
+}
+
+TEST(ModelSched, RmwFlushesAndActsOnSharedMemory) {
+  // fetch_or is atomic under every schedule: two concurrent RMWs on the
+  // same byte never lose an update (this is the PackedDcb claim in
+  // miniature; model_dcb_test.cc exercises the full protocol).
+  model::Explorer explorer;
+  const model::Result result = explorer.explore([] {
+    auto flags = std::make_shared<model::Atomic<unsigned>>(0u);
+    model::Execution execution;
+    execution.threads = {
+        [flags] { flags->fetch_or(0x1u, std::memory_order_acq_rel); },
+        [flags] { flags->fetch_or(0x2u, std::memory_order_acq_rel); },
+    };
+    execution.check = [flags] { return flags->load() == 0x3u; };
+    return execution;
+  });
+  EXPECT_FALSE(result.failed) << "schedule: " << result.schedule;
+  EXPECT_EQ(result.executions, 2);  // r0 r1 and r1 r0
+}
+
+}  // namespace
