@@ -22,6 +22,11 @@
 //     to the same spec run on an uncontended daemon.  This is the PR 5
 //     checkpoint-equivalence contract surfaced at the service layer.
 //
+//  D. Journaling overhead — the concurrent workload rerun with the
+//     write-ahead journal enabled (durability none, crash points
+//     disarmed) must keep >= 80% of the serial aggregate: crash safety
+//     that is not being exercised must be close to free (DESIGN.md §14).
+//
 // Writes BENCH_daemon.json; exits non-zero when any gate fails.
 //
 // Environment overrides:
@@ -60,11 +65,15 @@ std::string unique_path(const char* stem, int nonce) {
 struct TestDaemon {
   std::string socket_path;
   std::string archive_path;
+  std::string journal_path;  // empty = journaling off
+  std::string state_dir;
   std::ostringstream events;
   std::unique_ptr<svc::Daemon> daemon;
 
-  static std::unique_ptr<TestDaemon> boot(int nonce, int workers,
-                                          double budget, int max_queued) {
+  static std::unique_ptr<TestDaemon> boot(
+      int nonce, int workers, double budget, int max_queued,
+      bool journaled = false,
+      svc::Durability durability = svc::Durability::kNone) {
     auto td = std::make_unique<TestDaemon>();
     td->socket_path = unique_path("frd_bench", nonce);
     td->archive_path = unique_path("frd_bench_archive", nonce);
@@ -72,6 +81,13 @@ struct TestDaemon {
     options.socket_path = td->socket_path;
     options.archive_path = td->archive_path;
     options.events = &td->events;
+    if (journaled) {
+      td->journal_path = unique_path("frd_bench_journal", nonce);
+      td->state_dir = unique_path("frd_bench_state", nonce);
+      options.journal_path = td->journal_path;
+      options.state_dir = td->state_dir;
+      options.durability = durability;
+    }
     options.scheduler.num_workers = workers;
     options.scheduler.global_pps_budget = budget;
     options.scheduler.max_queued = max_queued;
@@ -90,6 +106,14 @@ struct TestDaemon {
   ~TestDaemon() {
     stop();
     std::remove(archive_path.c_str());
+    if (!journal_path.empty()) {
+      std::remove(journal_path.c_str());
+      for (int id = 1; id <= 128; ++id) {
+        std::remove(
+            (state_dir + "/job_" + std::to_string(id) + ".frck").c_str());
+      }
+      ::rmdir(state_dir.c_str());
+    }
   }
 };
 
@@ -116,8 +140,8 @@ struct ThroughputRun {
 /// Pushes `jobs` identical scans through a fresh daemon and measures the
 /// wall time from first submit to last completion.
 bool run_throughput(int nonce, int workers, int jobs, int bits,
-                    ThroughputRun* out) {
-  auto daemon = TestDaemon::boot(nonce, workers, 1e6, jobs + 1);
+                    ThroughputRun* out, bool journaled = false) {
+  auto daemon = TestDaemon::boot(nonce, workers, 1e6, jobs + 1, journaled);
   if (!daemon) return false;
   auto client = svc::Client::connect(daemon->socket_path);
   if (!client) return false;
@@ -142,6 +166,21 @@ bool run_throughput(int nonce, int workers, int jobs, int bits,
   }
   daemon->stop();
   return out->completed == static_cast<std::uint64_t>(jobs);
+}
+
+/// Folds one measurement into a best-of accumulator.  Wall-clock noise on
+/// a loaded single-core host is one-sided (scheduler stalls only ever slow
+/// a run down), so the fastest rep estimates the true rate and keeps the
+/// ratio gates from tripping on a hiccup in either numerator or
+/// denominator.
+bool keep_best(int nonce, int workers, int jobs, int bits, ThroughputRun* best,
+               bool prior_ok, bool journaled = false) {
+  ThroughputRun run;
+  if (!run_throughput(nonce, workers, jobs, bits, &run, journaled)) {
+    return prior_ok;
+  }
+  if (!prior_ok || run.pps() > best->pps()) *best = run;
+  return true;
 }
 
 /// Spins on status() until the job leaves the queue (running, preempted, or
@@ -322,11 +361,23 @@ int main() {
 
   std::printf("=== daemon: throughput / admission / preemption gates ===\n");
 
+  // Stages A and D interleave their reps round-robin (serial, concurrent,
+  // journaled, repeat) so a time-correlated slowdown — page-cache
+  // pressure, a neighbour stealing the core — lands on every stage
+  // instead of biasing whichever ran last; each stage keeps its best rep.
   ThroughputRun serial;
   ThroughputRun concurrent;
-  const bool serial_ok = run_throughput(1, 1, jobs, bits, &serial);
-  const bool concurrent_ok =
-      run_throughput(2, workers, jobs, bits, &concurrent);
+  ThroughputRun journaled;
+  bool serial_ok = false;
+  bool concurrent_ok = false;
+  bool journaled_ok = false;
+  for (int rep = 0; rep < 3; ++rep) {
+    serial_ok = keep_best(100 + rep, 1, jobs, bits, &serial, serial_ok);
+    concurrent_ok =
+        keep_best(200 + rep, workers, jobs, bits, &concurrent, concurrent_ok);
+    journaled_ok = keep_best(300 + rep, workers, jobs, bits, &journaled,
+                             journaled_ok, /*journaled=*/true);
+  }
   const double ratio =
       serial.pps() > 0.0 ? concurrent.pps() / serial.pps() : 0.0;
   const bool gate_throughput = serial_ok && concurrent_ok && ratio >= 0.85;
@@ -340,6 +391,19 @@ int main() {
       concurrent.wall_seconds,
       static_cast<unsigned long long>(concurrent.probes), concurrent.pps(),
       ratio, gate_throughput ? "PASS" : "FAIL");
+
+  // D. Journaling overhead — the same concurrent workload with the
+  // write-ahead journal on (durability none, crash points disarmed): the
+  // crash-safety plumbing must cost little when it is not being exercised.
+  const double journaled_ratio =
+      serial.pps() > 0.0 ? journaled.pps() / serial.pps() : 0.0;
+  const bool gate_journaled = journaled_ok && journaled_ratio >= 0.80;
+  std::printf(
+      "  journaled  workers=%d  wall=%.3fs  probes=%llu  pps=%.0f\n"
+      "  journaled/serial = %.2f (gate >= 0.80): %s\n",
+      workers, journaled.wall_seconds,
+      static_cast<unsigned long long>(journaled.probes), journaled.pps(),
+      journaled_ratio, gate_journaled ? "PASS" : "FAIL");
 
   const AdmissionResult admission = run_admission(10);
   std::printf(
@@ -377,19 +441,24 @@ int main() {
       "  \"concurrent\": {\"workers\": %d, \"wall_seconds\": %.4f, "
       "\"probes\": %llu, \"pps\": %.1f},\n"
       "  \"concurrent_over_serial\": %.4f,\n"
+      "  \"journaled\": {\"workers\": %d, \"wall_seconds\": %.4f, "
+      "\"probes\": %llu, \"pps\": %.1f},\n"
+      "  \"journaled_over_serial\": %.4f,\n"
       "  \"admission\": {\"bad_spec\": \"%s\", \"over_budget\": \"%s\", "
       "\"queue_full\": \"%s\"},\n"
       "  \"preemption\": {\"attempts\": %d, \"slices\": %llu, "
       "\"contended_size\": %llu, \"contended_fnv1a\": %llu, "
       "\"solo_size\": %llu, \"solo_fnv1a\": %llu},\n"
-      "  \"gates\": {\"throughput\": %s, \"admission\": %s, "
-      "\"preemption\": %s}\n"
+      "  \"gates\": {\"throughput\": %s, \"journaled\": %s, "
+      "\"admission\": %s, \"preemption\": %s}\n"
       "}\n",
       jobs, bits, serial.wall_seconds,
       static_cast<unsigned long long>(serial.probes), serial.pps(), workers,
       concurrent.wall_seconds,
       static_cast<unsigned long long>(concurrent.probes), concurrent.pps(),
-      ratio, admission.bad_spec_reason.c_str(),
+      ratio, workers, journaled.wall_seconds,
+      static_cast<unsigned long long>(journaled.probes), journaled.pps(),
+      journaled_ratio, admission.bad_spec_reason.c_str(),
       admission.over_budget_reason.c_str(),
       admission.queue_full_reason.c_str(), preemption.attempts,
       static_cast<unsigned long long>(preemption.slices),
@@ -397,10 +466,12 @@ int main() {
       static_cast<unsigned long long>(preemption.contended_fnv),
       static_cast<unsigned long long>(preemption.solo_size),
       static_cast<unsigned long long>(preemption.solo_fnv),
-      gate_throughput ? "true" : "false", admission.ok ? "true" : "false",
-      preemption.ok ? "true" : "false");
+      gate_throughput ? "true" : "false", gate_journaled ? "true" : "false",
+      admission.ok ? "true" : "false", preemption.ok ? "true" : "false");
   std::fclose(out);
   std::printf("wrote %s\n", path);
 
-  return (gate_throughput && admission.ok && preemption.ok) ? 0 : 1;
+  return (gate_throughput && gate_journaled && admission.ok && preemption.ok)
+             ? 0
+             : 1;
 }

@@ -354,8 +354,7 @@ int main(int argc, char** argv) {
 
   std::optional<io::ScanCheckpoint> resume_checkpoint;
   if (!options->resume_file.empty()) {
-    std::ifstream in(options->resume_file, std::ios::binary);
-    auto loaded = in ? io::read_checkpoint(in) : std::nullopt;
+    auto loaded = io::load_checkpoint_file(options->resume_file);
     if (!loaded) {
       std::fprintf(stderr, "%s: not a FlashRoute scan checkpoint\n",
                    options->resume_file.c_str());
@@ -377,14 +376,13 @@ int main(int argc, char** argv) {
         static_cast<double>(util::kMillisecond));
     config.checkpoint_sink =
         [&options, &checkpoints_written](const io::ScanCheckpoint& cp) {
-          std::ofstream out(options->checkpoint_file,
-                            std::ios::binary | std::ios::trunc);
-          if (!out) {
+          // Atomic publish (DESIGN.md §14): a crash mid-write must never
+          // leave a torn file where --resume-from expects a checkpoint.
+          if (!io::save_checkpoint_atomic(options->checkpoint_file, cp)) {
             std::fprintf(stderr, "cannot write %s; aborting scan\n",
                          options->checkpoint_file.c_str());
             return false;
           }
-          io::write_checkpoint(cp, out);
           ++checkpoints_written;
           return true;
         };

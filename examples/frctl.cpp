@@ -14,13 +14,23 @@
 //   verify <id>           size + FNV-1a digest of a job's archived payload
 //   shutdown              drain and stop the daemon
 //
+// Crash-recovery ergonomics (DESIGN.md §14): --retries=N retries the whole
+// command with capped exponential backoff when the daemon is unreachable
+// or dies mid-exchange (ECONNREFUSED / ECONNRESET while it restarts).
+// Pair it with submit --request-key=K: a journaled daemon deduplicates the
+// key across restarts, so a blind retry can never double-admit.  Exit 4
+// means "gave up after retries" — distinct from a plain transport error
+// (exit 1) so scripts can tell a dead daemon from a flapping one.
+//
 // Output is line-oriented key=value, so shell scripts (and the CI smoke)
 // can grep it without a JSON parser.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "svc/client.h"
@@ -30,11 +40,17 @@ using namespace flashroute;
 
 namespace {
 
+constexpr int kExitTransport = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitRejected = 3;
+constexpr int kExitRetriesExhausted = 4;
+
 void print_usage() {
   std::puts(
       "frctl — frd control client\n"
       "\n"
-      "  frctl [--socket=PATH] [--connect-timeout-ms=N] COMMAND ...\n"
+      "  frctl [--socket=PATH] [--connect-timeout-ms=N]\n"
+      "        [--retries=N] [--retry-backoff-ms=N] COMMAND ...\n"
       "\n"
       "commands:\n"
       "  submit [--name=S] [--prefix-bits=N] [--first-prefix=HEX]\n"
@@ -42,9 +58,13 @@ void print_usage() {
       "         [--topology-seed=N] [--scan-seed=N] [--target-seed=N]\n"
       "         [--split-ttl=N] [--gap-limit=N] [--max-ttl=N]\n"
       "         [--checkpoint-interval-ms=X] [--min-round-ms=X]\n"
-      "         [--preprobe-random] [--no-routes]\n"
+      "         [--preprobe-random] [--no-routes] [--request-key=K]\n"
       "  status <id> | list | wait <id> | wait-all | cancel <id>\n"
-      "  diff <before-id> <after-id> | verify <id> | shutdown");
+      "  diff <before-id> <after-id> | verify <id> | shutdown\n"
+      "\n"
+      "--retries=N retries a transiently failing command (daemon\n"
+      "restarting) with capped exponential backoff; exit 4 = gave up.\n"
+      "Use submit --request-key=K so retries never double-admit.");
 }
 
 void print_view(const svc::JobView& view) {
@@ -58,42 +78,25 @@ void print_view(const svc::JobView& view) {
       view.has_checkpoint ? 1 : 0, view.detail.c_str());
 }
 
-int transport_error() {
-  std::fprintf(stderr, "frctl: daemon unreachable or protocol error\n");
-  return 1;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  std::string socket_path = "/tmp/frd.sock";
-  int connect_timeout_ms = 5000;
-  std::vector<std::string> args;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
-      print_usage();
-      return 0;
-    }
-    if (arg.rfind("--socket=", 0) == 0) {
-      socket_path = arg.substr(9);
-    } else if (arg.rfind("--connect-timeout-ms=", 0) == 0) {
-      connect_timeout_ms = std::stoi(arg.substr(21));
-    } else {
-      args.push_back(arg);
-    }
-  }
-  if (args.empty()) {
-    print_usage();
-    return 2;
-  }
+/// One full attempt at the command.  `transient` is set when the failure
+/// is plausibly the daemon restarting (worth a backoff + retry): the
+/// connection never came up, or the peer vanished mid-exchange.
+int run_once(const std::string& socket_path, int connect_timeout_ms,
+             const std::vector<std::string>& args, bool& transient) {
+  transient = false;
   const std::string& command = args[0];
 
   auto client = svc::Client::connect(socket_path, connect_timeout_ms);
   if (!client.has_value()) {
     std::fprintf(stderr, "frctl: cannot connect to %s\n", socket_path.c_str());
-    return 1;
+    transient = true;
+    return kExitTransport;
   }
+  const auto transport_error = [&transient]() {
+    std::fprintf(stderr, "frctl: daemon unreachable or protocol error\n");
+    transient = true;
+    return kExitTransport;
+  };
 
   if (command == "submit") {
     svc::JobSpec spec;
@@ -137,13 +140,15 @@ int main(int argc, char** argv) {
       } else if ((v = value_of("--min-round-ms"))) {
         spec.min_round_duration =
             static_cast<util::Nanos>(std::stod(*v) * util::kMillisecond);
+      } else if ((v = value_of("--request-key"))) {
+        spec.request_key = *v;
       } else if (arg == "--preprobe-random") {
         spec.preprobe_random = true;
       } else if (arg == "--no-routes") {
         spec.collect_routes = false;
       } else {
         std::fprintf(stderr, "unknown submit flag: %s\n", arg.c_str());
-        return 2;
+        return kExitUsage;
       }
     }
     const auto submission = client->submit(spec);
@@ -152,13 +157,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(submission->job_id),
                 submission->admitted ? 1 : 0, submission->reason.c_str(),
                 submission->detail.c_str());
-    return submission->admitted ? 0 : 3;
+    return submission->admitted ? 0 : kExitRejected;
   }
 
   if (command == "status" || command == "wait") {
     if (args.size() != 2) {
       print_usage();
-      return 2;
+      return kExitUsage;
     }
     const std::uint64_t id = std::stoull(args[1]);
     const auto view =
@@ -166,7 +171,7 @@ int main(int argc, char** argv) {
     if (!view.has_value()) {
       std::fprintf(stderr, "frctl: no such job %llu (or daemon gone)\n",
                    static_cast<unsigned long long>(id));
-      return 1;
+      return kExitTransport;
     }
     print_view(*view);
     return 0;
@@ -188,7 +193,7 @@ int main(int argc, char** argv) {
   if (command == "cancel") {
     if (args.size() != 2) {
       print_usage();
-      return 2;
+      return kExitUsage;
     }
     const auto outcome = client->cancel(std::stoull(args[1]));
     if (!outcome.has_value()) return transport_error();
@@ -214,7 +219,7 @@ int main(int argc, char** argv) {
   if (command == "diff") {
     if (args.size() != 3) {
       print_usage();
-      return 2;
+      return kExitUsage;
     }
     const auto diff =
         client->diff(std::stoull(args[1]), std::stoull(args[2]));
@@ -240,7 +245,7 @@ int main(int argc, char** argv) {
   if (command == "verify") {
     if (args.size() != 2) {
       print_usage();
-      return 2;
+      return kExitUsage;
     }
     const auto verify = client->verify(std::stoull(args[1]));
     if (!verify.has_value()) return transport_error();
@@ -262,5 +267,58 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   print_usage();
-  return 2;
+  return kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/frd.sock";
+  int connect_timeout_ms = 5000;
+  int retries = 0;
+  int retry_backoff_ms = 100;
+  constexpr int kBackoffCapMs = 2000;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    }
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+    } else if (arg.rfind("--connect-timeout-ms=", 0) == 0) {
+      connect_timeout_ms = std::stoi(arg.substr(21));
+    } else if (arg.rfind("--retries=", 0) == 0) {
+      retries = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--retry-backoff-ms=", 0) == 0) {
+      retry_backoff_ms = std::stoi(arg.substr(19));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) {
+    print_usage();
+    return kExitUsage;
+  }
+
+  int backoff_ms = retry_backoff_ms > 0 ? retry_backoff_ms : 100;
+  for (int attempt = 0;; ++attempt) {
+    bool transient = false;
+    const int code = run_once(socket_path, connect_timeout_ms, args,
+                              transient);
+    if (!transient) return code;
+    if (attempt >= retries) {
+      if (retries > 0) {
+        std::fprintf(stderr, "frctl: gave up after %d retries\n", retries);
+        return kExitRetriesExhausted;
+      }
+      return code;
+    }
+    std::fprintf(stderr, "frctl: transient failure; retry %d/%d in %d ms\n",
+                 attempt + 1, retries, backoff_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = backoff_ms * 2 > kBackoffCapMs ? kBackoffCapMs
+                                                : backoff_ms * 2;
+  }
 }

@@ -1,4 +1,4 @@
-// frd — the FlashRoute continuous-scanning daemon (DESIGN.md §12).
+// frd — the FlashRoute continuous-scanning daemon (DESIGN.md §12, §14).
 //
 // Listens on an AF_UNIX socket for frctl clients, multiplexes their scan
 // jobs onto a shared worker pool under a global probes-per-second budget,
@@ -9,12 +9,22 @@
 // job_summary line.  A daemon killed outright instead leaves an archive the
 // next start recovers by truncating the torn tail.
 //
+// With --journal= and --state-dir= the daemon is crash-safe: every
+// admission and lifecycle transition is journaled before it becomes
+// visible, barrier checkpoints are published atomically, and a restart on
+// the same paths re-admits queued jobs, resumes interrupted ones from
+// their last barrier, and deduplicates retried submits by request key.
+// SIGTERM/SIGINT trigger the same graceful drain as `frctl shutdown`
+// (bounded by --drain-deadline-ms); kill -9 is recovered at next boot.
+//
 // Examples:
 //   frd --socket=/tmp/frd.sock --archive=/tmp/frd.bin --workers=2
-//       --events=/tmp/frd_events.jsonl   (one command line)
+//       --events=/tmp/frd_events.jsonl --journal=/tmp/frd.journal
+//       --state-dir=/tmp/frd_state       (one command line)
 //   frctl --socket=/tmp/frd.sock submit --name=morning --prefix-bits=8
 //   frctl --socket=/tmp/frd.sock shutdown
 
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -22,6 +32,7 @@
 #include <string>
 
 #include "svc/daemon.h"
+#include "util/clock.h"
 
 using namespace flashroute;
 
@@ -31,6 +42,10 @@ struct FrdOptions {
   std::string socket_path = "/tmp/frd.sock";
   std::string archive_path = "frd_archive.bin";
   std::string events_path;  // empty = no event stream
+  std::string journal_path;  // empty = journaling off
+  std::string state_dir;
+  svc::Durability durability = svc::Durability::kFlush;
+  int drain_deadline_ms = 0;
   int workers = 2;
   double budget_pps = 100'000.0;
   int max_queued = 8;
@@ -45,7 +60,14 @@ void print_usage() {
       "\n"
       "  --socket=PATH         AF_UNIX listening socket (default /tmp/frd.sock)\n"
       "  --archive=PATH        multi-job scan archive (default frd_archive.bin)\n"
-      "  --events=PATH         JSONL job-event stream ('-' = stdout)\n"
+      "  --events=PATH         JSONL job-event stream ('-' = stdout; a file is\n"
+      "                        opened in append mode so restarts merge streams)\n"
+      "  --journal=PATH        write-ahead job journal; enables crash recovery\n"
+      "  --state-dir=PATH      checkpoint directory (required with --journal)\n"
+      "  --durability=MODE     journal durability: none | flush | fsync\n"
+      "                        (default flush)\n"
+      "  --drain-deadline-ms=N graceful-drain budget on SIGTERM/shutdown;\n"
+      "                        0 = wait for running slices (default 0)\n"
       "  --workers=N           concurrent scan workers (default 2)\n"
       "  --budget=PPS          global probes-per-second budget (default 100000)\n"
       "  --max-queued=N        admission queue bound (default 8)\n"
@@ -53,7 +75,7 @@ void print_usage() {
       "                        (default 0 = unmetered, fair-share only)\n"
       "  --fair-slack=N        fair-share hysteresis in probes (default 0)\n"
       "\n"
-      "Stop with: frctl --socket=PATH shutdown");
+      "Stop with: frctl --socket=PATH shutdown   (or SIGTERM/SIGINT)");
 }
 
 std::optional<FrdOptions> parse_args(int argc, char** argv) {
@@ -74,6 +96,20 @@ std::optional<FrdOptions> parse_args(int argc, char** argv) {
       options.archive_path = *v;
     } else if ((v = value_of("--events"))) {
       options.events_path = *v;
+    } else if ((v = value_of("--journal"))) {
+      options.journal_path = *v;
+    } else if ((v = value_of("--state-dir"))) {
+      options.state_dir = *v;
+    } else if ((v = value_of("--durability"))) {
+      const auto mode = svc::parse_durability(*v);
+      if (!mode.has_value()) {
+        std::fprintf(stderr, "invalid --durability=%s (none|flush|fsync)\n",
+                     v->c_str());
+        return std::nullopt;
+      }
+      options.durability = *mode;
+    } else if ((v = value_of("--drain-deadline-ms"))) {
+      options.drain_deadline_ms = std::stoi(*v);
     } else if ((v = value_of("--workers"))) {
       options.workers = std::stoi(*v);
     } else if ((v = value_of("--budget"))) {
@@ -89,7 +125,20 @@ std::optional<FrdOptions> parse_args(int argc, char** argv) {
       return std::nullopt;
     }
   }
+  if (!options.journal_path.empty() && options.state_dir.empty()) {
+    std::fprintf(stderr, "--journal requires --state-dir\n");
+    return std::nullopt;
+  }
   return options;
+}
+
+// Signal plumbing: handlers may only call the async-signal-safe
+// request_shutdown_async() (atomic store + pipe write).  The pointer is
+// published before the handlers are installed and never changes after.
+svc::Daemon* g_daemon = nullptr;
+
+void handle_signal(int) {
+  if (g_daemon != nullptr) g_daemon->request_shutdown_async();
 }
 
 }  // namespace
@@ -107,7 +156,10 @@ int main(int argc, char** argv) {
   if (options->events_path == "-") {
     events = &std::cout;
   } else if (!options->events_path.empty()) {
-    events_file.open(options->events_path, std::ios::trunc);
+    // Append, not truncate: a restarted daemon merges its event stream
+    // with the crashed run's, and the schema checker validates the
+    // concatenation (seq restarts at 1 per job segment).
+    events_file.open(options->events_path, std::ios::app);
     if (!events_file) {
       std::fprintf(stderr, "frd: cannot open events file %s\n",
                    options->events_path.c_str());
@@ -120,6 +172,11 @@ int main(int argc, char** argv) {
   daemon_options.socket_path = options->socket_path;
   daemon_options.archive_path = options->archive_path;
   daemon_options.events = events;
+  daemon_options.journal_path = options->journal_path;
+  daemon_options.state_dir = options->state_dir;
+  daemon_options.durability = options->durability;
+  daemon_options.drain_deadline =
+      static_cast<util::Nanos>(options->drain_deadline_ms) * util::kMillisecond;
   daemon_options.scheduler.num_workers = options->workers;
   daemon_options.scheduler.global_pps_budget = options->budget_pps;
   daemon_options.scheduler.max_queued = options->max_queued;
@@ -132,9 +189,18 @@ int main(int argc, char** argv) {
                  options->socket_path.c_str(), options->archive_path.c_str());
     return 1;
   }
-  std::printf("frd: listening on %s (workers=%d budget=%.0f pps)\n",
+
+  g_daemon = &daemon;
+  struct sigaction action{};
+  action.sa_handler = handle_signal;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  std::printf("frd: listening on %s (workers=%d budget=%.0f pps%s)\n",
               options->socket_path.c_str(), options->workers,
-              options->budget_pps);
+              options->budget_pps,
+              options->journal_path.empty() ? "" : ", journaled");
   std::fflush(stdout);
 
   daemon.wait();

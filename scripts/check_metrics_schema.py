@@ -21,6 +21,14 @@ instead: "job_event" records closed by one "job_summary".  Checks:
   * the summary's per-event counts equal the observed counts, and the
     embedded svc.* counters agree with the event stream.
 
+A job-event file may hold several concatenated segments: a crash-recovered
+daemon appends to the same file (DESIGN.md §14), so a seq that restarts at
+1 opens a new segment with a fresh clock, fresh event counts, and its own
+summary.  Only the final segment must be closed by a job_summary — a
+crashed segment ends mid-stream, and the next segment's "recovered" events
+(reason = the job's recovered state) re-establish each journaled job's
+position in the state machine.
+
 Checks, using only the standard library:
   * every line is a standalone JSON object with "type" of "interval" or
     "summary";
@@ -183,6 +191,20 @@ JOB_COUNTER_EVENTS = {
     "svc.jobs_completed": "completed",
     "svc.jobs_failed": "failed",
     "svc.jobs_cancelled": "cancelled",
+    "svc.jobs_recovered": "recovered",
+}
+
+# A boot-time "recovered" event's reason names the state the journal replay
+# landed the job in; it overrides whatever this job's state was in earlier
+# segments (the journal, not the event stream, is authoritative across a
+# crash).  "queued" re-enters the machine where an admitted job sits.
+RECOVERED_STATE = {
+    "queued": "admitted",
+    "preempted": "preempted",
+    "completed": "completed",
+    "failed": "failed",
+    "cancelled": "cancelled",
+    "rejected": "rejected",
 }
 
 
@@ -191,6 +213,13 @@ def check_job_event(line_no, record, state_by_job, event_counts):
     if not isinstance(job, int) or job < 1:
         fail(line_no, f"bad job id: {job!r}")
     event = record.get("event")
+    if event == "recovered":
+        reason = record.get("reason")
+        if reason not in RECOVERED_STATE:
+            fail(line_no, f"recovered event with bad state: {reason!r}")
+        state_by_job[job] = RECOVERED_STATE[reason]
+        event_counts[event] = event_counts.get(event, 0) + 1
+        return
     if event not in JOB_EVENT_NEXT:
         fail(line_no, f"unknown event: {event!r}")
     state = state_by_job.get(job)
@@ -236,14 +265,14 @@ def check_job_stream(path):
     last_seq = 0
     last_t = -1
     summary_line = None
+    segments = 0
+    total_events = 0
 
     with open(path, encoding="utf-8") as stream:
         for line_no, line in enumerate(stream, start=1):
             line = line.strip()
             if not line:
                 fail(line_no, "blank line in JSONL stream")
-            if summary_line is not None:
-                fail(line_no, f"record after the summary (line {summary_line})")
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as error:
@@ -251,6 +280,19 @@ def check_job_stream(path):
             if not isinstance(record, dict):
                 fail(line_no, "record is not a JSON object")
             seq = record.get("seq")
+            if seq == 1:
+                # A fresh daemon (first boot, or a restart appending to the
+                # same file) opens a new segment: fresh clock, fresh event
+                # counts, its own summary.  state_by_job persists — a job's
+                # lifecycle spans the crash, re-anchored by "recovered".
+                segments += 1
+                event_counts = {}
+                last_seq = 0
+                last_t = -1
+                summary_line = None
+            if summary_line is not None:
+                fail(line_no, f"record after the summary (line "
+                              f"{summary_line}) without a segment restart")
             if seq != last_seq + 1:
                 fail(line_no, f"seq {seq!r} does not follow {last_seq}")
             last_seq = seq
@@ -262,6 +304,7 @@ def check_job_stream(path):
             last_t = t_ns
             kind = record.get("type")
             if kind == "job_event":
+                total_events += 1
                 check_job_event(line_no, record, state_by_job, event_counts)
             elif kind == "job_summary":
                 summary_line = line_no
@@ -269,10 +312,13 @@ def check_job_stream(path):
             else:
                 fail(line_no, f"unknown record type: {kind!r}")
 
+    if segments == 0:
+        fail(0, "stream has no job events")
     if summary_line is None:
-        fail(0, "stream has no job_summary record")
-    print(f"check_metrics_schema: OK — {last_seq - 1} job event(s) across "
-          f"{len(state_by_job)} job(s), summary on line {summary_line}")
+        fail(0, "final segment has no job_summary record")
+    print(f"check_metrics_schema: OK — {total_events} job event(s) across "
+          f"{len(state_by_job)} job(s) in {segments} segment(s), final "
+          f"summary on line {summary_line}")
     return 0
 
 

@@ -1,8 +1,15 @@
 #include "io/checkpoint.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "io/varint.h"
+#include "util/crash_point.h"
 
 namespace flashroute::io {
 
@@ -172,6 +179,79 @@ std::optional<std::vector<ScanCheckpoint>> read_checkpoint_set(
     checkpoints.push_back(std::move(*checkpoint));
   }
   return checkpoints;
+}
+
+// --- atomic file publish -----------------------------------------------------
+
+namespace {
+
+// Serialized bytes → tmp file → fflush → [fsync] → rename(2).  FILE* rather
+// than ofstream because an ofstream cannot fsync: close() only hands the
+// pages to the kernel, which is exactly the window a power loss exploits.
+bool publish_bytes_atomic(const std::string& path, const std::string& bytes,
+                          bool sync) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) return false;
+  bool ok = bytes.empty() ||
+            std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  ok = ok && std::fflush(file) == 0;
+  ok = ok && (!sync || ::fsync(::fileno(file)) == 0);
+  if (std::fclose(file) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  FR_CRASH_POINT(util::crash::kCheckpointPublish);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool save_checkpoint_atomic(const std::string& path,
+                            const ScanCheckpoint& checkpoint, bool sync) {
+  std::ostringstream out;
+  write_checkpoint(checkpoint, out);
+  if (!out) return false;
+  return publish_bytes_atomic(path, out.str(), sync);
+}
+
+bool save_checkpoint_set_atomic(const std::string& path,
+                                const std::vector<ScanCheckpoint>& checkpoints,
+                                bool sync) {
+  std::ostringstream out;
+  write_checkpoint_set(checkpoints, out);
+  if (!out) return false;
+  return publish_bytes_atomic(path, out.str(), sync);
+}
+
+std::optional<ScanCheckpoint> load_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return read_checkpoint(in);
+}
+
+std::optional<std::vector<ScanCheckpoint>> load_checkpoint_set_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return read_checkpoint_set(in);
+}
+
+bool ensure_directory(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0) return true;
+  if (errno != EEXIST) return false;
+  struct stat st = {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool discard_checkpoint(const std::string& path) {
+  if (std::remove(path.c_str()) == 0) return true;
+  return errno == ENOENT;
 }
 
 }  // namespace flashroute::io

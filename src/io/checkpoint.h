@@ -21,6 +21,7 @@
 #include <istream>
 #include <optional>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "core/result.h"
@@ -81,5 +82,42 @@ void write_checkpoint_set(const std::vector<ScanCheckpoint>& checkpoints,
 /// Reads a checkpoint set written by write_checkpoint_set.
 std::optional<std::vector<ScanCheckpoint>> read_checkpoint_set(
     std::istream& in);
+
+// --- atomic file publish (DESIGN.md §14) -------------------------------------
+//
+// A checkpoint written straight into its destination path can be torn by a
+// crash mid-write, poisoning --resume-from and daemon recovery.  The
+// atomic variants write to `<path>.tmp`, flush + fsync, then rename(2)
+// into place: readers only ever observe the old complete file or the new
+// complete file, never a prefix.
+//
+// `sync` controls the fsync before the rename.  Rename atomicity alone
+// already covers process death (the pages live in the kernel either way);
+// the fsync only buys power-loss ordering, so callers running at journal
+// durability below fsync pass false and skip the per-barrier stall.
+
+/// Atomically publishes one checkpoint to `path`; false on I/O error.
+bool save_checkpoint_atomic(const std::string& path,
+                            const ScanCheckpoint& checkpoint,
+                            bool sync = true);
+
+/// Atomically publishes a checkpoint set to `path`; false on I/O error.
+bool save_checkpoint_set_atomic(const std::string& path,
+                                const std::vector<ScanCheckpoint>& checkpoints,
+                                bool sync = true);
+
+/// Loads one checkpoint from `path`; nullopt when absent or corrupt.
+std::optional<ScanCheckpoint> load_checkpoint_file(const std::string& path);
+
+/// Loads a checkpoint set from `path`; nullopt when absent or corrupt.
+std::optional<std::vector<ScanCheckpoint>> load_checkpoint_set_file(
+    const std::string& path);
+
+/// Creates `path` as a directory if absent; true when it exists after.
+bool ensure_directory(const std::string& path);
+
+/// Removes a published checkpoint; true when the file is gone after
+/// (including when it never existed).
+bool discard_checkpoint(const std::string& path);
 
 }  // namespace flashroute::io

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "io/varint.h"
+#include "util/crash_point.h"
 #include "util/sync.h"
 #include "net/ipv4.h"
 
@@ -351,6 +352,7 @@ bool JobArchive::append(std::uint64_t job_id, const core::ScanResult& result,
   if (!out) return false;
   out.seekp(static_cast<std::streamoff>(end_offset_));
   out.write(record.data(), static_cast<std::streamsize>(record.size()));
+  FR_CRASH_POINT(util::crash::kArchiveFlush);
   out.flush();
   if (!out) return false;
   index_.push_back(

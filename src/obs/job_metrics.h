@@ -24,6 +24,8 @@ struct JobMetricIds {
   CounterId jobs_completed = 0;
   CounterId jobs_failed = 0;
   CounterId jobs_cancelled = 0;
+  /// Jobs rebuilt from the journal at daemon boot (DESIGN.md §14).
+  CounterId jobs_recovered = 0;
   /// One per scheduler dispatch (first slice and every resume).
   CounterId slices_dispatched = 0;
   /// Probes executed across all jobs, accumulated at slice boundaries.

@@ -1,13 +1,23 @@
 #include "svc/daemon.h"
 
+#include <algorithm>
+#include <set>
 #include <utility>
 
 #include "analysis/churn.h"
+#include "io/checkpoint.h"
+#include "util/crash_point.h"
 #include "util/sync.h"
 
 namespace flashroute::svc {
 
 namespace {
+
+/// Minimum real time between checkpoint publishes at continue-barriers.
+/// Bounds recovery loss to ~100ms of wall progress per job while keeping
+/// the per-barrier file churn off the hot path (sim barriers arrive on the
+/// virtual clock, far faster than real time).
+constexpr util::Nanos kCheckpointPublishInterval = 100 * util::kMillisecond;
 
 std::uint64_t fnv1a(const std::string& bytes) {
   std::uint64_t hash = 0xCBF29CE484222325ULL;
@@ -50,6 +60,15 @@ Daemon::~Daemon() {
 bool Daemon::start() {
   archive_ = std::make_unique<io::JobArchive>(options_.archive_path);
   if (!archive_->ok()) return false;
+  if (!options_.journal_path.empty()) {
+    if (options_.state_dir.empty() ||
+        !io::ensure_directory(options_.state_dir)) {
+      return false;
+    }
+    journal_ = std::make_unique<JobJournal>(options_.journal_path,
+                                            options_.durability);
+    if (!journal_->ok()) return false;
+  }
   auto listener = ListenSocket::bind_and_listen(options_.socket_path);
   if (!listener.has_value() || !wake_.valid()) return false;
   listener_ = std::move(*listener);
@@ -59,6 +78,7 @@ bool Daemon::start() {
     event_clock = [this] { return static_cast<std::uint64_t>(now()); };
   }
   events_ = std::make_unique<JobEventLog>(options_.events, event_clock);
+  if (journal_ != nullptr) recover_from_journal();
   io_thread_ = std::thread(&Daemon::io_loop, this);
   workers_.reserve(static_cast<std::size_t>(options_.scheduler.num_workers));
   for (int i = 0; i < options_.scheduler.num_workers; ++i) {
@@ -73,9 +93,160 @@ void Daemon::request_shutdown() {
     const util::MutexLock lock(mutex_);
     shutdown_requested_ = true;
     scheduler_.drain();
+    if (options_.drain_deadline > 0 && drain_deadline_at_ == 0) {
+      drain_deadline_at_ = now() + options_.drain_deadline;
+    }
   }
   cv_.notify_all();
   wake_.wake();
+}
+
+void Daemon::request_shutdown_async() noexcept {
+  // No locks, no allocation: safe from a signal handler.  The I/O loop
+  // turns the latch into a normal request_shutdown() on its next pass.
+  shutdown_async_.store(true, std::memory_order_relaxed);
+  wake_.wake();
+}
+
+std::string Daemon::checkpoint_path(std::uint64_t job_id) const {
+  return options_.state_dir + "/job_" + std::to_string(job_id) + ".frck";
+}
+
+void Daemon::recover_from_journal() {
+  // Fold the journal into one view per job id.  Records are
+  // prefix-consistent (torn-tail truncation drops a suffix only), and the
+  // submit path appends admission records in id order, so ids are dense.
+  struct Replay {
+    bool seen_admitted = false;
+    bool rejected = false;
+    JobSpec spec;
+    std::string reason;
+    std::string detail;
+    std::uint64_t probes = 0;
+    std::uint64_t slices = 0;
+    std::optional<JournalKind> terminal;
+    std::string terminal_detail;
+  };
+  std::map<std::uint64_t, Replay> jobs;
+  std::uint64_t max_id = 0;
+  for (const JournalRecord& record : journal_->records()) {
+    if (record.job_id == 0) continue;
+    Replay& replay = jobs[record.job_id];
+    max_id = std::max(max_id, record.job_id);
+    switch (record.kind) {
+      case JournalKind::kAdmitted:
+        replay.seen_admitted = true;
+        replay.spec = record.spec;
+        break;
+      case JournalKind::kRejected:
+        replay.seen_admitted = true;
+        replay.rejected = true;
+        replay.spec = record.spec;
+        replay.reason = record.reason;
+        replay.detail = record.detail;
+        break;
+      case JournalKind::kStarted:
+        replay.slices = std::max(replay.slices, record.slices);
+        break;
+      case JournalKind::kBarrier:
+        replay.probes = record.probes;
+        replay.slices = std::max(replay.slices, record.slices);
+        break;
+      case JournalKind::kCompleted:
+      case JournalKind::kCancelled:
+      case JournalKind::kFailed:
+        replay.terminal = record.kind;
+        replay.terminal_detail = record.detail;
+        replay.probes = std::max(replay.probes, record.probes);
+        break;
+    }
+  }
+  std::set<std::uint64_t> archived;
+  for (const io::JobArchive::Entry& entry : archive_->index()) {
+    archived.insert(entry.job_id);
+    max_id = std::max(max_id, entry.job_id);
+  }
+  if (max_id == 0) return;
+
+  const util::MutexLock lock(mutex_);
+  for (std::uint64_t id = 1; id <= max_id; ++id) {
+    const auto it = jobs.find(id);
+    const Replay replay = it != jobs.end() ? it->second : Replay{};
+    const bool has_payload = archived.count(id) != 0;
+
+    JobState state = JobState::kQueued;
+    std::optional<io::ScanCheckpoint> checkpoint;
+    std::uint64_t probes = replay.probes;
+    std::string detail;
+    if (!replay.seen_admitted) {
+      // Orphan id: its admission record was in the lost tail.  The client
+      // never saw a reply (replies follow the journal append), so it will
+      // retry under a fresh id; never rerun this one.
+      state = has_payload ? JobState::kCompleted : JobState::kFailed;
+      detail = has_payload ? "archived result without a journaled admission"
+                           : "journal admission record lost";
+    } else if (replay.rejected) {
+      state = JobState::kRejected;
+      detail = replay.detail;
+    } else if (replay.terminal.has_value()) {
+      state = *replay.terminal == JournalKind::kCompleted
+                  ? JobState::kCompleted
+                  : (*replay.terminal == JournalKind::kCancelled
+                         ? JobState::kCancelled
+                         : JobState::kFailed);
+      detail = replay.terminal_detail;
+    } else if (has_payload) {
+      // Crashed between the archive append and the terminal journal
+      // record: the payload is authoritative — never run (and append)
+      // a second time.
+      state = JobState::kCompleted;
+      detail = "archive payload recovered";
+    } else {
+      // Interrupted mid-run or never started: resume from the last
+      // published barrier checkpoint, or rerun from scratch — the
+      // determinism contract makes the output byte-identical either way.
+      std::optional<io::ScanCheckpoint> saved =
+          io::load_checkpoint_file(checkpoint_path(id));
+      if (saved.has_value()) {
+        if (saved->header.first_prefix == replay.spec.first_prefix &&
+            saved->header.prefix_bits == replay.spec.prefix_bits &&
+            saved->header.seed == replay.spec.scan_seed) {
+          state = JobState::kPreempted;
+          probes = saved->result.probes_sent;
+          checkpoint = std::move(saved);
+        } else {
+          state = JobState::kFailed;
+          detail = kFailRecoveryCheckpointMismatch;
+        }
+      } else {
+        state = JobState::kQueued;
+        detail = replay.slices > 0 ? "rerun from scratch after crash" : "";
+      }
+    }
+
+    scheduler_.restore(replay.spec, state, probes, replay.slices,
+                       std::move(checkpoint), detail, now());
+    runners_.push_back(job_state_terminal(state)
+                           ? nullptr
+                           : std::make_unique<JobRunner>(replay.spec));
+    if (replay.seen_admitted && !replay.spec.request_key.empty()) {
+      Submission submission;
+      submission.admitted = !replay.rejected;
+      submission.job_id = id;
+      submission.reason = replay.reason;
+      submission.detail = replay.detail;
+      request_keys_[replay.spec.request_key] = std::move(submission);
+    }
+    lanes_[0].inc(ids_.jobs_recovered);
+    JobEvent event;
+    event.job_id = id;
+    event.event = "recovered";
+    event.name = replay.spec.name;
+    event.reason = job_state_name(state);
+    event.detail = detail;
+    event.probes = probes;
+    events_->emit(event);
+  }
 }
 
 void Daemon::wait() {
@@ -103,6 +274,12 @@ void Daemon::wait() {
 }
 
 bool Daemon::reap_for_shutdown() {
+  if (journal_ != nullptr) {
+    // Journaled drain keeps waiting jobs: their admission is durable, so
+    // they simply resume on the next boot (the continuous-scanning
+    // story).  Only running slices hold the shutdown open.
+    return scheduler_.running_count() == 0;
+  }
   for (const JobView& view : scheduler_.views()) {
     if (job_state_terminal(view.state) || view.state == JobState::kRunning) {
       continue;
@@ -123,8 +300,25 @@ void Daemon::io_loop() {
   std::vector<Connection> clients;
   std::string payload;
   while (true) {
+    if (shutdown_async_.exchange(false, std::memory_order_relaxed)) {
+      request_shutdown();  // turn the signal-handler latch into a drain
+    }
     {
       const util::MutexLock lock(mutex_);
+      if (shutdown_requested_ && !drain_cancelled_ &&
+          drain_deadline_at_ != 0 && now() >= drain_deadline_at_) {
+        // Drain deadline blown: hard-cancel running slices.  The deadline
+        // trades the tails of the running slices (cancellation is
+        // terminal) for a bounded shutdown time.
+        drain_cancelled_ = true;
+        for (const JobView& view : scheduler_.views()) {
+          if (view.state != JobState::kRunning) continue;
+          if (scheduler_.cancel(view.id) == CancelOutcome::kSignalled) {
+            JobRunner* runner = runners_[view.id - 1].get();
+            if (runner != nullptr) runner->request_cancel();
+          }
+        }
+      }
       if (shutdown_requested_ && reap_for_shutdown()) {
         stop_workers_ = true;
         break;
@@ -198,10 +392,27 @@ std::string Daemon::handle_submit(Reader& reader) {
   const std::optional<JobSpec> spec = decode_spec(reader);
   if (!spec.has_value()) return error_reply("malformed submit");
 
+  const bool keyed = journal_ != nullptr && !spec->request_key.empty();
+  if (keyed) {
+    // Idempotent submit: a retried request key replays the original
+    // verdict verbatim — no new job, no new events, no journal append.
+    const util::MutexLock lock(mutex_);
+    const auto it = request_keys_.find(spec->request_key);
+    if (it != request_keys_.end()) {
+      Writer w(MsgType::kSubmitReply);
+      w.put_bool(it->second.admitted);
+      w.put_u64(it->second.job_id);
+      w.put_string(it->second.reason);
+      w.put_string(it->second.detail);
+      return w.bytes();
+    }
+  }
+
   Submission submission;
   {
     const util::MutexLock lock(mutex_);
     submission = scheduler_.submit(*spec, now());
+    if (keyed) request_keys_[spec->request_key] = submission;
     runners_.push_back(submission.admitted
                            ? std::make_unique<JobRunner>(*spec)
                            : nullptr);
@@ -225,6 +436,24 @@ std::string Daemon::handle_submit(Reader& reader) {
       verdict.detail = submission.detail;
     }
     events_->emit(verdict);
+  }
+
+  if (journal_ != nullptr) {
+    // Durable admission: the reply leaves only after the admission record
+    // is journaled.  A crash before this point means the client saw no
+    // reply and can blindly retry; a crash after it means recovery
+    // re-admits the job the client was told about.  The append happens
+    // before cv_.notify_all() so no worker journals a kStarted record
+    // ahead of the admission it refers to.
+    JournalRecord record;
+    record.kind = submission.admitted ? JournalKind::kAdmitted
+                                      : JournalKind::kRejected;
+    record.job_id = submission.job_id;
+    record.spec = *spec;
+    record.reason = submission.reason;
+    record.detail = submission.detail;
+    journal_->append(record);
+    FR_CRASH_POINT(util::crash::kSubmitJournaled);
   }
   cv_.notify_all();
 
@@ -280,6 +509,16 @@ std::string Daemon::handle_cancel(Reader& reader) {
       event.detail = "cancelled before running";
       events_->emit(event);
     }
+  }
+  if (journal_ != nullptr && outcome == CancelOutcome::kCancelled) {
+    // A running job's cancellation is journaled by its worker when the
+    // slice actually stops; a waiting job's is terminal right here.
+    JournalRecord record;
+    record.kind = JournalKind::kCancelled;
+    record.job_id = job_id;
+    record.detail = "cancelled before running";
+    journal_->append(record);
+    io::discard_checkpoint(checkpoint_path(job_id));
   }
   Writer w(MsgType::kCancelReply);
   w.put_u8(static_cast<std::uint8_t>(outcome));
@@ -371,20 +610,79 @@ void Daemon::worker_loop(int worker_index) {
       events_->emit(event);
     }
 
+    if (journal_ != nullptr) {
+      JournalRecord record;
+      record.kind = JournalKind::kStarted;
+      record.job_id = *id;
+      record.probes = base_probes;
+      record.slices = slice_no;
+      journal_->append(record);
+      FR_CRASH_POINT(util::crash::kJobStarted);
+    }
+
+    // Checkpoint publication is throttled to a real-time cadence, tracked
+    // per job so scheduler timeslicing cannot defeat it: sim barriers —
+    // preemption quanta included — fire on the virtual clock, which
+    // outruns the wall clock by orders of magnitude, and recovery only
+    // ever reads the newest file.  A preemption barrier needs no publish
+    // of its own: the preempt checkpoint stays in memory for resumption,
+    // and a crash simply resumes from the last published file (or reruns
+    // from scratch) with byte-identical output.
     SliceResult slice = runner->run_slice(
         checkpoint, [&](const io::ScanCheckpoint& barrier_checkpoint) {
-          const util::MutexLock barrier_lock(mutex_);
-          return scheduler_.on_barrier(
-              *id, barrier_checkpoint.result.probes_sent, now());
+          BarrierDecision decision;
+          bool due = false;
+          {
+            const util::MutexLock barrier_lock(mutex_);
+            decision = scheduler_.on_barrier(
+                *id, barrier_checkpoint.result.probes_sent, now());
+            if (journal_ != nullptr && decision != BarrierDecision::kCancel) {
+              util::Nanos& published_at = checkpoint_published_at_[*id];
+              const util::Nanos barrier_now = now();
+              if (published_at == 0 ||
+                  barrier_now - published_at >= kCheckpointPublishInterval) {
+                // Claimed optimistically: if the publish below fails, the
+                // retry waits a full interval — fine, publish failure is
+                // an abnormal path and retrying every barrier would melt.
+                published_at = barrier_now;
+                due = true;
+              }
+            }
+          }
+          if (due) {
+            // Publish the barrier durably, outside the daemon lock:
+            // checkpoint file first (atomic rename), then the journal
+            // record that makes it the job's resume point.  A crash
+            // between the two resumes from this same checkpoint anyway —
+            // recovery trusts the newest matching file on disk.  The
+            // per-file fsync follows the journal's durability contract:
+            // rename atomicity covers process death on its own, so only
+            // kFsync pays the power-loss stall at every barrier.
+            if (io::save_checkpoint_atomic(
+                    checkpoint_path(*id), barrier_checkpoint,
+                    options_.durability == Durability::kFsync)) {
+              JournalRecord record;
+              record.kind = JournalKind::kBarrier;
+              record.job_id = *id;
+              record.probes = barrier_checkpoint.result.probes_sent;
+              record.slices = slice_no;
+              journal_->append(record);
+              FR_CRASH_POINT(util::crash::kBarrierPublished);
+            }
+          }
+          return decision;
         });
 
     // The archive append happens unlocked: JobArchive serializes itself,
     // and holding the daemon lock across file I/O would stall admissions
     // (and create a daemon→archive lock-order edge for no benefit).
     std::string fail_detail;
-    if (slice.outcome == SliceOutcome::kCompleted &&
-        !archive_->append(*id, slice.result, runner->archive_header())) {
-      fail_detail = "archive append failed";
+    if (slice.outcome == SliceOutcome::kCompleted) {
+      if (archive_->append(*id, slice.result, runner->archive_header())) {
+        FR_CRASH_POINT(util::crash::kJobArchived);
+      } else {
+        fail_detail = "archive append failed";
+      }
     }
 
     {
@@ -421,7 +719,35 @@ void Daemon::worker_loop(int worker_index) {
           done.event = "cancelled";
           break;
       }
+      if (slice.outcome != SliceOutcome::kPreempted) {
+        checkpoint_published_at_.erase(*id);
+      }
       events_->emit(done);
+    }
+
+    if (journal_ != nullptr && slice.outcome != SliceOutcome::kPreempted) {
+      // Terminal record after the archive append (recovery invariant:
+      // archive payload present ⇒ the job may be marked completed, so the
+      // payload must hit the file first), outside the daemon lock.
+      JournalRecord record;
+      record.job_id = *id;
+      record.probes = slice.probes_total;
+      record.slices = slice_no;
+      switch (slice.outcome) {
+        case SliceOutcome::kCompleted:
+          record.kind = fail_detail.empty() ? JournalKind::kCompleted
+                                            : JournalKind::kFailed;
+          record.detail = fail_detail;
+          break;
+        case SliceOutcome::kCancelled:
+          record.kind = JournalKind::kCancelled;
+          break;
+        case SliceOutcome::kPreempted:
+          break;  // unreachable
+      }
+      journal_->append(record);
+      FR_CRASH_POINT(util::crash::kJobTerminal);
+      io::discard_checkpoint(checkpoint_path(*id));
     }
     cv_.notify_all();
     wake_.wake();  // let the I/O loop re-evaluate drain progress

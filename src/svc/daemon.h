@@ -24,10 +24,21 @@
 // barrier), cancel whatever never got to finish, join the workers, then
 // write the "job_summary" line.  A daemon killed between those steps leaves
 // a truncated-but-recoverable archive (JobArchive's crash contract).
+//
+// Crash safety (DESIGN.md §14): with DaemonOptions::journal_path set, every
+// admission/dispatch/barrier/terminal transition is journaled
+// (svc/journal.h) and every barrier checkpoint is atomically published
+// under state_dir, so a crashed daemon restarted on the same paths replays
+// the journal, re-admits queued jobs, resumes interrupted jobs from their
+// last barrier, and deduplicates retried submits by request key — with the
+// recovered archives byte-identical to an uncrashed run.  A journaled
+// drain keeps waiting jobs for the next boot instead of cancelling them.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <ostream>
@@ -40,6 +51,7 @@
 #include "obs/metrics.h"
 #include "svc/event_log.h"
 #include "svc/job_runner.h"
+#include "svc/journal.h"
 #include "svc/scheduler.h"
 #include "svc/socket.h"
 #include "svc/wire.h"
@@ -58,6 +70,21 @@ struct DaemonOptions {
   /// Timestamp supplier for the event stream; null = monotonic nanoseconds
   /// since daemon start.  Tests inject a deterministic clock here.
   JobEventLog::NowFn event_clock;
+
+  /// Write-ahead job journal (DESIGN.md §14).  Empty = journaling off:
+  /// the daemon behaves exactly as before (no recovery, no submit dedup,
+  /// drain cancels waiting jobs).
+  std::string journal_path;
+  /// Directory for per-job barrier checkpoints (`job_<id>.frck`); created
+  /// if absent.  Required when journal_path is set.
+  std::string state_dir;
+  /// How hard each journal append pushes toward stable storage.
+  Durability durability = Durability::kFlush;
+  /// Graceful-drain budget after a shutdown request: once exceeded,
+  /// still-running jobs are hard-cancelled at their next barrier (their
+  /// last published checkpoint survives for the next boot).  0 = wait
+  /// for running slices indefinitely.
+  util::Nanos drain_deadline = 0;
 };
 
 class Daemon {
@@ -75,8 +102,14 @@ class Daemon {
   /// completes, then writes the job_summary line.
   void wait();
 
-  /// Programmatic equivalent of a kShutdown frame (signal handlers, tests).
+  /// Programmatic equivalent of a kShutdown frame (tests, owner threads).
   void request_shutdown() FR_EXCLUDES(mutex_);
+
+  /// Async-signal-safe shutdown request for SIGTERM/SIGINT handlers: one
+  /// relaxed atomic store plus a WakePipe write (both signal-safe).  The
+  /// I/O loop notices on its next wakeup and starts the graceful drain,
+  /// honoring DaemonOptions::drain_deadline.
+  void request_shutdown_async() noexcept;
 
   const std::string& socket_path() const noexcept {
     return options_.socket_path;
@@ -98,8 +131,15 @@ class Daemon {
   std::string handle_diff(Reader& reader) FR_EXCLUDES(mutex_);
   std::string handle_verify(Reader& reader) FR_EXCLUDES(mutex_);
   /// Cancels jobs that will never run again under drain; true when every
-  /// job is terminal and no worker holds one.
+  /// job is terminal and no worker holds one.  A journaled daemon keeps
+  /// waiting jobs instead — they are durable and resume on the next boot.
   bool reap_for_shutdown() FR_REQUIRES(mutex_);
+  /// Boot-time recovery (DESIGN.md §14): replays the journal against the
+  /// archive and on-disk checkpoints, rebuilding scheduler/runners/dedup
+  /// state.  Runs in start() before any thread is spawned.
+  void recover_from_journal() FR_EXCLUDES(mutex_);
+  /// `<state_dir>/job_<id>.frck` — the job's published barrier checkpoint.
+  std::string checkpoint_path(std::uint64_t job_id) const;
   util::Nanos now() const noexcept { return clock_.now() - epoch_; }
 
   // fr-lint: allow(guarded-member): set in the constructor, read-only after
@@ -122,6 +162,8 @@ class Daemon {
   std::unique_ptr<JobEventLog> events_;
   // fr-lint: allow(guarded-member): set in start(); JobArchive locks itself
   std::unique_ptr<io::JobArchive> archive_;
+  // fr-lint: allow(guarded-member): set in start(); JobJournal locks itself
+  std::unique_ptr<JobJournal> journal_;
   // fr-lint: allow(guarded-member): I/O-thread-only after start()
   ListenSocket listener_;
   // fr-lint: allow(guarded-member): wake()/drain() are async-signal-safe
@@ -134,6 +176,21 @@ class Daemon {
   std::vector<std::unique_ptr<JobRunner>> runners_ FR_GUARDED_BY(mutex_);
   bool shutdown_requested_ FR_GUARDED_BY(mutex_) = false;
   bool stop_workers_ FR_GUARDED_BY(mutex_) = false;
+  /// Idempotent-submit replay: request key → the original submit verdict,
+  /// rebuilt from the journal at boot.  std::map for deterministic walks.
+  std::map<std::string, Submission> request_keys_ FR_GUARDED_BY(mutex_);
+  /// Per-job now() of the last checkpoint-file publish; throttles barrier
+  /// publishes to a real-time cadence (the virtual clock outruns the wall
+  /// clock, and recovery only ever reads the newest file).
+  std::map<std::uint64_t, util::Nanos> checkpoint_published_at_
+      FR_GUARDED_BY(mutex_);
+  /// Absolute now() at which the graceful drain gives up (0 = unset).
+  util::Nanos drain_deadline_at_ FR_GUARDED_BY(mutex_) = 0;
+  bool drain_cancelled_ FR_GUARDED_BY(mutex_) = false;
+
+  // fr-atomic: shutdown latch — stored by request_shutdown_async (possibly
+  // from a signal handler), consumed by the I/O loop on its next wakeup.
+  std::atomic<bool> shutdown_async_{false};
 
   // fr-lint: allow(guarded-member): joined only by the thread calling wait()
   std::thread io_thread_;

@@ -71,6 +71,11 @@ inline constexpr char kRejectQueueFull[] = "queue_full";
 inline constexpr char kRejectBadSpec[] = "bad_spec";
 inline constexpr char kRejectDraining[] = "draining";
 
+// Machine-readable failure reason set during daemon recovery when a job's
+// on-disk checkpoint no longer matches its spec (svc/daemon.cc).
+inline constexpr char kFailRecoveryCheckpointMismatch[] =
+    "recovery_checkpoint_mismatch";
+
 /// One scan job.  Every field participates in the scan's determinism: two
 /// jobs with equal specs produce byte-identical archive payloads no matter
 /// how the scheduler slices them.
@@ -102,6 +107,12 @@ struct JobSpec {
   /// granularity.  Must be > 0: a job without barriers cannot be preempted
   /// or resumed, so the service refuses it.
   util::Nanos checkpoint_interval = 100 * util::kMillisecond;
+
+  /// Optional client-supplied idempotency key.  A journaled daemon
+  /// deduplicates submits by this key — across restarts — and replays the
+  /// original reply, so clients can blindly retry after a crash without
+  /// double-admitting.  Empty means "no deduplication".
+  std::string request_key;
 };
 
 /// Validates a spec for admission; returns nullptr when acceptable, else a
@@ -126,6 +137,9 @@ inline const char* validate_spec(const JobSpec& spec) {
   }
   if (spec.gap_limit < 1) return "gap_limit must be >= 1";
   if (spec.name.size() > 128) return "name longer than 128 bytes";
+  if (spec.request_key.size() > 128) {
+    return "request_key longer than 128 bytes";
+  }
   return nullptr;
 }
 

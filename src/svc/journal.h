@@ -1,0 +1,147 @@
+// Write-ahead job journal: the daemon's durable control-plane log
+// (DESIGN.md §14).
+//
+// Every job-state transition the daemon must not forget across a crash is
+// appended here *before* the effect becomes externally visible (the reply
+// to the client, the terminal event): admitted / rejected / started /
+// barrier-reached / completed / cancelled / failed.  On boot the daemon
+// replays the journal against the archive and on-disk checkpoints to
+// rebuild the scheduler: queued jobs are re-admitted, interrupted jobs
+// resume from their last published barrier, and terminal jobs stay
+// terminal (no archive payload is ever appended twice).
+//
+// Record framing mirrors io::JobArchive ("FRSJ") with its own magic:
+//
+//   "FRWJ"  u32 LE payload size  [payload]  u32 LE payload size (echo)
+//
+// where the payload is an svc::wire byte sequence (kind, job id, spec,
+// reason, detail, counters).  Opening scans the frames in order, decodes
+// each payload, and truncates the file at the first damaged or incomplete
+// record — the same torn-tail recovery contract as JobArchive, so a crash
+// mid-append (or a partial sector write) costs at most the record being
+// written, never the file.
+//
+// Durability is configurable per daemon:
+//
+//   kNone   buffered stdio only — cheapest; a crash can lose the tail
+//   kFlush  fflush after every record — survives process death
+//   kFsync  fflush + fdatasync — survives OS/power death
+//
+// All methods are thread-safe; append serializes under an internal lock.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "svc/job.h"
+#include "util/annotations.h"
+#include "util/sync.h"
+
+namespace flashroute::svc {
+
+/// How hard append() pushes each record toward stable storage.
+enum class Durability : std::uint8_t { kNone, kFlush, kFsync };
+
+inline const char* durability_name(Durability d) {
+  switch (d) {
+    case Durability::kNone:
+      return "none";
+    case Durability::kFlush:
+      return "flush";
+    case Durability::kFsync:
+      return "fsync";
+  }
+  return "unknown";
+}
+
+/// Parses "none" | "flush" | "fsync" (the --durability= CLI values).
+std::optional<Durability> parse_durability(std::string_view name);
+
+/// Journal record kinds, in rough lifecycle order.
+enum class JournalKind : std::uint8_t {
+  kAdmitted = 1,  ///< job accepted; spec + request key are authoritative
+  kRejected = 2,  ///< admission refused; reason/detail carried for replay
+  kStarted = 3,   ///< dispatched to a worker (appended once per slice)
+  kBarrier = 4,   ///< checkpoint barrier published (checkpoint file on disk)
+  kCompleted = 5, ///< archive payload appended (archive is authoritative)
+  kCancelled = 6,
+  kFailed = 7,
+};
+
+inline const char* journal_kind_name(JournalKind kind) {
+  switch (kind) {
+    case JournalKind::kAdmitted:
+      return "admitted";
+    case JournalKind::kRejected:
+      return "rejected";
+    case JournalKind::kStarted:
+      return "started";
+    case JournalKind::kBarrier:
+      return "barrier";
+    case JournalKind::kCompleted:
+      return "completed";
+    case JournalKind::kCancelled:
+      return "cancelled";
+    case JournalKind::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+/// One journal entry.  `spec` is meaningful only for kAdmitted/kRejected
+/// (the admission records are the durable source of the spec — including
+/// the request key — for replay); the rest carry counters and reasons.
+struct JournalRecord {
+  JournalKind kind = JournalKind::kAdmitted;
+  std::uint64_t job_id = 0;
+  JobSpec spec;
+  std::string reason;
+  std::string detail;
+  std::uint64_t probes = 0;
+  std::uint64_t slices = 0;
+};
+
+/// Append-only journal file with torn-tail truncation recovery.
+class JobJournal {
+ public:
+  /// Opens (creating if absent) and recovers `path`.
+  JobJournal(std::string path, Durability durability);
+  ~JobJournal();
+
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  /// False when the file could not be opened, created, or recovered.
+  bool ok() const FR_EXCLUDES(mutex_);
+
+  /// Bytes dropped by truncation recovery at open (0 = clean tail).
+  std::uint64_t recovered_bytes_dropped() const FR_EXCLUDES(mutex_);
+
+  /// The records recovered at open, in file order.  Immutable after the
+  /// constructor — later append() calls do not extend this snapshot.
+  const std::vector<JournalRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Appends one record per the durability mode; false on I/O error.
+  bool append(const JournalRecord& record) FR_EXCLUDES(mutex_);
+
+ private:
+  mutable util::Mutex mutex_;
+  // fr-lint: allow(guarded-member): set in the constructor, read-only after
+  std::string path_;
+  // fr-lint: allow(guarded-member): set in the constructor, read-only after
+  Durability durability_;
+  // fr-lint: allow(guarded-member): recovery snapshot, frozen after ctor
+  std::vector<JournalRecord> records_;
+  std::FILE* file_ FR_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t dropped_ FR_GUARDED_BY(mutex_) = 0;
+  bool ok_ FR_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace flashroute::svc

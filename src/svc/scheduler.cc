@@ -62,6 +62,21 @@ Submission Scheduler::submit(const JobSpec& spec, util::Nanos now) {
   return submission;
 }
 
+std::uint64_t Scheduler::restore(const JobSpec& spec, JobState state,
+                                 std::uint64_t probes, std::uint64_t slices,
+                                 std::optional<io::ScanCheckpoint> checkpoint,
+                                 std::string detail, util::Nanos now) {
+  Entry entry(jobs_.size() + 1, spec, make_bucket(spec, config_, now));
+  entry.metered = config_.rate_multiplier > 0.0;
+  entry.state = state == JobState::kRunning ? JobState::kQueued : state;
+  entry.probes = probes;
+  entry.slices = slices;
+  entry.checkpoint = std::move(checkpoint);
+  entry.detail = std::move(detail);
+  jobs_.push_back(std::move(entry));
+  return jobs_.back().id;
+}
+
 std::optional<std::uint64_t> Scheduler::acquire(util::Nanos now) {
   if (draining_ || running_count_ >= config_.num_workers) return std::nullopt;
   const int index = pick_index(now, nullptr);

@@ -112,6 +112,17 @@ class Scheduler {
   /// recorded in the kRejected terminal state so status queries answer.
   Submission submit(const JobSpec& spec, util::Nanos now);
 
+  /// Recovery (DESIGN.md §14): recreates a journaled job at boot.  Must be
+  /// called in job-id order before any submit(), because ids are assigned
+  /// positionally.  A job is never restored as kRunning — an interrupted
+  /// slice re-enters as kPreempted (resume from `checkpoint`) or kQueued
+  /// (rerun from scratch; determinism makes the output identical), so the
+  /// running-slot counters stay untouched.  Returns the assigned id.
+  std::uint64_t restore(const JobSpec& spec, JobState state,
+                        std::uint64_t probes, std::uint64_t slices,
+                        std::optional<io::ScanCheckpoint> checkpoint,
+                        std::string detail, util::Nanos now);
+
   /// A free worker asks for work; marks the winner running.  nullopt when
   /// nothing is dispatchable.
   std::optional<std::uint64_t> acquire(util::Nanos now);

@@ -150,16 +150,25 @@ std::optional<Connection> ListenSocket::accept_client() {
   }
 }
 
-std::optional<Connection> connect_unix(const std::string& path) {
+std::optional<Connection> connect_unix(const std::string& path,
+                                       int* errno_out) {
+  if (errno_out != nullptr) *errno_out = 0;
   sockaddr_un addr{};
-  if (path.size() + 1 > sizeof(addr.sun_path)) return std::nullopt;
+  if (path.size() + 1 > sizeof(addr.sun_path)) {
+    if (errno_out != nullptr) *errno_out = ENAMETOOLONG;
+    return std::nullopt;
+  }
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) return std::nullopt;
+  if (fd < 0) {
+    if (errno_out != nullptr) *errno_out = errno;
+    return std::nullopt;
+  }
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
   while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                    sizeof(addr)) != 0) {
     if (errno != EINTR) {
+      if (errno_out != nullptr) *errno_out = errno;
       ::close(fd);
       return std::nullopt;
     }

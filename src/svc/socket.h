@@ -86,7 +86,11 @@ class ListenSocket {
 };
 
 /// Connects to a daemon's socket path; nullopt when nobody listens yet.
-std::optional<Connection> connect_unix(const std::string& path);
+/// `errno_out` (nullable) receives the failing errno — frctl's retry loop
+/// distinguishes transient refusals (daemon restarting: ECONNREFUSED,
+/// ECONNRESET, ENOENT) from hard errors.
+std::optional<Connection> connect_unix(const std::string& path,
+                                       int* errno_out = nullptr);
 
 /// Self-pipe used to wake the daemon's poll loop from other threads
 /// (worker completions, shutdown requests).

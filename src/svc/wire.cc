@@ -132,6 +132,7 @@ void encode_spec(Writer& w, const JobSpec& spec) {
   w.put_u32(static_cast<std::uint32_t>(spec.priority));
   w.put_f64(spec.weight);
   w.put_u64(static_cast<std::uint64_t>(spec.checkpoint_interval));
+  w.put_string(spec.request_key);
 }
 
 std::optional<JobSpec> decode_spec(Reader& r) {
@@ -154,6 +155,7 @@ std::optional<JobSpec> decode_spec(Reader& r) {
   spec.priority = static_cast<int>(r.u32());
   spec.weight = r.f64();
   spec.checkpoint_interval = static_cast<util::Nanos>(r.u64());
+  spec.request_key = r.string();
   if (!r.ok()) return std::nullopt;
   return spec;
 }

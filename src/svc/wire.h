@@ -51,6 +51,9 @@ enum class MsgType : std::uint8_t {
 /// Append-only payload builder.
 class Writer {
  public:
+  /// A bare buffer (no leading MsgType byte) — used by non-socket record
+  /// formats built on this codec, e.g. the job journal (svc/journal.h).
+  Writer() = default;
   explicit Writer(MsgType type) { put_u8(static_cast<std::uint8_t>(type)); }
 
   void put_u8(std::uint8_t v) { buffer_ += static_cast<char>(v); }

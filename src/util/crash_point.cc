@@ -1,0 +1,63 @@
+#include "util/crash_point.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace flashroute::util {
+namespace detail {
+
+// fr-atomic: armed latch — written by crash_points_reload before worker
+// threads exist, read relaxed on every FR_CRASH_POINT hit.
+std::atomic<bool> g_crash_points_armed{false};
+
+namespace {
+// Armed site name and Nth-hit countdown, written only by
+// crash_points_reload (single-threaded: static init or a freshly forked
+// child before the daemon's threads exist).
+char g_site[128] = {0};
+// fr-atomic: countdown — concurrently decremented by racing hits of the
+// armed site; exactly one thread observes the transition to zero.
+std::atomic<long> g_countdown{0};
+
+struct Registrar {
+  Registrar() { crash_points_reload(); }
+};
+Registrar g_registrar;
+}  // namespace
+}  // namespace detail
+
+void crash_points_reload() noexcept {
+  const char* env = std::getenv("FR_CRASH_POINT");
+  if (env == nullptr || env[0] == '\0') {
+    detail::g_site[0] = '\0';
+    detail::g_countdown.store(0, std::memory_order_relaxed);
+    detail::g_crash_points_armed.store(false, std::memory_order_relaxed);
+    return;
+  }
+  long nth = 1;
+  std::size_t site_len = std::strlen(env);
+  if (const char* colon = std::strrchr(env, ':')) {
+    char* end = nullptr;
+    const long parsed = std::strtol(colon + 1, &end, 10);
+    if (end != colon + 1 && *end == '\0' && parsed > 0) {
+      nth = parsed;
+      site_len = static_cast<std::size_t>(colon - env);
+    }
+  }
+  if (site_len >= sizeof(detail::g_site)) site_len = sizeof(detail::g_site) - 1;
+  std::memcpy(detail::g_site, env, site_len);
+  detail::g_site[site_len] = '\0';
+  detail::g_countdown.store(nth, std::memory_order_relaxed);
+  detail::g_crash_points_armed.store(true, std::memory_order_release);
+}
+
+void crash_point_hit(const char* site) noexcept {
+  if (std::strcmp(site, detail::g_site) != 0) return;
+  if (detail::g_countdown.fetch_sub(1, std::memory_order_relaxed) != 1) return;
+  std::fprintf(stderr, "fr: crash point '%s' fired; _Exit(%d)\n", site,
+               kCrashExitCode);
+  std::_Exit(kCrashExitCode);
+}
+
+}  // namespace flashroute::util

@@ -1,0 +1,83 @@
+// Deterministic crash-point injection for crash-safety tests.
+//
+// A crash point is a named site planted on a durability-critical path:
+//
+//   FR_CRASH_POINT(crash::kJournalAppend);
+//
+// Disarmed (the default, and the only production state) the macro is one
+// relaxed atomic load of a global flag plus a never-taken branch — no
+// string compare, no function call.  Armed via the environment variable
+//
+//   FR_CRASH_POINT=<site>[:N]
+//
+// the Nth execution of the named site (N defaults to 1) terminates the
+// process immediately with std::_Exit(kCrashExitCode): no destructors, no
+// atexit handlers, no stream flushing — the closest portable stand-in for
+// kill -9 at an exact instruction boundary.  Tests fork a daemon child,
+// arm one site in its environment, and assert the parent-side recovery
+// invariants after the child dies with kCrashExitCode.
+//
+// The inventory of planted sites lives in crash::kInventory so tests can
+// iterate "kill at every site" without hand-maintaining a parallel list.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace flashroute::util {
+
+/// Exit status used by an armed crash point (distinguishable from normal
+/// exits and from signal deaths in waitpid status).
+inline constexpr int kCrashExitCode = 42;
+
+namespace detail {
+// fr-atomic: armed flag — set once by crash_points_reload, read by every
+// FR_CRASH_POINT site with relaxed ordering (a missed update only delays
+// arming by one pass; tests reload explicitly after setenv).
+extern std::atomic<bool> g_crash_points_armed;
+}  // namespace detail
+
+/// True when FR_CRASH_POINT names a site in the environment.
+inline bool crash_points_armed() noexcept {
+  return detail::g_crash_points_armed.load(std::memory_order_relaxed);
+}
+
+/// Re-parses the FR_CRASH_POINT environment variable.  Called once at
+/// static-init time; forked test children call it again after setenv so
+/// arming does not depend on initializer order relative to the fork.
+void crash_points_reload() noexcept;
+
+/// Slow path: called only when armed.  Decrements the countdown if `site`
+/// matches the armed site name and _Exits the process when it hits zero.
+void crash_point_hit(const char* site) noexcept;
+
+/// Named crash sites planted in the tree.  Keep kInventory in sync: the
+/// crash-matrix test iterates it to kill the daemon at every site.
+namespace crash {
+inline constexpr const char* kJournalAppend = "journal.append";
+inline constexpr const char* kArchiveFlush = "archive.flush";
+inline constexpr const char* kCheckpointPublish = "checkpoint.publish";
+inline constexpr const char* kSubmitJournaled = "daemon.submit.journaled";
+inline constexpr const char* kJobStarted = "daemon.job.started";
+inline constexpr const char* kBarrierPublished = "daemon.barrier.published";
+inline constexpr const char* kJobArchived = "daemon.job.archived";
+inline constexpr const char* kJobTerminal = "daemon.job.terminal";
+
+inline constexpr const char* kInventory[] = {
+    kJournalAppend,     kArchiveFlush,      kCheckpointPublish,
+    kSubmitJournaled,   kJobStarted,        kBarrierPublished,
+    kJobArchived,       kJobTerminal,
+};
+inline constexpr std::size_t kInventorySize =
+    sizeof(kInventory) / sizeof(kInventory[0]);
+}  // namespace crash
+
+}  // namespace flashroute::util
+
+/// Zero-cost when disarmed: one relaxed load and a never-taken branch.
+#define FR_CRASH_POINT(site)                                  \
+  do {                                                        \
+    if (::flashroute::util::crash_points_armed()) [[unlikely]] \
+      ::flashroute::util::crash_point_hit(site);              \
+  } while (0)

@@ -17,6 +17,7 @@
 
 #include "svc/client.h"
 #include "svc/job.h"
+#include "util/clock.h"
 
 namespace flashroute::svc {
 namespace {
@@ -218,6 +219,204 @@ TEST(SvcDaemon, ShutdownCancelsQueuedWorkAndWritesSummary) {
        stream.find("\"job\":2,\"event\":\"completed\"") !=
            std::string::npos);
   EXPECT_TRUE(all_resolved) << stream;
+}
+
+// --- crash-safety, in process (DESIGN.md §14) -------------------------------
+//
+// These run the journaled daemon's recovery paths without fork, so they
+// stay inside TSan's supported model and carry the TSan coverage for the
+// journal/recovery locking; the fork-based kill matrix lives in
+// svc_crash_recovery_test.cc.
+
+struct JournaledFixture {
+  std::string socket_path;
+  std::string archive_path;
+  std::string journal_path;
+  std::string state_dir;
+  std::ostringstream events;
+  std::unique_ptr<Daemon> daemon;
+  int workers;
+  util::Nanos drain_deadline;
+
+  explicit JournaledFixture(const char* tag, int num_workers = 2,
+                            util::Nanos deadline = 0)
+      : workers(num_workers), drain_deadline(deadline) {
+    const std::string base = "/tmp/fr_svc_journal_" + std::string(tag) +
+                             "_" +
+                             std::to_string(static_cast<long>(::getpid()));
+    socket_path = base + ".sock";
+    archive_path = base + ".bin";
+    journal_path = base + ".frwj";
+    state_dir = base + "_state";
+    std::remove(archive_path.c_str());
+    std::remove(journal_path.c_str());
+    boot();
+  }
+
+  void boot() {
+    DaemonOptions options;
+    options.socket_path = socket_path;
+    options.archive_path = archive_path;
+    options.events = &events;
+    options.journal_path = journal_path;
+    options.state_dir = state_dir;
+    options.durability = Durability::kFlush;
+    options.drain_deadline = drain_deadline;
+    options.scheduler.num_workers = workers;
+    options.scheduler.global_pps_budget = 1e6;
+    options.scheduler.max_queued = 8;
+    daemon = std::make_unique<Daemon>(options);
+  }
+
+  /// Clean daemon stop + a fresh boot on the same durable paths — the
+  /// in-process stand-in for "the process died and came back".
+  void restart() {
+    daemon.reset();
+    boot();
+  }
+
+  ~JournaledFixture() {
+    daemon.reset();
+    std::remove(archive_path.c_str());
+    std::remove(journal_path.c_str());
+    for (int id = 1; id <= 16; ++id) {
+      std::remove((state_dir + "/job_" + std::to_string(id) + ".frck")
+                      .c_str());
+    }
+    ::rmdir(state_dir.c_str());
+  }
+
+  Client connect() {
+    auto client = Client::connect(socket_path);
+    EXPECT_TRUE(client.has_value());
+    return std::move(*client);
+  }
+};
+
+JobSpec keyed_spec(const std::string& name, const std::string& key,
+                   std::uint64_t scan_seed = 7) {
+  JobSpec spec = quick_spec(name, scan_seed);
+  spec.request_key = key;
+  return spec;
+}
+
+TEST(SvcDaemon, JournaledDrainPreservesWaitingJobsAndRestartFinishesThem) {
+  // Control: same specs, no journal — the byte-identity oracle.
+  std::uint64_t control_size = 0;
+  std::uint64_t control_fnv = 0;
+  {
+    DaemonFixture control("recovery_control", /*workers=*/1);
+    ASSERT_TRUE(control.daemon->start());
+    Client client = control.connect();
+    const auto submission = client.submit(quick_spec("stranded", 9));
+    ASSERT_TRUE(submission.has_value() && submission->admitted);
+    ASSERT_TRUE(client.wait_all());
+    const auto verify = client.verify(submission->job_id);
+    ASSERT_TRUE(verify.has_value() && verify->found);
+    control_size = verify->payload_size;
+    control_fnv = verify->payload_fnv1a;
+  }
+
+  JournaledFixture fixture("drain", /*workers=*/1);
+  ASSERT_TRUE(fixture.daemon->start());
+  std::uint64_t big_id = 0;
+  std::uint64_t stranded_id = 0;
+  {
+    Client client = fixture.connect();
+    JobSpec big = keyed_spec("big", "drain-key-big");
+    big.prefix_bits = 12;
+    const auto a = client.submit(big);
+    const auto b =
+        client.submit(keyed_spec("stranded", "drain-key-stranded", 9));
+    ASSERT_TRUE(a.has_value() && a->admitted);
+    ASSERT_TRUE(b.has_value() && b->admitted);
+    big_id = a->job_id;
+    stranded_id = b->job_id;
+    EXPECT_TRUE(client.shutdown());
+  }
+  fixture.daemon->wait();
+  // Journaled drain never cancels the waiting job — it is durable.
+  EXPECT_EQ(fixture.events.str().find("\"event\":\"cancelled\""),
+            std::string::npos);
+
+  fixture.restart();
+  ASSERT_TRUE(fixture.daemon->start());
+  Client client = fixture.connect();
+  // Recovery re-admitted both jobs under their original ids...
+  EXPECT_NE(fixture.events.str().find("\"event\":\"recovered\""),
+            std::string::npos);
+  const auto big_view = client.status(big_id);
+  ASSERT_TRUE(big_view.has_value());
+  EXPECT_EQ(big_view->name, "big");
+  // ...and a retried submit with the original key replays the original
+  // verdict instead of admitting a duplicate.
+  JobSpec retry = keyed_spec("big", "drain-key-big");
+  retry.prefix_bits = 12;
+  const auto replay = client.submit(retry);
+  ASSERT_TRUE(replay.has_value());
+  EXPECT_TRUE(replay->admitted);
+  EXPECT_EQ(replay->job_id, big_id);
+
+  ASSERT_TRUE(client.wait_all());
+  for (const std::uint64_t id : {big_id, stranded_id}) {
+    const auto view = client.status(id);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->state, JobState::kCompleted) << view->detail;
+  }
+  // The job that crossed the restart produced the control run's bytes.
+  const auto verify = client.verify(stranded_id);
+  ASSERT_TRUE(verify.has_value() && verify->found);
+  EXPECT_EQ(verify->payload_size, control_size);
+  EXPECT_EQ(verify->payload_fnv1a, control_fnv);
+}
+
+TEST(SvcDaemon, AsyncShutdownRequestDrainsLikeAShutdownFrame) {
+  JournaledFixture fixture("async");
+  ASSERT_TRUE(fixture.daemon->start());
+  {
+    Client client = fixture.connect();
+    const auto submission =
+        client.submit(keyed_spec("async-job", "async-key"));
+    ASSERT_TRUE(submission.has_value() && submission->admitted);
+    ASSERT_TRUE(client.wait_all());
+  }
+  // What a SIGTERM handler would call: async-signal-safe, no locks.
+  fixture.daemon->request_shutdown_async();
+  fixture.daemon->wait();
+  const std::string stream = fixture.events.str();
+  EXPECT_NE(stream.find("\"type\":\"job_summary\""), std::string::npos);
+  EXPECT_NE(stream.find("\"clean_shutdown\":true"), std::string::npos);
+}
+
+TEST(SvcDaemon, DrainDeadlineHardCancelsRunningSlices) {
+  JournaledFixture fixture("deadline", /*workers=*/1,
+                           /*deadline=*/util::kMillisecond);
+  ASSERT_TRUE(fixture.daemon->start());
+  Client client = fixture.connect();
+  JobSpec slow = keyed_spec("slow", "deadline-key");
+  slow.prefix_bits = 14;
+  const auto submission = client.submit(slow);
+  ASSERT_TRUE(submission.has_value() && submission->admitted);
+
+  fixture.daemon->request_shutdown();
+  fixture.daemon->wait();
+  // The deadline (1ms) bounds the drain: the running slice is preempted
+  // at its next barrier or hard-cancelled, whichever the races produce —
+  // but the shutdown completes and writes its summary either way.
+  EXPECT_NE(fixture.events.str().find("\"type\":\"job_summary\""),
+            std::string::npos);
+
+  // And the restart sees a resumable or terminal job, not a wedge.
+  fixture.restart();
+  ASSERT_TRUE(fixture.daemon->start());
+  Client reclient = fixture.connect();
+  ASSERT_TRUE(reclient.wait_all());
+  const auto views = reclient.list();
+  ASSERT_TRUE(views.has_value());
+  for (const JobView& view : *views) {
+    EXPECT_TRUE(job_state_terminal(view.state))
+        << job_state_name(view.state);
+  }
 }
 
 TEST(SvcDaemon, StartFailsOnUnbindablePath) {

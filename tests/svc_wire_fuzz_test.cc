@@ -40,6 +40,7 @@ JobSpec sample_spec() {
   spec.adaptive_backoff = true;
   spec.priority = 3;
   spec.weight = 2.5;
+  spec.request_key = "fuzz-request-key";
   return spec;
 }
 
@@ -70,7 +71,8 @@ bool specs_equal(const JobSpec& a, const JobSpec& b) {
          a.adaptive_backoff == b.adaptive_backoff &&
          a.min_round_duration == b.min_round_duration &&
          a.priority == b.priority && a.weight == b.weight &&
-         a.checkpoint_interval == b.checkpoint_interval;
+         a.checkpoint_interval == b.checkpoint_interval &&
+         a.request_key == b.request_key;
 }
 
 std::string valid_submit_payload() {
@@ -139,8 +141,8 @@ TEST(SvcWireFuzz, EveryTruncationPrefixIsRejectedCleanly) {
       exercise_payload(prefix, "truncate at " + std::to_string(cut));
       if (cut > 1) {
         // A strictly truncated submit can never decode to a spec: the
-        // field sequence ends with fixed-width integers, so any cut
-        // starves some read.
+        // field sequence ends with a non-empty length-prefixed string
+        // after fixed-width integers, so any cut starves some read.
         Reader r(prefix);
         r.u8();
         EXPECT_FALSE(decode_spec(r).has_value());
